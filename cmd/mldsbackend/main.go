@@ -1,0 +1,79 @@
+// mldsbackend runs one MBDS backend as a network server: it holds a
+// partition of a kernel database on this machine and executes the ABDL
+// requests a remote controller sends over the bus — the slave half of the
+// paper's hardware configuration.
+//
+// The schema is a Daplex file transformed on startup, so every backend of
+// one database derives the same kernel directory independently.
+//
+// Usage:
+//
+//	mldsbackend -listen :9401 -offset 1 -stride 4            # University schema
+//	mldsbackend -listen :9402 -offset 2 -stride 4 -schema my.daplex
+//
+// offset/stride give this backend its share of the database-key space:
+// backend i of n uses -offset i+1 -stride n.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"mlds/internal/daplex"
+	"mlds/internal/kdb"
+	"mlds/internal/mbdsnet"
+	"mlds/internal/univ"
+	"mlds/internal/xform"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9401", "TCP listen address")
+	schemaFile := flag.String("schema", "", "Daplex schema file (default: built-in University)")
+	offset := flag.Uint64("offset", 1, "record-ID offset for this backend")
+	stride := flag.Uint64("stride", 1, "record-ID stride (= backend count)")
+	flag.Parse()
+
+	src := univ.SchemaDDL
+	if *schemaFile != "" {
+		data, err := os.ReadFile(*schemaFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	fun, err := daplex.ParseSchema(src)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := xform.FunToNet(fun)
+	if err != nil {
+		fatal(err)
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		fatal(err)
+	}
+
+	store := kdb.NewStore(ab.Dir, kdb.WithStrideIDs(*offset, *stride))
+	srv, err := mbdsnet.Listen(*listen, store)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mldsbackend: serving schema %q on %s (id offset %d stride %d)\n",
+		fun.Name, srv.Addr(), *offset, *stride)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nmldsbackend: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mldsbackend:", err)
+	os.Exit(1)
+}

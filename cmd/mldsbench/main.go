@@ -1,0 +1,67 @@
+// mldsbench regenerates the paper's figures, tables and claims: the schema
+// figures (2.1, 3.3, 5.1–5.5), the Chapter VI translation walkthrough, the
+// two MBDS performance sweeps, the cross-model equivalence check, and the
+// design-choice ablations.
+//
+// Usage:
+//
+//	mldsbench            run every experiment
+//	mldsbench -exp e6    run one experiment (e1..e10, a1..a3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mlds/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run a single experiment (e1..e10, a1..a3)")
+	flag.Parse()
+
+	runners := map[string]func() *experiments.Report{
+		"e1":  experiments.E1SchemaParse,
+		"e2":  experiments.E2Transform,
+		"e3":  experiments.E3ABMapping,
+		"e4":  experiments.E4EntitySubtypeGoldens,
+		"e5":  experiments.E5Translations,
+		"e6":  experiments.E6BackendsScaling,
+		"e7":  experiments.E7CapacityGrowth,
+		"e8":  experiments.E8CrossModel,
+		"e9":  experiments.E9SharedKernel,
+		"e10": experiments.E10FiveInterfaces,
+		"a1":  experiments.AblationIndexVsScan,
+		"a2":  experiments.AblationParallelVsSerial,
+		"a3":  experiments.AblationDirectVsPreprocess,
+	}
+
+	if *exp != "" {
+		run, ok := runners[strings.ToLower(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mldsbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		r := run()
+		fmt.Println(r)
+		if !r.OK {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := 0
+	for _, r := range experiments.All() {
+		fmt.Println(r)
+		fmt.Println()
+		if !r.OK {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "mldsbench: %d experiment(s) mismatched\n", failed)
+		os.Exit(1)
+	}
+}

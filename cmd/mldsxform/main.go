@@ -1,0 +1,67 @@
+// mldsxform runs the MLDS schema transformer on a Daplex schema: it prints
+// the functional schema summary, the transformed network DDL (the shape of
+// the thesis's Figure 5.1), the set provenance table, and the AB(functional)
+// kernel templates (Figure 3.3).
+//
+// Usage:
+//
+//	mldsxform                 transform the built-in University schema
+//	mldsxform schema.daplex   transform a schema file
+//	mldsxform -show net       print only the network DDL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlds/internal/daplex"
+	"mlds/internal/univ"
+	"mlds/internal/xform"
+)
+
+func main() {
+	show := flag.String("show", "all", "what to print: functional, net, sets, ab, all")
+	flag.Parse()
+
+	src := univ.SchemaDDL
+	if flag.NArg() > 0 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	fun, err := daplex.ParseSchema(src)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := xform.FunToNet(fun)
+	if err != nil {
+		fatal(err)
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(section string) bool { return *show == "all" || *show == section }
+	if want("functional") {
+		fmt.Printf("-- functional schema --\n%s\n\n", fun)
+	}
+	if want("net") {
+		fmt.Printf("-- transformed network schema (Figure 5.1) --\n%s\n", m.Net.DDL())
+	}
+	if want("sets") {
+		fmt.Printf("-- set provenance --\n%s\n", m.Describe())
+	}
+	if want("ab") {
+		fmt.Printf("-- AB(functional) kernel templates (Figure 3.3) --\n%s\n", ab.Describe())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mldsxform:", err)
+	os.Exit(1)
+}

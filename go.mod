@@ -1,0 +1,3 @@
+module mlds
+
+go 1.22

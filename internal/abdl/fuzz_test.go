@@ -1,0 +1,34 @@
+package abdl
+
+import "testing"
+
+// FuzzParse: the ABDL parser must never panic, and anything it accepts must
+// print and reparse to the same canonical text.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"INSERT (<FILE, course>, <title, 'DB'>, <credits, 4>)",
+		"DELETE ((FILE = course) AND (credits < 3))",
+		"UPDATE ((a = 1)) (b = NULL)",
+		"RETRIEVE ((FILE = x) OR (FILE = y)) (all attributes) BY a",
+		"RETRIEVE ((a = 'it''s')) (COUNT(a), MAX(b))",
+		"RETRIEVE-COMMON ((FILE = 'emp')) (name) COMMON dept ((FILE = 'proj'))",
+		"INSERT (<a, -3.5e2>)",
+		"DELETE (((((a = 1)))))",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		req, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := req.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %q: %v", text, err)
+		}
+		if again.String() != text {
+			t.Fatalf("canonical text unstable: %q -> %q", text, again.String())
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package abdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokLParen
+	tokRParen
+	tokLAngle
+	tokRAngle
+	tokComma
+	tokIdent  // bare word: attribute names, keywords like AND/OR/BY/NULL
+	tokString // 'quoted'
+	tokNumber // integer or float literal
+	tokOp     // relational operator: = != <> <= >= < >
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer tokenises ABDL request text. The '<' rune is context sensitive — it
+// opens a keyword in an INSERT list and is an operator in a query — so the
+// lexer exposes both readings and the parser picks by context via the
+// angleMode flag.
+type lexer struct {
+	src       string
+	pos       int
+	angleMode bool // when true, '<' and '>' lex as brackets, not operators
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("abdl: %s (at byte %d of %q)", fmt.Sprintf(format, args...), pos, clip(l.src))
+}
+
+func clip(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' || l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '<' && l.angleMode:
+		l.pos++
+		return token{tokLAngle, "<", start}, nil
+	case c == '>' && l.angleMode:
+		l.pos++
+		return token{tokRAngle, ">", start}, nil
+	case c == '=':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{tokOp, "=", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokOp, "!=", start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{tokOp, "<=", start}, nil
+			case '>':
+				l.pos++
+				return token{tokOp, "!=", start}, nil
+			}
+		}
+		return token{tokOp, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, ">=", start}, nil
+		}
+		return token{tokOp, ">", start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(start, "unterminated string literal")
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{tokString, b.String(), start}, nil
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		l.pos++
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' ||
+				((c == '-' || c == '+') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStart(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}

@@ -1,0 +1,480 @@
+package abdl
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/abdm"
+)
+
+// Parse parses the text of one ABDL request. The accepted grammar follows
+// the thesis's request sketches:
+//
+//	INSERT   (<FILE, course>, <title, 'DB'>, <credits, 4>)
+//	DELETE   ((FILE = course) AND (credits < 3))
+//	UPDATE   ((FILE = course) AND (title = 'DB')) (credits = 4)
+//	RETRIEVE ((FILE = course) OR (FILE = dept)) (title, COUNT(credits)) BY dept
+//	RETRIEVE (...) (all attributes)
+//
+// Queries may combine predicates with AND/OR and parentheses; the parser
+// normalises the boolean expression to disjunctive normal form.
+func Parse(src string) (*Request, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	req, err := p.parseRequest()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("abdl: trailing input after request: %s", p.tok)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// ParseTransaction parses newline-separated requests; blank lines and lines
+// starting with "--" are ignored.
+func ParseTransaction(src string) (Transaction, error) {
+	var tx Transaction
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		req, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		tx = append(tx, req)
+	}
+	if len(tx) == 0 {
+		return nil, fmt.Errorf("abdl: empty transaction")
+	}
+	return tx, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("abdl: expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseRequest() (*Request, error) {
+	op, err := p.expect(tokIdent, "operation name")
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToUpper(op.text) {
+	case "INSERT":
+		rec, err := p.parseKeywordList()
+		if err != nil {
+			return nil, err
+		}
+		return &Request{Kind: Insert, Record: rec}, nil
+	case "DELETE":
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		return &Request{Kind: Delete, Query: q}, nil
+	case "UPDATE":
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		mods, err := p.parseModifiers()
+		if err != nil {
+			return nil, err
+		}
+		return &Request{Kind: Update, Query: q, Mods: mods}, nil
+	case "RETRIEVE", "RETRIEVE-COMMON":
+		kind := Retrieve
+		if strings.ToUpper(op.text) == "RETRIEVE-COMMON" {
+			kind = RetrieveCommon
+		}
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		target, err := p.parseTargetList()
+		if err != nil {
+			return nil, err
+		}
+		req := &Request{Kind: kind, Query: q, Target: target}
+		if kind == RetrieveCommon {
+			if p.tok.kind != tokIdent || !strings.EqualFold(p.tok.text, "COMMON") {
+				return nil, fmt.Errorf("abdl: RETRIEVE-COMMON requires a COMMON clause, found %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			attr, err := p.expect(tokIdent, "common attribute")
+			if err != nil {
+				return nil, err
+			}
+			req.Common = attr.text
+			q2, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			req.Query2 = q2
+		}
+		if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "BY") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			by, err := p.expect(tokIdent, "by-clause attribute")
+			if err != nil {
+				return nil, err
+			}
+			req.By = by.text
+		}
+		return req, nil
+	default:
+		return nil, fmt.Errorf("abdl: unknown operation %q", op.text)
+	}
+}
+
+// parseKeywordList parses (<attr, value>, <attr, value>, ...).
+func (p *parser) parseKeywordList() (*abdm.Record, error) {
+	p.lex.angleMode = true
+	defer func() { p.lex.angleMode = false }()
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	rec := &abdm.Record{}
+	for {
+		if _, err := p.expect(tokLAngle, "'<'"); err != nil {
+			return nil, err
+		}
+		attr, err := p.expect(tokIdent, "attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRAngle, "'>'"); err != nil {
+			return nil, err
+		}
+		rec.Set(attr.text, val)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// parseValue parses a literal: number, quoted string, NULL, or a bare word
+// (which ABDL treats as a string, matching the thesis's unquoted file names).
+func (p *parser) parseValue() (abdm.Value, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		v := abdm.InferValue(p.tok.text)
+		return v, p.advance()
+	case tokString:
+		v := abdm.String(p.tok.text)
+		return v, p.advance()
+	case tokIdent:
+		if strings.EqualFold(p.tok.text, "NULL") {
+			return abdm.Null(), p.advance()
+		}
+		v := abdm.String(p.tok.text)
+		return v, p.advance()
+	default:
+		return abdm.Value{}, fmt.Errorf("abdl: expected a value, found %s", p.tok)
+	}
+}
+
+// boolExpr is the intermediate boolean tree normalised to DNF.
+type boolExpr struct {
+	pred     *abdm.Predicate
+	op       string // "AND" or "OR" for interior nodes
+	lhs, rhs *boolExpr
+}
+
+// parseQuery parses a parenthesised boolean combination of predicates and
+// returns its disjunctive normal form.
+func (p *parser) parseQuery() (abdm.Query, error) {
+	if _, err := p.expect(tokLParen, "'(' opening query"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')' closing query"); err != nil {
+		return nil, err
+	}
+	return toDNF(e), nil
+}
+
+func (p *parser) parseOr() (*boolExpr, error) {
+	lhs, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &boolExpr{op: "OR", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseAnd() (*boolExpr, error) {
+	lhs, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &boolExpr{op: "AND", lhs: lhs, rhs: rhs}
+	}
+	return lhs, nil
+}
+
+// parseTerm parses either a parenthesised subexpression or a bare predicate.
+// A '(' could open either; we disambiguate by peeking at what follows the
+// first identifier.
+func (p *parser) parseTerm() (*boolExpr, error) {
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Predicate form: ident op value ')'. Subexpression otherwise.
+		if p.tok.kind == tokIdent && !isBoolWord(p.tok.text) {
+			save := *p.lex
+			saveTok := p.tok
+			attr := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind == tokOp {
+				pred, err := p.finishPredicate(attr)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokRParen, "')' closing predicate"); err != nil {
+					return nil, err
+				}
+				return &boolExpr{pred: pred}, nil
+			}
+			// Not a predicate — rewind and parse as subexpression.
+			*p.lex = save
+			p.tok = saveTok
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	// Bare predicate without parentheses.
+	attr, err := p.expect(tokIdent, "attribute name")
+	if err != nil {
+		return nil, err
+	}
+	pred, err := p.finishPredicate(attr.text)
+	if err != nil {
+		return nil, err
+	}
+	return &boolExpr{pred: pred}, nil
+}
+
+func isBoolWord(s string) bool {
+	return strings.EqualFold(s, "AND") || strings.EqualFold(s, "OR")
+}
+
+func (p *parser) finishPredicate(attr string) (*abdm.Predicate, error) {
+	opTok, err := p.expect(tokOp, "relational operator")
+	if err != nil {
+		return nil, err
+	}
+	op, err := abdm.ParseOp(opTok.text)
+	if err != nil {
+		return nil, err
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	return &abdm.Predicate{Attr: attr, Op: op, Val: val}, nil
+}
+
+// toDNF normalises the boolean tree by distributing AND over OR.
+func toDNF(e *boolExpr) abdm.Query {
+	if e == nil {
+		return nil
+	}
+	if e.pred != nil {
+		return abdm.Query{abdm.Conjunction{*e.pred}}
+	}
+	l, r := toDNF(e.lhs), toDNF(e.rhs)
+	if e.op == "OR" {
+		return append(append(abdm.Query{}, l...), r...)
+	}
+	// AND: cross product of conjunctions.
+	out := make(abdm.Query, 0, len(l)*len(r))
+	for _, lc := range l {
+		for _, rc := range r {
+			conj := make(abdm.Conjunction, 0, len(lc)+len(rc))
+			conj = append(conj, lc...)
+			conj = append(conj, rc...)
+			out = append(out, conj)
+		}
+	}
+	return out
+}
+
+// parseModifiers parses one or more (attr = value) groups.
+func (p *parser) parseModifiers() ([]Modifier, error) {
+	var mods []Modifier
+	for p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		attr, err := p.expect(tokIdent, "modifier attribute")
+		if err != nil {
+			return nil, err
+		}
+		opTok, err := p.expect(tokOp, "'='")
+		if err != nil {
+			return nil, err
+		}
+		if opTok.text != "=" {
+			return nil, fmt.Errorf("abdl: modifier must use '=', found %q", opTok.text)
+		}
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')' closing modifier"); err != nil {
+			return nil, err
+		}
+		mods = append(mods, Modifier{Attr: attr.text, Val: val})
+	}
+	if len(mods) == 0 {
+		return nil, fmt.Errorf("abdl: UPDATE requires at least one modifier")
+	}
+	return mods, nil
+}
+
+// parseTargetList parses (item, item, ...) where item is attr, AGG(attr),
+// "all attributes", or "*".
+func (p *parser) parseTargetList() ([]TargetItem, error) {
+	if _, err := p.expect(tokLParen, "'(' opening target list"); err != nil {
+		return nil, err
+	}
+	var items []TargetItem
+	for {
+		switch {
+		case p.tok.kind == tokOp && p.tok.text == "=": // impossible; defensive
+			return nil, fmt.Errorf("abdl: bad target list")
+		case p.tok.kind == tokIdent:
+			word := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if strings.EqualFold(word, "all") && p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "attributes") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				items = append(items, TargetItem{Attr: AllAttrs})
+				break
+			}
+			if agg := parseAgg(word); agg != AggNone && p.tok.kind == tokLParen {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				attr, err := p.expect(tokIdent, "aggregate attribute")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokRParen, "')'"); err != nil {
+					return nil, err
+				}
+				items = append(items, TargetItem{Agg: agg, Attr: attr.text})
+				break
+			}
+			items = append(items, TargetItem{Attr: word})
+		default:
+			return nil, fmt.Errorf("abdl: expected target attribute, found %s", p.tok)
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "')' closing target list"); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+func parseAgg(word string) Aggregate {
+	switch strings.ToUpper(word) {
+	case "AVG":
+		return AggAvg
+	case "COUNT":
+		return AggCount
+	case "SUM":
+		return AggSum
+	case "MAX":
+		return AggMax
+	case "MIN":
+		return AggMin
+	}
+	return AggNone
+}

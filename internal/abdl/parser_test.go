@@ -1,0 +1,233 @@
+package abdl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mlds/internal/abdm"
+)
+
+func mustParse(t *testing.T, src string) *Request {
+	t.Helper()
+	r, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return r
+}
+
+func TestParseInsert(t *testing.T) {
+	r := mustParse(t, "INSERT (<FILE, course>, <title, 'Advanced Database'>, <credits, 4>, <rating, 4.5>)")
+	if r.Kind != Insert {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Record.File() != "course" {
+		t.Errorf("file = %q", r.Record.File())
+	}
+	if v, _ := r.Record.Get("title"); v.AsString() != "Advanced Database" {
+		t.Errorf("title = %v", v)
+	}
+	if v, _ := r.Record.Get("credits"); v.Kind() != abdm.KindInt || v.AsInt() != 4 {
+		t.Errorf("credits = %v", v)
+	}
+	if v, _ := r.Record.Get("rating"); v.Kind() != abdm.KindFloat || v.AsFloat() != 4.5 {
+		t.Errorf("rating = %v", v)
+	}
+}
+
+func TestParseInsertNull(t *testing.T) {
+	r := mustParse(t, "INSERT (<FILE, f>, <advisor, NULL>)")
+	if v, ok := r.Record.Get("advisor"); !ok || !v.IsNull() {
+		t.Errorf("advisor = %v,%v, want NULL", v, ok)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	r := mustParse(t, "DELETE ((FILE = course) AND (credits < 3))")
+	if r.Kind != Delete {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if len(r.Query) != 1 || len(r.Query[0]) != 2 {
+		t.Fatalf("query shape = %v", r.Query)
+	}
+	if r.Query[0][1].Op != abdm.OpLt {
+		t.Errorf("op = %v", r.Query[0][1].Op)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	r := mustParse(t, "UPDATE ((FILE = course) AND (title = 'DB')) (credits = 4) (rating = 4.5)")
+	if r.Kind != Update || len(r.Mods) != 2 {
+		t.Fatalf("kind=%v mods=%v", r.Kind, r.Mods)
+	}
+	if r.Mods[0].Attr != "credits" || r.Mods[0].Val.AsInt() != 4 {
+		t.Errorf("mod0 = %v", r.Mods[0])
+	}
+	if r.Mods[1].Val.Kind() != abdm.KindFloat {
+		t.Errorf("mod1 kind = %v", r.Mods[1].Val.Kind())
+	}
+}
+
+func TestParseUpdateNullModifier(t *testing.T) {
+	r := mustParse(t, "UPDATE ((FILE = f) AND (k = 7)) (advisor = NULL)")
+	if !r.Mods[0].Val.IsNull() {
+		t.Error("modifier NULL not parsed")
+	}
+}
+
+func TestParseRetrieve(t *testing.T) {
+	r := mustParse(t, "RETRIEVE ((FILE = course) AND (title = 'Advanced Database')) (title, dept, semester, credits) BY course")
+	if r.Kind != Retrieve {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if len(r.Target) != 4 || r.Target[0].Attr != "title" {
+		t.Errorf("target = %v", r.Target)
+	}
+	if r.By != "course" {
+		t.Errorf("by = %q", r.By)
+	}
+}
+
+func TestParseRetrieveAllAttributes(t *testing.T) {
+	r := mustParse(t, "RETRIEVE ((FILE = person)) (all attributes)")
+	if len(r.Target) != 1 || r.Target[0].Attr != AllAttrs {
+		t.Errorf("target = %v", r.Target)
+	}
+}
+
+func TestParseRetrieveAggregates(t *testing.T) {
+	r := mustParse(t, "RETRIEVE ((FILE = course)) (COUNT(title), AVG(credits), MAX(rating)) BY dept")
+	wantAggs := []Aggregate{AggCount, AggAvg, AggMax}
+	if len(r.Target) != 3 {
+		t.Fatalf("target = %v", r.Target)
+	}
+	for i, a := range wantAggs {
+		if r.Target[i].Agg != a {
+			t.Errorf("target[%d].Agg = %v, want %v", i, r.Target[i].Agg, a)
+		}
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	r := mustParse(t, "RETRIEVE (((FILE = student)) OR ((FILE = faculty))) (all attributes)")
+	if len(r.Query) != 2 {
+		t.Fatalf("DNF terms = %d, want 2", len(r.Query))
+	}
+}
+
+func TestParseDistributesAndOverOr(t *testing.T) {
+	r := mustParse(t, "DELETE ((FILE = f) AND ((x = 1) OR (x = 2)))")
+	if len(r.Query) != 2 {
+		t.Fatalf("DNF terms = %d, want 2: %v", len(r.Query), r.Query)
+	}
+	for _, conj := range r.Query {
+		if len(conj) != 2 {
+			t.Errorf("conjunction = %v, want FILE + x predicates", conj)
+		}
+		if f, ok := conj.File(); !ok || f != "f" {
+			t.Errorf("conjunction lost FILE predicate: %v", conj)
+		}
+	}
+}
+
+func TestParseNestedParens(t *testing.T) {
+	r := mustParse(t, "DELETE ((((FILE = f))) AND (((a = 1) OR (b = 2))))")
+	if len(r.Query) != 2 {
+		t.Fatalf("DNF terms = %d", len(r.Query))
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]abdm.Op{
+		"=": abdm.OpEq, "!=": abdm.OpNe, "<>": abdm.OpNe,
+		"<": abdm.OpLt, "<=": abdm.OpLe, ">": abdm.OpGt, ">=": abdm.OpGe,
+	}
+	for spell, want := range ops {
+		r := mustParse(t, "DELETE ((x "+spell+" 5))")
+		if got := r.Query[0][0].Op; got != want {
+			t.Errorf("op %q parsed as %v, want %v", spell, got, want)
+		}
+	}
+}
+
+func TestParseQuotedStringEscapes(t *testing.T) {
+	r := mustParse(t, "DELETE ((name = 'O''Brien'))")
+	if got := r.Query[0][0].Val.AsString(); got != "O'Brien" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB ((x = 1))",
+		"INSERT ()",
+		"INSERT (<FILE course>)",
+		"DELETE ((x = ))",
+		"DELETE ((x 1))",
+		"UPDATE ((x = 1))",
+		"RETRIEVE ((x = 1))",
+		"RETRIEVE ((x = 1)) (a) BY",
+		"DELETE ((name = 'unterminated))",
+		"DELETE ((x = 1)) trailing",
+		"UPDATE ((x = 1)) (y < 2)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseTransaction(t *testing.T) {
+	tx, err := ParseTransaction(`
+-- load two records
+INSERT (<FILE, f>, <a, 1>)
+INSERT (<FILE, f>, <a, 2>)
+
+RETRIEVE ((FILE = f)) (all attributes)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != 3 {
+		t.Fatalf("len = %d", len(tx))
+	}
+	if tx[2].Kind != Retrieve {
+		t.Errorf("last kind = %v", tx[2].Kind)
+	}
+	if _, err := ParseTransaction("\n-- nothing\n"); err == nil {
+		t.Error("empty transaction should fail")
+	}
+}
+
+// Property: Parse(String(r)) reproduces the request for retrievals with
+// integer predicates.
+func TestParsePrintRoundTrip(t *testing.T) {
+	f := func(n int64, m int64) bool {
+		orig := NewRetrieve(
+			abdm.And(
+				abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("f")},
+				abdm.Predicate{Attr: "x", Op: abdm.OpGe, Val: abdm.Int(n)},
+				abdm.Predicate{Attr: "y", Op: abdm.OpLt, Val: abdm.Int(m)},
+			),
+			"x", "y",
+		)
+		back, err := Parse(orig.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == orig.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseInsertPrintRoundTrip(t *testing.T) {
+	src := "INSERT (<FILE, 'course'>, <title, 'Advanced Database'>, <credits, 4>)"
+	r := mustParse(t, src)
+	if got := r.String(); got != src {
+		t.Errorf("round trip:\n got %q\nwant %q", got, src)
+	}
+}

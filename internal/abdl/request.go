@@ -1,0 +1,240 @@
+// Package abdl implements the attribute-based data language (ABDL), the
+// kernel data language of the Multi-Lingual Database System.
+//
+// ABDL provides five operations — INSERT, DELETE, UPDATE, RETRIEVE, and
+// RETRIEVE-COMMON — each qualified as the model requires: INSERT by a keyword
+// list, DELETE by a query, UPDATE by a query and a modifier, RETRIEVE by a
+// query, a target list and an optional by-clause. A transaction groups two or
+// more sequentially executed requests.
+package abdl
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/abdm"
+)
+
+// Kind identifies an ABDL operation.
+type Kind int
+
+// The five ABDL operations.
+const (
+	Insert Kind = iota
+	Delete
+	Update
+	Retrieve
+	RetrieveCommon
+)
+
+var kindNames = [...]string{"INSERT", "DELETE", "UPDATE", "RETRIEVE", "RETRIEVE-COMMON"}
+
+// String returns the operation's ABDL spelling.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Aggregate is an optional aggregate operation applied to a target-list item.
+type Aggregate int
+
+// Aggregate operations.
+const (
+	AggNone Aggregate = iota
+	AggAvg
+	AggCount
+	AggSum
+	AggMax
+	AggMin
+)
+
+var aggNames = [...]string{"", "AVG", "COUNT", "SUM", "MAX", "MIN"}
+
+// String returns the aggregate's ABDL spelling ("" for none).
+func (a Aggregate) String() string {
+	if int(a) < len(aggNames) {
+		return aggNames[a]
+	}
+	return fmt.Sprintf("agg(%d)", int(a))
+}
+
+// AllAttrs is the target-list sentinel requesting every attribute of each
+// retrieved record ("all attributes" in the thesis's request sketches).
+const AllAttrs = "*"
+
+// TargetItem is one element of a RETRIEVE target list: an output attribute,
+// optionally wrapped in an aggregate.
+type TargetItem struct {
+	Agg  Aggregate
+	Attr string
+}
+
+// String renders the item as attr or AGG(attr).
+func (t TargetItem) String() string {
+	if t.Agg == AggNone {
+		if t.Attr == AllAttrs {
+			return "all attributes"
+		}
+		return t.Attr
+	}
+	return t.Agg.String() + "(" + t.Attr + ")"
+}
+
+// Modifier is one UPDATE assignment: the named attribute of every qualifying
+// record is set to the value.
+type Modifier struct {
+	Attr string
+	Val  abdm.Value
+}
+
+// String renders the modifier as (attr = value).
+func (m Modifier) String() string {
+	return "(" + m.Attr + " = " + m.Val.String() + ")"
+}
+
+// Request is one ABDL request.
+type Request struct {
+	Kind   Kind
+	Record *abdm.Record // INSERT: the keyword list to store
+	Query  abdm.Query   // DELETE, UPDATE, RETRIEVE: the qualification
+	Mods   []Modifier   // UPDATE: how the target records change
+	Target []TargetItem // RETRIEVE: output attributes
+	By     string       // RETRIEVE: optional by-clause attribute
+	Common string       // RETRIEVE-COMMON: the common attribute
+	Query2 abdm.Query   // RETRIEVE-COMMON: the second qualification
+}
+
+// NewInsert builds an INSERT request for the record.
+func NewInsert(rec *abdm.Record) *Request { return &Request{Kind: Insert, Record: rec} }
+
+// NewDelete builds a DELETE request qualified by q.
+func NewDelete(q abdm.Query) *Request { return &Request{Kind: Delete, Query: q} }
+
+// NewUpdate builds an UPDATE request qualified by q applying mods.
+func NewUpdate(q abdm.Query, mods ...Modifier) *Request {
+	return &Request{Kind: Update, Query: q, Mods: mods}
+}
+
+// NewRetrieve builds a RETRIEVE request qualified by q returning the target
+// attributes (AllAttrs for every attribute).
+func NewRetrieve(q abdm.Query, target ...string) *Request {
+	r := &Request{Kind: Retrieve, Query: q}
+	for _, a := range target {
+		r.Target = append(r.Target, TargetItem{Attr: a})
+	}
+	return r
+}
+
+// WithBy sets the by-clause attribute and returns the request.
+func (r *Request) WithBy(attr string) *Request {
+	r.By = attr
+	return r
+}
+
+// Validate performs structural checks: the right qualifications must be
+// present for the operation.
+func (r *Request) Validate() error {
+	switch r.Kind {
+	case Insert:
+		if r.Record == nil || len(r.Record.Keywords) == 0 {
+			return fmt.Errorf("abdl: INSERT requires a keyword list")
+		}
+		if r.Record.File() == "" {
+			return fmt.Errorf("abdl: INSERT keyword list must begin with a FILE keyword")
+		}
+	case Delete:
+		if len(r.Query) == 0 {
+			return fmt.Errorf("abdl: DELETE requires a query")
+		}
+	case Update:
+		if len(r.Query) == 0 {
+			return fmt.Errorf("abdl: UPDATE requires a query")
+		}
+		if len(r.Mods) == 0 {
+			return fmt.Errorf("abdl: UPDATE requires a modifier")
+		}
+	case Retrieve:
+		if len(r.Target) == 0 {
+			return fmt.Errorf("abdl: RETRIEVE requires a target list")
+		}
+	case RetrieveCommon:
+		if len(r.Target) == 0 {
+			return fmt.Errorf("abdl: RETRIEVE-COMMON requires a target list")
+		}
+		if r.Common == "" {
+			return fmt.Errorf("abdl: RETRIEVE-COMMON requires a common attribute")
+		}
+		if len(r.Query2) == 0 {
+			return fmt.Errorf("abdl: RETRIEVE-COMMON requires a second query")
+		}
+	default:
+		return fmt.Errorf("abdl: unknown request kind %d", r.Kind)
+	}
+	return nil
+}
+
+// String renders the request in the canonical ABDL text form accepted by
+// Parse.
+func (r *Request) String() string {
+	var b strings.Builder
+	b.WriteString(r.Kind.String())
+	b.WriteByte(' ')
+	switch r.Kind {
+	case Insert:
+		b.WriteString(r.Record.String())
+	case Delete:
+		b.WriteString(r.Query.String())
+	case Update:
+		b.WriteString(r.Query.String())
+		for _, m := range r.Mods {
+			b.WriteByte(' ')
+			b.WriteString(m.String())
+		}
+	case Retrieve, RetrieveCommon:
+		b.WriteString(r.Query.String())
+		b.WriteString(" (")
+		for i, t := range r.Target {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte(')')
+		if r.Kind == RetrieveCommon {
+			b.WriteString(" COMMON ")
+			b.WriteString(r.Common)
+			b.WriteByte(' ')
+			b.WriteString(r.Query2.String())
+		}
+		if r.By != "" {
+			b.WriteString(" BY ")
+			b.WriteString(r.By)
+		}
+	}
+	return b.String()
+}
+
+// NewRetrieveCommon builds a RETRIEVE-COMMON request: it returns the target
+// projections of records matching q1 whose value for the common attribute
+// also occurs under that attribute in some record matching q2.
+func NewRetrieveCommon(q1 abdm.Query, common string, q2 abdm.Query, target ...string) *Request {
+	r := &Request{Kind: RetrieveCommon, Query: q1, Common: common, Query2: q2}
+	for _, a := range target {
+		r.Target = append(r.Target, TargetItem{Attr: a})
+	}
+	return r
+}
+
+// Transaction is a group of sequentially executed requests.
+type Transaction []*Request
+
+// String renders the transaction one request per line.
+func (t Transaction) String() string {
+	parts := make([]string, len(t))
+	for i, r := range t {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,68 @@
+package abdl
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/abdm"
+)
+
+func TestRequestValidate(t *testing.T) {
+	ok := []*Request{
+		NewInsert(abdm.NewRecord("f", abdm.Keyword{Attr: "a", Val: abdm.Int(1)})),
+		NewDelete(abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpEq, Val: abdm.Int(1)})),
+		NewUpdate(abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpEq, Val: abdm.Int(1)}),
+			Modifier{Attr: "a", Val: abdm.Int(2)}),
+		NewRetrieve(nil, AllAttrs),
+	}
+	for i, r := range ok {
+		if err := r.Validate(); err != nil {
+			t.Errorf("valid request %d rejected: %v", i, err)
+		}
+	}
+	bad := []*Request{
+		{Kind: Insert},
+		{Kind: Insert, Record: &abdm.Record{Keywords: []abdm.Keyword{{Attr: "a", Val: abdm.Int(1)}}}}, // no FILE
+		{Kind: Delete},
+		{Kind: Update, Query: abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpEq, Val: abdm.Int(1)})}, // no mods
+		{Kind: Retrieve},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("invalid request %d accepted", i)
+		}
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := NewRetrieve(
+		abdm.And(
+			abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("course")},
+			abdm.Predicate{Attr: "title", Op: abdm.OpEq, Val: abdm.String("Advanced Database")},
+		),
+		"title", "credits",
+	).WithBy("dept")
+	want := "RETRIEVE ((FILE = 'course') AND (title = 'Advanced Database')) (title, credits) BY dept"
+	if got := r.String(); got != want {
+		t.Errorf("String() =\n%q want\n%q", got, want)
+	}
+}
+
+func TestTargetItemString(t *testing.T) {
+	if got := (TargetItem{Attr: AllAttrs}).String(); got != "all attributes" {
+		t.Errorf("all-attrs String = %q", got)
+	}
+	if got := (TargetItem{Agg: AggCount, Attr: "title"}).String(); got != "COUNT(title)" {
+		t.Errorf("agg String = %q", got)
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tx := Transaction{
+		NewDelete(abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpEq, Val: abdm.Int(1)})),
+		NewRetrieve(nil, AllAttrs),
+	}
+	if got := tx.String(); !strings.Contains(got, "\n") {
+		t.Errorf("transaction should be newline separated: %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+package abdm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a relational operator of a keyword predicate.
+type Op byte
+
+// Relational operators.
+const (
+	OpEq Op = iota // =
+	OpNe           // !=
+	OpLt           // <
+	OpLe           // <=
+	OpGt           // >
+	OpGe           // >=
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">="}
+
+// String returns the operator's ABDL spelling.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// ParseOp recognises an operator spelling.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	}
+	return 0, fmt.Errorf("abdm: unknown relational operator %q", s)
+}
+
+// Holds applies the operator to a comparison result.
+func (o Op) Holds(cmp int) bool {
+	switch o {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Predicate is a keyword predicate (attribute, relational operator,
+// attribute-value). A record satisfies the predicate when it carries a
+// keyword for the attribute whose value stands in the stated relation to the
+// predicate's value.
+type Predicate struct {
+	Attr string
+	Op   Op
+	Val  Value
+}
+
+// Matches reports whether the record satisfies the predicate. A record with
+// no keyword for the attribute does not satisfy it; values of incomparable
+// kinds satisfy only != .
+func (p Predicate) Matches(r *Record) bool {
+	v, ok := r.Get(p.Attr)
+	if !ok {
+		return false
+	}
+	cmp, err := v.Compare(p.Val)
+	if err != nil {
+		return p.Op == OpNe
+	}
+	return p.Op.Holds(cmp)
+}
+
+// String renders the predicate as (attr op value).
+func (p Predicate) String() string {
+	return "(" + p.Attr + " " + p.Op.String() + " " + p.Val.String() + ")"
+}
+
+// Conjunction is a set of predicates that must all hold.
+type Conjunction []Predicate
+
+// Matches reports whether every predicate holds for the record. The empty
+// conjunction matches every record.
+func (c Conjunction) Matches(r *Record) bool {
+	for _, p := range c {
+		if !p.Matches(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// File returns the value of the conjunction's FILE equality predicate, if it
+// has one. Request routing uses this to confine execution to one file.
+func (c Conjunction) File() (string, bool) {
+	for _, p := range c {
+		if p.Attr == FileAttr && p.Op == OpEq && p.Val.Kind() == KindString {
+			return p.Val.AsString(), true
+		}
+	}
+	return "", false
+}
+
+// String renders the conjunction with AND separators.
+func (c Conjunction) String() string {
+	parts := make([]string, len(c))
+	for i, p := range c {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Query is a disjunctive-normal-form combination of keyword predicates: a
+// record satisfies the query when it satisfies at least one conjunction.
+type Query []Conjunction
+
+// And builds a single-conjunction query from predicates.
+func And(ps ...Predicate) Query { return Query{Conjunction(ps)} }
+
+// Matches reports whether the record satisfies the query. The empty query
+// matches every record (an unqualified request addresses the whole store).
+func (q Query) Matches(r *Record) bool {
+	if len(q) == 0 {
+		return true
+	}
+	for _, c := range q {
+		if c.Matches(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Files returns the set of files named by FILE equality predicates when
+// every conjunction names one; ok is false if any conjunction lacks a file
+// restriction (the query may then touch any file).
+func (q Query) Files() (files []string, ok bool) {
+	seen := make(map[string]bool)
+	for _, c := range q {
+		f, has := c.File()
+		if !has {
+			return nil, false
+		}
+		if !seen[f] {
+			seen[f] = true
+			files = append(files, f)
+		}
+	}
+	return files, true
+}
+
+// String renders the query with OR separators between parenthesised
+// conjunctions; the whole disjunction is wrapped in one outer pair of
+// parentheses so the text reparses as a single query.
+func (q Query) String() string {
+	if len(q) == 0 {
+		return "()"
+	}
+	if len(q) == 1 {
+		return "(" + q[0].String() + ")"
+	}
+	parts := make([]string, len(q))
+	for i, c := range q {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return "(" + strings.Join(parts, " OR ") + ")"
+}

@@ -1,0 +1,179 @@
+package abdm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpHolds(t *testing.T) {
+	cases := []struct {
+		op   Op
+		cmp  int
+		want bool
+	}{
+		{OpEq, 0, true}, {OpEq, 1, false},
+		{OpNe, 0, false}, {OpNe, -1, true},
+		{OpLt, -1, true}, {OpLt, 0, false},
+		{OpLe, 0, true}, {OpLe, 1, false},
+		{OpGt, 1, true}, {OpGt, 0, false},
+		{OpGe, 0, true}, {OpGe, -1, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.cmp); got != c.want {
+			t.Errorf("%v.Holds(%d) = %v, want %v", c.op, c.cmp, got, c.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for spell, want := range map[string]Op{
+		"=": OpEq, "==": OpEq, "!=": OpNe, "<>": OpNe,
+		"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	} {
+		got, err := ParseOp(spell)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v,%v want %v", spell, got, err, want)
+		}
+	}
+	if _, err := ParseOp("~"); err == nil {
+		t.Error("ParseOp should reject unknown operator")
+	}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	r := sampleRecord()
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{"title", OpEq, String("Advanced Database")}, true},
+		{Predicate{"title", OpEq, String("Intro")}, false},
+		{Predicate{"credits", OpGe, Int(4)}, true},
+		{Predicate{"credits", OpGt, Int(4)}, false},
+		{Predicate{"rating", OpLt, Float(5)}, true},
+		{Predicate{"missing", OpEq, Int(1)}, false},     // absent attribute
+		{Predicate{"credits", OpNe, String("x")}, true}, // incomparable kinds satisfy only !=
+		{Predicate{"credits", OpEq, String("x")}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(r); got != c.want {
+			t.Errorf("%v.Matches = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPredicateNull(t *testing.T) {
+	r := NewRecord("f", Keyword{"a", Null()})
+	if !(Predicate{"a", OpEq, Null()}).Matches(r) {
+		t.Error("NULL = NULL should match")
+	}
+	if (Predicate{"a", OpEq, Int(0)}).Matches(r) {
+		t.Error("NULL should not equal 0")
+	}
+}
+
+func TestConjunctionMatches(t *testing.T) {
+	r := sampleRecord()
+	c := Conjunction{
+		{FileAttr, OpEq, String("course")},
+		{"credits", OpEq, Int(4)},
+	}
+	if !c.Matches(r) {
+		t.Error("conjunction should match")
+	}
+	c = append(c, Predicate{"title", OpEq, String("nope")})
+	if c.Matches(r) {
+		t.Error("conjunction with false predicate matched")
+	}
+	if !(Conjunction{}).Matches(r) {
+		t.Error("empty conjunction should match everything")
+	}
+}
+
+func TestConjunctionFile(t *testing.T) {
+	c := Conjunction{{FileAttr, OpEq, String("course")}, {"x", OpEq, Int(1)}}
+	f, ok := c.File()
+	if !ok || f != "course" {
+		t.Errorf("File() = %q,%v", f, ok)
+	}
+	if _, ok := (Conjunction{{"x", OpEq, Int(1)}}).File(); ok {
+		t.Error("File() should be false without FILE predicate")
+	}
+}
+
+func TestQueryDNF(t *testing.T) {
+	r := sampleRecord()
+	q := Query{
+		{{"title", OpEq, String("zzz")}}, // false
+		{{"credits", OpEq, Int(4)}},      // true
+	}
+	if !q.Matches(r) {
+		t.Error("DNF: one true conjunction should suffice")
+	}
+	q = Query{
+		{{"title", OpEq, String("zzz")}},
+		{{"credits", OpEq, Int(99)}},
+	}
+	if q.Matches(r) {
+		t.Error("DNF: all-false query matched")
+	}
+	if !(Query{}).Matches(r) {
+		t.Error("empty query should match everything")
+	}
+}
+
+func TestQueryFiles(t *testing.T) {
+	q := Query{
+		{{FileAttr, OpEq, String("a")}},
+		{{FileAttr, OpEq, String("b")}},
+		{{FileAttr, OpEq, String("a")}},
+	}
+	files, ok := q.Files()
+	if !ok || len(files) != 2 {
+		t.Fatalf("Files() = %v,%v", files, ok)
+	}
+	q = append(q, Conjunction{{"x", OpEq, Int(1)}})
+	if _, ok := q.Files(); ok {
+		t.Error("Files() should fail when a conjunction lacks FILE")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := And(
+		Predicate{FileAttr, OpEq, String("course")},
+		Predicate{"title", OpEq, String("DB")},
+	)
+	want := "((FILE = 'course') AND (title = 'DB'))"
+	if got := q.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: DNF semantics — a query matches iff some conjunction matches.
+func TestQueryDNFProperty(t *testing.T) {
+	f := func(a, b, v int64) bool {
+		r := NewRecord("f", Keyword{"x", Int(v)})
+		q := Query{
+			{{"x", OpEq, Int(a)}},
+			{{"x", OpEq, Int(b)}},
+		}
+		want := v == a || v == b
+		return q.Matches(r) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: predicate and its negation partition records with the attribute.
+func TestPredicateNegationProperty(t *testing.T) {
+	f := func(v, bound int64) bool {
+		r := NewRecord("f", Keyword{"x", Int(v)})
+		lt := Predicate{"x", OpLt, Int(bound)}.Matches(r)
+		ge := Predicate{"x", OpGe, Int(bound)}.Matches(r)
+		return lt != ge
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package abdm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecord() *Record {
+	return NewRecord("course",
+		Keyword{"title", String("Advanced Database")},
+		Keyword{"credits", Int(4)},
+		Keyword{"rating", Float(4.5)},
+	)
+}
+
+func TestNewRecordFileFirst(t *testing.T) {
+	r := sampleRecord()
+	if r.Keywords[0].Attr != FileAttr {
+		t.Fatalf("first keyword = %q, want FILE", r.Keywords[0].Attr)
+	}
+	if r.File() != "course" {
+		t.Errorf("File() = %q, want course", r.File())
+	}
+}
+
+func TestRecordGetSet(t *testing.T) {
+	r := sampleRecord()
+	v, ok := r.Get("credits")
+	if !ok || v.AsInt() != 4 {
+		t.Fatalf("Get(credits) = %v,%v", v, ok)
+	}
+	r.Set("credits", Int(3))
+	if v, _ := r.Get("credits"); v.AsInt() != 3 {
+		t.Error("Set did not replace")
+	}
+	if n := len(r.Keywords); n != 4 {
+		t.Errorf("Set duplicated keyword: %d keywords", n)
+	}
+	r.Set("dept", String("CS"))
+	if !r.Has("dept") {
+		t.Error("Set did not append new attribute")
+	}
+}
+
+func TestRecordAtMostOneKeywordPerAttr(t *testing.T) {
+	// NewRecord must collapse duplicate attributes passed by the caller.
+	r := NewRecord("f", Keyword{"a", Int(1)}, Keyword{"a", Int(2)})
+	if n := len(r.Keywords); n != 2 { // FILE + a
+		t.Fatalf("got %d keywords, want 2", n)
+	}
+	if v, _ := r.Get("a"); v.AsInt() != 2 {
+		t.Error("later duplicate should win")
+	}
+}
+
+func TestRecordDelete(t *testing.T) {
+	r := sampleRecord()
+	if !r.Delete("rating") {
+		t.Fatal("Delete returned false for present attr")
+	}
+	if r.Has("rating") {
+		t.Error("attribute still present after Delete")
+	}
+	if r.Delete("rating") {
+		t.Error("Delete returned true for absent attr")
+	}
+}
+
+func TestRecordCloneIndependence(t *testing.T) {
+	r := sampleRecord()
+	cp := r.Clone()
+	cp.Set("credits", Int(99))
+	if v, _ := r.Get("credits"); v.AsInt() != 4 {
+		t.Error("Clone shares storage with original")
+	}
+	if !r.Equal(r.Clone()) {
+		t.Error("Clone not Equal to original")
+	}
+}
+
+func TestRecordEqualOrderInsensitive(t *testing.T) {
+	a := &Record{Keywords: []Keyword{{"x", Int(1)}, {"y", Int(2)}}}
+	b := &Record{Keywords: []Keyword{{"y", Int(2)}, {"x", Int(1)}}}
+	if !a.Equal(b) {
+		t.Error("keyword order should not affect equality")
+	}
+	c := &Record{Keywords: []Keyword{{"x", Int(1)}, {"y", Int(3)}}}
+	if a.Equal(c) {
+		t.Error("differing values reported equal")
+	}
+}
+
+func TestRecordKeyCanonical(t *testing.T) {
+	a := &Record{Keywords: []Keyword{{"x", Int(1)}, {"y", Int(2)}}}
+	b := &Record{Keywords: []Keyword{{"y", Int(2)}, {"x", Int(1)}}}
+	if a.Key() != b.Key() {
+		t.Error("Key should be order-insensitive")
+	}
+	c := &Record{Keywords: []Keyword{{"x", Int(1)}}}
+	if a.Key() == c.Key() {
+		t.Error("distinct records share a Key")
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := NewRecord("course", Keyword{"title", String("DB")})
+	want := "(<FILE, 'course'>, <title, 'DB'>)"
+	if got := r.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: Set then Get returns what was set, for any attribute/value.
+func TestRecordSetGetProperty(t *testing.T) {
+	f := func(attr string, val int64) bool {
+		if attr == "" {
+			return true
+		}
+		r := NewRecord("f")
+		r.Set(attr, Int(val))
+		got, ok := r.Get(attr)
+		return ok && got.AsInt() == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal records have equal Keys.
+func TestRecordKeyEqualConsistency(t *testing.T) {
+	f := func(a, b int64, s string) bool {
+		r1 := NewRecord("f", Keyword{"a", Int(a)}, Keyword{"b", Int(b)}, Keyword{"s", String(s)})
+		r2 := r1.Clone()
+		return r1.Equal(r2) && r1.Key() == r2.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

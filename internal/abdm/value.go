@@ -1,0 +1,198 @@
+// Package abdm implements the attribute-based data model (ABDM), the kernel
+// data model of the Multi-Lingual Database System.
+//
+// ABDM represents every logical concept as a record: a set of attribute-value
+// pairs (keywords) plus an optional textual remainder. Records are grouped
+// into files, identified by the conventional FILE attribute. The model is
+// queried with keyword predicates combined in disjunctive normal form.
+package abdm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind byte
+
+// Value kinds. The single-letter values mirror the type flags used by the
+// MLDS data structures ('i', 'f', 's').
+const (
+	KindNull   Kind = 0
+	KindInt    Kind = 'i'
+	KindFloat  Kind = 'f'
+	KindString Kind = 's'
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Value is an immutable typed attribute value. The zero Value is NULL, which
+// is the state a keyword assumes after a DISCONNECT nulls it out.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String returns a string value.
+func String(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it is 0 unless Kind is KindInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the float payload. Integer values are widened so numeric
+// comparison code can treat both uniformly.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it is "" unless Kind is KindString.
+func (v Value) AsString() string { return v.s }
+
+// numeric reports whether the value is an int or a float.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders v against o. Integers and floats compare numerically with
+// each other; strings compare lexicographically; NULL compares equal only to
+// NULL and less than everything else. Comparing a string against a number is
+// an error: ABDM keyword predicates are only satisfied when the attribute
+// types agree.
+func (v Value) Compare(o Value) (int, error) {
+	switch {
+	case v.kind == KindNull || o.kind == KindNull:
+		if v.kind == o.kind {
+			return 0, nil
+		}
+		if v.kind == KindNull {
+			return -1, nil
+		}
+		return 1, nil
+	case v.numeric() && o.numeric():
+		a, b := v.AsFloat(), o.AsFloat()
+		// Preserve full precision for pure-integer comparison.
+		if v.kind == KindInt && o.kind == KindInt {
+			switch {
+			case v.i < o.i:
+				return -1, nil
+			case v.i > o.i:
+				return 1, nil
+			}
+			return 0, nil
+		}
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	case v.kind == KindString && o.kind == KindString:
+		return strings.Compare(v.s, o.s), nil
+	default:
+		return 0, fmt.Errorf("abdm: cannot compare %s with %s", v.kind, o.kind)
+	}
+}
+
+// Equal reports whether the two values compare equal. Values of incomparable
+// kinds are never equal.
+func (v Value) Equal(o Value) bool {
+	c, err := v.Compare(o)
+	return err == nil && c == 0
+}
+
+// String renders the value in ABDL literal syntax: integers and floats bare,
+// strings single-quoted with embedded quotes doubled, NULL as the literal
+// NULL.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return fmt.Sprintf("<bad value kind %d>", v.kind)
+	}
+}
+
+// ParseValue converts literal text into a Value of the requested kind.
+// String parsing does not interpret quotes; callers pass the bare text.
+func ParseValue(kind Kind, text string) (Value, error) {
+	switch kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		n, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("abdm: bad integer literal %q", text)
+		}
+		return Int(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("abdm: bad float literal %q", text)
+		}
+		return Float(f), nil
+	case KindString:
+		return String(text), nil
+	default:
+		return Value{}, fmt.Errorf("abdm: unknown kind %q", kind)
+	}
+}
+
+// InferValue parses a literal the way the ABDL scanner does: quoted text is a
+// string, text with a decimal point or exponent is a float, digits are an
+// integer, the bare word NULL is null, and anything else is a string.
+func InferValue(text string) Value {
+	t := strings.TrimSpace(text)
+	if t == "NULL" {
+		return Null()
+	}
+	if len(t) >= 2 && t[0] == '\'' && t[len(t)-1] == '\'' {
+		return String(strings.ReplaceAll(t[1:len(t)-1], "''", "'"))
+	}
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(n)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return Float(f)
+	}
+	return String(t)
+}

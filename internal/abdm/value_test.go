@@ -1,0 +1,185 @@
+package abdm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Int(42), KindInt},
+		{Float(3.5), KindFloat},
+		{String("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassifies")
+	}
+}
+
+func TestValueCompareNumeric(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Float(2.5), Int(2), 1},
+		{Float(2.5), Float(2.5), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareLargeInts(t *testing.T) {
+	// Integers that are adjacent but indistinguishable as float64 must still
+	// order correctly.
+	a, b := Int(math.MaxInt64-1), Int(math.MaxInt64)
+	if c, _ := a.Compare(b); c != -1 {
+		t.Errorf("large-int compare = %d, want -1", c)
+	}
+}
+
+func TestValueCompareStrings(t *testing.T) {
+	if c, _ := String("abc").Compare(String("abd")); c != -1 {
+		t.Error("string compare failed")
+	}
+	if !String("x").Equal(String("x")) {
+		t.Error("equal strings not Equal")
+	}
+}
+
+func TestValueCompareMismatch(t *testing.T) {
+	if _, err := String("1").Compare(Int(1)); err == nil {
+		t.Error("expected error comparing string with int")
+	}
+	if Int(1).Equal(String("1")) {
+		t.Error("cross-kind values must not be Equal")
+	}
+}
+
+func TestValueNullOrdering(t *testing.T) {
+	if c, _ := Null().Compare(Null()); c != 0 {
+		t.Error("NULL != NULL")
+	}
+	if c, _ := Null().Compare(Int(0)); c != -1 {
+		t.Error("NULL should sort below values")
+	}
+	if c, _ := Int(0).Compare(Null()); c != 1 {
+		t.Error("values should sort above NULL")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{String("Advanced Database"), "'Advanced Database'"},
+		{String("it's"), "'it''s'"},
+		{Null(), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(KindInt, " 42 ")
+	if err != nil || v.AsInt() != 42 {
+		t.Errorf("ParseValue int: %v %v", v, err)
+	}
+	v, err = ParseValue(KindFloat, "2.75")
+	if err != nil || v.AsFloat() != 2.75 {
+		t.Errorf("ParseValue float: %v %v", v, err)
+	}
+	v, err = ParseValue(KindString, "hello")
+	if err != nil || v.AsString() != "hello" {
+		t.Errorf("ParseValue string: %v %v", v, err)
+	}
+	if _, err = ParseValue(KindInt, "xyz"); err == nil {
+		t.Error("ParseValue should reject bad int")
+	}
+}
+
+func TestInferValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"'hi'", String("hi")},
+		{"'it''s'", String("it's")},
+		{"NULL", Null()},
+		{"word", String("word")},
+	}
+	for _, c := range cases {
+		got := InferValue(c.in)
+		if got.Kind() != c.want.Kind() || !got.Equal(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("InferValue(%q) = %v (%v), want %v", c.in, got, got.Kind(), c.want)
+		}
+	}
+}
+
+// Property: String() followed by InferValue round-trips ints and floats.
+func TestValueRoundTripProperty(t *testing.T) {
+	f := func(n int64) bool {
+		v := Int(n)
+		return InferValue(v.String()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool {
+		v := String(s)
+		return InferValue(v.String()).Equal(v)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric over ints and strings.
+func TestValueCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, _ := Int(a).Compare(Int(b))
+		y, _ := Int(b).Compare(Int(a))
+		return x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		x, _ := String(a).Compare(String(b))
+		y, _ := String(b).Compare(String(a))
+		return x == -y
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

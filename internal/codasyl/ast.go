@@ -1,0 +1,223 @@
+// Package codasyl implements the CODASYL-DML subset of the MLDS network
+// language interface: the FIND variants, GET, STORE, CONNECT, DISCONNECT,
+// MODIFY and ERASE statements, plus the host-language MOVE assignment and a
+// PERFORM UNTIL loop so the thesis's example transactions run as written.
+package codasyl
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/abdm"
+)
+
+// Stmt is one CODASYL-DML statement.
+type Stmt interface {
+	fmt.Stringer
+	stmt()
+}
+
+// FindKind distinguishes the FIND statement variants.
+type FindKind int
+
+// FIND variants.
+const (
+	FindAny           FindKind = iota // FIND ANY r USING i1,...,in IN r
+	FindCurrent                       // FIND CURRENT r WITHIN s
+	FindDuplicate                     // FIND DUPLICATE WITHIN s USING i1,... IN r
+	FindFirst                         // FIND FIRST r WITHIN s
+	FindLast                          // FIND LAST r WITHIN s
+	FindNext                          // FIND NEXT r WITHIN s
+	FindPrior                         // FIND PRIOR r WITHIN s
+	FindOwner                         // FIND OWNER WITHIN s
+	FindWithinCurrent                 // FIND r WITHIN s CURRENT USING i1,... IN r
+)
+
+var findNames = [...]string{
+	"ANY", "CURRENT", "DUPLICATE", "FIRST", "LAST", "NEXT", "PRIOR", "OWNER", "WITHIN CURRENT",
+}
+
+// String names the variant.
+func (k FindKind) String() string {
+	if int(k) < len(findNames) {
+		return findNames[k]
+	}
+	return fmt.Sprintf("find(%d)", int(k))
+}
+
+// Find is a FIND statement: it identifies a record and updates the currency
+// indicator table; it never transfers data to the user.
+type Find struct {
+	Kind   FindKind
+	Record string   // record type (empty for FIND OWNER)
+	Set    string   // set type (empty for FIND ANY)
+	Items  []string // USING items
+}
+
+func (*Find) stmt() {}
+
+// String renders the statement in DML syntax.
+func (f *Find) String() string {
+	switch f.Kind {
+	case FindAny:
+		if len(f.Items) == 0 {
+			return "FIND ANY " + f.Record
+		}
+		return fmt.Sprintf("FIND ANY %s USING %s IN %s", f.Record, strings.Join(f.Items, ", "), f.Record)
+	case FindCurrent:
+		return fmt.Sprintf("FIND CURRENT %s WITHIN %s", f.Record, f.Set)
+	case FindDuplicate:
+		return fmt.Sprintf("FIND DUPLICATE WITHIN %s USING %s IN %s", f.Set, strings.Join(f.Items, ", "), f.Record)
+	case FindOwner:
+		return fmt.Sprintf("FIND OWNER WITHIN %s", f.Set)
+	case FindWithinCurrent:
+		return fmt.Sprintf("FIND %s WITHIN %s CURRENT USING %s IN %s", f.Record, f.Set, strings.Join(f.Items, ", "), f.Record)
+	default:
+		return fmt.Sprintf("FIND %s %s WITHIN %s", f.Kind, f.Record, f.Set)
+	}
+}
+
+// Get is a GET statement: it moves a previously-found record (or selected
+// items of it) into the user work area.
+type Get struct {
+	Record string   // optional record type
+	Items  []string // optional item list (requires Record)
+}
+
+func (*Get) stmt() {}
+
+// String renders the statement.
+func (g *Get) String() string {
+	switch {
+	case len(g.Items) > 0:
+		return fmt.Sprintf("GET %s IN %s", strings.Join(g.Items, ", "), g.Record)
+	case g.Record != "":
+		return "GET " + g.Record
+	default:
+		return "GET"
+	}
+}
+
+// Store is a STORE statement: create a new record occurrence from the user
+// work area and make it the current of the run-unit.
+type Store struct {
+	Record string
+}
+
+func (*Store) stmt() {}
+
+// String renders the statement.
+func (s *Store) String() string { return "STORE " + s.Record }
+
+// Connect manually inserts the current of the run-unit into the current
+// occurrences of the named sets.
+type Connect struct {
+	Record string
+	Sets   []string
+}
+
+func (*Connect) stmt() {}
+
+// String renders the statement.
+func (c *Connect) String() string {
+	return fmt.Sprintf("CONNECT %s TO %s", c.Record, strings.Join(c.Sets, ", "))
+}
+
+// Disconnect detaches the current of the run-unit from the named sets; the
+// record remains in the database.
+type Disconnect struct {
+	Record string
+	Sets   []string
+}
+
+func (*Disconnect) stmt() {}
+
+// String renders the statement.
+func (d *Disconnect) String() string {
+	return fmt.Sprintf("DISCONNECT %s FROM %s", d.Record, strings.Join(d.Sets, ", "))
+}
+
+// Modify alters the current record of the run-unit: the whole record, or the
+// named items only.
+type Modify struct {
+	Record string
+	Items  []string // empty = whole record
+}
+
+func (*Modify) stmt() {}
+
+// String renders the statement.
+func (m *Modify) String() string {
+	if len(m.Items) > 0 {
+		return fmt.Sprintf("MODIFY %s IN %s", strings.Join(m.Items, ", "), m.Record)
+	}
+	return "MODIFY " + m.Record
+}
+
+// Erase deletes the current of the run-unit (or, with All, its whole
+// hierarchy — rejected by this implementation per Chapter VI.H.2).
+type Erase struct {
+	Record string
+	All    bool
+}
+
+func (*Erase) stmt() {}
+
+// String renders the statement.
+func (e *Erase) String() string {
+	if e.All {
+		return "ERASE ALL " + e.Record
+	}
+	return "ERASE " + e.Record
+}
+
+// Move is the host-language assignment initialising a user-work-area field:
+// MOVE literal TO item IN record.
+type Move struct {
+	Value  abdm.Value
+	Item   string
+	Record string
+}
+
+func (*Move) stmt() {}
+
+// String renders the statement.
+func (m *Move) String() string {
+	return fmt.Sprintf("MOVE %s TO %s IN %s", m.Value, m.Item, m.Record)
+}
+
+// Node is one element of a transaction script: a statement or a loop.
+type Node interface{ node() }
+
+// StmtNode wraps a statement.
+type StmtNode struct{ Stmt Stmt }
+
+func (StmtNode) node() {}
+
+// Loop is PERFORM UNTIL END-OF-SET ... END-PERFORM: the body repeats until a
+// FIND inside it runs off the end of its set (or fails to find a record).
+type Loop struct{ Body []Node }
+
+func (Loop) node() {}
+
+// Script is a parsed CODASYL-DML transaction.
+type Script []Node
+
+// Statements flattens the script, ignoring loop structure. Useful for
+// statement-level analysis.
+func (s Script) Statements() []Stmt {
+	var out []Stmt
+	var walk func(nodes []Node)
+	walk = func(nodes []Node) {
+		for _, n := range nodes {
+			switch v := n.(type) {
+			case StmtNode:
+				out = append(out, v.Stmt)
+			case Loop:
+				walk(v.Body)
+			}
+		}
+	}
+	walk(s)
+	return out
+}

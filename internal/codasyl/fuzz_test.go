@@ -1,0 +1,50 @@
+package codasyl
+
+import "testing"
+
+// FuzzParseStmt: the DML statement parser must never panic; accepted
+// statements must round-trip through their String form.
+func FuzzParseStmt(f *testing.F) {
+	for _, seed := range []string{
+		"FIND ANY course USING title, semester IN course",
+		"FIND ANY course",
+		"FIND CURRENT student WITHIN person_student",
+		"FIND DUPLICATE WITHIN s USING a IN r",
+		"FIND FIRST a WITHIN b",
+		"FIND OWNER WITHIN s",
+		"FIND r WITHIN s CURRENT USING a, b IN r",
+		"GET a, b IN r",
+		"STORE r",
+		"CONNECT r TO s1, s2",
+		"DISCONNECT r FROM s",
+		"MODIFY a IN r",
+		"ERASE ALL r",
+		"MOVE 'it''s' TO a IN r",
+		"MOVE -42 TO a IN r",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		st, err := ParseStmt(line)
+		if err != nil {
+			return
+		}
+		text := st.String()
+		again, err := ParseStmt(text)
+		if err != nil {
+			t.Fatalf("canonical text rejected: %q: %v", text, err)
+		}
+		if again.String() != text {
+			t.Fatalf("canonical text unstable: %q -> %q", text, again.String())
+		}
+	})
+}
+
+// FuzzParseScript: loop structure parsing must never panic.
+func FuzzParseScript(f *testing.F) {
+	f.Add("GET\nPERFORM UNTIL END-OF-SET\nGET\nEND-PERFORM\n")
+	f.Add("PERFORM UNTIL X\nPERFORM UNTIL Y\nGET\nEND-PERFORM\nEND-PERFORM")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseScript(src)
+	})
+}

@@ -1,0 +1,364 @@
+// Package core is the MLDS engine: the language interface layer (LIL), the
+// database catalog, and the user sessions that tie the kernel mapping,
+// kernel controller and kernel formatting subsystems together over the
+// Multi-Backend Database System.
+//
+// The catalog mirrors the dbid_node union of the thesis's shared data
+// structures: each database entry carries the model it was defined in. A
+// CODASYL-DML session may open either a network database (served natively)
+// or a functional database — in which case LIL invokes the schema
+// transformer and the session operates on the transformed schema, which is
+// the thesis's contribution.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/codasyl"
+	"mlds/internal/dapkms"
+	"mlds/internal/daplex"
+	"mlds/internal/funcmodel"
+	"mlds/internal/hiekms"
+	"mlds/internal/hiemodel"
+	"mlds/internal/kc"
+	"mlds/internal/kdb"
+	"mlds/internal/kms"
+	"mlds/internal/loader"
+	"mlds/internal/mbds"
+	"mlds/internal/netddl"
+	"mlds/internal/netmodel"
+	"mlds/internal/relkms"
+	"mlds/internal/relmodel"
+	"mlds/internal/sql"
+	"mlds/internal/xform"
+)
+
+// Model identifies the data model a database was defined in. The catalog
+// mirrors the full MLDS model set of Figure 1.2.
+type Model int
+
+// Database models.
+const (
+	NetworkModel Model = iota
+	FunctionalModel
+	HierarchicalModel
+	RelationalModel
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case NetworkModel:
+		return "network"
+	case FunctionalModel:
+		return "functional"
+	case HierarchicalModel:
+		return "hierarchical"
+	case RelationalModel:
+		return "relational"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Config configures the engine's kernel database systems.
+type Config struct {
+	Kernel mbds.Config // per-database kernel configuration
+}
+
+// DefaultConfig uses a 4-backend kernel per database.
+func DefaultConfig() Config {
+	return Config{Kernel: mbds.DefaultConfig(4)}
+}
+
+// System is one MLDS instance.
+type System struct {
+	cfg Config
+
+	mu  sync.Mutex
+	dbs map[string]*Database
+}
+
+// Database is one catalog entry: its defining model, schemas, kernel
+// database system and controller. A functional database additionally holds
+// its transformed network schema (built when it is created, so CODASYL-DML
+// sessions can open it immediately).
+type Database struct {
+	Name    string
+	Model   Model
+	Fun     *funcmodel.Schema // functional databases
+	Mapping *xform.Mapping    // functional databases: the schema transformation
+	Net     *netmodel.Schema  // network view (native or transformed)
+	Rel     *relmodel.Schema  // relational databases
+	Hie     *hiemodel.Schema  // hierarchical databases
+	AB      *xform.ABSchema   // kernel schema (network/functional databases)
+	Dir     *abdm.Directory   // kernel directory (all models)
+	Kernel  *mbds.System
+	Ctrl    *kc.Controller
+}
+
+// NewSystem builds an empty MLDS instance.
+func NewSystem(cfg Config) *System {
+	if cfg.Kernel.Backends == 0 {
+		cfg = DefaultConfig()
+	}
+	return &System{cfg: cfg, dbs: make(map[string]*Database)}
+}
+
+// Close shuts down every database's kernel.
+func (s *System) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, db := range s.dbs {
+		db.Kernel.Close()
+	}
+	s.dbs = make(map[string]*Database)
+}
+
+// CreateFunctional defines a new functional database from Daplex DDL text.
+// The schema transformer runs immediately, so the database is accessible to
+// both the Daplex and the CODASYL-DML interfaces.
+func (s *System) CreateFunctional(name, ddl string) (*Database, error) {
+	fun, err := daplex.ParseSchema(ddl)
+	if err != nil {
+		return nil, err
+	}
+	m, err := xform.FunToNet(fun)
+	if err != nil {
+		return nil, err
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		return nil, err
+	}
+	return s.register(&Database{
+		Name: name, Model: FunctionalModel,
+		Fun: fun, Mapping: m, Net: m.Net, AB: ab, Dir: ab.Dir,
+	})
+}
+
+// CreateNetwork defines a new network database from CODASYL DDL text.
+func (s *System) CreateNetwork(name, ddl string) (*Database, error) {
+	net, err := netddl.Parse(ddl)
+	if err != nil {
+		return nil, err
+	}
+	ab, err := xform.DeriveABNative(net)
+	if err != nil {
+		return nil, err
+	}
+	return s.register(&Database{
+		Name: name, Model: NetworkModel,
+		Net: net, AB: ab, Dir: ab.Dir,
+	})
+}
+
+// CreateHierarchical defines a new hierarchical database from DBD text,
+// served by the DL/I language interface.
+func (s *System) CreateHierarchical(name, dbd string) (*Database, error) {
+	hie, err := hiemodel.Parse(dbd)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := hiekms.DeriveAB(hie)
+	if err != nil {
+		return nil, err
+	}
+	return s.register(&Database{
+		Name: name, Model: HierarchicalModel,
+		Hie: hie, Dir: dir,
+	})
+}
+
+// CreateRelational defines a new relational database from SQL CREATE TABLE
+// text, served by the SQL language interface.
+func (s *System) CreateRelational(name, ddl string) (*Database, error) {
+	rel, err := sql.ParseDDL(name, ddl)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := relkms.DeriveAB(rel)
+	if err != nil {
+		return nil, err
+	}
+	return s.register(&Database{
+		Name: name, Model: RelationalModel,
+		Rel: rel, Dir: dir,
+	})
+}
+
+func (s *System) register(db *Database) (*Database, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.dbs[db.Name]; dup {
+		return nil, fmt.Errorf("core: database %q already exists", db.Name)
+	}
+	kernel, err := mbds.New(db.Dir, s.cfg.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	db.Kernel = kernel
+	db.Ctrl = kc.New(kernel)
+	s.dbs[db.Name] = db
+	return db, nil
+}
+
+// Database looks a database up by name — the LIL flow: the network schemas
+// are searched first, then the functional schemas.
+func (s *System) Database(name string) (*Database, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.dbs[name]
+	return db, ok
+}
+
+// Databases lists catalog entries (name → model).
+func (s *System) Databases() map[string]Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Model, len(s.dbs))
+	for n, db := range s.dbs {
+		out[n] = db.Model
+	}
+	return out
+}
+
+// LoadInstance bulk-loads a functional database instance built with the
+// loader, seeding the key allocator past the loaded keys.
+func (db *Database) LoadInstance(inst *loader.Instance) (int, error) {
+	tx, err := inst.Requests()
+	if err != nil {
+		return 0, err
+	}
+	for i, req := range tx {
+		if _, err := db.Kernel.Exec(req); err != nil {
+			return i, fmt.Errorf("core: loading record %d: %w", i, err)
+		}
+	}
+	db.Ctrl.SeedKeys(inst.MaxKey())
+	return len(tx), nil
+}
+
+// ExecABDL gives direct kernel access: the attribute-based language
+// interface of MLDS. The text is one ABDL request.
+func (db *Database) ExecABDL(text string) (*kdb.Result, error) {
+	req, err := abdl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.Ctrl.Exec(req)
+}
+
+// DMLSession is a CODASYL-DML user session. It serves network databases
+// natively and functional databases through their transformed schemas.
+type DMLSession struct {
+	DB *Database
+	Tr *kms.Translator
+}
+
+// OpenDML opens a CODASYL-DML session on the named database.
+func (s *System) OpenDML(dbname string) (*DMLSession, error) {
+	db, ok := s.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("core: no database named %q", dbname)
+	}
+	switch db.Model {
+	case NetworkModel:
+		return &DMLSession{DB: db, Tr: kms.NewNetwork(db.Net, db.AB, db.Ctrl)}, nil
+	case FunctionalModel:
+		return &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl)}, nil
+	default:
+		return nil, fmt.Errorf("core: the CODASYL-DML interface cannot serve a %s database", db.Model)
+	}
+}
+
+// Execute parses and runs one DML statement.
+func (sess *DMLSession) Execute(stmtText string) (*kms.Outcome, error) {
+	st, err := codasyl.ParseStmt(stmtText)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Tr.Exec(st)
+}
+
+// RunScript parses and runs a transaction script (statements plus PERFORM
+// loops), returning the outcome of every executed statement.
+func (sess *DMLSession) RunScript(text string) ([]*kms.Outcome, error) {
+	script, err := codasyl.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Tr.ExecScript(script)
+}
+
+// DaplexSession is a Daplex user session on a functional database.
+type DaplexSession struct {
+	DB *Database
+	If *dapkms.Interface
+}
+
+// OpenDaplex opens a Daplex session on the named functional database.
+func (s *System) OpenDaplex(dbname string) (*DaplexSession, error) {
+	db, ok := s.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("core: no database named %q", dbname)
+	}
+	if db.Model != FunctionalModel {
+		return nil, fmt.Errorf("core: the Daplex interface cannot serve a %s database", db.Model)
+	}
+	return &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl)}, nil
+}
+
+// Execute parses and runs one Daplex DML statement.
+func (sess *DaplexSession) Execute(text string) ([]dapkms.Row, error) {
+	return sess.If.ExecText(text)
+}
+
+// SQLSession is a SQL user session on a relational database.
+type SQLSession struct {
+	DB *Database
+	If *relkms.Interface
+}
+
+// OpenSQL opens a SQL session on the named relational database.
+func (s *System) OpenSQL(dbname string) (*SQLSession, error) {
+	db, ok := s.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("core: no database named %q", dbname)
+	}
+	if db.Model != RelationalModel {
+		return nil, fmt.Errorf("core: the SQL interface cannot serve a %s database", db.Model)
+	}
+	return &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl)}, nil
+}
+
+// Execute parses and runs one SQL statement.
+func (sess *SQLSession) Execute(text string) (*relkms.ResultSet, error) {
+	return sess.If.ExecText(text)
+}
+
+// DLISession is a DL/I user session on a hierarchical database.
+type DLISession struct {
+	DB *Database
+	If *hiekms.Interface
+}
+
+// OpenDLI opens a DL/I session on the named hierarchical database.
+func (s *System) OpenDLI(dbname string) (*DLISession, error) {
+	db, ok := s.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("core: no database named %q", dbname)
+	}
+	if db.Model != HierarchicalModel {
+		return nil, fmt.Errorf("core: the DL/I interface cannot serve a %s database", db.Model)
+	}
+	return &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl)}, nil
+}
+
+// Execute parses and runs one DL/I call.
+func (sess *DLISession) Execute(text string) (*hiekms.Outcome, error) {
+	return sess.If.ExecText(text)
+}

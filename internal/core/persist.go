@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mlds/internal/abdl"
+	"mlds/internal/currency"
+	"mlds/internal/daplex"
+	"mlds/internal/wire"
+)
+
+// databaseImage is the gob form of a saved database: the schema as DDL text
+// (regenerated, so the image is self-contained) plus every kernel record.
+type databaseImage struct {
+	Name    string
+	Model   int
+	DDL     string
+	Records []wire.Record
+}
+
+// Save writes the database — schema and contents — to w. The image can be
+// restored into any System, with any backend count; logical database keys
+// are attribute values, so they survive exactly.
+func (db *Database) Save(w io.Writer) error {
+	img := databaseImage{Name: db.Name, Model: int(db.Model)}
+	switch db.Model {
+	case FunctionalModel:
+		img.DDL = daplex.FormatSchema(db.Fun)
+	case NetworkModel:
+		img.DDL = db.Net.DDL()
+	case RelationalModel:
+		img.DDL = db.Rel.DDL()
+	case HierarchicalModel:
+		img.DDL = db.Hie.DBD()
+	default:
+		return fmt.Errorf("core: cannot save a %s database", db.Model)
+	}
+	for _, sr := range db.Kernel.Snapshot() {
+		img.Records = append(img.Records, wire.FromRecord(sr.Rec))
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Restore reads a database image saved by Save and registers it under its
+// original name.
+func (s *System) Restore(r io.Reader) (*Database, error) {
+	var img databaseImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding database image: %w", err)
+	}
+	var db *Database
+	var err error
+	switch Model(img.Model) {
+	case FunctionalModel:
+		db, err = s.CreateFunctional(img.Name, img.DDL)
+	case NetworkModel:
+		db, err = s.CreateNetwork(img.Name, img.DDL)
+	case RelationalModel:
+		db, err = s.CreateRelational(img.Name, img.DDL)
+	case HierarchicalModel:
+		db, err = s.CreateHierarchical(img.Name, img.DDL)
+	default:
+		return nil, fmt.Errorf("core: image has unsupported model %d", img.Model)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var maxKey currency.Key
+	for i, wr := range img.Records {
+		rec, err := wr.ToRecord()
+		if err != nil {
+			return nil, fmt.Errorf("core: record %d: %w", i, err)
+		}
+		if _, err := db.Kernel.Exec(abdl.NewInsert(rec)); err != nil {
+			return nil, fmt.Errorf("core: restoring record %d: %w", i, err)
+		}
+		var keyAttr string
+		switch {
+		case db.AB != nil:
+			keyAttr = db.AB.KeyOf(rec.File())
+		case db.Hie != nil:
+			keyAttr = rec.File() // segment keys are named after the segment
+		}
+		if keyAttr != "" {
+			if v, ok := rec.Get(keyAttr); ok && !v.IsNull() && v.AsInt() > maxKey {
+				maxKey = v.AsInt()
+			}
+		}
+	}
+	db.Ctrl.SeedKeys(maxKey)
+	return db, nil
+}

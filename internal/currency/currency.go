@@ -1,0 +1,286 @@
+// Package currency implements the run-time state of a CODASYL-DML session:
+// the Currency Indicator Table (CIT), the User Work Area (UWA), and the
+// result buffers (RB) that hold records returned by auxiliary retrieve
+// requests.
+//
+// A currency indicator is a database pointer identifying the current record
+// of the run-unit, the current record of each record type, and the current
+// record of each set type. FIND statements update the indicators; the other
+// DML statements operate on whatever is current.
+package currency
+
+import (
+	"fmt"
+	"sort"
+
+	"mlds/internal/abdm"
+)
+
+// Key is a logical database key: the unique key stored in a record's key
+// attribute of the kernel representation. Zero is "no key".
+type Key = int64
+
+// Current is the currency indicator for the run-unit or for one record
+// type: the record type plus the database key of the current record, or
+// invalid when the indicator is null.
+type Current struct {
+	Record string
+	Key    Key
+	Valid  bool
+}
+
+// SetCurrent is the currency indicator for one set type: the owner of the
+// current set occurrence and the current member position within it.
+type SetCurrent struct {
+	Set       string
+	OwnerRec  string // owner record type
+	OwnerKey  Key    // owner of the current set occurrence
+	MemberRec string // member record type
+	MemberKey Key    // current member record (0 = positioned before first)
+	Valid     bool
+}
+
+// Buffer is one result buffer: the records an auxiliary retrieve placed
+// there, with a cursor for FIRST/NEXT/PRIOR/LAST traversal.
+type Buffer struct {
+	Records []*abdm.Record
+	Pos     int // index of current record; -1 = before first
+}
+
+// NewBuffer builds a buffer positioned before its first record.
+func NewBuffer(recs []*abdm.Record) *Buffer { return &Buffer{Records: recs, Pos: -1} }
+
+// Len reports the number of buffered records.
+func (b *Buffer) Len() int { return len(b.Records) }
+
+// Current returns the record under the cursor.
+func (b *Buffer) Current() (*abdm.Record, bool) {
+	if b.Pos < 0 || b.Pos >= len(b.Records) {
+		return nil, false
+	}
+	return b.Records[b.Pos], true
+}
+
+// First positions at and returns the first record.
+func (b *Buffer) First() (*abdm.Record, bool) {
+	if len(b.Records) == 0 {
+		return nil, false
+	}
+	b.Pos = 0
+	return b.Records[0], true
+}
+
+// Last positions at and returns the last record.
+func (b *Buffer) Last() (*abdm.Record, bool) {
+	if len(b.Records) == 0 {
+		return nil, false
+	}
+	b.Pos = len(b.Records) - 1
+	return b.Records[b.Pos], true
+}
+
+// Next advances the cursor; it reports false at end-of-set without moving
+// past the end more than once.
+func (b *Buffer) Next() (*abdm.Record, bool) {
+	if b.Pos+1 >= len(b.Records) {
+		b.Pos = len(b.Records)
+		return nil, false
+	}
+	b.Pos++
+	return b.Records[b.Pos], true
+}
+
+// Prior steps the cursor back; it reports false before the first record.
+func (b *Buffer) Prior() (*abdm.Record, bool) {
+	if b.Pos-1 < 0 {
+		b.Pos = -1
+		return nil, false
+	}
+	b.Pos--
+	return b.Records[b.Pos], true
+}
+
+// SeekKey positions the cursor on the record whose attribute attr holds the
+// key, reporting whether one was found.
+func (b *Buffer) SeekKey(attr string, key Key) bool {
+	for i, r := range b.Records {
+		if v, ok := r.Get(attr); ok && v.Kind() == abdm.KindInt && v.AsInt() == key {
+			b.Pos = i
+			return true
+		}
+	}
+	return false
+}
+
+// CIT is the Currency Indicator Table of one run-unit.
+type CIT struct {
+	RunUnit Current
+	records map[string]Current
+	sets    map[string]SetCurrent
+	buffers map[string]*Buffer // per set type; "" holds the run-unit buffer
+}
+
+// NewCIT returns an empty table.
+func NewCIT() *CIT {
+	return &CIT{
+		records: make(map[string]Current),
+		sets:    make(map[string]SetCurrent),
+		buffers: make(map[string]*Buffer),
+	}
+}
+
+// SetRunUnit makes the record with the key the current of the run-unit and
+// the current of its record type.
+func (c *CIT) SetRunUnit(record string, key Key) {
+	cur := Current{Record: record, Key: key, Valid: true}
+	c.RunUnit = cur
+	c.records[record] = cur
+}
+
+// RecordCurrent returns the current of a record type.
+func (c *CIT) RecordCurrent(record string) (Current, bool) {
+	cur, ok := c.records[record]
+	return cur, ok && cur.Valid
+}
+
+// SetSetCurrent updates a set type's currency indicator.
+func (c *CIT) SetSetCurrent(sc SetCurrent) {
+	sc.Valid = true
+	c.sets[sc.Set] = sc
+}
+
+// SetCurrentOf returns a set type's currency indicator.
+func (c *CIT) SetCurrentOf(set string) (SetCurrent, bool) {
+	sc, ok := c.sets[set]
+	return sc, ok && sc.Valid
+}
+
+// InvalidateKey nulls every indicator that points at the key (after ERASE).
+func (c *CIT) InvalidateKey(key Key) {
+	if c.RunUnit.Valid && c.RunUnit.Key == key {
+		c.RunUnit.Valid = false
+	}
+	for r, cur := range c.records {
+		if cur.Valid && cur.Key == key {
+			cur.Valid = false
+			c.records[r] = cur
+		}
+	}
+	for s, sc := range c.sets {
+		if sc.Valid && (sc.OwnerKey == key || sc.MemberKey == key) {
+			sc.Valid = false
+			c.sets[s] = sc
+		}
+	}
+}
+
+// InvalidateCurrent nulls the indicators that point at the record of the
+// given type with the key (after an ERASE of that record). Indicators for
+// other record types sharing the key — ISA supertypes of a deleted subtype —
+// stay valid.
+func (c *CIT) InvalidateCurrent(record string, key Key) {
+	if c.RunUnit.Valid && c.RunUnit.Record == record && c.RunUnit.Key == key {
+		c.RunUnit.Valid = false
+	}
+	if cur, ok := c.records[record]; ok && cur.Valid && cur.Key == key {
+		cur.Valid = false
+		c.records[record] = cur
+	}
+	for s, sc := range c.sets {
+		if sc.Valid && ((sc.OwnerRec == record && sc.OwnerKey == key) ||
+			(sc.MemberRec == record && sc.MemberKey == key)) {
+			sc.Valid = false
+			c.sets[s] = sc
+		}
+	}
+}
+
+// PutBuffer stores the result buffer for a set type ("" = run-unit buffer).
+func (c *CIT) PutBuffer(set string, b *Buffer) { c.buffers[set] = b }
+
+// BufferOf returns the result buffer of a set type.
+func (c *CIT) BufferOf(set string) (*Buffer, bool) {
+	b, ok := c.buffers[set]
+	return b, ok
+}
+
+// String renders the table for diagnostics, sorted for stability.
+func (c *CIT) String() string {
+	out := "CIT{"
+	if c.RunUnit.Valid {
+		out += fmt.Sprintf("run-unit=%s#%d", c.RunUnit.Record, c.RunUnit.Key)
+	} else {
+		out += "run-unit=null"
+	}
+	var names []string
+	for r := range c.records {
+		names = append(names, r)
+	}
+	sort.Strings(names)
+	for _, r := range names {
+		if cur := c.records[r]; cur.Valid {
+			out += fmt.Sprintf(" %s#%d", r, cur.Key)
+		}
+	}
+	names = names[:0]
+	for s := range c.sets {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		if sc := c.sets[s]; sc.Valid {
+			out += fmt.Sprintf(" set:%s(owner=%d,member=%d)", s, sc.OwnerKey, sc.MemberKey)
+		}
+	}
+	return out + "}"
+}
+
+// WorkArea is the User Work Area: one record template per record type,
+// holding the field values MOVE statements assign and GET statements return.
+type WorkArea struct {
+	templates map[string]map[string]abdm.Value
+}
+
+// NewWorkArea returns an empty UWA.
+func NewWorkArea() *WorkArea {
+	return &WorkArea{templates: make(map[string]map[string]abdm.Value)}
+}
+
+// Set assigns record.item = value.
+func (w *WorkArea) Set(record, item string, v abdm.Value) {
+	t := w.templates[record]
+	if t == nil {
+		t = make(map[string]abdm.Value)
+		w.templates[record] = t
+	}
+	t[item] = v
+}
+
+// Get returns record.item.
+func (w *WorkArea) Get(record, item string) (abdm.Value, bool) {
+	v, ok := w.templates[record][item]
+	return v, ok
+}
+
+// Template returns a copy of a record type's template.
+func (w *WorkArea) Template(record string) map[string]abdm.Value {
+	out := make(map[string]abdm.Value, len(w.templates[record]))
+	for k, v := range w.templates[record] {
+		out[k] = v
+	}
+	return out
+}
+
+// LoadRecord copies a kernel record's keywords into the record type's
+// template (what GET does).
+func (w *WorkArea) LoadRecord(record string, rec *abdm.Record) {
+	for _, kw := range rec.Keywords {
+		if kw.Attr == abdm.FileAttr {
+			continue
+		}
+		w.Set(record, kw.Attr, kw.Val)
+	}
+}
+
+// Clear empties a record type's template.
+func (w *WorkArea) Clear(record string) { delete(w.templates, record) }

@@ -1,0 +1,204 @@
+package currency
+
+import (
+	"testing"
+
+	"mlds/internal/abdm"
+)
+
+func rec(key int64) *abdm.Record {
+	return abdm.NewRecord("f", abdm.Keyword{Attr: "k", Val: abdm.Int(key)})
+}
+
+func TestBufferTraversal(t *testing.T) {
+	b := NewBuffer([]*abdm.Record{rec(1), rec(2), rec(3)})
+	if _, ok := b.Current(); ok {
+		t.Error("fresh buffer should have no current")
+	}
+	r, ok := b.First()
+	if !ok || mustKey(t, r) != 1 {
+		t.Fatal("First failed")
+	}
+	if r, ok = b.Next(); !ok || mustKey(t, r) != 2 {
+		t.Fatal("Next failed")
+	}
+	if r, ok = b.Last(); !ok || mustKey(t, r) != 3 {
+		t.Fatal("Last failed")
+	}
+	if _, ok = b.Next(); ok {
+		t.Error("Next past end should fail")
+	}
+	// After end-of-set, Prior returns the last record again.
+	if r, ok = b.Prior(); !ok || mustKey(t, r) != 3 {
+		t.Errorf("Prior after end = %v,%v", r, ok)
+	}
+	if r, ok = b.Prior(); !ok || mustKey(t, r) != 2 {
+		t.Fatal("Prior failed")
+	}
+	b.First()
+	if _, ok = b.Prior(); ok {
+		t.Error("Prior before first should fail")
+	}
+}
+
+func mustKey(t *testing.T, r *abdm.Record) int64 {
+	t.Helper()
+	v, ok := r.Get("k")
+	if !ok {
+		t.Fatal("record lacks key")
+	}
+	return v.AsInt()
+}
+
+func TestBufferEmpty(t *testing.T) {
+	b := NewBuffer(nil)
+	if _, ok := b.First(); ok {
+		t.Error("First on empty buffer")
+	}
+	if _, ok := b.Last(); ok {
+		t.Error("Last on empty buffer")
+	}
+	if _, ok := b.Next(); ok {
+		t.Error("Next on empty buffer")
+	}
+}
+
+func TestBufferSeekKey(t *testing.T) {
+	b := NewBuffer([]*abdm.Record{rec(10), rec(20), rec(30)})
+	if !b.SeekKey("k", 20) {
+		t.Fatal("SeekKey missed")
+	}
+	if r, _ := b.Current(); mustKey(t, r) != 20 {
+		t.Error("cursor not positioned")
+	}
+	if b.SeekKey("k", 99) {
+		t.Error("SeekKey found a phantom")
+	}
+}
+
+func TestCITRunUnit(t *testing.T) {
+	c := NewCIT()
+	if c.RunUnit.Valid {
+		t.Error("fresh CIT has a run-unit current")
+	}
+	c.SetRunUnit("student", 17)
+	if !c.RunUnit.Valid || c.RunUnit.Record != "student" || c.RunUnit.Key != 17 {
+		t.Fatalf("run-unit = %+v", c.RunUnit)
+	}
+	// Setting the run-unit also updates the record type's current.
+	cur, ok := c.RecordCurrent("student")
+	if !ok || cur.Key != 17 {
+		t.Errorf("record current = %+v,%v", cur, ok)
+	}
+}
+
+func TestCITSetCurrents(t *testing.T) {
+	c := NewCIT()
+	c.SetSetCurrent(SetCurrent{Set: "advisor", OwnerRec: "faculty", OwnerKey: 3, MemberRec: "student", MemberKey: 17})
+	sc, ok := c.SetCurrentOf("advisor")
+	if !ok || sc.OwnerKey != 3 || sc.MemberKey != 17 {
+		t.Fatalf("set current = %+v,%v", sc, ok)
+	}
+	if _, ok := c.SetCurrentOf("nosuch"); ok {
+		t.Error("phantom set current")
+	}
+}
+
+func TestCITInvalidateKey(t *testing.T) {
+	c := NewCIT()
+	c.SetRunUnit("student", 17)
+	c.SetSetCurrent(SetCurrent{Set: "advisor", OwnerKey: 3, MemberKey: 17})
+	c.SetSetCurrent(SetCurrent{Set: "dept", OwnerKey: 5, MemberKey: 6})
+	c.InvalidateKey(17)
+	if c.RunUnit.Valid {
+		t.Error("run-unit still valid after InvalidateKey")
+	}
+	if _, ok := c.RecordCurrent("student"); ok {
+		t.Error("record current still valid")
+	}
+	if _, ok := c.SetCurrentOf("advisor"); ok {
+		t.Error("set current still valid")
+	}
+	if _, ok := c.SetCurrentOf("dept"); !ok {
+		t.Error("unrelated set current wrongly invalidated")
+	}
+}
+
+func TestCITBuffers(t *testing.T) {
+	c := NewCIT()
+	b := NewBuffer([]*abdm.Record{rec(1)})
+	c.PutBuffer("advisor", b)
+	got, ok := c.BufferOf("advisor")
+	if !ok || got != b {
+		t.Error("buffer lost")
+	}
+	if _, ok := c.BufferOf("other"); ok {
+		t.Error("phantom buffer")
+	}
+}
+
+func TestCITString(t *testing.T) {
+	c := NewCIT()
+	if got := c.String(); got != "CIT{run-unit=null}" {
+		t.Errorf("empty CIT = %q", got)
+	}
+	c.SetRunUnit("student", 1)
+	c.SetSetCurrent(SetCurrent{Set: "advisor", OwnerKey: 2, MemberKey: 1})
+	s := c.String()
+	for _, want := range []string{"run-unit=student#1", "set:advisor(owner=2,member=1)"} {
+		if !contains(s, want) {
+			t.Errorf("CIT string missing %q: %s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestWorkArea(t *testing.T) {
+	w := NewWorkArea()
+	if _, ok := w.Get("course", "title"); ok {
+		t.Error("phantom UWA value")
+	}
+	w.Set("course", "title", abdm.String("Advanced Database"))
+	v, ok := w.Get("course", "title")
+	if !ok || v.AsString() != "Advanced Database" {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	tmpl := w.Template("course")
+	if len(tmpl) != 1 {
+		t.Errorf("template = %v", tmpl)
+	}
+	tmpl["title"] = abdm.String("mutated")
+	if v, _ := w.Get("course", "title"); v.AsString() != "Advanced Database" {
+		t.Error("Template must return a copy")
+	}
+	w.Clear("course")
+	if _, ok := w.Get("course", "title"); ok {
+		t.Error("Clear did not clear")
+	}
+}
+
+func TestWorkAreaLoadRecord(t *testing.T) {
+	w := NewWorkArea()
+	r := abdm.NewRecord("course",
+		abdm.Keyword{Attr: "title", Val: abdm.String("DB")},
+		abdm.Keyword{Attr: "credits", Val: abdm.Int(4)})
+	w.LoadRecord("course", r)
+	if v, _ := w.Get("course", "credits"); v.AsInt() != 4 {
+		t.Error("LoadRecord lost credits")
+	}
+	if _, ok := w.Get("course", abdm.FileAttr); ok {
+		t.Error("LoadRecord must skip the FILE keyword")
+	}
+}

@@ -1,0 +1,582 @@
+package daplex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlds/internal/funcmodel"
+)
+
+// ParseSchema parses a Daplex schema definition and returns the validated
+// functional schema. The grammar follows the thesis's declarations
+// (Figures 2.1, 5.2 and 5.4):
+//
+//	DATABASE university IS
+//
+//	TYPE name IS STRING(30);
+//	TYPE rank IS (instructor, assistant, associate, full);
+//	TYPE year IS INTEGER RANGE 1900..2100;
+//
+//	ENTITY person IS
+//	    pname : name;
+//	    ssn   : INTEGER;
+//	END ENTITY;
+//
+//	SUBTYPE student OF person IS
+//	    major       : STRING(20);
+//	    advisor     : faculty;           -- single-valued function
+//	    enrollments : SET OF course;     -- multi-valued function
+//	END SUBTYPE;
+//
+//	UNIQUE title, semester WITHIN course;
+//	OVERLAP student WITH faculty;
+//
+//	END DATABASE;
+//
+// The alternative spellings "TYPE x IS ENTITY ... END ENTITY" and
+// "TYPE y IS SUBTYPE OF a,b ... END SUBTYPE" are also accepted.
+func ParseSchema(src string) (*funcmodel.Schema, error) {
+	p := &ddlParser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s, err := p.parseDatabase()
+	if err != nil {
+		return nil, err
+	}
+	if err := resolveFunctionResults(s); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type ddlParser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *ddlParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *ddlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("daplex: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *ddlParser) expectWord(word string) error {
+	if !p.tok.is(word) {
+		return p.errf("expected %q, found %s", word, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *ddlParser) expectPunct(ch string) error {
+	if p.tok.kind != tPunct || p.tok.text != ch {
+		return p.errf("expected %q, found %s", ch, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *ddlParser) ident(what string) (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected %s, found %s", what, p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *ddlParser) parseDatabase() (*funcmodel.Schema, error) {
+	if err := p.expectWord("DATABASE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("database name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("IS"); err != nil {
+		return nil, err
+	}
+	s := &funcmodel.Schema{Name: name}
+	for {
+		switch {
+		case p.tok.is("END"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.is("DATABASE") || p.tok.is(name) {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind == tPunct && p.tok.text == ";" {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			if p.tok.kind != tEOF {
+				return nil, p.errf("trailing input after END DATABASE")
+			}
+			return s, nil
+		case p.tok.is("TYPE"):
+			if err := p.parseTypeDecl(s); err != nil {
+				return nil, err
+			}
+		case p.tok.is("ENTITY"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.parseEntityBody(s, ""); err != nil {
+				return nil, err
+			}
+		case p.tok.is("SUBTYPE"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.parseSubtypeBody(s, ""); err != nil {
+				return nil, err
+			}
+		case p.tok.is("UNIQUE"):
+			if err := p.parseUnique(s); err != nil {
+				return nil, err
+			}
+		case p.tok.is("OVERLAP"):
+			if err := p.parseOverlap(s); err != nil {
+				return nil, err
+			}
+		case p.tok.kind == tEOF:
+			return nil, p.errf("missing END DATABASE")
+		default:
+			return nil, p.errf("unexpected %s at top level", p.tok)
+		}
+	}
+}
+
+// parseTypeDecl handles TYPE name IS <non-entity | ENTITY... | SUBTYPE...>.
+func (p *ddlParser) parseTypeDecl(s *funcmodel.Schema) error {
+	if err := p.advance(); err != nil { // consume TYPE
+		return err
+	}
+	name, err := p.ident("type name")
+	if err != nil {
+		return err
+	}
+	if err := p.expectWord("IS"); err != nil {
+		return err
+	}
+	switch {
+	case p.tok.is("ENTITY"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.parseEntityFields(s, name)
+	case p.tok.is("SUBTYPE"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.parseSubtypeOf(s, name)
+	default:
+		ne, err := p.parseNonEntityType(name)
+		if err != nil {
+			return err
+		}
+		s.NonEntities = append(s.NonEntities, ne)
+		return p.expectPunct(";")
+	}
+}
+
+// parseNonEntityType parses the right-hand side of a non-entity TYPE
+// declaration: STRING(n), INTEGER, FLOAT, BOOLEAN, (enum, items),
+// INTEGER RANGE lo..hi, FLOAT RANGE lo..hi, CONSTANT n, or SUBTYPE/DERIVED
+// spellings over a named base.
+func (p *ddlParser) parseNonEntityType(name string) (*funcmodel.NonEntity, error) {
+	ne := &funcmodel.NonEntity{Name: name, Kind: funcmodel.NonEntityBase}
+	switch {
+	case p.tok.is("STRING"):
+		ne.Type = funcmodel.TypeString
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.optionalLength()
+		if err != nil {
+			return nil, err
+		}
+		ne.Length = n
+	case p.tok.is("INTEGER"), p.tok.is("FLOAT"):
+		if p.tok.is("INTEGER") {
+			ne.Type = funcmodel.TypeInt
+		} else {
+			ne.Type = funcmodel.TypeFloat
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.is("RANGE") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			lo, hi, err := p.parseRange()
+			if err != nil {
+				return nil, err
+			}
+			ne.HasRange, ne.Lo, ne.Hi = true, lo, hi
+		}
+	case p.tok.is("BOOLEAN"):
+		ne.Type = funcmodel.TypeBool
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.tok.is("CONSTANT"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tNumber {
+			return nil, p.errf("CONSTANT requires a numeric value")
+		}
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad constant %q", p.tok.text)
+		}
+		ne.Constant, ne.ConstVal = true, v
+		if strings.Contains(p.tok.text, ".") {
+			ne.Type = funcmodel.TypeFloat
+		} else {
+			ne.Type = funcmodel.TypeInt
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tPunct && p.tok.text == "(":
+		ne.Type = funcmodel.TypeEnum
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			lit, err := p.ident("enumeration literal")
+			if err != nil {
+				return nil, err
+			}
+			ne.Values = append(ne.Values, lit)
+			if len(lit) > ne.Length {
+				ne.Length = len(lit)
+			}
+			if p.tok.kind == tPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	case p.tok.kind == tIdent:
+		// Non-entity subtype over a named base: TYPE short_name IS name;
+		ne.Kind = funcmodel.NonEntitySub
+		ne.Base = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("cannot parse non-entity type after IS")
+	}
+	return ne, nil
+}
+
+func (p *ddlParser) optionalLength() (int, error) {
+	if p.tok.kind != tPunct || p.tok.text != "(" {
+		return 0, nil
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != tNumber {
+		return 0, p.errf("expected string length")
+	}
+	n, err := strconv.Atoi(p.tok.text)
+	if err != nil || n <= 0 {
+		return 0, p.errf("bad string length %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return n, p.expectPunct(")")
+}
+
+func (p *ddlParser) parseRange() (lo, hi float64, err error) {
+	parse := func() (float64, error) {
+		if p.tok.kind != tNumber {
+			return 0, p.errf("expected range bound")
+		}
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return 0, p.errf("bad range bound %q", p.tok.text)
+		}
+		return v, p.advance()
+	}
+	if lo, err = parse(); err != nil {
+		return
+	}
+	if err = p.expectPunct(".."); err != nil {
+		return
+	}
+	hi, err = parse()
+	if err == nil && hi < lo {
+		err = p.errf("range bounds reversed: %g..%g", lo, hi)
+	}
+	return
+}
+
+// parseEntityBody handles ENTITY name IS fields END ENTITY;.
+func (p *ddlParser) parseEntityBody(s *funcmodel.Schema, preName string) error {
+	name := preName
+	if name == "" {
+		n, err := p.ident("entity name")
+		if err != nil {
+			return err
+		}
+		name = n
+		if err := p.expectWord("IS"); err != nil {
+			return err
+		}
+	}
+	return p.parseEntityFields(s, name)
+}
+
+func (p *ddlParser) parseEntityFields(s *funcmodel.Schema, name string) error {
+	fns, err := p.parseFunctionList(name, "ENTITY")
+	if err != nil {
+		return err
+	}
+	s.Entities = append(s.Entities, &funcmodel.Entity{Name: name, Functions: fns})
+	return nil
+}
+
+// parseSubtypeBody handles SUBTYPE name OF sup1,sup2 IS fields END SUBTYPE;.
+func (p *ddlParser) parseSubtypeBody(s *funcmodel.Schema, preName string) error {
+	name := preName
+	if name == "" {
+		n, err := p.ident("subtype name")
+		if err != nil {
+			return err
+		}
+		name = n
+	}
+	return p.parseSubtypeOf(s, name)
+}
+
+func (p *ddlParser) parseSubtypeOf(s *funcmodel.Schema, name string) error {
+	if err := p.expectWord("OF"); err != nil {
+		return err
+	}
+	var sups []string
+	for {
+		sup, err := p.ident("supertype name")
+		if err != nil {
+			return err
+		}
+		sups = append(sups, sup)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("IS"); err != nil {
+		return err
+	}
+	fns, err := p.parseFunctionList(name, "SUBTYPE")
+	if err != nil {
+		return err
+	}
+	s.Subtypes = append(s.Subtypes, &funcmodel.Subtype{Name: name, Supertypes: sups, Functions: fns})
+	return nil
+}
+
+// parseFunctionList parses "name : type ; ... END <closer> ;".
+func (p *ddlParser) parseFunctionList(owner, closer string) ([]*funcmodel.Function, error) {
+	var fns []*funcmodel.Function
+	for {
+		if p.tok.is("END") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectWord(closer); err != nil {
+				return nil, err
+			}
+			return fns, p.expectPunct(";")
+		}
+		fname, err := p.ident("function name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		fn := &funcmodel.Function{Name: fname, Owner: owner}
+		if p.tok.is("SET") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expectWord("OF"); err != nil {
+				return nil, err
+			}
+			fn.SetValued = true
+		}
+		res, err := p.parseResultType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Result = res
+		fns = append(fns, fn)
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseResultType parses a function result: INTEGER, FLOAT, STRING(n),
+// BOOLEAN, or a name that resolves later to a non-entity type or an entity
+// type/subtype (forward references are allowed).
+func (p *ddlParser) parseResultType() (funcmodel.FuncResult, error) {
+	var r funcmodel.FuncResult
+	switch {
+	case p.tok.is("INTEGER"):
+		r.Scalar = funcmodel.TypeInt
+		return r, p.advance()
+	case p.tok.is("FLOAT"):
+		r.Scalar = funcmodel.TypeFloat
+		return r, p.advance()
+	case p.tok.is("BOOLEAN"):
+		r.Scalar = funcmodel.TypeBool
+		return r, p.advance()
+	case p.tok.is("STRING"):
+		if err := p.advance(); err != nil {
+			return r, err
+		}
+		n, err := p.optionalLength()
+		if err != nil {
+			return r, err
+		}
+		r.Scalar, r.Length = funcmodel.TypeString, n
+		return r, nil
+	case p.tok.kind == tIdent:
+		// Recorded as entity for now; resolveFunctionResults reclassifies
+		// names that turn out to be non-entity types.
+		r.Entity = p.tok.text
+		return r, p.advance()
+	default:
+		return r, p.errf("expected a result type, found %s", p.tok)
+	}
+}
+
+func (p *ddlParser) parseUnique(s *funcmodel.Schema) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	var fns []string
+	for {
+		f, err := p.ident("function name")
+		if err != nil {
+			return err
+		}
+		fns = append(fns, f)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("WITHIN"); err != nil {
+		return err
+	}
+	within, err := p.ident("type name")
+	if err != nil {
+		return err
+	}
+	s.Uniques = append(s.Uniques, funcmodel.Unique{Functions: fns, Within: within})
+	return p.expectPunct(";")
+}
+
+func (p *ddlParser) parseOverlap(s *funcmodel.Schema) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	parseList := func() ([]string, error) {
+		var out []string
+		for {
+			n, err := p.ident("subtype name")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+			if p.tok.kind == tPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return out, nil
+		}
+	}
+	left, err := parseList()
+	if err != nil {
+		return err
+	}
+	if err := p.expectWord("WITH"); err != nil {
+		return err
+	}
+	right, err := parseList()
+	if err != nil {
+		return err
+	}
+	s.Overlaps = append(s.Overlaps, funcmodel.Overlap{Left: left, Right: right})
+	return p.expectPunct(";")
+}
+
+// resolveFunctionResults reclassifies function results recorded as entity
+// names: a name matching a non-entity type becomes a typed scalar result.
+func resolveFunctionResults(s *funcmodel.Schema) error {
+	fix := func(fns []*funcmodel.Function) error {
+		for _, f := range fns {
+			if f.Result.Entity == "" {
+				continue
+			}
+			if ne, ok := s.NonEntity(f.Result.Entity); ok {
+				f.Result.NonEntity = ne.Name
+				f.Result.Entity = ""
+				f.Result.Scalar = ne.Type
+				f.Result.Length = ne.Length
+				continue
+			}
+			if !s.IsType(f.Result.Entity) {
+				return fmt.Errorf("daplex: function %q names unknown type %q", f.Name, f.Result.Entity)
+			}
+		}
+		return nil
+	}
+	for _, e := range s.Entities {
+		if err := fix(e.Functions); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Subtypes {
+		if err := fix(st.Functions); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package daplex
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/funcmodel"
+)
+
+const miniDDL = `
+-- a small test schema
+DATABASE mini IS
+
+TYPE short_name IS STRING(10);
+TYPE color IS (red, green, blue);
+TYPE year IS INTEGER RANGE 1900..2100;
+TYPE ratio IS FLOAT;
+TYPE max_load IS CONSTANT 21;
+
+ENTITY dept IS
+    dname : short_name;
+END ENTITY;
+
+TYPE person IS
+ENTITY
+    pname : STRING(30);
+    ssn   : INTEGER;
+END ENTITY;
+
+SUBTYPE worker OF person IS
+    pay  : INTEGER;
+    unit : dept;
+    tags : SET OF STRING(8);
+END SUBTYPE;
+
+TYPE boss IS SUBTYPE OF worker IS
+    reports : SET OF worker;
+END SUBTYPE;
+
+UNIQUE ssn WITHIN person;
+OVERLAP boss WITH boss;
+
+END DATABASE;
+`
+
+func TestParseSchemaMini(t *testing.T) {
+	s, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mini" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if len(s.NonEntities) != 5 {
+		t.Errorf("non-entities = %d, want 5", len(s.NonEntities))
+	}
+	if len(s.Entities) != 2 || len(s.Subtypes) != 2 {
+		t.Errorf("entities=%d subtypes=%d", len(s.Entities), len(s.Subtypes))
+	}
+	if len(s.Uniques) != 1 || len(s.Overlaps) != 1 {
+		t.Errorf("uniques=%d overlaps=%d", len(s.Uniques), len(s.Overlaps))
+	}
+}
+
+func TestParseNonEntityKinds(t *testing.T) {
+	s, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, _ := s.NonEntity("short_name")
+	if nm.Type != funcmodel.TypeString || nm.Length != 10 {
+		t.Errorf("short_name = %+v", nm)
+	}
+	col, _ := s.NonEntity("color")
+	if col.Type != funcmodel.TypeEnum || len(col.Values) != 3 || col.Length != len("green") {
+		t.Errorf("color = %+v", col)
+	}
+	yr, _ := s.NonEntity("year")
+	if yr.Type != funcmodel.TypeInt || !yr.HasRange || yr.Lo != 1900 || yr.Hi != 2100 {
+		t.Errorf("year = %+v", yr)
+	}
+	ml, _ := s.NonEntity("max_load")
+	if !ml.Constant || ml.ConstVal != 21 || ml.Type != funcmodel.TypeInt {
+		t.Errorf("max_load = %+v", ml)
+	}
+}
+
+func TestParseFunctionClassification(t *testing.T) {
+	s, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dname uses a named non-entity type.
+	f, ok := s.FindFunction("dept", "dname")
+	if !ok || f.Result.NonEntity != "short_name" || f.Result.Scalar != funcmodel.TypeString {
+		t.Errorf("dname = %+v", f)
+	}
+	// unit is a single-valued entity function.
+	f, ok = s.FindFunction("worker", "unit")
+	if !ok || f.Result.Entity != "dept" || f.SetValued {
+		t.Errorf("unit = %+v", f)
+	}
+	// tags is a scalar multi-valued function.
+	f, ok = s.FindFunction("worker", "tags")
+	if !ok || !f.SetValued || f.Result.IsEntity() || f.Result.Scalar != funcmodel.TypeString {
+		t.Errorf("tags = %+v", f)
+	}
+	// reports is a multi-valued entity function.
+	f, ok = s.FindFunction("boss", "reports")
+	if !ok || !f.SetValued || f.Result.Entity != "worker" {
+		t.Errorf("reports = %+v", f)
+	}
+}
+
+func TestParseSubtypeHierarchy(t *testing.T) {
+	s, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.Subtype("boss")
+	if !ok || len(b.Supertypes) != 1 || b.Supertypes[0] != "worker" {
+		t.Fatalf("boss = %+v", b)
+	}
+	chain := s.AncestorChain("boss")
+	if len(chain) != 2 || chain[0] != "worker" || chain[1] != "person" {
+		t.Errorf("ancestors of boss = %v", chain)
+	}
+	inh := s.InheritedFunctions("boss")
+	var names []string
+	for _, f := range inh {
+		names = append(names, f.Name)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"reports", "pay", "unit", "pname", "ssn"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("inherited functions missing %q: %v", want, names)
+		}
+	}
+	if !s.IsTerminal("boss") || s.IsTerminal("worker") || s.IsTerminal("person") {
+		t.Error("terminal flags wrong")
+	}
+}
+
+func TestParseUniqueMarksAttrLevel(t *testing.T) {
+	s, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Uniques[0].Within != "person" || s.Uniques[0].Functions[0] != "ssn" {
+		t.Errorf("unique = %+v", s.Uniques[0])
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+DATABASE fwd IS
+ENTITY a IS
+    link : b;
+END ENTITY;
+ENTITY b IS
+    back : a;
+END ENTITY;
+END DATABASE;
+`
+	s, err := ParseSchema(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := s.FindFunction("a", "link")
+	if f.Result.Entity != "b" {
+		t.Errorf("forward reference not resolved: %+v", f)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	bad := map[string]string{
+		"no database":       `ENTITY x IS END ENTITY;`,
+		"missing end":       `DATABASE d IS ENTITY x IS a : INTEGER;`,
+		"unknown type":      `DATABASE d IS ENTITY x IS a : nosuch; END ENTITY; END DATABASE;`,
+		"unknown supertype": `DATABASE d IS SUBTYPE s OF nothing IS END SUBTYPE; END DATABASE;`,
+		"unique unknown fn": `DATABASE d IS ENTITY x IS a : INTEGER; END ENTITY; UNIQUE b WITHIN x; END DATABASE;`,
+		"unique non scalar": `DATABASE d IS ENTITY x IS a : x; END ENTITY; UNIQUE a WITHIN x; END DATABASE;`,
+		"overlap non-sub":   `DATABASE d IS ENTITY x IS END ENTITY; OVERLAP x WITH x; END DATABASE;`,
+		"dup entity":        `DATABASE d IS ENTITY x IS END ENTITY; ENTITY x IS END ENTITY; END DATABASE;`,
+		"dup function":      `DATABASE d IS ENTITY x IS a : INTEGER; END ENTITY; ENTITY y IS a : INTEGER; END ENTITY; END DATABASE;`,
+		"reversed range":    `DATABASE d IS TYPE t IS INTEGER RANGE 9..1; END DATABASE;`,
+		"bad string length": `DATABASE d IS TYPE t IS STRING(0); END DATABASE;`,
+		"cycle":             `DATABASE d IS SUBTYPE a OF b IS END SUBTYPE; SUBTYPE b OF a IS END SUBTYPE; END DATABASE;`,
+		"trailing":          `DATABASE d IS END DATABASE; ENTITY x IS END ENTITY;`,
+	}
+	for name, src := range bad {
+		if _, err := ParseSchema(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseEmptyEntityAllowed(t *testing.T) {
+	s, err := ParseSchema(`DATABASE d IS ENTITY x IS END ENTITY; END DATABASE;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Entity("x"); !ok {
+		t.Error("entity missing")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "DATABASE d IS -- comment\nENTITY x IS -- another\n a : INTEGER; END ENTITY;\nEND DATABASE;"
+	if _, err := ParseSchema(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapAllowed(t *testing.T) {
+	s, err := ParseSchema(`
+DATABASE d IS
+ENTITY p IS END ENTITY;
+SUBTYPE a OF p IS END SUBTYPE;
+SUBTYPE b OF p IS END SUBTYPE;
+SUBTYPE c OF p IS END SUBTYPE;
+OVERLAP a WITH b;
+END DATABASE;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.OverlapAllowed("a", "b") || !s.OverlapAllowed("b", "a") {
+		t.Error("declared overlap not recognised")
+	}
+	if s.OverlapAllowed("a", "c") {
+		t.Error("undeclared overlap allowed")
+	}
+	if !s.OverlapAllowed("a", "a") {
+		t.Error("self overlap must be allowed")
+	}
+}

@@ -1,0 +1,375 @@
+package daplex
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlds/internal/abdm"
+)
+
+// The Daplex DML subset: enough of Shipman's language for the functional
+// language interface to query and update a functional database natively.
+//
+//	FOR EACH student WHERE major = 'Computer Science' AND gpa > 3.0
+//	    PRINT pname, major, gpa;
+//	CREATE student (pname := 'Zed', ssn := 123, major := 'CS');
+//	LET gpa OF student WHERE ssn = 123 BE 3.75;
+//	DESTROY student WHERE ssn = 123;
+
+// DMLStmt is one Daplex DML statement.
+type DMLStmt interface{ dmlStmt() }
+
+// CondOp is a comparison operator in a WHERE clause.
+type CondOp = abdm.Op
+
+// Cond is one WHERE condition: function op literal.
+type Cond struct {
+	Func string
+	Op   CondOp
+	Val  abdm.Value
+}
+
+// ForEach is the retrieval statement: iterate entities of a type, optionally
+// filtered, printing function values.
+type ForEach struct {
+	Type  string
+	Where []Cond
+	Print []string
+}
+
+func (*ForEach) dmlStmt() {}
+
+// Create makes a new entity of a type with the given function assignments.
+type Create struct {
+	Type    string
+	Assigns []Assign
+}
+
+func (*Create) dmlStmt() {}
+
+// Assign is one function := literal assignment.
+type Assign struct {
+	Func string
+	Val  abdm.Value
+}
+
+// Let updates a function value over the entities matching the WHERE clause.
+type Let struct {
+	Func  string
+	Type  string
+	Where []Cond
+	Val   abdm.Value
+}
+
+func (*Let) dmlStmt() {}
+
+// Destroy removes the entities of a type matching the WHERE clause, along
+// with their subtype hierarchy.
+type Destroy struct {
+	Type  string
+	Where []Cond
+}
+
+func (*Destroy) dmlStmt() {}
+
+// ParseDML parses one Daplex DML statement (a trailing semicolon is
+// optional).
+func ParseDML(src string) (DMLStmt, error) {
+	p := &dmlParser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	st, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tPunct && p.tok.text == ";" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tEOF {
+		return nil, fmt.Errorf("daplex: trailing input after statement: %s", p.tok)
+	}
+	return st, nil
+}
+
+type dmlParser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *dmlParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *dmlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("daplex: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *dmlParser) word(w string) error {
+	if !p.tok.is(w) {
+		return p.errf("expected %q, found %s", w, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *dmlParser) ident(what string) (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected %s, found %s", what, p.tok)
+	}
+	n := p.tok.text
+	return n, p.advance()
+}
+
+func (p *dmlParser) literal() (abdm.Value, error) {
+	switch p.tok.kind {
+	case tString:
+		v := abdm.String(p.tok.text)
+		return v, p.advance()
+	case tNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return abdm.Value{}, err
+		}
+		if strings.ContainsAny(text, ".eE") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return abdm.Value{}, p.errf("bad number %q", text)
+			}
+			return abdm.Float(f), nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return abdm.Value{}, p.errf("bad number %q", text)
+		}
+		return abdm.Int(n), nil
+	case tIdent:
+		if p.tok.is("NULL") {
+			return abdm.Null(), p.advance()
+		}
+		if p.tok.is("TRUE") || p.tok.is("FALSE") {
+			v := abdm.String(strings.ToLower(p.tok.text))
+			return v, p.advance()
+		}
+		// Bare word (e.g. an enumeration literal).
+		v := abdm.String(p.tok.text)
+		return v, p.advance()
+	default:
+		return abdm.Value{}, p.errf("expected a literal, found %s", p.tok)
+	}
+}
+
+func (p *dmlParser) parseStmt() (DMLStmt, error) {
+	switch {
+	case p.tok.is("FOR"):
+		return p.parseForEach()
+	case p.tok.is("CREATE"):
+		return p.parseCreate()
+	case p.tok.is("LET"):
+		return p.parseLet()
+	case p.tok.is("DESTROY"):
+		return p.parseDestroy()
+	case p.tok.is("INCLUDE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		target, tw, scalar, hasScalar, fn, typ, where, err := p.parseIncludeExclude("IN")
+		if err != nil {
+			return nil, err
+		}
+		return &Include{TargetType: target, TargetWhere: tw, ScalarVal: scalar, HasScalar: hasScalar,
+			Func: fn, Type: typ, Where: where}, nil
+	case p.tok.is("EXCLUDE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		target, tw, scalar, hasScalar, fn, typ, where, err := p.parseIncludeExclude("FROM")
+		if err != nil {
+			return nil, err
+		}
+		return &Exclude{TargetType: target, TargetWhere: tw, ScalarVal: scalar, HasScalar: hasScalar,
+			Func: fn, Type: typ, Where: where}, nil
+	default:
+		return nil, p.errf("unknown DML statement starting with %s", p.tok)
+	}
+}
+
+func (p *dmlParser) parseWhere() ([]Cond, error) {
+	if !p.tok.is("WHERE") {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var conds []Cond
+	for {
+		fn, err := p.ident("function name")
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tPunct {
+			return nil, p.errf("expected a comparison operator, found %s", p.tok)
+		}
+		op, err := abdm.ParseOp(p.tok.text)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, Cond{Func: fn, Op: op, Val: val})
+		if p.tok.is("AND") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return conds, nil
+	}
+}
+
+func (p *dmlParser) parseForEach() (DMLStmt, error) {
+	if err := p.word("FOR"); err != nil {
+		return nil, err
+	}
+	if err := p.word("EACH"); err != nil {
+		return nil, err
+	}
+	typ, err := p.ident("type name")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.word("PRINT"); err != nil {
+		return nil, err
+	}
+	var prints []string
+	for {
+		fn, err := p.ident("function name")
+		if err != nil {
+			return nil, err
+		}
+		prints = append(prints, fn)
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return &ForEach{Type: typ, Where: where, Print: prints}, nil
+}
+
+func (p *dmlParser) parseCreate() (DMLStmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	typ, err := p.ident("type name")
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tPunct || p.tok.text != "(" {
+		return nil, p.errf("CREATE requires an assignment list")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var assigns []Assign
+	for {
+		fn, err := p.ident("function name")
+		if err != nil {
+			return nil, err
+		}
+		// := spelled as ':' '='.
+		if p.tok.kind != tPunct || p.tok.text != ":" {
+			return nil, p.errf("expected ':=' after %q", fn)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tPunct || p.tok.text != "=" {
+			return nil, p.errf("expected ':=' after %q", fn)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, Assign{Func: fn, Val: val})
+		if p.tok.kind == tPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tPunct || p.tok.text != ")" {
+		return nil, p.errf("expected ')' closing assignment list")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &Create{Type: typ, Assigns: assigns}, nil
+}
+
+func (p *dmlParser) parseLet() (DMLStmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	fn, err := p.ident("function name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.word("OF"); err != nil {
+		return nil, err
+	}
+	typ, err := p.ident("type name")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.word("BE"); err != nil {
+		return nil, err
+	}
+	val, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Let{Func: fn, Type: typ, Where: where, Val: val}, nil
+}
+
+func (p *dmlParser) parseDestroy() (DMLStmt, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	typ, err := p.ident("type name")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &Destroy{Type: typ, Where: where}, nil
+}

@@ -1,0 +1,77 @@
+package daplex
+
+import "mlds/internal/abdm"
+
+// Include adds members to a multi-valued function over the matching
+// entities:
+//
+//	INCLUDE course WHERE title = 'X' IN enrollments OF student WHERE ssn = 1;
+//	INCLUDE 'typing' IN skills OF support_staff WHERE ssn = 2;
+//
+// Either a target entity selection (TargetType + TargetWhere) or a scalar
+// literal (ScalarVal) is given, depending on the function's range.
+type Include struct {
+	TargetType  string
+	TargetWhere []Cond
+	ScalarVal   abdm.Value
+	HasScalar   bool
+	Func        string
+	Type        string
+	Where       []Cond
+}
+
+func (*Include) dmlStmt() {}
+
+// Exclude removes members from a multi-valued function, mirroring Include:
+//
+//	EXCLUDE course WHERE title = 'X' FROM enrollments OF student WHERE ssn = 1;
+//	EXCLUDE 'typing' FROM skills OF support_staff WHERE ssn = 2;
+type Exclude struct {
+	TargetType  string
+	TargetWhere []Cond
+	ScalarVal   abdm.Value
+	HasScalar   bool
+	Func        string
+	Type        string
+	Where       []Cond
+}
+
+func (*Exclude) dmlStmt() {}
+
+// parseIncludeExclude parses the shared body of INCLUDE/EXCLUDE after the
+// keyword; joiner is "IN" or "FROM".
+func (p *dmlParser) parseIncludeExclude(joiner string) (target string, targetWhere []Cond, scalar abdm.Value, hasScalar bool, fn, typ string, where []Cond, err error) {
+	// Target: a literal or a type name.
+	if p.tok.kind == tString || p.tok.kind == tNumber {
+		scalar, err = p.literal()
+		if err != nil {
+			return
+		}
+		hasScalar = true
+	} else {
+		target, err = p.ident("target type or literal")
+		if err != nil {
+			return
+		}
+		targetWhere, err = p.parseWhere()
+		if err != nil {
+			return
+		}
+	}
+	if err = p.word(joiner); err != nil {
+		return
+	}
+	fn, err = p.ident("function name")
+	if err != nil {
+		return
+	}
+	if err = p.word("OF"); err != nil {
+		return
+	}
+	typ, err = p.ident("type name")
+	if err != nil {
+		return
+	}
+	where, err = p.parseWhere()
+	return
+}

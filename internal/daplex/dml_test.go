@@ -1,0 +1,142 @@
+package daplex
+
+import (
+	"testing"
+
+	"mlds/internal/abdm"
+)
+
+func mustDML(t *testing.T, src string) DMLStmt {
+	t.Helper()
+	st, err := ParseDML(src)
+	if err != nil {
+		t.Fatalf("ParseDML(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseForEach(t *testing.T) {
+	st := mustDML(t, "FOR EACH student WHERE major = 'CS' AND gpa >= 3.0 PRINT pname, gpa;")
+	fe, ok := st.(*ForEach)
+	if !ok {
+		t.Fatalf("parsed %T", st)
+	}
+	if fe.Type != "student" || len(fe.Where) != 2 || len(fe.Print) != 2 {
+		t.Fatalf("fe = %+v", fe)
+	}
+	if fe.Where[0].Func != "major" || fe.Where[0].Op != abdm.OpEq || fe.Where[0].Val.AsString() != "CS" {
+		t.Errorf("cond0 = %+v", fe.Where[0])
+	}
+	if fe.Where[1].Op != abdm.OpGe || fe.Where[1].Val.Kind() != abdm.KindFloat {
+		t.Errorf("cond1 = %+v", fe.Where[1])
+	}
+}
+
+func TestParseForEachNoWhere(t *testing.T) {
+	fe := mustDML(t, "FOR EACH course PRINT title").(*ForEach)
+	if len(fe.Where) != 0 || fe.Print[0] != "title" {
+		t.Fatalf("fe = %+v", fe)
+	}
+}
+
+func TestParseCreate(t *testing.T) {
+	c := mustDML(t, "CREATE student (pname := 'Zed', ssn := 42, gpa := 3.5);").(*Create)
+	if c.Type != "student" || len(c.Assigns) != 3 {
+		t.Fatalf("c = %+v", c)
+	}
+	if c.Assigns[0].Val.AsString() != "Zed" || c.Assigns[1].Val.AsInt() != 42 || c.Assigns[2].Val.AsFloat() != 3.5 {
+		t.Errorf("assigns = %+v", c.Assigns)
+	}
+}
+
+func TestParseLet(t *testing.T) {
+	l := mustDML(t, "LET gpa OF student WHERE ssn = 42 BE 4.0;").(*Let)
+	if l.Func != "gpa" || l.Type != "student" || len(l.Where) != 1 || l.Val.AsFloat() != 4.0 {
+		t.Fatalf("l = %+v", l)
+	}
+	// NULL assignment.
+	l = mustDML(t, "LET advisor OF student WHERE ssn = 42 BE NULL;").(*Let)
+	if !l.Val.IsNull() {
+		t.Error("NULL literal lost")
+	}
+}
+
+func TestParseDestroy(t *testing.T) {
+	d := mustDML(t, "DESTROY person WHERE ssn = 42;").(*Destroy)
+	if d.Type != "person" || len(d.Where) != 1 {
+		t.Fatalf("d = %+v", d)
+	}
+}
+
+func TestParseIncludeEntityTarget(t *testing.T) {
+	in := mustDML(t, "INCLUDE course WHERE title = 'X' IN enrollments OF student WHERE ssn = 42;").(*Include)
+	if in.HasScalar || in.TargetType != "course" || len(in.TargetWhere) != 1 {
+		t.Fatalf("in = %+v", in)
+	}
+	if in.Func != "enrollments" || in.Type != "student" || len(in.Where) != 1 {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestParseIncludeScalarTarget(t *testing.T) {
+	in := mustDML(t, "INCLUDE 'typing' IN skills OF support_staff WHERE ssn = 42;").(*Include)
+	if !in.HasScalar || in.ScalarVal.AsString() != "typing" || in.TargetType != "" {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestParseExclude(t *testing.T) {
+	ex := mustDML(t, "EXCLUDE course WHERE title = 'X' FROM enrollments OF student WHERE ssn = 42;").(*Exclude)
+	if ex.TargetType != "course" || ex.Func != "enrollments" || ex.Type != "student" {
+		t.Fatalf("ex = %+v", ex)
+	}
+	ex = mustDML(t, "EXCLUDE 9 FROM skills OF support_staff;").(*Exclude)
+	if !ex.HasScalar || ex.ScalarVal.AsInt() != 9 || len(ex.Where) != 0 {
+		t.Fatalf("ex = %+v", ex)
+	}
+}
+
+func TestParseDMLLiterals(t *testing.T) {
+	fe := mustDML(t, "FOR EACH faculty WHERE rank = professor PRINT pname").(*ForEach)
+	if fe.Where[0].Val.AsString() != "professor" {
+		t.Error("bare-word literal lost")
+	}
+	fe = mustDML(t, "FOR EACH x WHERE flag = TRUE PRINT y").(*ForEach)
+	if fe.Where[0].Val.AsString() != "true" {
+		t.Error("boolean literal lost")
+	}
+}
+
+func TestParseDMLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB x;",
+		"FOR student PRINT x;",
+		"FOR EACH student PRINT;",
+		"FOR EACH student WHERE PRINT x;",
+		"FOR EACH student WHERE a ? 1 PRINT x;",
+		"CREATE student;",
+		"CREATE student (a = 1);",
+		"CREATE student (a := );",
+		"LET gpa OF student BE;",
+		"LET gpa student BE 1;",
+		"DESTROY;",
+		"INCLUDE course IN OF student;",
+		"EXCLUDE course IN enrollments OF student;", // wrong joiner
+		"FOR EACH x PRINT y; trailing",
+	}
+	for _, src := range bad {
+		if _, err := ParseDML(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseDMLSemicolonOptional(t *testing.T) {
+	if _, err := ParseDML("FOR EACH x PRINT y"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseDML("FOR EACH x PRINT y;"); err != nil {
+		t.Error(err)
+	}
+}

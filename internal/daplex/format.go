@@ -1,0 +1,112 @@
+package daplex
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/funcmodel"
+)
+
+// FormatSchema renders a functional schema as Daplex DDL text that
+// ParseSchema accepts — the inverse of parsing, used when databases are
+// saved and by schema tooling.
+func FormatSchema(s *funcmodel.Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DATABASE %s IS\n\n", s.Name)
+	for _, ne := range s.NonEntities {
+		b.WriteString(formatNonEntity(ne))
+	}
+	if len(s.NonEntities) > 0 {
+		b.WriteString("\n")
+	}
+	for _, e := range s.Entities {
+		fmt.Fprintf(&b, "ENTITY %s IS\n", e.Name)
+		for _, f := range e.Functions {
+			fmt.Fprintf(&b, "    %s : %s;\n", f.Name, formatResult(f))
+		}
+		b.WriteString("END ENTITY;\n\n")
+	}
+	for _, st := range s.Subtypes {
+		fmt.Fprintf(&b, "SUBTYPE %s OF %s IS\n", st.Name, strings.Join(st.Supertypes, ", "))
+		for _, f := range st.Functions {
+			fmt.Fprintf(&b, "    %s : %s;\n", f.Name, formatResult(f))
+		}
+		b.WriteString("END SUBTYPE;\n\n")
+	}
+	for _, u := range s.Uniques {
+		fmt.Fprintf(&b, "UNIQUE %s WITHIN %s;\n", strings.Join(u.Functions, ", "), u.Within)
+	}
+	for _, o := range s.Overlaps {
+		fmt.Fprintf(&b, "OVERLAP %s WITH %s;\n", strings.Join(o.Left, ", "), strings.Join(o.Right, ", "))
+	}
+	b.WriteString("\nEND DATABASE;\n")
+	return b.String()
+}
+
+func formatNonEntity(ne *funcmodel.NonEntity) string {
+	var rhs string
+	switch {
+	case ne.Kind == funcmodel.NonEntitySub:
+		rhs = ne.Base
+	case ne.Constant:
+		if ne.Type == funcmodel.TypeFloat {
+			rhs = fmt.Sprintf("CONSTANT %g", ne.ConstVal)
+		} else {
+			rhs = fmt.Sprintf("CONSTANT %d", int64(ne.ConstVal))
+		}
+	case ne.Type == funcmodel.TypeEnum:
+		rhs = "(" + strings.Join(ne.Values, ", ") + ")"
+	case ne.Type == funcmodel.TypeString:
+		if ne.Length > 0 {
+			rhs = fmt.Sprintf("STRING(%d)", ne.Length)
+		} else {
+			rhs = "STRING"
+		}
+	case ne.Type == funcmodel.TypeInt:
+		rhs = "INTEGER"
+		if ne.HasRange {
+			rhs += fmt.Sprintf(" RANGE %d..%d", int64(ne.Lo), int64(ne.Hi))
+		}
+	case ne.Type == funcmodel.TypeFloat:
+		rhs = "FLOAT"
+		if ne.HasRange {
+			rhs += fmt.Sprintf(" RANGE %g..%g", ne.Lo, ne.Hi)
+		}
+	case ne.Type == funcmodel.TypeBool:
+		rhs = "BOOLEAN"
+	default:
+		rhs = "STRING"
+	}
+	return fmt.Sprintf("TYPE %s IS %s;\n", ne.Name, rhs)
+}
+
+func formatResult(f *funcmodel.Function) string {
+	var core string
+	switch {
+	case f.Result.Entity != "":
+		core = f.Result.Entity
+	case f.Result.NonEntity != "":
+		core = f.Result.NonEntity
+	default:
+		switch f.Result.Scalar {
+		case funcmodel.TypeInt:
+			core = "INTEGER"
+		case funcmodel.TypeFloat:
+			core = "FLOAT"
+		case funcmodel.TypeBool:
+			core = "BOOLEAN"
+		case funcmodel.TypeString:
+			if f.Result.Length > 0 {
+				core = fmt.Sprintf("STRING(%d)", f.Result.Length)
+			} else {
+				core = "STRING"
+			}
+		default:
+			core = "STRING"
+		}
+	}
+	if f.SetValued {
+		return "SET OF " + core
+	}
+	return core
+}

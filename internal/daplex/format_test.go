@@ -1,0 +1,65 @@
+package daplex
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/funcmodel"
+)
+
+// TestFormatParseRoundTrip: formatting a parsed schema and reparsing it must
+// yield a structurally identical schema.
+func TestFormatParseRoundTrip(t *testing.T) {
+	s1, err := ParseSchema(miniDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatSchema(s1)
+	s2, err := ParseSchema(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if len(s2.Entities) != len(s1.Entities) || len(s2.Subtypes) != len(s1.Subtypes) ||
+		len(s2.NonEntities) != len(s1.NonEntities) ||
+		len(s2.Uniques) != len(s1.Uniques) || len(s2.Overlaps) != len(s1.Overlaps) {
+		t.Fatalf("shape changed:\n%s", text)
+	}
+	// Formatting must be a fixed point after one round.
+	if FormatSchema(s2) != text {
+		t.Error("FormatSchema not stable across round trip")
+	}
+	// Functions preserved with their classifications.
+	for _, typeName := range []string{"dept", "person", "worker", "boss"} {
+		f1 := s1.FunctionsOf(typeName)
+		f2 := s2.FunctionsOf(typeName)
+		if len(f1) != len(f2) {
+			t.Fatalf("%s function count changed", typeName)
+		}
+		for i := range f1 {
+			if f1[i].Name != f2[i].Name || f1[i].SetValued != f2[i].SetValued ||
+				f1[i].Result.Entity != f2[i].Result.Entity ||
+				f1[i].Result.NonEntity != f2[i].Result.NonEntity {
+				t.Errorf("function %s changed: %+v vs %+v", f1[i].Name, f1[i], f2[i])
+			}
+		}
+	}
+}
+
+func TestFormatNonEntityVariants(t *testing.T) {
+	cases := []struct {
+		ne   *funcmodel.NonEntity
+		want string
+	}{
+		{&funcmodel.NonEntity{Name: "a", Type: funcmodel.TypeString, Length: 9}, "TYPE a IS STRING(9);"},
+		{&funcmodel.NonEntity{Name: "b", Type: funcmodel.TypeInt, HasRange: true, Lo: 1, Hi: 5}, "TYPE b IS INTEGER RANGE 1..5;"},
+		{&funcmodel.NonEntity{Name: "c", Type: funcmodel.TypeEnum, Values: []string{"x", "y"}}, "TYPE c IS (x, y);"},
+		{&funcmodel.NonEntity{Name: "d", Type: funcmodel.TypeInt, Constant: true, ConstVal: 7}, "TYPE d IS CONSTANT 7;"},
+		{&funcmodel.NonEntity{Name: "e", Type: funcmodel.TypeBool}, "TYPE e IS BOOLEAN;"},
+		{&funcmodel.NonEntity{Name: "f", Kind: funcmodel.NonEntitySub, Base: "a"}, "TYPE f IS a;"},
+	}
+	for _, c := range cases {
+		if got := strings.TrimSpace(formatNonEntity(c.ne)); got != c.want {
+			t.Errorf("formatNonEntity = %q, want %q", got, c.want)
+		}
+	}
+}

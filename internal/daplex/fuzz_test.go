@@ -1,0 +1,35 @@
+package daplex
+
+import "testing"
+
+// FuzzParseSchema: the DDL parser must never panic; accepted schemas must
+// survive a format/reparse round trip.
+func FuzzParseSchema(f *testing.F) {
+	f.Add(miniDDL)
+	f.Add("DATABASE d IS ENTITY x IS a : INTEGER; END ENTITY; END DATABASE;")
+	f.Add("DATABASE d IS TYPE c IS (r, g, b); END DATABASE;")
+	f.Add("DATABASE d IS TYPE y IS INTEGER RANGE 1..2; END DATABASE;")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSchema(src)
+		if err != nil {
+			return
+		}
+		text := FormatSchema(s)
+		if _, err := ParseSchema(text); err != nil {
+			t.Fatalf("formatted schema rejected: %v\n%s", err, text)
+		}
+	})
+}
+
+// FuzzParseDML: the Daplex DML parser must never panic.
+func FuzzParseDML(f *testing.F) {
+	f.Add("FOR EACH s WHERE a = 1 AND b >= 'x' PRINT c, d;")
+	f.Add("CREATE s (a := 1, b := 'x');")
+	f.Add("LET a OF s WHERE b = 2 BE NULL;")
+	f.Add("DESTROY s WHERE a <> 3;")
+	f.Add("INCLUDE c WHERE t = 'x' IN f OF s WHERE k = 1;")
+	f.Add("EXCLUDE 'v' FROM f OF s;")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseDML(src)
+	})
+}

@@ -1,0 +1,137 @@
+// Package daplex implements the Daplex language of the functional data
+// model: the schema definition language (DDL) that declares entity types,
+// subtypes, non-entity types and constraints, and a data manipulation
+// subset (FOR EACH / CREATE / LET / DESTROY / PRINT) that the MLDS Daplex
+// language interface translates to ABDL.
+package daplex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString // 'quoted' or "quoted"
+	tPunct  // ( ) , ; : . .. = < > >= <= <>
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// is reports a case-insensitive match on an identifier token.
+func (t token) is(word string) bool {
+	return t.kind == tIdent && strings.EqualFold(t.text, word)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tEOF, line: l.line}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isLetter(rune(c)):
+		l.pos++
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		return token{tIdent, l.src[start:l.pos], l.line}, nil
+	case c >= '0' && c <= '9':
+		l.pos++
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if d >= '0' && d <= '9' {
+				l.pos++
+				continue
+			}
+			// Avoid swallowing the ".." of a range as a decimal point.
+			if d == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] != '.' {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{tNumber, l.src[start:l.pos], l.line}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("daplex: line %d: unterminated string", l.line)
+			}
+			if l.src[l.pos] == quote {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					b.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			if l.src[l.pos] == '\n' {
+				l.line++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return token{tString, b.String(), l.line}, nil
+	default:
+		// Multi-character punctuation first.
+		for _, p := range []string{"..", ">=", "<=", "<>", "->>", "->"} {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += len(p)
+				return token{tPunct, p, l.line}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', ';', ':', '.', '=', '<', '>':
+			l.pos++
+			return token{tPunct, string(c), l.line}, nil
+		}
+		return token{}, fmt.Errorf("daplex: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+func isLetter(r rune) bool    { return r == '_' || unicode.IsLetter(r) }
+func isIdentRune(r rune) bool { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

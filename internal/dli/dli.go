@@ -1,0 +1,358 @@
+// Package dli implements the DL/I call language of the MLDS hierarchical
+// interface: GU (get unique, with segment search arguments), GN (get next in
+// hierarchic order), GNP (get next within parent), ISRT (insert), REPL
+// (replace) and DLET (delete).
+package dli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"mlds/internal/abdm"
+)
+
+// Call is one DL/I call.
+type Call interface{ dliCall() }
+
+// Cond is one comparison inside a segment search argument.
+type Cond struct {
+	Field string
+	Op    abdm.Op
+	Val   abdm.Value
+}
+
+// SSA is a segment search argument: a segment name with optional
+// qualification.
+type SSA struct {
+	Segment string
+	Conds   []Cond
+}
+
+// GU is get-unique: locate the first segment occurrence satisfying the SSA
+// path, qualifying each level from the root down.
+type GU struct{ Path []SSA }
+
+func (*GU) dliCall() {}
+
+// GN is get-next: the next segment in hierarchic (preorder) order,
+// optionally restricted to one segment type.
+type GN struct{ Segment string }
+
+func (*GN) dliCall() {}
+
+// GNP is get-next-within-parent: the next descendant of the current parent
+// position, optionally restricted to one segment type.
+type GNP struct{ Segment string }
+
+func (*GNP) dliCall() {}
+
+// Assign is one field = literal assignment.
+type Assign struct {
+	Field string
+	Val   abdm.Value
+}
+
+// ISRT inserts a new segment occurrence under the current position.
+type ISRT struct {
+	Segment string
+	Assigns []Assign
+}
+
+func (*ISRT) dliCall() {}
+
+// REPL replaces fields of the current segment occurrence.
+type REPL struct{ Assigns []Assign }
+
+func (*REPL) dliCall() {}
+
+// DLET deletes the current segment occurrence and its dependents.
+type DLET struct{}
+
+func (*DLET) dliCall() {}
+
+// Parse parses one DL/I call.
+func Parse(src string) (Call, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var call Call
+	switch {
+	case p.eat("GU"):
+		call, err = p.parseGU()
+	case p.eat("GNP"):
+		g := &GNP{}
+		if t := p.tok(); t.kind == tWord {
+			g.Segment = t.text
+			p.advance()
+		}
+		call = g
+	case p.eat("GN"):
+		g := &GN{}
+		if t := p.tok(); t.kind == tWord {
+			g.Segment = t.text
+			p.advance()
+		}
+		call = g
+	case p.eat("ISRT"):
+		call, err = p.parseISRT()
+	case p.eat("REPL"):
+		call, err = p.parseREPL()
+	case p.eat("DLET"):
+		call = &DLET{}
+	default:
+		return nil, fmt.Errorf("dli: unknown call starting with %s", p.tok())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("dli: trailing input after call: %s", p.tok())
+	}
+	return call, nil
+}
+
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tWord
+	tNumber
+	tString
+	tPunct
+)
+
+type token struct {
+	kind tkind
+	text string
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			out = append(out, token{tWord, src[start:i]})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			i++
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			out = append(out, token{tNumber, src[start:i]})
+		case c == '\'':
+			i++
+			var b strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("dli: unterminated string literal")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			out = append(out, token{tString, b.String()})
+		default:
+			for _, pch := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(src[i:], pch) {
+					out = append(out, token{tPunct, pch})
+					i += len(pch)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '=', '<', '>':
+				out = append(out, token{tPunct, string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("dli: unexpected character %q", c)
+			}
+		next:
+		}
+	}
+	return append(out, token{kind: tEOF}), nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) tok() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) done() bool { return p.tok().kind == tEOF }
+
+func (p *parser) eat(w string) bool {
+	t := p.tok()
+	if t.kind == tWord && strings.EqualFold(t.text, w) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) literal() (abdm.Value, error) {
+	t := p.tok()
+	switch t.kind {
+	case tString:
+		p.advance()
+		return abdm.String(t.text), nil
+	case tNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return abdm.Value{}, fmt.Errorf("dli: bad number %q", t.text)
+			}
+			return abdm.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return abdm.Value{}, fmt.Errorf("dli: bad number %q", t.text)
+		}
+		return abdm.Int(n), nil
+	case tWord:
+		if strings.EqualFold(t.text, "NULL") {
+			p.advance()
+			return abdm.Null(), nil
+		}
+		return abdm.Value{}, fmt.Errorf("dli: expected a literal, found %s", t)
+	default:
+		return abdm.Value{}, fmt.Errorf("dli: expected a literal, found %s", t)
+	}
+}
+
+// parseGU parses a sequence of SSAs: seg [(field op lit [, ...])] ...
+func (p *parser) parseGU() (Call, error) {
+	gu := &GU{}
+	for {
+		t := p.tok()
+		if t.kind != tWord {
+			break
+		}
+		ssa := SSA{Segment: t.text}
+		p.advance()
+		if pt := p.tok(); pt.kind == tPunct && pt.text == "(" {
+			p.advance()
+			for {
+				ft := p.tok()
+				if ft.kind != tWord {
+					return nil, fmt.Errorf("dli: expected a field name, found %s", ft)
+				}
+				field := ft.text
+				p.advance()
+				ot := p.tok()
+				if ot.kind != tPunct {
+					return nil, fmt.Errorf("dli: expected an operator, found %s", ot)
+				}
+				op, err := abdm.ParseOp(ot.text)
+				if err != nil {
+					return nil, err
+				}
+				p.advance()
+				val, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				ssa.Conds = append(ssa.Conds, Cond{Field: field, Op: op, Val: val})
+				if ct := p.tok(); ct.kind == tPunct && ct.text == "," {
+					p.advance()
+					continue
+				}
+				break
+			}
+			if ct := p.tok(); ct.kind != tPunct || ct.text != ")" {
+				return nil, fmt.Errorf("dli: expected ')', found %s", ct)
+			}
+			p.advance()
+		}
+		gu.Path = append(gu.Path, ssa)
+	}
+	if len(gu.Path) == 0 {
+		return nil, fmt.Errorf("dli: GU requires at least one segment search argument")
+	}
+	return gu, nil
+}
+
+func (p *parser) parseAssigns() ([]Assign, error) {
+	if t := p.tok(); t.kind != tPunct || t.text != "(" {
+		return nil, fmt.Errorf("dli: expected '(', found %s", t)
+	}
+	p.advance()
+	var out []Assign
+	for {
+		ft := p.tok()
+		if ft.kind != tWord {
+			return nil, fmt.Errorf("dli: expected a field name, found %s", ft)
+		}
+		field := ft.text
+		p.advance()
+		if et := p.tok(); et.kind != tPunct || et.text != "=" {
+			return nil, fmt.Errorf("dli: expected '=', found %s", et)
+		}
+		p.advance()
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Assign{Field: field, Val: val})
+		if ct := p.tok(); ct.kind == tPunct && ct.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if ct := p.tok(); ct.kind != tPunct || ct.text != ")" {
+		return nil, fmt.Errorf("dli: expected ')', found %s", ct)
+	}
+	p.advance()
+	return out, nil
+}
+
+func (p *parser) parseISRT() (Call, error) {
+	t := p.tok()
+	if t.kind != tWord {
+		return nil, fmt.Errorf("dli: ISRT requires a segment name")
+	}
+	seg := t.text
+	p.advance()
+	assigns, err := p.parseAssigns()
+	if err != nil {
+		return nil, err
+	}
+	return &ISRT{Segment: seg, Assigns: assigns}, nil
+}
+
+func (p *parser) parseREPL() (Call, error) {
+	assigns, err := p.parseAssigns()
+	if err != nil {
+		return nil, err
+	}
+	return &REPL{Assigns: assigns}, nil
+}

@@ -1,0 +1,95 @@
+package dli
+
+import (
+	"testing"
+
+	"mlds/internal/abdm"
+)
+
+func mustCall(t *testing.T, src string) Call {
+	t.Helper()
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return c
+}
+
+func TestParseGU(t *testing.T) {
+	gu := mustCall(t, "GU dept (dname = 'CS') course (title = 'DB', credits >= 3) enroll").(*GU)
+	if len(gu.Path) != 3 {
+		t.Fatalf("path = %+v", gu.Path)
+	}
+	if gu.Path[0].Segment != "dept" || len(gu.Path[0].Conds) != 1 {
+		t.Errorf("ssa0 = %+v", gu.Path[0])
+	}
+	if len(gu.Path[1].Conds) != 2 || gu.Path[1].Conds[1].Op != abdm.OpGe {
+		t.Errorf("ssa1 = %+v", gu.Path[1])
+	}
+	if gu.Path[2].Segment != "enroll" || len(gu.Path[2].Conds) != 0 {
+		t.Errorf("ssa2 = %+v", gu.Path[2])
+	}
+}
+
+func TestParseGNAndGNP(t *testing.T) {
+	if g := mustCall(t, "GN").(*GN); g.Segment != "" {
+		t.Errorf("GN = %+v", g)
+	}
+	if g := mustCall(t, "GN course").(*GN); g.Segment != "course" {
+		t.Errorf("GN seg = %+v", g)
+	}
+	if g := mustCall(t, "GNP enroll").(*GNP); g.Segment != "enroll" {
+		t.Errorf("GNP = %+v", g)
+	}
+}
+
+func TestParseISRTReplDlet(t *testing.T) {
+	is := mustCall(t, "ISRT course (title = 'X', credits = 3)").(*ISRT)
+	if is.Segment != "course" || len(is.Assigns) != 2 {
+		t.Fatalf("ISRT = %+v", is)
+	}
+	if is.Assigns[1].Val.Kind() != abdm.KindInt {
+		t.Errorf("credits kind = %v", is.Assigns[1].Val.Kind())
+	}
+	r := mustCall(t, "REPL (credits = 5, title = NULL)").(*REPL)
+	if len(r.Assigns) != 2 || !r.Assigns[1].Val.IsNull() {
+		t.Fatalf("REPL = %+v", r)
+	}
+	if _, ok := mustCall(t, "DLET").(*DLET); !ok {
+		t.Error("DLET lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROB",
+		"GU",
+		"GU dept (dname = )",
+		"GU dept (dname 'x')",
+		"GU dept (dname = 'x'",
+		"ISRT",
+		"ISRT course",
+		"ISRT course (a = 1) extra",
+		"REPL",
+		"REPL (a 1)",
+		"DLET extra",
+		"GU dept ('unterminated)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// FuzzParseDLI: the DL/I parser must never panic.
+func FuzzParseDLI(f *testing.F) {
+	f.Add("GU dept (dname = 'CS') course (credits >= 3)")
+	f.Add("ISRT enroll (sname = 'Ann', grade = 3.5)")
+	f.Add("REPL (a = NULL)")
+	f.Add("GNP enroll")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+	})
+}

@@ -1,0 +1,454 @@
+// Package funcmodel implements the functional data model of Sibley,
+// Kershberg and Shipman as used by the MLDS Daplex language interface.
+//
+// A functional schema is a collection of entity types, entity subtypes,
+// non-entity types, functions applied to the entity types and subtypes, and
+// the uniqueness and overlap constraints over them. The structures mirror
+// the thesis's shared data structures (fun_dbid_node, ent_node,
+// gen_sub_node, ent_non_node, sub_non_node, der_non_node, function_node,
+// overlap_node).
+package funcmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ScalarType classifies non-entity values, mirroring the single-character
+// type flags of the thesis data structures.
+type ScalarType byte
+
+// Scalar type flags.
+const (
+	TypeInt    ScalarType = 'i'
+	TypeFloat  ScalarType = 'f'
+	TypeString ScalarType = 's'
+	TypeBool   ScalarType = 'b'
+	TypeEnum   ScalarType = 'n' // enumeration
+)
+
+// String returns the type's Daplex spelling.
+func (t ScalarType) String() string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeEnum:
+		return "ENUMERATION"
+	default:
+		return fmt.Sprintf("scalar(%c)", byte(t))
+	}
+}
+
+// NonEntityKind distinguishes the three non-entity declaration families the
+// thesis tracks separately (base types, non-entity subtypes, derived types).
+type NonEntityKind int
+
+// Non-entity kinds.
+const (
+	NonEntityBase NonEntityKind = iota
+	NonEntitySub
+	NonEntityDerived
+)
+
+// NonEntity is a named non-entity type: a string, scalar, enumeration or
+// constant declaration (ent_non_node / sub_non_node / der_non_node).
+type NonEntity struct {
+	Name     string
+	Kind     NonEntityKind
+	Type     ScalarType
+	Length   int      // maximum value length (strings, enumerations)
+	Values   []string // enumeration literals, in declaration order
+	HasRange bool     // a range of values was declared
+	Lo, Hi   float64  // numeric range bounds when HasRange
+	Constant bool     // numeric constant declaration
+	ConstVal float64
+	Base     string // for sub/derived kinds: the underlying type name
+}
+
+// FuncResult describes what a function returns.
+type FuncResult struct {
+	Scalar    ScalarType // valid when Entity == "" and NonEntity == ""
+	Length    int        // string length bound, 0 = unbounded
+	Entity    string     // entity or subtype name for entity-valued functions
+	NonEntity string     // named non-entity type for typed scalar functions
+}
+
+// IsEntity reports whether the function returns entities.
+func (r FuncResult) IsEntity() bool { return r.Entity != "" }
+
+// Function is one function applied to an entity type or subtype
+// (function_node). SetValued marks multi-valued functions (fn_set).
+type Function struct {
+	Name      string
+	Result    FuncResult
+	SetValued bool
+	Unique    bool // participates in a uniqueness constraint (fn_unique)
+	Owner     string
+}
+
+// IsScalar reports whether the function returns scalar values (including
+// scalar multi-valued functions).
+func (f *Function) IsScalar() bool { return !f.Result.IsEntity() }
+
+// Entity is an entity type (ent_node) with its associated functions.
+type Entity struct {
+	Name      string
+	Functions []*Function
+}
+
+// Subtype is an entity subtype (gen_sub_node): its supertypes establish ISA
+// relationships with value inheritance.
+type Subtype struct {
+	Name       string
+	Supertypes []string // entity types and subtypes, one or more
+	Functions  []*Function
+}
+
+// Unique is a uniqueness constraint: UNIQUE f1,...,fn WITHIN type.
+type Unique struct {
+	Functions []string
+	Within    string
+}
+
+// Overlap is an overlap constraint: OVERLAP a,... WITH b,... (overlap_node).
+type Overlap struct {
+	Left  []string
+	Right []string
+}
+
+// Schema is a complete functional database schema (fun_dbid_node).
+type Schema struct {
+	Name        string
+	NonEntities []*NonEntity
+	Entities    []*Entity
+	Subtypes    []*Subtype
+	Uniques     []Unique
+	Overlaps    []Overlap
+}
+
+// Entity returns the named entity type.
+func (s *Schema) Entity(name string) (*Entity, bool) {
+	for _, e := range s.Entities {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Subtype returns the named entity subtype.
+func (s *Schema) Subtype(name string) (*Subtype, bool) {
+	for _, st := range s.Subtypes {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// NonEntity returns the named non-entity type.
+func (s *Schema) NonEntity(name string) (*NonEntity, bool) {
+	for _, ne := range s.NonEntities {
+		if ne.Name == name {
+			return ne, true
+		}
+	}
+	return nil, false
+}
+
+// IsType reports whether name is any entity type or subtype.
+func (s *Schema) IsType(name string) bool {
+	if _, ok := s.Entity(name); ok {
+		return true
+	}
+	_, ok := s.Subtype(name)
+	return ok
+}
+
+// FunctionsOf returns the functions declared directly on the named entity
+// type or subtype.
+func (s *Schema) FunctionsOf(name string) []*Function {
+	if e, ok := s.Entity(name); ok {
+		return e.Functions
+	}
+	if st, ok := s.Subtype(name); ok {
+		return st.Functions
+	}
+	return nil
+}
+
+// SupertypesOf returns the declared supertypes of a subtype, or nil for an
+// entity type.
+func (s *Schema) SupertypesOf(name string) []string {
+	if st, ok := s.Subtype(name); ok {
+		return st.Supertypes
+	}
+	return nil
+}
+
+// AncestorChain returns every (transitive) supertype of the named type in
+// breadth-first order, excluding the type itself.
+func (s *Schema) AncestorChain(name string) []string {
+	var out []string
+	seen := map[string]bool{name: true}
+	queue := append([]string(nil), s.SupertypesOf(name)...)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+		queue = append(queue, s.SupertypesOf(n)...)
+	}
+	return out
+}
+
+// InheritedFunctions returns the functions visible on a type: its own plus
+// every ancestor's, own functions first. Subtyping implies value
+// inheritance.
+func (s *Schema) InheritedFunctions(name string) []*Function {
+	out := append([]*Function(nil), s.FunctionsOf(name)...)
+	for _, anc := range s.AncestorChain(name) {
+		out = append(out, s.FunctionsOf(anc)...)
+	}
+	return out
+}
+
+// SubtypesOf returns the names of subtypes that list name as a direct
+// supertype, in declaration order.
+func (s *Schema) SubtypesOf(name string) []string {
+	var out []string
+	for _, st := range s.Subtypes {
+		for _, sup := range st.Supertypes {
+			if sup == name {
+				out = append(out, st.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// IsTerminal reports whether the named type is a terminal type: not a
+// supertype to any entity subtype (en_terminal / gsn_terminal).
+func (s *Schema) IsTerminal(name string) bool { return len(s.SubtypesOf(name)) == 0 }
+
+// FindFunction locates a function by name on the named type, searching
+// inherited functions too.
+func (s *Schema) FindFunction(typeName, funcName string) (*Function, bool) {
+	for _, f := range s.InheritedFunctions(typeName) {
+		if f.Name == funcName {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// FunctionHome returns the entity type or subtype that directly declares the
+// named function, searched across the whole schema. Used by the DML
+// translation, which must know whether a Daplex function belongs to the
+// owner or the member record type of a transformed set.
+func (s *Schema) FunctionHome(funcName string) (string, *Function, bool) {
+	for _, e := range s.Entities {
+		for _, f := range e.Functions {
+			if f.Name == funcName {
+				return e.Name, f, true
+			}
+		}
+	}
+	for _, st := range s.Subtypes {
+		for _, f := range st.Functions {
+			if f.Name == funcName {
+				return st.Name, f, true
+			}
+		}
+	}
+	return "", nil, false
+}
+
+// Validate checks referential integrity of the schema: supertype,
+// function-result, uniqueness and overlap references must all resolve, and
+// names must be unique across entities, subtypes and non-entity types.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("funcmodel: schema has no name")
+	}
+	names := make(map[string]string)
+	declare := func(name, what string) error {
+		if name == "" {
+			return fmt.Errorf("funcmodel: %s with empty name", what)
+		}
+		if prev, dup := names[name]; dup {
+			return fmt.Errorf("funcmodel: name %q declared as both %s and %s", name, prev, what)
+		}
+		names[name] = what
+		return nil
+	}
+	for _, ne := range s.NonEntities {
+		if err := declare(ne.Name, "non-entity type"); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Entities {
+		if err := declare(e.Name, "entity type"); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Subtypes {
+		if err := declare(st.Name, "entity subtype"); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Subtypes {
+		if len(st.Supertypes) == 0 {
+			return fmt.Errorf("funcmodel: subtype %q has no supertype", st.Name)
+		}
+		for _, sup := range st.Supertypes {
+			if !s.IsType(sup) {
+				return fmt.Errorf("funcmodel: subtype %q names unknown supertype %q", st.Name, sup)
+			}
+		}
+		if cyc := s.findCycle(st.Name); cyc != "" {
+			return fmt.Errorf("funcmodel: subtype hierarchy cycle through %q", cyc)
+		}
+	}
+	funcNames := make(map[string]string)
+	checkFns := func(owner string, fns []*Function) error {
+		for _, f := range fns {
+			if f.Name == "" {
+				return fmt.Errorf("funcmodel: %q declares a function with no name", owner)
+			}
+			if prev, dup := funcNames[f.Name]; dup {
+				return fmt.Errorf("funcmodel: function %q declared on both %q and %q (function names are schema-global)", f.Name, prev, owner)
+			}
+			if what, clash := names[f.Name]; clash {
+				return fmt.Errorf("funcmodel: function %q on %q collides with the %s of the same name", f.Name, owner, what)
+			}
+			funcNames[f.Name] = owner
+			if f.Result.Entity != "" && !s.IsType(f.Result.Entity) {
+				return fmt.Errorf("funcmodel: function %q on %q returns unknown type %q", f.Name, owner, f.Result.Entity)
+			}
+			if f.Result.NonEntity != "" {
+				if _, ok := s.NonEntity(f.Result.NonEntity); !ok {
+					return fmt.Errorf("funcmodel: function %q on %q uses unknown non-entity type %q", f.Name, owner, f.Result.NonEntity)
+				}
+			}
+		}
+		return nil
+	}
+	for _, e := range s.Entities {
+		if err := checkFns(e.Name, e.Functions); err != nil {
+			return err
+		}
+	}
+	for _, st := range s.Subtypes {
+		if err := checkFns(st.Name, st.Functions); err != nil {
+			return err
+		}
+	}
+	for _, u := range s.Uniques {
+		if !s.IsType(u.Within) {
+			return fmt.Errorf("funcmodel: UNIQUE WITHIN unknown type %q", u.Within)
+		}
+		for _, fn := range u.Functions {
+			f, ok := s.FindFunction(u.Within, fn)
+			if !ok {
+				return fmt.Errorf("funcmodel: UNIQUE names unknown function %q of %q", fn, u.Within)
+			}
+			if f.Result.IsEntity() {
+				return fmt.Errorf("funcmodel: UNIQUE function %q of %q must be scalar", fn, u.Within)
+			}
+		}
+	}
+	for _, o := range s.Overlaps {
+		for _, side := range [][]string{o.Left, o.Right} {
+			if len(side) == 0 {
+				return fmt.Errorf("funcmodel: OVERLAP with empty side")
+			}
+			for _, n := range side {
+				if _, ok := s.Subtype(n); !ok {
+					return fmt.Errorf("funcmodel: OVERLAP names %q, which is not an entity subtype", n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findCycle returns the name of a type on a supertype cycle reachable from
+// start, or "".
+func (s *Schema) findCycle(start string) string {
+	seen := map[string]bool{}
+	var walk func(n string, path map[string]bool) string
+	walk = func(n string, path map[string]bool) string {
+		if path[n] {
+			return n
+		}
+		if seen[n] {
+			return ""
+		}
+		seen[n] = true
+		path[n] = true
+		defer delete(path, n)
+		for _, sup := range s.SupertypesOf(n) {
+			if c := walk(sup, path); c != "" {
+				return c
+			}
+		}
+		return ""
+	}
+	return walk(start, map[string]bool{})
+}
+
+// OverlapAllowed reports whether membership in both terminal subtypes a and
+// b is permitted by the schema's overlap constraints. Functional subtypes
+// are disjoint unless an overlap constraint says otherwise.
+func (s *Schema) OverlapAllowed(a, b string) bool {
+	if a == b {
+		return true
+	}
+	in := func(set []string, n string) bool {
+		for _, x := range set {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+	for _, o := range s.Overlaps {
+		if (in(o.Left, a) && in(o.Right, b)) || (in(o.Left, b) && in(o.Right, a)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeNames returns every entity type and subtype name, sorted.
+func (s *Schema) TypeNames() []string {
+	out := make([]string, 0, len(s.Entities)+len(s.Subtypes))
+	for _, e := range s.Entities {
+		out = append(out, e.Name)
+	}
+	for _, st := range s.Subtypes {
+		out = append(out, st.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders a compact summary of the schema.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "functional schema %s: %d entities, %d subtypes, %d non-entity types, %d uniqueness, %d overlap",
+		s.Name, len(s.Entities), len(s.Subtypes), len(s.NonEntities), len(s.Uniques), len(s.Overlaps))
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package funcmodel
+
+import "testing"
+
+// buildUniv constructs a University-shaped schema by hand (without the
+// Daplex parser) to test the model in isolation.
+func buildUniv() *Schema {
+	fn := func(name, owner string, res FuncResult, set bool) *Function {
+		return &Function{Name: name, Owner: owner, Result: res, SetValued: set}
+	}
+	return &Schema{
+		Name: "university",
+		NonEntities: []*NonEntity{
+			{Name: "rank_type", Kind: NonEntityBase, Type: TypeEnum, Values: []string{"instructor", "professor"}, Length: 10},
+		},
+		Entities: []*Entity{
+			{Name: "person", Functions: []*Function{
+				fn("pname", "person", FuncResult{Scalar: TypeString, Length: 30}, false),
+				fn("ssn", "person", FuncResult{Scalar: TypeInt}, false),
+			}},
+			{Name: "course", Functions: []*Function{
+				fn("title", "course", FuncResult{Scalar: TypeString, Length: 30}, false),
+				fn("taught_by", "course", FuncResult{Entity: "faculty"}, true),
+			}},
+			{Name: "department", Functions: []*Function{
+				fn("dname", "department", FuncResult{Scalar: TypeString, Length: 20}, false),
+			}},
+		},
+		Subtypes: []*Subtype{
+			{Name: "student", Supertypes: []string{"person"}, Functions: []*Function{
+				fn("advisor", "student", FuncResult{Entity: "faculty"}, false),
+				fn("enrollments", "student", FuncResult{Entity: "course"}, true),
+			}},
+			{Name: "employee", Supertypes: []string{"person"}, Functions: []*Function{
+				fn("salary", "employee", FuncResult{Scalar: TypeInt}, false),
+			}},
+			{Name: "faculty", Supertypes: []string{"employee"}, Functions: []*Function{
+				fn("rank", "faculty", FuncResult{NonEntity: "rank_type", Scalar: TypeEnum}, false),
+				fn("teaching", "faculty", FuncResult{Entity: "course"}, true),
+			}},
+		},
+		Uniques:  []Unique{{Functions: []string{"title"}, Within: "course"}},
+		Overlaps: []Overlap{{Left: []string{"student"}, Right: []string{"faculty"}}},
+	}
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := buildUniv().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := buildUniv()
+	if _, ok := s.Entity("person"); !ok {
+		t.Error("Entity(person) missed")
+	}
+	if _, ok := s.Entity("student"); ok {
+		t.Error("Entity(student) should miss — it is a subtype")
+	}
+	if _, ok := s.Subtype("faculty"); !ok {
+		t.Error("Subtype(faculty) missed")
+	}
+	if !s.IsType("person") || !s.IsType("faculty") || s.IsType("nothing") {
+		t.Error("IsType wrong")
+	}
+}
+
+func TestSchemaAncestorsAndInheritance(t *testing.T) {
+	s := buildUniv()
+	anc := s.AncestorChain("faculty")
+	if len(anc) != 2 || anc[0] != "employee" || anc[1] != "person" {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	inh := s.InheritedFunctions("faculty")
+	want := map[string]bool{"rank": true, "teaching": true, "salary": true, "pname": true, "ssn": true}
+	if len(inh) != len(want) {
+		t.Fatalf("inherited = %d functions", len(inh))
+	}
+	for _, f := range inh {
+		if !want[f.Name] {
+			t.Errorf("unexpected inherited function %q", f.Name)
+		}
+	}
+}
+
+func TestSchemaTerminalTypes(t *testing.T) {
+	s := buildUniv()
+	cases := map[string]bool{
+		"person":     false, // supertype of student/employee
+		"employee":   false, // supertype of faculty
+		"student":    true,
+		"faculty":    true,
+		"course":     true,
+		"department": true,
+	}
+	for name, want := range cases {
+		if got := s.IsTerminal(name); got != want {
+			t.Errorf("IsTerminal(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSchemaSubtypesOf(t *testing.T) {
+	s := buildUniv()
+	subs := s.SubtypesOf("person")
+	if len(subs) != 2 || subs[0] != "student" || subs[1] != "employee" {
+		t.Errorf("SubtypesOf(person) = %v", subs)
+	}
+}
+
+func TestSchemaFunctionHome(t *testing.T) {
+	s := buildUniv()
+	owner, f, ok := s.FunctionHome("advisor")
+	if !ok || owner != "student" || f.Result.Entity != "faculty" {
+		t.Errorf("FunctionHome(advisor) = %q,%v,%v", owner, f, ok)
+	}
+	if _, _, ok := s.FunctionHome("nosuch"); ok {
+		t.Error("phantom function found")
+	}
+}
+
+func TestSchemaValidateCatches(t *testing.T) {
+	mutate := map[string]func(*Schema){
+		"empty name":      func(s *Schema) { s.Name = "" },
+		"dup names":       func(s *Schema) { s.Entities = append(s.Entities, &Entity{Name: "person"}) },
+		"no supertype":    func(s *Schema) { s.Subtypes[0].Supertypes = nil },
+		"bad supertype":   func(s *Schema) { s.Subtypes[0].Supertypes = []string{"ghost"} },
+		"bad result":      func(s *Schema) { s.Entities[0].Functions[0].Result = FuncResult{Entity: "ghost"} },
+		"bad nonentity":   func(s *Schema) { s.Subtypes[2].Functions[0].Result = FuncResult{NonEntity: "ghost"} },
+		"unique unknown":  func(s *Schema) { s.Uniques[0].Within = "ghost" },
+		"unique no func":  func(s *Schema) { s.Uniques[0].Functions = []string{"ghost"} },
+		"overlap non-sub": func(s *Schema) { s.Overlaps[0].Left = []string{"person"} },
+		"overlap empty":   func(s *Schema) { s.Overlaps[0].Left = nil },
+		"dup function": func(s *Schema) {
+			s.Entities[2].Functions = append(s.Entities[2].Functions,
+				&Function{Name: "pname", Owner: "department", Result: FuncResult{Scalar: TypeString}})
+		},
+	}
+	for name, f := range mutate {
+		s := buildUniv()
+		f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken schema", name)
+		}
+	}
+}
+
+func TestScalarTypeString(t *testing.T) {
+	if TypeInt.String() != "INTEGER" || TypeEnum.String() != "ENUMERATION" {
+		t.Error("ScalarType.String wrong")
+	}
+}
+
+func TestSchemaTypeNamesSorted(t *testing.T) {
+	s := buildUniv()
+	names := s.TypeNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("TypeNames not sorted: %v", names)
+		}
+	}
+	if len(names) != 6 {
+		t.Errorf("TypeNames = %v", names)
+	}
+}

@@ -1,0 +1,269 @@
+// Package hiemodel implements the hierarchical data model for the MLDS DL/I
+// language interface: a forest of segment types, each with typed fields and
+// at most one parent — the IMS-style database description (DBD).
+package hiemodel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FieldType classifies segment fields.
+type FieldType byte
+
+// Field types.
+const (
+	FieldInt    FieldType = 'I'
+	FieldFloat  FieldType = 'F'
+	FieldString FieldType = 'C'
+)
+
+// String returns the DBD spelling.
+func (t FieldType) String() string {
+	switch t {
+	case FieldInt:
+		return "INT"
+	case FieldFloat:
+		return "FLOAT"
+	case FieldString:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("fieldtype(%c)", byte(t))
+	}
+}
+
+// Field is one segment field.
+type Field struct {
+	Name   string
+	Type   FieldType
+	Length int
+}
+
+// Segment is one segment type.
+type Segment struct {
+	Name   string
+	Parent string // "" for root segments
+	Fields []*Field
+}
+
+// Field returns the named field.
+func (s *Segment) Field(name string) (*Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Schema is a hierarchical database description: segments in declaration
+// order, which defines the hierarchic (preorder sibling) order.
+type Schema struct {
+	Name     string
+	Segments []*Segment
+}
+
+// Segment returns the named segment type.
+func (s *Schema) Segment(name string) (*Segment, bool) {
+	for _, seg := range s.Segments {
+		if seg.Name == name {
+			return seg, true
+		}
+	}
+	return nil, false
+}
+
+// Children lists the child segment types of the named segment (or the roots
+// for ""), in declaration order.
+func (s *Schema) Children(parent string) []*Segment {
+	var out []*Segment
+	for _, seg := range s.Segments {
+		if seg.Parent == parent {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// Roots lists the root segment types in declaration order.
+func (s *Schema) Roots() []*Segment { return s.Children("") }
+
+// AncestorPath returns the segment names from the root down to (and
+// including) the named segment.
+func (s *Schema) AncestorPath(name string) ([]string, bool) {
+	var path []string
+	cur := name
+	for cur != "" {
+		seg, ok := s.Segment(cur)
+		if !ok {
+			return nil, false
+		}
+		path = append([]string{cur}, path...)
+		cur = seg.Parent
+	}
+	return path, true
+}
+
+// Validate checks segment-name uniqueness, parent resolution, acyclicity and
+// field sanity.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("hiemodel: schema has no name")
+	}
+	segs := make(map[string]*Segment)
+	for _, seg := range s.Segments {
+		if seg.Name == "" {
+			return fmt.Errorf("hiemodel: segment with empty name")
+		}
+		if _, dup := segs[seg.Name]; dup {
+			return fmt.Errorf("hiemodel: duplicate segment %q", seg.Name)
+		}
+		segs[seg.Name] = seg
+		fields := make(map[string]bool)
+		for _, f := range seg.Fields {
+			if f.Name == "" {
+				return fmt.Errorf("hiemodel: segment %q has a field with no name", seg.Name)
+			}
+			if fields[f.Name] {
+				return fmt.Errorf("hiemodel: segment %q declares field %q twice", seg.Name, f.Name)
+			}
+			fields[f.Name] = true
+			switch f.Type {
+			case FieldInt, FieldFloat, FieldString:
+			default:
+				return fmt.Errorf("hiemodel: segment %q field %q has invalid type", seg.Name, f.Name)
+			}
+		}
+	}
+	for _, seg := range s.Segments {
+		if seg.Parent == "" {
+			continue
+		}
+		if _, ok := segs[seg.Parent]; !ok {
+			return fmt.Errorf("hiemodel: segment %q names unknown parent %q", seg.Name, seg.Parent)
+		}
+		// Acyclic: walking parents must reach a root.
+		seen := map[string]bool{}
+		cur := seg.Name
+		for cur != "" {
+			if seen[cur] {
+				return fmt.Errorf("hiemodel: parent cycle through %q", cur)
+			}
+			seen[cur] = true
+			cur = segs[cur].Parent
+		}
+	}
+	if len(s.Roots()) == 0 {
+		return fmt.Errorf("hiemodel: schema has no root segment")
+	}
+	return nil
+}
+
+// DBD renders the schema as the textual DBD accepted by Parse.
+func (s *Schema) DBD() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DBD NAME IS %s\n", s.Name)
+	for _, seg := range s.Segments {
+		fmt.Fprintf(&b, "\nSEGMENT NAME IS %s", seg.Name)
+		if seg.Parent != "" {
+			fmt.Fprintf(&b, " PARENT IS %s", seg.Parent)
+		}
+		b.WriteString("\n")
+		for _, f := range seg.Fields {
+			fmt.Fprintf(&b, "    FIELD %s %s", f.Name, f.Type)
+			if f.Type == FieldString && f.Length > 0 {
+				fmt.Fprintf(&b, " %d", f.Length)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Parse parses a textual DBD.
+func Parse(src string) (*Schema, error) {
+	var s *Schema
+	var cur *Segment
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "*") {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("hiemodel: line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case hasPrefixFold(line, "DBD NAME IS"):
+			if s != nil {
+				return nil, errf("duplicate DBD NAME IS")
+			}
+			name := strings.TrimSpace(line[len("DBD NAME IS"):])
+			if name == "" {
+				return nil, errf("DBD NAME IS requires a name")
+			}
+			s = &Schema{Name: name}
+		case hasPrefixFold(line, "SEGMENT NAME IS"):
+			if s == nil {
+				return nil, errf("SEGMENT before DBD NAME IS")
+			}
+			rest := strings.TrimSpace(line[len("SEGMENT NAME IS"):])
+			cur = &Segment{}
+			if idx := indexFold(rest, "PARENT IS"); idx >= 0 {
+				cur.Name = strings.TrimSpace(rest[:idx])
+				cur.Parent = strings.TrimSpace(rest[idx+len("PARENT IS"):])
+			} else {
+				cur.Name = rest
+			}
+			if cur.Name == "" {
+				return nil, errf("SEGMENT NAME IS requires a name")
+			}
+			s.Segments = append(s.Segments, cur)
+		case hasPrefixFold(line, "FIELD"):
+			if cur == nil {
+				return nil, errf("FIELD outside a segment")
+			}
+			parts := strings.Fields(line)
+			if len(parts) < 3 {
+				return nil, errf("FIELD requires a name and a type")
+			}
+			f := &Field{Name: parts[1]}
+			switch strings.ToUpper(parts[2]) {
+			case "INT", "INTEGER", "FIXED":
+				f.Type = FieldInt
+			case "FLOAT", "REAL":
+				f.Type = FieldFloat
+			case "CHAR", "CHARACTER":
+				f.Type = FieldString
+			default:
+				return nil, errf("unknown field type %q", parts[2])
+			}
+			if len(parts) > 3 {
+				n, err := strconv.Atoi(parts[3])
+				if err != nil || n <= 0 {
+					return nil, errf("bad field length %q", parts[3])
+				}
+				f.Length = n
+			}
+			cur.Fields = append(cur.Fields, f)
+		default:
+			return nil, errf("cannot parse %q", line)
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("hiemodel: no DBD NAME IS declaration found")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func hasPrefixFold(s, prefix string) bool {
+	return len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix)
+}
+
+func indexFold(s, sub string) int {
+	up := strings.ToUpper(s)
+	return strings.Index(up, strings.ToUpper(sub))
+}

@@ -1,0 +1,116 @@
+package hiemodel
+
+import (
+	"strings"
+	"testing"
+)
+
+const schoolDBD = `
+DBD NAME IS school
+
+SEGMENT NAME IS dept
+    FIELD dname CHAR 20
+    FIELD floor INT
+
+SEGMENT NAME IS course PARENT IS dept
+    FIELD title CHAR 30
+
+SEGMENT NAME IS enroll PARENT IS course
+    FIELD sname CHAR 20
+    FIELD grade FLOAT
+`
+
+func TestParseDBD(t *testing.T) {
+	s, err := Parse(schoolDBD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "school" || len(s.Segments) != 3 {
+		t.Fatalf("schema = %+v", s)
+	}
+	course, ok := s.Segment("course")
+	if !ok || course.Parent != "dept" {
+		t.Fatalf("course = %+v", course)
+	}
+	dname, _ := mustSeg(t, s, "dept").Field("dname")
+	if dname == nil || dname.Type != FieldString || dname.Length != 20 {
+		t.Errorf("dname = %+v", dname)
+	}
+	grade, _ := mustSeg(t, s, "enroll").Field("grade")
+	if grade == nil || grade.Type != FieldFloat {
+		t.Errorf("grade = %+v", grade)
+	}
+}
+
+func mustSeg(t *testing.T, s *Schema, name string) *Segment {
+	t.Helper()
+	seg, ok := s.Segment(name)
+	if !ok {
+		t.Fatalf("segment %q missing", name)
+	}
+	return seg
+}
+
+func TestChildrenAndRoots(t *testing.T) {
+	s, _ := Parse(schoolDBD)
+	roots := s.Roots()
+	if len(roots) != 1 || roots[0].Name != "dept" {
+		t.Fatalf("roots = %v", roots)
+	}
+	kids := s.Children("dept")
+	if len(kids) != 1 || kids[0].Name != "course" {
+		t.Fatalf("children = %v", kids)
+	}
+	path, ok := s.AncestorPath("enroll")
+	if !ok || strings.Join(path, "/") != "dept/course/enroll" {
+		t.Fatalf("path = %v", path)
+	}
+	if _, ok := s.AncestorPath("nosuch"); ok {
+		t.Error("phantom path")
+	}
+}
+
+func TestDBDRoundTrip(t *testing.T) {
+	s1, err := Parse(schoolDBD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s1.DBD())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s1.DBD())
+	}
+	if s2.DBD() != s1.DBD() {
+		t.Error("DBD round trip unstable")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := map[string]string{
+		"no dbd":        "SEGMENT NAME IS x",
+		"dup dbd":       "DBD NAME IS a\nDBD NAME IS b",
+		"dup segment":   "DBD NAME IS d\nSEGMENT NAME IS x\nSEGMENT NAME IS x",
+		"ghost parent":  "DBD NAME IS d\nSEGMENT NAME IS x PARENT IS nosuch",
+		"cycle":         "DBD NAME IS d\nSEGMENT NAME IS a PARENT IS b\nSEGMENT NAME IS b PARENT IS a",
+		"no root":       "DBD NAME IS d",
+		"dup field":     "DBD NAME IS d\nSEGMENT NAME IS x\nFIELD a INT\nFIELD a CHAR",
+		"bad type":      "DBD NAME IS d\nSEGMENT NAME IS x\nFIELD a BLOB",
+		"bad length":    "DBD NAME IS d\nSEGMENT NAME IS x\nFIELD a CHAR zero",
+		"field outside": "DBD NAME IS d\nFIELD a INT",
+		"garbage":       "DBD NAME IS d\nWHAT IS THIS",
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMultiRootForest(t *testing.T) {
+	s, err := Parse("DBD NAME IS f\nSEGMENT NAME IS a\nFIELD x INT\nSEGMENT NAME IS b\nFIELD y INT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Roots()) != 2 {
+		t.Errorf("roots = %v", s.Roots())
+	}
+}

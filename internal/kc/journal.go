@@ -1,0 +1,76 @@
+package kc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"mlds/internal/abdl"
+	"mlds/internal/wire"
+)
+
+// journalEntry is one logged mutation. Key carries the controller's key
+// allocator position so STORE-assigned database keys replay identically.
+type journalEntry struct {
+	Req wire.Request
+	Key int64
+}
+
+// AttachJournal starts logging every mutating request (INSERT, DELETE,
+// UPDATE) the controller executes, as a gob stream on w. Replaying the
+// stream against a freshly-loaded database reproduces the mutations in
+// order — the recovery log of a production deployment. Retrievals are not
+// logged.
+func (c *Controller) AttachJournal(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = gob.NewEncoder(w)
+}
+
+// DetachJournal stops journalling.
+func (c *Controller) DetachJournal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = nil
+}
+
+// logMutation writes one entry; called with a successful mutating request.
+func (c *Controller) logMutation(req *abdl.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	entry := journalEntry{Req: wire.FromRequest(req), Key: c.nextKey}
+	if err := c.journal.Encode(&entry); err != nil {
+		return fmt.Errorf("kc: journal write: %w", err)
+	}
+	return nil
+}
+
+// ReplayJournal reads a journal stream and re-executes every mutation on the
+// controller, restoring the key allocator as it goes. It returns the number
+// of entries applied.
+func (c *Controller) ReplayJournal(r io.Reader) (int, error) {
+	dec := gob.NewDecoder(r)
+	n := 0
+	for {
+		var entry journalEntry
+		if err := dec.Decode(&entry); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
+		}
+		req, err := entry.Req.ToRequest()
+		if err != nil {
+			return n, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
+		}
+		if _, _, err := c.sys.ExecTimed(req); err != nil {
+			return n, fmt.Errorf("kc: replaying entry %d: %w", n+1, err)
+		}
+		c.SeedKeys(entry.Key)
+		n++
+	}
+}

@@ -1,0 +1,109 @@
+// Package kc implements the kernel controller subsystem (KCS) of a language
+// interface: it forwards the ABDL requests produced by the kernel mapping
+// system to the kernel database system (MBDS), collects results into result
+// buffers, allocates logical database keys, and keeps a trace of every
+// request it executes — the trace is what the experiment goldens compare
+// against the thesis's worked translations.
+package kc
+
+import (
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/currency"
+	"mlds/internal/kdb"
+	"mlds/internal/mbds"
+)
+
+// Controller mediates between one language interface and the kernel
+// database system.
+type Controller struct {
+	sys *mbds.System
+
+	mu      sync.Mutex
+	nextKey currency.Key
+	trace   []string
+	tracing bool
+	simTime time.Duration
+	journal *gob.Encoder
+}
+
+// New builds a controller over a kernel database system.
+func New(sys *mbds.System) *Controller {
+	return &Controller{sys: sys}
+}
+
+// System exposes the underlying kernel database system.
+func (c *Controller) System() *mbds.System { return c.sys }
+
+// Exec validates and executes one ABDL request, recording it in the trace.
+func (c *Controller) Exec(req *abdl.Request) (*kdb.Result, error) {
+	c.mu.Lock()
+	if c.tracing {
+		c.trace = append(c.trace, req.String())
+	}
+	c.mu.Unlock()
+	res, t, err := c.sys.ExecTimed(req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.simTime += t
+	c.mu.Unlock()
+	switch req.Kind {
+	case abdl.Insert, abdl.Delete, abdl.Update:
+		if err := c.logMutation(req); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// NextKey allocates a fresh logical database key.
+func (c *Controller) NextKey() currency.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextKey++
+	return c.nextKey
+}
+
+// SeedKeys advances the key allocator past max, so bulk-loaded keys and
+// session-allocated keys never collide.
+func (c *Controller) SeedKeys(max currency.Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if max > c.nextKey {
+		c.nextKey = max
+	}
+}
+
+// StartTrace begins recording executed requests, clearing any prior trace.
+func (c *Controller) StartTrace() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracing = true
+	c.trace = nil
+}
+
+// Trace returns the requests executed since StartTrace.
+func (c *Controller) Trace() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.trace...)
+}
+
+// StopTrace stops recording.
+func (c *Controller) StopTrace() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracing = false
+}
+
+// SimTime reports the accumulated simulated kernel response time.
+func (c *Controller) SimTime() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.simTime
+}

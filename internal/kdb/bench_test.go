@@ -1,0 +1,128 @@
+package kdb
+
+import (
+	"fmt"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+func benchStore(b *testing.B, n int, opts ...Option) *Store {
+	b.Helper()
+	d := abdm.NewDirectory()
+	for _, def := range []struct {
+		name string
+		kind abdm.Kind
+	}{{"title", abdm.KindString}, {"dept", abdm.KindString}, {"credits", abdm.KindInt}} {
+		if err := d.DefineAttr(def.name, def.kind); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.DefineFile("course", []string{"title", "dept", "credits"}); err != nil {
+		b.Fatal(err)
+	}
+	s := NewStore(d, opts...)
+	for i := 0; i < n; i++ {
+		rec := abdm.NewRecord("course",
+			abdm.Keyword{Attr: "title", Val: abdm.String(fmt.Sprintf("T%06d", i))},
+			abdm.Keyword{Attr: "dept", Val: abdm.String([]string{"CS", "EE", "ME", "CE"}[i%4])},
+			abdm.Keyword{Attr: "credits", Val: abdm.Int(int64(i % 7))},
+		)
+		if _, err := s.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkStoreInsert(b *testing.B) {
+	s := benchStore(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := abdm.NewRecord("course",
+			abdm.Keyword{Attr: "title", Val: abdm.String(fmt.Sprintf("T%08d", i))},
+			abdm.Keyword{Attr: "dept", Val: abdm.String("CS")},
+			abdm.Keyword{Attr: "credits", Val: abdm.Int(int64(i % 7))},
+		)
+		if _, err := s.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreRetrieveIndexed(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(b, n)
+			req := abdl.NewRetrieve(abdm.And(
+				abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("CS")},
+			), "title")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreRetrieveScan(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := benchStore(b, n, WithoutIndexes())
+			req := abdl.NewRetrieve(abdm.And(
+				abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("CS")},
+			), "title")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreRetrieveRange(b *testing.B) {
+	s := benchStore(b, 10000)
+	req := abdl.NewRetrieve(abdm.Query{{
+		{Attr: "credits", Op: abdm.OpGe, Val: abdm.Int(5)},
+	}}, "title")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreUpdate(b *testing.B) {
+	s := benchStore(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := abdl.NewUpdate(abdm.And(
+			abdm.Predicate{Attr: "title", Op: abdm.OpEq, Val: abdm.String(fmt.Sprintf("T%06d", i%10000))},
+		), abdl.Modifier{Attr: "credits", Val: abdm.Int(int64(i % 9))})
+		if _, err := s.Exec(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreRetrieveCommon(b *testing.B) {
+	s := benchStore(b, 10000)
+	req := abdl.NewRetrieveCommon(
+		abdm.And(abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("CS")}),
+		"credits",
+		abdm.And(abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("EE")}),
+		"title",
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package kdb
+
+import (
+	"sort"
+
+	"mlds/internal/abdm"
+)
+
+// attrIndex is an inverted index over one attribute: value → posting list of
+// record IDs. A sorted list of distinct values supports range predicates.
+type attrIndex struct {
+	postings map[string][]abdm.RecordID // canonical value key → sorted IDs
+	values   map[string]abdm.Value      // canonical key → representative value
+	sorted   []string                   // canonical keys, sorted by value; nil when stale
+}
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{
+		postings: make(map[string][]abdm.RecordID),
+		values:   make(map[string]abdm.Value),
+	}
+}
+
+// valueKey builds the canonical index key for a value. Ints and floats that
+// compare equal share a key so numeric predicates hit either representation.
+func valueKey(v abdm.Value) string {
+	switch v.Kind() {
+	case abdm.KindInt:
+		return "n" + abdm.Float(float64(v.AsInt())).String()
+	case abdm.KindFloat:
+		return "n" + v.String()
+	case abdm.KindString:
+		return "s" + v.AsString()
+	default:
+		return "0"
+	}
+}
+
+func (ix *attrIndex) add(v abdm.Value, id abdm.RecordID) {
+	k := valueKey(v)
+	if _, ok := ix.postings[k]; !ok {
+		ix.values[k] = v
+		ix.sorted = nil
+	}
+	ids := ix.postings[k]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		return
+	}
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	ix.postings[k] = ids
+}
+
+func (ix *attrIndex) remove(v abdm.Value, id abdm.RecordID) {
+	k := valueKey(v)
+	ids := ix.postings[k]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		ids = append(ids[:i], ids[i+1:]...)
+		if len(ids) == 0 {
+			delete(ix.postings, k)
+			delete(ix.values, k)
+			ix.sorted = nil
+		} else {
+			ix.postings[k] = ids
+		}
+	}
+}
+
+// lookupEq returns the posting list for an exact value.
+func (ix *attrIndex) lookupEq(v abdm.Value) []abdm.RecordID {
+	return ix.postings[valueKey(v)]
+}
+
+// ensureSorted materialises the distinct-value ordering for range scans.
+func (ix *attrIndex) ensureSorted() {
+	if ix.sorted != nil {
+		return
+	}
+	keys := make([]string, 0, len(ix.values))
+	for k := range ix.values {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		c, err := ix.values[keys[i]].Compare(ix.values[keys[j]])
+		if err != nil {
+			// Incomparable kinds: order by kind tag then key for stability.
+			return keys[i] < keys[j]
+		}
+		return c < 0
+	})
+	ix.sorted = keys
+}
+
+// lookupRange returns IDs whose values satisfy op against bound. probes
+// reports how many distinct index entries were examined (directory cost).
+func (ix *attrIndex) lookupRange(op abdm.Op, bound abdm.Value) (ids []abdm.RecordID, probes int) {
+	if op == abdm.OpEq {
+		return ix.lookupEq(bound), 1
+	}
+	ix.ensureSorted()
+	for _, k := range ix.sorted {
+		v := ix.values[k]
+		cmp, err := v.Compare(bound)
+		if err != nil {
+			if op == abdm.OpNe {
+				ids = append(ids, ix.postings[k]...)
+			}
+			probes++
+			continue
+		}
+		probes++
+		if op.Holds(cmp) {
+			ids = append(ids, ix.postings[k]...)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, probes
+}
+
+// cardinality returns the number of records indexed under the value.
+func (ix *attrIndex) cardinality(v abdm.Value) int { return len(ix.postings[valueKey(v)]) }

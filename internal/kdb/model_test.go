@@ -1,0 +1,248 @@
+package kdb
+
+// Model-based test: the store must agree with a deliberately naive reference
+// implementation (linear scans over a plain slice) on randomized request
+// sequences. This pins the indexed access paths, update/delete bookkeeping
+// and projection logic to the obviously-correct semantics.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// refStore is the naive reference: a slice of records, linear everything.
+type refStore struct {
+	recs   []*abdm.Record
+	nextID int
+}
+
+func (r *refStore) insert(rec *abdm.Record) { r.recs = append(r.recs, rec.Clone()) }
+
+func (r *refStore) retrieve(q abdm.Query) []*abdm.Record {
+	var out []*abdm.Record
+	for _, rec := range r.recs {
+		if q.Matches(rec) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func (r *refStore) update(q abdm.Query, mods []abdl.Modifier) int {
+	n := 0
+	for _, rec := range r.recs {
+		if q.Matches(rec) {
+			for _, m := range mods {
+				rec.Set(m.Attr, m.Val)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func (r *refStore) delete(q abdm.Query) int {
+	var kept []*abdm.Record
+	n := 0
+	for _, rec := range r.recs {
+		if q.Matches(rec) {
+			n++
+		} else {
+			kept = append(kept, rec)
+		}
+	}
+	r.recs = kept
+	return n
+}
+
+// multiset returns a canonical sorted key list of records for comparison.
+func multiset(recs []*abdm.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func storedToRecs(srs []StoredRecord) []*abdm.Record {
+	out := make([]*abdm.Record, len(srs))
+	for i, sr := range srs {
+		out[i] = sr.Rec
+	}
+	return out
+}
+
+func TestStoreAgreesWithReferenceModel(t *testing.T) {
+	dir := abdm.NewDirectory()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(dir.DefineAttr("a", abdm.KindInt))
+	must(dir.DefineAttr("b", abdm.KindString))
+	must(dir.DefineAttr("c", abdm.KindFloat))
+	must(dir.DefineFile("f", []string{"a", "b", "c"}))
+	must(dir.DefineFile("g", []string{"a", "b"}))
+
+	rng := rand.New(rand.NewSource(19870601))
+	store := NewStore(dir)
+	ref := &refStore{}
+
+	randValue := func(attr string) abdm.Value {
+		switch attr {
+		case "a":
+			return abdm.Int(int64(rng.Intn(8)))
+		case "b":
+			return abdm.String(string(rune('p' + rng.Intn(5))))
+		default:
+			if rng.Intn(6) == 0 {
+				return abdm.Null()
+			}
+			return abdm.Float(float64(rng.Intn(4)) / 2)
+		}
+	}
+	randQuery := func() abdm.Query {
+		var q abdm.Query
+		terms := 1 + rng.Intn(2)
+		for i := 0; i < terms; i++ {
+			conj := abdm.Conjunction{}
+			if rng.Intn(3) > 0 {
+				file := []string{"f", "g"}[rng.Intn(2)]
+				conj = append(conj, abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(file)})
+			}
+			preds := 1 + rng.Intn(2)
+			for j := 0; j < preds; j++ {
+				attr := []string{"a", "b", "c"}[rng.Intn(3)]
+				op := []abdm.Op{abdm.OpEq, abdm.OpNe, abdm.OpLt, abdm.OpGe}[rng.Intn(4)]
+				conj = append(conj, abdm.Predicate{Attr: attr, Op: op, Val: randValue(attr)})
+			}
+			q = append(q, conj)
+		}
+		return q
+	}
+
+	const steps = 600
+	for step := 0; step < steps; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // insert
+			file := []string{"f", "g"}[rng.Intn(2)]
+			rec := abdm.NewRecord(file,
+				abdm.Keyword{Attr: "a", Val: randValue("a")},
+				abdm.Keyword{Attr: "b", Val: randValue("b")})
+			if file == "f" {
+				rec.Set("c", randValue("c"))
+			}
+			if _, err := store.Insert(rec); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			ref.insert(rec)
+		case 4, 5, 6: // retrieve and compare
+			q := randQuery()
+			res, err := store.Exec(abdl.NewRetrieve(q, abdl.AllAttrs))
+			if err != nil {
+				t.Fatalf("step %d retrieve: %v", step, err)
+			}
+			got := multiset(storedToRecs(res.Records))
+			want := multiset(ref.retrieve(q))
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("step %d: retrieve mismatch for %v\n got %d records\nwant %d records", step, q, len(got), len(want))
+			}
+		case 7, 8: // update
+			q := randQuery()
+			attr := []string{"a", "b"}[rng.Intn(2)]
+			mods := []abdl.Modifier{{Attr: attr, Val: randValue(attr)}}
+			res, err := store.Exec(abdl.NewUpdate(q, mods...))
+			if err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			if n := ref.update(q, mods); n != res.Count {
+				t.Fatalf("step %d: update count %d, reference %d (query %v)", step, res.Count, n, q)
+			}
+		case 9: // delete
+			q := randQuery()
+			res, err := store.Exec(abdl.NewDelete(q))
+			if err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			if n := ref.delete(q); n != res.Count {
+				t.Fatalf("step %d: delete count %d, reference %d (query %v)", step, res.Count, n, q)
+			}
+		}
+		// Invariant: total contents agree after every step.
+		if store.Len() != len(ref.recs) {
+			t.Fatalf("step %d: store has %d records, reference %d", step, store.Len(), len(ref.recs))
+		}
+	}
+	// Final full comparison.
+	res, err := store.Exec(abdl.NewRetrieve(nil, abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := multiset(storedToRecs(res.Records))
+	want := multiset(ref.recs)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatal("final contents diverged from the reference model")
+	}
+}
+
+// TestMBDSAgreesWithSingleStore: the same request stream against a 1-backend
+// store and a multi-backend system must yield identical logical contents.
+func TestStoreScanAgreesWithIndexesOnRandomStream(t *testing.T) {
+	dir := abdm.NewDirectory()
+	if err := dir.DefineAttr("a", abdm.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := dir.DefineFile("f", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	indexed := NewStore(dir)
+	scanned := NewStore(dir.Clone(), WithoutIndexes())
+	for step := 0; step < 300; step++ {
+		v := abdm.Int(int64(rng.Intn(10)))
+		switch rng.Intn(4) {
+		case 0, 1:
+			rec := abdm.NewRecord("f", abdm.Keyword{Attr: "a", Val: v})
+			if _, err := indexed.Insert(rec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := scanned.Insert(rec); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			q := abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpEq, Val: v})
+			r1, err := indexed.Exec(abdl.NewDelete(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := scanned.Exec(abdl.NewDelete(q))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Count != r2.Count {
+				t.Fatalf("step %d: delete counts differ: %d vs %d", step, r1.Count, r2.Count)
+			}
+		case 3:
+			q := abdm.And(abdm.Predicate{Attr: "a", Op: abdm.OpGe, Val: v})
+			r1, err := indexed.Exec(abdl.NewRetrieve(q, abdl.AllAttrs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := scanned.Exec(abdl.NewRetrieve(q, abdl.AllAttrs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r1.Records) != len(r2.Records) {
+				t.Fatalf("step %d: retrieve sizes differ: %d vs %d", step, len(r1.Records), len(r2.Records))
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package kdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mlds/internal/abdm"
+)
+
+// The persistence format is a gob stream of plain DTO structs so that the
+// model types stay free of serialisation concerns.
+
+type kwDTO struct {
+	Attr string
+	Kind byte
+	I    int64
+	F    float64
+	S    string
+}
+
+type recordDTO struct {
+	ID       uint64
+	Keywords []kwDTO
+	Text     string
+}
+
+type snapshotDTO struct {
+	Attrs   map[string]byte
+	Files   map[string][]string
+	Records []recordDTO
+	NextID  uint64
+}
+
+func toKwDTO(kw abdm.Keyword) kwDTO {
+	d := kwDTO{Attr: kw.Attr, Kind: byte(kw.Val.Kind())}
+	switch kw.Val.Kind() {
+	case abdm.KindInt:
+		d.I = kw.Val.AsInt()
+	case abdm.KindFloat:
+		d.F = kw.Val.AsFloat()
+	case abdm.KindString:
+		d.S = kw.Val.AsString()
+	}
+	return d
+}
+
+func fromKwDTO(d kwDTO) (abdm.Keyword, error) {
+	var v abdm.Value
+	switch abdm.Kind(d.Kind) {
+	case abdm.KindNull:
+		v = abdm.Null()
+	case abdm.KindInt:
+		v = abdm.Int(d.I)
+	case abdm.KindFloat:
+		v = abdm.Float(d.F)
+	case abdm.KindString:
+		v = abdm.String(d.S)
+	default:
+		return abdm.Keyword{}, fmt.Errorf("kdb: corrupt snapshot: unknown value kind %d", d.Kind)
+	}
+	return abdm.Keyword{Attr: d.Attr, Val: v}, nil
+}
+
+// Save writes the store's directory and records to w.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	dto := snapshotDTO{
+		Attrs: make(map[string]byte),
+		Files: make(map[string][]string),
+	}
+	for _, a := range s.dir.Attrs() {
+		k, _ := s.dir.AttrKind(a)
+		dto.Attrs[a] = byte(k)
+	}
+	for _, f := range s.dir.Files() {
+		t, _ := s.dir.FileTemplate(f)
+		dto.Files[f] = t
+	}
+	var maxID abdm.RecordID
+	for id, file := range s.fileOf {
+		rec := s.files[file][id]
+		rd := recordDTO{ID: uint64(id), Text: rec.Text}
+		for _, kw := range rec.Keywords {
+			rd.Keywords = append(rd.Keywords, toKwDTO(kw))
+		}
+		dto.Records = append(dto.Records, rd)
+		if id > maxID {
+			maxID = id
+		}
+	}
+	dto.NextID = uint64(maxID)
+	s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Load reads a snapshot written by Save and returns a fresh store holding
+// its contents. New database keys continue after the highest loaded key.
+func Load(r io.Reader, opts ...Option) (*Store, error) {
+	var dto snapshotDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("kdb: decoding snapshot: %w", err)
+	}
+	dir := abdm.NewDirectory()
+	for a, k := range dto.Attrs {
+		if err := dir.DefineAttr(a, abdm.Kind(k)); err != nil {
+			return nil, err
+		}
+	}
+	for f, t := range dto.Files {
+		if err := dir.DefineFile(f, t); err != nil {
+			return nil, err
+		}
+	}
+	ctr := abdm.RecordID(dto.NextID)
+	s := NewStore(dir, opts...)
+	s.nextID = func() abdm.RecordID { ctr++; return ctr }
+	for _, rd := range dto.Records {
+		rec := &abdm.Record{Text: rd.Text}
+		for _, kd := range rd.Keywords {
+			kw, err := fromKwDTO(kd)
+			if err != nil {
+				return nil, err
+			}
+			rec.Set(kw.Attr, kw.Val)
+		}
+		if err := s.InsertWithID(abdm.RecordID(rd.ID), rec); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// InsertWithID stores a record under a caller-supplied database key. It is
+// used when reloading snapshots and when MBDS redistributes records across
+// backends; the key must not already be in use.
+func (s *Store) InsertWithID(id abdm.RecordID, rec *abdm.Record) error {
+	if err := s.dir.ValidateRecord(rec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.fileOf[id]; dup {
+		return fmt.Errorf("kdb: database key %d already in use", id)
+	}
+	cp := rec.Clone()
+	file := cp.File()
+	if s.files[file] == nil {
+		s.files[file] = make(map[abdm.RecordID]*abdm.Record)
+	}
+	s.files[file][id] = cp
+	s.fileOf[id] = file
+	if !s.noIndex {
+		for _, kw := range cp.Keywords {
+			ix := s.indexes[kw.Attr]
+			if ix == nil {
+				ix = newAttrIndex()
+				s.indexes[kw.Attr] = ix
+			}
+			ix.add(kw.Val, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package kdb
+
+import (
+	"fmt"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// commonDir declares two files sharing the dept attribute.
+func commonDir(t *testing.T) *abdm.Directory {
+	t.Helper()
+	d := abdm.NewDirectory()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(d.DefineAttr("name", abdm.KindString))
+	must(d.DefineAttr("dept", abdm.KindString))
+	must(d.DefineAttr("budget", abdm.KindInt))
+	must(d.DefineFile("emp", []string{"name", "dept"}))
+	must(d.DefineFile("proj", []string{"name", "dept", "budget"}))
+	return d
+}
+
+func loadCommon(t *testing.T, s *Store) {
+	t.Helper()
+	ins := func(file, name, dept string, budget int64) {
+		rec := abdm.NewRecord(file,
+			abdm.Keyword{Attr: "name", Val: abdm.String(name)},
+			abdm.Keyword{Attr: "dept", Val: abdm.String(dept)})
+		if file == "proj" {
+			rec.Set("budget", abdm.Int(budget))
+		}
+		if _, err := s.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins("emp", "ann", "CS", 0)
+	ins("emp", "bob", "EE", 0)
+	ins("emp", "cey", "ME", 0)
+	ins("proj", "compiler", "CS", 100)
+	ins("proj", "radio", "EE", 50)
+	ins("proj", "cheap", "EE", 1)
+}
+
+func TestRetrieveCommonSemiJoin(t *testing.T) {
+	s := NewStore(commonDir(t))
+	loadCommon(t, s)
+	// Employees whose dept has a project with budget >= 50.
+	req := abdl.NewRetrieveCommon(
+		abdm.And(abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("emp")}),
+		"dept",
+		abdm.And(
+			abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("proj")},
+			abdm.Predicate{Attr: "budget", Op: abdm.OpGe, Val: abdm.Int(50)},
+		),
+		"name", "dept",
+	)
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("records = %d, want 2 (ann, bob)", len(res.Records))
+	}
+	names := map[string]bool{}
+	for _, sr := range res.Records {
+		v, _ := sr.Rec.Get("name")
+		names[v.AsString()] = true
+		if sr.Rec.Has("budget") {
+			t.Error("projection leaked the second query's attributes")
+		}
+	}
+	if !names["ann"] || !names["bob"] || names["cey"] {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestRetrieveCommonEmptySecond(t *testing.T) {
+	s := NewStore(commonDir(t))
+	loadCommon(t, s)
+	req := abdl.NewRetrieveCommon(
+		abdm.And(abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("emp")}),
+		"dept",
+		abdm.And(abdm.Predicate{Attr: "budget", Op: abdm.OpGt, Val: abdm.Int(9999)}),
+		abdl.AllAttrs,
+	)
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 {
+		t.Errorf("empty semi-join returned %d records", len(res.Records))
+	}
+}
+
+func TestRetrieveCommonValidation(t *testing.T) {
+	s := NewStore(commonDir(t))
+	bad := &abdl.Request{
+		Kind:   abdl.RetrieveCommon,
+		Query:  abdm.And(abdm.Predicate{Attr: "name", Op: abdm.OpEq, Val: abdm.String("x")}),
+		Target: []abdl.TargetItem{{Attr: abdl.AllAttrs}},
+	}
+	if _, err := s.Exec(bad); err == nil {
+		t.Error("RETRIEVE-COMMON without COMMON clause accepted")
+	}
+	bad2 := abdl.NewRetrieveCommon(
+		abdm.And(abdm.Predicate{Attr: "name", Op: abdm.OpEq, Val: abdm.String("x")}),
+		"nosuch",
+		abdm.And(abdm.Predicate{Attr: "name", Op: abdm.OpEq, Val: abdm.String("y")}),
+		abdl.AllAttrs,
+	)
+	if _, err := s.Exec(bad2); err == nil {
+		t.Error("undeclared common attribute accepted")
+	}
+}
+
+func TestRetrieveCommonAggregates(t *testing.T) {
+	s := NewStore(commonDir(t))
+	loadCommon(t, s)
+	req := &abdl.Request{
+		Kind:   abdl.RetrieveCommon,
+		Query:  abdm.And(abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("emp")}),
+		Common: "dept",
+		Query2: abdm.And(abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("proj")}),
+		Target: []abdl.TargetItem{{Agg: abdl.AggCount, Attr: "name"}},
+	}
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Aggs[0].Val.AsInt() != 2 {
+		t.Errorf("count = %+v", res.Groups)
+	}
+}
+
+func TestCommonValuesAndFilter(t *testing.T) {
+	recs := []StoredRecord{
+		{ID: 1, Rec: abdm.NewRecord("f", abdm.Keyword{Attr: "d", Val: abdm.String("a")})},
+		{ID: 2, Rec: abdm.NewRecord("f", abdm.Keyword{Attr: "d", Val: abdm.Null()})},
+		{ID: 3, Rec: abdm.NewRecord("f", abdm.Keyword{Attr: "d", Val: abdm.String("b")})},
+	}
+	vals := CommonValues(recs, "d")
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	kept := FilterByCommon(recs, "d", vals)
+	if len(kept) != 2 { // NULL never joins
+		t.Errorf("kept = %d", len(kept))
+	}
+}
+
+// Cross-backend semi-join lives in mbds; this exercises the parse path.
+func TestRetrieveCommonParseRoundTrip(t *testing.T) {
+	src := "RETRIEVE-COMMON ((FILE = 'emp')) (name) COMMON dept ((FILE = 'proj') AND (budget >= 50))"
+	req, err := abdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != abdl.RetrieveCommon || req.Common != "dept" || len(req.Query2) != 1 {
+		t.Fatalf("parsed %+v", req)
+	}
+	if req.String() != src {
+		t.Errorf("round trip: %q vs %q", req.String(), src)
+	}
+	s := NewStore(commonDir(t))
+	loadCommon(t, s)
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Errorf("records = %d", len(res.Records))
+	}
+	_ = fmt.Sprint(res)
+}

@@ -1,0 +1,538 @@
+package kdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// Store is one backend's partition of the kernel database: records grouped
+// by file, with an inverted index per attribute. All operations are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	dir     *abdm.Directory
+	disk    DiskModel
+	files   map[string]map[abdm.RecordID]*abdm.Record
+	indexes map[string]*attrIndex // attribute name → index
+	fileOf  map[abdm.RecordID]string
+	nextID  func() abdm.RecordID
+	noIndex bool // ablation switch: force full-file scans
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithDisk sets the synthetic disk model.
+func WithDisk(m DiskModel) Option { return func(s *Store) { s.disk = m } }
+
+// WithIDAllocator supplies the database-key allocator. MBDS passes a shared
+// allocator so keys are unique across backends; a standalone store defaults
+// to a private counter.
+func WithIDAllocator(next func() abdm.RecordID) Option {
+	return func(s *Store) { s.nextID = next }
+}
+
+// WithoutIndexes disables attribute indexes, forcing every query to scan its
+// file. Exists for the index-vs-scan ablation benchmark.
+func WithoutIndexes() Option { return func(s *Store) { s.noIndex = true } }
+
+// WithStrideIDs allocates record IDs offset, offset+stride, offset+2·stride…
+// Remote backends of one kernel database each take a distinct offset with
+// stride = backend count, so their ID spaces never collide without
+// coordination over the bus.
+func WithStrideIDs(offset, stride uint64) Option {
+	return func(s *Store) {
+		if stride == 0 {
+			stride = 1
+		}
+		var n uint64
+		s.nextID = func() abdm.RecordID {
+			id := offset + n*stride
+			n++
+			if id == 0 { // zero is never a valid record ID
+				id = offset + n*stride
+				n++
+			}
+			return abdm.RecordID(id)
+		}
+	}
+}
+
+// NewStore builds an empty store over the directory.
+func NewStore(dir *abdm.Directory, opts ...Option) *Store {
+	s := &Store{
+		dir:     dir,
+		disk:    DefaultDiskModel(),
+		files:   make(map[string]map[abdm.RecordID]*abdm.Record),
+		indexes: make(map[string]*attrIndex),
+		fileOf:  make(map[abdm.RecordID]string),
+	}
+	var ctr abdm.RecordID
+	s.nextID = func() abdm.RecordID { ctr++; return ctr }
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Directory returns the store's attribute catalog.
+func (s *Store) Directory() *abdm.Directory { return s.dir }
+
+// Len reports the number of stored records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.fileOf)
+}
+
+// FileLen reports the number of records in one file.
+func (s *Store) FileLen(file string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files[file])
+}
+
+// Exec executes one ABDL request and returns its result.
+func (s *Store) Exec(req *abdl.Request) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case abdl.Insert:
+		return s.execInsert(req)
+	case abdl.Delete:
+		return s.execDelete(req)
+	case abdl.Update:
+		return s.execUpdate(req)
+	case abdl.Retrieve:
+		return s.execRetrieve(req)
+	case abdl.RetrieveCommon:
+		return s.execRetrieveCommon(req)
+	}
+	return nil, fmt.Errorf("kdb: unsupported request kind %v", req.Kind)
+}
+
+// execRetrieveCommon executes the semi-join locally: the common attribute's
+// values under the second query filter the first query's records. MBDS
+// overrides this with a two-phase cross-backend execution; the local path
+// serves standalone stores.
+func (s *Store) execRetrieveCommon(req *abdl.Request) (*Result, error) {
+	if err := s.dir.ValidateQuery(req.Query); err != nil {
+		return nil, err
+	}
+	if err := s.dir.ValidateQuery(req.Query2); err != nil {
+		return nil, err
+	}
+	if _, ok := s.dir.AttrKind(req.Common); !ok {
+		return nil, fmt.Errorf("kdb: RETRIEVE-COMMON names undeclared attribute %q", req.Common)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := &Result{Op: abdl.RetrieveCommon}
+	second, paths2 := s.qualify(req.Query2, &res.Cost)
+	values := CommonValues(second, req.Common)
+	first, paths1 := s.qualify(req.Query, &res.Cost)
+	res.Paths = append(paths1, paths2...)
+	kept := FilterByCommon(first, req.Common, values)
+	out := make([]StoredRecord, len(kept))
+	for i, sr := range kept {
+		out[i] = StoredRecord{ID: sr.ID, Rec: project(sr.Rec, req.Target)}
+	}
+	res.Records = out
+	if req.By != "" {
+		res.Groups = groupBy(out, kept, req.By)
+	}
+	res.RecomputeAggregates(req.Target)
+	return res, nil
+}
+
+// CommonValues collects the distinct non-null values of attr across records,
+// keyed canonically. Exported for the controller's cross-backend semi-join.
+func CommonValues(recs []StoredRecord, attr string) map[string]bool {
+	out := make(map[string]bool)
+	for _, sr := range recs {
+		if v, ok := sr.Rec.Get(attr); ok && !v.IsNull() {
+			out[valueKey(v)] = true
+		}
+	}
+	return out
+}
+
+// FilterByCommon keeps the records whose attr value is in the value set.
+func FilterByCommon(recs []StoredRecord, attr string, values map[string]bool) []StoredRecord {
+	var out []StoredRecord
+	for _, sr := range recs {
+		if v, ok := sr.Rec.Get(attr); ok && !v.IsNull() && values[valueKey(v)] {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Insert stores the record and returns its database key. The record is
+// cloned; callers keep ownership of their copy.
+func (s *Store) Insert(rec *abdm.Record) (abdm.RecordID, error) {
+	if err := s.dir.ValidateRecord(rec); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.insertLocked(rec), nil
+}
+
+func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
+	id := s.nextID()
+	cp := rec.Clone()
+	file := cp.File()
+	if s.files[file] == nil {
+		s.files[file] = make(map[abdm.RecordID]*abdm.Record)
+	}
+	s.files[file][id] = cp
+	s.fileOf[id] = file
+	if !s.noIndex {
+		for _, kw := range cp.Keywords {
+			ix := s.indexes[kw.Attr]
+			if ix == nil {
+				ix = newAttrIndex()
+				s.indexes[kw.Attr] = ix
+			}
+			ix.add(kw.Val, id)
+		}
+	}
+	return id
+}
+
+func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
+	if err := s.dir.ValidateRecord(req.Record); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.insertLocked(req.Record)
+	s.mu.Unlock()
+	res := &Result{Op: abdl.Insert, Count: 1}
+	res.Cost = Cost{FilesTouched: 1, BlocksWrit: 1, DirProbes: len(req.Record.Keywords)}
+	return res, nil
+}
+
+// GetByID returns the stored record with the given database key.
+func (s *Store) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	file, ok := s.fileOf[id]
+	if !ok {
+		return nil, false
+	}
+	return s.files[file][id].Clone(), true
+}
+
+// qualify finds the records matching the query, charging costs to c and
+// recording the chosen access paths. Caller must hold at least a read lock.
+func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string) {
+	matched := make(map[abdm.RecordID]*abdm.Record)
+	filesSeen := make(map[string]bool)
+	var paths []string
+	for _, conj := range q {
+		paths = append(paths, s.qualifyConj(conj, matched, filesSeen, c))
+	}
+	if len(q) == 0 {
+		// Unqualified request addresses every record.
+		paths = append(paths, "scan(*)")
+		for file, recs := range s.files {
+			filesSeen[file] = true
+			for id, r := range recs {
+				matched[id] = r
+			}
+			c.RecordsExam += len(recs)
+			c.BlocksRead += s.disk.blocks(len(recs))
+		}
+	}
+	c.FilesTouched = len(filesSeen)
+	out := make([]StoredRecord, 0, len(matched))
+	for id, r := range matched {
+		out = append(out, StoredRecord{ID: id, Rec: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, paths
+}
+
+// qualifyConj resolves one conjunction, using the most selective indexable
+// predicate as the access path and verifying the rest against candidates.
+// It returns a description of the chosen path.
+func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*abdm.Record, filesSeen map[string]bool, c *Cost) string {
+	file, hasFile := conj.File()
+	if hasFile {
+		filesSeen[file] = true
+		if s.files[file] == nil {
+			return "empty(" + file + ")"
+		}
+	} else {
+		for f := range s.files {
+			filesSeen[f] = true
+		}
+	}
+
+	// Pick the cheapest equality-indexed predicate as the access path.
+	var best *abdm.Predicate
+	bestCard := 0
+	if !s.noIndex {
+		for i := range conj {
+			p := conj[i]
+			if p.Op != abdm.OpEq || p.Val.IsNull() {
+				continue
+			}
+			ix := s.indexes[p.Attr]
+			if ix == nil {
+				// Attribute never stored: an Eq predicate on it can match
+				// nothing, so the conjunction is empty.
+				if p.Attr != abdm.FileAttr {
+					return "empty(" + p.Attr + ")"
+				}
+				continue
+			}
+			card := ix.cardinality(p.Val)
+			if best == nil || card < bestCard {
+				best, bestCard = &conj[i], card
+			}
+		}
+	}
+
+	verify := func(id abdm.RecordID, rec *abdm.Record) {
+		c.RecordsExam++
+		if conj.Matches(rec) {
+			matched[id] = rec
+		}
+	}
+
+	if best != nil {
+		c.DirProbes++
+		ids := s.indexes[best.Attr].lookupEq(best.Val)
+		c.BlocksRead += s.disk.blocks(len(ids))
+		for _, id := range ids {
+			f := s.fileOf[id]
+			if hasFile && f != file {
+				continue
+			}
+			verify(id, s.files[f][id])
+		}
+		return "index-eq(" + best.Attr + ")"
+	}
+
+	// No equality access path: try a range predicate over an indexed
+	// attribute before resorting to a scan. The index's distinct-value list
+	// bounds the candidates; each distinct value costs a directory probe.
+	if !s.noIndex {
+		for i := range conj {
+			p := conj[i]
+			if p.Op == abdm.OpEq || p.Op == abdm.OpNe || p.Val.IsNull() || p.Attr == abdm.FileAttr {
+				continue
+			}
+			ix := s.indexes[p.Attr]
+			if ix == nil {
+				// The attribute was never stored: a range predicate on it
+				// cannot match any record.
+				return "empty(" + p.Attr + ")"
+			}
+			ids, probes := ix.lookupRange(p.Op, p.Val)
+			c.DirProbes += probes
+			c.BlocksRead += s.disk.blocks(len(ids))
+			for _, id := range ids {
+				f := s.fileOf[id]
+				if hasFile && f != file {
+					continue
+				}
+				verify(id, s.files[f][id])
+			}
+			return "index-range(" + p.Attr + ")"
+		}
+	}
+
+	// Fall back to scanning the conjunction's file (or all files).
+	scan := func(f string) {
+		recs := s.files[f]
+		c.BlocksRead += s.disk.blocks(len(recs))
+		for id, rec := range recs {
+			verify(id, rec)
+		}
+	}
+	if hasFile {
+		scan(file)
+		return "scan(" + file + ")"
+	}
+	for f := range s.files {
+		scan(f)
+	}
+	return "scan(*)"
+}
+
+func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
+	if err := s.dir.ValidateQuery(req.Query); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &Result{Op: abdl.Delete}
+	victims, paths := s.qualify(req.Query, &res.Cost)
+	res.Paths = paths
+	for _, sr := range victims {
+		s.removeLocked(sr.ID, sr.Rec)
+	}
+	res.Count = len(victims)
+	res.Cost.BlocksWrit += s.disk.blocks(len(victims))
+	return res, nil
+}
+
+func (s *Store) removeLocked(id abdm.RecordID, rec *abdm.Record) {
+	file := s.fileOf[id]
+	delete(s.files[file], id)
+	delete(s.fileOf, id)
+	if !s.noIndex {
+		for _, kw := range rec.Keywords {
+			if ix := s.indexes[kw.Attr]; ix != nil {
+				ix.remove(kw.Val, id)
+			}
+		}
+	}
+}
+
+func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
+	if err := s.dir.ValidateQuery(req.Query); err != nil {
+		return nil, err
+	}
+	for _, m := range req.Mods {
+		kind, ok := s.dir.AttrKind(m.Attr)
+		if !ok {
+			return nil, fmt.Errorf("kdb: modifier names undeclared attribute %q", m.Attr)
+		}
+		if !m.Val.IsNull() && m.Val.Kind() != kind {
+			return nil, fmt.Errorf("kdb: modifier for %q (%v) has %v value", m.Attr, kind, m.Val.Kind())
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &Result{Op: abdl.Update}
+	targets, paths := s.qualify(req.Query, &res.Cost)
+	res.Paths = paths
+	for _, sr := range targets {
+		for _, m := range req.Mods {
+			if !s.noIndex {
+				if old, ok := sr.Rec.Get(m.Attr); ok {
+					if ix := s.indexes[m.Attr]; ix != nil {
+						ix.remove(old, sr.ID)
+					}
+				}
+			}
+			sr.Rec.Set(m.Attr, m.Val)
+			if !s.noIndex {
+				ix := s.indexes[m.Attr]
+				if ix == nil {
+					ix = newAttrIndex()
+					s.indexes[m.Attr] = ix
+				}
+				ix.add(m.Val, sr.ID)
+			}
+		}
+	}
+	res.Count = len(targets)
+	res.Cost.BlocksWrit += s.disk.blocks(len(targets))
+	return res, nil
+}
+
+func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
+	if err := s.dir.ValidateQuery(req.Query); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	res := &Result{Op: req.Kind}
+	recs, paths := s.qualify(req.Query, &res.Cost)
+	res.Paths = paths
+
+	// Project to the target list.
+	out := make([]StoredRecord, len(recs))
+	for i, sr := range recs {
+		out[i] = StoredRecord{ID: sr.ID, Rec: project(sr.Rec, req.Target)}
+	}
+	res.Records = out
+
+	if req.By != "" {
+		res.Groups = groupBy(out, recs, req.By)
+	}
+	res.RecomputeAggregates(req.Target)
+	return res, nil
+}
+
+// project returns a copy of rec restricted to the target attributes;
+// AllAttrs (or an empty list) keeps everything.
+func project(rec *abdm.Record, target []abdl.TargetItem) *abdm.Record {
+	all := len(target) == 0
+	for _, t := range target {
+		if t.Attr == abdl.AllAttrs || t.Agg != abdl.AggNone {
+			all = true
+		}
+	}
+	if all {
+		return rec.Clone()
+	}
+	out := &abdm.Record{Text: rec.Text}
+	for _, t := range target {
+		if v, ok := rec.Get(t.Attr); ok {
+			out.Set(t.Attr, v)
+		}
+	}
+	return out
+}
+
+// groupBy partitions projected records by the by-attribute's value in the
+// unprojected source records.
+func groupBy(projected, source []StoredRecord, by string) []Group {
+	byKey := make(map[string]*Group)
+	var order []string
+	for i, sr := range source {
+		v, _ := sr.Rec.Get(by)
+		k := v.String()
+		g, ok := byKey[k]
+		if !ok {
+			g = &Group{By: v}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Recs = append(g.Recs, projected[i])
+	}
+	sort.Strings(order)
+	out := make([]Group, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// Files lists the files that currently hold records, sorted.
+func (s *Store) Files() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for f, recs := range s.files {
+		if len(recs) > 0 {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns every stored record ordered by ID, for persistence and
+// repartitioning.
+func (s *Store) Snapshot() []StoredRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]StoredRecord, 0, len(s.fileOf))
+	for id, file := range s.fileOf {
+		out = append(out, StoredRecord{ID: id, Rec: s.files[file][id].Clone()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

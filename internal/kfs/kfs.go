@@ -1,0 +1,153 @@
+// Package kfs implements the kernel formatting system: it reformats kernel
+// results into the user's data model for display — network record layouts
+// for the CODASYL-DML interface, entity tables for the Daplex interface, and
+// raw keyword lists for direct ABDL access.
+package kfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlds/internal/abdm"
+	"mlds/internal/dapkms"
+	"mlds/internal/kdb"
+	"mlds/internal/kms"
+	"mlds/internal/netmodel"
+)
+
+// FormatOutcome renders a DML statement outcome for the user: found/end-of-
+// set status plus any GET values laid out in the record type's item order.
+func FormatOutcome(out *kms.Outcome, schema *netmodel.Schema) string {
+	var b strings.Builder
+	switch {
+	case out.EndOfSet:
+		fmt.Fprintf(&b, "%s: END-OF-SET", out.Stmt)
+	case out.Found:
+		fmt.Fprintf(&b, "%s: current %s (key %d)", out.Stmt, out.Record, out.Key)
+	default:
+		fmt.Fprintf(&b, "%s: ok", out.Stmt)
+	}
+	if len(out.Values) > 0 {
+		b.WriteString("\n")
+		b.WriteString(FormatRecordValues(out.Record, out.Values, schema))
+	}
+	return b.String()
+}
+
+// FormatRecordValues lays the item values out in the record type's declared
+// order, one "item = value" per line; items the schema does not declare
+// (set attributes, the database key) follow in sorted order.
+func FormatRecordValues(record string, values map[string]abdm.Value, schema *netmodel.Schema) string {
+	var lines []string
+	used := make(map[string]bool)
+	if rec, ok := schema.Record(record); ok {
+		for _, a := range rec.Attributes {
+			if v, present := values[a.Name]; present {
+				lines = append(lines, fmt.Sprintf("    %-16s = %s", a.Name, v))
+				used[a.Name] = true
+			}
+		}
+	}
+	var rest []string
+	for name := range values {
+		if !used[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		lines = append(lines, fmt.Sprintf("    %-16s = %s", name, values[name]))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// FormatRows renders Daplex FOR EACH results as an aligned table, one row
+// per entity, multi-valued functions joined with commas.
+func FormatRows(rows []dapkms.Row, print []string) string {
+	if len(rows) == 0 {
+		return "(no entities)"
+	}
+	headers := append([]string{"key"}, print...)
+	table := make([][]string, 0, len(rows)+1)
+	table = append(table, headers)
+	for _, r := range rows {
+		row := []string{fmt.Sprint(r.Key)}
+		for _, fn := range print {
+			var parts []string
+			for _, v := range r.Values[fn] {
+				parts = append(parts, v.String())
+			}
+			row = append(row, strings.Join(parts, ", "))
+		}
+		table = append(table, row)
+	}
+	return alignTable(table)
+}
+
+// FormatResult renders a kernel result: retrieved records as keyword lists,
+// groups with their aggregates, or the affected-record count.
+func FormatResult(res *kdb.Result) string {
+	var b strings.Builder
+	if len(res.Groups) > 0 {
+		for i, g := range res.Groups {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "BY %s:", g.By)
+			for _, a := range g.Aggs {
+				fmt.Fprintf(&b, " %s=%s", a.Item, a.Val)
+			}
+			if len(g.Aggs) == 0 {
+				fmt.Fprintf(&b, " %d record(s)", len(g.Recs))
+			}
+		}
+		return b.String()
+	}
+	if len(res.Records) > 0 {
+		for i, sr := range res.Records {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "%d: %s", sr.ID, sr.Rec)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s: %d record(s) affected", res.Op, res.Count)
+	return b.String()
+}
+
+// alignTable pads columns so every row lines up.
+func alignTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for n, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if n == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

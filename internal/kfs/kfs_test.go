@@ -1,0 +1,111 @@
+package kfs
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/dapkms"
+	"mlds/internal/kdb"
+	"mlds/internal/kms"
+	"mlds/internal/netmodel"
+)
+
+func testSchema() *netmodel.Schema {
+	return &netmodel.Schema{
+		Name: "t",
+		Records: []*netmodel.RecordType{
+			{Name: "course", Attributes: []*netmodel.Attribute{
+				{Name: "title", Type: netmodel.AttrString, DupFlag: true},
+				{Name: "credits", Type: netmodel.AttrInt, DupFlag: true},
+			}},
+		},
+	}
+}
+
+func TestFormatOutcomeStates(t *testing.T) {
+	s := testSchema()
+	eos := &kms.Outcome{Stmt: "FIND NEXT course WITHIN s", EndOfSet: true}
+	if got := FormatOutcome(eos, s); !strings.Contains(got, "END-OF-SET") {
+		t.Errorf("eos = %q", got)
+	}
+	found := &kms.Outcome{Stmt: "FIND ANY course USING title IN course", Found: true, Record: "course", Key: 7}
+	if got := FormatOutcome(found, s); !strings.Contains(got, "current course (key 7)") {
+		t.Errorf("found = %q", got)
+	}
+	plain := &kms.Outcome{Stmt: "MOVE 'x' TO title IN course"}
+	if got := FormatOutcome(plain, s); !strings.Contains(got, "ok") {
+		t.Errorf("plain = %q", got)
+	}
+}
+
+func TestFormatRecordValuesOrder(t *testing.T) {
+	s := testSchema()
+	vals := map[string]abdm.Value{
+		"credits": abdm.Int(4),
+		"title":   abdm.String("DB"),
+		"course":  abdm.Int(9), // key attr: not in schema's item list
+	}
+	got := FormatRecordValues("course", vals, s)
+	ti := strings.Index(got, "title")
+	ci := strings.Index(got, "credits")
+	ki := strings.Index(got, "course")
+	if !(ti < ci && ci < ki) {
+		t.Errorf("declared order not respected:\n%s", got)
+	}
+}
+
+func TestFormatRows(t *testing.T) {
+	rows := []dapkms.Row{
+		{Key: 1, Values: map[string][]abdm.Value{
+			"pname":       {abdm.String("Ann")},
+			"enrollments": {abdm.Int(4), abdm.Int(5)},
+		}},
+		{Key: 2, Values: map[string][]abdm.Value{
+			"pname": {abdm.String("Bob")},
+		}},
+	}
+	got := FormatRows(rows, []string{"pname", "enrollments"})
+	for _, want := range []string{"key", "pname", "enrollments", "'Ann'", "4, 5", "'Bob'"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if FormatRows(nil, []string{"x"}) != "(no entities)" {
+		t.Error("empty rows format wrong")
+	}
+}
+
+func TestFormatResultRecords(t *testing.T) {
+	rec := abdm.NewRecord("course", abdm.Keyword{Attr: "title", Val: abdm.String("DB")})
+	res := &kdb.Result{Op: abdl.Retrieve, Records: []kdb.StoredRecord{{ID: 3, Rec: rec}}}
+	got := FormatResult(res)
+	if !strings.Contains(got, "3: (<FILE, 'course'>") {
+		t.Errorf("records = %q", got)
+	}
+}
+
+func TestFormatResultCount(t *testing.T) {
+	res := &kdb.Result{Op: abdl.Delete, Count: 5}
+	if got := FormatResult(res); !strings.Contains(got, "5 record(s) affected") {
+		t.Errorf("count = %q", got)
+	}
+}
+
+func TestFormatResultGroups(t *testing.T) {
+	res := &kdb.Result{
+		Op: abdl.Retrieve,
+		Groups: []kdb.Group{{
+			By: abdm.String("CS"),
+			Aggs: []kdb.AggValue{{
+				Item: abdl.TargetItem{Agg: abdl.AggCount, Attr: "title"},
+				Val:  abdm.Int(7),
+			}},
+		}},
+	}
+	got := FormatResult(res)
+	if !strings.Contains(got, "BY 'CS': COUNT(title)=7") {
+		t.Errorf("groups = %q", got)
+	}
+}

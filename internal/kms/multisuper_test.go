@@ -1,0 +1,119 @@
+package kms
+
+// STORE of a subtype with several supertypes: all ISA set occurrences must
+// agree on the entity key (the same entity seen through both branches), and
+// disagreement aborts.
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/daplex"
+	"mlds/internal/kc"
+	"mlds/internal/mbds"
+	"mlds/internal/xform"
+)
+
+const taDDL = `
+DATABASE multi IS
+
+ENTITY person IS
+    pname : STRING(20);
+END ENTITY;
+
+SUBTYPE student OF person IS
+    major : STRING(10);
+END SUBTYPE;
+
+SUBTYPE faculty OF person IS
+    rank : STRING(10);
+END SUBTYPE;
+
+SUBTYPE teaching_assistant OF student, faculty IS
+    hours : INTEGER;
+END SUBTYPE;
+
+OVERLAP student WITH faculty;
+
+END DATABASE;
+`
+
+func newTASession(t *testing.T) *Translator {
+	t.Helper()
+	fun, err := daplex.ParseSchema(taDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := xform.FunToNet(fun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := mbds.New(ab.Dir, mbds.DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return NewFunctional(m, ab, kc.New(sys))
+}
+
+func TestStoreMultiSupertypeAgreeingOwners(t *testing.T) {
+	tr := newTASession(t)
+	// One person who is both a student and a faculty member.
+	exec(t, tr, "MOVE 'Pat' TO pname IN person")
+	p := exec(t, tr, "STORE person")
+	exec(t, tr, "MOVE 'CS' TO major IN student")
+	s := exec(t, tr, "STORE student")
+	// Re-establish the person as current so faculty_* inherits the same key.
+	exec(t, tr, "MOVE 'Pat' TO pname IN person")
+	exec(t, tr, "FIND ANY person USING pname IN person")
+	exec(t, tr, "MOVE 'prof' TO rank IN faculty")
+	f := exec(t, tr, "STORE faculty")
+	if s.Key != p.Key || f.Key != p.Key {
+		t.Fatalf("keys: person=%d student=%d faculty=%d", p.Key, s.Key, f.Key)
+	}
+	// Now both ISA owners (student and faculty currents) hold Pat's key:
+	// the TA record inherits it through both branches.
+	exec(t, tr, "MOVE 'Pat' TO pname IN person")
+	exec(t, tr, "FIND ANY person USING pname IN person")
+	exec(t, tr, "FIND FIRST student WITHIN person_student")
+	exec(t, tr, "MOVE 'Pat' TO pname IN person")
+	exec(t, tr, "FIND ANY person USING pname IN person")
+	exec(t, tr, "FIND FIRST faculty WITHIN person_faculty")
+	exec(t, tr, "MOVE 10 TO hours IN teaching_assistant")
+	ta := exec(t, tr, "STORE teaching_assistant")
+	if ta.Key != p.Key {
+		t.Errorf("TA key %d, want %d", ta.Key, p.Key)
+	}
+	// The TA is findable through both ISA sets.
+	via1 := exec(t, tr, "FIND FIRST teaching_assistant WITHIN student_teaching_assistant")
+	if !via1.Found || via1.Key != p.Key {
+		t.Errorf("via student branch = %+v", via1)
+	}
+	via2 := exec(t, tr, "FIND FIRST teaching_assistant WITHIN faculty_teaching_assistant")
+	if !via2.Found || via2.Key != p.Key {
+		t.Errorf("via faculty branch = %+v", via2)
+	}
+}
+
+func TestStoreMultiSupertypeDisagreeingOwnersAborts(t *testing.T) {
+	tr := newTASession(t)
+	// Two different people: one a student, the other a faculty member.
+	exec(t, tr, "MOVE 'Ann' TO pname IN person")
+	exec(t, tr, "STORE person")
+	exec(t, tr, "MOVE 'CS' TO major IN student")
+	exec(t, tr, "STORE student") // student current: Ann's key
+	exec(t, tr, "MOVE 'Bob' TO pname IN person")
+	exec(t, tr, "STORE person")
+	exec(t, tr, "MOVE 'prof' TO rank IN faculty")
+	exec(t, tr, "STORE faculty") // faculty current: Bob's key
+	// A TA cannot be Ann-as-student and Bob-as-faculty at once.
+	exec(t, tr, "MOVE 5 TO hours IN teaching_assistant")
+	err := execErr(t, tr, "STORE teaching_assistant")
+	if !strings.Contains(err.Error(), "disagree") {
+		t.Errorf("err = %v", err)
+	}
+}

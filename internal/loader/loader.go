@@ -1,0 +1,275 @@
+// Package loader materialises functional database instances in the kernel
+// representation: given a transformed schema, it builds the AB(functional)
+// records — entity records across their subtype hierarchy files with shared
+// keys, record copies for multi-valued function values, and LINK records for
+// many-to-many pairs — and emits the ABDL INSERT requests that load them.
+package loader
+
+import (
+	"fmt"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/currency"
+	"mlds/internal/funcmodel"
+	"mlds/internal/xform"
+)
+
+// Instance is a functional database instance under construction.
+type Instance struct {
+	mapping  *xform.Mapping
+	ab       *xform.ABSchema
+	entities []*Entity
+	links    []linkRec
+	nextKey  currency.Key
+}
+
+type linkRec struct {
+	file  string
+	key   currency.Key
+	attrs map[string]currency.Key // set attr → owner key
+}
+
+// Entity is one entity instance: it belongs to its declared type and every
+// ancestor type, sharing one database key across those files.
+type Entity struct {
+	Key   currency.Key
+	Types []string // declared type first, then ancestors
+
+	scalars map[string]abdm.Value   // function → value
+	singles map[string]*Entity      // single-valued entity function → target
+	multis  map[string][]*Entity    // one-to-many multi-valued → targets
+	mscal   map[string][]abdm.Value // scalar multi-valued → values
+}
+
+// New starts an empty instance for a transformed schema.
+func New(m *xform.Mapping, ab *xform.ABSchema) *Instance {
+	return &Instance{mapping: m, ab: ab}
+}
+
+// MaxKey reports the highest key allocated so far.
+func (i *Instance) MaxKey() currency.Key { return i.nextKey }
+
+// NewEntity creates an entity of the named type (entity type or subtype).
+func (i *Instance) NewEntity(typeName string) (*Entity, error) {
+	fun := i.mapping.Fun
+	if !fun.IsType(typeName) {
+		return nil, fmt.Errorf("loader: unknown type %q", typeName)
+	}
+	i.nextKey++
+	e := &Entity{
+		Key:     i.nextKey,
+		Types:   append([]string{typeName}, fun.AncestorChain(typeName)...),
+		scalars: make(map[string]abdm.Value),
+		singles: make(map[string]*Entity),
+		multis:  make(map[string][]*Entity),
+		mscal:   make(map[string][]abdm.Value),
+	}
+	i.entities = append(i.entities, e)
+	return e, nil
+}
+
+// findFunc resolves a function visible on the entity, returning it and its
+// home type.
+func (i *Instance) findFunc(e *Entity, fn string) (string, *funcmodel.Function, error) {
+	home, f, ok := i.mapping.Fun.FunctionHome(fn)
+	if !ok {
+		return "", nil, fmt.Errorf("loader: unknown function %q", fn)
+	}
+	for _, t := range e.Types {
+		if t == home {
+			return home, f, nil
+		}
+	}
+	return "", nil, fmt.Errorf("loader: function %q (of %q) not applicable to %v", fn, home, e.Types)
+}
+
+// Set assigns a scalar function value.
+func (i *Instance) Set(e *Entity, fn string, v abdm.Value) error {
+	_, f, err := i.findFunc(e, fn)
+	if err != nil {
+		return err
+	}
+	if f.Result.IsEntity() || f.SetValued {
+		return fmt.Errorf("loader: function %q is not a scalar single-valued function", fn)
+	}
+	want, _ := i.ab.Dir.AttrKind(fn)
+	if !v.IsNull() && v.Kind() != want {
+		return fmt.Errorf("loader: function %q wants %v, got %v", fn, want, v.Kind())
+	}
+	e.scalars[fn] = v
+	return nil
+}
+
+// SetRef assigns a single-valued entity function.
+func (i *Instance) SetRef(e *Entity, fn string, target *Entity) error {
+	_, f, err := i.findFunc(e, fn)
+	if err != nil {
+		return err
+	}
+	if !f.Result.IsEntity() || f.SetValued {
+		return fmt.Errorf("loader: function %q is not a single-valued entity function", fn)
+	}
+	e.singles[fn] = target
+	return nil
+}
+
+// AddRef appends a target to a one-to-many multi-valued entity function.
+func (i *Instance) AddRef(e *Entity, fn string, target *Entity) error {
+	_, f, err := i.findFunc(e, fn)
+	if err != nil {
+		return err
+	}
+	si, ok := i.mapping.SetFor(fn)
+	if !ok || !f.SetValued || !f.Result.IsEntity() {
+		return fmt.Errorf("loader: function %q is not a multi-valued entity function", fn)
+	}
+	if si.ManyToMany {
+		return fmt.Errorf("loader: function %q is many-to-many; use Link", fn)
+	}
+	e.multis[fn] = append(e.multis[fn], target)
+	return nil
+}
+
+// AddValue appends a value to a scalar multi-valued function.
+func (i *Instance) AddValue(e *Entity, fn string, v abdm.Value) error {
+	_, f, err := i.findFunc(e, fn)
+	if err != nil {
+		return err
+	}
+	if f.Result.IsEntity() || !f.SetValued {
+		return fmt.Errorf("loader: function %q is not a scalar multi-valued function", fn)
+	}
+	e.mscal[fn] = append(e.mscal[fn], v)
+	return nil
+}
+
+// Link relates two entities through a many-to-many function pair: fn is the
+// function on a's side (e.g. teaching for a faculty/course pair). One LINK
+// record is created per call.
+func (i *Instance) Link(fn string, a, b *Entity) error {
+	si, ok := i.mapping.SetFor(fn)
+	if !ok || !si.ManyToMany {
+		return fmt.Errorf("loader: function %q is not half of a many-to-many pair", fn)
+	}
+	if _, _, err := i.findFunc(a, fn); err != nil {
+		return err
+	}
+	i.nextKey++
+	i.links = append(i.links, linkRec{
+		file: si.LinkRecord,
+		key:  i.nextKey,
+		attrs: map[string]currency.Key{
+			fn:         a.Key,
+			si.PairSet: b.Key,
+		},
+	})
+	return nil
+}
+
+// Records builds the kernel records of the instance: for each entity, one
+// file per type in its hierarchy; scalar attributes repeated per copy; one
+// record copy per multi-valued value (padded with NULL so every copy set has
+// uniform attributes); one record per LINK.
+func (i *Instance) Records() ([]*abdm.Record, error) {
+	var out []*abdm.Record
+	for _, e := range i.entities {
+		recs, err := i.entityRecords(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	for _, l := range i.links {
+		rec := abdm.NewRecord(l.file)
+		rec.Set(i.ab.KeyOf(l.file), abdm.Int(l.key))
+		tmpl, _ := i.ab.Dir.FileTemplate(l.file)
+		for _, attr := range tmpl {
+			if attr == i.ab.KeyOf(l.file) {
+				continue
+			}
+			if k, ok := l.attrs[attr]; ok {
+				rec.Set(attr, abdm.Int(k))
+			} else {
+				rec.Set(attr, abdm.Null())
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// entityRecords builds the records of one entity across its hierarchy.
+func (i *Instance) entityRecords(e *Entity) ([]*abdm.Record, error) {
+	var out []*abdm.Record
+	for _, typeName := range e.Types {
+		tmpl, ok := i.ab.Dir.FileTemplate(typeName)
+		if !ok {
+			return nil, fmt.Errorf("loader: type %q has no kernel file", typeName)
+		}
+		key := i.ab.KeyOf(typeName)
+
+		// Identify this file's multi-valued attributes and their values:
+		// each multi-valued value occupies its own record copy, NULL-padded
+		// so every copy carries the full attribute set.
+		mv := make(map[string][]abdm.Value)
+		rows := 1
+		for _, attr := range tmpl {
+			if attr == key {
+				continue
+			}
+			if vs, ok := e.mscal[attr]; ok {
+				mv[attr] = vs
+			} else if targets, ok := e.multis[attr]; ok {
+				vals := make([]abdm.Value, len(targets))
+				for j, tgt := range targets {
+					vals[j] = abdm.Int(tgt.Key)
+				}
+				mv[attr] = vals
+			}
+			if len(mv[attr]) > rows {
+				rows = len(mv[attr])
+			}
+		}
+
+		for row := 0; row < rows; row++ {
+			rec := abdm.NewRecord(typeName)
+			rec.Set(key, abdm.Int(e.Key))
+			for _, attr := range tmpl {
+				if attr == key || rec.Has(attr) {
+					continue
+				}
+				if vals, isMV := mv[attr]; isMV {
+					if row < len(vals) {
+						rec.Set(attr, vals[row])
+					} else {
+						rec.Set(attr, abdm.Null())
+					}
+					continue
+				}
+				if v, ok := e.scalars[attr]; ok {
+					rec.Set(attr, v)
+				} else if tgt, ok := e.singles[attr]; ok {
+					rec.Set(attr, abdm.Int(tgt.Key))
+				} else {
+					rec.Set(attr, abdm.Null())
+				}
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Requests converts the instance to the INSERT transaction that loads it.
+func (i *Instance) Requests() (abdl.Transaction, error) {
+	recs, err := i.Records()
+	if err != nil {
+		return nil, err
+	}
+	tx := make(abdl.Transaction, len(recs))
+	for j, r := range recs {
+		tx[j] = abdl.NewInsert(r)
+	}
+	return tx, nil
+}

@@ -1,0 +1,220 @@
+package loader
+
+import (
+	"testing"
+
+	"mlds/internal/abdm"
+	"mlds/internal/univ"
+	"mlds/internal/xform"
+)
+
+func newInstance(t *testing.T) (*Instance, *xform.Mapping, *xform.ABSchema) {
+	t.Helper()
+	m, err := xform.FunToNet(univ.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, ab), m, ab
+}
+
+func TestEntityHierarchyRecords(t *testing.T) {
+	inst, _, ab := newInstance(t)
+	e, err := inst.NewEntity("faculty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Types) != 3 || e.Types[0] != "faculty" || e.Types[1] != "employee" || e.Types[2] != "person" {
+		t.Fatalf("types = %v", e.Types)
+	}
+	if err := inst.Set(e, "pname", abdm.String("Prof")); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Set(e, "salary", abdm.Int(60000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Set(e, "rank", abdm.String("professor")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := inst.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One record per hierarchy file: faculty, employee, person.
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	byFile := map[string]*abdm.Record{}
+	for _, r := range recs {
+		byFile[r.File()] = r
+	}
+	for _, f := range []string{"faculty", "employee", "person"} {
+		r, ok := byFile[f]
+		if !ok {
+			t.Fatalf("missing %s record", f)
+		}
+		if v, _ := r.Get(ab.KeyOf(f)); v.AsInt() != int64(e.Key) {
+			t.Errorf("%s key = %v, want %d (shared key)", f, v, e.Key)
+		}
+	}
+	if v, _ := byFile["person"].Get("pname"); v.AsString() != "Prof" {
+		t.Error("pname not placed in the person file")
+	}
+	if v, _ := byFile["faculty"].Get("rank"); v.AsString() != "professor" {
+		t.Error("rank not placed in the faculty file")
+	}
+}
+
+func TestMultiValuedCopies(t *testing.T) {
+	inst, _, _ := newInstance(t)
+	c1, _ := inst.NewEntity("course")
+	c2, _ := inst.NewEntity("course")
+	s, err := inst.NewEntity("student")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AddRef(s, "enrollments", c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.AddRef(s, "enrollments", c2); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := inst.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var studentCopies []*abdm.Record
+	for _, r := range recs {
+		if r.File() == "student" {
+			studentCopies = append(studentCopies, r)
+		}
+	}
+	if len(studentCopies) != 2 {
+		t.Fatalf("student copies = %d, want 2 (one per enrollment)", len(studentCopies))
+	}
+	vals := map[int64]bool{}
+	for _, r := range studentCopies {
+		if v, ok := r.Get("enrollments"); ok && !v.IsNull() {
+			vals[v.AsInt()] = true
+		}
+	}
+	if !vals[int64(c1.Key)] || !vals[int64(c2.Key)] {
+		t.Errorf("enrollment values = %v", vals)
+	}
+}
+
+func TestScalarMultiValuedPadding(t *testing.T) {
+	inst, _, _ := newInstance(t)
+	ss, err := inst.NewEntity("support_staff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sk := range []string{"typing", "filing", "scheduling"} {
+		if err := inst.AddValue(ss, "skills", abdm.String(sk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _ := inst.Records()
+	copies := 0
+	for _, r := range recs {
+		if r.File() == "support_staff" {
+			copies++
+			// Every copy must carry the full attribute set (supervisor
+			// padded with NULL).
+			if !r.Has("supervisor") {
+				t.Error("copy missing padded attribute")
+			}
+		}
+	}
+	if copies != 3 {
+		t.Errorf("support_staff copies = %d, want 3", copies)
+	}
+}
+
+func TestLinkRecords(t *testing.T) {
+	inst, _, ab := newInstance(t)
+	f, _ := inst.NewEntity("faculty")
+	c, _ := inst.NewEntity("course")
+	if err := inst.Link("teaching", f, c); err != nil {
+		t.Fatal(err)
+	}
+	// Linking via the other side works too.
+	if err := inst.Link("taught_by", c, f); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := inst.Records()
+	links := 0
+	for _, r := range recs {
+		if r.File() == "LINK_1" {
+			links++
+			if v, _ := r.Get(ab.KeyOf("LINK_1")); v.IsNull() {
+				t.Error("link record lacks a key")
+			}
+		}
+	}
+	if links != 2 {
+		t.Errorf("link records = %d, want 2", links)
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	inst, _, _ := newInstance(t)
+	if _, err := inst.NewEntity("nosuch"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	s, _ := inst.NewEntity("student")
+	c, _ := inst.NewEntity("course")
+	f, _ := inst.NewEntity("faculty")
+	cases := []error{
+		inst.Set(s, "nosuch", abdm.Int(1)),            // unknown function
+		inst.Set(s, "rank", abdm.String("professor")), // not applicable to student
+		inst.Set(s, "advisor", abdm.Int(1)),           // entity-valued via Set
+		inst.Set(s, "gpa", abdm.String("high")),       // kind mismatch
+		inst.SetRef(s, "gpa", f),                      // scalar via SetRef
+		inst.SetRef(s, "enrollments", c),              // multi-valued via SetRef
+		inst.AddRef(s, "advisor", f),                  // single-valued via AddRef
+		inst.AddRef(f, "teaching", c),                 // many-to-many via AddRef
+		inst.AddValue(s, "major", abdm.String("x")),   // single-valued via AddValue
+		inst.Link("enrollments", s, c),                // one-to-many via Link
+		inst.Link("teaching", s, c),                   // wrong side entity
+	}
+	for i, err := range cases {
+		if err == nil {
+			t.Errorf("case %d: invalid loader call accepted", i)
+		}
+	}
+}
+
+func TestRequestsValidateAgainstDirectory(t *testing.T) {
+	inst, _, ab := newInstance(t)
+	d, _ := inst.NewEntity("department")
+	if err := inst.Set(d, "dname", abdm.String("CS")); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := inst.Requests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range tx {
+		if err := ab.Dir.ValidateRecord(req.Record); err != nil {
+			t.Errorf("generated record invalid: %v", err)
+		}
+	}
+}
+
+func TestMaxKeyMonotonic(t *testing.T) {
+	inst, _, _ := newInstance(t)
+	prev := inst.MaxKey()
+	for i := 0; i < 5; i++ {
+		if _, err := inst.NewEntity("course"); err != nil {
+			t.Fatal(err)
+		}
+		if inst.MaxKey() <= prev {
+			t.Fatal("MaxKey not monotonic")
+		}
+		prev = inst.MaxKey()
+	}
+}

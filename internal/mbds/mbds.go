@@ -1,0 +1,428 @@
+// Package mbds implements the Multi-Backend Database System (MBDS), the
+// kernel database system of MLDS.
+//
+// MBDS uses a software multiple-backend approach: a controller (the master)
+// supervises transaction execution while N backends (the slaves) hold
+// disjoint partitions of the database on their own disks and execute every
+// request in parallel. The controller broadcasts each request over the
+// communication bus, collects the partial results, and merges them.
+//
+// This implementation runs the controller and the backends as goroutines
+// joined by channels (the bus). Each backend charges its work to a synthetic
+// disk model; the controller's simulated response time for a request is the
+// bus overhead plus the *maximum* backend time — the backends work in
+// parallel — which is what produces the paper's two performance claims:
+// response time falls near-reciprocally as backends are added at fixed
+// database size, and stays invariant when the database grows proportionally
+// with the backends.
+package mbds
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kdb"
+)
+
+// Placement selects how INSERTed records are distributed across backends.
+type Placement int
+
+// Placement policies.
+const (
+	// RoundRobin spreads each file's records evenly in arrival order — the
+	// paper's cluster-spreading data placement, with the file as the
+	// cluster. Keeping a cursor per file (rather than one global cursor)
+	// prevents correlated insert patterns from phase-locking a file's
+	// records onto a subset of the backends.
+	RoundRobin Placement = iota
+	// HashKeywords places each record by a hash of its keyword content, so
+	// identical logical databases land identically regardless of load order.
+	HashKeywords
+)
+
+// Config configures an MBDS instance.
+type Config struct {
+	Backends   int           // number of backends (>= 1)
+	Disk       kdb.DiskModel // per-backend disk model
+	Placement  Placement     // record placement policy
+	MsgLatency time.Duration // simulated bus latency per message hop
+	Serial     bool          // ablation: dispatch to backends one at a time
+	NoIndexes  bool          // ablation: backends scan instead of indexing
+}
+
+// DefaultConfig returns a configuration with n backends and the default disk
+// model and bus latency.
+func DefaultConfig(n int) Config {
+	return Config{
+		Backends:   n,
+		Disk:       kdb.DefaultDiskModel(),
+		MsgLatency: 2 * time.Millisecond,
+	}
+}
+
+// System is one MBDS instance: a controller plus its backends.
+type System struct {
+	cfg      Config
+	dir      *abdm.Directory
+	backends []*backend
+	nextID   atomic.Uint64
+	rrMu     sync.Mutex
+	rr       map[string]uint64 // per-file round-robin cursors
+	closed   atomic.Bool
+}
+
+// Executor executes ABDL requests against one backend partition. Local
+// backends use a kdb.Store; remote backends (package mbdsnet) satisfy it
+// over TCP.
+type Executor interface {
+	Exec(*abdl.Request) (*kdb.Result, error)
+}
+
+// backend is one slave: its executor plus the goroutine that serves its
+// side of the bus. store is nil for remote backends.
+type backend struct {
+	id    int
+	exec  Executor
+	store *kdb.Store
+	reqCh chan job
+	done  chan struct{}
+}
+
+type job struct {
+	req   *abdl.Request
+	reply chan jobReply
+}
+
+type jobReply struct {
+	res *kdb.Result
+	err error
+}
+
+// New builds and starts an MBDS instance over the directory.
+func New(dir *abdm.Directory, cfg Config) (*System, error) {
+	if cfg.Backends < 1 {
+		return nil, fmt.Errorf("mbds: need at least 1 backend, got %d", cfg.Backends)
+	}
+	if cfg.Disk.BlockFactor == 0 {
+		cfg.Disk = kdb.DefaultDiskModel()
+	}
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64)}
+	for i := 0; i < cfg.Backends; i++ {
+		opts := []kdb.Option{
+			kdb.WithDisk(cfg.Disk),
+			kdb.WithIDAllocator(func() abdm.RecordID {
+				return abdm.RecordID(s.nextID.Add(1))
+			}),
+		}
+		if cfg.NoIndexes {
+			opts = append(opts, kdb.WithoutIndexes())
+		}
+		store := kdb.NewStore(dir.Clone(), opts...)
+		b := &backend{
+			id:    i,
+			exec:  store,
+			store: store,
+			reqCh: make(chan job),
+			done:  make(chan struct{}),
+		}
+		go b.serve()
+		s.backends = append(s.backends, b)
+	}
+	return s, nil
+}
+
+// NewWithExecutors builds an MBDS instance whose backends are the given
+// executors — typically mbdsnet.RemoteBackend clients, making the controller
+// local and the backends remote machines, as in the original hardware
+// configuration. The config's Backends count is ignored.
+func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*System, error) {
+	if len(execs) < 1 {
+		return nil, fmt.Errorf("mbds: need at least 1 executor")
+	}
+	if cfg.Disk.BlockFactor == 0 {
+		cfg.Disk = kdb.DefaultDiskModel()
+	}
+	cfg.Backends = len(execs)
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64)}
+	for i, ex := range execs {
+		b := &backend{
+			id:    i,
+			exec:  ex,
+			reqCh: make(chan job),
+			done:  make(chan struct{}),
+		}
+		go b.serve()
+		s.backends = append(s.backends, b)
+	}
+	return s, nil
+}
+
+// serve is the backend's message loop: receive a request, execute it against
+// the local partition, reply with the partial result.
+func (b *backend) serve() {
+	defer close(b.done)
+	for j := range b.reqCh {
+		res, err := b.exec.Exec(j.req)
+		j.reply <- jobReply{res: res, err: err}
+	}
+}
+
+// Close shuts the backends down. The system must not be used afterwards.
+func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, b := range s.backends {
+		close(b.reqCh)
+		<-b.done
+	}
+}
+
+// Backends reports the number of backends.
+func (s *System) Backends() int { return len(s.backends) }
+
+// Directory returns the controller's attribute catalog.
+func (s *System) Directory() *abdm.Directory { return s.dir }
+
+// lenOf reports one backend's record count, asking remote backends over the
+// bus.
+func (b *backend) lenOf() int {
+	if b.store != nil {
+		return b.store.Len()
+	}
+	if rl, ok := b.exec.(interface{ Len() (int, error) }); ok {
+		if n, err := rl.Len(); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// Len reports the total number of records across all backends.
+func (s *System) Len() int {
+	n := 0
+	for _, b := range s.backends {
+		n += b.lenOf()
+	}
+	return n
+}
+
+// PartitionSizes reports each backend's record count.
+func (s *System) PartitionSizes() []int {
+	out := make([]int, len(s.backends))
+	for i, b := range s.backends {
+		out[i] = b.lenOf()
+	}
+	return out
+}
+
+// ErrClosed is returned by operations on a closed system.
+var ErrClosed = errors.New("mbds: system is closed")
+
+// placeFor picks the backend that stores an inserted record.
+func (s *System) placeFor(rec *abdm.Record) *backend {
+	switch s.cfg.Placement {
+	case HashKeywords:
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(rec.Key()))
+		return s.backends[h.Sum64()%uint64(len(s.backends))]
+	default:
+		s.rrMu.Lock()
+		defer s.rrMu.Unlock()
+		file := rec.File()
+		n := s.rr[file]
+		s.rr[file] = n + 1
+		return s.backends[n%uint64(len(s.backends))]
+	}
+}
+
+// Exec executes one ABDL request across the backends and returns the merged
+// result. The result's Cost is the summed backend work; use ExecTimed for
+// the parallel response-time model.
+func (s *System) Exec(req *abdl.Request) (*kdb.Result, error) {
+	res, _, err := s.ExecTimed(req)
+	return res, err
+}
+
+// ExecTimed executes one request and additionally returns the simulated
+// response time under the parallel-backend model: bus latency out and back
+// plus the slowest backend's disk time.
+func (s *System) ExecTimed(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	if s.closed.Load() {
+		return nil, 0, ErrClosed
+	}
+	if err := req.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if req.Kind == abdl.RetrieveCommon {
+		return s.execRetrieveCommon(req)
+	}
+	if req.Kind == abdl.Insert {
+		// The directory validates once at the controller, then the record is
+		// routed to exactly one backend.
+		if err := s.dir.ValidateRecord(req.Record); err != nil {
+			return nil, 0, err
+		}
+		b := s.placeFor(req.Record)
+		reply := s.dispatch([]*backend{b}, req)
+		r := <-reply
+		if r.err != nil {
+			return nil, 0, r.err
+		}
+		t := 2*s.cfg.MsgLatency + s.cfg.Disk.Time(r.res.Cost)
+		return r.res, t, nil
+	}
+
+	// Broadcast to every backend; merge partial results.
+	replies := s.dispatch(s.backends, req)
+	merged := &kdb.Result{Op: req.Kind}
+	var worst time.Duration
+	var firstErr error
+	for i := 0; i < len(s.backends); i++ {
+		r := <-replies
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if t := s.cfg.Disk.Time(r.res.Cost); t > worst {
+			worst = t
+		}
+		merged.Merge(r.res)
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	merged.RecomputeAggregates(req.Target)
+	return merged, 2*s.cfg.MsgLatency + worst, nil
+}
+
+// execRetrieveCommon runs the semi-join in two phases: the second query's
+// common-attribute values are gathered from every backend, then the first
+// query is broadcast and filtered at the controller. Records matching the
+// two queries may live on different backends, so neither phase can be pushed
+// down whole.
+func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	phase1 := &abdl.Request{
+		Kind:   abdl.Retrieve,
+		Query:  req.Query2,
+		Target: []abdl.TargetItem{{Attr: req.Common}},
+	}
+	r1, t1, err := s.ExecTimed(phase1)
+	if err != nil {
+		return nil, 0, err
+	}
+	values := kdb.CommonValues(r1.Records, req.Common)
+
+	phase2 := &abdl.Request{
+		Kind:   abdl.Retrieve,
+		Query:  req.Query,
+		Target: []abdl.TargetItem{{Attr: abdl.AllAttrs}},
+	}
+	r2, t2, err := s.ExecTimed(phase2)
+	if err != nil {
+		return nil, 0, err
+	}
+	kept := kdb.FilterByCommon(r2.Records, req.Common, values)
+
+	out := &kdb.Result{Op: abdl.RetrieveCommon, Cost: r1.Cost}
+	out.Cost.Add(r2.Cost)
+	all := len(req.Target) == 0
+	for _, t := range req.Target {
+		if t.Attr == abdl.AllAttrs || t.Agg != abdl.AggNone {
+			all = true
+		}
+	}
+	for _, sr := range kept {
+		rec := sr.Rec
+		if !all {
+			proj := &abdm.Record{}
+			for _, t := range req.Target {
+				if v, ok := rec.Get(t.Attr); ok {
+					proj.Set(t.Attr, v)
+				}
+			}
+			rec = proj
+		}
+		out.Records = append(out.Records, kdb.StoredRecord{ID: sr.ID, Rec: rec})
+	}
+	out.RecomputeAggregates(req.Target)
+	return out, t1 + t2, nil
+}
+
+// dispatch sends the request to the given backends — in parallel unless the
+// Serial ablation is on — and returns the shared reply channel.
+func (s *System) dispatch(targets []*backend, req *abdl.Request) chan jobReply {
+	reply := make(chan jobReply, len(targets))
+	if s.cfg.Serial {
+		go func() {
+			for _, b := range targets {
+				single := make(chan jobReply, 1)
+				b.reqCh <- job{req: req, reply: single}
+				reply <- <-single
+			}
+		}()
+		return reply
+	}
+	for _, b := range targets {
+		b.reqCh <- job{req: req, reply: reply}
+	}
+	return reply
+}
+
+// ExecTransaction executes the requests sequentially, returning per-request
+// results and the summed simulated response time.
+func (s *System) ExecTransaction(tx abdl.Transaction) ([]*kdb.Result, time.Duration, error) {
+	results := make([]*kdb.Result, 0, len(tx))
+	var total time.Duration
+	for i, req := range tx {
+		res, t, err := s.ExecTimed(req)
+		if err != nil {
+			return results, total, fmt.Errorf("mbds: request %d: %w", i+1, err)
+		}
+		results = append(results, res)
+		total += t
+	}
+	return results, total, nil
+}
+
+// GetByID fetches a record by database key from whichever local backend
+// holds it. Remote backends are not consulted; kernel lookups over the bus
+// go through ABDL retrieves on key attributes instead.
+func (s *System) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
+	for _, b := range s.backends {
+		if b.store == nil {
+			continue
+		}
+		if rec, ok := b.store.GetByID(id); ok {
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// Snapshot returns every record in the system ordered by database key.
+func (s *System) Snapshot() []kdb.StoredRecord {
+	var all []kdb.StoredRecord
+	for _, b := range s.backends {
+		if b.store == nil {
+			// Remote partition: an unqualified retrieve addresses all of it.
+			res, err := b.exec.Exec(abdl.NewRetrieve(nil, abdl.AllAttrs))
+			if err == nil {
+				all = append(all, res.Records...)
+			}
+			continue
+		}
+		all = append(all, b.store.Snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}

@@ -1,0 +1,248 @@
+// Package mbdsnet puts the MBDS communication bus on a real network: a
+// backend serves its kdb store over TCP with a gob-framed protocol, and the
+// controller reaches it through a RemoteBackend client that satisfies
+// mbds.Executor. This mirrors the original hardware architecture, where the
+// controller (master) and the backends (slaves) were separate machines.
+package mbdsnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"mlds/internal/abdl"
+	"mlds/internal/kdb"
+	"mlds/internal/wire"
+)
+
+// BackendServer serves one backend store to controllers.
+type BackendServer struct {
+	store *kdb.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the store on the listener. It returns immediately;
+// Close stops the server.
+func Serve(ln net.Listener, store *kdb.Store) *BackendServer {
+	s := &BackendServer{store: store, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen starts a backend server on the TCP address (":0" for an ephemeral
+// port).
+func Listen(addr string, store *kdb.Store) (*BackendServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, store), nil
+}
+
+// Addr reports the server's listen address.
+func (s *BackendServer) Addr() string { return s.ln.Addr().String() }
+
+// Store exposes the served store (used by tests and local tooling).
+func (s *BackendServer) Store() *kdb.Store { return s.store }
+
+// Close stops accepting and tears down live connections.
+func (s *BackendServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *BackendServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *BackendServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env wire.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		reply := wire.Envelope{Seq: env.Seq}
+		switch env.Action {
+		case "", "exec":
+			if env.Req == nil {
+				reply.Err = "mbdsnet: exec without a request"
+				break
+			}
+			req, err := env.Req.ToRequest()
+			if err != nil {
+				reply.Err = err.Error()
+				break
+			}
+			res, err := s.store.Exec(req)
+			if err != nil {
+				reply.Err = err.Error()
+				break
+			}
+			wres := wire.FromResult(res)
+			reply.Res = &wres
+		case "len":
+			reply.N = s.store.Len()
+		default:
+			reply.Err = fmt.Sprintf("mbdsnet: unknown action %q", env.Action)
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteBackend is the controller's client for one remote backend. It
+// satisfies mbds.Executor. A single connection is shared; requests are
+// serialised over it (the original bus was also a shared medium).
+type RemoteBackend struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	seq  uint64
+}
+
+// Dial connects to a backend server.
+func Dial(addr string) (*RemoteBackend, error) {
+	rb := &RemoteBackend{addr: addr}
+	if err := rb.connect(); err != nil {
+		return nil, err
+	}
+	return rb, nil
+}
+
+func (rb *RemoteBackend) connect() error {
+	conn, err := net.Dial("tcp", rb.addr)
+	if err != nil {
+		return fmt.Errorf("mbdsnet: dialing backend %s: %w", rb.addr, err)
+	}
+	rb.conn = conn
+	rb.enc = gob.NewEncoder(conn)
+	rb.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Close tears the connection down.
+func (rb *RemoteBackend) Close() error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.conn == nil {
+		return nil
+	}
+	err := rb.conn.Close()
+	rb.conn = nil
+	return err
+}
+
+// roundTrip sends one envelope and waits for its reply, reconnecting once on
+// a broken connection.
+func (rb *RemoteBackend) roundTrip(env wire.Envelope) (wire.Envelope, error) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.conn == nil {
+		if err := rb.connect(); err != nil {
+			return wire.Envelope{}, err
+		}
+	}
+	rb.seq++
+	env.Seq = rb.seq
+	send := func() (wire.Envelope, error) {
+		if err := rb.enc.Encode(&env); err != nil {
+			return wire.Envelope{}, err
+		}
+		var reply wire.Envelope
+		if err := rb.dec.Decode(&reply); err != nil {
+			return wire.Envelope{}, err
+		}
+		return reply, nil
+	}
+	reply, err := send()
+	if err != nil {
+		// One reconnect attempt: the backend may have restarted.
+		if cerr := rb.connect(); cerr != nil {
+			return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s unreachable: %w", rb.addr, err)
+		}
+		reply, err = send()
+		if err != nil {
+			return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s: %w", rb.addr, err)
+		}
+	}
+	if reply.Seq != env.Seq {
+		return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s replied out of order (%d != %d)", rb.addr, reply.Seq, env.Seq)
+	}
+	return reply, nil
+}
+
+// Exec executes one ABDL request on the remote backend.
+func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
+	wreq := wire.FromRequest(req)
+	reply, err := rb.roundTrip(wire.Envelope{Action: "exec", Req: &wreq})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	if reply.Res == nil {
+		return nil, fmt.Errorf("mbdsnet: backend %s sent an empty reply", rb.addr)
+	}
+	return reply.Res.ToResult()
+}
+
+// Len reports the remote partition's record count.
+func (rb *RemoteBackend) Len() (int, error) {
+	reply, err := rb.roundTrip(wire.Envelope{Action: "len"})
+	if err != nil {
+		return 0, err
+	}
+	if reply.Err != "" {
+		return 0, errors.New(reply.Err)
+	}
+	return reply.N, nil
+}

@@ -1,0 +1,225 @@
+// Package netddl parses CODASYL schema DDL text of the form printed by
+// netmodel.Schema.DDL (the style of the thesis's Figure 5.1) back into a
+// netmodel.Schema, so network databases can be defined directly by users of
+// the network language interface.
+package netddl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mlds/internal/netmodel"
+)
+
+// Parse parses CODASYL DDL text.
+func Parse(src string) (*netmodel.Schema, error) {
+	p := &parser{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "*") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		line = strings.TrimSpace(line)
+		if err := p.consume(line); err != nil {
+			return nil, fmt.Errorf("netddl: line %d: %w", ln+1, err)
+		}
+	}
+	if p.schema == nil {
+		return nil, fmt.Errorf("netddl: no SCHEMA NAME IS declaration found")
+	}
+	p.flush()
+	if err := p.schema.Validate(); err != nil {
+		return nil, err
+	}
+	return p.schema, nil
+}
+
+type parser struct {
+	schema *netmodel.Schema
+	rec    *netmodel.RecordType
+	set    *netmodel.SetType
+}
+
+// flush commits any open record or set declaration.
+func (p *parser) flush() {
+	if p.rec != nil {
+		p.schema.Records = append(p.schema.Records, p.rec)
+		p.rec = nil
+	}
+	if p.set != nil {
+		p.schema.Sets = append(p.schema.Sets, p.set)
+		p.set = nil
+	}
+}
+
+// after matches a case-insensitive keyword prefix and returns the remainder.
+func after(line, prefix string) (string, bool) {
+	if len(line) >= len(prefix) && strings.EqualFold(line[:len(prefix)], prefix) {
+		return strings.TrimSpace(line[len(prefix):]), true
+	}
+	return "", false
+}
+
+func (p *parser) consume(line string) error {
+	if rest, ok := after(line, "SCHEMA NAME IS"); ok {
+		if p.schema != nil {
+			return fmt.Errorf("duplicate SCHEMA NAME IS")
+		}
+		if rest == "" {
+			return fmt.Errorf("SCHEMA NAME IS requires a name")
+		}
+		p.schema = &netmodel.Schema{Name: rest}
+		return nil
+	}
+	if p.schema == nil {
+		return fmt.Errorf("expected SCHEMA NAME IS before %q", line)
+	}
+	if rest, ok := after(line, "RECORD NAME IS"); ok {
+		p.flush()
+		if rest == "" {
+			return fmt.Errorf("RECORD NAME IS requires a name")
+		}
+		p.rec = &netmodel.RecordType{Name: rest}
+		return nil
+	}
+	if rest, ok := after(line, "SET NAME IS"); ok {
+		p.flush()
+		if rest == "" {
+			return fmt.Errorf("SET NAME IS requires a name")
+		}
+		p.set = &netmodel.SetType{
+			Name:      rest,
+			Insertion: netmodel.InsertManual,
+			Retention: netmodel.RetentionOptional,
+			Selection: netmodel.SelectByApplication,
+		}
+		return nil
+	}
+	if rest, ok := after(line, "DUPLICATES ARE NOT ALLOWED FOR"); ok {
+		if p.rec == nil {
+			return fmt.Errorf("DUPLICATES clause outside a record declaration")
+		}
+		for _, name := range strings.Split(rest, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := p.rec.Attribute(name)
+			if !ok {
+				return fmt.Errorf("DUPLICATES clause names unknown item %q", name)
+			}
+			a.DupFlag = false
+		}
+		return nil
+	}
+	if p.set != nil {
+		if rest, ok := after(line, "OWNER IS"); ok {
+			p.set.Owner = rest
+			return nil
+		}
+		if rest, ok := after(line, "MEMBER IS"); ok {
+			p.set.Member = rest
+			return nil
+		}
+		if rest, ok := after(line, "INSERTION IS"); ok {
+			switch strings.ToUpper(rest) {
+			case "AUTOMATIC":
+				p.set.Insertion = netmodel.InsertAutomatic
+			case "MANUAL":
+				p.set.Insertion = netmodel.InsertManual
+			default:
+				return fmt.Errorf("unknown insertion mode %q", rest)
+			}
+			return nil
+		}
+		if rest, ok := after(line, "RETENTION IS"); ok {
+			switch strings.ToUpper(rest) {
+			case "FIXED":
+				p.set.Retention = netmodel.RetentionFixed
+			case "MANDATORY":
+				p.set.Retention = netmodel.RetentionMandatory
+			case "OPTIONAL":
+				p.set.Retention = netmodel.RetentionOptional
+			default:
+				return fmt.Errorf("unknown retention mode %q", rest)
+			}
+			return nil
+		}
+		if rest, ok := after(line, "SET SELECTION IS"); ok {
+			switch strings.ToUpper(rest) {
+			case "BY VALUE":
+				p.set.Selection = netmodel.SelectByValue
+			case "BY STRUCTURAL":
+				p.set.Selection = netmodel.SelectByStructural
+			case "BY APPLICATION":
+				p.set.Selection = netmodel.SelectByApplication
+			default:
+				return fmt.Errorf("unknown selection mode %q", rest)
+			}
+			return nil
+		}
+	}
+	if p.rec != nil {
+		return p.consumeItem(line)
+	}
+	return fmt.Errorf("cannot parse %q", line)
+}
+
+// consumeItem parses a data-item line: "02 name TYPE IS CHARACTER 30".
+func (p *parser) consumeItem(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("cannot parse data item %q", line)
+	}
+	a := &netmodel.Attribute{Level: 2, Type: netmodel.AttrString, DupFlag: true}
+	i := 0
+	if lvl, err := strconv.Atoi(fields[0]); err == nil {
+		a.Level = lvl
+		i = 1
+	}
+	if i >= len(fields) {
+		return fmt.Errorf("data item %q has no name", line)
+	}
+	a.Name = fields[i]
+	i++
+	if i < len(fields) {
+		if !strings.EqualFold(fields[i], "TYPE") {
+			return fmt.Errorf("expected TYPE IS in %q", line)
+		}
+		i++
+		if i < len(fields) && strings.EqualFold(fields[i], "IS") {
+			i++
+		}
+		if i >= len(fields) {
+			return fmt.Errorf("TYPE IS requires a type in %q", line)
+		}
+		switch strings.ToUpper(fields[i]) {
+		case "FIXED", "INTEGER":
+			a.Type = netmodel.AttrInt
+		case "FLOAT", "REAL":
+			a.Type = netmodel.AttrFloat
+		case "CHARACTER", "CHAR":
+			a.Type = netmodel.AttrString
+		default:
+			return fmt.Errorf("unknown item type %q", fields[i])
+		}
+		i++
+		if i < len(fields) {
+			spec := fields[i]
+			parts := strings.SplitN(spec, ",", 2)
+			n, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return fmt.Errorf("bad length %q", spec)
+			}
+			a.Length = n
+			if len(parts) == 2 {
+				d, err := strconv.Atoi(parts[1])
+				if err != nil {
+					return fmt.Errorf("bad decimal length %q", spec)
+				}
+				a.DecLength = d
+			}
+		}
+	}
+	p.rec.Attributes = append(p.rec.Attributes, a)
+	return nil
+}

@@ -1,0 +1,137 @@
+package netddl
+
+import (
+	"testing"
+
+	"mlds/internal/netmodel"
+)
+
+const sampleDDL = `
+SCHEMA NAME IS univ
+
+RECORD NAME IS course
+    02 title TYPE IS CHARACTER 30
+    02 semester TYPE IS CHARACTER 10
+    02 credits TYPE IS FIXED
+    02 rating TYPE IS FLOAT 5,2
+    DUPLICATES ARE NOT ALLOWED FOR title, semester
+
+RECORD NAME IS faculty
+    02 rank TYPE IS CHARACTER 10
+
+SET NAME IS system_course;
+    OWNER IS SYSTEM;
+    MEMBER IS course;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+    SET SELECTION IS BY APPLICATION;
+
+SET NAME IS teaching;
+    OWNER IS faculty;
+    MEMBER IS course;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+    SET SELECTION IS BY APPLICATION;
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := Parse(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "univ" || len(s.Records) != 2 || len(s.Sets) != 2 {
+		t.Fatalf("shape: %s", s)
+	}
+	course, ok := s.Record("course")
+	if !ok || len(course.Attributes) != 4 {
+		t.Fatalf("course = %+v", course)
+	}
+	title, _ := course.Attribute("title")
+	if title.Type != netmodel.AttrString || title.Length != 30 || title.DupFlag {
+		t.Errorf("title = %+v", title)
+	}
+	credits, _ := course.Attribute("credits")
+	if credits.Type != netmodel.AttrInt || !credits.DupFlag {
+		t.Errorf("credits = %+v", credits)
+	}
+	rating, _ := course.Attribute("rating")
+	if rating.Type != netmodel.AttrFloat || rating.Length != 5 || rating.DecLength != 2 {
+		t.Errorf("rating = %+v", rating)
+	}
+	teach, _ := s.Set("teaching")
+	if teach.Owner != "faculty" || teach.Member != "course" ||
+		teach.Insertion != netmodel.InsertManual ||
+		teach.Retention != netmodel.RetentionOptional ||
+		teach.Selection != netmodel.SelectByApplication {
+		t.Errorf("teaching = %+v", teach)
+	}
+	sys, _ := s.Set("system_course")
+	if !sys.SystemOwned() || sys.Insertion != netmodel.InsertAutomatic || sys.Retention != netmodel.RetentionFixed {
+		t.Errorf("system_course = %+v", sys)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	s1, err := Parse(sampleDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s1.DDL())
+	if err != nil {
+		t.Fatalf("reparse of DDL() failed: %v\n%s", err, s1.DDL())
+	}
+	if s2.DDL() != s1.DDL() {
+		t.Errorf("DDL round trip unstable:\n--- first\n%s\n--- second\n%s", s1.DDL(), s2.DDL())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"no schema":     "RECORD NAME IS x",
+		"dup schema":    "SCHEMA NAME IS a\nSCHEMA NAME IS b",
+		"empty schema":  "SCHEMA NAME IS",
+		"dup rec":       "SCHEMA NAME IS s\nRECORD NAME IS x\nRECORD NAME IS x\nSET NAME IS q;\nOWNER IS x;\nMEMBER IS x;",
+		"dups unknown":  "SCHEMA NAME IS s\nRECORD NAME IS x\n02 a TYPE IS FIXED\nDUPLICATES ARE NOT ALLOWED FOR zz",
+		"bad type":      "SCHEMA NAME IS s\nRECORD NAME IS x\n02 a TYPE IS BLOB",
+		"bad insertion": "SCHEMA NAME IS s\nRECORD NAME IS x\nSET NAME IS q;\nOWNER IS x;\nMEMBER IS x;\nINSERTION IS SOMETIMES;",
+		"ghost owner":   "SCHEMA NAME IS s\nRECORD NAME IS x\nSET NAME IS q;\nOWNER IS nosuch;\nMEMBER IS x;",
+		"garbage":       "SCHEMA NAME IS s\nWHAT EVEN IS THIS",
+		"bad length":    "SCHEMA NAME IS s\nRECORD NAME IS x\n02 a TYPE IS CHARACTER abc",
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := `
+-- a comment
+SCHEMA NAME IS s
+
+* another comment style
+RECORD NAME IS x
+    02 a TYPE IS FIXED
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records) != 1 {
+		t.Errorf("records = %d", len(s.Records))
+	}
+}
+
+func TestParseDefaultsForItem(t *testing.T) {
+	// An item without TYPE clause defaults to level-2 character.
+	s, err := Parse("SCHEMA NAME IS s\nRECORD NAME IS x\n02 flag\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := s.Record("x")
+	a, ok := r.Attribute("flag")
+	if !ok || a.Type != netmodel.AttrString || a.Level != 2 || !a.DupFlag {
+		t.Errorf("flag = %+v", a)
+	}
+}

@@ -1,0 +1,308 @@
+// Package netmodel implements the CODASYL network data model: record types
+// with typed data items, and set types — one-to-many relationships with an
+// owner record type, a member record type, and insertion, retention and
+// selection rules. The structures mirror the thesis's shared network data
+// structures (net_dbid_node, nrec_node, nattr_node, nset_node,
+// set_select_node).
+package netmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SystemOwner is the distinguished owner of singular sets: every record type
+// transformed from a functional entity type is a member of a set owned by
+// SYSTEM.
+const SystemOwner = "SYSTEM"
+
+// AttrType classifies network data items, mirroring the nattr_node type
+// flags: integer, floating point, or character string.
+type AttrType byte
+
+// Attribute types.
+const (
+	AttrInt    AttrType = 'I'
+	AttrFloat  AttrType = 'F'
+	AttrString AttrType = 'C'
+)
+
+// String returns the CODASYL DDL spelling of the type.
+func (t AttrType) String() string {
+	switch t {
+	case AttrInt:
+		return "FIXED"
+	case AttrFloat:
+		return "FLOAT"
+	case AttrString:
+		return "CHARACTER"
+	default:
+		return fmt.Sprintf("type(%c)", byte(t))
+	}
+}
+
+// InsertMode is a set's insertion rule (nsn_insert_mode).
+type InsertMode byte
+
+// Insertion modes.
+const (
+	InsertAutomatic InsertMode = 'a'
+	InsertManual    InsertMode = 'm'
+)
+
+// String returns the DDL spelling.
+func (m InsertMode) String() string {
+	if m == InsertAutomatic {
+		return "AUTOMATIC"
+	}
+	return "MANUAL"
+}
+
+// RetentionMode is a set's retention rule (nsn_retent_mode).
+type RetentionMode byte
+
+// Retention modes.
+const (
+	RetentionFixed     RetentionMode = 'f'
+	RetentionMandatory RetentionMode = 'm'
+	RetentionOptional  RetentionMode = 'o'
+)
+
+// String returns the DDL spelling.
+func (m RetentionMode) String() string {
+	switch m {
+	case RetentionFixed:
+		return "FIXED"
+	case RetentionMandatory:
+		return "MANDATORY"
+	default:
+		return "OPTIONAL"
+	}
+}
+
+// SelectMode is a set's selection rule (set_select_node).
+type SelectMode byte
+
+// Selection modes.
+const (
+	SelectByValue       SelectMode = 'v'
+	SelectByStructural  SelectMode = 's'
+	SelectByApplication SelectMode = 'a'
+)
+
+// String returns the DDL spelling.
+func (m SelectMode) String() string {
+	switch m {
+	case SelectByValue:
+		return "BY VALUE"
+	case SelectByStructural:
+		return "BY STRUCTURAL"
+	default:
+		return "BY APPLICATION"
+	}
+}
+
+// Attribute is one data item of a record type (nattr_node).
+type Attribute struct {
+	Name      string
+	Level     int // COBOL-style level number; 2 for ordinary items
+	Type      AttrType
+	Length    int  // maximum value length
+	DecLength int  // decimal places, for floats
+	DupFlag   bool // true = duplicates allowed (the nan_dup_flag default)
+}
+
+// RecordType is a network record type (nrec_node).
+type RecordType struct {
+	Name       string
+	Attributes []*Attribute
+}
+
+// Attribute returns the named data item.
+func (r *RecordType) Attribute(name string) (*Attribute, bool) {
+	for _, a := range r.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// NoDupAttrs lists the data items flagged DUPLICATES ARE NOT ALLOWED.
+func (r *RecordType) NoDupAttrs() []string {
+	var out []string
+	for _, a := range r.Attributes {
+		if !a.DupFlag {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// SetType is a network set type (nset_node): a named one-to-many
+// relationship from one owner record type to one member record type.
+type SetType struct {
+	Name      string
+	Owner     string // record type name or SystemOwner
+	Member    string
+	Insertion InsertMode
+	Retention RetentionMode
+	Selection SelectMode
+}
+
+// SystemOwned reports whether the set is owned by SYSTEM.
+func (s *SetType) SystemOwned() bool { return s.Owner == SystemOwner }
+
+// Schema is a network database schema (net_dbid_node): records and sets.
+type Schema struct {
+	Name    string
+	Records []*RecordType
+	Sets    []*SetType
+}
+
+// Record returns the named record type.
+func (s *Schema) Record(name string) (*RecordType, bool) {
+	for _, r := range s.Records {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Set returns the named set type.
+func (s *Schema) Set(name string) (*SetType, bool) {
+	for _, st := range s.Sets {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return nil, false
+}
+
+// SetsOwnedBy lists the sets whose owner is the named record type.
+func (s *Schema) SetsOwnedBy(owner string) []*SetType {
+	var out []*SetType
+	for _, st := range s.Sets {
+		if st.Owner == owner {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// SetsWithMember lists the sets whose member is the named record type.
+func (s *Schema) SetsWithMember(member string) []*SetType {
+	var out []*SetType
+	for _, st := range s.Sets {
+		if st.Member == member {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Validate checks schema integrity: unique record and set names, set owners
+// and members resolving to record types (or SYSTEM for owners), and data
+// items unique within their record.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("netmodel: schema has no name")
+	}
+	recs := make(map[string]bool)
+	for _, r := range s.Records {
+		if r.Name == "" {
+			return fmt.Errorf("netmodel: record type with empty name")
+		}
+		if recs[r.Name] {
+			return fmt.Errorf("netmodel: duplicate record type %q", r.Name)
+		}
+		recs[r.Name] = true
+		attrs := make(map[string]bool)
+		for _, a := range r.Attributes {
+			if a.Name == "" {
+				return fmt.Errorf("netmodel: record %q has a data item with no name", r.Name)
+			}
+			if attrs[a.Name] {
+				return fmt.Errorf("netmodel: record %q declares data item %q twice", r.Name, a.Name)
+			}
+			attrs[a.Name] = true
+			switch a.Type {
+			case AttrInt, AttrFloat, AttrString:
+			default:
+				return fmt.Errorf("netmodel: record %q item %q has invalid type %q", r.Name, a.Name, a.Type)
+			}
+		}
+	}
+	sets := make(map[string]bool)
+	for _, st := range s.Sets {
+		if st.Name == "" {
+			return fmt.Errorf("netmodel: set type with empty name")
+		}
+		if sets[st.Name] {
+			return fmt.Errorf("netmodel: duplicate set type %q", st.Name)
+		}
+		sets[st.Name] = true
+		if !st.SystemOwned() && !recs[st.Owner] {
+			return fmt.Errorf("netmodel: set %q names unknown owner %q", st.Name, st.Owner)
+		}
+		if !recs[st.Member] {
+			return fmt.Errorf("netmodel: set %q names unknown member %q", st.Name, st.Member)
+		}
+		if st.Owner == st.Member {
+			// Legal in CODASYL generally, but never produced by the
+			// functional transformation; allow it.
+			_ = st
+		}
+	}
+	return nil
+}
+
+// String renders a compact summary.
+func (s *Schema) String() string {
+	return fmt.Sprintf("network schema %s: %d record types, %d set types", s.Name, len(s.Records), len(s.Sets))
+}
+
+// DDL renders the schema as CODASYL DDL text in the style of Figure 5.1.
+func (s *Schema) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCHEMA NAME IS %s\n", s.Name)
+	for _, r := range s.Records {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "RECORD NAME IS %s\n", r.Name)
+		for _, a := range r.Attributes {
+			lvl := a.Level
+			if lvl == 0 {
+				lvl = 2
+			}
+			fmt.Fprintf(&b, "    %02d %s TYPE IS %s", lvl, a.Name, a.Type)
+			switch a.Type {
+			case AttrString:
+				if a.Length > 0 {
+					fmt.Fprintf(&b, " %d", a.Length)
+				}
+			case AttrFloat:
+				if a.Length > 0 {
+					fmt.Fprintf(&b, " %d", a.Length)
+					if a.DecLength > 0 {
+						fmt.Fprintf(&b, ",%d", a.DecLength)
+					}
+				}
+			}
+			b.WriteString("\n")
+		}
+		if nd := r.NoDupAttrs(); len(nd) > 0 {
+			fmt.Fprintf(&b, "    DUPLICATES ARE NOT ALLOWED FOR %s\n", strings.Join(nd, ", "))
+		}
+	}
+	for _, st := range s.Sets {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "SET NAME IS %s;\n", st.Name)
+		fmt.Fprintf(&b, "    OWNER IS %s;\n", st.Owner)
+		fmt.Fprintf(&b, "    MEMBER IS %s;\n", st.Member)
+		fmt.Fprintf(&b, "    INSERTION IS %s;\n", st.Insertion)
+		fmt.Fprintf(&b, "    RETENTION IS %s;\n", st.Retention)
+		fmt.Fprintf(&b, "    SET SELECTION IS %s;\n", st.Selection)
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleSchema() *Schema {
+	return &Schema{
+		Name: "univ",
+		Records: []*RecordType{
+			{Name: "course", Attributes: []*Attribute{
+				{Name: "title", Level: 2, Type: AttrString, Length: 30, DupFlag: false},
+				{Name: "semester", Level: 2, Type: AttrString, Length: 10, DupFlag: false},
+				{Name: "credits", Level: 2, Type: AttrInt, DupFlag: true},
+				{Name: "rating", Level: 2, Type: AttrFloat, Length: 5, DecLength: 2, DupFlag: true},
+			}},
+			{Name: "faculty", Attributes: []*Attribute{
+				{Name: "rank", Level: 2, Type: AttrString, Length: 10, DupFlag: true},
+			}},
+		},
+		Sets: []*SetType{
+			{Name: "system_course", Owner: SystemOwner, Member: "course",
+				Insertion: InsertAutomatic, Retention: RetentionFixed, Selection: SelectByApplication},
+			{Name: "teaching", Owner: "faculty", Member: "course",
+				Insertion: InsertManual, Retention: RetentionOptional, Selection: SelectByApplication},
+		},
+	}
+}
+
+func TestSchemaValidateOK(t *testing.T) {
+	if err := sampleSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaValidateCatches(t *testing.T) {
+	mutate := map[string]func(*Schema){
+		"no name":    func(s *Schema) { s.Name = "" },
+		"dup record": func(s *Schema) { s.Records = append(s.Records, &RecordType{Name: "course"}) },
+		"dup set": func(s *Schema) {
+			s.Sets = append(s.Sets, &SetType{Name: "teaching", Owner: "faculty", Member: "course"})
+		},
+		"bad owner":  func(s *Schema) { s.Sets[1].Owner = "ghost" },
+		"bad member": func(s *Schema) { s.Sets[1].Member = "ghost" },
+		"dup item": func(s *Schema) {
+			r := s.Records[0]
+			r.Attributes = append(r.Attributes, &Attribute{Name: "title", Type: AttrString})
+		},
+		"bad item type": func(s *Schema) { s.Records[0].Attributes[0].Type = 'X' },
+	}
+	for name, f := range mutate {
+		s := sampleSchema()
+		f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSchemaLookups(t *testing.T) {
+	s := sampleSchema()
+	r, ok := s.Record("course")
+	if !ok || r.Name != "course" {
+		t.Fatal("Record lookup failed")
+	}
+	a, ok := r.Attribute("credits")
+	if !ok || a.Type != AttrInt {
+		t.Fatal("Attribute lookup failed")
+	}
+	if _, ok := r.Attribute("ghost"); ok {
+		t.Error("phantom attribute")
+	}
+	st, ok := s.Set("teaching")
+	if !ok || st.Owner != "faculty" {
+		t.Fatal("Set lookup failed")
+	}
+	if len(s.SetsOwnedBy("faculty")) != 1 || len(s.SetsWithMember("course")) != 2 {
+		t.Error("set queries wrong")
+	}
+	if !s.Sets[0].SystemOwned() || s.Sets[1].SystemOwned() {
+		t.Error("SystemOwned wrong")
+	}
+}
+
+func TestNoDupAttrs(t *testing.T) {
+	s := sampleSchema()
+	r, _ := s.Record("course")
+	nd := r.NoDupAttrs()
+	if len(nd) != 2 || nd[0] != "title" || nd[1] != "semester" {
+		t.Errorf("NoDupAttrs = %v", nd)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{InsertAutomatic.String(), "AUTOMATIC"},
+		{InsertManual.String(), "MANUAL"},
+		{RetentionFixed.String(), "FIXED"},
+		{RetentionMandatory.String(), "MANDATORY"},
+		{RetentionOptional.String(), "OPTIONAL"},
+		{SelectByApplication.String(), "BY APPLICATION"},
+		{SelectByValue.String(), "BY VALUE"},
+		{SelectByStructural.String(), "BY STRUCTURAL"},
+		{AttrInt.String(), "FIXED"},
+		{AttrFloat.String(), "FLOAT"},
+		{AttrString.String(), "CHARACTER"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestDDLOutputShape(t *testing.T) {
+	ddl := sampleSchema().DDL()
+	for _, want := range []string{
+		"SCHEMA NAME IS univ",
+		"RECORD NAME IS course",
+		"02 title TYPE IS CHARACTER 30",
+		"02 credits TYPE IS FIXED",
+		"02 rating TYPE IS FLOAT 5,2",
+		"DUPLICATES ARE NOT ALLOWED FOR title, semester",
+		"SET NAME IS teaching;",
+		"OWNER IS faculty;",
+		"MEMBER IS course;",
+		"INSERTION IS MANUAL;",
+		"RETENTION IS OPTIONAL;",
+		"SET SELECTION IS BY APPLICATION;",
+		"OWNER IS SYSTEM;",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}

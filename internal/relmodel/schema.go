@@ -1,0 +1,145 @@
+// Package relmodel implements the relational data model for the MLDS
+// SQL language interface: tables of typed columns, with NOT NULL and UNIQUE
+// column constraints. The relational→ABDM mapping is the simplest of the
+// MLDS transformations — one kernel file per table, one attribute per
+// column — which is among the reasons the attribute-based model was chosen
+// as the kernel.
+package relmodel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType classifies column types.
+type ColType byte
+
+// Column types.
+const (
+	ColInt    ColType = 'I'
+	ColFloat  ColType = 'F'
+	ColString ColType = 'C'
+)
+
+// String returns the SQL spelling.
+func (t ColType) String() string {
+	switch t {
+	case ColInt:
+		return "INTEGER"
+	case ColFloat:
+		return "FLOAT"
+	case ColString:
+		return "CHAR"
+	default:
+		return fmt.Sprintf("coltype(%c)", byte(t))
+	}
+}
+
+// Column is one table column.
+type Column struct {
+	Name    string
+	Type    ColType
+	Length  int // CHAR length bound, 0 = unbounded
+	NotNull bool
+	Unique  bool
+}
+
+// Table is one relation.
+type Table struct {
+	Name    string
+	Columns []*Column
+}
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, bool) {
+	for _, c := range t.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Schema is a relational database schema.
+type Schema struct {
+	Name   string
+	Tables []*Table
+}
+
+// Table returns the named table.
+func (s *Schema) Table(name string) (*Table, bool) {
+	for _, t := range s.Tables {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks name uniqueness and column sanity.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relmodel: schema has no name")
+	}
+	tables := make(map[string]bool)
+	for _, t := range s.Tables {
+		if t.Name == "" {
+			return fmt.Errorf("relmodel: table with empty name")
+		}
+		if tables[t.Name] {
+			return fmt.Errorf("relmodel: duplicate table %q", t.Name)
+		}
+		tables[t.Name] = true
+		if len(t.Columns) == 0 {
+			return fmt.Errorf("relmodel: table %q has no columns", t.Name)
+		}
+		cols := make(map[string]bool)
+		for _, c := range t.Columns {
+			if c.Name == "" {
+				return fmt.Errorf("relmodel: table %q has a column with no name", t.Name)
+			}
+			if cols[c.Name] {
+				return fmt.Errorf("relmodel: table %q declares column %q twice", t.Name, c.Name)
+			}
+			cols[c.Name] = true
+			switch c.Type {
+			case ColInt, ColFloat, ColString:
+			default:
+				return fmt.Errorf("relmodel: table %q column %q has invalid type", t.Name, c.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// DDL renders the schema as SQL DDL text that ParseDDL accepts.
+func (s *Schema) DDL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- schema %s\n", s.Name)
+	for _, t := range s.Tables {
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", t.Name)
+		for i, c := range t.Columns {
+			fmt.Fprintf(&b, "    %s %s", c.Name, c.Type)
+			if c.Type == ColString && c.Length > 0 {
+				fmt.Fprintf(&b, "(%d)", c.Length)
+			}
+			if c.NotNull {
+				b.WriteString(" NOT NULL")
+			}
+			if c.Unique {
+				b.WriteString(" UNIQUE")
+			}
+			if i < len(t.Columns)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}
+
+// String renders a summary.
+func (s *Schema) String() string {
+	return fmt.Sprintf("relational schema %s: %d tables", s.Name, len(s.Tables))
+}

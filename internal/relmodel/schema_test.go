@@ -1,0 +1,87 @@
+package relmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Schema {
+	return &Schema{
+		Name: "shop",
+		Tables: []*Table{
+			{Name: "emp", Columns: []*Column{
+				{Name: "ename", Type: ColString, Length: 20, NotNull: true, Unique: true},
+				{Name: "pay", Type: ColInt},
+				{Name: "rate", Type: ColFloat},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := sample()
+	tab, ok := s.Table("emp")
+	if !ok {
+		t.Fatal("table missing")
+	}
+	if _, ok := s.Table("ghost"); ok {
+		t.Error("phantom table")
+	}
+	col, ok := tab.Column("pay")
+	if !ok || col.Type != ColInt {
+		t.Errorf("pay = %+v", col)
+	}
+	if _, ok := tab.Column("ghost"); ok {
+		t.Error("phantom column")
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	mutate := map[string]func(*Schema){
+		"no name":    func(s *Schema) { s.Name = "" },
+		"dup table":  func(s *Schema) { s.Tables = append(s.Tables, &Table{Name: "emp", Columns: s.Tables[0].Columns}) },
+		"no columns": func(s *Schema) { s.Tables[0].Columns = nil },
+		"dup column": func(s *Schema) {
+			s.Tables[0].Columns = append(s.Tables[0].Columns, &Column{Name: "pay", Type: ColInt})
+		},
+		"bad type":   func(s *Schema) { s.Tables[0].Columns[0].Type = 'X' },
+		"empty col":  func(s *Schema) { s.Tables[0].Columns[0].Name = "" },
+		"empty name": func(s *Schema) { s.Tables[0].Name = "" },
+	}
+	for name, f := range mutate {
+		s := sample()
+		f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDDLOutput(t *testing.T) {
+	ddl := sample().DDL()
+	for _, want := range []string{
+		"CREATE TABLE emp",
+		"ename CHAR(20) NOT NULL UNIQUE",
+		"pay INTEGER",
+		"rate FLOAT",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+}
+
+func TestColTypeStrings(t *testing.T) {
+	if ColInt.String() != "INTEGER" || ColFloat.String() != "FLOAT" || ColString.String() != "CHAR" {
+		t.Error("ColType.String wrong")
+	}
+	if sample().String() != "relational schema shop: 1 tables" {
+		t.Errorf("String = %q", sample().String())
+	}
+}

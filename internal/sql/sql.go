@@ -1,0 +1,642 @@
+// Package sql implements the SQL subset of the MLDS relational language
+// interface: CREATE TABLE as the DDL, and SELECT / INSERT / UPDATE / DELETE
+// as the DML, with WHERE conditions (AND/OR), aggregates, GROUP BY and
+// ORDER BY.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"mlds/internal/abdm"
+	"mlds/internal/relmodel"
+)
+
+// Stmt is one SQL DML statement.
+type Stmt interface{ sqlStmt() }
+
+// Agg is an aggregate applied to a select item.
+type Agg int
+
+// Aggregates.
+const (
+	AggNone Agg = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"", "COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+// String returns the SQL spelling.
+func (a Agg) String() string { return aggNames[a] }
+
+// SelectItem is one output column, optionally aggregated. Column "*" with
+// AggNone selects every column.
+type SelectItem struct {
+	Agg    Agg
+	Column string
+}
+
+// String renders the item.
+func (it SelectItem) String() string {
+	if it.Agg == AggNone {
+		return it.Column
+	}
+	return fmt.Sprintf("%s(%s)", it.Agg, it.Column)
+}
+
+// Cond is one WHERE comparison.
+type Cond struct {
+	Column string
+	Op     abdm.Op
+	Val    abdm.Value
+}
+
+// Where is the WHERE clause in disjunctive normal form.
+type Where [][]Cond
+
+// Select is a single-table SELECT.
+type Select struct {
+	Items   []SelectItem
+	Table   string
+	Where   Where
+	GroupBy string
+	OrderBy string
+	Desc    bool
+}
+
+func (*Select) sqlStmt() {}
+
+// Insert is INSERT INTO t (cols) VALUES (lits).
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []abdm.Value
+}
+
+func (*Insert) sqlStmt() {}
+
+// Update is UPDATE t SET col = lit, ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []Assign
+	Where Where
+}
+
+// Assign is one SET column = literal.
+type Assign struct {
+	Column string
+	Val    abdm.Value
+}
+
+func (*Update) sqlStmt() {}
+
+// Delete is DELETE FROM t [WHERE ...].
+type Delete struct {
+	Table string
+	Where Where
+}
+
+func (*Delete) sqlStmt() {}
+
+// --- lexer -----------------------------------------------------------------
+
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tWord
+	tNumber
+	tString
+	tPunct
+)
+
+type token struct {
+	kind tkind
+	text string
+}
+
+func (t token) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			out = append(out, token{tWord, src[start:i]})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			i++
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				i++
+			}
+			out = append(out, token{tNumber, src[start:i]})
+		case c == '\'':
+			i++
+			var b strings.Builder
+			for {
+				if i >= len(src) {
+					return nil, fmt.Errorf("sql: unterminated string literal")
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			out = append(out, token{tString, b.String()})
+		default:
+			for _, p := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(src[i:], p) {
+					out = append(out, token{tPunct, p})
+					i += len(p)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', ';', '*', '=', '<', '>':
+				out = append(out, token{tPunct, string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q", c)
+			}
+		next:
+		}
+	}
+	return append(out, token{kind: tEOF}), nil
+}
+
+// --- parser ----------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) tok() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) done() bool { return p.tok().kind == tEOF }
+func (p *parser) is(w string) bool {
+	t := p.tok()
+	return t.kind == tWord && strings.EqualFold(t.text, w)
+}
+
+func (p *parser) eat(w string) bool {
+	if p.is(w) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(w string) error {
+	if !p.eat(w) {
+		return fmt.Errorf("sql: expected %q, found %s", w, p.tok())
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(ch string) error {
+	t := p.tok()
+	if t.kind != tPunct || t.text != ch {
+		return fmt.Errorf("sql: expected %q, found %s", ch, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.tok()
+	if t.kind != tWord {
+		return "", fmt.Errorf("sql: expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) literal() (abdm.Value, error) {
+	t := p.tok()
+	switch t.kind {
+	case tString:
+		p.advance()
+		return abdm.String(t.text), nil
+	case tNumber:
+		p.advance()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return abdm.Value{}, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return abdm.Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return abdm.Value{}, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return abdm.Int(n), nil
+	case tWord:
+		if strings.EqualFold(t.text, "NULL") {
+			p.advance()
+			return abdm.Null(), nil
+		}
+		return abdm.Value{}, fmt.Errorf("sql: expected a literal, found %s", t)
+	default:
+		return abdm.Value{}, fmt.Errorf("sql: expected a literal, found %s", t)
+	}
+}
+
+// finishEnd consumes an optional semicolon and requires end of input.
+func (p *parser) finishEnd() error {
+	if t := p.tok(); t.kind == tPunct && t.text == ";" {
+		p.advance()
+	}
+	if !p.done() {
+		return fmt.Errorf("sql: trailing input after statement: %s", p.tok())
+	}
+	return nil
+}
+
+// ParseDDL parses one or more CREATE TABLE statements into a schema named
+// name.
+func ParseDDL(name, src string) (*relmodel.Schema, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s := &relmodel.Schema{Name: name}
+	for !p.done() {
+		if err := p.expectWord("CREATE"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("TABLE"); err != nil {
+			return nil, err
+		}
+		tname, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		table := &relmodel.Table{Name: tname}
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			table.Columns = append(table.Columns, col)
+			if t := p.tok(); t.kind == tPunct && t.text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if t := p.tok(); t.kind == tPunct && t.text == ";" {
+			p.advance()
+		}
+		s.Tables = append(s.Tables, table)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseColumn() (*relmodel.Column, error) {
+	name, err := p.ident("column name")
+	if err != nil {
+		return nil, err
+	}
+	col := &relmodel.Column{Name: name}
+	switch {
+	case p.eat("INTEGER") || p.eat("INT"):
+		col.Type = relmodel.ColInt
+	case p.eat("FLOAT") || p.eat("REAL"):
+		col.Type = relmodel.ColFloat
+	case p.eat("CHAR") || p.eat("VARCHAR") || p.eat("CHARACTER"):
+		col.Type = relmodel.ColString
+		if t := p.tok(); t.kind == tPunct && t.text == "(" {
+			p.advance()
+			n := p.tok()
+			if n.kind != tNumber {
+				return nil, fmt.Errorf("sql: expected a length, found %s", n)
+			}
+			length, err := strconv.Atoi(n.text)
+			if err != nil || length <= 0 {
+				return nil, fmt.Errorf("sql: bad length %q", n.text)
+			}
+			col.Length = length
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sql: column %q has unknown type %s", name, p.tok())
+	}
+	for {
+		switch {
+		case p.eat("NOT"):
+			if err := p.expectWord("NULL"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		case p.eat("UNIQUE"):
+			col.Unique = true
+		default:
+			return col, nil
+		}
+	}
+}
+
+// Parse parses one SQL DML statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var st Stmt
+	switch {
+	case p.eat("SELECT"):
+		st, err = p.parseSelect()
+	case p.eat("INSERT"):
+		st, err = p.parseInsert()
+	case p.eat("UPDATE"):
+		st, err = p.parseUpdate()
+	case p.eat("DELETE"):
+		st, err = p.parseDelete()
+	default:
+		return nil, fmt.Errorf("sql: unknown statement starting with %s", p.tok())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := p.finishEnd(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelect() (Stmt, error) {
+	sel := &Select{}
+	for {
+		if t := p.tok(); t.kind == tPunct && t.text == "*" {
+			p.advance()
+			sel.Items = append(sel.Items, SelectItem{Column: "*"})
+		} else {
+			word, err := p.ident("column or aggregate")
+			if err != nil {
+				return nil, err
+			}
+			agg := AggNone
+			switch strings.ToUpper(word) {
+			case "COUNT":
+				agg = AggCount
+			case "SUM":
+				agg = AggSum
+			case "AVG":
+				agg = AggAvg
+			case "MIN":
+				agg = AggMin
+			case "MAX":
+				agg = AggMax
+			}
+			if agg != AggNone && p.tok().kind == tPunct && p.tok().text == "(" {
+				p.advance()
+				var col string
+				if t := p.tok(); t.kind == tPunct && t.text == "*" {
+					p.advance()
+					col = "*"
+				} else {
+					c, err := p.ident("aggregate column")
+					if err != nil {
+						return nil, err
+					}
+					col = c
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				sel.Items = append(sel.Items, SelectItem{Agg: agg, Column: col})
+			} else {
+				sel.Items = append(sel.Items, SelectItem{Column: word})
+			}
+		}
+		if t := p.tok(); t.kind == tPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if sel.Where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	if p.eat("GROUP") {
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		if sel.GroupBy, err = p.ident("group column"); err != nil {
+			return nil, err
+		}
+	}
+	if p.eat("ORDER") {
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		if sel.OrderBy, err = p.ident("order column"); err != nil {
+			return nil, err
+		}
+		if p.eat("DESC") {
+			sel.Desc = true
+		} else {
+			p.eat("ASC")
+		}
+	}
+	return sel, nil
+}
+
+// parseWhere parses [WHERE cond {AND|OR cond}...] into DNF (AND binds
+// tighter than OR).
+func (p *parser) parseWhere() (Where, error) {
+	if !p.eat("WHERE") {
+		return nil, nil
+	}
+	var dnf Where
+	conj := []Cond{}
+	for {
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		t := p.tok()
+		if t.kind != tPunct {
+			return nil, fmt.Errorf("sql: expected a comparison operator, found %s", t)
+		}
+		op, err := abdm.ParseOp(t.text)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, Cond{Column: col, Op: op, Val: val})
+		switch {
+		case p.eat("AND"):
+			continue
+		case p.eat("OR"):
+			dnf = append(dnf, conj)
+			conj = []Cond{}
+			continue
+		default:
+			dnf = append(dnf, conj)
+			return dnf, nil
+		}
+	}
+}
+
+func (p *parser) parseInsert() (Stmt, error) {
+	if err := p.expectWord("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = append(ins.Columns, col)
+		if t := p.tok(); t.kind == tPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		if t := p.tok(); t.kind == tPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if len(ins.Columns) != len(ins.Values) {
+		return nil, fmt.Errorf("sql: %d columns but %d values", len(ins.Columns), len(ins.Values))
+	}
+	return ins, nil
+}
+
+func (p *parser) parseUpdate() (Stmt, error) {
+	table, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table}
+	if err := p.expectWord("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assign{Column: col, Val: val})
+		if t := p.tok(); t.kind == tPunct && t.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if upd.Where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	return upd, nil
+}
+
+func (p *parser) parseDelete() (Stmt, error) {
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	var werr error
+	if del.Where, werr = p.parseWhere(); werr != nil {
+		return nil, werr
+	}
+	return del, nil
+}

@@ -1,0 +1,208 @@
+package sql
+
+import (
+	"testing"
+
+	"mlds/internal/abdm"
+	"mlds/internal/relmodel"
+)
+
+const shopDDL = `
+CREATE TABLE dept (
+    dname CHAR(20) NOT NULL UNIQUE,
+    floor INTEGER
+);
+CREATE TABLE emp (
+    ename CHAR(20) NOT NULL,
+    dept CHAR(20),
+    pay FLOAT
+);
+`
+
+func TestParseDDL(t *testing.T) {
+	s, err := ParseDDL("shop", shopDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "shop" || len(s.Tables) != 2 {
+		t.Fatalf("schema = %v", s)
+	}
+	dept, ok := s.Table("dept")
+	if !ok {
+		t.Fatal("dept missing")
+	}
+	dname, _ := dept.Column("dname")
+	if dname == nil || dname.Type != relmodel.ColString || dname.Length != 20 || !dname.NotNull || !dname.Unique {
+		t.Errorf("dname = %+v", dname)
+	}
+	floor, _ := dept.Column("floor")
+	if floor == nil || floor.Type != relmodel.ColInt || floor.NotNull {
+		t.Errorf("floor = %+v", floor)
+	}
+	pay, _ := mustTable(t, s, "emp").Column("pay")
+	if pay == nil || pay.Type != relmodel.ColFloat {
+		t.Errorf("pay = %+v", pay)
+	}
+}
+
+func mustTable(t *testing.T, s *relmodel.Schema, name string) *relmodel.Table {
+	t.Helper()
+	tab, ok := s.Table(name)
+	if !ok {
+		t.Fatalf("table %q missing", name)
+	}
+	return tab
+}
+
+func TestParseDDLRoundTrip(t *testing.T) {
+	s, err := ParseDDL("shop", shopDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseDDL("shop", s.DDL())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s.DDL())
+	}
+	if again.DDL() != s.DDL() {
+		t.Error("DDL round trip unstable")
+	}
+}
+
+func TestParseDDLErrors(t *testing.T) {
+	bad := []string{
+		"CREATE dept (x INTEGER)",
+		"CREATE TABLE (x INTEGER)",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (x BLOB)",
+		"CREATE TABLE t (x CHAR(0))",
+		"CREATE TABLE t (x INTEGER); CREATE TABLE t (y INTEGER);",
+		"CREATE TABLE t (x INTEGER, x FLOAT)",
+		"CREATE TABLE t (x INTEGER NOT)",
+	}
+	for _, src := range bad {
+		if _, err := ParseDDL("s", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st, err := Parse("SELECT ename, pay FROM emp WHERE dept = 'CS' AND pay >= 500 OR dept = 'EE' ORDER BY pay DESC;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := st.(*Select)
+	if sel.Table != "emp" || len(sel.Items) != 2 {
+		t.Fatalf("sel = %+v", sel)
+	}
+	// DNF: (dept=CS AND pay>=500) OR (dept=EE).
+	if len(sel.Where) != 2 || len(sel.Where[0]) != 2 || len(sel.Where[1]) != 1 {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	if sel.OrderBy != "pay" || !sel.Desc {
+		t.Errorf("order = %q desc=%v", sel.OrderBy, sel.Desc)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM emp").(*Select)
+	if len(sel.Items) != 1 || sel.Items[0].Column != "*" {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+}
+
+func TestParseSelectAggregates(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*), AVG(pay), MAX(pay) FROM emp GROUP BY dept").(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items = %+v", sel.Items)
+	}
+	if sel.Items[0].Agg != AggCount || sel.Items[0].Column != "*" {
+		t.Errorf("item0 = %+v", sel.Items[0])
+	}
+	if sel.Items[1].Agg != AggAvg || sel.Items[1].Column != "pay" {
+		t.Errorf("item1 = %+v", sel.Items[1])
+	}
+	if sel.GroupBy != "dept" {
+		t.Errorf("group = %q", sel.GroupBy)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO emp (ename, dept, pay) VALUES ('Ann', 'CS', 900.5)").(*Insert)
+	if ins.Table != "emp" || len(ins.Columns) != 3 || len(ins.Values) != 3 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if ins.Values[2].Kind() != abdm.KindFloat {
+		t.Errorf("pay kind = %v", ins.Values[2].Kind())
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	upd := mustParse(t, "UPDATE emp SET pay = 1000.0, dept = 'EE' WHERE ename = 'Ann'").(*Update)
+	if upd.Table != "emp" || len(upd.Set) != 2 || len(upd.Where) != 1 {
+		t.Fatalf("upd = %+v", upd)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	del := mustParse(t, "DELETE FROM emp WHERE pay < 100").(*Delete)
+	if del.Table != "emp" || len(del.Where) != 1 {
+		t.Fatalf("del = %+v", del)
+	}
+	del = mustParse(t, "DELETE FROM emp").(*Delete)
+	if len(del.Where) != 0 {
+		t.Fatalf("del = %+v", del)
+	}
+}
+
+func TestParseNullLiteral(t *testing.T) {
+	upd := mustParse(t, "UPDATE emp SET dept = NULL WHERE ename = 'Ann'").(*Update)
+	if !upd.Set[0].Val.IsNull() {
+		t.Error("NULL lost")
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a ==",
+		"INSERT emp (a) VALUES (1)",
+		"INSERT INTO emp (a, b) VALUES (1)",
+		"INSERT INTO emp (a) VALUES (1) extra",
+		"UPDATE emp SET",
+		"UPDATE emp SET a 1",
+		"DELETE emp",
+		"SELECT * FROM t ORDER pay",
+		"SELECT 'str' FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) Stmt {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+// FuzzParseSQL: the SQL parser must never panic.
+func FuzzParseSQL(f *testing.F) {
+	f.Add("SELECT a, COUNT(b) FROM t WHERE a = 1 OR b <> 'x' GROUP BY a ORDER BY a DESC;")
+	f.Add("INSERT INTO t (a) VALUES (NULL)")
+	f.Add("UPDATE t SET a = 1.5 WHERE b >= 2")
+	f.Add("DELETE FROM t")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src)
+		_, _ = ParseDDL("f", src)
+	})
+}

@@ -1,0 +1,90 @@
+// Package univ provides Shipman's University database — the running example
+// of the thesis (Figure 2.1) — as a Daplex schema, together with a
+// deterministic data generator and the canonical workloads the experiments
+// replay.
+package univ
+
+import (
+	"fmt"
+
+	"mlds/internal/daplex"
+	"mlds/internal/funcmodel"
+)
+
+// SchemaDDL is the University database functional schema of Figure 2.1 in
+// the Daplex DDL accepted by this implementation. The entity types, subtype
+// hierarchy, functions and constraints are the ones the thesis's Chapter V
+// transformation example (Figure 5.1) and Chapter VI translations exercise:
+//
+//   - person with subtypes student and employee,
+//   - employee with subtypes faculty and support_staff,
+//   - course and department entity types,
+//   - single-valued functions advisor (student→faculty), dept
+//     (faculty→department) and supervisor (support_staff→employee),
+//   - the many-to-many pair teaching (faculty→→course) / taught_by
+//     (course→→faculty), which transforms into the LINK_1 record,
+//   - the one-to-many multi-valued function enrollments (student→→course),
+//   - the scalar multi-valued function skills on support_staff,
+//   - UNIQUE title, semester WITHIN course (Figure 5.3), and
+//   - an overlap constraint letting students also be faculty or staff.
+const SchemaDDL = `
+DATABASE university IS
+
+TYPE name_str IS STRING(30);
+TYPE rank_type IS (instructor, assistant, associate, professor);
+
+ENTITY person IS
+    pname : name_str;
+    ssn   : INTEGER;
+END ENTITY;
+
+ENTITY course IS
+    title    : STRING(30);
+    semester : STRING(10);
+    credits  : INTEGER;
+    taught_by : SET OF faculty;
+END ENTITY;
+
+ENTITY department IS
+    dname    : STRING(20);
+    building : STRING(20);
+END ENTITY;
+
+SUBTYPE student OF person IS
+    major       : STRING(20);
+    gpa         : FLOAT;
+    advisor     : faculty;
+    enrollments : SET OF course;
+END SUBTYPE;
+
+SUBTYPE employee OF person IS
+    salary : INTEGER;
+END SUBTYPE;
+
+SUBTYPE faculty OF employee IS
+    rank     : rank_type;
+    dept     : department;
+    teaching : SET OF course;
+END SUBTYPE;
+
+SUBTYPE support_staff OF employee IS
+    supervisor : employee;
+    skills     : SET OF STRING(20);
+END SUBTYPE;
+
+UNIQUE title, semester WITHIN course;
+UNIQUE ssn WITHIN person;
+OVERLAP student WITH faculty, support_staff;
+
+END DATABASE;
+`
+
+// Schema parses SchemaDDL; it panics on error because the text is a
+// compile-time constant exercised by the test suite.
+func Schema() *funcmodel.Schema {
+	s, err := daplex.ParseSchema(SchemaDDL)
+	if err != nil {
+		panic(fmt.Sprintf("univ: embedded schema failed to parse: %v", err))
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package univ
+
+import "testing"
+
+func TestSchemaParses(t *testing.T) {
+	s := Schema()
+	if s.Name != "university" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if len(s.Entities) != 3 || len(s.Subtypes) != 4 {
+		t.Fatalf("shape: %s", s)
+	}
+}
+
+func TestSchemaConstructCoverage(t *testing.T) {
+	// The embedded schema must exercise all six Chapter V constructs.
+	s := Schema()
+	if len(s.NonEntities) == 0 {
+		t.Error("no non-entity types")
+	}
+	if len(s.Uniques) != 2 {
+		t.Errorf("uniques = %d", len(s.Uniques))
+	}
+	if len(s.Overlaps) != 1 {
+		t.Errorf("overlaps = %d", len(s.Overlaps))
+	}
+	// Single-valued, one-to-many multi-valued, many-to-many, scalar
+	// multi-valued function shapes must all occur.
+	shapes := map[string]bool{}
+	for _, tn := range s.TypeNames() {
+		for _, f := range s.FunctionsOf(tn) {
+			switch {
+			case f.Result.IsEntity() && !f.SetValued:
+				shapes["single"] = true
+			case f.Result.IsEntity() && f.SetValued:
+				shapes["multi"] = true
+			case !f.Result.IsEntity() && f.SetValued:
+				shapes["scalar-multi"] = true
+			default:
+				shapes["scalar"] = true
+			}
+		}
+	}
+	for _, want := range []string{"single", "multi", "scalar-multi", "scalar"} {
+		if !shapes[want] {
+			t.Errorf("schema lacks a %s function", want)
+		}
+	}
+	// The many-to-many pair (teaching/taught_by) must be mutual.
+	home1, f1, _ := s.FunctionHome("teaching")
+	home2, f2, _ := s.FunctionHome("taught_by")
+	if f1 == nil || f2 == nil || f1.Result.Entity != home2 || f2.Result.Entity != home1 {
+		t.Error("teaching/taught_by do not form a many-to-many pair")
+	}
+}

@@ -1,0 +1,220 @@
+// Package univgen generates deterministic University database instances —
+// the workloads every experiment loads into the kernel.
+package univgen
+
+import (
+	"fmt"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/loader"
+	"mlds/internal/mbds"
+	"mlds/internal/univ"
+	"mlds/internal/xform"
+)
+
+// Config sizes a generated University database instance. All content is a
+// deterministic function of the configuration — no randomness — so every
+// experiment run sees the same database.
+type Config struct {
+	Departments      int
+	Courses          int
+	Faculty          int
+	Students         int
+	Staff            int
+	EnrollPerStudent int
+	TeachPerFaculty  int
+}
+
+// SmallConfig is a compact instance for functional tests.
+func SmallConfig() Config {
+	return Config{
+		Departments: 3, Courses: 12, Faculty: 6, Students: 18, Staff: 4,
+		EnrollPerStudent: 3, TeachPerFaculty: 2,
+	}
+}
+
+// Majors used round-robin by the generator; the first matches the thesis's
+// Chapter VI example query.
+var Majors = []string{"Computer Science", "Mathematics", "Physics"}
+
+// Ranks used round-robin, matching the schema's rank_type enumeration.
+var Ranks = []string{"instructor", "assistant", "associate", "professor"}
+
+// Semesters used round-robin.
+var Semesters = []string{"Fall", "Winter", "Spring", "Summer"}
+
+// AdvancedDatabaseTitle is the course title of the thesis's FIND ANY example.
+const AdvancedDatabaseTitle = "Advanced Database"
+
+// Database is a generated University instance: the schema transformation,
+// kernel schema, and loadable content.
+type Database struct {
+	Mapping  *xform.Mapping
+	AB       *xform.ABSchema
+	Instance *loader.Instance
+	Config   Config
+}
+
+// Generate builds the transformed schema and a deterministic instance.
+func Generate(cfg Config) (*Database, error) {
+	m, err := xform.FunToNet(univ.Schema())
+	if err != nil {
+		return nil, err
+	}
+	ab, err := xform.DeriveAB(m)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := Populate(m, ab, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{Mapping: m, AB: ab, Instance: inst, Config: cfg}, nil
+}
+
+// Populate builds a deterministic University instance against an existing
+// transformation of the University schema (e.g. a database created through
+// the engine's catalog).
+func Populate(m *xform.Mapping, ab *xform.ABSchema, cfg Config) (*loader.Instance, error) {
+	inst := loader.New(m, ab)
+
+	var depts, courses, faculty, students, staff []*loader.Entity
+
+	for i := 0; i < cfg.Departments; i++ {
+		e, err := inst.NewEntity("department")
+		if err != nil {
+			return nil, err
+		}
+		set(inst, e, "dname", abdm.String(deptName(i)))
+		set(inst, e, "building", abdm.String(fmt.Sprintf("Hall %c", 'A'+i%20)))
+		depts = append(depts, e)
+	}
+	for i := 0; i < cfg.Courses; i++ {
+		e, err := inst.NewEntity("course")
+		if err != nil {
+			return nil, err
+		}
+		set(inst, e, "title", abdm.String(CourseTitle(i)))
+		set(inst, e, "semester", abdm.String(Semesters[i%len(Semesters)]))
+		set(inst, e, "credits", abdm.Int(int64(2+i%4)))
+		courses = append(courses, e)
+	}
+	ssn := int64(100_00_0000)
+	for i := 0; i < cfg.Faculty; i++ {
+		e, err := inst.NewEntity("faculty")
+		if err != nil {
+			return nil, err
+		}
+		ssn++
+		set(inst, e, "pname", abdm.String(fmt.Sprintf("Faculty %03d", i)))
+		set(inst, e, "ssn", abdm.Int(ssn))
+		set(inst, e, "salary", abdm.Int(int64(50000+1000*(i%20))))
+		set(inst, e, "rank", abdm.String(Ranks[i%len(Ranks)]))
+		if len(depts) > 0 {
+			if err := inst.SetRef(e, "dept", depts[i%len(depts)]); err != nil {
+				return nil, err
+			}
+		}
+		for j := 0; j < cfg.TeachPerFaculty && len(courses) > 0; j++ {
+			c := courses[(i*cfg.TeachPerFaculty+j)%len(courses)]
+			if err := inst.Link("teaching", e, c); err != nil {
+				return nil, err
+			}
+		}
+		faculty = append(faculty, e)
+	}
+	for i := 0; i < cfg.Students; i++ {
+		e, err := inst.NewEntity("student")
+		if err != nil {
+			return nil, err
+		}
+		ssn++
+		set(inst, e, "pname", abdm.String(fmt.Sprintf("Student %04d", i)))
+		set(inst, e, "ssn", abdm.Int(ssn))
+		set(inst, e, "major", abdm.String(Majors[i%len(Majors)]))
+		set(inst, e, "gpa", abdm.Float(2.0+float64(i%21)/10))
+		if len(faculty) > 0 {
+			if err := inst.SetRef(e, "advisor", faculty[i%len(faculty)]); err != nil {
+				return nil, err
+			}
+		}
+		for j := 0; j < cfg.EnrollPerStudent && len(courses) > 0; j++ {
+			c := courses[(i+j*7)%len(courses)]
+			if err := inst.AddRef(e, "enrollments", c); err != nil {
+				return nil, err
+			}
+		}
+		students = append(students, e)
+	}
+	for i := 0; i < cfg.Staff; i++ {
+		e, err := inst.NewEntity("support_staff")
+		if err != nil {
+			return nil, err
+		}
+		ssn++
+		set(inst, e, "pname", abdm.String(fmt.Sprintf("Staff %03d", i)))
+		set(inst, e, "ssn", abdm.Int(ssn))
+		set(inst, e, "salary", abdm.Int(int64(30000+500*(i%10))))
+		if len(faculty) > 0 {
+			if err := inst.SetRef(e, "supervisor", faculty[i%len(faculty)]); err != nil {
+				return nil, err
+			}
+		}
+		for _, sk := range []string{"typing", "filing", "scheduling"}[:1+i%3] {
+			if err := inst.AddValue(e, "skills", abdm.String(sk)); err != nil {
+				return nil, err
+			}
+		}
+		staff = append(staff, e)
+	}
+	_ = students
+	_ = staff
+	return inst, nil
+}
+
+// set panics on a scalar assignment error: generator values are
+// compile-time-correct by construction, so an error is a programming bug.
+func set(inst *loader.Instance, e *loader.Entity, fn string, v abdm.Value) {
+	if err := inst.Set(e, fn, v); err != nil {
+		panic(fmt.Sprintf("univ: %v", err))
+	}
+}
+
+// CourseTitle names the i-th generated course; course 0 is the thesis's
+// "Advanced Database".
+func CourseTitle(i int) string {
+	if i == 0 {
+		return AdvancedDatabaseTitle
+	}
+	return fmt.Sprintf("Course %03d", i)
+}
+
+func deptName(i int) string {
+	if i < len(Majors) {
+		return Majors[i]
+	}
+	return fmt.Sprintf("Department %02d", i)
+}
+
+// Load executes the instance's INSERT transaction against a kernel database
+// system and returns the number of kernel records loaded.
+func (d *Database) Load(sys *mbds.System) (int, error) {
+	tx, err := d.Instance.Requests()
+	if err != nil {
+		return 0, err
+	}
+	for i, req := range tx {
+		if _, err := sys.Exec(req); err != nil {
+			return i, fmt.Errorf("univ: loading record %d: %w", i, err)
+		}
+	}
+	return len(tx), nil
+}
+
+// NewKernel builds an MBDS instance over the database's kernel directory.
+func (d *Database) NewKernel(backends int) (*mbds.System, error) {
+	return mbds.New(d.AB.Dir, mbds.DefaultConfig(backends))
+}
+
+var _ = abdl.Transaction(nil)

@@ -1,0 +1,122 @@
+package univgen
+
+import (
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Instance.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Instance.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if !ra[i].Equal(rb[i]) {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateLoadsAndCounts(t *testing.T) {
+	cfg := SmallConfig()
+	db, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := db.NewKernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	n, err := db.Load(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != sys.Len() {
+		t.Errorf("loaded %d but kernel holds %d", n, sys.Len())
+	}
+	count := func(file string) int {
+		res, err := sys.Exec(abdl.NewRetrieve(abdm.And(
+			abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(file)},
+		), file)) // project to the key attr
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := map[int64]bool{}
+		for _, sr := range res.Records {
+			if v, ok := sr.Rec.Get(file); ok {
+				keys[v.AsInt()] = true
+			}
+		}
+		return len(keys)
+	}
+	if got := count("course"); got != cfg.Courses {
+		t.Errorf("courses = %d, want %d", got, cfg.Courses)
+	}
+	if got := count("student"); got != cfg.Students {
+		t.Errorf("students = %d, want %d", got, cfg.Students)
+	}
+	if got := count("faculty"); got != cfg.Faculty {
+		t.Errorf("faculty = %d, want %d", got, cfg.Faculty)
+	}
+	// Persons = students + faculty + staff.
+	if got := count("person"); got != cfg.Students+cfg.Faculty+cfg.Staff {
+		t.Errorf("persons = %d", got)
+	}
+	// Links = faculty × teach-per-faculty.
+	if got := count("LINK_1"); got != cfg.Faculty*cfg.TeachPerFaculty {
+		t.Errorf("links = %d", got)
+	}
+}
+
+func TestGenerateSSNsUnique(t *testing.T) {
+	db, err := Generate(SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := db.Instance.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]int64{} // ssn → key
+	for _, r := range recs {
+		if r.File() != "person" {
+			continue
+		}
+		ssn, _ := r.Get("ssn")
+		key, _ := r.Get("person")
+		if prev, dup := seen[ssn.AsInt()]; dup && prev != key.AsInt() {
+			t.Fatalf("ssn %d assigned to two entities", ssn.AsInt())
+		}
+		seen[ssn.AsInt()] = key.AsInt()
+	}
+	if len(seen) == 0 {
+		t.Fatal("no persons generated")
+	}
+}
+
+func TestCourseTitle(t *testing.T) {
+	if CourseTitle(0) != AdvancedDatabaseTitle {
+		t.Error("course 0 must be the thesis's example course")
+	}
+	if CourseTitle(1) == CourseTitle(2) {
+		t.Error("course titles must be distinct")
+	}
+}

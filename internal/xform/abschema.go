@@ -1,0 +1,226 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlds/internal/abdm"
+	"mlds/internal/netmodel"
+)
+
+// SetPlace says where a set's membership information lives in the kernel
+// (attribute-based) representation of a network schema.
+type SetPlace int
+
+// Set placements.
+const (
+	// PlaceNone: SYSTEM-owned sets need no kernel attribute.
+	PlaceNone SetPlace = iota
+	// PlaceSharedKey: ISA sets — the member record's own key attribute holds
+	// the same unique key as its supertype record, so set membership is key
+	// identity.
+	PlaceSharedKey
+	// PlaceMemberAttr: an attribute named after the set in the member file
+	// holds the owner's key (single-valued functions; every set of a
+	// natively-defined network schema).
+	PlaceMemberAttr
+	// PlaceOwnerAttr: an attribute named after the set in the owner file
+	// holds a member's key (one-to-many multi-valued functions; one record
+	// copy per member).
+	PlaceOwnerAttr
+	// PlaceLinkAttr: an attribute named after the set in the LINK file holds
+	// the owner's key (many-to-many function pairs).
+	PlaceLinkAttr
+)
+
+// String names the placement.
+func (p SetPlace) String() string {
+	switch p {
+	case PlaceNone:
+		return "none"
+	case PlaceSharedKey:
+		return "shared-key"
+	case PlaceMemberAttr:
+		return "member-attr"
+	case PlaceOwnerAttr:
+		return "owner-attr"
+	case PlaceLinkAttr:
+		return "link-attr"
+	default:
+		return fmt.Sprintf("place(%d)", int(p))
+	}
+}
+
+// ABSet is the kernel representation of one network set type.
+type ABSet struct {
+	Place SetPlace
+	File  string // file carrying the set attribute
+	Attr  string // the attribute ("" for PlaceNone; key attr for shared key)
+}
+
+// ABSchema is the kernel (attribute-based) schema of a network database: the
+// ABDM directory plus the placement of record keys and set attributes. It is
+// the AB(network) / AB(functional) database schema of Figure 3.3.
+type ABSchema struct {
+	Dir *abdm.Directory
+	// KeyAttr maps each record type (file) to its unique-key attribute; by
+	// the Goisman algorithm the attribute is named after the type itself.
+	KeyAttr map[string]string
+	// Sets maps each set name to its kernel placement.
+	Sets map[string]ABSet
+	// Templates lists each file's attributes in kernel order: FILE, key,
+	// then data and set attributes.
+	Templates map[string][]string
+}
+
+// KeyOf returns the key attribute of a file.
+func (a *ABSchema) KeyOf(file string) string { return a.KeyAttr[file] }
+
+// DeriveAB builds the kernel schema for a transformed functional database.
+// Every record type becomes an ABDM file whose first attribute-value pair is
+// FILE and whose second is the record type's unique key; scalar attributes
+// follow; set attributes are placed according to the set's provenance.
+func DeriveAB(m *Mapping) (*ABSchema, error) {
+	ab := newABSchema()
+	for _, rec := range m.Net.Records {
+		if err := ab.addRecordType(rec); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range m.Net.Sets {
+		si := m.Sets[st.Name]
+		var aset ABSet
+		switch si.Origin {
+		case OriginSystem:
+			aset = ABSet{Place: PlaceNone}
+		case OriginISA:
+			aset = ABSet{Place: PlaceSharedKey, File: st.Member, Attr: ab.KeyAttr[st.Member]}
+		case OriginFunction:
+			switch {
+			case si.ManyToMany:
+				aset = ABSet{Place: PlaceLinkAttr, File: si.LinkRecord, Attr: st.Name}
+			case si.SingleValued:
+				aset = ABSet{Place: PlaceMemberAttr, File: st.Member, Attr: st.Name}
+			default:
+				aset = ABSet{Place: PlaceOwnerAttr, File: st.Owner, Attr: st.Name}
+			}
+		}
+		if err := ab.addSet(st.Name, aset); err != nil {
+			return nil, err
+		}
+	}
+	ab.finishTemplates()
+	return ab, nil
+}
+
+// DeriveABNative builds the kernel schema for a natively-defined network
+// database (the original MLDS network interface mapping): every set's
+// membership attribute lives in the member file and holds the owner's
+// database key.
+func DeriveABNative(net *netmodel.Schema) (*ABSchema, error) {
+	ab := newABSchema()
+	for _, rec := range net.Records {
+		if err := ab.addRecordType(rec); err != nil {
+			return nil, err
+		}
+	}
+	for _, st := range net.Sets {
+		var aset ABSet
+		if st.SystemOwned() {
+			aset = ABSet{Place: PlaceNone}
+		} else {
+			aset = ABSet{Place: PlaceMemberAttr, File: st.Member, Attr: st.Name}
+		}
+		if err := ab.addSet(st.Name, aset); err != nil {
+			return nil, err
+		}
+	}
+	ab.finishTemplates()
+	return ab, nil
+}
+
+func newABSchema() *ABSchema {
+	return &ABSchema{
+		Dir:       abdm.NewDirectory(),
+		KeyAttr:   make(map[string]string),
+		Sets:      make(map[string]ABSet),
+		Templates: make(map[string][]string),
+	}
+}
+
+func (ab *ABSchema) addRecordType(rec *netmodel.RecordType) error {
+	key := rec.Name
+	if err := ab.Dir.DefineAttr(key, abdm.KindInt); err != nil {
+		return fmt.Errorf("xform: key attribute for %q: %w", rec.Name, err)
+	}
+	ab.KeyAttr[rec.Name] = key
+	tmpl := []string{key}
+	for _, a := range rec.Attributes {
+		var kind abdm.Kind
+		switch a.Type {
+		case netmodel.AttrInt:
+			kind = abdm.KindInt
+		case netmodel.AttrFloat:
+			kind = abdm.KindFloat
+		default:
+			kind = abdm.KindString
+		}
+		if err := ab.Dir.DefineAttr(a.Name, kind); err != nil {
+			return fmt.Errorf("xform: attribute %q of %q: %w", a.Name, rec.Name, err)
+		}
+		tmpl = append(tmpl, a.Name)
+	}
+	ab.Templates[rec.Name] = tmpl
+	return nil
+}
+
+func (ab *ABSchema) addSet(name string, aset ABSet) error {
+	ab.Sets[name] = aset
+	switch aset.Place {
+	case PlaceMemberAttr, PlaceOwnerAttr, PlaceLinkAttr:
+		if err := ab.Dir.DefineAttr(aset.Attr, abdm.KindInt); err != nil {
+			return fmt.Errorf("xform: set attribute %q: %w", aset.Attr, err)
+		}
+		ab.Templates[aset.File] = append(ab.Templates[aset.File], aset.Attr)
+	}
+	return nil
+}
+
+// finishTemplates registers each file template with the directory.
+func (ab *ABSchema) finishTemplates() {
+	for file, tmpl := range ab.Templates {
+		// Duplicate attrs can arise if a set shares its name with a scalar
+		// attribute; keep first occurrence.
+		seen := make(map[string]bool)
+		var clean []string
+		for _, a := range tmpl {
+			if !seen[a] {
+				seen[a] = true
+				clean = append(clean, a)
+			}
+		}
+		ab.Templates[file] = clean
+		// The directory template cannot fail: every attribute was defined.
+		_ = ab.Dir.DefineFile(file, clean)
+	}
+}
+
+// Describe renders the AB schema in the style of Figure 3.3: one template
+// line per file.
+func (ab *ABSchema) Describe() string {
+	files := make([]string, 0, len(ab.Templates))
+	for f := range ab.Templates {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var b strings.Builder
+	for _, f := range files {
+		fmt.Fprintf(&b, "(<FILE, %s>", f)
+		for _, a := range ab.Templates[f] {
+			fmt.Fprintf(&b, ", <%s, *>", a)
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/abdm"
+	"mlds/internal/netddl"
+)
+
+func univAB(t *testing.T) (*Mapping, *ABSchema) {
+	t.Helper()
+	m := univMapping(t)
+	ab, err := DeriveAB(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ab
+}
+
+func TestDeriveABFilesAndKeys(t *testing.T) {
+	m, ab := univAB(t)
+	for _, rec := range m.Net.Records {
+		if _, ok := ab.Templates[rec.Name]; !ok {
+			t.Errorf("no template for file %q", rec.Name)
+		}
+		if ab.KeyOf(rec.Name) != rec.Name {
+			t.Errorf("key attr of %q = %q", rec.Name, ab.KeyOf(rec.Name))
+		}
+		if k, ok := ab.Dir.AttrKind(rec.Name); !ok || k != abdm.KindInt {
+			t.Errorf("key attribute %q not an int: %v %v", rec.Name, k, ok)
+		}
+		tmpl, _ := ab.Dir.FileTemplate(rec.Name)
+		if len(tmpl) == 0 || tmpl[0] != rec.Name {
+			t.Errorf("file %q template must start with its key: %v", rec.Name, tmpl)
+		}
+	}
+}
+
+func TestDeriveABSetPlacement(t *testing.T) {
+	_, ab := univAB(t)
+	cases := []struct {
+		set   string
+		place SetPlace
+		file  string
+		attr  string
+	}{
+		{"system_person", PlaceNone, "", ""},
+		{"person_student", PlaceSharedKey, "student", "student"},
+		{"employee_faculty", PlaceSharedKey, "faculty", "faculty"},
+		{"advisor", PlaceMemberAttr, "student", "advisor"},
+		{"dept", PlaceMemberAttr, "faculty", "dept"},
+		{"supervisor", PlaceMemberAttr, "support_staff", "supervisor"},
+		{"enrollments", PlaceOwnerAttr, "student", "enrollments"},
+		{"teaching", PlaceLinkAttr, "LINK_1", "teaching"},
+		{"taught_by", PlaceLinkAttr, "LINK_1", "taught_by"},
+	}
+	for _, c := range cases {
+		got, ok := ab.Sets[c.set]
+		if !ok {
+			t.Errorf("set %q missing from AB schema", c.set)
+			continue
+		}
+		if got.Place != c.place {
+			t.Errorf("set %q place = %v, want %v", c.set, got.Place, c.place)
+		}
+		if c.place != PlaceNone && (got.File != c.file || got.Attr != c.attr) {
+			t.Errorf("set %q = %+v, want file=%q attr=%q", c.set, got, c.file, c.attr)
+		}
+	}
+}
+
+func TestDeriveABTemplates(t *testing.T) {
+	_, ab := univAB(t)
+	// The student file (Figure 3.3 style): key, scalars, then set attrs for
+	// advisor (member side) and enrollments (owner side).
+	tmpl, ok := ab.Dir.FileTemplate("student")
+	if !ok {
+		t.Fatal("student file undeclared")
+	}
+	want := map[string]bool{"student": true, "major": true, "gpa": true, "advisor": true, "enrollments": true}
+	if len(tmpl) != len(want) {
+		t.Fatalf("student template = %v", tmpl)
+	}
+	for _, a := range tmpl {
+		if !want[a] {
+			t.Errorf("unexpected attr %q in student template", a)
+		}
+	}
+	// The LINK_1 file: key + both set attrs.
+	link, _ := ab.Dir.FileTemplate("LINK_1")
+	if len(link) != 3 {
+		t.Errorf("LINK_1 template = %v", link)
+	}
+}
+
+func TestDeriveABAttrKinds(t *testing.T) {
+	_, ab := univAB(t)
+	cases := map[string]abdm.Kind{
+		"title":       abdm.KindString,
+		"credits":     abdm.KindInt,
+		"gpa":         abdm.KindFloat,
+		"rank":        abdm.KindString, // enumeration → characters
+		"advisor":     abdm.KindInt,    // set attr holds a key
+		"enrollments": abdm.KindInt,
+		"teaching":    abdm.KindInt,
+	}
+	for attr, kind := range cases {
+		if k, ok := ab.Dir.AttrKind(attr); !ok || k != kind {
+			t.Errorf("attr %q kind = %v,%v want %v", attr, k, ok, kind)
+		}
+	}
+}
+
+func TestDeriveABDescribe(t *testing.T) {
+	_, ab := univAB(t)
+	d := ab.Describe()
+	for _, want := range []string{
+		"(<FILE, course>, <course, *>, <title, *>",
+		"(<FILE, LINK_1>, <LINK_1, *>, <taught_by, *>, <teaching, *>)",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDeriveABNative(t *testing.T) {
+	net, err := netddl.Parse(`
+SCHEMA NAME IS shop
+RECORD NAME IS dept
+    02 dname TYPE IS CHARACTER 20
+RECORD NAME IS emp
+    02 ename TYPE IS CHARACTER 20
+    02 pay TYPE IS FIXED
+SET NAME IS system_dept;
+    OWNER IS SYSTEM;
+    MEMBER IS dept;
+    INSERTION IS AUTOMATIC;
+    RETENTION IS FIXED;
+SET NAME IS works_in;
+    OWNER IS dept;
+    MEMBER IS emp;
+    INSERTION IS MANUAL;
+    RETENTION IS OPTIONAL;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := DeriveABNative(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ab.Sets["works_in"]; got.Place != PlaceMemberAttr || got.File != "emp" || got.Attr != "works_in" {
+		t.Errorf("works_in = %+v", got)
+	}
+	if got := ab.Sets["system_dept"]; got.Place != PlaceNone {
+		t.Errorf("system set placed: %+v", got)
+	}
+	tmpl, _ := ab.Dir.FileTemplate("emp")
+	if len(tmpl) != 4 { // emp key, ename, pay, works_in
+		t.Errorf("emp template = %v", tmpl)
+	}
+	if err := ab.Dir.ValidateRecord(abdm.NewRecord("emp",
+		abdm.Keyword{Attr: "emp", Val: abdm.Int(1)},
+		abdm.Keyword{Attr: "ename", Val: abdm.String("x")},
+		abdm.Keyword{Attr: "pay", Val: abdm.Int(2)},
+		abdm.Keyword{Attr: "works_in", Val: abdm.Int(7)},
+	)); err != nil {
+		t.Errorf("native AB record rejected: %v", err)
+	}
+}
+
+func TestDeriveABUniversityValidatesRecords(t *testing.T) {
+	_, ab := univAB(t)
+	rec := abdm.NewRecord("student",
+		abdm.Keyword{Attr: "student", Val: abdm.Int(17)},
+		abdm.Keyword{Attr: "major", Val: abdm.String("Computer Science")},
+		abdm.Keyword{Attr: "gpa", Val: abdm.Float(3.6)},
+		abdm.Keyword{Attr: "advisor", Val: abdm.Int(3)},
+		abdm.Keyword{Attr: "enrollments", Val: abdm.Null()},
+	)
+	if err := ab.Dir.ValidateRecord(rec); err != nil {
+		t.Errorf("valid student record rejected: %v", err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package xform implements the MLDS schema transformers:
+//
+//   - functional → network (the thesis's Chapter V algorithm), the one-step
+//     schema transformation of the direct language interface strategy;
+//   - functional → ABDM, deriving the AB(functional) kernel database schema
+//     (Chapter III.C.1, Figure 3.3);
+//   - network → ABDM, the original network-interface mapping of Banerjee and
+//     Wortherly, used for natively-defined network databases.
+//
+// Each transformation also produces the mapping metadata the DML translation
+// needs: which network sets represent ISA relationships, which represent
+// Daplex functions (and whether the function belongs to the set's owner or
+// member record type), and where each set's attribute lives in the kernel
+// representation.
+package xform
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/funcmodel"
+	"mlds/internal/netmodel"
+)
+
+// SetOrigin classifies how a network set type arose during transformation.
+type SetOrigin int
+
+// Set origins.
+const (
+	// OriginSystem marks the singular set each entity type belongs to.
+	OriginSystem SetOrigin = iota
+	// OriginISA marks sets representing subtype (ISA) relationships.
+	OriginISA
+	// OriginFunction marks sets representing Daplex functions.
+	OriginFunction
+)
+
+// String names the origin.
+func (o SetOrigin) String() string {
+	switch o {
+	case OriginSystem:
+		return "system"
+	case OriginISA:
+		return "isa"
+	default:
+		return "function"
+	}
+}
+
+// SetInfo is the transformation provenance of one network set type.
+type SetInfo struct {
+	Origin       SetOrigin
+	FuncName     string // Daplex function, for OriginFunction sets
+	FuncHome     string // entity type/subtype declaring the function
+	SingleValued bool   // single-valued entity function
+	ManyToMany   bool   // half of a many-to-many pair
+	LinkRecord   string // LINK record type, for ManyToMany sets
+	PairSet      string // the other set of a many-to-many pair
+}
+
+// Mapping is the outcome of a functional→network transformation: the target
+// schema plus per-set and per-attribute provenance.
+type Mapping struct {
+	Fun *funcmodel.Schema
+	Net *netmodel.Schema
+	// Sets maps each network set name to its provenance.
+	Sets map[string]SetInfo
+	// MultiAttr marks record attributes that represent scalar multi-valued
+	// functions: record type → attribute name.
+	MultiAttr map[string]map[string]bool
+	// LinkRecords lists the LINK_x record types, in creation order.
+	LinkRecords []string
+}
+
+// SetFor returns the provenance of a set.
+func (m *Mapping) SetFor(name string) (SetInfo, bool) {
+	si, ok := m.Sets[name]
+	return si, ok
+}
+
+// IsLinkRecord reports whether the record type was synthesised for a
+// many-to-many function pair.
+func (m *Mapping) IsLinkRecord(name string) bool {
+	for _, l := range m.LinkRecords {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SystemSetName names the SYSTEM-owned set an entity type belongs to.
+func SystemSetName(entity string) string { return "system_" + entity }
+
+// ISASetName names the set representing subtype sub's ISA relationship with
+// supertype sup: the owner name, an underscore, and the member name.
+func ISASetName(sup, sub string) string { return sup + "_" + sub }
+
+// FunToNet transforms a functional schema into a network schema following
+// the Chapter V algorithm. The six functional constructs — entity types,
+// entity subtypes, non-entity types, uniqueness constraints, overlap
+// constraints, and the implied set types — are mapped as follows:
+//
+//  1. each entity type becomes a record type plus a SYSTEM-owned set;
+//  2. each entity subtype becomes a record type plus, per supertype, a set
+//     named supertype_subtype owned by the supertype (automatic insertion,
+//     fixed retention);
+//  3. non-entity types map onto network data types: strings and enumerations
+//     to characters, integers to integers, floats to floats;
+//  4. scalar functions become record attributes; scalar multi-valued
+//     functions become attributes whose duplicate flag is cleared;
+//     single-valued functions become sets named after the function, owned by
+//     the range record type with the domain record type as member;
+//     multi-valued functions become either a one-to-many set (domain owner,
+//     range member) or — when the range type declares a multi-valued
+//     function back to the domain — a LINK_x record type with two sets;
+//  5. uniqueness constraints clear the duplicate flag of the constrained
+//     attributes;
+//  6. function sets get manual insertion, optional retention; all sets
+//     select by application.
+func FunToNet(fun *funcmodel.Schema) (*Mapping, error) {
+	if err := fun.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mapping{
+		Fun:       fun,
+		Net:       &netmodel.Schema{Name: fun.Name},
+		Sets:      make(map[string]SetInfo),
+		MultiAttr: make(map[string]map[string]bool),
+	}
+
+	// Pass 1: record types for entity types and subtypes, with attributes
+	// from scalar functions; SYSTEM and ISA sets.
+	for _, e := range fun.Entities {
+		rec, err := m.buildRecord(e.Name, e.Functions)
+		if err != nil {
+			return nil, err
+		}
+		m.Net.Records = append(m.Net.Records, rec)
+		name := SystemSetName(e.Name)
+		m.Net.Sets = append(m.Net.Sets, &netmodel.SetType{
+			Name:      name,
+			Owner:     netmodel.SystemOwner,
+			Member:    e.Name,
+			Insertion: netmodel.InsertAutomatic,
+			Retention: netmodel.RetentionFixed,
+			Selection: netmodel.SelectByApplication,
+		})
+		m.Sets[name] = SetInfo{Origin: OriginSystem}
+	}
+	for _, st := range fun.Subtypes {
+		rec, err := m.buildRecord(st.Name, st.Functions)
+		if err != nil {
+			return nil, err
+		}
+		m.Net.Records = append(m.Net.Records, rec)
+		for _, sup := range st.Supertypes {
+			name := ISASetName(sup, st.Name)
+			m.Net.Sets = append(m.Net.Sets, &netmodel.SetType{
+				Name:      name,
+				Owner:     sup,
+				Member:    st.Name,
+				Insertion: netmodel.InsertAutomatic,
+				Retention: netmodel.RetentionFixed,
+				Selection: netmodel.SelectByApplication,
+			})
+			m.Sets[name] = SetInfo{Origin: OriginISA}
+		}
+	}
+
+	// Pass 2: sets from entity-valued functions. Many-to-many pairs are
+	// detected first so each pair yields exactly one LINK record.
+	if err := m.buildFunctionSets(); err != nil {
+		return nil, err
+	}
+
+	// Pass 3: uniqueness constraints clear duplicate flags.
+	for _, u := range fun.Uniques {
+		rec, ok := m.Net.Record(u.Within)
+		if !ok {
+			return nil, fmt.Errorf("xform: UNIQUE WITHIN %q has no record type", u.Within)
+		}
+		for _, fname := range u.Functions {
+			a, ok := rec.Attribute(fname)
+			if !ok {
+				return nil, fmt.Errorf("xform: UNIQUE function %q is not an attribute of %q", fname, u.Within)
+			}
+			a.DupFlag = false
+		}
+	}
+
+	if err := m.Net.Validate(); err != nil {
+		return nil, fmt.Errorf("xform: transformed schema invalid: %w", err)
+	}
+	return m, nil
+}
+
+// buildRecord creates the record type for one entity type or subtype,
+// mapping its scalar and scalar multi-valued functions to attributes.
+func (m *Mapping) buildRecord(name string, fns []*funcmodel.Function) (*netmodel.RecordType, error) {
+	rec := &netmodel.RecordType{Name: name}
+	for _, f := range fns {
+		if f.Result.IsEntity() {
+			continue // handled by buildFunctionSets
+		}
+		a, err := scalarAttr(m.Fun, f)
+		if err != nil {
+			return nil, err
+		}
+		rec.Attributes = append(rec.Attributes, a)
+		if f.SetValued {
+			// A scalar multi-valued function stores one occurrence per
+			// record; the attribute cannot have duplicates within a record.
+			a.DupFlag = false
+			if m.MultiAttr[name] == nil {
+				m.MultiAttr[name] = make(map[string]bool)
+			}
+			m.MultiAttr[name][f.Name] = true
+		}
+	}
+	return rec, nil
+}
+
+// scalarAttr maps a non-entity function result onto a network attribute,
+// implementing the non-entity type mapping:
+// string→character, float→float, integer→integer, enumeration→character
+// sized to the longest literal, boolean→character(5).
+func scalarAttr(fun *funcmodel.Schema, f *funcmodel.Function) (*netmodel.Attribute, error) {
+	a := &netmodel.Attribute{Name: f.Name, Level: 2, DupFlag: true}
+	scalar, length := f.Result.Scalar, f.Result.Length
+	if f.Result.NonEntity != "" {
+		ne, ok := fun.NonEntity(f.Result.NonEntity)
+		if !ok {
+			return nil, fmt.Errorf("xform: function %q uses unknown non-entity type %q", f.Name, f.Result.NonEntity)
+		}
+		scalar, length = ne.Type, ne.Length
+	}
+	switch scalar {
+	case funcmodel.TypeString:
+		a.Type, a.Length = netmodel.AttrString, length
+	case funcmodel.TypeInt:
+		a.Type = netmodel.AttrInt
+	case funcmodel.TypeFloat:
+		a.Type = netmodel.AttrFloat
+	case funcmodel.TypeEnum:
+		a.Type, a.Length = netmodel.AttrString, length
+	case funcmodel.TypeBool:
+		a.Type, a.Length = netmodel.AttrString, 5
+	default:
+		return nil, fmt.Errorf("xform: function %q has unmappable scalar type %q", f.Name, scalar)
+	}
+	return a, nil
+}
+
+// buildFunctionSets creates set types for single- and multi-valued
+// entity-returning functions, pairing many-to-many functions into LINK
+// records.
+func (m *Mapping) buildFunctionSets() error {
+	type mvFunc struct {
+		home string
+		fn   *funcmodel.Function
+	}
+	var multi []mvFunc
+	handled := make(map[string]bool) // function name → already mapped
+
+	eachType := func(visit func(home string, fns []*funcmodel.Function)) {
+		for _, e := range m.Fun.Entities {
+			visit(e.Name, e.Functions)
+		}
+		for _, st := range m.Fun.Subtypes {
+			visit(st.Name, st.Functions)
+		}
+	}
+
+	// Single-valued entity functions → one set each: owner is the range
+	// record type, member is the domain record type.
+	eachType(func(home string, fns []*funcmodel.Function) {
+		for _, f := range fns {
+			if !f.Result.IsEntity() {
+				continue
+			}
+			if f.SetValued {
+				multi = append(multi, mvFunc{home, f})
+				continue
+			}
+			m.Net.Sets = append(m.Net.Sets, &netmodel.SetType{
+				Name:      f.Name,
+				Owner:     f.Result.Entity,
+				Member:    home,
+				Insertion: netmodel.InsertManual,
+				Retention: netmodel.RetentionOptional,
+				Selection: netmodel.SelectByApplication,
+			})
+			m.Sets[f.Name] = SetInfo{
+				Origin:       OriginFunction,
+				FuncName:     f.Name,
+				FuncHome:     home,
+				SingleValued: true,
+			}
+		}
+	})
+
+	// Multi-valued: detect many-to-many pairs (A.f →→ B and B.g →→ A).
+	for _, mf := range multi {
+		if handled[mf.fn.Name] {
+			continue
+		}
+		var pair *mvFunc
+		for i := range multi {
+			other := &multi[i]
+			if other.fn.Name == mf.fn.Name || handled[other.fn.Name] {
+				continue
+			}
+			if mf.fn.Result.Entity == other.home && other.fn.Result.Entity == mf.home {
+				pair = other
+				break
+			}
+		}
+		if pair != nil {
+			link := fmt.Sprintf("LINK_%d", len(m.LinkRecords)+1)
+			m.LinkRecords = append(m.LinkRecords, link)
+			m.Net.Records = append(m.Net.Records, &netmodel.RecordType{Name: link})
+			for _, half := range []struct {
+				fn    *funcmodel.Function
+				home  string
+				other string
+			}{
+				{mf.fn, mf.home, pair.fn.Name},
+				{pair.fn, pair.home, mf.fn.Name},
+			} {
+				m.Net.Sets = append(m.Net.Sets, &netmodel.SetType{
+					Name:      half.fn.Name,
+					Owner:     half.home,
+					Member:    link,
+					Insertion: netmodel.InsertManual,
+					Retention: netmodel.RetentionOptional,
+					Selection: netmodel.SelectByApplication,
+				})
+				m.Sets[half.fn.Name] = SetInfo{
+					Origin:     OriginFunction,
+					FuncName:   half.fn.Name,
+					FuncHome:   half.home,
+					ManyToMany: true,
+					LinkRecord: link,
+					PairSet:    half.other,
+				}
+			}
+			handled[mf.fn.Name], handled[pair.fn.Name] = true, true
+			continue
+		}
+		// One-to-many: domain record type owns, range record type is member.
+		m.Net.Sets = append(m.Net.Sets, &netmodel.SetType{
+			Name:      mf.fn.Name,
+			Owner:     mf.home,
+			Member:    mf.fn.Result.Entity,
+			Insertion: netmodel.InsertManual,
+			Retention: netmodel.RetentionOptional,
+			Selection: netmodel.SelectByApplication,
+		})
+		m.Sets[mf.fn.Name] = SetInfo{
+			Origin:   OriginFunction,
+			FuncName: mf.fn.Name,
+			FuncHome: mf.home,
+		}
+		handled[mf.fn.Name] = true
+	}
+	return nil
+}
+
+// Describe renders a human-readable table of the mapping's set provenance.
+func (m *Mapping) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", m.Net.String())
+	for _, st := range m.Net.Sets {
+		si := m.Sets[st.Name]
+		fmt.Fprintf(&b, "  set %-24s %-8s owner=%-14s member=%-14s", st.Name, si.Origin, st.Owner, st.Member)
+		if si.Origin == OriginFunction {
+			fmt.Fprintf(&b, " func=%s home=%s", si.FuncName, si.FuncHome)
+			if si.SingleValued {
+				b.WriteString(" single-valued")
+			}
+			if si.ManyToMany {
+				fmt.Fprintf(&b, " many-to-many via %s", si.LinkRecord)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,271 @@
+package xform
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/funcmodel"
+	"mlds/internal/netmodel"
+	"mlds/internal/univ"
+)
+
+func univMapping(t *testing.T) *Mapping {
+	t.Helper()
+	m, err := FunToNet(univ.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFunToNetRecordTypes(t *testing.T) {
+	m := univMapping(t)
+	want := []string{"person", "course", "department", "student", "employee", "faculty", "support_staff", "LINK_1"}
+	if len(m.Net.Records) != len(want) {
+		t.Fatalf("record types = %d, want %d: %v", len(m.Net.Records), len(want), m.Net.Records)
+	}
+	for _, name := range want {
+		if _, ok := m.Net.Record(name); !ok {
+			t.Errorf("missing record type %q", name)
+		}
+	}
+	if !m.IsLinkRecord("LINK_1") || m.IsLinkRecord("person") {
+		t.Error("link record classification wrong")
+	}
+}
+
+func TestFunToNetSystemSets(t *testing.T) {
+	m := univMapping(t)
+	// Each entity type (not subtype) gets a SYSTEM-owned set.
+	for _, ent := range []string{"person", "course", "department"} {
+		st, ok := m.Net.Set(SystemSetName(ent))
+		if !ok {
+			t.Errorf("missing system set for %q", ent)
+			continue
+		}
+		if !st.SystemOwned() || st.Member != ent {
+			t.Errorf("system set for %q malformed: %+v", ent, st)
+		}
+		if st.Insertion != netmodel.InsertAutomatic || st.Retention != netmodel.RetentionFixed {
+			t.Errorf("system set for %q must be automatic/fixed: %+v", ent, st)
+		}
+		if si, _ := m.SetFor(st.Name); si.Origin != OriginSystem {
+			t.Errorf("system set origin = %v", si.Origin)
+		}
+	}
+	// Subtypes must NOT get system sets.
+	if _, ok := m.Net.Set(SystemSetName("student")); ok {
+		t.Error("subtype got a system set")
+	}
+}
+
+func TestFunToNetISASets(t *testing.T) {
+	m := univMapping(t)
+	cases := []struct{ sup, sub string }{
+		{"person", "student"},
+		{"person", "employee"},
+		{"employee", "faculty"},
+		{"employee", "support_staff"},
+	}
+	for _, c := range cases {
+		name := ISASetName(c.sup, c.sub)
+		st, ok := m.Net.Set(name)
+		if !ok {
+			t.Errorf("missing ISA set %q", name)
+			continue
+		}
+		if st.Owner != c.sup || st.Member != c.sub {
+			t.Errorf("ISA set %q: owner=%q member=%q", name, st.Owner, st.Member)
+		}
+		// A member record transformed from a subtype always belongs to the
+		// same owner: automatic insertion, fixed retention.
+		if st.Insertion != netmodel.InsertAutomatic || st.Retention != netmodel.RetentionFixed {
+			t.Errorf("ISA set %q modes: %+v", name, st)
+		}
+		if si, _ := m.SetFor(name); si.Origin != OriginISA {
+			t.Errorf("ISA set %q origin = %v", name, si.Origin)
+		}
+	}
+}
+
+func TestFunToNetSingleValuedFunctionSets(t *testing.T) {
+	m := univMapping(t)
+	// advisor: student→faculty. Owner is the range (faculty), member is the
+	// domain (student) — Figure 5.1's "SET NAME IS advisor".
+	cases := []struct{ set, owner, member, home string }{
+		{"advisor", "faculty", "student", "student"},
+		{"dept", "department", "faculty", "faculty"},
+		{"supervisor", "employee", "support_staff", "support_staff"},
+	}
+	for _, c := range cases {
+		st, ok := m.Net.Set(c.set)
+		if !ok {
+			t.Errorf("missing function set %q", c.set)
+			continue
+		}
+		if st.Owner != c.owner || st.Member != c.member {
+			t.Errorf("set %q: owner=%q member=%q, want %q/%q", c.set, st.Owner, st.Member, c.owner, c.member)
+		}
+		if st.Insertion != netmodel.InsertManual || st.Retention != netmodel.RetentionOptional {
+			t.Errorf("function set %q must be manual/optional: %+v", c.set, st)
+		}
+		si, _ := m.SetFor(c.set)
+		if si.Origin != OriginFunction || !si.SingleValued || si.FuncHome != c.home {
+			t.Errorf("set %q provenance: %+v", c.set, si)
+		}
+	}
+}
+
+func TestFunToNetManyToMany(t *testing.T) {
+	m := univMapping(t)
+	// teaching: faculty→→course and taught_by: course→→faculty form a
+	// many-to-many pair transformed into LINK_1 with two sets.
+	teach, ok1 := m.Net.Set("teaching")
+	taught, ok2 := m.Net.Set("taught_by")
+	if !ok1 || !ok2 {
+		t.Fatal("missing many-to-many sets")
+	}
+	if teach.Owner != "faculty" || teach.Member != "LINK_1" {
+		t.Errorf("teaching: %+v", teach)
+	}
+	if taught.Owner != "course" || taught.Member != "LINK_1" {
+		t.Errorf("taught_by: %+v", taught)
+	}
+	si, _ := m.SetFor("teaching")
+	if !si.ManyToMany || si.LinkRecord != "LINK_1" || si.PairSet != "taught_by" {
+		t.Errorf("teaching provenance: %+v", si)
+	}
+	si2, _ := m.SetFor("taught_by")
+	if !si2.ManyToMany || si2.LinkRecord != "LINK_1" || si2.PairSet != "teaching" {
+		t.Errorf("taught_by provenance: %+v", si2)
+	}
+	// Exactly one link record for the pair.
+	if len(m.LinkRecords) != 1 {
+		t.Errorf("link records = %v", m.LinkRecords)
+	}
+}
+
+func TestFunToNetOneToManyMultiValued(t *testing.T) {
+	m := univMapping(t)
+	// enrollments: student→→course has no inverse, so it is one-to-many:
+	// owner is the domain (student), member is the range (course).
+	st, ok := m.Net.Set("enrollments")
+	if !ok {
+		t.Fatal("missing enrollments set")
+	}
+	if st.Owner != "student" || st.Member != "course" {
+		t.Errorf("enrollments: %+v", st)
+	}
+	si, _ := m.SetFor("enrollments")
+	if si.ManyToMany || si.SingleValued || si.FuncHome != "student" {
+		t.Errorf("enrollments provenance: %+v", si)
+	}
+}
+
+func TestFunToNetScalarAttributes(t *testing.T) {
+	m := univMapping(t)
+	course, _ := m.Net.Record("course")
+	title, ok := course.Attribute("title")
+	if !ok || title.Type != netmodel.AttrString || title.Length != 30 {
+		t.Errorf("title = %+v", title)
+	}
+	credits, _ := course.Attribute("credits")
+	if credits == nil || credits.Type != netmodel.AttrInt {
+		t.Errorf("credits = %+v", credits)
+	}
+	student, _ := m.Net.Record("student")
+	gpa, _ := student.Attribute("gpa")
+	if gpa == nil || gpa.Type != netmodel.AttrFloat {
+		t.Errorf("gpa = %+v", gpa)
+	}
+	// advisor is entity-valued: it must NOT be an attribute.
+	if _, ok := student.Attribute("advisor"); ok {
+		t.Error("entity-valued function leaked into attributes")
+	}
+	// Named non-entity type: pname uses name_str (STRING 30).
+	person, _ := m.Net.Record("person")
+	pname, _ := person.Attribute("pname")
+	if pname == nil || pname.Type != netmodel.AttrString || pname.Length != 30 {
+		t.Errorf("pname = %+v", pname)
+	}
+	// Enumeration maps to characters sized by the longest literal.
+	fac, _ := m.Net.Record("faculty")
+	rank, _ := fac.Attribute("rank")
+	if rank == nil || rank.Type != netmodel.AttrString || rank.Length != len("instructor") {
+		t.Errorf("rank = %+v", rank)
+	}
+}
+
+func TestFunToNetScalarMultiValued(t *testing.T) {
+	m := univMapping(t)
+	// skills: SET OF STRING on support_staff → attribute with the duplicate
+	// flag cleared, recorded in MultiAttr.
+	ss, _ := m.Net.Record("support_staff")
+	skills, ok := ss.Attribute("skills")
+	if !ok {
+		t.Fatal("skills attribute missing")
+	}
+	if skills.DupFlag {
+		t.Error("scalar multi-valued attribute must clear the duplicate flag")
+	}
+	if !m.MultiAttr["support_staff"]["skills"] {
+		t.Error("MultiAttr missing skills")
+	}
+}
+
+func TestFunToNetUniqueness(t *testing.T) {
+	m := univMapping(t)
+	course, _ := m.Net.Record("course")
+	nd := course.NoDupAttrs()
+	// Figure 5.3: DUPLICATES ARE NOT ALLOWED FOR title, semester.
+	if len(nd) != 2 || nd[0] != "title" || nd[1] != "semester" {
+		t.Errorf("course no-dup attrs = %v", nd)
+	}
+	person, _ := m.Net.Record("person")
+	if nd := person.NoDupAttrs(); len(nd) != 1 || nd[0] != "ssn" {
+		t.Errorf("person no-dup attrs = %v", nd)
+	}
+}
+
+func TestFunToNetValidSchema(t *testing.T) {
+	m := univMapping(t)
+	if err := m.Net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ddl := m.Net.DDL()
+	// The DDL must show the Figure 5.1 clauses.
+	for _, want := range []string{
+		"SET NAME IS advisor;",
+		"OWNER IS faculty;",
+		"MEMBER IS student;",
+		"SET NAME IS dept;",
+		"OWNER IS department;",
+		"SET NAME IS supervisor;",
+		"SET NAME IS teaching;",
+		"MEMBER IS LINK_1;",
+		"DUPLICATES ARE NOT ALLOWED FOR title, semester",
+	} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("transformed DDL missing %q", want)
+		}
+	}
+}
+
+func TestFunToNetRejectsInvalid(t *testing.T) {
+	bad := &funcmodel.Schema{Name: "x", Subtypes: []*funcmodel.Subtype{
+		{Name: "s", Supertypes: []string{"ghost"}},
+	}}
+	if _, err := FunToNet(bad); err == nil {
+		t.Error("invalid functional schema accepted")
+	}
+}
+
+func TestFunToNetDescribe(t *testing.T) {
+	m := univMapping(t)
+	d := m.Describe()
+	for _, want := range []string{"many-to-many via LINK_1", "single-valued", "isa", "system"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+}

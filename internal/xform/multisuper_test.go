@@ -1,0 +1,99 @@
+package xform
+
+import (
+	"testing"
+
+	"mlds/internal/daplex"
+	"mlds/internal/netmodel"
+)
+
+// The thesis allows a subtype to list one or more supertypes ("supertypeAA
+// is a list of one or more entity types and subtypes"): each supertype
+// yields its own ISA set. A teaching assistant is both a student and a
+// faculty member.
+const multiSuperDDL = `
+DATABASE multi IS
+
+ENTITY person IS
+    pname : STRING(20);
+END ENTITY;
+
+SUBTYPE student OF person IS
+    major : STRING(10);
+END SUBTYPE;
+
+SUBTYPE faculty OF person IS
+    rank : STRING(10);
+END SUBTYPE;
+
+SUBTYPE teaching_assistant OF student, faculty IS
+    hours : INTEGER;
+END SUBTYPE;
+
+OVERLAP student WITH faculty;
+
+END DATABASE;
+`
+
+func multiMapping(t *testing.T) *Mapping {
+	t.Helper()
+	fun, err := daplex.ParseSchema(multiSuperDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FunToNet(fun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiSupertypeISASets(t *testing.T) {
+	m := multiMapping(t)
+	// One ISA set per declared supertype.
+	for _, name := range []string{"student_teaching_assistant", "faculty_teaching_assistant"} {
+		st, ok := m.Net.Set(name)
+		if !ok {
+			t.Fatalf("missing ISA set %q", name)
+		}
+		if st.Member != "teaching_assistant" {
+			t.Errorf("set %q member = %q", name, st.Member)
+		}
+		if st.Insertion != netmodel.InsertAutomatic || st.Retention != netmodel.RetentionFixed {
+			t.Errorf("set %q modes wrong: %+v", name, st)
+		}
+	}
+}
+
+func TestMultiSupertypeABSharedKeys(t *testing.T) {
+	m := multiMapping(t)
+	ab, err := DeriveAB(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range []string{"student_teaching_assistant", "faculty_teaching_assistant"} {
+		got := ab.Sets[set]
+		if got.Place != PlaceSharedKey || got.File != "teaching_assistant" {
+			t.Errorf("set %q = %+v", set, got)
+		}
+	}
+}
+
+func TestMultiSupertypeAncestors(t *testing.T) {
+	m := multiMapping(t)
+	anc := m.Fun.AncestorChain("teaching_assistant")
+	// student, faculty, then person once (deduplicated diamond).
+	if len(anc) != 3 {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	seen := map[string]bool{}
+	for _, a := range anc {
+		if seen[a] {
+			t.Fatalf("ancestor %q repeated: %v", a, anc)
+		}
+		seen[a] = true
+	}
+	if !seen["student"] || !seen["faculty"] || !seen["person"] {
+		t.Errorf("ancestors = %v", anc)
+	}
+}

@@ -1,0 +1,192 @@
+package xform
+
+// Property tests over randomized functional schemas: the Chapter V
+// transformation must be total on the six constructs and preserve the
+// structural invariants DESIGN.md pins down.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlds/internal/funcmodel"
+	"mlds/internal/netmodel"
+)
+
+// randomSchema builds a valid random functional schema: a few entity types,
+// a subtype tree over them, scalar/single-/multi-valued functions, and
+// occasionally uniqueness constraints and many-to-many pairs.
+func randomSchema(rng *rand.Rand) *funcmodel.Schema {
+	s := &funcmodel.Schema{Name: "rand"}
+	nEnt := 1 + rng.Intn(4)
+	nSub := rng.Intn(4)
+	var typeNames []string
+	fnCounter := 0
+	newScalar := func(owner string) *funcmodel.Function {
+		fnCounter++
+		kinds := []funcmodel.ScalarType{funcmodel.TypeInt, funcmodel.TypeFloat, funcmodel.TypeString}
+		res := funcmodel.FuncResult{Scalar: kinds[rng.Intn(len(kinds))]}
+		if res.Scalar == funcmodel.TypeString {
+			res.Length = 5 + rng.Intn(20)
+		}
+		return &funcmodel.Function{
+			Name:      fmt.Sprintf("fn%03d", fnCounter),
+			Owner:     owner,
+			Result:    res,
+			SetValued: rng.Intn(6) == 0, // occasionally scalar multi-valued
+		}
+	}
+	for i := 0; i < nEnt; i++ {
+		name := fmt.Sprintf("ent%d", i)
+		e := &funcmodel.Entity{Name: name}
+		for j := 0; j < 1+rng.Intn(3); j++ {
+			e.Functions = append(e.Functions, newScalar(name))
+		}
+		s.Entities = append(s.Entities, e)
+		typeNames = append(typeNames, name)
+	}
+	for i := 0; i < nSub; i++ {
+		name := fmt.Sprintf("sub%d", i)
+		sup := typeNames[rng.Intn(len(typeNames))]
+		st := &funcmodel.Subtype{Name: name, Supertypes: []string{sup}}
+		for j := 0; j < rng.Intn(3); j++ {
+			st.Functions = append(st.Functions, newScalar(name))
+		}
+		s.Subtypes = append(s.Subtypes, st)
+		typeNames = append(typeNames, name)
+	}
+	// Entity-valued functions between random types.
+	attach := func(owner string, fn *funcmodel.Function) {
+		if e, ok := s.Entity(owner); ok {
+			e.Functions = append(e.Functions, fn)
+			return
+		}
+		st, _ := s.Subtype(owner)
+		st.Functions = append(st.Functions, fn)
+	}
+	nRefs := rng.Intn(4)
+	for i := 0; i < nRefs; i++ {
+		fnCounter++
+		owner := typeNames[rng.Intn(len(typeNames))]
+		target := typeNames[rng.Intn(len(typeNames))]
+		attach(owner, &funcmodel.Function{
+			Name:      fmt.Sprintf("fn%03d", fnCounter),
+			Owner:     owner,
+			Result:    funcmodel.FuncResult{Entity: target},
+			SetValued: rng.Intn(2) == 0,
+		})
+	}
+	// Occasionally a guaranteed many-to-many pair between two entities.
+	if nEnt >= 2 && rng.Intn(2) == 0 {
+		fnCounter++
+		a, b := s.Entities[0].Name, s.Entities[1].Name
+		s.Entities[0].Functions = append(s.Entities[0].Functions, &funcmodel.Function{
+			Name: fmt.Sprintf("fn%03d", fnCounter), Owner: a,
+			Result: funcmodel.FuncResult{Entity: b}, SetValued: true,
+		})
+		fnCounter++
+		s.Entities[1].Functions = append(s.Entities[1].Functions, &funcmodel.Function{
+			Name: fmt.Sprintf("fn%03d", fnCounter), Owner: b,
+			Result: funcmodel.FuncResult{Entity: a}, SetValued: true,
+		})
+	}
+	// Occasionally a uniqueness constraint on a scalar function.
+	for _, e := range s.Entities {
+		if rng.Intn(3) == 0 {
+			for _, f := range e.Functions {
+				if !f.Result.IsEntity() && !f.SetValued {
+					s.Uniques = append(s.Uniques, funcmodel.Unique{Functions: []string{f.Name}, Within: e.Name})
+					break
+				}
+			}
+		}
+	}
+	return s
+}
+
+func TestFunToNetInvariantsOnRandomSchemas(t *testing.T) {
+	rng := rand.New(rand.NewSource(1987))
+	for trial := 0; trial < 200; trial++ {
+		fun := randomSchema(rng)
+		if err := fun.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid schema: %v", trial, err)
+		}
+		m, err := FunToNet(fun)
+		if err != nil {
+			t.Fatalf("trial %d: transform failed: %v", trial, err)
+		}
+		if err := m.Net.Validate(); err != nil {
+			t.Fatalf("trial %d: result invalid: %v", trial, err)
+		}
+
+		// Invariant: every entity yields exactly one record type and one
+		// SYSTEM-owned set.
+		for _, e := range fun.Entities {
+			if _, ok := m.Net.Record(e.Name); !ok {
+				t.Fatalf("trial %d: entity %q lost its record type", trial, e.Name)
+			}
+			st, ok := m.Net.Set(SystemSetName(e.Name))
+			if !ok || !st.SystemOwned() || st.Member != e.Name {
+				t.Fatalf("trial %d: entity %q system set wrong: %+v", trial, e.Name, st)
+			}
+		}
+		// Invariant: every subtype yields one record type and one ISA set
+		// per supertype, automatic/fixed.
+		for _, sub := range fun.Subtypes {
+			if _, ok := m.Net.Record(sub.Name); !ok {
+				t.Fatalf("trial %d: subtype %q lost its record type", trial, sub.Name)
+			}
+			for _, sup := range sub.Supertypes {
+				st, ok := m.Net.Set(ISASetName(sup, sub.Name))
+				if !ok || st.Owner != sup || st.Member != sub.Name {
+					t.Fatalf("trial %d: ISA set for %q/%q wrong", trial, sup, sub.Name)
+				}
+				if st.Insertion != netmodel.InsertAutomatic || st.Retention != netmodel.RetentionFixed {
+					t.Fatalf("trial %d: ISA set modes wrong: %+v", trial, st)
+				}
+			}
+		}
+		// Invariant: every entity-valued function yields exactly one set
+		// named after it; m2m halves point at a shared link record.
+		links := map[string]int{}
+		for _, tn := range fun.TypeNames() {
+			for _, f := range fun.FunctionsOf(tn) {
+				if !f.Result.IsEntity() {
+					continue
+				}
+				si, ok := m.SetFor(f.Name)
+				if !ok {
+					t.Fatalf("trial %d: function %q has no set", trial, f.Name)
+				}
+				if si.Origin != OriginFunction || si.FuncHome != tn {
+					t.Fatalf("trial %d: function %q provenance wrong: %+v", trial, f.Name, si)
+				}
+				if si.ManyToMany {
+					links[si.LinkRecord]++
+				}
+			}
+		}
+		for link, n := range links {
+			if n != 2 {
+				t.Fatalf("trial %d: link record %q referenced by %d sets, want 2", trial, link, n)
+			}
+			if !m.IsLinkRecord(link) {
+				t.Fatalf("trial %d: %q not tracked as a link record", trial, link)
+			}
+		}
+		// Invariant: uniqueness constraints clear the duplicate flag.
+		for _, u := range fun.Uniques {
+			rec, _ := m.Net.Record(u.Within)
+			for _, fname := range u.Functions {
+				a, ok := rec.Attribute(fname)
+				if !ok || a.DupFlag {
+					t.Fatalf("trial %d: UNIQUE %q within %q not applied", trial, fname, u.Within)
+				}
+			}
+		}
+		// The kernel schema derives cleanly too.
+		if _, err := DeriveAB(m); err != nil {
+			t.Fatalf("trial %d: DeriveAB failed: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package mlds is a Go implementation of the Multi-Lingual Database System
+// (MLDS) of the Naval Postgraduate School Laboratory for Database Systems
+// Research, including the first Multi-Model Database System interface:
+// accessing a functional (Daplex) database via CODASYL-DML transactions.
+//
+// MLDS maps every user data model onto a single kernel: the attribute-based
+// data model (ABDM) with its data language ABDL, executed by the
+// Multi-Backend Database System (MBDS) — a controller plus N parallel
+// backends, each owning a partition of the database on its own (simulated)
+// disk. Each language interface is the LIL → KMS → KC → KFS pipeline of the
+// original system.
+//
+// # Quick start
+//
+//	sys := mlds.New(mlds.DefaultConfig())
+//	defer sys.Close()
+//
+//	db, err := sys.CreateFunctional("university", mlds.UniversityDDL)
+//	// load data, then access the *functional* database via CODASYL-DML:
+//	sess, err := sys.OpenDML("university")
+//	sess.Execute("MOVE 'Advanced Database' TO title IN course")
+//	sess.Execute("FIND ANY course USING title IN course")
+//	out, err := sess.Execute("GET course")
+//
+// The same database answers Daplex through sys.OpenDaplex and raw ABDL
+// through db.ExecABDL — one kernel, many languages.
+package mlds
+
+import (
+	"io"
+	"time"
+
+	"mlds/internal/abdm"
+	"mlds/internal/core"
+	"mlds/internal/dapkms"
+	"mlds/internal/hiekms"
+	"mlds/internal/kdb"
+	"mlds/internal/kfs"
+	"mlds/internal/kms"
+	"mlds/internal/loader"
+	"mlds/internal/mbds"
+	"mlds/internal/netmodel"
+	"mlds/internal/relkms"
+	"mlds/internal/univ"
+	"mlds/internal/univgen"
+)
+
+// Core engine types.
+type (
+	// System is one MLDS instance: a catalog of databases, each served by
+	// its own multi-backend kernel, shared by every language interface.
+	System = core.System
+	// Database is one catalog entry with its schemas and kernel.
+	Database = core.Database
+	// Config configures the engine.
+	Config = core.Config
+	// Model identifies a database's defining data model.
+	Model = core.Model
+	// DMLSession is a CODASYL-DML user session.
+	DMLSession = core.DMLSession
+	// DaplexSession is a Daplex user session.
+	DaplexSession = core.DaplexSession
+	// SQLSession is a SQL user session on a relational database.
+	SQLSession = core.SQLSession
+	// DLISession is a DL/I user session on a hierarchical database.
+	DLISession = core.DLISession
+	// ResultSet is a SQL statement result.
+	ResultSet = relkms.ResultSet
+	// DLIOutcome is a DL/I call result.
+	DLIOutcome = hiekms.Outcome
+	// Outcome reports what one CODASYL-DML statement did.
+	Outcome = kms.Outcome
+	// Row is one entity of a Daplex FOR EACH result.
+	Row = dapkms.Row
+	// Value is a typed attribute value of the kernel data model.
+	Value = abdm.Value
+	// Result is a kernel-level (ABDL) execution result.
+	Result = kdb.Result
+	// KernelConfig configures a database's multi-backend kernel.
+	KernelConfig = mbds.Config
+	// DiskModel is the synthetic per-backend disk cost model.
+	DiskModel = kdb.DiskModel
+	// NetworkSchema is a CODASYL network schema (native or transformed).
+	NetworkSchema = netmodel.Schema
+	// Instance is a functional database instance under construction.
+	Instance = loader.Instance
+)
+
+// Database models.
+const (
+	NetworkModel      = core.NetworkModel
+	FunctionalModel   = core.FunctionalModel
+	HierarchicalModel = core.HierarchicalModel
+	RelationalModel   = core.RelationalModel
+)
+
+// New builds an MLDS instance.
+func New(cfg Config) *System { return core.NewSystem(cfg) }
+
+// DefaultConfig serves each database with a 4-backend kernel.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// KernelWith returns a Config whose databases run on n parallel backends.
+func KernelWith(n int) Config { return Config{Kernel: mbds.DefaultConfig(n)} }
+
+// Value constructors for UWA assignments and instance building.
+var (
+	// Int builds an integer value.
+	Int = abdm.Int
+	// Float builds a floating-point value.
+	Float = abdm.Float
+	// String builds a string value.
+	String = abdm.String
+	// Null builds the NULL value.
+	Null = abdm.Null
+)
+
+// UniversityDDL is Shipman's University database schema (the running example
+// of the thesis, Figure 2.1) in Daplex DDL.
+const UniversityDDL = univ.SchemaDDL
+
+// UniversityConfig sizes a generated University instance.
+type UniversityConfig = univgen.Config
+
+// SmallUniversity is a compact instance configuration.
+func SmallUniversity() UniversityConfig { return univgen.SmallConfig() }
+
+// PopulateUniversity generates a deterministic University instance for a
+// database created from UniversityDDL and loads it, returning the number of
+// kernel records inserted.
+func PopulateUniversity(db *Database, cfg UniversityConfig) (int, error) {
+	inst, err := univgen.Populate(db.Mapping, db.AB, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return db.LoadInstance(inst)
+}
+
+// Formatting helpers (the kernel formatting system).
+var (
+	// FormatOutcome renders a DML outcome for display.
+	FormatOutcome = kfs.FormatOutcome
+	// FormatRows renders Daplex rows as an aligned table.
+	FormatRows = kfs.FormatRows
+	// FormatResult renders a kernel result.
+	FormatResult = kfs.FormatResult
+)
+
+// SimTime reports the simulated kernel time a database's controller has
+// accumulated — the response-time figure the MBDS experiments sweep.
+func SimTime(db *Database) time.Duration { return db.Ctrl.SimTime() }
+
+// SaveDatabase writes a database — schema and contents — to w. The image is
+// self-contained (the schema is embedded as regenerated DDL text) and can be
+// restored into any System with any backend count.
+func SaveDatabase(db *Database, w io.Writer) error { return db.Save(w) }
+
+// RestoreDatabase reads an image written by SaveDatabase and registers the
+// database under its original name.
+func RestoreDatabase(sys *System, r io.Reader) (*Database, error) { return sys.Restore(r) }
