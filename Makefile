@@ -1,0 +1,23 @@
+# Standard verify tiers. `make check` is the extended tier: vet, formatting,
+# and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: build test check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mldsbench            run every experiment
-//	mldsbench -exp e6    run one experiment (e1..e10, a1..a3)
+//	mldsbench -exp e6    run one experiment (e1..e11, a1..a3)
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e10, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e11, a1..a3)")
 	flag.Parse()
 
 	runners := map[string]func() *experiments.Report{
@@ -33,6 +33,7 @@ func main() {
 		"e8":  experiments.E8CrossModel,
 		"e9":  experiments.E9SharedKernel,
 		"e10": experiments.E10FiveInterfaces,
+		"e11": experiments.E11FaultTolerance,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,

@@ -1,0 +1,133 @@
+// Faults: runs the MBDS cluster over TCP with one replica per record, kills
+// a backend server mid-workload, and shows that retrievals keep returning
+// the full answer (degraded mode), that the controller's health view marks
+// the backend down, and that a restarted backend is probed back into
+// service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kdb"
+	"mlds/internal/mbds"
+	"mlds/internal/mbdsnet"
+	"mlds/internal/univgen"
+)
+
+func main() {
+	const backends = 3
+	db, err := univgen.Generate(univgen.SmallConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The slaves: one TCP backend server per partition. With replication
+	// the controller pins every record's database key, so the stores need
+	// no per-partition key striding.
+	stores := make([]*kdb.Store, backends)
+	servers := make([]*mbdsnet.BackendServer, backends)
+	var execs []mbds.Executor
+	for i := 0; i < backends; i++ {
+		stores[i] = kdb.NewStore(db.AB.Dir.Clone())
+		srv, err := mbdsnet.Listen("127.0.0.1:0", stores[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers[i] = srv
+		defer srv.Close()
+		fmt.Printf("backend %d serving on %s\n", i, srv.Addr())
+		rb, err := mbdsnet.Dial(srv.Addr())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rb.Close()
+		execs = append(execs, rb)
+	}
+
+	// The master: every INSERT goes to a primary backend plus one replica,
+	// requests carry a deadline and bounded retries, and a per-backend
+	// circuit breaker keeps dead backends out of the broadcast path.
+	cfg := mbds.DefaultConfig(backends)
+	cfg.Replicas = 1
+	cfg.RequestTimeout = 500 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = 2 * time.Millisecond
+	cfg.BreakerThreshold = 2
+	cfg.ProbePeriod = 50 * time.Millisecond
+	sys, err := mbds.NewWithExecutors(db.AB.Dir, cfg, execs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	n, err := db.Load(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nloaded %d kernel records, each on a primary and one replica\n", n)
+	fmt.Printf("physical partition sizes: %v\n", sys.PartitionSizes())
+
+	query := abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("student")},
+		abdm.Predicate{Attr: "major", Op: abdm.OpEq, Val: abdm.String("Computer Science")},
+	), "major", "gpa")
+	// keys identifies the result set by database key: replication must not
+	// change what a retrieve returns, only where the copies live.
+	keys := func() []int {
+		res, err := sys.Exec(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := make([]int, 0, len(res.Records))
+		for _, sr := range res.Records {
+			out = append(out, int(sr.ID))
+		}
+		sort.Ints(out)
+		return out
+	}
+	printHealth := func(label string) {
+		fmt.Printf("\n%s:\n", label)
+		for _, h := range sys.Health() {
+			fmt.Printf("  %s\n", h)
+		}
+	}
+
+	healthy := keys()
+	fmt.Printf("\nhealthy run: %d CS student records\n", len(healthy))
+
+	// Kill backend 1's server mid-workload — a real process death, not an
+	// injected error: its TCP listener and connections go away.
+	addr := servers[1].Addr()
+	fmt.Printf("\n*** killing backend 1 (%s) ***\n", addr)
+	if err := servers[1].Close(); err != nil {
+		log.Fatal(err)
+	}
+	degraded := keys()
+	same := len(degraded) == len(healthy)
+	for i := 0; same && i < len(healthy); i++ {
+		same = degraded[i] == healthy[i]
+	}
+	fmt.Printf("degraded run: %d CS student records (identical to healthy: %v)\n", len(degraded), same)
+	printHealth("cluster health with backend 1 dead")
+
+	// Restart the backend on the same address; the controller probes it
+	// back up on its own.
+	fmt.Printf("\n*** restarting backend 1 on %s ***\n", addr)
+	srv2, err := mbdsnet.Listen(addr, stores[1])
+	if err != nil {
+		log.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	for i := 0; i < 100 && !sys.Health()[1].Up; i++ {
+		time.Sleep(20 * time.Millisecond)
+		keys()
+	}
+	final := keys()
+	fmt.Printf("post-recovery run: %d CS student records\n", len(final))
+	printHealth("cluster health after recovery")
+}

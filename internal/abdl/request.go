@@ -104,6 +104,13 @@ type Request struct {
 	By     string       // RETRIEVE: optional by-clause attribute
 	Common string       // RETRIEVE-COMMON: the common attribute
 	Query2 abdm.Query   // RETRIEVE-COMMON: the second qualification
+
+	// ForceID, when nonzero, pins the database key an INSERT stores the
+	// record under, replacing any existing record with that key. The kernel's
+	// replication layer sets it so every copy of a record lives under one
+	// key (and so replicated INSERTs are idempotent under retry). It is not
+	// expressible in ABDL text.
+	ForceID abdm.RecordID
 }
 
 // NewInsert builds an INSERT request for the record.

@@ -37,7 +37,11 @@ func (db *Database) Save(w io.Writer) error {
 	default:
 		return fmt.Errorf("core: cannot save a %s database", db.Model)
 	}
-	for _, sr := range db.Kernel.Snapshot() {
+	snap, err := db.Kernel.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: snapshot of %q for save: %w", db.Name, err)
+	}
+	for _, sr := range snap {
 		img.Records = append(img.Records, wire.FromRecord(sr.Rec))
 	}
 	return gob.NewEncoder(w).Encode(&img)

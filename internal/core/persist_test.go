@@ -82,7 +82,11 @@ func TestSaveRestoreFunctionalDatabase(t *testing.T) {
 		t.Fatal(err)
 	}
 	keys := map[int64]bool{}
-	for _, sr := range db2.Kernel.Snapshot() {
+	snap, err := db2.Kernel.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range snap {
 		if sr.Rec.File() != "person" {
 			continue
 		}

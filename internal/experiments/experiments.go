@@ -53,6 +53,7 @@ func All() []*Report {
 		E8CrossModel(),
 		E9SharedKernel(),
 		E10FiveInterfaces(),
+		E11FaultTolerance(),
 		AblationIndexVsScan(),
 		AblationParallelVsSerial(),
 		AblationDirectVsPreprocess(),

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mlds/internal/mbds"
+	"mlds/internal/univgen"
+)
+
+// E11FaultTolerance demonstrates degraded-mode reads: with one replica per
+// record, a backend forced down mid-workload leaves retrieval results
+// identical to the healthy run, the controller's health view reports the
+// backend down, and the recovery probe brings it back.
+func E11FaultTolerance() *Report {
+	const id, title = "E11", "Fault tolerance — degraded reads with a backend down, Replicas=1"
+	const backends = 4
+
+	db, err := univgen.Generate(scaleConfig(1))
+	if err != nil {
+		return failf(id, title, "generate: %v", err)
+	}
+	cfg := mbds.DefaultConfig(backends)
+	cfg.FaultInjection = true
+	cfg.Replicas = 1
+	cfg.RequestTimeout = 100 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = time.Millisecond
+	cfg.BreakerThreshold = 2
+	cfg.ProbePeriod = 5 * time.Millisecond
+	sys, err := mbds.New(db.AB.Dir, cfg)
+	if err != nil {
+		return failf(id, title, "kernel: %v", err)
+	}
+	defer sys.Close()
+	if _, err := db.Load(sys); err != nil {
+		return failf(id, title, "load: %v", err)
+	}
+
+	count := func() (int, error) {
+		res, err := sys.Exec(sweepQuery)
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Records), nil
+	}
+	healthLine := func(label string) string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s:\n", label)
+		for _, h := range sys.Health() {
+			fmt.Fprintf(&b, "  %s\n", h)
+		}
+		return b.String()
+	}
+
+	healthy, err := count()
+	if err != nil {
+		return failf(id, title, "healthy retrieve: %v", err)
+	}
+
+	// Kill one backend mid-workload and read through the failure.
+	const victim = 2
+	sys.Fault(victim).Fail(true)
+	degraded, err := count()
+	if err != nil {
+		return failf(id, title, "degraded retrieve: %v", err)
+	}
+	down := !sys.Health()[victim].Up
+	downView := healthLine("health with backend 2 killed")
+
+	// Clear the fault; the next requests probe the backend back up.
+	sys.Fault(victim).SetPlan(nil)
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := count(); err != nil {
+			return failf(id, title, "probe retrieve: %v", err)
+		}
+		recovered = sys.Health()[victim].Up
+	}
+	final, err := count()
+	if err != nil {
+		return failf(id, title, "recovered retrieve: %v", err)
+	}
+
+	ok := healthy > 0 && degraded == healthy && final == healthy && down && recovered
+	body := fmt.Sprintf(
+		"healthy run       : %d records\nbackend 2 killed  : %d records (identical: %v)\nafter recovery    : %d records\nbreaker opened    : %v\nprobe recovered   : %v\n%s%s",
+		healthy, degraded, degraded == healthy, final, down, recovered,
+		downView, healthLine("health after recovery"))
+	return report(id, title, ok, body)
+}

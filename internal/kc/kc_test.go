@@ -143,8 +143,14 @@ func TestJournalReplay(t *testing.T) {
 	if n != 8 { // 5 inserts + update + delete + final insert
 		t.Errorf("replayed %d entries", n)
 	}
-	a := c1.System().Snapshot()
-	b := c2.System().Snapshot()
+	a, err := c1.System().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c2.System().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != len(b) {
 		t.Fatalf("snapshots differ in size: %d vs %d", len(a), len(b))
 	}

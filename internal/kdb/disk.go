@@ -39,6 +39,22 @@ func DefaultDiskModel() DiskModel {
 	}
 }
 
+// Degraded returns a copy of the model with every latency multiplied by
+// factor — a failing disk that still answers, but slowly (recoverable-error
+// retries, remapped sectors). The fault-injection harness uses it to model a
+// sick backend whose partition costs the same I/O but takes factor times as
+// long.
+func (m DiskModel) Degraded(factor int) DiskModel {
+	if factor < 1 {
+		factor = 1
+	}
+	out := m
+	out.TrackAccess = m.TrackAccess * time.Duration(factor)
+	out.BlockIO = m.BlockIO * time.Duration(factor)
+	out.DirAccess = m.DirAccess * time.Duration(factor)
+	return out
+}
+
 // Cost is the I/O accounting for one executed request.
 type Cost struct {
 	FilesTouched int

@@ -1,0 +1,166 @@
+package kdb
+
+import (
+	"testing"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+func course(title string) *abdm.Record {
+	return abdm.NewRecord("course",
+		abdm.Keyword{Attr: "title", Val: abdm.String(title)},
+		abdm.Keyword{Attr: "dept", Val: abdm.String("CS")},
+		abdm.Keyword{Attr: "credits", Val: abdm.Int(3)},
+		abdm.Keyword{Attr: "rating", Val: abdm.Float(4.5)},
+	)
+}
+
+func TestForcedInsertIsIdempotent(t *testing.T) {
+	s := NewStore(testDir(t))
+	req := abdl.NewInsert(course("Replicated"))
+	req.ForceID = 7
+
+	// Applying the same pinned insert twice (a retry after an ambiguous
+	// failure) must leave exactly one record under the pinned key.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Exec(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store has %d records after replayed insert, want 1", s.Len())
+	}
+	snap := s.Snapshot()
+	if len(snap) != 1 || snap[0].ID != 7 {
+		t.Fatalf("snapshot = %+v, want one record under key 7", snap)
+	}
+
+	// A later pinned insert under the same key replaces the record, and
+	// the secondary index follows: the old title no longer matches.
+	repl := abdl.NewInsert(course("Replacement"))
+	repl.ForceID = 7
+	if _, err := s.Exec(repl); err != nil {
+		t.Fatal(err)
+	}
+	old, err := s.Exec(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: "title", Op: abdm.OpEq, Val: abdm.String("Replicated")},
+	), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Records) != 0 {
+		t.Errorf("replaced record still indexed: %v", old.Records)
+	}
+	cur, err := s.Exec(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: "title", Op: abdm.OpEq, Val: abdm.String("Replacement")},
+	), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur.Records) != 1 || cur.Records[0].ID != 7 {
+		t.Errorf("replacement not found under key 7: %v", cur.Records)
+	}
+}
+
+func TestForcedInsertCoexistsWithAllocator(t *testing.T) {
+	// Pinned keys and allocator-assigned keys share the key space without
+	// colliding in one store's bookkeeping.
+	s := NewStore(testDir(t))
+	if _, err := s.Insert(course("auto")); err != nil {
+		t.Fatal(err)
+	}
+	pinned := abdl.NewInsert(course("pinned"))
+	pinned.ForceID = 100
+	if _, err := s.Exec(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	seen := map[abdm.RecordID]bool{}
+	for _, sr := range s.Snapshot() {
+		if seen[sr.ID] {
+			t.Fatalf("duplicate key %d", sr.ID)
+		}
+		seen[sr.ID] = true
+	}
+}
+
+func TestDeleteUpdateReportAffectedKeys(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 9) // depts cycle CS, Math, Physics
+
+	upd, err := s.Exec(abdl.NewUpdate(abdm.And(
+		abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("CS")},
+	), abdl.Modifier{Attr: "credits", Val: abdm.Int(9)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(upd.Affected) != upd.Count || upd.Count != 3 {
+		t.Fatalf("update Affected = %v (Count %d), want 3 keys", upd.Affected, upd.Count)
+	}
+
+	del, err := s.Exec(abdl.NewDelete(abdm.And(
+		abdm.Predicate{Attr: "credits", Op: abdm.OpEq, Val: abdm.Int(9)},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del.Affected) != del.Count || del.Count != 3 {
+		t.Fatalf("delete Affected = %v (Count %d), want 3 keys", del.Affected, del.Count)
+	}
+	for _, id := range del.Affected {
+		for _, sr := range s.Snapshot() {
+			if sr.ID == id {
+				t.Fatalf("deleted key %d still present", id)
+			}
+		}
+	}
+}
+
+func TestDedupByID(t *testing.T) {
+	// Two replicas answering for the same keys collapse to one logical
+	// result.
+	a := &Result{
+		Records:  []StoredRecord{{ID: 1, Rec: course("a")}, {ID: 2, Rec: course("b")}},
+		Affected: []abdm.RecordID{1, 2},
+		Count:    2,
+	}
+	b := &Result{
+		Records:  []StoredRecord{{ID: 2, Rec: course("b")}, {ID: 3, Rec: course("c")}},
+		Affected: []abdm.RecordID{2, 3},
+		Count:    2,
+	}
+	a.Merge(b)
+	a.DedupByID()
+	if len(a.Records) != 3 {
+		t.Errorf("deduped records = %d, want 3", len(a.Records))
+	}
+	if len(a.Affected) != 3 || a.Count != 3 {
+		t.Errorf("deduped Affected = %v, Count = %d, want 3 distinct keys", a.Affected, a.Count)
+	}
+}
+
+func TestDegradedDiskModel(t *testing.T) {
+	m := DefaultDiskModel()
+	slow := m.Degraded(4)
+	if slow.TrackAccess != 4*m.TrackAccess || slow.BlockIO != 4*m.BlockIO || slow.DirAccess != 4*m.DirAccess {
+		t.Errorf("Degraded(4) = %+v", slow)
+	}
+	if slow.BlockFactor != m.BlockFactor || slow.TrackBlocks != m.TrackBlocks {
+		t.Error("Degraded must not change geometry")
+	}
+	c := Cost{BlocksRead: 8, DirProbes: 2}
+	if got, want := slow.Time(c), time.Duration(0); got <= want {
+		t.Errorf("degraded time = %v", got)
+	}
+	if slow.Time(c) <= m.Time(c) {
+		t.Errorf("degraded model not slower: %v vs %v", slow.Time(c), m.Time(c))
+	}
+	// Degraded clamps nonsense factors instead of speeding up.
+	if fast := m.Degraded(0); fast.BlockIO != m.BlockIO {
+		t.Errorf("Degraded(0) changed latency: %+v", fast)
+	}
+}

@@ -35,7 +35,12 @@ type Result struct {
 	Records []StoredRecord // RETRIEVE: qualifying records, projected
 	Groups  []Group        // RETRIEVE with by-clause or aggregates
 	Count   int            // INSERT/DELETE/UPDATE: records affected
-	Cost    Cost
+	// Affected lists the database keys DELETE/UPDATE touched. The
+	// multi-backend layer needs them under replicated placement: every
+	// replica holder reports the same key, so the controller can count
+	// logical records rather than physical copies.
+	Affected []abdm.RecordID
+	Cost     Cost
 	// Paths lists the access paths the planner chose, one per conjunction
 	// evaluated: "index-eq(attr)", "index-range(attr)", "scan(file)",
 	// "empty(attr)" for provably-empty conjunctions. Diagnostic only.
@@ -70,7 +75,48 @@ func (r *Result) Merge(o *Result) {
 	}
 	r.Records = append(r.Records, o.Records...)
 	sort.Slice(r.Records, func(i, j int) bool { return r.Records[i].ID < r.Records[j].ID })
+	r.Affected = append(r.Affected, o.Affected...)
 	r.Groups = mergeGroups(r.Groups, o.Groups)
+}
+
+// DedupByID collapses duplicate record copies that replicated placement
+// returns from a broadcast: result records and group members are
+// deduplicated by database key, and Count is recomputed from the distinct
+// Affected keys when the operation reported them. Aggregates must be
+// recomputed after deduplication.
+func (r *Result) DedupByID() {
+	r.Records = dedupStored(r.Records)
+	for i := range r.Groups {
+		r.Groups[i].Recs = dedupStored(r.Groups[i].Recs)
+	}
+	if len(r.Affected) > 0 {
+		seen := make(map[abdm.RecordID]bool, len(r.Affected))
+		out := r.Affected[:0]
+		for _, id := range r.Affected {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		r.Affected = out
+		r.Count = len(out)
+	}
+}
+
+// dedupStored keeps the first record of each database key, preserving order.
+func dedupStored(in []StoredRecord) []StoredRecord {
+	if len(in) < 2 {
+		return in
+	}
+	seen := make(map[abdm.RecordID]bool, len(in))
+	out := in[:0]
+	for _, sr := range in {
+		if !seen[sr.ID] {
+			seen[sr.ID] = true
+			out = append(out, sr)
+		}
+	}
+	return out
 }
 
 func mergeGroups(a, b []Group) []Group {

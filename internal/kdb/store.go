@@ -186,6 +186,21 @@ func (s *Store) Insert(rec *abdm.Record) (abdm.RecordID, error) {
 
 func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
 	id := s.nextID()
+	s.addLocked(id, rec)
+	return id
+}
+
+// insertForcedLocked stores the record under a caller-chosen database key.
+// Re-inserting an existing key replaces that record, which makes replicated
+// INSERTs idempotent when the controller retries them.
+func (s *Store) insertForcedLocked(id abdm.RecordID, rec *abdm.Record) {
+	if file, ok := s.fileOf[id]; ok {
+		s.removeLocked(id, s.files[file][id])
+	}
+	s.addLocked(id, rec)
+}
+
+func (s *Store) addLocked(id abdm.RecordID, rec *abdm.Record) {
 	cp := rec.Clone()
 	file := cp.File()
 	if s.files[file] == nil {
@@ -203,7 +218,6 @@ func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
 			ix.add(kw.Val, id)
 		}
 	}
-	return id
 }
 
 func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
@@ -211,7 +225,11 @@ func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.insertLocked(req.Record)
+	if req.ForceID != 0 {
+		s.insertForcedLocked(req.ForceID, req.Record)
+	} else {
+		s.insertLocked(req.Record)
+	}
 	s.mu.Unlock()
 	res := &Result{Op: abdl.Insert, Count: 1}
 	res.Cost = Cost{FilesTouched: 1, BlocksWrit: 1, DirProbes: len(req.Record.Keywords)}
@@ -379,6 +397,7 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 	res.Paths = paths
 	for _, sr := range victims {
 		s.removeLocked(sr.ID, sr.Rec)
+		res.Affected = append(res.Affected, sr.ID)
 	}
 	res.Count = len(victims)
 	res.Cost.BlocksWrit += s.disk.blocks(len(victims))
@@ -417,6 +436,7 @@ func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
 	targets, paths := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 	for _, sr := range targets {
+		res.Affected = append(res.Affected, sr.ID)
 		for _, m := range req.Mods {
 			if !s.noIndex {
 				if old, ok := sr.Rec.Get(m.Attr); ok {

@@ -15,6 +15,13 @@
 // response time falls near-reciprocally as backends are added at fixed
 // database size, and stays invariant when the database grows proportionally
 // with the backends.
+//
+// The controller additionally hardens the bus against backend failure:
+// per-request deadlines, bounded retries with exponential backoff for
+// transient failures, a per-backend circuit breaker with half-open probing
+// (surfaced by Health), and replicated record placement (Config.Replicas)
+// under which broadcasts tolerate down backends and still return complete,
+// deduplicated results — degraded-mode reads.
 package mbds
 
 import (
@@ -55,15 +62,31 @@ type Config struct {
 	MsgLatency time.Duration // simulated bus latency per message hop
 	Serial     bool          // ablation: dispatch to backends one at a time
 	NoIndexes  bool          // ablation: backends scan instead of indexing
+
+	// Fault tolerance. Replicas > 0 makes INSERT write each record to its
+	// primary backend plus that many successor backends under one database
+	// key; broadcasts then tolerate up to Replicas failed backends and
+	// return complete results with controller-side dedup (degraded mode).
+	Replicas         int           // extra copies of each record (0 = none)
+	RequestTimeout   time.Duration // per-backend request deadline (0 = none)
+	MaxRetries       int           // retries per request on transient failures
+	RetryBackoff     time.Duration // base retry backoff, doubling per retry
+	BreakerThreshold int           // consecutive transient failures that open the breaker (0 = never)
+	ProbePeriod      time.Duration // how often a down backend is probed (0 = every request)
+	FaultInjection   bool          // wrap each executor in a FaultyExecutor (see System.Fault)
 }
 
-// DefaultConfig returns a configuration with n backends and the default disk
-// model and bus latency.
+// DefaultConfig returns a configuration with n backends, the default disk
+// model and bus latency, and a modest retry/breaker policy.
 func DefaultConfig(n int) Config {
 	return Config{
-		Backends:   n,
-		Disk:       kdb.DefaultDiskModel(),
-		MsgLatency: 2 * time.Millisecond,
+		Backends:         n,
+		Disk:             kdb.DefaultDiskModel(),
+		MsgLatency:       2 * time.Millisecond,
+		MaxRetries:       2,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 5,
+		ProbePeriod:      250 * time.Millisecond,
 	}
 }
 
@@ -76,6 +99,8 @@ type System struct {
 	rrMu     sync.Mutex
 	rr       map[string]uint64 // per-file round-robin cursors
 	closed   atomic.Bool
+	closedCh chan struct{}  // closed by Close; aborts blocked bus operations
+	opWG     sync.WaitGroup // in-flight Exec-family operations
 }
 
 // Executor executes ABDL requests against one backend partition. Local
@@ -88,21 +113,46 @@ type Executor interface {
 // backend is one slave: its executor plus the goroutine that serves its
 // side of the bus. store is nil for remote backends.
 type backend struct {
-	id    int
-	exec  Executor
-	store *kdb.Store
-	reqCh chan job
-	done  chan struct{}
+	id     int
+	exec   Executor
+	store  *kdb.Store
+	faulty *FaultyExecutor // non-nil when Config.FaultInjection is set
+	reqCh  chan job
+	quit   chan struct{} // closed by Close; stops the serve loop
+	done   chan struct{}
+
+	hmu    sync.Mutex
+	health health
 }
 
 type job struct {
 	req   *abdl.Request
-	reply chan jobReply
+	reply chan jobReply // buffered (cap 1): serve never blocks on a reply
 }
 
 type jobReply struct {
 	res *kdb.Result
 	err error
+}
+
+// newBackend builds one backend over the executor and starts its serve
+// loop. store is the executor's local store, nil for remote executors.
+func newBackend(id int, exec Executor, store *kdb.Store, faults bool) *backend {
+	b := &backend{
+		id:    id,
+		exec:  exec,
+		store: store,
+		reqCh: make(chan job),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	b.health.up = true
+	if faults {
+		b.faulty = NewFaultyExecutor(exec)
+		b.exec = b.faulty
+	}
+	go b.serve()
+	return b
 }
 
 // New builds and starts an MBDS instance over the directory.
@@ -113,7 +163,7 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 	if cfg.Disk.BlockFactor == 0 {
 		cfg.Disk = kdb.DefaultDiskModel()
 	}
-	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64)}
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64), closedCh: make(chan struct{})}
 	for i := 0; i < cfg.Backends; i++ {
 		opts := []kdb.Option{
 			kdb.WithDisk(cfg.Disk),
@@ -125,15 +175,7 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 			opts = append(opts, kdb.WithoutIndexes())
 		}
 		store := kdb.NewStore(dir.Clone(), opts...)
-		b := &backend{
-			id:    i,
-			exec:  store,
-			store: store,
-			reqCh: make(chan job),
-			done:  make(chan struct{}),
-		}
-		go b.serve()
-		s.backends = append(s.backends, b)
+		s.backends = append(s.backends, newBackend(i, store, store, cfg.FaultInjection))
 	}
 	return s, nil
 }
@@ -141,7 +183,9 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 // NewWithExecutors builds an MBDS instance whose backends are the given
 // executors — typically mbdsnet.RemoteBackend clients, making the controller
 // local and the backends remote machines, as in the original hardware
-// configuration. The config's Backends count is ignored.
+// configuration. The config's Backends count is ignored. With Replicas > 0
+// the controller assigns every inserted record's database key itself, so the
+// executors' own allocators are never consulted.
 func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*System, error) {
 	if len(execs) < 1 {
 		return nil, fmt.Errorf("mbds: need at least 1 executor")
@@ -150,39 +194,77 @@ func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*Syste
 		cfg.Disk = kdb.DefaultDiskModel()
 	}
 	cfg.Backends = len(execs)
-	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64)}
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64), closedCh: make(chan struct{})}
 	for i, ex := range execs {
-		b := &backend{
-			id:    i,
-			exec:  ex,
-			reqCh: make(chan job),
-			done:  make(chan struct{}),
-		}
-		go b.serve()
-		s.backends = append(s.backends, b)
+		s.backends = append(s.backends, newBackend(i, ex, nil, cfg.FaultInjection))
 	}
 	return s, nil
 }
 
 // serve is the backend's message loop: receive a request, execute it against
-// the local partition, reply with the partial result.
+// the local partition, reply with the partial result. The loop stops when
+// the system closes; reqCh itself is never closed, so a racing dispatch can
+// never panic on it.
 func (b *backend) serve() {
 	defer close(b.done)
-	for j := range b.reqCh {
-		res, err := b.exec.Exec(j.req)
-		j.reply <- jobReply{res: res, err: err}
+	for {
+		select {
+		case j := <-b.reqCh:
+			res, err := b.exec.Exec(j.req)
+			j.reply <- jobReply{res: res, err: err}
+		case <-b.quit:
+			return
+		}
 	}
 }
 
-// Close shuts the backends down. The system must not be used afterwards.
+// Fault returns backend i's fault-injection handle, or nil unless the
+// system was built with Config.FaultInjection.
+func (s *System) Fault(i int) *FaultyExecutor { return s.backends[i].faulty }
+
+// Close shuts the backends down. Concurrent Exec-family calls return
+// ErrClosed (or their result, if already in flight); the system must not be
+// used afterwards.
 func (s *System) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	close(s.closedCh)
+	s.opWG.Wait()
 	for _, b := range s.backends {
-		close(b.reqCh)
-		<-b.done
+		close(b.quit)
+		if b.faulty != nil {
+			// A hang fault must not wedge shutdown.
+			b.faulty.releaseHangs()
+		}
 	}
+	grace := 2 * s.cfg.RequestTimeout
+	for _, b := range s.backends {
+		if grace > 0 {
+			// A backend wedged past its deadline (a hang fault inside a
+			// wrapped executor) is abandoned rather than waited for.
+			select {
+			case <-b.done:
+			case <-time.After(grace):
+			}
+		} else {
+			<-b.done
+		}
+	}
+}
+
+// beginOp registers an in-flight operation, refusing if the system is
+// closed. Callers must pair it with s.opWG.Done().
+func (s *System) beginOp() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.opWG.Add(1)
+	if s.closed.Load() {
+		s.opWG.Done()
+		return ErrClosed
+	}
+	return nil
 }
 
 // Backends reports the number of backends.
@@ -205,7 +287,8 @@ func (b *backend) lenOf() int {
 	return 0
 }
 
-// Len reports the total number of records across all backends.
+// Len reports the total number of record copies across all backends. With
+// Replicas > 0 each logical record is counted once per copy.
 func (s *System) Len() int {
 	n := 0
 	for _, b := range s.backends {
@@ -226,21 +309,37 @@ func (s *System) PartitionSizes() []int {
 // ErrClosed is returned by operations on a closed system.
 var ErrClosed = errors.New("mbds: system is closed")
 
-// placeFor picks the backend that stores an inserted record.
-func (s *System) placeFor(rec *abdm.Record) *backend {
+// placeIndex picks the primary backend index for an inserted record.
+func (s *System) placeIndex(rec *abdm.Record) int {
 	switch s.cfg.Placement {
 	case HashKeywords:
 		h := fnv.New64a()
 		_, _ = h.Write([]byte(rec.Key()))
-		return s.backends[h.Sum64()%uint64(len(s.backends))]
+		return int(h.Sum64() % uint64(len(s.backends)))
 	default:
 		s.rrMu.Lock()
 		defer s.rrMu.Unlock()
 		file := rec.File()
 		n := s.rr[file]
 		s.rr[file] = n + 1
-		return s.backends[n%uint64(len(s.backends))]
+		return int(n % uint64(len(s.backends)))
 	}
+}
+
+// holdersFor lists the backends that store an inserted record: the primary
+// plus Replicas successors (capped at the backend count).
+func (s *System) holdersFor(rec *abdm.Record) []*backend {
+	primary := s.placeIndex(rec)
+	n := len(s.backends)
+	k := s.cfg.Replicas + 1
+	if k > n {
+		k = n
+	}
+	out := make([]*backend, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, s.backends[(primary+i)%n])
+	}
+	return out
 }
 
 // Exec executes one ABDL request across the backends and returns the merged
@@ -255,9 +354,16 @@ func (s *System) Exec(req *abdl.Request) (*kdb.Result, error) {
 // response time under the parallel-backend model: bus latency out and back
 // plus the slowest backend's disk time.
 func (s *System) ExecTimed(req *abdl.Request) (*kdb.Result, time.Duration, error) {
-	if s.closed.Load() {
-		return nil, 0, ErrClosed
+	if err := s.beginOp(); err != nil {
+		return nil, 0, err
 	}
+	defer s.opWG.Done()
+	return s.execTimed(req)
+}
+
+// execTimed is ExecTimed without the lifecycle bookkeeping, so the
+// RETRIEVE-COMMON phases can recurse while holding one in-flight slot.
+func (s *System) execTimed(req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	if err := req.Validate(); err != nil {
 		return nil, 0, err
 	}
@@ -265,27 +371,29 @@ func (s *System) ExecTimed(req *abdl.Request) (*kdb.Result, time.Duration, error
 		return s.execRetrieveCommon(req)
 	}
 	if req.Kind == abdl.Insert {
-		// The directory validates once at the controller, then the record is
-		// routed to exactly one backend.
-		if err := s.dir.ValidateRecord(req.Record); err != nil {
-			return nil, 0, err
-		}
-		b := s.placeFor(req.Record)
-		reply := s.dispatch([]*backend{b}, req)
-		r := <-reply
-		if r.err != nil {
-			return nil, 0, r.err
-		}
-		t := 2*s.cfg.MsgLatency + s.cfg.Disk.Time(r.res.Cost)
-		return r.res, t, nil
+		return s.execInsert(req)
 	}
+	return s.execBroadcast(req)
+}
 
-	// Broadcast to every backend; merge partial results.
-	replies := s.dispatch(s.backends, req)
-	merged := &kdb.Result{Op: req.Kind}
+// execInsert routes the record to its holder backends. The directory
+// validates once at the controller; with replication the controller also
+// assigns the database key, so every copy lives under the same key.
+func (s *System) execInsert(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	if err := s.dir.ValidateRecord(req.Record); err != nil {
+		return nil, 0, err
+	}
+	holders := s.holdersFor(req.Record)
+	if s.cfg.Replicas > 0 && req.ForceID == 0 {
+		cp := *req
+		cp.ForceID = abdm.RecordID(s.nextID.Add(1))
+		req = &cp
+	}
+	replies := s.fanout(holders, req)
+	var res *kdb.Result
 	var worst time.Duration
 	var firstErr error
-	for i := 0; i < len(s.backends); i++ {
+	for range holders {
 		r := <-replies
 		if r.err != nil {
 			if firstErr == nil {
@@ -296,10 +404,52 @@ func (s *System) ExecTimed(req *abdl.Request) (*kdb.Result, time.Duration, error
 		if t := s.cfg.Disk.Time(r.res.Cost); t > worst {
 			worst = t
 		}
+		if res == nil {
+			res = r.res
+		} else {
+			res.Cost.Add(r.res.Cost)
+		}
+	}
+	if res == nil {
+		// No copy was written: the insert failed outright.
+		return nil, 0, firstErr
+	}
+	// One logical record, however many copies were written. Fewer copies
+	// than requested (a holder was down) is degraded but successful; the
+	// record is durable on the copies that took it.
+	res.Count = 1
+	return res, 2*s.cfg.MsgLatency + worst, nil
+}
+
+// execBroadcast sends the request to every backend and merges the partial
+// results. With replication, up to Replicas failed backends are tolerated:
+// the surviving copies still cover the whole database, and the merge
+// deduplicates them by database key (degraded mode).
+func (s *System) execBroadcast(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	replies := s.fanout(s.backends, req)
+	merged := &kdb.Result{Op: req.Kind}
+	var worst time.Duration
+	var firstErr error
+	failed := 0
+	for range s.backends {
+		r := <-replies
+		if r.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if t := s.cfg.Disk.Time(r.res.Cost); t > worst {
+			worst = t
+		}
 		merged.Merge(r.res)
 	}
-	if firstErr != nil {
+	if failed > 0 && failed > s.cfg.Replicas {
 		return nil, 0, firstErr
+	}
+	if s.cfg.Replicas > 0 {
+		merged.DedupByID()
 	}
 	merged.RecomputeAggregates(req.Target)
 	return merged, 2*s.cfg.MsgLatency + worst, nil
@@ -316,7 +466,7 @@ func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Durati
 		Query:  req.Query2,
 		Target: []abdl.TargetItem{{Attr: req.Common}},
 	}
-	r1, t1, err := s.ExecTimed(phase1)
+	r1, t1, err := s.execTimed(phase1)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -327,7 +477,7 @@ func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Durati
 		Query:  req.Query,
 		Target: []abdl.TargetItem{{Attr: abdl.AllAttrs}},
 	}
-	r2, t2, err := s.ExecTimed(phase2)
+	r2, t2, err := s.execTimed(phase2)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -358,24 +508,105 @@ func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Durati
 	return out, t1 + t2, nil
 }
 
-// dispatch sends the request to the given backends — in parallel unless the
-// Serial ablation is on — and returns the shared reply channel.
-func (s *System) dispatch(targets []*backend, req *abdl.Request) chan jobReply {
-	reply := make(chan jobReply, len(targets))
+// backendReply is one backend's answer to a fanned-out request.
+type backendReply struct {
+	id  int
+	res *kdb.Result
+	err error
+}
+
+// fanout sends the request to the given backends — in parallel unless the
+// Serial ablation is on — applying the deadline, retry and breaker policy
+// per backend, and returns the shared reply channel. Exactly one reply per
+// target is delivered.
+func (s *System) fanout(targets []*backend, req *abdl.Request) <-chan backendReply {
+	out := make(chan backendReply, len(targets))
 	if s.cfg.Serial {
 		go func() {
 			for _, b := range targets {
-				single := make(chan jobReply, 1)
-				b.reqCh <- job{req: req, reply: single}
-				reply <- <-single
+				res, err := s.callBackend(b, req)
+				out <- backendReply{id: b.id, res: res, err: err}
 			}
 		}()
-		return reply
+		return out
 	}
 	for _, b := range targets {
-		b.reqCh <- job{req: req, reply: reply}
+		go func(b *backend) {
+			res, err := s.callBackend(b, req)
+			out <- backendReply{id: b.id, res: res, err: err}
+		}(b)
 	}
-	return reply
+	return out
+}
+
+// callBackend executes one request on one backend under the fault policy:
+// the circuit breaker gates admission, each attempt is bounded by
+// RequestTimeout, and transient failures are retried with exponential
+// backoff when a resend is safe.
+func (s *System) callBackend(b *backend, req *abdl.Request) (*kdb.Result, error) {
+	idem := idempotent(req)
+	for attempt := 0; ; attempt++ {
+		probing, ok := b.admit(s.cfg)
+		if !ok {
+			return nil, &BackendDownError{Backend: b.id, Last: b.snapshotHealth().LastError}
+		}
+		if attempt > 0 {
+			b.noteRetry()
+			backoff := s.cfg.RetryBackoff << (attempt - 1)
+			if backoff > 0 {
+				select {
+				case <-time.After(backoff):
+				case <-s.closedCh:
+					return nil, ErrClosed
+				}
+			}
+		}
+		res, err := s.callOnce(b, req)
+		if err == nil {
+			b.noteSuccess()
+			return res, nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		b.noteFailure(err, s.cfg)
+		// Retry only recoverable failures, and never resend a
+		// non-idempotent request that may already have executed.
+		if !transient(err) || (maybeApplied(err) && !idem) || attempt >= s.cfg.MaxRetries {
+			return nil, err
+		}
+		// A failed probe leaves the breaker open; stop instead of burning
+		// the remaining retries against a known-down backend.
+		if probing && !b.snapshotHealth().Up {
+			return nil, err
+		}
+	}
+}
+
+// callOnce performs a single bus round trip with the configured deadline.
+func (s *System) callOnce(b *backend, req *abdl.Request) (*kdb.Result, error) {
+	reply := make(chan jobReply, 1)
+	var timeout <-chan time.Time
+	if s.cfg.RequestTimeout > 0 {
+		t := time.NewTimer(s.cfg.RequestTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case b.reqCh <- job{req: req, reply: reply}:
+	case <-timeout:
+		return nil, &DeadlineError{Backend: b.id, Timeout: s.cfg.RequestTimeout}
+	case <-s.closedCh:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-reply:
+		return r.res, r.err
+	case <-timeout:
+		return nil, &DeadlineError{Backend: b.id, Timeout: s.cfg.RequestTimeout}
+	case <-s.closedCh:
+		return nil, ErrClosed
+	}
 }
 
 // ExecTransaction executes the requests sequentially, returning per-request
@@ -409,20 +640,47 @@ func (s *System) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
 	return nil, false
 }
 
-// Snapshot returns every record in the system ordered by database key.
-func (s *System) Snapshot() []kdb.StoredRecord {
+// Snapshot returns every record in the system ordered by database key,
+// deduplicated across replicas. A remote partition that cannot be read is
+// an error — unless surviving replicas cover it — so save/restore can never
+// silently lose a partition.
+func (s *System) Snapshot() ([]kdb.StoredRecord, error) {
+	if err := s.beginOp(); err != nil {
+		return nil, err
+	}
+	defer s.opWG.Done()
 	var all []kdb.StoredRecord
+	var firstErr error
+	failed := 0
 	for _, b := range s.backends {
-		if b.store == nil {
-			// Remote partition: an unqualified retrieve addresses all of it.
-			res, err := b.exec.Exec(abdl.NewRetrieve(nil, abdl.AllAttrs))
-			if err == nil {
-				all = append(all, res.Records...)
+		if b.store != nil {
+			all = append(all, b.store.Snapshot()...)
+			continue
+		}
+		// Remote partition: an unqualified retrieve addresses all of it.
+		res, err := s.callBackend(b, abdl.NewRetrieve(nil, abdl.AllAttrs))
+		if err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = err
 			}
 			continue
 		}
-		all = append(all, b.store.Snapshot()...)
+		all = append(all, res.Records...)
+	}
+	if failed > 0 && failed > s.cfg.Replicas {
+		return nil, fmt.Errorf("mbds: snapshot lost a partition: %w", firstErr)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	return all
+	// Replicas return identical copies under one key; keep the first.
+	out := all[:0]
+	var last abdm.RecordID
+	for i, sr := range all {
+		if i > 0 && sr.ID == last {
+			continue
+		}
+		out = append(out, sr)
+		last = sr.ID
+	}
+	return out, nil
 }

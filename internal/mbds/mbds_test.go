@@ -319,7 +319,10 @@ func TestSystemTransaction(t *testing.T) {
 func TestSystemGetByID(t *testing.T) {
 	s := newSystem(t, 3)
 	loadEmployees(t, s, 9)
-	snap := s.Snapshot()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(snap) != 9 {
 		t.Fatalf("snapshot = %d", len(snap))
 	}
@@ -336,7 +339,11 @@ func TestSystemUniqueKeysAcrossBackends(t *testing.T) {
 	s := newSystem(t, 4)
 	loadEmployees(t, s, 50)
 	seen := make(map[abdm.RecordID]bool)
-	for _, sr := range s.Snapshot() {
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range snap {
 		if seen[sr.ID] {
 			t.Fatalf("database key %d assigned twice", sr.ID)
 		}

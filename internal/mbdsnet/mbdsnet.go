@@ -135,6 +135,51 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 	}
 }
 
+// DownError reports a backend that could not be reached: the request was
+// never delivered, so resending it is always safe. The multi-backend layer
+// recognises this through Transient and retries under its backoff policy.
+type DownError struct {
+	Addr string
+	Err  error
+}
+
+// Error describes the unreachable backend.
+func (e *DownError) Error() string {
+	return fmt.Sprintf("mbdsnet: backend %s unreachable: %v", e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying network error.
+func (e *DownError) Unwrap() error { return e.Err }
+
+// Transient marks the failure as retryable.
+func (e *DownError) Transient() bool { return true }
+
+// AmbiguousError reports a connection that failed mid-exchange: the request
+// may or may not have been delivered and applied. Non-idempotent requests
+// (an INSERT allocating a fresh key) are not resent automatically — a lost
+// reply after a delivered INSERT would otherwise be applied twice — so the
+// ambiguity is surfaced to the caller instead.
+type AmbiguousError struct {
+	Addr string
+	Err  error
+}
+
+// Error describes the ambiguous outcome.
+func (e *AmbiguousError) Error() string {
+	return fmt.Sprintf("mbdsnet: backend %s failed mid-request (outcome unknown, not resent): %v", e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying network error.
+func (e *AmbiguousError) Unwrap() error { return e.Err }
+
+// MaybeApplied reports that the request may have executed on the backend.
+func (e *AmbiguousError) MaybeApplied() bool { return true }
+
+// Transient marks the failure as a backend-side fault (it counts toward the
+// circuit breaker; the retry policy still refuses to resend non-idempotent
+// requests after it).
+func (e *AmbiguousError) Transient() bool { return true }
+
 // RemoteBackend is the controller's client for one remote backend. It
 // satisfies mbds.Executor. A single connection is shared; requests are
 // serialised over it (the original bus was also a shared medium).
@@ -180,14 +225,29 @@ func (rb *RemoteBackend) Close() error {
 	return err
 }
 
-// roundTrip sends one envelope and waits for its reply, reconnecting once on
-// a broken connection.
-func (rb *RemoteBackend) roundTrip(env wire.Envelope) (wire.Envelope, error) {
+// dropConn discards the connection so the next round trip redials. Caller
+// must hold rb.mu.
+func (rb *RemoteBackend) dropConn() {
+	if rb.conn != nil {
+		_ = rb.conn.Close()
+	}
+	rb.conn = nil
+	rb.enc = nil
+	rb.dec = nil
+}
+
+// roundTrip sends one envelope and waits for its reply. A connection that
+// cannot be established at all yields a DownError (the request was never
+// delivered; safe to retry). A connection that fails mid-exchange is
+// reconnected and the envelope resent only when idem says re-execution is
+// harmless; otherwise the delivered-or-not ambiguity is surfaced as an
+// AmbiguousError rather than risking a double apply.
+func (rb *RemoteBackend) roundTrip(env wire.Envelope, idem bool) (wire.Envelope, error) {
 	rb.mu.Lock()
 	defer rb.mu.Unlock()
 	if rb.conn == nil {
 		if err := rb.connect(); err != nil {
-			return wire.Envelope{}, err
+			return wire.Envelope{}, &DownError{Addr: rb.addr, Err: err}
 		}
 	}
 	rb.seq++
@@ -204,16 +264,24 @@ func (rb *RemoteBackend) roundTrip(env wire.Envelope) (wire.Envelope, error) {
 	}
 	reply, err := send()
 	if err != nil {
+		rb.dropConn()
+		if !idem {
+			return wire.Envelope{}, &AmbiguousError{Addr: rb.addr, Err: err}
+		}
 		// One reconnect attempt: the backend may have restarted.
 		if cerr := rb.connect(); cerr != nil {
-			return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s unreachable: %w", rb.addr, err)
+			return wire.Envelope{}, &DownError{Addr: rb.addr, Err: err}
 		}
 		reply, err = send()
 		if err != nil {
-			return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s: %w", rb.addr, err)
+			rb.dropConn()
+			return wire.Envelope{}, &DownError{Addr: rb.addr, Err: err}
 		}
 	}
 	if reply.Seq != env.Seq {
+		// The stream is out of sync; poison the connection so the next
+		// request starts clean.
+		rb.dropConn()
 		return wire.Envelope{}, fmt.Errorf("mbdsnet: backend %s replied out of order (%d != %d)", rb.addr, reply.Seq, env.Seq)
 	}
 	return reply, nil
@@ -221,8 +289,12 @@ func (rb *RemoteBackend) roundTrip(env wire.Envelope) (wire.Envelope, error) {
 
 // Exec executes one ABDL request on the remote backend.
 func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
+	// Everything but a fresh-key INSERT is safe to re-execute: retrieves
+	// read, DELETE/UPDATE qualify by query and assign absolute values, and
+	// a replica-pinned INSERT overwrites its own key.
+	idem := req.Kind != abdl.Insert || req.ForceID != 0
 	wreq := wire.FromRequest(req)
-	reply, err := rb.roundTrip(wire.Envelope{Action: "exec", Req: &wreq})
+	reply, err := rb.roundTrip(wire.Envelope{Action: "exec", Req: &wreq}, idem)
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +309,7 @@ func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
 
 // Len reports the remote partition's record count.
 func (rb *RemoteBackend) Len() (int, error) {
-	reply, err := rb.roundTrip(wire.Envelope{Action: "len"})
+	reply, err := rb.roundTrip(wire.Envelope{Action: "len"}, true)
 	if err != nil {
 		return 0, err
 	}

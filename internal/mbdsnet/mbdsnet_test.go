@@ -90,7 +90,11 @@ func TestRemoteClusterEndToEnd(t *testing.T) {
 	}
 	// Database keys must not collide across the remote partitions.
 	seen := map[abdm.RecordID]bool{}
-	for _, sr := range sys.Snapshot() {
+	snap, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range snap {
 		if seen[sr.ID] {
 			t.Fatalf("key %d duplicated across remote backends", sr.ID)
 		}

@@ -131,15 +131,16 @@ func (w Query) ToQuery() (abdm.Query, error) {
 
 // Request is the wire form of abdl.Request.
 type Request struct {
-	Kind   int
-	Record Record
-	HasRec bool
-	Query  Query
-	Mods   []Keyword
-	Target []TargetItem
-	By     string
-	Common string
-	Query2 Query
+	Kind    int
+	Record  Record
+	HasRec  bool
+	Query   Query
+	Mods    []Keyword
+	Target  []TargetItem
+	By      string
+	Common  string
+	Query2  Query
+	ForceID uint64 // INSERT: replica-pinned database key (0 = allocate)
 }
 
 // TargetItem is the wire form of abdl.TargetItem.
@@ -151,11 +152,12 @@ type TargetItem struct {
 // FromRequest converts a model request.
 func FromRequest(r *abdl.Request) Request {
 	w := Request{
-		Kind:   int(r.Kind),
-		Query:  FromQuery(r.Query),
-		By:     r.By,
-		Common: r.Common,
-		Query2: FromQuery(r.Query2),
+		Kind:    int(r.Kind),
+		Query:   FromQuery(r.Query),
+		By:      r.By,
+		Common:  r.Common,
+		Query2:  FromQuery(r.Query2),
+		ForceID: uint64(r.ForceID),
 	}
 	if r.Record != nil {
 		w.Record = FromRecord(r.Record)
@@ -173,9 +175,10 @@ func FromRequest(r *abdl.Request) Request {
 // ToRequest converts back to a model request.
 func (w Request) ToRequest() (*abdl.Request, error) {
 	r := &abdl.Request{
-		Kind:   abdl.Kind(w.Kind),
-		By:     w.By,
-		Common: w.Common,
+		Kind:    abdl.Kind(w.Kind),
+		By:      w.By,
+		Common:  w.Common,
+		ForceID: abdm.RecordID(w.ForceID),
 	}
 	var err error
 	if r.Query, err = w.Query.ToQuery(); err != nil {
@@ -223,16 +226,20 @@ type Group struct {
 
 // Result is the wire form of kdb.Result.
 type Result struct {
-	Op      int
-	Records []StoredRecord
-	Groups  []Group
-	Count   int
-	Cost    kdb.Cost
+	Op       int
+	Records  []StoredRecord
+	Groups   []Group
+	Count    int
+	Affected []uint64
+	Cost     kdb.Cost
 }
 
 // FromResult converts a model result.
 func FromResult(r *kdb.Result) Result {
 	w := Result{Op: int(r.Op), Count: r.Count, Cost: r.Cost}
+	for _, id := range r.Affected {
+		w.Affected = append(w.Affected, uint64(id))
+	}
 	for _, sr := range r.Records {
 		w.Records = append(w.Records, StoredRecord{ID: uint64(sr.ID), Rec: FromRecord(sr.Rec)})
 	}
@@ -255,6 +262,9 @@ func FromResult(r *kdb.Result) Result {
 // ToResult converts back to a model result.
 func (w Result) ToResult() (*kdb.Result, error) {
 	r := &kdb.Result{Op: abdl.Kind(w.Op), Count: w.Count, Cost: w.Cost}
+	for _, id := range w.Affected {
+		r.Affected = append(r.Affected, abdm.RecordID(id))
+	}
 	toStored := func(ws []StoredRecord) ([]kdb.StoredRecord, error) {
 		var out []kdb.StoredRecord
 		for _, sr := range ws {
