@@ -1,9 +1,11 @@
-# Standard verify tiers. `make check` is the extended tier: vet, formatting,
-# and the full test suite under the race detector.
+# Standard verify tiers. `make check` is the extended tier: vet (including
+# the observability package on its own), formatting, and the full test suite
+# under the race detector. `make bench` regenerates the paper experiments
+# and writes a machine-readable summary.
 
 GO ?= go
 
-.PHONY: build test check fmt
+.PHONY: build test check fmt bench
 
 build:
 	$(GO) build ./...
@@ -13,11 +15,15 @@ test:
 
 check:
 	$(GO) vet ./...
+	$(GO) vet ./internal/obs
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/mldsbench -json BENCH_2.json
 
 fmt:
 	gofmt -w .

@@ -104,16 +104,12 @@ func main() {
 		case line == `\cit`:
 			fmt.Println(dml.Tr.CIT())
 		case strings.HasPrefix(line, `\daplex `):
-			rows, err := dap.Execute(strings.TrimPrefix(line, `\daplex `))
+			out, err := dap.Execute(strings.TrimPrefix(line, `\daplex `))
 			if err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			if rows != nil {
-				fmt.Println(formatDaplex(rows))
-			} else {
-				fmt.Println("ok")
-			}
+			fmt.Println(out.Rendered)
 		case strings.HasPrefix(line, `\abdl `):
 			res, err := db.ExecABDL(strings.TrimPrefix(line, `\abdl `))
 			if err != nil {
@@ -127,26 +123,12 @@ func main() {
 				fmt.Println("error:", err)
 				continue
 			}
-			for _, req := range out.Requests {
+			for _, req := range out.DML.Requests {
 				fmt.Println("  ->", req)
 			}
-			fmt.Println(mlds.FormatOutcome(out, db.Net))
+			fmt.Println(out.Rendered)
 		}
 	}
-}
-
-func formatDaplex(rows []mlds.Row) string {
-	var fns []string
-	seen := map[string]bool{}
-	for _, r := range rows {
-		for fn := range r.Values {
-			if !seen[fn] {
-				seen[fn] = true
-				fns = append(fns, fn)
-			}
-		}
-	}
-	return mlds.FormatRows(rows, fns)
 }
 
 func fatal(err error) {

@@ -20,10 +20,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"mlds/internal/daplex"
 	"mlds/internal/kdb"
 	"mlds/internal/mbdsnet"
+	"mlds/internal/obs"
 	"mlds/internal/univ"
 	"mlds/internal/xform"
 )
@@ -33,6 +35,7 @@ func main() {
 	schemaFile := flag.String("schema", "", "Daplex schema file (default: built-in University)")
 	offset := flag.Uint64("offset", 1, "record-ID offset for this backend")
 	stride := flag.Uint64("stride", 1, "record-ID stride (= backend count)")
+	opsAddr := flag.String("ops", "", "HTTP address serving /metrics and /healthz (empty: disabled)")
 	flag.Parse()
 
 	src := univ.SchemaDDL
@@ -63,6 +66,17 @@ func main() {
 	}
 	fmt.Printf("mldsbackend: serving schema %q on %s (id offset %d stride %d)\n",
 		fun.Name, srv.Addr(), *offset, *stride)
+
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Instrument(reg, obs.L("backend", strconv.FormatUint(*offset, 10)))
+		ops, err := mbdsnet.ServeOps(*opsAddr, reg, nil)
+		if err != nil {
+			fatal(err)
+		}
+		defer ops.Close()
+		fmt.Printf("mldsbackend: metrics on http://%s/metrics\n", ops.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	mldsbench            run every experiment
-//	mldsbench -exp e6    run one experiment (e1..e11, a1..a3)
+//	mldsbench                     run every experiment
+//	mldsbench -exp e6             run one experiment (e1..e11, a1..a3)
+//	mldsbench -json BENCH.json    also write a machine-readable summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +20,36 @@ import (
 	"mlds/internal/experiments"
 )
 
+// benchEntry is one experiment in the machine-readable summary.
+type benchEntry struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	OK     bool    `json:"ok"`
+	WallMS float64 `json:"wall_ms"`
+	SimMS  float64 `json:"sim_ms"`
+}
+
+func writeJSON(path string, reports []*experiments.Report) error {
+	entries := make([]benchEntry, 0, len(reports))
+	for _, r := range reports {
+		entries = append(entries, benchEntry{
+			ID:     r.ID,
+			Title:  r.Title,
+			OK:     r.OK,
+			WallMS: float64(r.Wall.Microseconds()) / 1000,
+			SimMS:  float64(r.Sim.Microseconds()) / 1000,
+		})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
 	exp := flag.String("exp", "", "run a single experiment (e1..e11, a1..a3)")
+	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
 	flag.Parse()
 
 	runners := map[string]func() *experiments.Report{
@@ -45,20 +75,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mldsbench: unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
-		r := run()
+		r := experiments.Timed(run)
 		fmt.Println(r)
+		if *jsonPath != "" {
+			if err := writeJSON(*jsonPath, []*experiments.Report{r}); err != nil {
+				fmt.Fprintln(os.Stderr, "mldsbench:", err)
+				os.Exit(1)
+			}
+		}
 		if !r.OK {
 			os.Exit(1)
 		}
 		return
 	}
 
+	reports := experiments.All()
 	failed := 0
-	for _, r := range experiments.All() {
+	for _, r := range reports {
 		fmt.Println(r)
 		fmt.Println()
 		if !r.OK {
 			failed++
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "mldsbench:", err)
+			os.Exit(1)
 		}
 	}
 	if failed > 0 {

@@ -41,7 +41,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var daplexNames []string
-	for _, r := range rows {
+	for _, r := range rows.Rows {
 		daplexNames = append(daplexNames, r.Values["pname"][0].AsString())
 	}
 	sort.Strings(daplexNames)
@@ -55,15 +55,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if out.Found {
+		if out.DML.Found {
 			g := mustExec(dml, "GET major IN student")
-			if g.Values["major"].AsString() == "Computer Science" {
+			if g.DML.Values["major"].AsString() == "Computer Science" {
 				mustExec(dml, "FIND OWNER WITHIN person_student")
 				n := mustExec(dml, "GET pname IN person")
-				dmlNames = append(dmlNames, n.Values["pname"].AsString())
+				dmlNames = append(dmlNames, n.DML.Values["pname"].AsString())
 			}
 		}
-		if nxt := mustExec(dml, "FIND NEXT person WITHIN system_person"); nxt.EndOfSet {
+		if nxt := mustExec(dml, "FIND NEXT person WITHIN system_person"); nxt.DML.EndOfSet {
 			break
 		}
 	}
@@ -87,7 +87,7 @@ func main() {
 	mustExec(dml, "MOVE 'Advanced Database' TO title IN course")
 	mustExec(dml, "FIND ANY course USING title IN course")
 	out := mustExec(dml, "GET credits IN course")
-	fmt.Printf("  Daplex LET credits := 9 → DML GET sees credits = %s\n", out.Values["credits"])
+	fmt.Printf("  Daplex LET credits := 9 → DML GET sees credits = %s\n", out.DML.Values["credits"])
 
 	// And back: DML MODIFY, seen by Daplex.
 	mustExec(dml, "MOVE 4 TO credits IN course")
@@ -96,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  DML MODIFY credits := 4 → Daplex sees credits = %s\n", rows[0].Values["credits"][0])
+	fmt.Printf("  DML MODIFY credits := 4 → Daplex sees credits = %s\n", rows.Rows[0].Values["credits"][0])
 }
 
 func mustExec(sess *mlds.DMLSession, stmt string) *mlds.Outcome {

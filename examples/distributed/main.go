@@ -7,7 +7,11 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strconv"
+	"strings"
 
 	"mlds"
 	"mlds/internal/abdl"
@@ -15,6 +19,7 @@ import (
 	"mlds/internal/kdb"
 	"mlds/internal/mbds"
 	"mlds/internal/mbdsnet"
+	"mlds/internal/obs"
 	"mlds/internal/univgen"
 )
 
@@ -26,7 +31,9 @@ func main() {
 	}
 
 	// Start the slaves: one TCP backend server per partition, each with its
-	// own share of the database-key space.
+	// own share of the database-key space. One shared registry collects
+	// every partition's counters for the /metrics endpoint below.
+	reg := obs.NewRegistry()
 	var execs []mbds.Executor
 	for i := 0; i < backends; i++ {
 		store := kdb.NewStore(db.AB.Dir.Clone(), kdb.WithStrideIDs(uint64(i+1), backends))
@@ -35,6 +42,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer srv.Close()
+		srv.Instrument(reg, obs.L("backend", strconv.Itoa(i)))
 		fmt.Printf("backend %d serving on %s\n", i, srv.Addr())
 		rb, err := mbdsnet.Dial(srv.Addr())
 		if err != nil {
@@ -44,8 +52,20 @@ func main() {
 		execs = append(execs, rb)
 	}
 
+	// The ops endpoint: the whole cluster's metrics in Prometheus text
+	// format, plus a health check.
+	ops, err := mbdsnet.ServeOps("127.0.0.1:0", reg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	fmt.Printf("metrics: curl http://%s/metrics\n", ops.Addr())
+
 	// The master: a controller whose backends live across the bus.
-	sys, err := mbds.NewWithExecutors(db.AB.Dir, mbds.DefaultConfig(backends), execs)
+	kcfg := mbds.DefaultConfig(backends)
+	kcfg.Metrics = reg
+	kcfg.DBName = "university"
+	sys, err := mbds.NewWithExecutors(db.AB.Dir, kcfg, execs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +92,21 @@ func main() {
 		}
 	}
 	fmt.Printf("CS student record copies retrieved from the cluster: %d\n", len(res.Records))
+
+	// What the workload left in the cluster's counters.
+	resp, err := http.Get("http://" + ops.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nfrom /metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "mlds_server_exec_total") ||
+			strings.HasPrefix(line, "mlds_store_records{") {
+			fmt.Println("  " + line)
+		}
+	}
 
 	// Persistence: save the in-process engine's copy and restore it.
 	engine := mlds.New(mlds.KernelWith(2))

@@ -7,8 +7,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"mlds/internal/abdl"
@@ -16,6 +19,7 @@ import (
 	"mlds/internal/kdb"
 	"mlds/internal/mbds"
 	"mlds/internal/mbdsnet"
+	"mlds/internal/obs"
 	"mlds/internal/univgen"
 )
 
@@ -59,11 +63,23 @@ func main() {
 	cfg.RetryBackoff = 2 * time.Millisecond
 	cfg.BreakerThreshold = 2
 	cfg.ProbePeriod = 50 * time.Millisecond
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	cfg.DBName = "university"
 	sys, err := mbds.NewWithExecutors(db.AB.Dir, cfg, execs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sys.Close()
+
+	// The controller's counters — per-backend requests, retries, breaker
+	// trips — are scrapable while the scenario runs.
+	ops, err := mbdsnet.ServeOps("127.0.0.1:0", reg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	fmt.Printf("metrics: curl http://%s/metrics\n", ops.Addr())
 
 	n, err := db.Load(sys)
 	if err != nil {
@@ -130,4 +146,20 @@ func main() {
 	final := keys()
 	fmt.Printf("post-recovery run: %d CS student records\n", len(final))
 	printHealth("cluster health after recovery")
+
+	// Scrape the ops endpoint and show what the fault left in the counters.
+	resp, err := http.Get("http://" + ops.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nper-backend fault counters from /metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "mlds_backend_retries_total") ||
+			strings.HasPrefix(line, "mlds_backend_breaker_trips_total") ||
+			strings.HasPrefix(line, "mlds_backend_failures_total") {
+			fmt.Println("  " + line)
+		}
+	}
 }

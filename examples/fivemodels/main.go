@@ -29,7 +29,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(mlds.FormatRows(rows, []string{"dname"}))
+	fmt.Println(mlds.FormatRows(rows.Rows, []string{"dname"}))
 
 	// 2. Network / CODASYL-DML on the same functional database (the thesis).
 	fmt.Println("\n== network / CODASYL-DML (on the functional database) ==")
@@ -43,7 +43,7 @@ func main() {
 	}
 	must("MOVE 'Advanced Database' TO title IN course")
 	must("FIND ANY course USING title IN course")
-	fmt.Println(mlds.FormatOutcome(must("GET course"), fdb.Net))
+	fmt.Println(must("GET course").Rendered)
 
 	// 3. Relational / SQL.
 	fmt.Println("\n== relational / SQL ==")
@@ -69,8 +69,8 @@ CREATE TABLE emp (
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(rs.Columns)
-	for _, row := range rs.Rows {
+	fmt.Println(rs.SQL.Columns)
+	for _, row := range rs.SQL.Rows {
 		fmt.Println(row)
 	}
 
@@ -99,7 +99,7 @@ SEGMENT NAME IS course PARENT IS dept
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("GU found %s #%d: title = %s\n", out.Segment, out.Key, out.Values["title"])
+	fmt.Printf("GU found %s #%d: title = %s\n", out.DLI.Segment, out.DLI.Key, out.DLI.Values["title"])
 
 	// 5. Attribute-based / ABDL: the kernel language, direct.
 	fmt.Println("\n== attribute-based / ABDL (the kernel) ==")

@@ -41,7 +41,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(mlds.FormatOutcome(out, db.Net))
+		fmt.Println(out.Rendered)
 	}
 
 	// 2. Daplex on the same database.
@@ -54,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(mlds.FormatRows(rows, []string{"pname", "gpa"}))
+	fmt.Println(mlds.FormatRows(rows.Rows, []string{"pname", "gpa"}))
 
 	// 3. Raw ABDL: the kernel data language.
 	fmt.Println("\n== ABDL (kernel) interface ==")

@@ -35,16 +35,16 @@ func main() {
 				continue
 			}
 			fmt.Printf("  %s\n", s)
-			for _, req := range out.Requests {
+			for _, req := range out.DML.Requests {
 				fmt.Printf("    -> %s\n", req)
 			}
 			switch {
-			case out.EndOfSet:
+			case out.DML.EndOfSet:
 				fmt.Printf("    == END-OF-SET\n")
-			case len(out.Values) > 0:
-				fmt.Printf("    == %s\n", mlds.FormatOutcome(out, db.Net))
-			case out.Found:
-				fmt.Printf("    == current %s (key %d)\n", out.Record, out.Key)
+			case len(out.DML.Values) > 0:
+				fmt.Printf("    == %s\n", out.Rendered)
+			case out.DML.Found:
+				fmt.Printf("    == current %s (key %d)\n", out.DML.Record, out.DML.Key)
 			}
 		}
 	}

@@ -38,15 +38,15 @@ func TestConcurrentSessionsIsolatedCurrency(t *testing.T) {
 				errs <- err
 				return
 			}
-			myKey := out.Key
+			myKey := out.DML.Key
 			for i := 0; i < 50; i++ {
 				got, err := sess.Execute("GET pname IN person")
 				if err != nil {
 					errs <- fmt.Errorf("user %d: %w", u, err)
 					return
 				}
-				if got.Values["pname"].AsString() != name {
-					errs <- fmt.Errorf("user %d: current drifted to %v", u, got.Values["pname"])
+				if got.DML.Values["pname"].AsString() != name {
+					errs <- fmt.Errorf("user %d: current drifted to %v", u, got.DML.Values["pname"])
 					return
 				}
 				if sess.Tr.CIT().RunUnit.Key != myKey {
@@ -88,7 +88,7 @@ func TestConcurrentMixedInterfaces(t *testing.T) {
 					errs <- err
 					return
 				}
-				for _, r := range rows {
+				for _, r := range rows.Rows {
 					if len(r.Values["credits"]) != 1 {
 						errs <- fmt.Errorf("torn read: %v", r.Values)
 						return

@@ -12,12 +12,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"time"
 
 	"mlds/internal/abdl"
 	"mlds/internal/abdm"
-	"mlds/internal/codasyl"
 	"mlds/internal/dapkms"
 	"mlds/internal/daplex"
 	"mlds/internal/funcmodel"
@@ -30,10 +32,22 @@ import (
 	"mlds/internal/mbds"
 	"mlds/internal/netddl"
 	"mlds/internal/netmodel"
+	"mlds/internal/obs"
 	"mlds/internal/relkms"
 	"mlds/internal/relmodel"
 	"mlds/internal/sql"
 	"mlds/internal/xform"
+)
+
+// Sentinel errors for catalog lookups. Open errors wrap them, so callers
+// distinguish "no such database" from "wrong model for this interface" with
+// errors.Is.
+var (
+	// ErrNoDatabase reports a name absent from the catalog.
+	ErrNoDatabase = errors.New("core: no such database")
+	// ErrWrongModel reports a database whose model the requested language
+	// interface cannot serve.
+	ErrWrongModel = errors.New("core: language interface cannot serve this database model")
 )
 
 // Model identifies the data model a database was defined in. The catalog
@@ -64,9 +78,21 @@ func (m Model) String() string {
 	}
 }
 
-// Config configures the engine's kernel database systems.
+// Config configures the engine's kernel database systems and its
+// observability.
 type Config struct {
 	Kernel mbds.Config // per-database kernel configuration
+
+	// Metrics receives every database's counters and histograms; nil makes
+	// the system create its own registry (exposed by System.Metrics).
+	Metrics *obs.Registry
+	// Tracing records a per-request span tree on every session Outcome.
+	Tracing bool
+	// SlowThreshold routes statements at or above this wall time into the
+	// slow log (System.SlowLog); zero disables it.
+	SlowThreshold time.Duration
+	// SlowLogSize bounds the slow log ring (default 64).
+	SlowLogSize int
 }
 
 // DefaultConfig uses a 4-backend kernel per database.
@@ -76,7 +102,9 @@ func DefaultConfig() Config {
 
 // System is one MLDS instance.
 type System struct {
-	cfg Config
+	cfg     Config
+	metrics *obs.Registry
+	slow    *obs.SlowLog
 
 	mu  sync.Mutex
 	dbs map[string]*Database
@@ -98,15 +126,35 @@ type Database struct {
 	Dir     *abdm.Directory   // kernel directory (all models)
 	Kernel  *mbds.System
 	Ctrl    *kc.Controller
+
+	reg     *obs.Registry // the system's metrics registry
+	slow    *obs.SlowLog  // the system's slow-request log
+	tracing bool
 }
 
 // NewSystem builds an empty MLDS instance.
 func NewSystem(cfg Config) *System {
 	if cfg.Kernel.Backends == 0 {
-		cfg = DefaultConfig()
+		cfg.Kernel = mbds.DefaultConfig(4)
 	}
-	return &System{cfg: cfg, dbs: make(map[string]*Database)}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	return &System{
+		cfg:     cfg,
+		metrics: metrics,
+		slow:    obs.NewSlowLog(cfg.SlowThreshold, cfg.SlowLogSize),
+		dbs:     make(map[string]*Database),
+	}
 }
+
+// Metrics returns the system's metrics registry, ready for exposition via
+// obs.Handler or mbdsnet.ServeOps.
+func (s *System) Metrics() *obs.Registry { return s.metrics }
+
+// SlowLog returns the system's slow-request log.
+func (s *System) SlowLog() *obs.SlowLog { return s.slow }
 
 // Close shuts down every database's kernel.
 func (s *System) Close() {
@@ -196,12 +244,18 @@ func (s *System) register(db *Database) (*Database, error) {
 	if _, dup := s.dbs[db.Name]; dup {
 		return nil, fmt.Errorf("core: database %q already exists", db.Name)
 	}
-	kernel, err := mbds.New(db.Dir, s.cfg.Kernel)
+	kcfg := s.cfg.Kernel
+	kcfg.Metrics = s.metrics
+	kcfg.DBName = db.Name
+	kernel, err := mbds.New(db.Dir, kcfg)
 	if err != nil {
 		return nil, err
 	}
 	db.Kernel = kernel
 	db.Ctrl = kc.New(kernel)
+	db.reg = s.metrics
+	db.slow = s.slow
+	db.tracing = s.cfg.Tracing
 	s.dbs[db.Name] = db
 	return db, nil
 }
@@ -215,15 +269,43 @@ func (s *System) Database(name string) (*Database, bool) {
 	return db, ok
 }
 
-// Databases lists catalog entries (name → model).
-func (s *System) Databases() map[string]Model {
+// DatabaseInfo describes one catalog entry.
+type DatabaseInfo struct {
+	Name     string
+	Model    Model
+	Backends int // kernel backends serving the database
+	Records  int // record copies currently stored
+}
+
+// Databases lists the catalog sorted by name, so every listing (the REPL,
+// tests, tooling) is deterministic.
+func (s *System) Databases() []DatabaseInfo {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]Model, len(s.dbs))
-	for n, db := range s.dbs {
-		out[n] = db.Model
+	dbs := make([]*Database, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
 	}
+	s.mu.Unlock()
+	out := make([]DatabaseInfo, 0, len(dbs))
+	for _, db := range dbs {
+		out = append(out, DatabaseInfo{
+			Name:     db.Name,
+			Model:    db.Model,
+			Backends: db.Kernel.Backends(),
+			Records:  db.Kernel.Len(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// lookup resolves a database name, wrapping ErrNoDatabase on a miss.
+func (s *System) lookup(dbname string) (*Database, error) {
+	db, ok := s.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDatabase, dbname)
+	}
+	return db, nil
 }
 
 // LoadInstance bulk-loads a functional database instance built with the
@@ -261,9 +343,9 @@ type DMLSession struct {
 
 // OpenDML opens a CODASYL-DML session on the named database.
 func (s *System) OpenDML(dbname string) (*DMLSession, error) {
-	db, ok := s.Database(dbname)
-	if !ok {
-		return nil, fmt.Errorf("core: no database named %q", dbname)
+	db, err := s.lookup(dbname)
+	if err != nil {
+		return nil, err
 	}
 	switch db.Model {
 	case NetworkModel:
@@ -271,27 +353,8 @@ func (s *System) OpenDML(dbname string) (*DMLSession, error) {
 	case FunctionalModel:
 		return &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl)}, nil
 	default:
-		return nil, fmt.Errorf("core: the CODASYL-DML interface cannot serve a %s database", db.Model)
+		return nil, fmt.Errorf("%w: the CODASYL-DML interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-}
-
-// Execute parses and runs one DML statement.
-func (sess *DMLSession) Execute(stmtText string) (*kms.Outcome, error) {
-	st, err := codasyl.ParseStmt(stmtText)
-	if err != nil {
-		return nil, err
-	}
-	return sess.Tr.Exec(st)
-}
-
-// RunScript parses and runs a transaction script (statements plus PERFORM
-// loops), returning the outcome of every executed statement.
-func (sess *DMLSession) RunScript(text string) ([]*kms.Outcome, error) {
-	script, err := codasyl.ParseScript(text)
-	if err != nil {
-		return nil, err
-	}
-	return sess.Tr.ExecScript(script)
 }
 
 // DaplexSession is a Daplex user session on a functional database.
@@ -302,19 +365,14 @@ type DaplexSession struct {
 
 // OpenDaplex opens a Daplex session on the named functional database.
 func (s *System) OpenDaplex(dbname string) (*DaplexSession, error) {
-	db, ok := s.Database(dbname)
-	if !ok {
-		return nil, fmt.Errorf("core: no database named %q", dbname)
+	db, err := s.lookup(dbname)
+	if err != nil {
+		return nil, err
 	}
 	if db.Model != FunctionalModel {
-		return nil, fmt.Errorf("core: the Daplex interface cannot serve a %s database", db.Model)
+		return nil, fmt.Errorf("%w: the Daplex interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
 	return &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl)}, nil
-}
-
-// Execute parses and runs one Daplex DML statement.
-func (sess *DaplexSession) Execute(text string) ([]dapkms.Row, error) {
-	return sess.If.ExecText(text)
 }
 
 // SQLSession is a SQL user session on a relational database.
@@ -325,19 +383,14 @@ type SQLSession struct {
 
 // OpenSQL opens a SQL session on the named relational database.
 func (s *System) OpenSQL(dbname string) (*SQLSession, error) {
-	db, ok := s.Database(dbname)
-	if !ok {
-		return nil, fmt.Errorf("core: no database named %q", dbname)
+	db, err := s.lookup(dbname)
+	if err != nil {
+		return nil, err
 	}
 	if db.Model != RelationalModel {
-		return nil, fmt.Errorf("core: the SQL interface cannot serve a %s database", db.Model)
+		return nil, fmt.Errorf("%w: the SQL interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
 	return &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl)}, nil
-}
-
-// Execute parses and runs one SQL statement.
-func (sess *SQLSession) Execute(text string) (*relkms.ResultSet, error) {
-	return sess.If.ExecText(text)
 }
 
 // DLISession is a DL/I user session on a hierarchical database.
@@ -348,17 +401,12 @@ type DLISession struct {
 
 // OpenDLI opens a DL/I session on the named hierarchical database.
 func (s *System) OpenDLI(dbname string) (*DLISession, error) {
-	db, ok := s.Database(dbname)
-	if !ok {
-		return nil, fmt.Errorf("core: no database named %q", dbname)
+	db, err := s.lookup(dbname)
+	if err != nil {
+		return nil, err
 	}
 	if db.Model != HierarchicalModel {
-		return nil, fmt.Errorf("core: the DL/I interface cannot serve a %s database", db.Model)
+		return nil, fmt.Errorf("%w: the DL/I interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
 	return &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl)}, nil
-}
-
-// Execute parses and runs one DL/I call.
-func (sess *DLISession) Execute(text string) (*hiekms.Outcome, error) {
-	return sess.If.ExecText(text)
 }

@@ -47,9 +47,12 @@ func TestCreateFunctionalDatabase(t *testing.T) {
 	if _, err := s.CreateFunctional("university", univ.SchemaDDL); err == nil {
 		t.Error("duplicate database name accepted")
 	}
-	models := s.Databases()
-	if models["university"] != FunctionalModel {
-		t.Errorf("Databases() = %v", models)
+	infos := s.Databases()
+	if len(infos) != 1 || infos[0].Name != "university" || infos[0].Model != FunctionalModel {
+		t.Errorf("Databases() = %v", infos)
+	}
+	if infos[0].Backends != 2 || infos[0].Records == 0 {
+		t.Errorf("DatabaseInfo = %+v", infos[0])
 	}
 }
 
@@ -97,8 +100,8 @@ SET NAME IS works_in;
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Values["dname"].AsString() != "Sales" {
-		t.Errorf("owner dname = %v", out.Values)
+	if out.DML.Values["dname"].AsString() != "Sales" {
+		t.Errorf("owner dname = %v", out.DML.Values)
 	}
 }
 
@@ -171,7 +174,7 @@ func TestCrossModelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	var daplexNames []string
-	for _, r := range rows {
+	for _, r := range rows.Rows {
 		daplexNames = append(daplexNames, r.Values["pname"][0].AsString())
 	}
 	sort.Strings(daplexNames)
@@ -191,12 +194,12 @@ func TestCrossModelEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.Found {
+		if out.DML.Found {
 			g, err := dml.Execute("GET major IN student")
 			if err != nil {
 				t.Fatal(err)
 			}
-			if g.Values["major"].AsString() == "Computer Science" {
+			if g.DML.Values["major"].AsString() == "Computer Science" {
 				if _, err := dml.Execute("FIND CURRENT person WITHIN person_student"); err == nil {
 					t.Fatal("person is the owner of person_student; FIND CURRENT must reject it")
 				}
@@ -209,14 +212,14 @@ func TestCrossModelEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				dmlNames = append(dmlNames, name.Values["pname"].AsString())
+				dmlNames = append(dmlNames, name.DML.Values["pname"].AsString())
 			}
 		}
 		nxt, err := dml.Execute("FIND NEXT person WITHIN system_person")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if nxt.EndOfSet {
+		if nxt.DML.EndOfSet {
 			break
 		}
 	}
@@ -251,8 +254,8 @@ func TestSharedKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Values["credits"].AsInt() != 9 {
-		t.Errorf("Daplex update invisible to DML session: %v", out.Values)
+	if out.DML.Values["credits"].AsInt() != 9 {
+		t.Errorf("Daplex update invisible to DML session: %v", out.DML.Values)
 	}
 	// And the reverse: a DML MODIFY visible to Daplex.
 	if _, err := dml.Execute("MOVE 2 TO credits IN course"); err != nil {
@@ -265,8 +268,8 @@ func TestSharedKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 1 || rows[0].Values["credits"][0].AsInt() != 2 {
-		t.Errorf("DML update invisible to Daplex session: %v", rows)
+	if len(rows.Rows) != 1 || rows.Rows[0].Values["credits"][0].AsInt() != 2 {
+		t.Errorf("DML update invisible to Daplex session: %v", rows.Rows)
 	}
 }
 
@@ -304,8 +307,8 @@ CREATE TABLE emp (
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs.Rows) != 1 || rs.Rows[0][0].AsString() != "Ann" {
-		t.Errorf("rows = %v", rs.Rows)
+	if len(rs.SQL.Rows) != 1 || rs.SQL.Rows[0][0].AsString() != "Ann" {
+		t.Errorf("rows = %v", rs.SQL.Rows)
 	}
 	// SQL sessions are only for relational databases.
 	if _, err := s.OpenSQL("nosuch"); err == nil {
@@ -355,8 +358,8 @@ func TestSaveRestoreRelationalDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rs.Rows) != 1 || rs.Rows[0][0].AsInt() != 1 {
-		t.Errorf("rows = %v", rs.Rows)
+	if len(rs.SQL.Rows) != 1 || rs.SQL.Rows[0][0].AsInt() != 1 {
+		t.Errorf("rows = %v", rs.SQL.Rows)
 	}
 }
 
@@ -386,16 +389,16 @@ SEGMENT NAME IS course PARENT IS dept
 	}
 	for _, c := range steps {
 		out, err := sess.Execute(c)
-		if err != nil || out.Status != "" {
-			t.Fatalf("%s: %v %q", c, err, out.Status)
+		if err != nil || out.DLI.Status != "" {
+			t.Fatalf("%s: %v %q", c, err, out.DLI.Status)
 		}
 	}
 	out, err := sess.Execute("GU dept (dname = 'CS') course (title = 'OS')")
-	if err != nil || out.Status != "" {
-		t.Fatalf("GU: %v %q", err, out.Status)
+	if err != nil || out.DLI.Status != "" {
+		t.Fatalf("GU: %v %q", err, out.DLI.Status)
 	}
-	if out.Values["title"].AsString() != "OS" {
-		t.Errorf("values = %v", out.Values)
+	if out.DLI.Values["title"].AsString() != "OS" {
+		t.Errorf("values = %v", out.DLI.Values)
 	}
 	if _, err := s.OpenDLI("nosuch"); err == nil {
 		t.Error("phantom database accepted")
@@ -419,15 +422,15 @@ SEGMENT NAME IS course PARENT IS dept
 		t.Fatal(err)
 	}
 	again, err := sess2.Execute("GU dept (dname = 'CS') course (title = 'DB')")
-	if err != nil || again.Status != "" {
-		t.Fatalf("restored GU: %v %q", err, again.Status)
+	if err != nil || again.DLI.Status != "" {
+		t.Fatalf("restored GU: %v %q", err, again.DLI.Status)
 	}
 	// Key allocation resumes: a fresh ISRT must not collide.
 	nw, err := sess2.Execute("ISRT course (title = 'New')")
-	if err != nil || nw.Status != "" {
+	if err != nil || nw.DLI.Status != "" {
 		t.Fatal(err)
 	}
-	if nw.Key <= again.Key && db2.Kernel.Len() < 4 {
-		t.Errorf("key allocation did not resume: %d", nw.Key)
+	if nw.DLI.Key <= again.DLI.Key && db2.Kernel.Len() < 4 {
+		t.Errorf("key allocation did not resume: %d", nw.DLI.Key)
 	}
 }

@@ -56,15 +56,15 @@ func TestSaveRestoreFunctionalDatabase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Found {
+	if !out.DML.Found {
 		t.Fatal("persisted person lost")
 	}
 	got, err := dml2.Execute("GET pname IN person")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Values["pname"].AsString() != "Persisted Person" {
-		t.Errorf("restored values = %v", got.Values)
+	if got.DML.Values["pname"].AsString() != "Persisted Person" {
+		t.Errorf("restored values = %v", got.DML.Values)
 	}
 
 	// Key allocation resumes past restored keys: a new STORE must not
@@ -91,7 +91,7 @@ func TestSaveRestoreFunctionalDatabase(t *testing.T) {
 			continue
 		}
 		if v, ok := sr.Rec.Get("person"); ok {
-			if keys[v.AsInt()] && v.AsInt() == st.Key {
+			if keys[v.AsInt()] && v.AsInt() == st.DML.Key {
 				// the new key appearing once is fine; collision means the
 				// same key on two different ssn values — checked below
 				continue
@@ -99,7 +99,7 @@ func TestSaveRestoreFunctionalDatabase(t *testing.T) {
 			keys[v.AsInt()] = true
 		}
 	}
-	if !keys[st.Key] {
+	if !keys[st.DML.Key] {
 		t.Error("new person record missing from snapshot")
 	}
 
@@ -113,7 +113,7 @@ func TestSaveRestoreFunctionalDatabase(t *testing.T) {
 		t.Fatal(err)
 	}
 	var names []string
-	for _, r := range rows {
+	for _, r := range rows.Rows {
 		names = append(names, r.Values["pname"][0].AsString())
 	}
 	sort.Strings(names)
@@ -169,7 +169,7 @@ RECORD NAME IS emp
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Found {
+	if !out.DML.Found {
 		t.Error("restored network record lost")
 	}
 }
@@ -233,7 +233,7 @@ func TestImagePlusJournalRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Found {
+	if !out.DML.Found {
 		t.Error("journalled STORE lost in recovery")
 	}
 	if _, err := dml2.Execute("MOVE 'Advanced Database' TO title IN course"); err != nil {
@@ -246,7 +246,7 @@ func TestImagePlusJournalRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Values["credits"].AsInt() != 6 {
-		t.Errorf("journalled MODIFY lost: credits = %v", got.Values)
+	if got.DML.Values["credits"].AsInt() != 6 {
+		t.Errorf("journalled MODIFY lost: credits = %v", got.DML.Values)
 	}
 }

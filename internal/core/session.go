@@ -1,0 +1,297 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/codasyl"
+	"mlds/internal/dapkms"
+	"mlds/internal/daplex"
+	"mlds/internal/dli"
+	"mlds/internal/hiekms"
+	"mlds/internal/kdb"
+	"mlds/internal/kfs"
+	"mlds/internal/kms"
+	"mlds/internal/obs"
+	"mlds/internal/relkms"
+	"mlds/internal/sql"
+)
+
+// Language names, as reported by Session.Language and accepted (among other
+// spellings) by System.Open.
+const (
+	LangDML    = "codasyl-dml"
+	LangDaplex = "daplex"
+	LangSQL    = "sql"
+	LangDLI    = "dli"
+	LangABDL   = "abdl"
+)
+
+// Outcome is the unified result of one statement through any language
+// interface. The language-specific payload lives in the matching field; the
+// cross-language envelope (timing, trace, rendered display text) is always
+// populated.
+type Outcome struct {
+	Language string        // which interface executed the statement
+	Text     string        // the statement, as submitted
+	Rendered string        // KFS display rendering of the result
+	Wall     time.Duration // wall-clock time of the whole request
+	Sim      time.Duration // simulated kernel response time charged
+	Trace    *obs.Span     // root request span; nil unless Config.Tracing
+
+	DML    *kms.Outcome      // CODASYL-DML
+	Rows   []dapkms.Row      // Daplex
+	SQL    *relkms.ResultSet // SQL
+	DLI    *hiekms.Outcome   // DL/I
+	Kernel *kdb.Result       // raw ABDL
+}
+
+// Session is one user's connection to a database through one language
+// interface. All five session types implement it, so callers (the REPL, the
+// experiments, load generators) need not switch over concrete types.
+type Session interface {
+	Execute(text string) (*Outcome, error)
+	Close() error
+	Language() string
+}
+
+// Open opens a session on the named database in the given language. The
+// language is matched case-insensitively and accepts the common aliases
+// ("dml", "codasyl", "codasyl-dml"; "daplex"; "sql"; "dli", "dl/i", "dl1";
+// "abdl"). The typed openers remain for callers that need the concrete
+// session type.
+func (s *System) Open(dbname, language string) (Session, error) {
+	switch strings.ToLower(strings.TrimSpace(language)) {
+	case "dml", "codasyl", "codasyl-dml":
+		return s.OpenDML(dbname)
+	case "daplex":
+		return s.OpenDaplex(dbname)
+	case "sql":
+		return s.OpenSQL(dbname)
+	case "dli", "dl/i", "dl1", "dl/1":
+		return s.OpenDLI(dbname)
+	case "abdl":
+		return s.OpenABDL(dbname)
+	default:
+		return nil, fmt.Errorf("core: unknown language %q (want dml, daplex, sql, dli or abdl)", language)
+	}
+}
+
+// run executes one statement through the observability envelope shared by
+// every session type: it starts the root "request" span when tracing is on,
+// times the statement, charges the session metrics, and feeds the slow log.
+// exec fills the outcome's language-specific payload and Rendered text.
+func (db *Database) run(lang, text string, exec func(ctx context.Context, out *Outcome) error) (*Outcome, error) {
+	ctx := context.Background()
+	out := &Outcome{Language: lang, Text: text}
+	var root *obs.Span
+	if db.tracing {
+		ctx, root = obs.NewTrace(ctx, "request")
+		root.SetAttr("db", db.Name)
+		root.SetAttr("language", lang)
+		out.Trace = root
+	}
+	start := time.Now()
+	simBefore := db.Ctrl.SimTime()
+	err := exec(ctx, out)
+	out.Wall = time.Since(start)
+	out.Sim = db.Ctrl.SimTime() - simBefore
+	root.AddSim(out.Sim)
+	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	root.End()
+
+	dbL, langL := obs.L("db", db.Name), obs.L("language", lang)
+	db.reg.Counter("mlds_session_requests_total",
+		"statements executed through the language interfaces", dbL, langL).Inc()
+	if err != nil {
+		db.reg.Counter("mlds_session_errors_total",
+			"statements that returned an error", dbL, langL).Inc()
+	}
+	db.reg.Histogram("mlds_session_seconds",
+		"wall-clock latency per statement", nil, dbL, langL).Observe(out.Wall.Seconds())
+	if db.slow.Record(obs.SlowEntry{DB: db.Name, Language: lang, Text: text, Wall: out.Wall, Sim: out.Sim}) {
+		db.reg.Counter("mlds_slow_requests_total",
+			"statements at or above the slow threshold", dbL).Inc()
+	}
+	return out, err
+}
+
+// Execute parses and runs one DML statement.
+func (sess *DMLSession) Execute(text string) (*Outcome, error) {
+	return sess.DB.run(LangDML, text, func(ctx context.Context, out *Outcome) error {
+		_, pspan := obs.StartSpan(ctx, "parse")
+		st, err := codasyl.ParseStmt(text)
+		pspan.End()
+		if err != nil {
+			return err
+		}
+		tctx, tspan := obs.StartSpan(ctx, "kms.translate")
+		dmlOut, err := sess.Tr.ExecCtx(tctx, st)
+		tspan.End()
+		out.DML = dmlOut
+		if err != nil {
+			return err
+		}
+		_, fspan := obs.StartSpan(ctx, "kfs.format")
+		out.Rendered = kfs.FormatOutcome(dmlOut, sess.Tr.Schema())
+		fspan.End()
+		return nil
+	})
+}
+
+// RunScript parses and runs a transaction script (statements plus PERFORM
+// loops), returning the typed outcome of every executed statement.
+func (sess *DMLSession) RunScript(text string) ([]*kms.Outcome, error) {
+	script, err := codasyl.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Tr.ExecScript(script)
+}
+
+// Close releases the session. DML sessions hold no kernel resources beyond
+// their currency state, so closing is immediate.
+func (sess *DMLSession) Close() error { return nil }
+
+// Language reports the session's language interface.
+func (sess *DMLSession) Language() string { return LangDML }
+
+// Execute parses and runs one Daplex DML statement.
+func (sess *DaplexSession) Execute(text string) (*Outcome, error) {
+	return sess.DB.run(LangDaplex, text, func(ctx context.Context, out *Outcome) error {
+		_, pspan := obs.StartSpan(ctx, "parse")
+		st, err := daplex.ParseDML(text)
+		pspan.End()
+		if err != nil {
+			return err
+		}
+		tctx, tspan := obs.StartSpan(ctx, "kms.translate")
+		rows, err := sess.If.ExecCtx(tctx, st)
+		tspan.End()
+		out.Rows = rows
+		if err != nil {
+			return err
+		}
+		_, fspan := obs.StartSpan(ctx, "kfs.format")
+		if len(rows) > 0 {
+			out.Rendered = kfs.FormatRowsAuto(rows)
+		} else {
+			out.Rendered = "ok"
+		}
+		fspan.End()
+		return nil
+	})
+}
+
+// Close releases the session.
+func (sess *DaplexSession) Close() error { return nil }
+
+// Language reports the session's language interface.
+func (sess *DaplexSession) Language() string { return LangDaplex }
+
+// Execute parses and runs one SQL statement.
+func (sess *SQLSession) Execute(text string) (*Outcome, error) {
+	return sess.DB.run(LangSQL, text, func(ctx context.Context, out *Outcome) error {
+		_, pspan := obs.StartSpan(ctx, "parse")
+		st, err := sql.Parse(text)
+		pspan.End()
+		if err != nil {
+			return err
+		}
+		tctx, tspan := obs.StartSpan(ctx, "kms.translate")
+		rs, err := sess.If.ExecCtx(tctx, st)
+		tspan.End()
+		out.SQL = rs
+		if err != nil {
+			return err
+		}
+		_, fspan := obs.StartSpan(ctx, "kfs.format")
+		out.Rendered = kfs.FormatResultSet(rs)
+		fspan.End()
+		return nil
+	})
+}
+
+// Close releases the session.
+func (sess *SQLSession) Close() error { return nil }
+
+// Language reports the session's language interface.
+func (sess *SQLSession) Language() string { return LangSQL }
+
+// Execute parses and runs one DL/I call.
+func (sess *DLISession) Execute(text string) (*Outcome, error) {
+	return sess.DB.run(LangDLI, text, func(ctx context.Context, out *Outcome) error {
+		_, pspan := obs.StartSpan(ctx, "parse")
+		call, err := dli.Parse(text)
+		pspan.End()
+		if err != nil {
+			return err
+		}
+		tctx, tspan := obs.StartSpan(ctx, "kms.translate")
+		res, err := sess.If.ExecCtx(tctx, call)
+		tspan.End()
+		out.DLI = res
+		if err != nil {
+			return err
+		}
+		_, fspan := obs.StartSpan(ctx, "kfs.format")
+		out.Rendered = kfs.FormatDLI(res)
+		fspan.End()
+		return nil
+	})
+}
+
+// Close releases the session.
+func (sess *DLISession) Close() error { return nil }
+
+// Language reports the session's language interface.
+func (sess *DLISession) Language() string { return LangDLI }
+
+// ABDLSession is a raw attribute-based session: statements are single ABDL
+// requests executed directly against the kernel — the fifth language
+// interface of the paper's Figure 1.2.
+type ABDLSession struct {
+	DB *Database
+}
+
+// OpenABDL opens a raw ABDL session. Every database model is served: ABDL
+// addresses the kernel representation beneath all of them.
+func (s *System) OpenABDL(dbname string) (*ABDLSession, error) {
+	db, err := s.lookup(dbname)
+	if err != nil {
+		return nil, err
+	}
+	return &ABDLSession{DB: db}, nil
+}
+
+// Execute parses and runs one ABDL request.
+func (sess *ABDLSession) Execute(text string) (*Outcome, error) {
+	return sess.DB.run(LangABDL, text, func(ctx context.Context, out *Outcome) error {
+		_, pspan := obs.StartSpan(ctx, "parse")
+		req, err := abdl.Parse(text)
+		pspan.End()
+		if err != nil {
+			return err
+		}
+		res, err := sess.DB.Ctrl.ExecCtx(ctx, req)
+		out.Kernel = res
+		if err != nil {
+			return err
+		}
+		_, fspan := obs.StartSpan(ctx, "kfs.format")
+		out.Rendered = kfs.FormatResult(res)
+		fspan.End()
+		return nil
+	})
+}
+
+// Close releases the session.
+func (sess *ABDLSession) Close() error { return nil }
+
+// Language reports the session's language interface.
+func (sess *ABDLSession) Language() string { return LangABDL }

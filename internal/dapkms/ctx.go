@@ -1,0 +1,35 @@
+package dapkms
+
+import (
+	"context"
+
+	"mlds/internal/abdl"
+	"mlds/internal/daplex"
+	"mlds/internal/kdb"
+)
+
+// ExecCtx executes one Daplex statement under the request context, so the
+// controller and kernel attach their trace spans beneath the caller's. An
+// Interface serves one session at a time, so storing the context for the
+// statement's duration is safe.
+func (i *Interface) ExecCtx(ctx context.Context, st daplex.DMLStmt) ([]Row, error) {
+	i.reqCtx = ctx
+	defer func() { i.reqCtx = nil }()
+	return i.Exec(st)
+}
+
+// ExecTextCtx is ExecText under a request context.
+func (i *Interface) ExecTextCtx(ctx context.Context, src string) ([]Row, error) {
+	i.reqCtx = ctx
+	defer func() { i.reqCtx = nil }()
+	return i.ExecText(src)
+}
+
+// kcExec routes every kernel request through the session's current context.
+func (i *Interface) kcExec(req *abdl.Request) (*kdb.Result, error) {
+	ctx := i.reqCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return i.kc.ExecCtx(ctx, req)
+}

@@ -7,6 +7,8 @@
 package dapkms
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -25,6 +27,7 @@ type Interface struct {
 	mapping *xform.Mapping
 	ab      *xform.ABSchema
 	kc      *kc.Controller
+	reqCtx  context.Context // set by ExecCtx for the statement's duration
 }
 
 // New builds a Daplex interface over a transformed functional database.
@@ -104,7 +107,7 @@ func filePredOf(typeName string) abdm.Predicate {
 func (i *Interface) keysMatching(file string, conds abdm.Conjunction) (map[currency.Key]bool, error) {
 	q := abdm.Conjunction{filePredOf(file)}
 	q = append(q, conds...)
-	res, err := i.kc.Exec(abdl.NewRetrieve(abdm.Query{q}, i.ab.KeyOf(file)))
+	res, err := i.kcExec(abdl.NewRetrieve(abdm.Query{q}, i.ab.KeyOf(file)))
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +189,7 @@ func (i *Interface) ForEach(st *daplex.ForEach) ([]Row, error) {
 				{Attr: i.ab.KeyOf(home), Op: abdm.OpEq, Val: abdm.Int(k)},
 			})
 		}
-		res, err := i.kc.Exec(abdl.NewRetrieve(q, append([]string{i.ab.KeyOf(home)}, fns...)...))
+		res, err := i.kcExec(abdl.NewRetrieve(q, append([]string{i.ab.KeyOf(home)}, fns...)...))
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +306,7 @@ func (i *Interface) Create(st *daplex.Create) error {
 				rec.Set(attr, abdm.Null())
 			}
 		}
-		if _, err := i.kc.Exec(abdl.NewInsert(rec)); err != nil {
+		if _, err := i.kcExec(abdl.NewInsert(rec)); err != nil {
 			return err
 		}
 	}
@@ -343,7 +346,7 @@ func (i *Interface) Let(st *daplex.Let) error {
 			abdm.And(filePredOf(home), abdm.Predicate{Attr: i.ab.KeyOf(home), Op: abdm.OpEq, Val: abdm.Int(k)}),
 			abdl.Modifier{Attr: st.Func, Val: val},
 		)
-		if _, err := i.kc.Exec(req); err != nil {
+		if _, err := i.kcExec(req); err != nil {
 			return err
 		}
 	}
@@ -374,7 +377,7 @@ func (i *Interface) Destroy(st *daplex.Destroy) error {
 				filePredOf(file),
 				abdm.Predicate{Attr: i.ab.KeyOf(file), Op: abdm.OpEq, Val: abdm.Int(k)},
 			))
-			if _, err := i.kc.Exec(req); err != nil {
+			if _, err := i.kcExec(req); err != nil {
 				return err
 			}
 		}
@@ -416,7 +419,7 @@ func (i *Interface) checkUnreferenced(files []string, key currency.Key) error {
 		if inFiles(refFile) {
 			continue // the referencing records are being destroyed too
 		}
-		res, err := i.kc.Exec(abdl.NewRetrieve(
+		res, err := i.kcExec(abdl.NewRetrieve(
 			abdm.And(filePredOf(refFile),
 				abdm.Predicate{Attr: aset.Attr, Op: abdm.OpEq, Val: abdm.Int(key)}),
 			i.ab.KeyOf(refFile),

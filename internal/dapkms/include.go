@@ -68,7 +68,7 @@ func (i *Interface) Include(st *daplex.Include) error {
 				link.Set(i.ab.KeyOf(si.LinkRecord), abdm.Int(i.kc.NextKey()))
 				link.Set(st.Func, abdm.Int(owner))
 				link.Set(si.PairSet, abdm.Int(tgt))
-				if _, err := i.kc.Exec(abdl.NewInsert(link)); err != nil {
+				if _, err := i.kcExec(abdl.NewInsert(link)); err != nil {
 					return err
 				}
 			}
@@ -118,7 +118,7 @@ func (i *Interface) Exclude(st *daplex.Exclude) error {
 					abdm.Predicate{Attr: st.Func, Op: abdm.OpEq, Val: abdm.Int(owner)},
 					abdm.Predicate{Attr: si.PairSet, Op: abdm.OpEq, Val: abdm.Int(tgt)},
 				)
-				if _, err := i.kc.Exec(abdl.NewDelete(q)); err != nil {
+				if _, err := i.kcExec(abdl.NewDelete(q)); err != nil {
 					return err
 				}
 			}
@@ -190,12 +190,12 @@ func (i *Interface) includeOwnerSide(aset xform.ABSet, owner currency.Key, val a
 			),
 			abdl.Modifier{Attr: aset.Attr, Val: val},
 		)
-		_, err := i.kc.Exec(req)
+		_, err := i.kcExec(req)
 		return err
 	}
 	cp := copies[0].Clone()
 	cp.Set(aset.Attr, val)
-	_, err = i.kc.Exec(abdl.NewInsert(cp))
+	_, err = i.kcExec(abdl.NewInsert(cp))
 	return err
 }
 
@@ -223,16 +223,16 @@ func (i *Interface) excludeOwnerSide(aset xform.ABSet, owner currency.Key, val a
 		abdm.Predicate{Attr: aset.Attr, Op: abdm.OpEq, Val: val},
 	)
 	if others > 0 {
-		_, err := i.kc.Exec(abdl.NewDelete(qual))
+		_, err := i.kcExec(abdl.NewDelete(qual))
 		return err
 	}
-	_, err = i.kc.Exec(abdl.NewUpdate(qual, abdl.Modifier{Attr: aset.Attr, Val: abdm.Null()}))
+	_, err = i.kcExec(abdl.NewUpdate(qual, abdl.Modifier{Attr: aset.Attr, Val: abdm.Null()}))
 	return err
 }
 
 // copiesOf fetches every kernel record copy of the entity in the file.
 func (i *Interface) copiesOf(file string, key currency.Key) ([]*abdm.Record, error) {
-	res, err := i.kc.Exec(abdl.NewRetrieve(abdm.And(
+	res, err := i.kcExec(abdl.NewRetrieve(abdm.And(
 		filePredOf(file),
 		abdm.Predicate{Attr: i.ab.KeyOf(file), Op: abdm.OpEq, Val: abdm.Int(key)},
 	), abdl.AllAttrs))

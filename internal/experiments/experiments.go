@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"mlds/internal/daplex"
 	"mlds/internal/funcmodel"
@@ -30,6 +31,12 @@ type Report struct {
 	Title string
 	Body  string
 	OK    bool
+
+	// Wall is the wall-clock time the experiment took (stamped by Timed).
+	Wall time.Duration
+	// Sim is the simulated kernel time the experiment charged, where the
+	// experiment has a simulated-time figure; zero for pure-schema work.
+	Sim time.Duration
 }
 
 func (r *Report) String() string {
@@ -40,24 +47,37 @@ func (r *Report) String() string {
 	return fmt.Sprintf("=== %s: %s [%s] ===\n%s", r.ID, r.Title, status, r.Body)
 }
 
-// All runs every experiment in order.
+// All runs every experiment in order, stamping wall-clock times.
 func All() []*Report {
-	return []*Report{
-		E1SchemaParse(),
-		E2Transform(),
-		E3ABMapping(),
-		E4EntitySubtypeGoldens(),
-		E5Translations(),
-		E6BackendsScaling(),
-		E7CapacityGrowth(),
-		E8CrossModel(),
-		E9SharedKernel(),
-		E10FiveInterfaces(),
-		E11FaultTolerance(),
-		AblationIndexVsScan(),
-		AblationParallelVsSerial(),
-		AblationDirectVsPreprocess(),
+	runners := []func() *Report{
+		E1SchemaParse,
+		E2Transform,
+		E3ABMapping,
+		E4EntitySubtypeGoldens,
+		E5Translations,
+		E6BackendsScaling,
+		E7CapacityGrowth,
+		E8CrossModel,
+		E9SharedKernel,
+		E10FiveInterfaces,
+		E11FaultTolerance,
+		AblationIndexVsScan,
+		AblationParallelVsSerial,
+		AblationDirectVsPreprocess,
 	}
+	out := make([]*Report, 0, len(runners))
+	for _, run := range runners {
+		out = append(out, Timed(run))
+	}
+	return out
+}
+
+// Timed runs one experiment and stamps its wall-clock time.
+func Timed(run func() *Report) *Report {
+	start := time.Now()
+	r := run()
+	r.Wall = time.Since(start)
+	return r
 }
 
 func report(id, title string, ok bool, body string) *Report {

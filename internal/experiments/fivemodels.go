@@ -37,7 +37,7 @@ func E10FiveInterfaces() *Report {
 	if _, err := dap.Execute("CREATE department (dname := 'History', building := 'Hall H');"); check("daplex CREATE", err) {
 		rows, err := dap.Execute("FOR EACH department PRINT dname;")
 		if check("daplex FOR EACH", err) {
-			fmt.Fprintf(&b, "%-22s %d departments via Daplex\n", "functional/Daplex", len(rows))
+			fmt.Fprintf(&b, "%-22s %d departments via Daplex\n", "functional/Daplex", len(rows.Rows))
 		}
 	}
 
@@ -52,7 +52,7 @@ func E10FiveInterfaces() *Report {
 		if !check("codasyl "+stmt, err) {
 			break
 		}
-		if v, okv := out.Values["dname"]; okv {
+		if v, okv := out.DML.Values["dname"]; okv {
 			fmt.Fprintf(&b, "%-22s GET dname = %s (on the functional database)\n", "network/CODASYL-DML", v)
 		}
 	}
@@ -65,7 +65,7 @@ func E10FiveInterfaces() *Report {
 		if check("sql INSERT", err) {
 			rs, err := sq.Execute("SELECT COUNT(*) FROM emp")
 			if check("sql SELECT", err) {
-				fmt.Fprintf(&b, "%-22s COUNT(*) = %s\n", "relational/SQL", rs.Rows[0][0])
+				fmt.Fprintf(&b, "%-22s COUNT(*) = %s\n", "relational/SQL", rs.SQL.Rows[0][0])
 			}
 		}
 	}
@@ -84,11 +84,11 @@ func E10FiveInterfaces() *Report {
 		}
 		out, err := dl.Execute("GU dept (dname = 'CS') course (ctitle = 'DB')")
 		if check("dli GU", err) {
-			if out.Status != "" {
+			if out.DLI.Status != "" {
 				ok = false
-				fmt.Fprintf(&b, "dli GU status %q\n", out.Status)
+				fmt.Fprintf(&b, "dli GU status %q\n", out.DLI.Status)
 			} else {
-				fmt.Fprintf(&b, "%-22s GU course ctitle = %s\n", "hierarchical/DL-I", out.Values["ctitle"])
+				fmt.Fprintf(&b, "%-22s GU course ctitle = %s\n", "hierarchical/DL-I", out.DLI.Values["ctitle"])
 			}
 		}
 	}

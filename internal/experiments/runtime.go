@@ -110,7 +110,9 @@ func E5Translations() *Report {
 	run("MODIFY credits IN course", "UPDATE ((FILE = 'course') AND (course = ")
 	// VI.H ERASE of the fresh course.
 	run("ERASE course", "DELETE ((FILE = 'course') AND (course = ")
-	return report(id, title, ok, b.String())
+	r := report(id, title, ok, b.String())
+	r.Sim = s.ctrl.SimTime()
+	return r
 }
 
 func outHas(out *kms.Outcome, substr string) bool {
@@ -159,12 +161,13 @@ func E6BackendsScaling() *Report {
 	fmt.Fprintf(&b, "%-10s %-14s %s\n", "backends", "response", "speedup")
 	var base time.Duration
 	ok := true
-	var prev time.Duration
+	var prev, sim time.Duration
 	for _, n := range []int{1, 2, 4, 8} {
 		rt, err := ResponseTime(n, 1)
 		if err != nil {
 			return failf(id, title, "sweep: %v", err)
 		}
+		sim += rt
 		if n == 1 {
 			base = rt
 		} else if float64(rt) > 0.8*float64(prev) {
@@ -173,7 +176,9 @@ func E6BackendsScaling() *Report {
 		prev = rt
 		fmt.Fprintf(&b, "%-10d %-14v %.2fx\n", n, rt, float64(base)/float64(rt))
 	}
-	return report(id, title, ok, b.String())
+	r := report(id, title, ok, b.String())
+	r.Sim = sim
+	return r
 }
 
 // E7CapacityGrowth regenerates MBDS claim 2: response-time invariance when
@@ -183,12 +188,14 @@ func E7CapacityGrowth() *Report {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-10s %-10s %s\n", "backends", "scale", "response")
 	var times []time.Duration
+	var sim time.Duration
 	for _, n := range []int{1, 2, 4, 8} {
 		rt, err := ResponseTime(n, n)
 		if err != nil {
 			return failf(id, title, "sweep: %v", err)
 		}
 		times = append(times, rt)
+		sim += rt
 		fmt.Fprintf(&b, "%-10d %-10d %v\n", n, n, rt)
 	}
 	ok := true
@@ -198,7 +205,9 @@ func E7CapacityGrowth() *Report {
 			ok = false
 		}
 	}
-	return report(id, title, ok, b.String())
+	r := report(id, title, ok, b.String())
+	r.Sim = sim
+	return r
 }
 
 // E8CrossModel verifies the thesis goal: the same question answered by the
@@ -339,7 +348,9 @@ func AblationIndexVsScan() *Report {
 		"path", "response", "records examined",
 		"indexed", idxT, idxExam,
 		"scan", scanT, scanExam)
-	return report(id, title, ok, body)
+	r := report(id, title, ok, body)
+	r.Sim = idxT + scanT
+	return r
 }
 
 // AblationParallelVsSerial compares parallel broadcast against serial

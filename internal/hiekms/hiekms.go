@@ -6,6 +6,8 @@
 package hiekms
 
 import (
+	"context"
+
 	"fmt"
 
 	"mlds/internal/abdl"
@@ -83,6 +85,7 @@ type position struct {
 type Interface struct {
 	schema *hiemodel.Schema
 	kc     *kc.Controller
+	reqCtx context.Context // set by ExecCtx for the call's duration
 
 	pos    position // current position (last GU/GN/GNP/ISRT target)
 	anchor position // parentage for GNP, set by GU/GN
@@ -143,7 +146,7 @@ func (i *Interface) occurrences(seg *hiemodel.Segment, conds []dli.Cond, parent 
 		_ = f
 		conj = append(conj, abdm.Predicate{Attr: c.Field, Op: c.Op, Val: c.Val})
 	}
-	res, err := i.kc.Exec(abdl.NewRetrieve(abdm.Query{conj}, abdl.AllAttrs))
+	res, err := i.kcExec(abdl.NewRetrieve(abdm.Query{conj}, abdl.AllAttrs))
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +185,7 @@ func (i *Interface) fetch(p position) (*abdm.Record, error) {
 	}
 	conj := abdm.Conjunction{filePred(seg.Name),
 		{Attr: seg.Name, Op: abdm.OpEq, Val: abdm.Int(p.Key)}}
-	res, err := i.kc.Exec(abdl.NewRetrieve(abdm.Query{conj}, abdl.AllAttrs))
+	res, err := i.kcExec(abdl.NewRetrieve(abdm.Query{conj}, abdl.AllAttrs))
 	if err != nil {
 		return nil, err
 	}
@@ -455,7 +458,7 @@ func (i *Interface) execISRT(is *dli.ISRT) (*Outcome, error) {
 			rec.Set(f.Name, abdm.Null())
 		}
 	}
-	if _, err := i.kc.Exec(abdl.NewInsert(rec)); err != nil {
+	if _, err := i.kcExec(abdl.NewInsert(rec)); err != nil {
 		return nil, err
 	}
 	i.pos = position{Seg: seg.Name, Key: key, Valid: true}
@@ -525,7 +528,7 @@ func (i *Interface) execREPL(r *dli.REPL) (*Outcome, error) {
 	}
 	q := abdm.And(filePred(seg.Name),
 		abdm.Predicate{Attr: seg.Name, Op: abdm.OpEq, Val: abdm.Int(i.pos.Key)})
-	if _, err := i.kc.Exec(abdl.NewUpdate(q, mods...)); err != nil {
+	if _, err := i.kcExec(abdl.NewUpdate(q, mods...)); err != nil {
 		return nil, err
 	}
 	return i.outcomeFor(i.pos)
@@ -558,6 +561,6 @@ func (i *Interface) deleteSubtree(p position) error {
 	}
 	q := abdm.And(filePred(p.Seg),
 		abdm.Predicate{Attr: p.Seg, Op: abdm.OpEq, Val: abdm.Int(p.Key)})
-	_, err = i.kc.Exec(abdl.NewDelete(q))
+	_, err = i.kcExec(abdl.NewDelete(q))
 	return err
 }

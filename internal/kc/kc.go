@@ -7,6 +7,7 @@
 package kc
 
 import (
+	"context"
 	"encoding/gob"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"mlds/internal/currency"
 	"mlds/internal/kdb"
 	"mlds/internal/mbds"
+	"mlds/internal/obs"
 )
 
 // Controller mediates between one language interface and the kernel
@@ -40,15 +42,29 @@ func (c *Controller) System() *mbds.System { return c.sys }
 
 // Exec validates and executes one ABDL request, recording it in the trace.
 func (c *Controller) Exec(req *abdl.Request) (*kdb.Result, error) {
+	return c.ExecCtx(context.Background(), req)
+}
+
+// ExecCtx is Exec carrying a request context. When the context holds an obs
+// trace, the request becomes a "kc.exec" span (with the rendered ABDL as an
+// attribute and the simulated kernel time charged to it) whose children are
+// the per-backend fan-out spans recorded by MBDS.
+func (c *Controller) ExecCtx(ctx context.Context, req *abdl.Request) (*kdb.Result, error) {
 	c.mu.Lock()
 	if c.tracing {
 		c.trace = append(c.trace, req.String())
 	}
 	c.mu.Unlock()
-	res, t, err := c.sys.ExecTimed(req)
+	ctx, span := obs.StartSpan(ctx, "kc.exec")
+	span.SetAttr("abdl", req.String())
+	res, t, err := c.sys.ExecTimedCtx(ctx, req)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		return nil, err
 	}
+	span.AddSim(t)
+	span.End()
 	c.mu.Lock()
 	c.simTime += t
 	c.mu.Unlock()

@@ -1,0 +1,48 @@
+package kdb
+
+import "sync/atomic"
+
+// Stats is a point-in-time snapshot of a store's lifetime activity, used by
+// the daemons' /metrics endpoints to expose per-partition load without
+// holding the store lock at scrape time.
+type Stats struct {
+	Requests    uint64 // ABDL requests executed
+	Errors      uint64 // requests that returned an error
+	BlocksRead  uint64 // cumulative disk-model blocks read
+	BlocksWrit  uint64 // cumulative disk-model blocks written
+	RecordsExam uint64 // cumulative records examined
+}
+
+// storeStats is the live atomic counter set behind Stats.
+type storeStats struct {
+	requests    atomic.Uint64
+	errors      atomic.Uint64
+	blocksRead  atomic.Uint64
+	blocksWrit  atomic.Uint64
+	recordsExam atomic.Uint64
+}
+
+// note records one executed request and its cost.
+func (st *storeStats) note(res *Result, err error) {
+	st.requests.Add(1)
+	if err != nil {
+		st.errors.Add(1)
+		return
+	}
+	if res != nil {
+		st.blocksRead.Add(uint64(res.Cost.BlocksRead))
+		st.blocksWrit.Add(uint64(res.Cost.BlocksWrit))
+		st.recordsExam.Add(uint64(res.Cost.RecordsExam))
+	}
+}
+
+// Stats snapshots the store's lifetime request and cost counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Requests:    s.stats.requests.Load(),
+		Errors:      s.stats.errors.Load(),
+		BlocksRead:  s.stats.blocksRead.Load(),
+		BlocksWrit:  s.stats.blocksWrit.Load(),
+		RecordsExam: s.stats.recordsExam.Load(),
+	}
+}

@@ -21,6 +21,7 @@ type Store struct {
 	fileOf  map[abdm.RecordID]string
 	nextID  func() abdm.RecordID
 	noIndex bool // ablation switch: force full-file scans
+	stats   storeStats
 }
 
 // Option configures a Store.
@@ -98,6 +99,12 @@ func (s *Store) FileLen(file string) int {
 
 // Exec executes one ABDL request and returns its result.
 func (s *Store) Exec(req *abdl.Request) (*Result, error) {
+	res, err := s.exec(req)
+	s.stats.note(res, err)
+	return res, err
+}
+
+func (s *Store) exec(req *abdl.Request) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,80 @@
+package kfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlds/internal/dapkms"
+	"mlds/internal/hiekms"
+	"mlds/internal/relkms"
+)
+
+// FormatRowsAuto renders Daplex rows with the print list derived from the
+// rows themselves: every function name that appears, in sorted order. Used
+// when the caller has no parsed PRINT clause at hand (the unified session
+// API and the REPL).
+func FormatRowsAuto(rows []dapkms.Row) string {
+	seen := map[string]bool{}
+	var fns []string
+	for _, r := range rows {
+		for fn := range r.Values {
+			if !seen[fn] {
+				seen[fn] = true
+				fns = append(fns, fn)
+			}
+		}
+	}
+	sort.Strings(fns)
+	return FormatRows(rows, fns)
+}
+
+// FormatResultSet renders a SQL result: an aligned column table for SELECT,
+// or the affected-row count for the mutating statements.
+func FormatResultSet(rs *relkms.ResultSet) string {
+	if rs == nil {
+		return "ok"
+	}
+	if len(rs.Columns) == 0 {
+		return fmt.Sprintf("%d row(s) affected", rs.Count)
+	}
+	table := make([][]string, 0, len(rs.Rows)+1)
+	table = append(table, rs.Columns)
+	for _, row := range rs.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		table = append(table, cells)
+	}
+	out := alignTable(table)
+	return out + fmt.Sprintf("\n(%d row(s))", len(rs.Rows))
+}
+
+// FormatDLI renders a DL/I call outcome: the status code, the segment made
+// current, and any retrieved field values in sorted order.
+func FormatDLI(out *hiekms.Outcome) string {
+	if out == nil {
+		return "ok"
+	}
+	var b strings.Builder
+	status := out.Status
+	if status == "" {
+		status = "ok"
+	}
+	b.WriteString(status)
+	if out.Segment != "" {
+		fmt.Fprintf(&b, " %s (key %d)", out.Segment, out.Key)
+	}
+	if len(out.Values) > 0 {
+		names := make([]string, 0, len(out.Values))
+		for n := range out.Values {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "\n    %-16s = %s", n, out.Values[n])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package kms
+
+import (
+	"context"
+
+	"mlds/internal/abdl"
+	"mlds/internal/codasyl"
+	"mlds/internal/kdb"
+)
+
+// ExecCtx executes one DML statement under the request context, so the
+// controller and kernel attach their trace spans beneath the caller's. A
+// Translator serves one run-unit (session) at a time, so storing the context
+// for the duration of the statement is safe.
+func (t *Translator) ExecCtx(ctx context.Context, st codasyl.Stmt) (*Outcome, error) {
+	t.reqCtx = ctx
+	defer func() { t.reqCtx = nil }()
+	return t.Exec(st)
+}
+
+// ExecScriptCtx is ExecScript under a request context.
+func (t *Translator) ExecScriptCtx(ctx context.Context, script codasyl.Script) ([]*Outcome, error) {
+	t.reqCtx = ctx
+	defer func() { t.reqCtx = nil }()
+	return t.ExecScript(script)
+}
+
+// kcExec routes every kernel request through the session's current context.
+func (t *Translator) kcExec(req *abdl.Request) (*kdb.Result, error) {
+	ctx := t.reqCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return t.kc.ExecCtx(ctx, req)
+}

@@ -59,7 +59,7 @@ func (t *Translator) execStore(s *codasyl.Store, out *Outcome) error {
 			}
 		}
 	}
-	if _, err := t.kc.Exec(abdl.NewInsert(kws)); err != nil {
+	if _, err := t.kcExec(abdl.NewInsert(kws)); err != nil {
 		return err
 	}
 	if _, err := t.makeCurrent(s.Record, kws); err != nil {
@@ -133,7 +133,7 @@ func (t *Translator) checkDuplicates(record string, rec *netmodel.RecordType) er
 		if !complete {
 			continue
 		}
-		res, err := t.kc.Exec(abdl.NewRetrieve(abdm.Query{conj}, t.ab.KeyOf(record)))
+		res, err := t.kcExec(abdl.NewRetrieve(abdm.Query{conj}, t.ab.KeyOf(record)))
 		if err != nil {
 			return err
 		}
@@ -158,7 +158,7 @@ func (t *Translator) checkOverlap(record string, key currency.Key) error {
 		if st.Name == record || !t.fun.IsTerminal(st.Name) {
 			continue
 		}
-		res, err := t.kc.Exec(abdl.NewRetrieve(
+		res, err := t.kcExec(abdl.NewRetrieve(
 			abdm.And(filePred(st.Name), t.keyPred(st.Name, key)),
 			t.ab.KeyOf(st.Name),
 		))
@@ -202,7 +202,7 @@ func (t *Translator) execConnect(c *codasyl.Connect, out *Outcome) error {
 				abdm.And(filePred(aset.File), t.keyPred(aset.File, runKey)),
 				abdl.Modifier{Attr: aset.Attr, Val: abdm.Int(sc.OwnerKey)},
 			)
-			if _, err := t.kc.Exec(req); err != nil {
+			if _, err := t.kcExec(req); err != nil {
 				return err
 			}
 		case xform.PlaceOwnerAttr:
@@ -252,14 +252,14 @@ func (t *Translator) connectOwnerSide(st *netmodel.SetType, aset xform.ABSet, ow
 			),
 			abdl.Modifier{Attr: aset.Attr, Val: abdm.Int(runKey)},
 		)
-		_, err := t.kc.Exec(req)
+		_, err := t.kcExec(req)
 		return err
 	}
 	// Cases (3) and (4): insert a copy of the owner record whose set
 	// attribute holds the new member's key.
 	cp := copies[0].Clone()
 	cp.Set(aset.Attr, abdm.Int(runKey))
-	_, err = t.kc.Exec(abdl.NewInsert(cp))
+	_, err = t.kcExec(abdl.NewInsert(cp))
 	return err
 }
 
@@ -324,7 +324,7 @@ func (t *Translator) disconnectMemberSide(st *netmodel.SetType, aset xform.ABSet
 		abdm.And(filePred(aset.File), t.keyPred(aset.File, runKey)),
 		abdl.Modifier{Attr: aset.Attr, Val: abdm.Null()},
 	)
-	_, err = t.kc.Exec(req)
+	_, err = t.kcExec(req)
 	return err
 }
 
@@ -356,11 +356,11 @@ func (t *Translator) disconnectOwnerSide(st *netmodel.SetType, aset xform.ABSet,
 	)
 	if others > 0 {
 		// The function set has multiple members: delete the matching copies.
-		_, err := t.kc.Exec(abdl.NewDelete(qual))
+		_, err := t.kcExec(abdl.NewDelete(qual))
 		return err
 	}
 	// Singleton: null out the value, keeping the record.
-	_, err = t.kc.Exec(abdl.NewUpdate(qual, abdl.Modifier{Attr: aset.Attr, Val: abdm.Null()}))
+	_, err = t.kcExec(abdl.NewUpdate(qual, abdl.Modifier{Attr: aset.Attr, Val: abdm.Null()}))
 	return err
 }
 
@@ -396,7 +396,7 @@ func (t *Translator) execModify(m *codasyl.Modify, out *Outcome) error {
 			abdm.And(filePred(m.Record), t.keyPred(m.Record, runKey)),
 			abdl.Modifier{Attr: item, Val: v},
 		)
-		if _, err := t.kc.Exec(req); err != nil {
+		if _, err := t.kcExec(req); err != nil {
 			return err
 		}
 	}
@@ -441,7 +441,7 @@ func (t *Translator) execErase(e *codasyl.Erase, out *Outcome) error {
 		default:
 			continue
 		}
-		res, err := t.kc.Exec(abdl.NewRetrieve(q, t.ab.KeyOf(targetFile)))
+		res, err := t.kcExec(abdl.NewRetrieve(q, t.ab.KeyOf(targetFile)))
 		if err != nil {
 			return err
 		}
@@ -459,7 +459,7 @@ func (t *Translator) execErase(e *codasyl.Erase, out *Outcome) error {
 		if aset.Place != xform.PlaceOwnerAttr {
 			continue
 		}
-		res, err := t.kc.Exec(abdl.NewRetrieve(
+		res, err := t.kcExec(abdl.NewRetrieve(
 			abdm.And(filePred(st.Owner),
 				abdm.Predicate{Attr: aset.Attr, Op: abdm.OpEq, Val: abdm.Int(runKey)}),
 			t.ab.KeyOf(st.Owner),
@@ -471,7 +471,7 @@ func (t *Translator) execErase(e *codasyl.Erase, out *Outcome) error {
 			return fmt.Errorf("%w: function %q references it", ErrEraseReferenced, st.Name)
 		}
 	}
-	if _, err := t.kc.Exec(abdl.NewDelete(abdm.And(filePred(e.Record), t.keyPred(e.Record, runKey)))); err != nil {
+	if _, err := t.kcExec(abdl.NewDelete(abdm.And(filePred(e.Record), t.keyPred(e.Record, runKey)))); err != nil {
 		return err
 	}
 	t.cit.InvalidateCurrent(e.Record, runKey)

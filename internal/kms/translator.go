@@ -15,6 +15,7 @@
 package kms
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -65,7 +66,8 @@ type Translator struct {
 
 	cit        *currency.CIT
 	uwa        *currency.WorkArea
-	currentRec *abdm.Record // cached content of the run-unit current
+	currentRec *abdm.Record    // cached content of the run-unit current
+	reqCtx     context.Context // set by ExecCtx for the statement's duration
 }
 
 // NewNetwork builds a translator for a natively-defined network database.
@@ -235,7 +237,7 @@ func (t *Translator) keyPred(file string, key currency.Key) abdm.Predicate {
 
 // retrieveAll runs a RETRIEVE of all attributes and returns the records.
 func (t *Translator) retrieveAll(q abdm.Query) ([]*abdm.Record, error) {
-	res, err := t.kc.Exec(abdl.NewRetrieve(q, abdl.AllAttrs))
+	res, err := t.kcExec(abdl.NewRetrieve(q, abdl.AllAttrs))
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +328,7 @@ func (t *Translator) members(st *netmodel.SetType, aset xform.ABSet, ownerKey cu
 	case xform.PlaceOwnerAttr:
 		// The owner file holds one record copy per member key: an auxiliary
 		// retrieve collects the keys, a second fetches the member records.
-		ownerRecs, err := t.kc.Exec(abdl.NewRetrieve(
+		ownerRecs, err := t.kcExec(abdl.NewRetrieve(
 			abdm.And(filePred(st.Owner), t.keyPred(st.Owner, ownerKey)),
 			aset.Attr,
 		))

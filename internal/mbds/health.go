@@ -93,6 +93,7 @@ func (b *backend) noteFailure(err error, cfg Config) {
 		b.health.up = false
 		b.health.downSince = time.Now()
 		b.health.lastProbe = time.Now()
+		b.metrics.trips.Inc()
 	}
 }
 

@@ -25,10 +25,12 @@
 package mbds
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,7 @@ import (
 	"mlds/internal/abdl"
 	"mlds/internal/abdm"
 	"mlds/internal/kdb"
+	"mlds/internal/obs"
 )
 
 // Placement selects how INSERTed records are distributed across backends.
@@ -74,6 +77,12 @@ type Config struct {
 	BreakerThreshold int           // consecutive transient failures that open the breaker (0 = never)
 	ProbePeriod      time.Duration // how often a down backend is probed (0 = every request)
 	FaultInjection   bool          // wrap each executor in a FaultyExecutor (see System.Fault)
+
+	// Observability. With a registry the system records per-database and
+	// per-backend request, retry, breaker-trip, dedup and queue-depth
+	// series labelled db=DBName; nil disables metrics at zero cost.
+	Metrics *obs.Registry
+	DBName  string
 }
 
 // DefaultConfig returns a configuration with n backends, the default disk
@@ -101,6 +110,7 @@ type System struct {
 	closed   atomic.Bool
 	closedCh chan struct{}  // closed by Close; aborts blocked bus operations
 	opWG     sync.WaitGroup // in-flight Exec-family operations
+	metrics  sysMetrics
 }
 
 // Executor executes ABDL requests against one backend partition. Local
@@ -123,6 +133,8 @@ type backend struct {
 
 	hmu    sync.Mutex
 	health health
+
+	metrics backendMetrics
 }
 
 type job struct {
@@ -177,6 +189,7 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 		store := kdb.NewStore(dir.Clone(), opts...)
 		s.backends = append(s.backends, newBackend(i, store, store, cfg.FaultInjection))
 	}
+	s.initMetrics()
 	return s, nil
 }
 
@@ -198,6 +211,7 @@ func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*Syste
 	for i, ex := range execs {
 		s.backends = append(s.backends, newBackend(i, ex, nil, cfg.FaultInjection))
 	}
+	s.initMetrics()
 	return s, nil
 }
 
@@ -354,32 +368,46 @@ func (s *System) Exec(req *abdl.Request) (*kdb.Result, error) {
 // response time under the parallel-backend model: bus latency out and back
 // plus the slowest backend's disk time.
 func (s *System) ExecTimed(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	return s.ExecTimedCtx(context.Background(), req)
+}
+
+// ExecTimedCtx is ExecTimed carrying a request context. When the context
+// holds an obs trace, each backend call becomes a "backend.exec" child span;
+// metrics (if configured) are recorded either way.
+func (s *System) ExecTimedCtx(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	if err := s.beginOp(); err != nil {
 		return nil, 0, err
 	}
 	defer s.opWG.Done()
-	return s.execTimed(req)
+	start := time.Now()
+	res, simt, err := s.execTimed(ctx, req)
+	s.metrics.requests.Inc()
+	if err == nil {
+		s.metrics.simSec.Observe(simt.Seconds())
+		s.metrics.wallSec.Observe(time.Since(start).Seconds())
+	}
+	return res, simt, err
 }
 
-// execTimed is ExecTimed without the lifecycle bookkeeping, so the
+// execTimed is ExecTimedCtx without the lifecycle bookkeeping, so the
 // RETRIEVE-COMMON phases can recurse while holding one in-flight slot.
-func (s *System) execTimed(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+func (s *System) execTimed(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	if err := req.Validate(); err != nil {
 		return nil, 0, err
 	}
 	if req.Kind == abdl.RetrieveCommon {
-		return s.execRetrieveCommon(req)
+		return s.execRetrieveCommon(ctx, req)
 	}
 	if req.Kind == abdl.Insert {
-		return s.execInsert(req)
+		return s.execInsert(ctx, req)
 	}
-	return s.execBroadcast(req)
+	return s.execBroadcast(ctx, req)
 }
 
 // execInsert routes the record to its holder backends. The directory
 // validates once at the controller; with replication the controller also
 // assigns the database key, so every copy lives under the same key.
-func (s *System) execInsert(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	if err := s.dir.ValidateRecord(req.Record); err != nil {
 		return nil, 0, err
 	}
@@ -389,7 +417,7 @@ func (s *System) execInsert(req *abdl.Request) (*kdb.Result, time.Duration, erro
 		cp.ForceID = abdm.RecordID(s.nextID.Add(1))
 		req = &cp
 	}
-	replies := s.fanout(holders, req)
+	replies := s.fanout(ctx, holders, req)
 	var res *kdb.Result
 	var worst time.Duration
 	var firstErr error
@@ -425,8 +453,8 @@ func (s *System) execInsert(req *abdl.Request) (*kdb.Result, time.Duration, erro
 // results. With replication, up to Replicas failed backends are tolerated:
 // the surviving copies still cover the whole database, and the merge
 // deduplicates them by database key (degraded mode).
-func (s *System) execBroadcast(req *abdl.Request) (*kdb.Result, time.Duration, error) {
-	replies := s.fanout(s.backends, req)
+func (s *System) execBroadcast(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	replies := s.fanout(ctx, s.backends, req)
 	merged := &kdb.Result{Op: req.Kind}
 	var worst time.Duration
 	var firstErr error
@@ -449,7 +477,11 @@ func (s *System) execBroadcast(req *abdl.Request) (*kdb.Result, time.Duration, e
 		return nil, 0, firstErr
 	}
 	if s.cfg.Replicas > 0 {
+		before := len(merged.Records)
 		merged.DedupByID()
+		if removed := before - len(merged.Records); removed > 0 {
+			s.metrics.dedup.Add(uint64(removed))
+		}
 	}
 	merged.RecomputeAggregates(req.Target)
 	return merged, 2*s.cfg.MsgLatency + worst, nil
@@ -460,13 +492,13 @@ func (s *System) execBroadcast(req *abdl.Request) (*kdb.Result, time.Duration, e
 // query is broadcast and filtered at the controller. Records matching the
 // two queries may live on different backends, so neither phase can be pushed
 // down whole.
-func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Duration, error) {
+func (s *System) execRetrieveCommon(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	phase1 := &abdl.Request{
 		Kind:   abdl.Retrieve,
 		Query:  req.Query2,
 		Target: []abdl.TargetItem{{Attr: req.Common}},
 	}
-	r1, t1, err := s.execTimed(phase1)
+	r1, t1, err := s.execTimed(ctx, phase1)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -477,7 +509,7 @@ func (s *System) execRetrieveCommon(req *abdl.Request) (*kdb.Result, time.Durati
 		Query:  req.Query,
 		Target: []abdl.TargetItem{{Attr: abdl.AllAttrs}},
 	}
-	r2, t2, err := s.execTimed(phase2)
+	r2, t2, err := s.execTimed(ctx, phase2)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -519,12 +551,12 @@ type backendReply struct {
 // Serial ablation is on — applying the deadline, retry and breaker policy
 // per backend, and returns the shared reply channel. Exactly one reply per
 // target is delivered.
-func (s *System) fanout(targets []*backend, req *abdl.Request) <-chan backendReply {
+func (s *System) fanout(ctx context.Context, targets []*backend, req *abdl.Request) <-chan backendReply {
 	out := make(chan backendReply, len(targets))
 	if s.cfg.Serial {
 		go func() {
 			for _, b := range targets {
-				res, err := s.callBackend(b, req)
+				res, err := s.callBackendTraced(ctx, b, req)
 				out <- backendReply{id: b.id, res: res, err: err}
 			}
 		}()
@@ -532,11 +564,27 @@ func (s *System) fanout(targets []*backend, req *abdl.Request) <-chan backendRep
 	}
 	for _, b := range targets {
 		go func(b *backend) {
-			res, err := s.callBackend(b, req)
+			res, err := s.callBackendTraced(ctx, b, req)
 			out <- backendReply{id: b.id, res: res, err: err}
 		}(b)
 	}
 	return out
+}
+
+// callBackendTraced wraps callBackend in a per-backend trace span charged
+// with the backend's simulated disk time. With no trace in ctx the span is
+// nil and every span call no-ops.
+func (s *System) callBackendTraced(ctx context.Context, b *backend, req *abdl.Request) (*kdb.Result, error) {
+	_, span := obs.StartSpan(ctx, "backend.exec")
+	span.SetAttr("backend", strconv.Itoa(b.id))
+	res, err := s.callBackend(b, req)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	} else if res != nil {
+		span.AddSim(s.cfg.Disk.Time(res.Cost))
+	}
+	span.End()
+	return res, err
 }
 
 // callBackend executes one request on one backend under the fault policy:
@@ -552,6 +600,7 @@ func (s *System) callBackend(b *backend, req *abdl.Request) (*kdb.Result, error)
 		}
 		if attempt > 0 {
 			b.noteRetry()
+			b.metrics.retries.Inc()
 			backoff := s.cfg.RetryBackoff << (attempt - 1)
 			if backoff > 0 {
 				select {
@@ -561,6 +610,7 @@ func (s *System) callBackend(b *backend, req *abdl.Request) (*kdb.Result, error)
 				}
 			}
 		}
+		b.metrics.requests.Inc()
 		res, err := s.callOnce(b, req)
 		if err == nil {
 			b.noteSuccess()
@@ -569,6 +619,7 @@ func (s *System) callBackend(b *backend, req *abdl.Request) (*kdb.Result, error)
 		if errors.Is(err, ErrClosed) {
 			return nil, err
 		}
+		b.metrics.failures.Inc()
 		b.noteFailure(err, s.cfg)
 		// Retry only recoverable failures, and never resend a
 		// non-idempotent request that may already have executed.
@@ -585,6 +636,8 @@ func (s *System) callBackend(b *backend, req *abdl.Request) (*kdb.Result, error)
 
 // callOnce performs a single bus round trip with the configured deadline.
 func (s *System) callOnce(b *backend, req *abdl.Request) (*kdb.Result, error) {
+	b.metrics.queue.Inc()
+	defer b.metrics.queue.Dec()
 	reply := make(chan jobReply, 1)
 	var timeout <-chan time.Time
 	if s.cfg.RequestTimeout > 0 {

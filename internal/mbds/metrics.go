@@ -1,0 +1,59 @@
+package mbds
+
+import (
+	"strconv"
+
+	"mlds/internal/obs"
+)
+
+// sysMetrics is the controller-level handle set, resolved once at system
+// construction. Every handle is nil when no registry is configured, and the
+// obs types no-op on nil, so the hot path never tests whether metrics are on.
+type sysMetrics struct {
+	requests *obs.Counter   // kernel requests by database
+	dedup    *obs.Counter   // records removed by replica dedup
+	simSec   *obs.Histogram // simulated response time per request
+	wallSec  *obs.Histogram // wall-clock time per request
+}
+
+// backendMetrics is one backend's handle set.
+type backendMetrics struct {
+	requests *obs.Counter // attempts sent to this backend (retries included)
+	failures *obs.Counter // failed attempts
+	retries  *obs.Counter // attempts beyond the first per request
+	trips    *obs.Counter // circuit-breaker openings
+	queue    *obs.Gauge   // requests currently in flight on the bus
+}
+
+// initMetrics resolves the system's and every backend's metric handles from
+// Config.Metrics, labelling each series with the database name and backend
+// id. With a nil registry every handle stays nil (no-op).
+func (s *System) initMetrics() {
+	reg := s.cfg.Metrics
+	db := obs.L("db", s.cfg.DBName)
+	s.metrics = sysMetrics{
+		requests: reg.Counter("mlds_kernel_requests_total",
+			"ABDL requests executed by the kernel controller", db),
+		dedup: reg.Counter("mlds_replica_dedup_hits_total",
+			"replica copies removed by controller-side dedup", db),
+		simSec: reg.Histogram("mlds_kernel_sim_seconds",
+			"simulated kernel response time per request", nil, db),
+		wallSec: reg.Histogram("mlds_kernel_wall_seconds",
+			"wall-clock kernel time per request", nil, db),
+	}
+	for _, b := range s.backends {
+		be := obs.L("backend", strconv.Itoa(b.id))
+		b.metrics = backendMetrics{
+			requests: reg.Counter("mlds_backend_requests_total",
+				"request attempts sent to each backend", db, be),
+			failures: reg.Counter("mlds_backend_failures_total",
+				"failed request attempts per backend", db, be),
+			retries: reg.Counter("mlds_backend_retries_total",
+				"retry attempts per backend", db, be),
+			trips: reg.Counter("mlds_backend_breaker_trips_total",
+				"circuit-breaker openings per backend", db, be),
+			queue: reg.Gauge("mlds_backend_queue_depth",
+				"requests in flight on each backend's bus channel", db, be),
+		}
+	}
+}

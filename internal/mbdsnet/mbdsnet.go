@@ -14,6 +14,7 @@ import (
 
 	"mlds/internal/abdl"
 	"mlds/internal/kdb"
+	"mlds/internal/obs"
 	"mlds/internal/wire"
 )
 
@@ -26,6 +27,8 @@ type BackendServer struct {
 	closed bool
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
+
+	mExec, mErrors *obs.Counter // nil until Instrument; nil-safe
 }
 
 // Serve starts serving the store on the listener. It returns immediately;
@@ -108,17 +111,21 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 		reply := wire.Envelope{Seq: env.Seq}
 		switch env.Action {
 		case "", "exec":
+			s.mExec.Inc()
 			if env.Req == nil {
+				s.mErrors.Inc()
 				reply.Err = "mbdsnet: exec without a request"
 				break
 			}
 			req, err := env.Req.ToRequest()
 			if err != nil {
+				s.mErrors.Inc()
 				reply.Err = err.Error()
 				break
 			}
 			res, err := s.store.Exec(req)
 			if err != nil {
+				s.mErrors.Inc()
 				reply.Err = err.Error()
 				break
 			}

@@ -1,0 +1,164 @@
+package mbdsnet
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kdb"
+	"mlds/internal/mbds"
+	"mlds/internal/obs"
+	"mlds/internal/univgen"
+)
+
+// promLine matches one sample of the Prometheus text exposition format
+// (version 0.0.4): metric name, optional label set, and a float value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ([-+0-9.eE]+|[-+]?Inf|NaN)$`)
+
+// TestMetricsEndpointUnderFaults is the acceptance scenario: a replicated
+// TCP cluster with a killed backend serves per-backend request, retry and
+// breaker-trip counters over /metrics in valid Prometheus text format.
+func TestMetricsEndpointUnderFaults(t *testing.T) {
+	const backends = 3
+	db, err := univgen.Generate(univgen.SmallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	servers := make([]*BackendServer, backends)
+	var execs []mbds.Executor
+	for i := 0; i < backends; i++ {
+		srv, err := Listen("127.0.0.1:0", kdb.NewStore(db.AB.Dir.Clone()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		defer srv.Close()
+		srv.Instrument(reg, obs.L("backend", strconv.Itoa(i)))
+		rb, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rb.Close()
+		execs = append(execs, rb)
+	}
+
+	cfg := mbds.DefaultConfig(backends)
+	cfg.Replicas = 1
+	cfg.RequestTimeout = 500 * time.Millisecond
+	cfg.MaxRetries = 1
+	cfg.RetryBackoff = time.Millisecond
+	cfg.BreakerThreshold = 2
+	cfg.ProbePeriod = time.Hour // keep the dead backend down for the test
+	cfg.Metrics = reg
+	cfg.DBName = "university"
+	sys, err := mbds.NewWithExecutors(db.AB.Dir, cfg, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := db.Load(sys); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, err := ServeOps("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+
+	// Kill one backend and run retrievals: replication keeps the answers
+	// whole while the controller records failures, a retry, and a breaker
+	// trip for the dead backend.
+	if err := servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	query := abdl.NewRetrieve(abdm.And(abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("student")}), "major")
+	for i := 0; i < 3; i++ {
+		if _, err := sys.Exec(query); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get("http://" + ops.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+
+	sample := func(name string, labels string) float64 {
+		prefix := name + "{" + labels + "} "
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				v, err := strconv.ParseFloat(strings.TrimPrefix(line, prefix), 64)
+				if err != nil {
+					t.Fatalf("%s: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Errorf("no sample %s{%s} in exposition:\n%s", name, labels, text)
+		return 0
+	}
+
+	// Per-backend counters: the live backends served requests; the dead one
+	// accumulated failures, a retry, and a breaker trip.
+	for i := 0; i < backends; i++ {
+		labels := `backend="` + strconv.Itoa(i) + `",db="university"`
+		reqs := sample("mlds_backend_requests_total", labels)
+		if i != 1 && reqs == 0 {
+			t.Errorf("backend %d served no requests", i)
+		}
+	}
+	dead := `backend="1",db="university"`
+	if sample("mlds_backend_failures_total", dead) == 0 {
+		t.Error("dead backend recorded no failures")
+	}
+	if sample("mlds_backend_retries_total", dead) == 0 {
+		t.Error("dead backend recorded no retries")
+	}
+	if sample("mlds_backend_breaker_trips_total", dead) == 0 {
+		t.Error("dead backend recorded no breaker trips")
+	}
+	if sample("mlds_kernel_requests_total", `db="university"`) == 0 {
+		t.Error("kernel recorded no requests")
+	}
+
+	// /healthz answers, and flips with the gate.
+	hresp, err := http.Get("http://" + ops.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz: %s", hresp.Status)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "request")
+	ctx2, parse := StartSpan(ctx, "parse")
+	parse.End()
+	_, exec := StartSpan(ctx2, "kc.exec")
+	exec.SetAttr("op", "RETRIEVE")
+	exec.AddSim(3 * time.Millisecond)
+	exec.End()
+	root.End()
+
+	if got := len(root.Children()); got != 1 {
+		t.Fatalf("root children = %d, want 1", got)
+	}
+	if root.Find("parse") == nil {
+		t.Fatal("parse span not found")
+	}
+	// kc.exec was started from the parse context, so it nests under parse.
+	hit := root.Find("kc.exec")
+	if hit == nil {
+		t.Fatal("kc.exec span not found")
+	}
+	if hit.Attr("op") != "RETRIEVE" {
+		t.Fatalf("attr op = %q, want RETRIEVE", hit.Attr("op"))
+	}
+	if hit.Duration() <= 0 {
+		t.Fatal("ended span has zero duration")
+	}
+	if root.SimTotal() != 3*time.Millisecond {
+		t.Fatalf("SimTotal = %v, want 3ms", root.SimTotal())
+	}
+	if !strings.Contains(root.String(), "kc.exec") {
+		t.Fatalf("render missing kc.exec:\n%s", root.String())
+	}
+}
+
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.End()
+	s.AddSim(time.Second)
+	s.SetAttr("k", "v")
+	if s.Duration() != 0 || s.Sim() != 0 || s.SimTotal() != 0 {
+		t.Fatal("nil span reported nonzero times")
+	}
+	if s.Find("x") != nil || s.FindAll("x") != nil || s.Children() != nil {
+		t.Fatal("nil span search returned non-nil")
+	}
+	ctx, child := StartSpan(context.Background(), "orphan")
+	if child != nil {
+		t.Fatal("StartSpan without a trace should return a nil span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("context without a trace should carry no span")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	ctx, root := NewTrace(context.Background(), "request")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, c := StartSpan(ctx, "backend.exec")
+			c.AddSim(time.Millisecond)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.FindAll("backend.exec")); got != 16 {
+		t.Fatalf("backend.exec spans = %d, want 16", got)
+	}
+	if root.SimTotal() != 16*time.Millisecond {
+		t.Fatalf("SimTotal = %v, want 16ms", root.SimTotal())
+	}
+}
+
+func TestRegistryConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("mlds_requests_total", "requests", L("db", "University"))
+			h := reg.Histogram("mlds_latency_seconds", "latency", nil, L("db", "University"))
+			g := reg.Gauge("mlds_inflight", "in flight")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.002)
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("mlds_requests_total", "requests", L("db", "University")).Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	h := reg.Histogram("mlds_latency_seconds", "latency", nil, L("db", "University"))
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if diff := h.Sum() - 16.0; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("histogram sum = %v, want 16.0", h.Sum())
+	}
+	if reg.Gauge("mlds_inflight", "in flight").Value() != 0 {
+		t.Fatal("gauge should return to zero")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x", "").Inc()
+	reg.Gauge("y", "").Set(5)
+	reg.Histogram("z", "", nil).Observe(1)
+	reg.GaugeFunc("w", "", func() float64 { return 1 })
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil registry exposition should be empty")
+	}
+}
+
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? [-+0-9.eE]+(Inf)?$`)
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mlds_backend_requests_total", "per-backend requests", L("backend", "0")).Add(7)
+	reg.Counter("mlds_backend_requests_total", "per-backend requests", L("backend", "1")).Add(3)
+	reg.Gauge("mlds_queue_depth", "queue depth", L("backend", "0")).Set(2)
+	reg.Histogram("mlds_request_seconds", "latency", []float64{0.01, 0.1}, L("db", "U")).Observe(0.05)
+	reg.GaugeFunc("mlds_store_records", "records", func() float64 { return 42 }, L("backend", "0"))
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE mlds_backend_requests_total counter",
+		`mlds_backend_requests_total{backend="0"} 7`,
+		`mlds_backend_requests_total{backend="1"} 3`,
+		"# TYPE mlds_queue_depth gauge",
+		"# TYPE mlds_request_seconds histogram",
+		`mlds_request_seconds_bucket{db="U",le="0.01"} 0`,
+		`mlds_request_seconds_bucket{db="U",le="0.1"} 1`,
+		`mlds_request_seconds_bucket{db="U",le="+Inf"} 1`,
+		`mlds_request_seconds_sum{db="U"} 0.05`,
+		`mlds_request_seconds_count{db="U"} 1`,
+		`mlds_store_records{backend="0"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mlds_up", "").Inc()
+	healthy := true
+	srv := httptest.NewServer(Handler(reg, func() bool { return healthy }))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	hz, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != 200 {
+		t.Fatalf("/healthz status = %d", hz.StatusCode)
+	}
+	healthy = false
+	hz, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != 503 {
+		t.Fatalf("unhealthy /healthz status = %d, want 503", hz.StatusCode)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, 3)
+	if l.Record(SlowEntry{Wall: 5 * time.Millisecond}) {
+		t.Fatal("fast request recorded")
+	}
+	for i := 0; i < 5; i++ {
+		if !l.Record(SlowEntry{Text: string(rune('a' + i)), Wall: 20 * time.Millisecond}) {
+			t.Fatal("slow request not recorded")
+		}
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d, want 3 (ring cap)", len(got))
+	}
+	if got[0].Text != "c" || got[2].Text != "e" {
+		t.Fatalf("ring order wrong: %q..%q", got[0].Text, got[2].Text)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("total = %d, want 5", l.Total())
+	}
+	var nilLog *SlowLog
+	if nilLog.Record(SlowEntry{Wall: time.Hour}) || nilLog.Entries() != nil || nilLog.Total() != 0 {
+		t.Fatal("nil slow log should no-op")
+	}
+}

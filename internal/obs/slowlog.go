@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one request that exceeded the slow threshold.
+type SlowEntry struct {
+	When     time.Time
+	DB       string
+	Language string
+	Text     string
+	Wall     time.Duration
+	Sim      time.Duration
+}
+
+// SlowLog is a bounded ring of the most recent slow requests. A nil *SlowLog
+// is a valid no-op logger, and a zero threshold disables recording.
+type SlowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	cap       int
+	entries   []SlowEntry
+	next      int
+	total     uint64
+}
+
+// NewSlowLog builds a slow log keeping the last capacity entries for
+// requests whose wall time meets or exceeds threshold. threshold <= 0
+// disables recording.
+func NewSlowLog(threshold time.Duration, capacity int) *SlowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SlowLog{threshold: threshold, cap: capacity}
+}
+
+// Threshold reports the configured slow threshold.
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold
+}
+
+// Record logs the request if its wall time meets the threshold. Returns true
+// when the entry was recorded.
+func (l *SlowLog) Record(e SlowEntry) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.threshold <= 0 || e.Wall < l.threshold {
+		return false
+	}
+	if e.When.IsZero() {
+		e.When = time.Now()
+	}
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+	} else {
+		l.entries[l.next] = e
+		l.next = (l.next + 1) % l.cap
+	}
+	l.total++
+	return true
+}
+
+// Entries returns the recorded slow requests, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.entries))
+	if len(l.entries) < l.cap {
+		out = append(out, l.entries...)
+		return out
+	}
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// Total reports how many slow requests have been recorded over the log's
+// lifetime, including entries the ring has since evicted.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

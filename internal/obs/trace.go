@@ -1,0 +1,248 @@
+// Package obs is the observability substrate of MLDS: per-request trace
+// spans for every stage of the LIL → KMS → KC → KFS pipeline, a metrics
+// registry of atomic counters, gauges and bounded histograms with a
+// Prometheus text exposition, and a slow-request log.
+//
+// The package has no dependencies beyond the standard library so every layer
+// of the system — the kernel store, the multi-backend controller, the
+// language interfaces and the daemons — can use it freely.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a request: a node of the request's trace tree.
+// A span carries both the wall-clock duration of the stage and the simulated
+// kernel time it charged (the MBDS disk-model time), because the repo's
+// performance claims are stated in simulated time while production profiling
+// needs monotonic time.
+//
+// All methods are safe on a nil *Span, so instrumented code paths need not
+// test whether tracing is enabled.
+type Span struct {
+	Name  string
+	Start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	sim      time.Duration
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key=value annotation of a span.
+type Attr struct {
+	Key, Value string
+}
+
+type spanKey struct{}
+
+// NewTrace starts a root span and returns a context carrying it. Child spans
+// started from the returned context nest beneath the root.
+func NewTrace(ctx context.Context, name string) (context.Context, *Span) {
+	root := &Span{Name: name, Start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, root), root
+}
+
+// FromContext returns the innermost span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child span of the span carried by ctx and returns a
+// context carrying the child. When ctx carries no span (tracing disabled),
+// both return values pass through unchanged: the nil span's methods no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{Name: name, Start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// End stamps the span's wall-clock duration. A span may be ended once; later
+// calls keep the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.Start)
+		if s.dur <= 0 {
+			s.dur = time.Nanosecond // clock granularity floor: a stage ran
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Duration reports the span's wall-clock duration (zero until End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+// AddSim charges simulated kernel time to the span.
+func (s *Span) AddSim(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sim += d
+	s.mu.Unlock()
+}
+
+// Sim reports the simulated kernel time charged directly to this span.
+func (s *Span) Sim() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim
+}
+
+// SimTotal reports the simulated kernel time charged to this span and every
+// descendant.
+func (s *Span) SimTotal() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	total := s.sim
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		total += c.SimTotal()
+	}
+	return total
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Attr returns the first value recorded for key, or "".
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Attrs copies the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children copies the span's child list in start order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first span named name in the subtree rooted at s
+// (preorder), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span named name in the subtree (preorder).
+func (s *Span) FindAll(name string) []*Span {
+	if s == nil {
+		return nil
+	}
+	var out []*Span
+	if s.Name == name {
+		out = append(out, s)
+	}
+	for _, c := range s.Children() {
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}
+
+// String renders the span tree, one line per span, indented by depth.
+func (s *Span) String() string {
+	if s == nil {
+		return "(no trace)"
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	dur, sim := s.dur, s.sim
+	attrs := append([]Attr(nil), s.attrs...)
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	fmt.Fprintf(b, "%s%s wall=%v", strings.Repeat("  ", depth), s.Name, dur)
+	if sim > 0 {
+		fmt.Fprintf(b, " sim=%v", sim)
+	}
+	if len(attrs) > 0 {
+		parts := make([]string, len(attrs))
+		for i, a := range attrs {
+			parts[i] = a.Key + "=" + a.Value
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(b, " {%s}", strings.Join(parts, ", "))
+	}
+	b.WriteString("\n")
+	for _, c := range kids {
+		c.render(b, depth+1)
+	}
+}

@@ -5,6 +5,8 @@
 package relkms
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -50,6 +52,7 @@ func DeriveAB(s *relmodel.Schema) (*abdm.Directory, error) {
 type Interface struct {
 	schema *relmodel.Schema
 	kc     *kc.Controller
+	reqCtx context.Context // set by ExecCtx for the statement's duration
 }
 
 // New builds a SQL interface.
@@ -203,7 +206,7 @@ func (i *Interface) execSelect(st *sql.Select) (*ResultSet, error) {
 		}
 		req.By = st.GroupBy
 	}
-	res, err := i.kc.Exec(req)
+	res, err := i.kcExec(req)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +333,7 @@ func (i *Interface) execInsert(st *sql.Insert) (*ResultSet, error) {
 			return nil, fmt.Errorf("relkms: column %q is NOT NULL", col.Name)
 		}
 		if col.Unique && !v.IsNull() {
-			res, err := i.kc.Exec(abdl.NewRetrieve(abdm.And(
+			res, err := i.kcExec(abdl.NewRetrieve(abdm.And(
 				abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(st.Table)},
 				abdm.Predicate{Attr: col.Name, Op: abdm.OpEq, Val: v},
 			), col.Name))
@@ -342,7 +345,7 @@ func (i *Interface) execInsert(st *sql.Insert) (*ResultSet, error) {
 			}
 		}
 	}
-	if _, err := i.kc.Exec(abdl.NewInsert(rec)); err != nil {
+	if _, err := i.kcExec(abdl.NewInsert(rec)); err != nil {
 		return nil, err
 	}
 	return &ResultSet{Count: 1}, nil
@@ -372,7 +375,7 @@ func (i *Interface) execUpdate(st *sql.Update) (*ResultSet, error) {
 		}
 		mods = append(mods, abdl.Modifier{Attr: a.Column, Val: val})
 	}
-	res, err := i.kc.Exec(abdl.NewUpdate(q, mods...))
+	res, err := i.kcExec(abdl.NewUpdate(q, mods...))
 	if err != nil {
 		return nil, err
 	}
@@ -388,7 +391,7 @@ func (i *Interface) execDelete(st *sql.Delete) (*ResultSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := i.kc.Exec(abdl.NewDelete(q))
+	res, err := i.kcExec(abdl.NewDelete(q))
 	if err != nil {
 		return nil, err
 	}

@@ -64,12 +64,21 @@ type (
 	SQLSession = core.SQLSession
 	// DLISession is a DL/I user session on a hierarchical database.
 	DLISession = core.DLISession
+	// ABDLSession is a raw attribute-based (ABDL) user session.
+	ABDLSession = core.ABDLSession
+	// Session is the unified interface implemented by all session types.
+	Session = core.Session
+	// DatabaseInfo describes one catalog entry in a Databases listing.
+	DatabaseInfo = core.DatabaseInfo
 	// ResultSet is a SQL statement result.
 	ResultSet = relkms.ResultSet
 	// DLIOutcome is a DL/I call result.
 	DLIOutcome = hiekms.Outcome
-	// Outcome reports what one CODASYL-DML statement did.
-	Outcome = kms.Outcome
+	// Outcome is the unified result of one statement through any language
+	// interface: timing, optional trace, rendered text, and the typed payload.
+	Outcome = core.Outcome
+	// DMLOutcome reports what one CODASYL-DML statement did (Outcome.DML).
+	DMLOutcome = kms.Outcome
 	// Row is one entity of a Daplex FOR EACH result.
 	Row = dapkms.Row
 	// Value is a typed attribute value of the kernel data model.
@@ -142,8 +151,22 @@ var (
 	FormatOutcome = kfs.FormatOutcome
 	// FormatRows renders Daplex rows as an aligned table.
 	FormatRows = kfs.FormatRows
+	// FormatRowsAuto renders Daplex rows with an inferred print list.
+	FormatRowsAuto = kfs.FormatRowsAuto
+	// FormatResultSet renders a SQL result set.
+	FormatResultSet = kfs.FormatResultSet
+	// FormatDLI renders a DL/I call outcome.
+	FormatDLI = kfs.FormatDLI
 	// FormatResult renders a kernel result.
 	FormatResult = kfs.FormatResult
+)
+
+// Catalog lookup sentinels, for errors.Is on Open errors.
+var (
+	// ErrNoDatabase reports a name absent from the catalog.
+	ErrNoDatabase = core.ErrNoDatabase
+	// ErrWrongModel reports a model the requested interface cannot serve.
+	ErrWrongModel = core.ErrWrongModel
 )
 
 // SimTime reports the simulated kernel time a database's controller has

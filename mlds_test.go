@@ -33,14 +33,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Found {
+	if !out.DML.Found {
 		t.Fatal("course not found")
 	}
 	got, err := dml.Execute("GET course")
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := FormatOutcome(got, db.Net)
+	text := FormatOutcome(got.DML, db.Net)
 	if !strings.Contains(text, "'Advanced Database'") {
 		t.Errorf("formatted outcome: %s", text)
 	}
@@ -54,7 +54,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	table := FormatRows(rows, []string{"title", "credits"})
+	table := FormatRows(rows.Rows, []string{"title", "credits"})
 	if !strings.Contains(table, "credits") {
 		t.Errorf("formatted rows: %s", table)
 	}
