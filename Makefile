@@ -1,5 +1,7 @@
 # Standard verify tiers. `make check` is the extended tier: vet (including
-# the observability package on its own), formatting, and the full test suite
+# the observability package on its own), formatting, static analysis when
+# the tools are installed (staticcheck, govulncheck — both skipped with a
+# note otherwise, so the target needs no network), and the full test suite
 # under the race detector. `make bench` regenerates the paper experiments
 # and writes a machine-readable summary.
 
@@ -20,10 +22,20 @@ check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
 	$(GO) test -race ./...
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_2.json
+	$(GO) run ./cmd/mldsbench -json BENCH_3.json
 
 fmt:
 	gofmt -w .

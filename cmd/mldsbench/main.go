@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e11, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e12, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
 package main
 
@@ -48,7 +48,7 @@ func writeJSON(path string, reports []*experiments.Report) error {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e11, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e12, a1..a3)")
 	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
 	flag.Parse()
 
@@ -64,6 +64,7 @@ func main() {
 		"e9":  experiments.E9SharedKernel,
 		"e10": experiments.E10FiveInterfaces,
 		"e11": experiments.E11FaultTolerance,
+		"e12": experiments.E12BatchedLoad,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,

@@ -33,6 +33,7 @@ import (
 	"mlds/internal/netddl"
 	"mlds/internal/netmodel"
 	"mlds/internal/obs"
+	"mlds/internal/plancache"
 	"mlds/internal/relkms"
 	"mlds/internal/relmodel"
 	"mlds/internal/sql"
@@ -93,6 +94,10 @@ type Config struct {
 	SlowThreshold time.Duration
 	// SlowLogSize bounds the slow log ring (default 64).
 	SlowLogSize int
+	// PlanCacheSize bounds the shared statement-plan cache (parsed ASTs
+	// keyed by language and normalized statement shape). Zero uses
+	// plancache.DefaultSize; a negative size disables plan caching.
+	PlanCacheSize int
 }
 
 // DefaultConfig uses a 4-backend kernel per database.
@@ -105,6 +110,7 @@ type System struct {
 	cfg     Config
 	metrics *obs.Registry
 	slow    *obs.SlowLog
+	plans   *plancache.Cache
 
 	mu  sync.Mutex
 	dbs map[string]*Database
@@ -127,8 +133,9 @@ type Database struct {
 	Kernel  *mbds.System
 	Ctrl    *kc.Controller
 
-	reg     *obs.Registry // the system's metrics registry
-	slow    *obs.SlowLog  // the system's slow-request log
+	reg     *obs.Registry    // the system's metrics registry
+	slow    *obs.SlowLog     // the system's slow-request log
+	plans   *plancache.Cache // the system's shared statement-plan cache
 	tracing bool
 }
 
@@ -141,10 +148,15 @@ func NewSystem(cfg Config) *System {
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
+	var plans *plancache.Cache
+	if cfg.PlanCacheSize >= 0 {
+		plans = plancache.New(cfg.PlanCacheSize)
+	}
 	return &System{
 		cfg:     cfg,
 		metrics: metrics,
 		slow:    obs.NewSlowLog(cfg.SlowThreshold, cfg.SlowLogSize),
+		plans:   plans,
 		dbs:     make(map[string]*Database),
 	}
 }
@@ -255,6 +267,7 @@ func (s *System) register(db *Database) (*Database, error) {
 	db.Ctrl = kc.New(kernel)
 	db.reg = s.metrics
 	db.slow = s.slow
+	db.plans = s.plans
 	db.tracing = s.cfg.Tracing
 	s.dbs[db.Name] = db
 	return db, nil
@@ -308,16 +321,25 @@ func (s *System) lookup(dbname string) (*Database, error) {
 	return db, nil
 }
 
+// LoadBatchSize is how many requests bulk loaders hand the kernel per
+// batched round: large enough to amortize the per-round fan-out (one bus or
+// wire message per backend per round), small enough to bound peak memory.
+const LoadBatchSize = 256
+
 // LoadInstance bulk-loads a functional database instance built with the
-// loader, seeding the key allocator past the loaded keys.
+// loader, seeding the key allocator past the loaded keys. Requests go to
+// the kernel in batched rounds of LoadBatchSize; on failure the returned
+// count is the start of the failed round (later records of that round may
+// or may not have applied).
 func (db *Database) LoadInstance(inst *loader.Instance) (int, error) {
 	tx, err := inst.Requests()
 	if err != nil {
 		return 0, err
 	}
-	for i, req := range tx {
-		if _, err := db.Kernel.Exec(req); err != nil {
-			return i, fmt.Errorf("core: loading record %d: %w", i, err)
+	for off := 0; off < len(tx); off += LoadBatchSize {
+		end := min(off+LoadBatchSize, len(tx))
+		if _, _, err := db.Kernel.ExecBatch(tx[off:end]); err != nil {
+			return off, fmt.Errorf("core: loading records %d..%d: %w", off, end-1, err)
 		}
 	}
 	db.Ctrl.SeedKeys(inst.MaxKey())

@@ -72,14 +72,13 @@ func (s *System) Restore(r io.Reader) (*Database, error) {
 		return nil, err
 	}
 	var maxKey currency.Key
+	reqs := make([]*abdl.Request, 0, len(img.Records))
 	for i, wr := range img.Records {
 		rec, err := wr.ToRecord()
 		if err != nil {
 			return nil, fmt.Errorf("core: record %d: %w", i, err)
 		}
-		if _, err := db.Kernel.Exec(abdl.NewInsert(rec)); err != nil {
-			return nil, fmt.Errorf("core: restoring record %d: %w", i, err)
-		}
+		reqs = append(reqs, abdl.NewInsert(rec))
 		var keyAttr string
 		switch {
 		case db.AB != nil:
@@ -91,6 +90,12 @@ func (s *System) Restore(r io.Reader) (*Database, error) {
 			if v, ok := rec.Get(keyAttr); ok && !v.IsNull() && v.AsInt() > maxKey {
 				maxKey = v.AsInt()
 			}
+		}
+	}
+	for off := 0; off < len(reqs); off += LoadBatchSize {
+		end := min(off+LoadBatchSize, len(reqs))
+		if _, _, err := db.Kernel.ExecBatch(reqs[off:end]); err != nil {
+			return nil, fmt.Errorf("core: restoring records %d..%d: %w", off, end-1, err)
 		}
 	}
 	db.Ctrl.SeedKeys(maxKey)

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mlds/internal/mbds"
+	"mlds/internal/obs"
+)
+
+func newShop(t *testing.T, cfg Config) (*System, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg.Kernel = mbds.DefaultConfig(2)
+	cfg.Metrics = reg
+	s := NewSystem(cfg)
+	t.Cleanup(s.Close)
+	if _, err := s.CreateRelational("shop", "CREATE TABLE emp (ename CHAR(20) NOT NULL, pay INTEGER);"); err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+// TestPlanCacheHitsAcrossSessions: re-running a statement — even from a
+// different session, even with different whitespace layout — serves the
+// cached parse, and the hit/miss counters land in the metrics exposition.
+func TestPlanCacheHitsAcrossSessions(t *testing.T) {
+	s, reg := newShop(t, Config{})
+	sess, err := s.Open("shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("INSERT INTO emp (ename, pay) VALUES ('ann', 10);"); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT ename FROM emp WHERE pay = 10;"
+	out1, err := sess.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same shape, different layout, different session.
+	sess2, err := s.Open("shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := sess2.Execute("SELECT ename\n\tFROM emp   WHERE pay = 10;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1.SQL.Rows) != 1 || len(out2.SQL.Rows) != 1 {
+		t.Fatalf("rows = %d then %d, want 1 and 1", len(out1.SQL.Rows), len(out2.SQL.Rows))
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `mlds_plan_cache_hits_total{db="shop",language="sql"} 1`) {
+		t.Errorf("exposition missing the plan-cache hit:\n%s", text)
+	}
+	if !strings.Contains(text, `mlds_plan_cache_misses_total{db="shop",language="sql"} 2`) {
+		t.Errorf("exposition missing the plan-cache misses:\n%s", text)
+	}
+}
+
+// TestPlanCacheLiteralsDoNotCollide: two statements differing only inside a
+// quoted literal must not share a plan.
+func TestPlanCacheLiteralsDoNotCollide(t *testing.T) {
+	s, _ := newShop(t, Config{})
+	sess, err := s.Open("shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stmt := range []string{
+		"INSERT INTO emp (ename, pay) VALUES ('a b', 1);",
+		"INSERT INTO emp (ename, pay) VALUES ('a  b', 2);",
+	} {
+		if _, err := sess.Execute(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := sess.Execute("SELECT ename FROM emp WHERE pay = 2;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SQL.Rows) != 1 || out.SQL.Rows[0][0].AsString() != "a  b" {
+		t.Fatalf("rows = %v, want the double-spaced literal", out.SQL.Rows)
+	}
+}
+
+// TestPlanCacheDisabled: a negative PlanCacheSize turns the cache off — every
+// statement parses and no hit counter appears.
+func TestPlanCacheDisabled(t *testing.T) {
+	s, reg := newShop(t, Config{PlanCacheSize: -1})
+	sess, err := s.Open("shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT ename FROM emp;"
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "mlds_plan_cache") {
+		t.Errorf("disabled plan cache still exported counters:\n%s", buf.String())
+	}
+}

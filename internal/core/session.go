@@ -16,6 +16,7 @@ import (
 	"mlds/internal/kfs"
 	"mlds/internal/kms"
 	"mlds/internal/obs"
+	"mlds/internal/plancache"
 	"mlds/internal/relkms"
 	"mlds/internal/sql"
 )
@@ -121,12 +122,44 @@ func (db *Database) run(lang, text string, exec func(ctx context.Context, out *O
 	return out, err
 }
 
+// plan resolves the parsed form of a statement through the system's plan
+// cache: statements sharing a language and normalized shape parse once and
+// reuse the AST. Every kernel mapping system treats its ASTs as read-only,
+// so a cached plan is safe to share across sessions. With caching disabled
+// (a nil cache) every statement parses.
+func plan[T any](ctx context.Context, db *Database, lang, text string, parse func(string) (T, error)) (T, error) {
+	_, pspan := obs.StartSpan(ctx, "parse")
+	defer pspan.End()
+	key := plancache.Key(lang, text)
+	if v, ok := db.plans.Get(key); ok {
+		pspan.SetAttr("plan", "hit")
+		db.planCount(lang, true)
+		return v.(T), nil
+	}
+	if db.plans != nil {
+		db.planCount(lang, false)
+	}
+	st, err := parse(text)
+	if err != nil {
+		return st, err
+	}
+	db.plans.Put(key, st)
+	return st, nil
+}
+
+// planCount charges one plan-cache hit or miss to the session metrics.
+func (db *Database) planCount(lang string, hit bool) {
+	name, help := "mlds_plan_cache_misses_total", "statements parsed because no cached plan matched"
+	if hit {
+		name, help = "mlds_plan_cache_hits_total", "statements served a cached parse"
+	}
+	db.reg.Counter(name, help, obs.L("db", db.Name), obs.L("language", lang)).Inc()
+}
+
 // Execute parses and runs one DML statement.
 func (sess *DMLSession) Execute(text string) (*Outcome, error) {
 	return sess.DB.run(LangDML, text, func(ctx context.Context, out *Outcome) error {
-		_, pspan := obs.StartSpan(ctx, "parse")
-		st, err := codasyl.ParseStmt(text)
-		pspan.End()
+		st, err := plan(ctx, sess.DB, LangDML, text, codasyl.ParseStmt)
 		if err != nil {
 			return err
 		}
@@ -164,9 +197,7 @@ func (sess *DMLSession) Language() string { return LangDML }
 // Execute parses and runs one Daplex DML statement.
 func (sess *DaplexSession) Execute(text string) (*Outcome, error) {
 	return sess.DB.run(LangDaplex, text, func(ctx context.Context, out *Outcome) error {
-		_, pspan := obs.StartSpan(ctx, "parse")
-		st, err := daplex.ParseDML(text)
-		pspan.End()
+		st, err := plan(ctx, sess.DB, LangDaplex, text, daplex.ParseDML)
 		if err != nil {
 			return err
 		}
@@ -197,9 +228,7 @@ func (sess *DaplexSession) Language() string { return LangDaplex }
 // Execute parses and runs one SQL statement.
 func (sess *SQLSession) Execute(text string) (*Outcome, error) {
 	return sess.DB.run(LangSQL, text, func(ctx context.Context, out *Outcome) error {
-		_, pspan := obs.StartSpan(ctx, "parse")
-		st, err := sql.Parse(text)
-		pspan.End()
+		st, err := plan(ctx, sess.DB, LangSQL, text, sql.Parse)
 		if err != nil {
 			return err
 		}
@@ -226,9 +255,7 @@ func (sess *SQLSession) Language() string { return LangSQL }
 // Execute parses and runs one DL/I call.
 func (sess *DLISession) Execute(text string) (*Outcome, error) {
 	return sess.DB.run(LangDLI, text, func(ctx context.Context, out *Outcome) error {
-		_, pspan := obs.StartSpan(ctx, "parse")
-		call, err := dli.Parse(text)
-		pspan.End()
+		call, err := plan(ctx, sess.DB, LangDLI, text, dli.Parse)
 		if err != nil {
 			return err
 		}
@@ -272,9 +299,7 @@ func (s *System) OpenABDL(dbname string) (*ABDLSession, error) {
 // Execute parses and runs one ABDL request.
 func (sess *ABDLSession) Execute(text string) (*Outcome, error) {
 	return sess.DB.run(LangABDL, text, func(ctx context.Context, out *Outcome) error {
-		_, pspan := obs.StartSpan(ctx, "parse")
-		req, err := abdl.Parse(text)
-		pspan.End()
+		req, err := plan(ctx, sess.DB, LangABDL, text, abdl.Parse)
 		if err != nil {
 			return err
 		}

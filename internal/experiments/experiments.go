@@ -61,6 +61,7 @@ func All() []*Report {
 		E9SharedKernel,
 		E10FiveInterfaces,
 		E11FaultTolerance,
+		E12BatchedLoad,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

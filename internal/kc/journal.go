@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"mlds/internal/abdl"
+	"mlds/internal/kdb"
 	"mlds/internal/wire"
 )
 
@@ -35,6 +36,26 @@ func (c *Controller) DetachJournal() {
 	c.journal = nil
 }
 
+// JournalError reports a mutation the kernel applied that the journal
+// failed to record: the store and the recovery log have diverged, and a
+// replay of the journal will not reproduce the current database. Applied
+// carries the kernel results of the requests that did execute, so callers
+// can keep the outcome (the data is durable in the kernel) while handling
+// the divergence — typically by re-snapshotting rather than trusting the
+// journal.
+type JournalError struct {
+	Applied []*kdb.Result // results of the round that executed before the journal failed
+	Err     error         // the underlying journal write failure
+}
+
+// Error describes the divergence.
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("kc: mutation applied to the kernel but not journalled (store and journal have diverged): %v", e.Err)
+}
+
+// Unwrap exposes the underlying journal write failure.
+func (e *JournalError) Unwrap() error { return e.Err }
+
 // logMutation writes one entry; called with a successful mutating request.
 func (c *Controller) logMutation(req *abdl.Request) error {
 	c.mu.Lock()
@@ -45,6 +66,27 @@ func (c *Controller) logMutation(req *abdl.Request) error {
 	entry := journalEntry{Req: wire.FromRequest(req), Key: c.nextKey}
 	if err := c.journal.Encode(&entry); err != nil {
 		return fmt.Errorf("kc: journal write: %w", err)
+	}
+	return nil
+}
+
+// logMutations journals every mutating request of a batch under one lock
+// acquisition — one journal flush per batch, not one per request.
+// Retrievals are skipped.
+func (c *Controller) logMutations(reqs []*abdl.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	for _, req := range reqs {
+		switch req.Kind {
+		case abdl.Insert, abdl.Delete, abdl.Update:
+			entry := journalEntry{Req: wire.FromRequest(req), Key: c.nextKey}
+			if err := c.journal.Encode(&entry); err != nil {
+				return fmt.Errorf("kc: journal write: %w", err)
+			}
+		}
 	}
 	return nil
 }

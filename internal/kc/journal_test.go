@@ -1,0 +1,120 @@
+package kc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// failWriter fails every write after the first n bytes succeed.
+type failWriter struct {
+	n    int
+	seen int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.seen >= w.n {
+		return 0, errDiskFull
+	}
+	w.seen += len(p)
+	return len(p), nil
+}
+
+func insertX(v int64) *abdl.Request {
+	return abdl.NewInsert(abdm.NewRecord("f", abdm.Keyword{Attr: "x", Val: abdm.Int(v)}))
+}
+
+// TestJournalFailureSurfacesDivergence covers the store/journal divergence:
+// a mutation that applies to the kernel but fails to journal must come back
+// as a JournalError carrying the applied result, not as a plain failure —
+// and the record must actually be in the store.
+func TestJournalFailureSurfacesDivergence(t *testing.T) {
+	c := newController(t)
+	c.AttachJournal(&failWriter{}) // fails from the first byte
+
+	_, err := c.Exec(insertX(7))
+	if err == nil {
+		t.Fatal("journalled insert with a failing journal succeeded silently")
+	}
+	var je *JournalError
+	if !errors.As(err, &je) {
+		t.Fatalf("error is %T (%v), want *JournalError", err, err)
+	}
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("JournalError does not unwrap to the write failure: %v", err)
+	}
+	if len(je.Applied) != 1 || je.Applied[0] == nil || je.Applied[0].Count != 1 {
+		t.Fatalf("JournalError.Applied = %+v, want the applied insert result", je.Applied)
+	}
+	// The divergence is real: the kernel holds the record the journal lost.
+	res, err := c.Exec(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: "x", Op: abdm.OpEq, Val: abdm.Int(7)}), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("kernel holds %d records for x=7, want 1 (the un-journalled mutation)", len(res.Records))
+	}
+}
+
+// TestExecBatchJournalsMutations checks a batched round journals its
+// mutations (and only those) so a replay reproduces the batch.
+func TestExecBatchJournalsMutations(t *testing.T) {
+	c1 := newController(t)
+	var journal bytes.Buffer
+	c1.AttachJournal(&journal)
+	reqs := []*abdl.Request{
+		insertX(1),
+		insertX(2),
+		abdl.NewRetrieve(abdm.And(abdm.Predicate{Attr: "x", Op: abdm.OpGe, Val: abdm.Int(0)}), abdl.AllAttrs),
+		abdl.NewUpdate(abdm.And(abdm.Predicate{Attr: "x", Op: abdm.OpEq, Val: abdm.Int(2)}),
+			abdl.Modifier{Attr: "x", Val: abdm.Int(3)}),
+	}
+	results, err := c1.ExecBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("batch returned %d results, want 4", len(results))
+	}
+	if len(results[2].Records) != 2 {
+		t.Fatalf("batched retrieve saw %d records, want 2", len(results[2].Records))
+	}
+
+	c2 := newController(t)
+	n, err := c2.ReplayJournal(&journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("replayed %d journal entries, want 3 (retrieve is not journalled)", n)
+	}
+	res, err := c2.Exec(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: "x", Op: abdm.OpEq, Val: abdm.Int(3)}), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("replayed database has %d records with x=3, want 1", len(res.Records))
+	}
+}
+
+// TestExecBatchJournalFailure: a batch whose journal write fails surfaces
+// one JournalError carrying every applied result.
+func TestExecBatchJournalFailure(t *testing.T) {
+	c := newController(t)
+	c.AttachJournal(&failWriter{})
+	_, err := c.ExecBatch([]*abdl.Request{insertX(1), insertX(2)})
+	var je *JournalError
+	if !errors.As(err, &je) {
+		t.Fatalf("error is %T (%v), want *JournalError", err, err)
+	}
+	if len(je.Applied) != 2 {
+		t.Fatalf("JournalError.Applied has %d results, want both applied inserts", len(je.Applied))
+	}
+}

@@ -9,6 +9,7 @@ package kc
 import (
 	"context"
 	"encoding/gob"
+	"strconv"
 	"sync"
 	"time"
 
@@ -71,10 +72,52 @@ func (c *Controller) ExecCtx(ctx context.Context, req *abdl.Request) (*kdb.Resul
 	switch req.Kind {
 	case abdl.Insert, abdl.Delete, abdl.Update:
 		if err := c.logMutation(req); err != nil {
-			return nil, err
+			// The kernel applied the mutation but the journal did not take
+			// it: surface the divergence with the applied result attached
+			// rather than pretending the request failed outright.
+			return nil, &JournalError{Applied: []*kdb.Result{res}, Err: err}
 		}
 	}
 	return res, nil
+}
+
+// ExecBatch validates and executes a slice of ABDL requests as one kernel
+// round, recording each in the trace and journalling every mutation in one
+// pass.
+func (c *Controller) ExecBatch(reqs []*abdl.Request) ([]*kdb.Result, error) {
+	return c.ExecBatchCtx(context.Background(), reqs)
+}
+
+// ExecBatchCtx is ExecBatch carrying a request context. The round becomes a
+// single "kc.batch" span; its children are MBDS's per-backend batch spans.
+// Mutations are journalled after the round under one journal lock — a single
+// flush per batch — so a journal failure surfaces as one JournalError
+// carrying every applied result.
+func (c *Controller) ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Result, error) {
+	c.mu.Lock()
+	if c.tracing {
+		for _, req := range reqs {
+			c.trace = append(c.trace, req.String())
+		}
+	}
+	c.mu.Unlock()
+	ctx, span := obs.StartSpan(ctx, "kc.batch")
+	span.SetAttr("requests", strconv.Itoa(len(reqs)))
+	results, t, err := c.sys.ExecBatchCtx(ctx, reqs)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
+		return nil, err
+	}
+	span.AddSim(t)
+	span.End()
+	c.mu.Lock()
+	c.simTime += t
+	c.mu.Unlock()
+	if err := c.logMutations(reqs); err != nil {
+		return nil, &JournalError{Applied: results, Err: err}
+	}
+	return results, nil
 }
 
 // NextKey allocates a fresh logical database key.

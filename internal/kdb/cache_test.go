@@ -1,0 +1,331 @@
+package kdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+func fileQuery(file string, ps ...abdm.Predicate) abdm.Query {
+	conj := abdm.Conjunction{{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(file)}}
+	conj = append(conj, ps...)
+	return abdm.Query{conj}
+}
+
+// TestConcurrentRangeRetrieves is the -race regression for the lazy sorted
+// key cache in attrIndex: many goroutines issuing range retrieves under the
+// store's read lock must not race rebuilding ix.sorted.
+func TestConcurrentRangeRetrieves(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 200)
+	q := fileQuery("course", abdm.Predicate{Attr: "credits", Op: abdm.OpGe, Val: abdm.Int(3)})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := s.Exec(abdl.NewRetrieve(q, abdl.AllAttrs)); err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave mutations so the sorted cache is repeatedly
+				// invalidated while other goroutines rebuild it.
+				rec := abdm.NewRecord("course",
+					abdm.Keyword{Attr: "title", Val: abdm.String(fmt.Sprintf("X%d-%d", i, len(q)))},
+					abdm.Keyword{Attr: "credits", Val: abdm.Int(int64(i%7) + 1)},
+				)
+				if _, err := s.Insert(rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestValueKeyBigInt64RoundTrip covers the valueKey canonical form for int64
+// values beyond 2^53: adjacent big ints must keep distinct index keys (the
+// old float64-based form collapsed them), while equal int/float pairs still
+// share one.
+func TestValueKeyBigInt64RoundTrip(t *testing.T) {
+	a := int64(1) << 53 // representable as float64
+	pairs := []struct{ x, y int64 }{
+		{a, a + 1},
+		{a + 1, a + 2},
+		{9223372036854775806, 9223372036854775807},
+		{-9223372036854775808, -9223372036854775807},
+	}
+	for _, p := range pairs {
+		if valueKey(abdm.Int(p.x)) == valueKey(abdm.Int(p.y)) {
+			t.Errorf("valueKey collides for %d and %d", p.x, p.y)
+		}
+	}
+	// Int/float equality must still canonicalise to one key.
+	if valueKey(abdm.Int(42)) != valueKey(abdm.Float(42)) {
+		t.Errorf("valueKey(Int(42)) != valueKey(Float(42))")
+	}
+
+	// Round-trip through the store: insert two records whose IDs differ only
+	// beyond 2^53, then retrieve and delete by exact value.
+	d := abdm.NewDirectory()
+	if err := d.DefineAttr("serial", abdm.KindInt); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineFile("part", []string{"serial"}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(d)
+	for _, v := range []int64{a, a + 1} {
+		rec := abdm.NewRecord("part", abdm.Keyword{Attr: "serial", Val: abdm.Int(v)})
+		if _, err := s.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := fileQuery("part", abdm.Predicate{Attr: "serial", Op: abdm.OpEq, Val: abdm.Int(a + 1)})
+	res, err := s.Exec(abdl.NewRetrieve(q, abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("retrieve serial=%d: got %d records, want 1", a+1, len(res.Records))
+	}
+	if v, _ := res.Records[0].Rec.Get("serial"); v.AsInt() != a+1 {
+		t.Fatalf("retrieved serial %d, want %d", v.AsInt(), a+1)
+	}
+	// Delete must target only the exact value, not its 2^53 neighbour.
+	if _, err := s.Exec(abdl.NewDelete(q)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("after targeted delete: %d records, want 1", s.Len())
+	}
+	rest, err := s.Exec(abdl.NewRetrieve(fileQuery("part"), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := rest.Records[0].Rec.Get("serial"); v.AsInt() != a {
+		t.Fatalf("surviving serial %d, want %d", v.AsInt(), a)
+	}
+}
+
+// TestResultCacheHit proves a repeated retrieve is served from the cache and
+// returns an equivalent result with independent record storage.
+func TestResultCacheHit(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 50)
+	q := fileQuery("course", abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String("CS")})
+	req := abdl.NewRetrieve(q, abdl.AllAttrs)
+
+	first, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.CacheHits)
+	}
+	if len(second.Records) != len(first.Records) {
+		t.Fatalf("cached result has %d records, first had %d", len(second.Records), len(first.Records))
+	}
+	if second.Cost != first.Cost {
+		t.Fatalf("cached cost %+v differs from first %+v", second.Cost, first.Cost)
+	}
+	// Hits must never alias the cached copy: mutating one result's record
+	// must not leak into a later hit.
+	second.Records[0].Rec.Set("dept", abdm.String("tampered"))
+	third, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := third.Records[0].Rec.Get("dept"); v.AsString() == "tampered" {
+		t.Fatal("cache hit aliases a previously returned record")
+	}
+}
+
+// TestResultCacheInvalidationPerFile proves a mutation invalidates only the
+// touched file's cached results: after an insert into "person", the cached
+// "course" retrieve still hits while the "person" retrieve recomputes.
+func TestResultCacheInvalidationPerFile(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 20)
+	person := abdm.NewRecord("person",
+		abdm.Keyword{Attr: "name", Val: abdm.String("ada")},
+		abdm.Keyword{Attr: "age", Val: abdm.Int(36)},
+	)
+	if _, err := s.Insert(person); err != nil {
+		t.Fatal(err)
+	}
+
+	courseReq := abdl.NewRetrieve(fileQuery("course"), abdl.AllAttrs)
+	personReq := abdl.NewRetrieve(fileQuery("person"), abdl.AllAttrs)
+	for _, req := range []*abdl.Request{courseReq, personReq} {
+		if _, err := s.Exec(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Mutate only "person".
+	second := abdm.NewRecord("person",
+		abdm.Keyword{Attr: "name", Val: abdm.String("grace")},
+		abdm.Keyword{Attr: "age", Val: abdm.Int(45)},
+	)
+	if _, err := s.Insert(second); err != nil {
+		t.Fatal(err)
+	}
+
+	base := s.Stats()
+	courseRes, err := s.Exec(courseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.CacheHits != base.CacheHits+1 {
+		t.Fatalf("course retrieve after person insert: hits %d→%d, want a hit", base.CacheHits, after.CacheHits)
+	}
+	if len(courseRes.Records) != 20 {
+		t.Fatalf("course retrieve returned %d records, want 20", len(courseRes.Records))
+	}
+
+	personRes, err := s.Exec(personReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := s.Stats()
+	if final.CacheMisses != after.CacheMisses+1 {
+		t.Fatalf("person retrieve after person insert: misses %d→%d, want a miss", after.CacheMisses, final.CacheMisses)
+	}
+	if len(personRes.Records) != 2 {
+		t.Fatalf("person retrieve returned %d records, want 2 (stale cache?)", len(personRes.Records))
+	}
+
+	// Deletes and updates invalidate too.
+	if _, err := s.Exec(personReq); err != nil { // refill
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(abdl.NewUpdate(
+		fileQuery("person", abdm.Predicate{Attr: "name", Op: abdm.OpEq, Val: abdm.String("ada")}),
+		abdl.Modifier{Attr: "age", Val: abdm.Int(37)},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Exec(personReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range res.Records {
+		if name, _ := sr.Rec.Get("name"); name.AsString() == "ada" {
+			if age, _ := sr.Rec.Get("age"); age.AsInt() != 37 {
+				t.Fatalf("update served stale cached age %d", age.AsInt())
+			}
+		}
+	}
+}
+
+// TestResultCacheAllFilesInvalidation covers queries without a file
+// predicate: they depend on the store-wide generation, so a mutation in any
+// file — including a brand-new one — invalidates them.
+func TestResultCacheAllFilesInvalidation(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 5)
+	req := abdl.NewRetrieve(abdm.Query{}, abdl.AllAttrs) // unqualified: every record
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 5 {
+		t.Fatalf("got %d records, want 5", len(res.Records))
+	}
+	person := abdm.NewRecord("person",
+		abdm.Keyword{Attr: "name", Val: abdm.String("new")},
+		abdm.Keyword{Attr: "age", Val: abdm.Int(1)},
+	)
+	if _, err := s.Insert(person); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 6 {
+		t.Fatalf("after insert into new file: got %d records, want 6", len(res.Records))
+	}
+}
+
+// TestResultCacheDisabled checks WithResultCache(0) turns the cache off.
+func TestResultCacheDisabled(t *testing.T) {
+	s := NewStore(testDir(t), WithResultCache(0))
+	loadCourses(t, s, 5)
+	req := abdl.NewRetrieve(fileQuery("course"), abdl.AllAttrs)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Exec(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestResultCacheEviction keeps the cache bounded at its capacity.
+func TestResultCacheEviction(t *testing.T) {
+	s := NewStore(testDir(t), WithResultCache(2))
+	loadCourses(t, s, 10)
+	for _, dept := range []string{"CS", "Math", "Physics"} {
+		q := fileQuery("course", abdm.Predicate{Attr: "dept", Op: abdm.OpEq, Val: abdm.String(dept)})
+		if _, err := s.Exec(abdl.NewRetrieve(q, abdl.AllAttrs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.cache.mu.Lock()
+	n := len(s.cache.m)
+	s.cache.mu.Unlock()
+	if n > 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", n)
+	}
+}
+
+// TestStoreExecBatch runs a mixed batch and checks positional results and
+// error wrapping.
+func TestStoreExecBatch(t *testing.T) {
+	s := NewStore(testDir(t))
+	reqs := []*abdl.Request{
+		abdl.NewInsert(abdm.NewRecord("person",
+			abdm.Keyword{Attr: "name", Val: abdm.String("ada")},
+			abdm.Keyword{Attr: "age", Val: abdm.Int(36)},
+		)),
+		abdl.NewRetrieve(fileQuery("person"), abdl.AllAttrs),
+	}
+	out, err := s.ExecBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch returned %d results, want 2", len(out))
+	}
+	if len(out[1].Records) != 1 {
+		t.Fatalf("batched retrieve saw %d records, want 1", len(out[1].Records))
+	}
+
+	bad := []*abdl.Request{
+		abdl.NewRetrieve(fileQuery("person"), abdl.AllAttrs),
+		abdl.NewDelete(abdm.Query{}), // invalid: DELETE requires a query
+	}
+	out, err = s.ExecBatch(bad)
+	if err == nil {
+		t.Fatal("batch with invalid request succeeded")
+	}
+	if len(out) != 1 {
+		t.Fatalf("failed batch returned %d completed results, want 1", len(out))
+	}
+}

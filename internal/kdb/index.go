@@ -1,7 +1,10 @@
 package kdb
 
 import (
+	"math"
 	"sort"
+	"strconv"
+	"sync"
 
 	"mlds/internal/abdm"
 )
@@ -11,7 +14,14 @@ import (
 type attrIndex struct {
 	postings map[string][]abdm.RecordID // canonical value key → sorted IDs
 	values   map[string]abdm.Value      // canonical key → representative value
-	sorted   []string                   // canonical keys, sorted by value; nil when stale
+
+	// sorted is the lazily-built distinct-value ordering for range scans.
+	// Mutations (which run under the store's write lock) invalidate it;
+	// range lookups (which run under the store's read lock, possibly many at
+	// once) rebuild it under sortMu so concurrent readers never race on the
+	// build.
+	sortMu sync.Mutex
+	sorted []string // canonical keys, sorted by value; nil when stale
 }
 
 func newAttrIndex() *attrIndex {
@@ -23,11 +33,19 @@ func newAttrIndex() *attrIndex {
 
 // valueKey builds the canonical index key for a value. Ints and floats that
 // compare equal share a key so numeric predicates hit either representation.
+// Integral values canonicalise through exact int64 formatting — never through
+// float64 — so distinct int64 values beyond 2^53 keep distinct keys.
 func valueKey(v abdm.Value) string {
 	switch v.Kind() {
 	case abdm.KindInt:
-		return "n" + abdm.Float(float64(v.AsInt())).String()
+		return "n" + strconv.FormatInt(v.AsInt(), 10)
 	case abdm.KindFloat:
+		f := v.AsFloat()
+		// An integral float in int64 range shares its key with the equal
+		// int: both bounds are exactly representable as float64.
+		if f == math.Trunc(f) && f >= -9223372036854775808.0 && f < 9223372036854775808.0 {
+			return "n" + strconv.FormatInt(int64(f), 10)
+		}
 		return "n" + v.String()
 	case abdm.KindString:
 		return "s" + v.AsString()
@@ -74,10 +92,15 @@ func (ix *attrIndex) lookupEq(v abdm.Value) []abdm.RecordID {
 	return ix.postings[valueKey(v)]
 }
 
-// ensureSorted materialises the distinct-value ordering for range scans.
-func (ix *attrIndex) ensureSorted() {
+// ensureSorted materialises the distinct-value ordering for range scans and
+// returns it. Callers hold at least the store's read lock (excluding
+// mutations); sortMu additionally serialises concurrent readers rebuilding
+// the same stale ordering.
+func (ix *attrIndex) ensureSorted() []string {
+	ix.sortMu.Lock()
+	defer ix.sortMu.Unlock()
 	if ix.sorted != nil {
-		return
+		return ix.sorted
 	}
 	keys := make([]string, 0, len(ix.values))
 	for k := range ix.values {
@@ -92,6 +115,7 @@ func (ix *attrIndex) ensureSorted() {
 		return c < 0
 	})
 	ix.sorted = keys
+	return keys
 }
 
 // lookupRange returns IDs whose values satisfy op against bound. probes
@@ -100,8 +124,7 @@ func (ix *attrIndex) lookupRange(op abdm.Op, bound abdm.Value) (ids []abdm.Recor
 	if op == abdm.OpEq {
 		return ix.lookupEq(bound), 1
 	}
-	ix.ensureSorted()
-	for _, k := range ix.sorted {
+	for _, k := range ix.ensureSorted() {
 		v := ix.values[k]
 		cmp, err := v.Compare(bound)
 		if err != nil {

@@ -11,6 +11,8 @@ type Stats struct {
 	BlocksRead  uint64 // cumulative disk-model blocks read
 	BlocksWrit  uint64 // cumulative disk-model blocks written
 	RecordsExam uint64 // cumulative records examined
+	CacheHits   uint64 // retrieve-result cache hits
+	CacheMisses uint64 // retrieve-result cache misses
 }
 
 // storeStats is the live atomic counter set behind Stats.
@@ -20,6 +22,8 @@ type storeStats struct {
 	blocksRead  atomic.Uint64
 	blocksWrit  atomic.Uint64
 	recordsExam atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // note records one executed request and its cost.
@@ -44,5 +48,7 @@ func (s *Store) Stats() Stats {
 		BlocksRead:  s.stats.blocksRead.Load(),
 		BlocksWrit:  s.stats.blocksWrit.Load(),
 		RecordsExam: s.stats.recordsExam.Load(),
+		CacheHits:   s.stats.cacheHits.Load(),
+		CacheMisses: s.stats.cacheMisses.Load(),
 	}
 }

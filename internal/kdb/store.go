@@ -22,6 +22,16 @@ type Store struct {
 	nextID  func() abdm.RecordID
 	noIndex bool // ablation switch: force full-file scans
 	stats   storeStats
+
+	// Retrieve-result cache. gens carries one generation counter per file,
+	// bumped by every mutation that touches the file (and genAll by every
+	// mutation); cached results remember the generations they were built
+	// under and are dropped lazily when they no longer match. Both maps are
+	// guarded by mu like the primary data; the cache has its own lock so
+	// concurrent readers can share hits under mu.RLock.
+	gens   map[string]uint64
+	genAll uint64
+	cache  retrieveCache
 }
 
 // Option configures a Store.
@@ -40,6 +50,12 @@ func WithIDAllocator(next func() abdm.RecordID) Option {
 // WithoutIndexes disables attribute indexes, forcing every query to scan its
 // file. Exists for the index-vs-scan ablation benchmark.
 func WithoutIndexes() Option { return func(s *Store) { s.noIndex = true } }
+
+// WithResultCache sets the retrieve-result cache capacity in entries.
+// Zero or negative disables the cache; the default is DefaultCacheSize.
+func WithResultCache(entries int) Option {
+	return func(s *Store) { s.cache.cap = entries }
+}
 
 // WithStrideIDs allocates record IDs offset, offset+stride, offset+2·stride…
 // Remote backends of one kernel database each take a distinct offset with
@@ -71,12 +87,15 @@ func NewStore(dir *abdm.Directory, opts ...Option) *Store {
 		files:   make(map[string]map[abdm.RecordID]*abdm.Record),
 		indexes: make(map[string]*attrIndex),
 		fileOf:  make(map[abdm.RecordID]string),
+		gens:    make(map[string]uint64),
 	}
+	s.cache.cap = DefaultCacheSize
 	var ctr abdm.RecordID
 	s.nextID = func() abdm.RecordID { ctr++; return ctr }
 	for _, o := range opts {
 		o(s)
 	}
+	s.cache.m = make(map[string]*cacheEntry)
 	return s
 }
 
@@ -102,6 +121,22 @@ func (s *Store) Exec(req *abdl.Request) (*Result, error) {
 	res, err := s.exec(req)
 	s.stats.note(res, err)
 	return res, err
+}
+
+// ExecBatch executes the requests in order, returning one result per
+// request. It stops at the first failure, wrapping the error with the
+// offending request's position; results for the requests that ran before it
+// are still returned.
+func (s *Store) ExecBatch(reqs []*abdl.Request) ([]*Result, error) {
+	out := make([]*Result, 0, len(reqs))
+	for i, req := range reqs {
+		res, err := s.Exec(req)
+		if err != nil {
+			return out, fmt.Errorf("kdb: batch request %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 func (s *Store) exec(req *abdl.Request) (*Result, error) {
@@ -140,9 +175,9 @@ func (s *Store) execRetrieveCommon(req *abdl.Request) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res := &Result{Op: abdl.RetrieveCommon}
-	second, paths2 := s.qualify(req.Query2, &res.Cost)
+	second, paths2, _ := s.qualify(req.Query2, &res.Cost)
 	values := CommonValues(second, req.Common)
-	first, paths1 := s.qualify(req.Query, &res.Cost)
+	first, paths1, _ := s.qualify(req.Query, &res.Cost)
 	res.Paths = append(paths1, paths2...)
 	kept := FilterByCommon(first, req.Common, values)
 	out := make([]StoredRecord, len(kept))
@@ -207,9 +242,18 @@ func (s *Store) insertForcedLocked(id abdm.RecordID, rec *abdm.Record) {
 	s.addLocked(id, rec)
 }
 
+// bumpGen advances the file's and the store-wide mutation generations,
+// lazily invalidating cached retrieve results that depended on the file.
+// Caller must hold the write lock.
+func (s *Store) bumpGen(file string) {
+	s.gens[file]++
+	s.genAll++
+}
+
 func (s *Store) addLocked(id abdm.RecordID, rec *abdm.Record) {
 	cp := rec.Clone()
 	file := cp.File()
+	s.bumpGen(file)
 	if s.files[file] == nil {
 		s.files[file] = make(map[abdm.RecordID]*abdm.Record)
 	}
@@ -254,20 +298,34 @@ func (s *Store) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
 	return s.files[file][id].Clone(), true
 }
 
+// qualDeps describes which files a qualification depended on, for the
+// retrieve-result cache. allFiles is set when some conjunction carried no
+// file predicate: such a query can match records of files that do not exist
+// yet, so its cache entries depend on the store-wide generation.
+type qualDeps struct {
+	files    map[string]bool
+	allFiles bool
+}
+
 // qualify finds the records matching the query, charging costs to c and
-// recording the chosen access paths. Caller must hold at least a read lock.
-func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string) {
+// recording the chosen access paths and file dependencies. Caller must hold
+// at least a read lock.
+func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps) {
 	matched := make(map[abdm.RecordID]*abdm.Record)
-	filesSeen := make(map[string]bool)
+	deps := qualDeps{files: make(map[string]bool)}
 	var paths []string
 	for _, conj := range q {
-		paths = append(paths, s.qualifyConj(conj, matched, filesSeen, c))
+		if _, hasFile := conj.File(); !hasFile {
+			deps.allFiles = true
+		}
+		paths = append(paths, s.qualifyConj(conj, matched, deps.files, c))
 	}
 	if len(q) == 0 {
 		// Unqualified request addresses every record.
+		deps.allFiles = true
 		paths = append(paths, "scan(*)")
 		for file, recs := range s.files {
-			filesSeen[file] = true
+			deps.files[file] = true
 			for id, r := range recs {
 				matched[id] = r
 			}
@@ -275,13 +333,13 @@ func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string) {
 			c.BlocksRead += s.disk.blocks(len(recs))
 		}
 	}
-	c.FilesTouched = len(filesSeen)
+	c.FilesTouched = len(deps.files)
 	out := make([]StoredRecord, 0, len(matched))
 	for id, r := range matched {
 		out = append(out, StoredRecord{ID: id, Rec: r})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, paths
+	return out, paths, deps
 }
 
 // qualifyConj resolves one conjunction, using the most selective indexable
@@ -400,7 +458,7 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := &Result{Op: abdl.Delete}
-	victims, paths := s.qualify(req.Query, &res.Cost)
+	victims, paths, _ := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 	for _, sr := range victims {
 		s.removeLocked(sr.ID, sr.Rec)
@@ -413,6 +471,7 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 
 func (s *Store) removeLocked(id abdm.RecordID, rec *abdm.Record) {
 	file := s.fileOf[id]
+	s.bumpGen(file)
 	delete(s.files[file], id)
 	delete(s.fileOf, id)
 	if !s.noIndex {
@@ -440,9 +499,10 @@ func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := &Result{Op: abdl.Update}
-	targets, paths := s.qualify(req.Query, &res.Cost)
+	targets, paths, _ := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 	for _, sr := range targets {
+		s.bumpGen(s.fileOf[sr.ID])
 		res.Affected = append(res.Affected, sr.ID)
 		for _, m := range req.Mods {
 			if !s.noIndex {
@@ -474,8 +534,16 @@ func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	key := req.String()
+	if hit, ok := s.cacheLookup(key); ok {
+		s.stats.cacheHits.Add(1)
+		return hit, nil
+	}
+	if s.cache.cap > 0 {
+		s.stats.cacheMisses.Add(1)
+	}
 	res := &Result{Op: req.Kind}
-	recs, paths := s.qualify(req.Query, &res.Cost)
+	recs, paths, deps := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 
 	// Project to the target list.
@@ -489,6 +557,7 @@ func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
 		res.Groups = groupBy(out, recs, req.By)
 	}
 	res.RecomputeAggregates(req.Target)
+	s.cacheFill(key, res, deps)
 	return res, nil
 }
 

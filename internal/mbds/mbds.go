@@ -120,6 +120,13 @@ type Executor interface {
 	Exec(*abdl.Request) (*kdb.Result, error)
 }
 
+// BatchExecutor is implemented by executors that can take a whole batch in
+// one call — kdb.Store directly, mbdsnet.RemoteBackend as a single wire
+// message. Executors without it are fed batches one request at a time.
+type BatchExecutor interface {
+	ExecBatch([]*abdl.Request) ([]*kdb.Result, error)
+}
+
 // backend is one slave: its executor plus the goroutine that serves its
 // side of the bus. store is nil for remote backends.
 type backend struct {
@@ -139,12 +146,14 @@ type backend struct {
 
 type job struct {
 	req   *abdl.Request
-	reply chan jobReply // buffered (cap 1): serve never blocks on a reply
+	batch []*abdl.Request // non-nil: one bus message carrying N requests
+	reply chan jobReply   // buffered (cap 1): serve never blocks on a reply
 }
 
 type jobReply struct {
-	res *kdb.Result
-	err error
+	res     *kdb.Result
+	results []*kdb.Result // batch jobs: one result per request
+	err     error
 }
 
 // newBackend builds one backend over the executor and starts its serve
@@ -224,12 +233,37 @@ func (b *backend) serve() {
 	for {
 		select {
 		case j := <-b.reqCh:
+			if j.batch != nil {
+				results, err := b.execBatch(j.batch)
+				j.reply <- jobReply{results: results, err: err}
+				continue
+			}
 			res, err := b.exec.Exec(j.req)
 			j.reply <- jobReply{res: res, err: err}
 		case <-b.quit:
 			return
 		}
 	}
+}
+
+// execBatch runs one batch against the backend's executor. Executors that
+// implement BatchExecutor (kdb.Store locally, mbdsnet.RemoteBackend over
+// TCP) take the whole slice in one call — one wire message for remote
+// backends; anything else (e.g. a fault-injecting wrapper) falls back to a
+// per-request loop so faults still hit each request.
+func (b *backend) execBatch(reqs []*abdl.Request) ([]*kdb.Result, error) {
+	if be, ok := b.exec.(BatchExecutor); ok {
+		return be.ExecBatch(reqs)
+	}
+	out := make([]*kdb.Result, 0, len(reqs))
+	for i, req := range reqs {
+		res, err := b.exec.Exec(req)
+		if err != nil {
+			return out, fmt.Errorf("mbds: batch request %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
 }
 
 // Fault returns backend i's fault-injection handle, or nil unless the
@@ -316,6 +350,28 @@ func (s *System) PartitionSizes() []int {
 	out := make([]int, len(s.backends))
 	for i, b := range s.backends {
 		out[i] = b.lenOf()
+	}
+	return out
+}
+
+// StoreStats sums the lifetime kdb statistics (requests, disk-model cost,
+// result-cache hits and misses) of every local backend partition. Remote
+// backends hold no local store and contribute nothing — their stats are
+// scraped from their own daemons' /metrics.
+func (s *System) StoreStats() kdb.Stats {
+	var out kdb.Stats
+	for _, b := range s.backends {
+		if b.store == nil {
+			continue
+		}
+		st := b.store.Stats()
+		out.Requests += st.Requests
+		out.Errors += st.Errors
+		out.BlocksRead += st.BlocksRead
+		out.BlocksWrit += st.BlocksWrit
+		out.RecordsExam += st.RecordsExam
+		out.CacheHits += st.CacheHits
+		out.CacheMisses += st.CacheMisses
 	}
 	return out
 }

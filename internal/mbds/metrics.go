@@ -11,6 +11,7 @@ import (
 // obs types no-op on nil, so the hot path never tests whether metrics are on.
 type sysMetrics struct {
 	requests *obs.Counter   // kernel requests by database
+	batches  *obs.Counter   // batched rounds executed by the controller
 	dedup    *obs.Counter   // records removed by replica dedup
 	simSec   *obs.Histogram // simulated response time per request
 	wallSec  *obs.Histogram // wall-clock time per request
@@ -34,6 +35,8 @@ func (s *System) initMetrics() {
 	s.metrics = sysMetrics{
 		requests: reg.Counter("mlds_kernel_requests_total",
 			"ABDL requests executed by the kernel controller", db),
+		batches: reg.Counter("mlds_kernel_batches_total",
+			"batched kernel rounds executed by the controller", db),
 		dedup: reg.Counter("mlds_replica_dedup_hits_total",
 			"replica copies removed by controller-side dedup", db),
 		simSec: reg.Histogram("mlds_kernel_sim_seconds",

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"mlds/internal/abdl"
 	"mlds/internal/kdb"
@@ -28,7 +29,30 @@ type BackendServer struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 
-	mExec, mErrors *obs.Counter // nil until Instrument; nil-safe
+	// Wire-level op counters. The atomics always count (tests assert the
+	// one-message-per-backend-per-batch property through them); the obs
+	// counters mirror them once Instrument attaches a registry.
+	nExec, nBatch, nBatchReqs, nErrors atomic.Uint64
+
+	mExec, mBatch, mBatchReqs, mErrors *obs.Counter // nil until Instrument; nil-safe
+}
+
+// OpCounts is a snapshot of a backend server's wire-level op counters.
+type OpCounts struct {
+	Exec      uint64 // single-request exec messages served
+	Batch     uint64 // execbatch messages served
+	BatchReqs uint64 // requests carried inside execbatch messages
+	Errors    uint64 // ops that returned an error
+}
+
+// OpCounts snapshots the server's wire-level op counters.
+func (s *BackendServer) OpCounts() OpCounts {
+	return OpCounts{
+		Exec:      s.nExec.Load(),
+		Batch:     s.nBatch.Load(),
+		BatchReqs: s.nBatchReqs.Load(),
+		Errors:    s.nErrors.Load(),
+	}
 }
 
 // Serve starts serving the store on the listener. It returns immediately;
@@ -109,28 +133,56 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 			return
 		}
 		reply := wire.Envelope{Seq: env.Seq}
+		noteErr := func(msg string) {
+			s.nErrors.Add(1)
+			s.mErrors.Inc()
+			reply.Err = msg
+		}
 		switch env.Action {
 		case "", "exec":
+			s.nExec.Add(1)
 			s.mExec.Inc()
 			if env.Req == nil {
-				s.mErrors.Inc()
-				reply.Err = "mbdsnet: exec without a request"
+				noteErr("mbdsnet: exec without a request")
 				break
 			}
 			req, err := env.Req.ToRequest()
 			if err != nil {
-				s.mErrors.Inc()
-				reply.Err = err.Error()
+				noteErr(err.Error())
 				break
 			}
 			res, err := s.store.Exec(req)
 			if err != nil {
-				s.mErrors.Inc()
-				reply.Err = err.Error()
+				noteErr(err.Error())
 				break
 			}
 			wres := wire.FromResult(res)
 			reply.Res = &wres
+		case "execbatch":
+			s.nBatch.Add(1)
+			s.mBatch.Inc()
+			s.nBatchReqs.Add(uint64(len(env.Reqs)))
+			s.mBatchReqs.Add(uint64(len(env.Reqs)))
+			reqs := make([]*abdl.Request, len(env.Reqs))
+			var convErr error
+			for i := range env.Reqs {
+				if reqs[i], convErr = env.Reqs[i].ToRequest(); convErr != nil {
+					break
+				}
+			}
+			if convErr != nil {
+				noteErr(convErr.Error())
+				break
+			}
+			results, err := s.store.ExecBatch(reqs)
+			if err != nil {
+				noteErr(err.Error())
+				break
+			}
+			reply.Results = make([]wire.Result, len(results))
+			for i, res := range results {
+				reply.Results[i] = wire.FromResult(res)
+			}
 		case "len":
 			reply.N = s.store.Len()
 		default:
@@ -312,6 +364,40 @@ func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
 		return nil, fmt.Errorf("mbdsnet: backend %s sent an empty reply", rb.addr)
 	}
 	return reply.Res.ToResult()
+}
+
+// ExecBatch executes a slice of ABDL requests on the remote backend as one
+// "execbatch" wire message, returning one result per request. It satisfies
+// mbds.BatchExecutor, so a controller batch costs one message round per
+// backend. The batch is the resend unit: it is re-sent after a mid-exchange
+// failure only when every request in it is idempotent.
+func (rb *RemoteBackend) ExecBatch(reqs []*abdl.Request) ([]*kdb.Result, error) {
+	idem := true
+	wreqs := make([]wire.Request, len(reqs))
+	for i, req := range reqs {
+		if req.Kind == abdl.Insert && req.ForceID == 0 {
+			idem = false
+		}
+		wreqs[i] = wire.FromRequest(req)
+	}
+	reply, err := rb.roundTrip(wire.Envelope{Action: "execbatch", Reqs: wreqs}, idem)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	if len(reply.Results) != len(reqs) {
+		return nil, fmt.Errorf("mbdsnet: backend %s answered %d results for a %d-request batch",
+			rb.addr, len(reply.Results), len(reqs))
+	}
+	out := make([]*kdb.Result, len(reply.Results))
+	for i := range reply.Results {
+		if out[i], err = reply.Results[i].ToResult(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Len reports the remote partition's record count.

@@ -14,9 +14,19 @@ import (
 func (s *BackendServer) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	s.mExec = reg.Counter("mlds_server_exec_total",
 		"ABDL requests served over the wire", labels...)
+	s.mBatch = reg.Counter("mlds_server_batch_total",
+		"execbatch wire messages served", labels...)
+	s.mBatchReqs = reg.Counter("mlds_server_batch_requests_total",
+		"ABDL requests carried inside execbatch wire messages", labels...)
 	s.mErrors = reg.Counter("mlds_server_exec_errors_total",
 		"wire requests that returned an error", labels...)
 	store := s.store
+	reg.GaugeFunc("mlds_store_cache_hits",
+		"retrieve-result cache hits in this partition",
+		func() float64 { return float64(store.Stats().CacheHits) }, labels...)
+	reg.GaugeFunc("mlds_store_cache_misses",
+		"retrieve-result cache misses in this partition",
+		func() float64 { return float64(store.Stats().CacheMisses) }, labels...)
 	reg.GaugeFunc("mlds_store_records",
 		"records held by this partition",
 		func() float64 { return float64(store.Len()) }, labels...)

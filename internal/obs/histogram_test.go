@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// observeAll records every value and returns the per-bucket (non-cumulative)
+// counts in bound order.
+func bucketCounts(h *Histogram, values []float64) []uint64 {
+	for _, v := range values {
+		h.Observe(v)
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// TestHistogramUnsortedBounds: Observe walks bounds in order and stops at
+// the first match, so unsorted registration bounds used to misbucket every
+// observation. Registration must sort them.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("unsorted_seconds", "t", []float64{1.0, 0.01, 0.1})
+	if got := len(h.bounds); got != 3 {
+		t.Fatalf("bounds = %v, want 3 sorted bounds", h.bounds)
+	}
+	for i := 1; i < len(h.bounds); i++ {
+		if h.bounds[i-1] >= h.bounds[i] {
+			t.Fatalf("bounds not ascending after registration: %v", h.bounds)
+		}
+	}
+	counts := bucketCounts(h, []float64{0.005, 0.05, 0.5})
+	// 0.005 ≤ 0.01, 0.05 ≤ 0.1, 0.5 ≤ 1.0 — one observation per bucket.
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("bucket %d has %d observations, want 1 (counts %v, bounds %v)", i, c, counts, h.bounds)
+		}
+	}
+}
+
+// TestHistogramDuplicateBounds: duplicate bounds collapse at registration so
+// exposition never emits two buckets with the same le label.
+func TestHistogramDuplicateBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("dup_seconds", "t", []float64{0.1, 0.1, 1.0, 0.1})
+	if len(h.bounds) != 2 {
+		t.Fatalf("bounds = %v, want [0.1 1]", h.bounds)
+	}
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if got := strings.Count(text, `le="0.1"`); got != 1 {
+		t.Fatalf(`%d buckets with le="0.1", want 1:`+"\n%s", got, text)
+	}
+	if !strings.Contains(text, `dup_seconds_bucket{le="1"} 2`) {
+		t.Fatalf("cumulative bucket le=1 should hold both observations:\n%s", text)
+	}
+}
+
+// TestHistogramNaNBoundDropped: a NaN bound can never match v <= b, so it is
+// dropped rather than silently swallowing a bucket slot.
+func TestHistogramNaNBoundDropped(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("nan_seconds", "t", []float64{math.NaN(), 0.5})
+	if len(h.bounds) != 1 || h.bounds[0] != 0.5 {
+		t.Fatalf("bounds = %v, want [0.5]", h.bounds)
+	}
+}
+
+// TestHistogramSortedBoundsUnchanged: already-valid bounds pass through with
+// the same buckets and the caller's slice is not mutated.
+func TestHistogramSortedBoundsUnchanged(t *testing.T) {
+	in := []float64{1.0, 0.5, 0.1} // deliberately descending
+	reg := NewRegistry()
+	_ = reg.Histogram("keep_seconds", "t", in)
+	if in[0] != 1.0 || in[2] != 0.1 {
+		t.Fatalf("registration mutated the caller's bounds slice: %v", in)
+	}
+}
+
+// TestHistogramNilSafety: all methods must no-op on nil (unwired metrics).
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram accumulated state")
+	}
+}

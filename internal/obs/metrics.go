@@ -254,15 +254,39 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 
 // Histogram returns the histogram for name with the labels. The bucket
 // bounds of the first registration win for the whole family; pass nil to use
-// DefBuckets.
+// DefBuckets. Bounds are validated at registration: they are sorted
+// ascending and duplicates are collapsed, since Observe's bucket walk and
+// the cumulative exposition both assume strictly increasing bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
 	if len(bounds) == 0 {
 		bounds = DefBuckets
+	} else {
+		bounds = normalizeBounds(bounds)
 	}
 	return r.familyOf(name, help, kindHistogram, bounds).seriesOf(labels).hist
+}
+
+// normalizeBounds returns a sorted, deduplicated copy of the bucket bounds.
+// NaN bounds are dropped: no observation can fall into a NaN bucket.
+func normalizeBounds(bounds []float64) []float64 {
+	cp := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) {
+			cp = append(cp, b)
+		}
+	}
+	sort.Float64s(cp)
+	out := cp[:0]
+	for i, b := range cp {
+		if i > 0 && b == cp[i-1] {
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
 // GaugeFunc registers a gauge whose value is computed at exposition time —

@@ -1,0 +1,116 @@
+// Package plancache memoizes the parse step of the language interfaces: a
+// bounded map from (language, normalized statement shape) to the parsed
+// statement. Parsing is schema-independent in every MLDS front end and the
+// kernel mapping systems treat the ASTs as read-only, so one cached plan can
+// be shared by every session of a system.
+//
+// The key normalizes the statement's whitespace outside quoted literals, so
+// statements differing only in layout share one plan — while literals keep
+// their exact spelling, since a plan served for one literal must have been
+// parsed from that same literal.
+package plancache
+
+import (
+	"strings"
+	"sync"
+)
+
+// DefaultSize is the entry bound used when a caller asks for a cache without
+// choosing a capacity.
+const DefaultSize = 512
+
+// Cache is a bounded statement-plan memo. All methods are safe on a nil
+// *Cache (every lookup misses, every fill no-ops), so the session layer can
+// run with plan caching disabled without testing for it.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]any
+}
+
+// New builds a cache bounded to capacity entries; capacity <= 0 uses
+// DefaultSize.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultSize
+	}
+	return &Cache{cap: capacity, m: make(map[string]any, 64)}
+}
+
+// Key builds the cache key for a statement in a language.
+func Key(language, text string) string {
+	return language + "\x00" + Normalize(text)
+}
+
+// Normalize collapses runs of whitespace outside quoted literals to single
+// spaces and trims the ends, producing the statement's shape. Quoted
+// regions ('...' and "...") pass through verbatim: two statements whose
+// literals differ must not share a plan.
+func Normalize(text string) string {
+	var b strings.Builder
+	b.Grow(len(text))
+	var quote byte // the open quote character, 0 outside literals
+	pendingSpace := false
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if quote != 0 {
+			b.WriteByte(c)
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r', '\f', '\v':
+			pendingSpace = true
+			continue
+		case '\'', '"':
+			quote = c
+		}
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// Get returns the cached plan for key.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// Put stores a plan, evicting an arbitrary entry when the cache is full and
+// the key is new. Parsed plans carry no generation state — a statement's
+// parse never goes stale — so eviction is purely a size bound.
+func (c *Cache) Put(key string, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; !ok && len(c.m) >= c.cap {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[key] = v
+}
+
+// Len reports the number of cached plans.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,88 @@
+package plancache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNormalizeCollapsesLayout(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT *  FROM t", "SELECT * FROM t"},
+		{"  SELECT *\n\tFROM t  ", "SELECT * FROM t"},
+		{"a\r\nb", "a b"},
+		{"", ""},
+		{"   ", ""},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizePreservesLiterals: whitespace inside quoted literals is
+// meaningful — collapsing it would hand a plan parsed from one literal to a
+// statement with a different one.
+func TestNormalizePreservesLiterals(t *testing.T) {
+	a := Normalize(`SELECT * FROM t WHERE name = 'John  Smith'`)
+	b := Normalize(`SELECT * FROM t WHERE name = 'John Smith'`)
+	if a == b {
+		t.Fatalf("literals with different spacing normalized to the same shape %q", a)
+	}
+	if got := Normalize("a  'x  y'  b"); got != "a 'x  y' b" {
+		t.Errorf("Normalize kept literal badly: %q", got)
+	}
+	if got := Normalize(`a  "x  y"  b`); got != `a "x  y" b` {
+		t.Errorf("double-quoted literal: %q", got)
+	}
+}
+
+func TestKeySeparatesLanguages(t *testing.T) {
+	if Key("sql", "GET x") == Key("dli", "GET x") {
+		t.Fatal("the same text in two languages shares a key")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put("k", 42)
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get = %v, %v after Put", v, ok)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache holds %d entries, cap is 2", c.Len())
+	}
+	// Overwriting a resident key does not evict.
+	c2 := New(2)
+	c2.Put("a", 1)
+	c2.Put("b", 2)
+	c2.Put("a", 3)
+	if c2.Len() != 2 {
+		t.Fatalf("overwrite changed occupancy to %d", c2.Len())
+	}
+	if v, _ := c2.Get("a"); v.(int) != 3 {
+		t.Fatal("overwrite did not replace the value")
+	}
+}
+
+func TestCacheNilSafety(t *testing.T) {
+	var c *Cache
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}

@@ -197,16 +197,21 @@ func deptName(i int) string {
 	return fmt.Sprintf("Department %02d", i)
 }
 
+// LoadBatchSize is how many inserts Load hands the kernel per batched round.
+const LoadBatchSize = 256
+
 // Load executes the instance's INSERT transaction against a kernel database
-// system and returns the number of kernel records loaded.
+// system in batched rounds and returns the number of kernel records loaded.
+// On failure the returned count is the start of the failed round.
 func (d *Database) Load(sys *mbds.System) (int, error) {
 	tx, err := d.Instance.Requests()
 	if err != nil {
 		return 0, err
 	}
-	for i, req := range tx {
-		if _, err := sys.Exec(req); err != nil {
-			return i, fmt.Errorf("univ: loading record %d: %w", i, err)
+	for off := 0; off < len(tx); off += LoadBatchSize {
+		end := min(off+LoadBatchSize, len(tx))
+		if _, _, err := sys.ExecBatch(tx[off:end]); err != nil {
+			return off, fmt.Errorf("univ: loading records %d..%d: %w", off, end-1, err)
 		}
 	}
 	return len(tx), nil

@@ -306,11 +306,17 @@ func (w Result) ToResult() (*kdb.Result, error) {
 
 // Envelope is one bus message: either a request (controller→backend) or a
 // reply (backend→controller). Err carries execution failures as text.
+//
+// The "execbatch" action carries N requests in Reqs and answers with one
+// Result per request in Results, so a controller batch costs one message
+// round per backend instead of N.
 type Envelope struct {
-	Seq    uint64
-	Req    *Request
-	Res    *Result
-	Err    string
-	Action string // "exec", "len", "snapshot-len" — simple control verbs
-	N      int
+	Seq     uint64
+	Req     *Request
+	Reqs    []Request // "execbatch": the batched requests, in order
+	Res     *Result
+	Results []Result // "execbatch" reply: one result per request, in order
+	Err     string
+	Action  string // "exec", "execbatch", "len" — simple control verbs
+	N       int
 }
