@@ -1,9 +1,10 @@
 # Standard verify tiers. `make check` is the extended tier: vet (including
 # the observability package on its own), formatting, static analysis when
 # the tools are installed (staticcheck, govulncheck — both skipped with a
-# note otherwise, so the target needs no network), and the full test suite
-# under the race detector. `make bench` regenerates the paper experiments
-# and writes a machine-readable summary.
+# note otherwise, so the target needs no network), the transaction/kernel
+# concurrency tier on its own, and the full test suite under the race
+# detector. `make bench` regenerates the paper experiments and writes a
+# machine-readable summary.
 
 GO ?= go
 
@@ -32,10 +33,11 @@ check:
 	else \
 		echo "govulncheck not installed; skipping"; \
 	fi
+	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
 	$(GO) test -race ./...
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_3.json
+	$(GO) run ./cmd/mldsbench -json BENCH_4.json
 
 fmt:
 	gofmt -w .

@@ -13,11 +13,16 @@
 // Shell commands:
 //
 //	FIND ANY course USING title IN course     CODASYL-DML statement
+//	BEGIN WORK / COMMIT / ROLLBACK            transaction control (DML session)
 //	\daplex FOR EACH course PRINT title;      Daplex statement
 //	\abdl RETRIEVE ((FILE = course)) (title)  raw kernel request
 //	\schema                                   show the transformed network DDL
 //	\cit                                      show the currency indicator table
 //	\quit
+//
+// With a transaction open the prompt changes to "mlds*>"; statements then
+// accumulate locks and undo until COMMIT or ROLLBACK. Without one, every
+// statement auto-commits.
 package main
 
 import (
@@ -86,10 +91,15 @@ func main() {
 	}
 
 	fmt.Printf("MLDS shell — functional database %q on %d backends\n", db.Name, db.Kernel.Backends())
-	fmt.Println(`CODASYL-DML by default; \daplex, \abdl, \schema, \cit, \quit`)
+	fmt.Println(`CODASYL-DML by default; BEGIN WORK/COMMIT/ROLLBACK; \daplex, \abdl, \schema, \cit, \quit`)
 	in := bufio.NewScanner(os.Stdin)
 	for {
-		fmt.Print("mlds> ")
+		// The starred prompt marks an open transaction on the DML session.
+		if dml.InTxn() {
+			fmt.Print("mlds*> ")
+		} else {
+			fmt.Print("mlds> ")
+		}
 		if !in.Scan() {
 			return
 		}
@@ -123,8 +133,11 @@ func main() {
 				fmt.Println("error:", err)
 				continue
 			}
-			for _, req := range out.DML.Requests {
-				fmt.Println("  ->", req)
+			// Transaction-control verbs have no DML payload.
+			if out.DML != nil {
+				for _, req := range out.DML.Requests {
+					fmt.Println("  ->", req)
+				}
 			}
 			fmt.Println(out.Rendered)
 		}

@@ -1,13 +1,16 @@
 // mldsbench regenerates the paper's figures, tables and claims: the schema
 // figures (2.1, 3.3, 5.1–5.5), the Chapter VI translation walkthrough, the
-// two MBDS performance sweeps, the cross-model equivalence check, and the
-// design-choice ablations.
+// two MBDS performance sweeps, the cross-model equivalence check, the
+// transaction subsystem's group-commit economics, and the design-choice
+// ablations.
 //
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e12, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e13, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
+//	mldsbench -txn                run the transaction contention workload
+//	mldsbench -txn -sessions 16 -txns 50 -ops 4 -conflict 0.25
 package main
 
 import (
@@ -47,10 +50,37 @@ func writeJSON(path string, reports []*experiments.Report) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// emit prints one report and optionally appends it to the JSON summary,
+// exiting non-zero on a mismatch.
+func emit(r *experiments.Report, jsonPath string) {
+	fmt.Println(r)
+	if jsonPath != "" {
+		if err := writeJSON(jsonPath, []*experiments.Report{r}); err != nil {
+			fmt.Fprintln(os.Stderr, "mldsbench:", err)
+			os.Exit(1)
+		}
+	}
+	if !r.OK {
+		os.Exit(1)
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e12, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e13, a1..a3)")
 	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
+	txnMode := flag.Bool("txn", false, "run the mixed read/write transaction contention workload")
+	sessions := flag.Int("sessions", 8, "-txn: concurrent sessions")
+	txns := flag.Int("txns", 25, "-txn: transactions per session")
+	ops := flag.Int("ops", 3, "-txn: read-modify-write operations per transaction")
+	conflict := flag.Float64("conflict", 0.5, "-txn: probability an operation hits the shared hot record")
 	flag.Parse()
+
+	if *txnMode {
+		emit(experiments.Timed(func() *experiments.Report {
+			return experiments.TxnContention(*sessions, *txns, *ops, *conflict)
+		}), *jsonPath)
+		return
+	}
 
 	runners := map[string]func() *experiments.Report{
 		"e1":  experiments.E1SchemaParse,
@@ -65,6 +95,7 @@ func main() {
 		"e10": experiments.E10FiveInterfaces,
 		"e11": experiments.E11FaultTolerance,
 		"e12": experiments.E12BatchedLoad,
+		"e13": experiments.E13GroupCommit,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,
@@ -76,17 +107,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mldsbench: unknown experiment %q\n", *exp)
 			os.Exit(2)
 		}
-		r := experiments.Timed(run)
-		fmt.Println(r)
-		if *jsonPath != "" {
-			if err := writeJSON(*jsonPath, []*experiments.Report{r}); err != nil {
-				fmt.Fprintln(os.Stderr, "mldsbench:", err)
-				os.Exit(1)
-			}
-		}
-		if !r.OK {
-			os.Exit(1)
-		}
+		emit(experiments.Timed(run), *jsonPath)
 		return
 	}
 

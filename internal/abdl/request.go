@@ -108,7 +108,9 @@ type Request struct {
 	// ForceID, when nonzero, pins the database key an INSERT stores the
 	// record under, replacing any existing record with that key. The kernel's
 	// replication layer sets it so every copy of a record lives under one
-	// key (and so replicated INSERTs are idempotent under retry). It is not
+	// key (and so replicated INSERTs are idempotent under retry). On a
+	// DELETE it targets exactly that key, ignoring the qualification — the
+	// transaction manager's undo path erases records this way. It is not
 	// expressible in ABDL text.
 	ForceID abdm.RecordID
 }

@@ -98,6 +98,9 @@ type Config struct {
 	// keyed by language and normalized statement shape). Zero uses
 	// plancache.DefaultSize; a negative size disables plan caching.
 	PlanCacheSize int
+	// TxnLockTimeout bounds every transaction lock wait; a waiter past it
+	// aborts with txn.ErrLockTimeout. Zero uses txn.DefaultLockTimeout.
+	TxnLockTimeout time.Duration
 }
 
 // DefaultConfig uses a 4-backend kernel per database.
@@ -264,7 +267,9 @@ func (s *System) register(db *Database) (*Database, error) {
 		return nil, err
 	}
 	db.Kernel = kernel
-	db.Ctrl = kc.New(kernel)
+	db.Ctrl = kc.New(kernel,
+		kc.WithMetrics(s.metrics, db.Name),
+		kc.WithLockTimeout(s.cfg.TxnLockTimeout))
 	db.reg = s.metrics
 	db.slow = s.slow
 	db.plans = s.plans
@@ -361,6 +366,7 @@ func (db *Database) ExecABDL(text string) (*kdb.Result, error) {
 type DMLSession struct {
 	DB *Database
 	Tr *kms.Translator
+	txnState
 }
 
 // OpenDML opens a CODASYL-DML session on the named database.
@@ -371,9 +377,9 @@ func (s *System) OpenDML(dbname string) (*DMLSession, error) {
 	}
 	switch db.Model {
 	case NetworkModel:
-		return &DMLSession{DB: db, Tr: kms.NewNetwork(db.Net, db.AB, db.Ctrl)}, nil
+		return &DMLSession{DB: db, Tr: kms.NewNetwork(db.Net, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
 	case FunctionalModel:
-		return &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl)}, nil
+		return &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
 	default:
 		return nil, fmt.Errorf("%w: the CODASYL-DML interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
@@ -383,6 +389,7 @@ func (s *System) OpenDML(dbname string) (*DMLSession, error) {
 type DaplexSession struct {
 	DB *Database
 	If *dapkms.Interface
+	txnState
 }
 
 // OpenDaplex opens a Daplex session on the named functional database.
@@ -394,13 +401,14 @@ func (s *System) OpenDaplex(dbname string) (*DaplexSession, error) {
 	if db.Model != FunctionalModel {
 		return nil, fmt.Errorf("%w: the Daplex interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl)}, nil
+	return &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
 }
 
 // SQLSession is a SQL user session on a relational database.
 type SQLSession struct {
 	DB *Database
 	If *relkms.Interface
+	txnState
 }
 
 // OpenSQL opens a SQL session on the named relational database.
@@ -412,13 +420,14 @@ func (s *System) OpenSQL(dbname string) (*SQLSession, error) {
 	if db.Model != RelationalModel {
 		return nil, fmt.Errorf("%w: the SQL interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl)}, nil
+	return &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl), txnState: txnState{db: db}}, nil
 }
 
 // DLISession is a DL/I user session on a hierarchical database.
 type DLISession struct {
 	DB *Database
 	If *hiekms.Interface
+	txnState
 }
 
 // OpenDLI opens a DL/I session on the named hierarchical database.
@@ -430,5 +439,5 @@ func (s *System) OpenDLI(dbname string) (*DLISession, error) {
 	if db.Model != HierarchicalModel {
 		return nil, fmt.Errorf("%w: the DL/I interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl)}, nil
+	return &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl), txnState: txnState{db: db}}, nil
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"mlds/internal/mbds"
@@ -61,6 +63,51 @@ func TestPlanCacheHitsAcrossSessions(t *testing.T) {
 	}
 	if !strings.Contains(text, `mlds_plan_cache_misses_total{db="shop",language="sql"} 2`) {
 		t.Errorf("exposition missing the plan-cache misses:\n%s", text)
+	}
+}
+
+// TestPlanCacheCountersConsistentUnderConcurrency: with many sessions racing
+// the same statements, every execution is counted exactly once as either a
+// hit or a miss — hits + misses equals the number of statements executed.
+// Run under -race.
+func TestPlanCacheCountersConsistentUnderConcurrency(t *testing.T) {
+	const sessions, rounds, shapes = 8, 30, 4
+	s, reg := newShop(t, Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		sess, err := s.Open("shop", "sql")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sess.Close()
+			for r := 0; r < rounds; r++ {
+				q := fmt.Sprintf("SELECT ename FROM emp WHERE pay = %d;", r%shapes)
+				if _, err := sess.Execute(q); err != nil {
+					t.Errorf("%s: %v", q, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	dbL, langL := obs.L("db", "shop"), obs.L("language", "sql")
+	hits := reg.Counter("mlds_plan_cache_hits_total", "", dbL, langL).Value()
+	misses := reg.Counter("mlds_plan_cache_misses_total", "", dbL, langL).Value()
+	if hits+misses != sessions*rounds {
+		t.Errorf("hits(%d) + misses(%d) = %d, want %d: an execution was dropped or double-counted",
+			hits, misses, hits+misses, sessions*rounds)
+	}
+	// Every distinct shape misses at least once; the cache must have served
+	// the overwhelming remainder.
+	if misses < shapes {
+		t.Errorf("misses = %d, want >= %d distinct shapes", misses, shapes)
+	}
+	if hits == 0 {
+		t.Error("no plan-cache hits across concurrent repeat executions")
 	}
 }
 

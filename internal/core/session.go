@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"mlds/internal/abdl"
@@ -19,6 +21,7 @@ import (
 	"mlds/internal/plancache"
 	"mlds/internal/relkms"
 	"mlds/internal/sql"
+	"mlds/internal/txn"
 )
 
 // Language names, as reported by Session.Language and accepted (among other
@@ -53,10 +56,28 @@ type Outcome struct {
 // Session is one user's connection to a database through one language
 // interface. All five session types implement it, so callers (the REPL, the
 // experiments, load generators) need not switch over concrete types.
+//
+// Every session is transactional. With no transaction open, each statement
+// runs in its own implicit transaction committed as the statement returns
+// (auto-commit). Begin — or the statements BEGIN WORK / START TRANSACTION —
+// opens an explicit transaction: subsequent statements accumulate strict-2PL
+// locks and buffered undo until Commit / Rollback (COMMIT [WORK],
+// ROLLBACK [WORK], ABORT). A deadlock or lock-timeout abort by the
+// transaction manager surfaces as a *txn.AbortedError and closes the
+// transaction; the session must Begin anew.
 type Session interface {
 	Execute(text string) (*Outcome, error)
 	Close() error
 	Language() string
+
+	// Begin opens an explicit transaction; it fails if one is already open.
+	Begin() error
+	// Commit commits the open explicit transaction.
+	Commit() error
+	// Rollback aborts the open explicit transaction, undoing its effects.
+	Rollback() error
+	// InTxn reports whether an explicit transaction is open.
+	InTxn() bool
 }
 
 // Open opens a session on the named database in the given language. The
@@ -81,11 +102,176 @@ func (s *System) Open(dbname, language string) (Session, error) {
 	}
 }
 
+// txnState carries a session's open explicit transaction. It is embedded in
+// every session type, so the Session transaction methods are written once.
+type txnState struct {
+	db *Database
+	mu sync.Mutex
+	tx *txn.Txn
+}
+
+// current returns the open explicit transaction, if any.
+func (s *txnState) current() *txn.Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx
+}
+
+// clearIf forgets tx if it is still the session's open transaction — used
+// after the manager rolled it back (deadlock victim, lock timeout).
+func (s *txnState) clearIf(tx *txn.Txn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx == tx {
+		s.tx = nil
+	}
+}
+
+// Begin opens an explicit transaction on the session.
+func (s *txnState) Begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		return fmt.Errorf("core: transaction %d already open (COMMIT or ROLLBACK first)", s.tx.ID())
+	}
+	s.tx = s.db.Ctrl.Txns().Begin()
+	return nil
+}
+
+// Commit commits the session's open explicit transaction.
+func (s *txnState) Commit() error {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	s.mu.Unlock()
+	if tx == nil {
+		return fmt.Errorf("core: no transaction open")
+	}
+	return s.db.Ctrl.Txns().Commit(tx)
+}
+
+// Rollback aborts the session's open explicit transaction.
+func (s *txnState) Rollback() error {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	s.mu.Unlock()
+	if tx == nil {
+		return fmt.Errorf("core: no transaction open")
+	}
+	return s.db.Ctrl.Txns().Abort(tx)
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *txnState) InTxn() bool { return s.current() != nil }
+
+// endTxn closes any open transaction when the session closes: an abandoned
+// transaction must not keep its locks.
+func (s *txnState) endTxn() error {
+	s.mu.Lock()
+	tx := s.tx
+	s.tx = nil
+	s.mu.Unlock()
+	if tx == nil {
+		return nil
+	}
+	return s.db.Ctrl.Txns().Abort(tx)
+}
+
+// txnVerb recognises the transaction-control statements every language
+// interface accepts, normalising case, interior whitespace and a trailing
+// semicolon.
+func txnVerb(text string) (string, bool) {
+	s := strings.TrimSpace(text)
+	s = strings.TrimSpace(strings.TrimSuffix(s, ";"))
+	switch strings.ToUpper(strings.Join(strings.Fields(s), " ")) {
+	case "BEGIN", "BEGIN WORK", "BEGIN TRANSACTION", "START TRANSACTION":
+		return "begin", true
+	case "COMMIT", "COMMIT WORK":
+		return "commit", true
+	case "ROLLBACK", "ROLLBACK WORK", "ABORT":
+		return "rollback", true
+	}
+	return "", false
+}
+
+// control applies one transaction-control verb.
+func (s *txnState) control(verb string, out *Outcome) error {
+	var err error
+	switch verb {
+	case "begin":
+		err = s.Begin()
+	case "commit":
+		err = s.Commit()
+	case "rollback":
+		err = s.Rollback()
+	}
+	if err == nil {
+		out.Rendered = verb
+	}
+	return err
+}
+
+// maxStatementRetries bounds the automatic re-execution of a single
+// statement whose implicit transaction was chosen as a deadlock victim.
+// Each retry runs under a fresh — and therefore youngest — transaction, so
+// under sustained contention the same statement can be re-victimized;
+// exponential backoff breaks that livelock.
+const maxStatementRetries = 8
+
+// execInTxn runs the statement inside the session's transaction: the open
+// explicit transaction if there is one, otherwise a fresh implicit
+// transaction committed (or, on error, rolled back) as the statement ends.
+//
+// An implicit transaction IS the statement, so when the manager aborts it —
+// deadlock victim or lock timeout — the store is back to the statement's
+// start and the statement simply retries under a new transaction, invisible
+// to the caller. An explicit transaction spans statements the session has
+// already seen succeed, so its abort must surface: the error is returned
+// (*txn.AbortedError) and the session's handle cleared so the next
+// statement starts clean.
+func (db *Database) execInTxn(ctx context.Context, ts *txnState, out *Outcome, exec func(ctx context.Context, out *Outcome) error) error {
+	if ts == nil {
+		return exec(ctx, out)
+	}
+	if tx := ts.current(); tx != nil {
+		err := exec(txn.NewContext(ctx, tx), out)
+		var ae *txn.AbortedError
+		if errors.As(err, &ae) {
+			ts.clearIf(tx)
+		}
+		return err
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		tx := db.Ctrl.Txns().Begin()
+		err = exec(txn.NewContext(ctx, tx), out)
+		var ae *txn.AbortedError
+		if errors.As(err, &ae) {
+			// Already rolled back by the manager; retry the statement.
+			if attempt < maxStatementRetries {
+				time.Sleep(time.Duration(1<<attempt) * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		if err != nil {
+			db.Ctrl.Txns().Abort(tx)
+			return err
+		}
+		return db.Ctrl.Txns().Commit(tx)
+	}
+}
+
 // run executes one statement through the observability envelope shared by
 // every session type: it starts the root "request" span when tracing is on,
 // times the statement, charges the session metrics, and feeds the slow log.
 // exec fills the outcome's language-specific payload and Rendered text.
-func (db *Database) run(lang, text string, exec func(ctx context.Context, out *Outcome) error) (*Outcome, error) {
+// Transaction-control statements (BEGIN WORK, COMMIT, ROLLBACK, …) are
+// intercepted here — before any language parser — so all five interfaces
+// share one spelling; everything else executes inside the session's
+// transaction via execInTxn.
+func (db *Database) run(ts *txnState, lang, text string, exec func(ctx context.Context, out *Outcome) error) (*Outcome, error) {
 	ctx := context.Background()
 	out := &Outcome{Language: lang, Text: text}
 	var root *obs.Span
@@ -97,7 +283,12 @@ func (db *Database) run(lang, text string, exec func(ctx context.Context, out *O
 	}
 	start := time.Now()
 	simBefore := db.Ctrl.SimTime()
-	err := exec(ctx, out)
+	var err error
+	if verb, ok := txnVerb(text); ok && ts != nil {
+		err = ts.control(verb, out)
+	} else {
+		err = db.execInTxn(ctx, ts, out, exec)
+	}
 	out.Wall = time.Since(start)
 	out.Sim = db.Ctrl.SimTime() - simBefore
 	root.AddSim(out.Sim)
@@ -158,7 +349,7 @@ func (db *Database) planCount(lang string, hit bool) {
 
 // Execute parses and runs one DML statement.
 func (sess *DMLSession) Execute(text string) (*Outcome, error) {
-	return sess.DB.run(LangDML, text, func(ctx context.Context, out *Outcome) error {
+	return sess.DB.run(&sess.txnState, LangDML, text, func(ctx context.Context, out *Outcome) error {
 		st, err := plan(ctx, sess.DB, LangDML, text, codasyl.ParseStmt)
 		if err != nil {
 			return err
@@ -187,16 +378,15 @@ func (sess *DMLSession) RunScript(text string) ([]*kms.Outcome, error) {
 	return sess.Tr.ExecScript(script)
 }
 
-// Close releases the session. DML sessions hold no kernel resources beyond
-// their currency state, so closing is immediate.
-func (sess *DMLSession) Close() error { return nil }
+// Close releases the session, rolling back any open transaction.
+func (sess *DMLSession) Close() error { return sess.endTxn() }
 
 // Language reports the session's language interface.
 func (sess *DMLSession) Language() string { return LangDML }
 
 // Execute parses and runs one Daplex DML statement.
 func (sess *DaplexSession) Execute(text string) (*Outcome, error) {
-	return sess.DB.run(LangDaplex, text, func(ctx context.Context, out *Outcome) error {
+	return sess.DB.run(&sess.txnState, LangDaplex, text, func(ctx context.Context, out *Outcome) error {
 		st, err := plan(ctx, sess.DB, LangDaplex, text, daplex.ParseDML)
 		if err != nil {
 			return err
@@ -219,15 +409,15 @@ func (sess *DaplexSession) Execute(text string) (*Outcome, error) {
 	})
 }
 
-// Close releases the session.
-func (sess *DaplexSession) Close() error { return nil }
+// Close releases the session, rolling back any open transaction.
+func (sess *DaplexSession) Close() error { return sess.endTxn() }
 
 // Language reports the session's language interface.
 func (sess *DaplexSession) Language() string { return LangDaplex }
 
 // Execute parses and runs one SQL statement.
 func (sess *SQLSession) Execute(text string) (*Outcome, error) {
-	return sess.DB.run(LangSQL, text, func(ctx context.Context, out *Outcome) error {
+	return sess.DB.run(&sess.txnState, LangSQL, text, func(ctx context.Context, out *Outcome) error {
 		st, err := plan(ctx, sess.DB, LangSQL, text, sql.Parse)
 		if err != nil {
 			return err
@@ -246,15 +436,15 @@ func (sess *SQLSession) Execute(text string) (*Outcome, error) {
 	})
 }
 
-// Close releases the session.
-func (sess *SQLSession) Close() error { return nil }
+// Close releases the session, rolling back any open transaction.
+func (sess *SQLSession) Close() error { return sess.endTxn() }
 
 // Language reports the session's language interface.
 func (sess *SQLSession) Language() string { return LangSQL }
 
 // Execute parses and runs one DL/I call.
 func (sess *DLISession) Execute(text string) (*Outcome, error) {
-	return sess.DB.run(LangDLI, text, func(ctx context.Context, out *Outcome) error {
+	return sess.DB.run(&sess.txnState, LangDLI, text, func(ctx context.Context, out *Outcome) error {
 		call, err := plan(ctx, sess.DB, LangDLI, text, dli.Parse)
 		if err != nil {
 			return err
@@ -273,8 +463,8 @@ func (sess *DLISession) Execute(text string) (*Outcome, error) {
 	})
 }
 
-// Close releases the session.
-func (sess *DLISession) Close() error { return nil }
+// Close releases the session, rolling back any open transaction.
+func (sess *DLISession) Close() error { return sess.endTxn() }
 
 // Language reports the session's language interface.
 func (sess *DLISession) Language() string { return LangDLI }
@@ -284,6 +474,7 @@ func (sess *DLISession) Language() string { return LangDLI }
 // interface of the paper's Figure 1.2.
 type ABDLSession struct {
 	DB *Database
+	txnState
 }
 
 // OpenABDL opens a raw ABDL session. Every database model is served: ABDL
@@ -293,12 +484,12 @@ func (s *System) OpenABDL(dbname string) (*ABDLSession, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ABDLSession{DB: db}, nil
+	return &ABDLSession{DB: db, txnState: txnState{db: db}}, nil
 }
 
 // Execute parses and runs one ABDL request.
 func (sess *ABDLSession) Execute(text string) (*Outcome, error) {
-	return sess.DB.run(LangABDL, text, func(ctx context.Context, out *Outcome) error {
+	return sess.DB.run(&sess.txnState, LangABDL, text, func(ctx context.Context, out *Outcome) error {
 		req, err := plan(ctx, sess.DB, LangABDL, text, abdl.Parse)
 		if err != nil {
 			return err
@@ -315,8 +506,8 @@ func (sess *ABDLSession) Execute(text string) (*Outcome, error) {
 	})
 }
 
-// Close releases the session.
-func (sess *ABDLSession) Close() error { return nil }
+// Close releases the session, rolling back any open transaction.
+func (sess *ABDLSession) Close() error { return sess.endTxn() }
 
 // Language reports the session's language interface.
 func (sess *ABDLSession) Language() string { return LangABDL }

@@ -62,6 +62,7 @@ func All() []*Report {
 		E10FiveInterfaces,
 		E11FaultTolerance,
 		E12BatchedLoad,
+		E13GroupCommit,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

@@ -85,6 +85,23 @@ func TestAblation_DirectVsPreprocess(t *testing.T) {
 	assertOK(t, AblationDirectVsPreprocess())
 }
 
+func TestE13_GroupCommit(t *testing.T) {
+	r := E13GroupCommit()
+	assertOK(t, r)
+	for _, want := range []string{"auto-commit", "one explicit txn", "recovery"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("E13 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
+// TestTxnContention runs the mldsbench -txn workload at a small scale: with
+// every operation hitting the shared hot record, the no-lost-updates check
+// is exactly the serializability claim of the transaction subsystem.
+func TestTxnContention(t *testing.T) {
+	assertOK(t, TxnContention(4, 6, 2, 1.0))
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")

@@ -1,39 +1,60 @@
 package kc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 
-	"mlds/internal/abdl"
 	"mlds/internal/kdb"
+	"mlds/internal/txn"
 	"mlds/internal/wire"
 )
 
-// journalEntry is one logged mutation. Key carries the controller's key
-// allocator position so STORE-assigned database keys replay identically.
+// journalEntry is one record of the journal stream (format v2). Data entries
+// carry a mutating request plus the controller's key-allocator position so
+// STORE-assigned database keys replay identically; marker entries frame a
+// transaction's data entries with begin/commit (written together at commit
+// time) or note an abort. A v1 journal decodes as Txn 0, Marker data — the
+// auto-committed legacy form — so old journals replay unchanged.
 type journalEntry struct {
-	Req wire.Request
-	Key int64
+	Req    wire.Request
+	Key    int64
+	Txn    uint64 // owning transaction id; 0 = legacy auto-committed entry
+	Marker byte   // markerData, markerBegin, markerCommit, markerAbort
 }
 
-// AttachJournal starts logging every mutating request (INSERT, DELETE,
-// UPDATE) the controller executes, as a gob stream on w. Replaying the
-// stream against a freshly-loaded database reproduces the mutations in
-// order — the recovery log of a production deployment. Retrievals are not
-// logged.
+// Journal markers. Data must be zero so v1 entries decode as data.
+const (
+	markerData   byte = 0
+	markerBegin  byte = 1
+	markerCommit byte = 2
+	markerAbort  byte = 3
+)
+
+// AttachJournal starts logging committed mutations (INSERT, DELETE, UPDATE)
+// as a gob stream on w. Writes are buffered and flushed once per commit
+// batch — the group-commit window — so a crash can tear at most the final
+// in-flight batch, which recovery treats as clean end-of-log. Replaying the
+// stream against a freshly-loaded database reproduces the committed
+// mutations in order. Retrievals and aborted transactions are not logged.
 func (c *Controller) AttachJournal(w io.Writer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.journal = gob.NewEncoder(w)
+	c.jw = bufio.NewWriter(w)
+	c.journal = gob.NewEncoder(c.jw)
 }
 
-// DetachJournal stops journalling.
+// DetachJournal flushes any buffered entries and stops journalling.
 func (c *Controller) DetachJournal() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.jw != nil {
+		c.jw.Flush()
+	}
 	c.journal = nil
+	c.jw = nil
 }
 
 // JournalError reports a mutation the kernel applied that the journal
@@ -56,63 +77,135 @@ func (e *JournalError) Error() string {
 // Unwrap exposes the underlying journal write failure.
 func (e *JournalError) Unwrap() error { return e.Err }
 
-// logMutation writes one entry; called with a successful mutating request.
-func (c *Controller) logMutation(req *abdl.Request) error {
+// journalSink adapts the controller to txn.CommitSink: the transaction
+// manager hands it commit batches and abort notices.
+type journalSink struct{ c *Controller }
+
+// WriteCommits persists a commit batch: each transaction's entries framed by
+// begin and commit markers, then one flush for the entire batch. That single
+// flush is what makes group commit cheaper than per-statement flushing.
+func (s journalSink) WriteCommits(recs []txn.CommitRecord) error {
+	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.journal == nil {
 		return nil
 	}
-	entry := journalEntry{Req: wire.FromRequest(req), Key: c.nextKey}
-	if err := c.journal.Encode(&entry); err != nil {
+	for _, rec := range recs {
+		if err := c.journal.Encode(&journalEntry{Txn: rec.ID, Marker: markerBegin}); err != nil {
+			return fmt.Errorf("kc: journal write: %w", err)
+		}
+		for _, e := range rec.Entries {
+			entry := journalEntry{Req: e.Req, Key: e.Key, Txn: rec.ID, Marker: markerData}
+			if err := c.journal.Encode(&entry); err != nil {
+				return fmt.Errorf("kc: journal write: %w", err)
+			}
+		}
+		if err := c.journal.Encode(&journalEntry{Txn: rec.ID, Marker: markerCommit}); err != nil {
+			return fmt.Errorf("kc: journal write: %w", err)
+		}
+	}
+	if err := c.jw.Flush(); err != nil {
 		return fmt.Errorf("kc: journal write: %w", err)
 	}
 	return nil
 }
 
-// logMutations journals every mutating request of a batch under one lock
-// acquisition — one journal flush per batch, not one per request.
-// Retrievals are skipped.
-func (c *Controller) logMutations(reqs []*abdl.Request) error {
+// WriteAbort notes a rolled-back transaction in the journal. Aborted
+// transactions never journal data (redo buffers only reach the journal at
+// commit), so the marker is documentation for log readers, not a recovery
+// requirement.
+func (s journalSink) WriteAbort(id uint64) error {
+	c := s.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.journal == nil {
 		return nil
 	}
-	for _, req := range reqs {
-		switch req.Kind {
-		case abdl.Insert, abdl.Delete, abdl.Update:
-			entry := journalEntry{Req: wire.FromRequest(req), Key: c.nextKey}
-			if err := c.journal.Encode(&entry); err != nil {
-				return fmt.Errorf("kc: journal write: %w", err)
-			}
-		}
+	if err := c.journal.Encode(&journalEntry{Txn: id, Marker: markerAbort}); err != nil {
+		return fmt.Errorf("kc: journal write: %w", err)
+	}
+	if err := c.jw.Flush(); err != nil {
+		return fmt.Errorf("kc: journal write: %w", err)
 	}
 	return nil
 }
 
-// ReplayJournal reads a journal stream and re-executes every mutation on the
-// controller, restoring the key allocator as it goes. It returns the number
-// of entries applied.
+// ReplayJournal reads a journal stream and re-executes every data entry on
+// the controller, restoring the key allocator as it goes. It returns the
+// number of entries applied. A torn final entry — a crash mid-write — is
+// treated as clean end-of-log. Use RecoverJournal to honour commit
+// boundaries; ReplayJournal replays the raw redo stream.
 func (c *Controller) ReplayJournal(r io.Reader) (int, error) {
+	return c.replay(r, false)
+}
+
+// RecoverJournal reads a journal stream and re-executes exactly the
+// mutations of committed transactions, in commit order: data entries are
+// buffered per transaction and applied when the transaction's commit marker
+// arrives, so a transaction torn mid-commit-batch (no commit marker
+// survives) leaves no trace. Legacy entries with no transaction framing are
+// auto-committed and apply immediately. It returns the number of entries
+// applied; a torn final entry is clean end-of-log.
+func (c *Controller) RecoverJournal(r io.Reader) (int, error) {
+	return c.replay(r, true)
+}
+
+func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
 	dec := gob.NewDecoder(r)
 	n := 0
+	var pending map[uint64][]journalEntry
+	if committedOnly {
+		pending = make(map[uint64][]journalEntry)
+	}
+	apply := func(entry *journalEntry) error {
+		req, err := entry.Req.ToRequest()
+		if err != nil {
+			return fmt.Errorf("kc: journal entry %d: %w", n+1, err)
+		}
+		if _, _, err := c.sys.ExecTimed(req); err != nil {
+			return fmt.Errorf("kc: replaying entry %d: %w", n+1, err)
+		}
+		c.SeedKeys(entry.Key)
+		n++
+		return nil
+	}
 	for {
 		var entry journalEntry
 		if err := dec.Decode(&entry); err != nil {
-			if errors.Is(err, io.EOF) {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// End of log — including a final entry torn by a crash
+				// mid-write. Everything before it applied cleanly.
 				return n, nil
 			}
 			return n, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
 		}
-		req, err := entry.Req.ToRequest()
-		if err != nil {
-			return n, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
+		switch entry.Marker {
+		case markerBegin:
+			// Frame start; data entries follow under the same txn id.
+		case markerCommit:
+			if committedOnly {
+				for i := range pending[entry.Txn] {
+					if err := apply(&pending[entry.Txn][i]); err != nil {
+						return n, err
+					}
+				}
+				delete(pending, entry.Txn)
+			}
+		case markerAbort:
+			if committedOnly {
+				delete(pending, entry.Txn)
+			}
+		case markerData:
+			if committedOnly && entry.Txn != 0 {
+				pending[entry.Txn] = append(pending[entry.Txn], entry)
+				continue
+			}
+			if err := apply(&entry); err != nil {
+				return n, err
+			}
+		default:
+			return n, fmt.Errorf("kc: journal entry %d: unknown marker %d", n+1, entry.Marker)
 		}
-		if _, _, err := c.sys.ExecTimed(req); err != nil {
-			return n, fmt.Errorf("kc: replaying entry %d: %w", n+1, err)
-		}
-		c.SeedKeys(entry.Key)
-		n++
 	}
 }

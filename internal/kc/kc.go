@@ -4,9 +4,16 @@
 // buffers, allocates logical database keys, and keeps a trace of every
 // request it executes — the trace is what the experiment goldens compare
 // against the thesis's worked translations.
+//
+// Every request executes inside a transaction. Requests whose context
+// carries one (txn.FromContext) join it; all other callers are auto-commit —
+// the controller wraps each request (or batch) in its own transaction and
+// commits it immediately, so single-statement traffic pays one group-commit
+// flush and gains 2PL isolation without code changes.
 package kc
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"strconv"
@@ -18,12 +25,14 @@ import (
 	"mlds/internal/kdb"
 	"mlds/internal/mbds"
 	"mlds/internal/obs"
+	"mlds/internal/txn"
 )
 
 // Controller mediates between one language interface and the kernel
 // database system.
 type Controller struct {
-	sys *mbds.System
+	sys  *mbds.System
+	txns *txn.Manager
 
 	mu      sync.Mutex
 	nextKey currency.Key
@@ -31,15 +40,60 @@ type Controller struct {
 	tracing bool
 	simTime time.Duration
 	journal *gob.Encoder
+	jw      *bufio.Writer
+}
+
+// Option configures a controller.
+type Option func(*options)
+
+type options struct {
+	metrics     *obs.Registry
+	db          string
+	lockTimeout time.Duration
+}
+
+// WithMetrics labels the controller's transaction metrics with the database
+// name and registers them on reg.
+func WithMetrics(reg *obs.Registry, db string) Option {
+	return func(o *options) { o.metrics, o.db = reg, db }
+}
+
+// WithLockTimeout bounds every transaction lock wait.
+func WithLockTimeout(d time.Duration) Option {
+	return func(o *options) { o.lockTimeout = d }
 }
 
 // New builds a controller over a kernel database system.
-func New(sys *mbds.System) *Controller {
-	return &Controller{sys: sys}
+func New(sys *mbds.System, opts ...Option) *Controller {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Controller{sys: sys}
+	c.txns = txn.NewManager(txn.Config{
+		Exec:        sys,
+		Sink:        journalSink{c},
+		KeyPos:      c.keyPos,
+		LockTimeout: o.lockTimeout,
+		Metrics:     o.metrics,
+		DB:          o.db,
+	})
+	return c
 }
 
 // System exposes the underlying kernel database system.
 func (c *Controller) System() *mbds.System { return c.sys }
+
+// Txns exposes the controller's transaction manager. Sessions use it to
+// begin explicit transactions and to commit or roll them back.
+func (c *Controller) Txns() *txn.Manager { return c.txns }
+
+// keyPos reports the key allocator's position for journal records.
+func (c *Controller) keyPos() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.nextKey)
+}
 
 // Exec validates and executes one ABDL request, recording it in the trace.
 func (c *Controller) Exec(req *abdl.Request) (*kdb.Result, error) {
@@ -49,7 +103,10 @@ func (c *Controller) Exec(req *abdl.Request) (*kdb.Result, error) {
 // ExecCtx is Exec carrying a request context. When the context holds an obs
 // trace, the request becomes a "kc.exec" span (with the rendered ABDL as an
 // attribute and the simulated kernel time charged to it) whose children are
-// the per-backend fan-out spans recorded by MBDS.
+// the per-backend fan-out spans recorded by MBDS. When the context carries a
+// transaction the statement joins it — locks accumulate, undo is buffered,
+// and the mutation reaches the journal only if that transaction commits;
+// otherwise the statement runs auto-commit.
 func (c *Controller) ExecCtx(ctx context.Context, req *abdl.Request) (*kdb.Result, error) {
 	c.mu.Lock()
 	if c.tracing {
@@ -58,7 +115,16 @@ func (c *Controller) ExecCtx(ctx context.Context, req *abdl.Request) (*kdb.Resul
 	c.mu.Unlock()
 	ctx, span := obs.StartSpan(ctx, "kc.exec")
 	span.SetAttr("abdl", req.String())
-	res, t, err := c.sys.ExecTimedCtx(ctx, req)
+	var (
+		res *kdb.Result
+		t   time.Duration
+		err error
+	)
+	if tx, ok := txn.FromContext(ctx); ok {
+		res, t, err = c.txns.Exec(ctx, tx, req)
+	} else {
+		res, t, err = c.execAuto(ctx, req)
+	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		span.End()
@@ -69,16 +135,24 @@ func (c *Controller) ExecCtx(ctx context.Context, req *abdl.Request) (*kdb.Resul
 	c.mu.Lock()
 	c.simTime += t
 	c.mu.Unlock()
-	switch req.Kind {
-	case abdl.Insert, abdl.Delete, abdl.Update:
-		if err := c.logMutation(req); err != nil {
-			// The kernel applied the mutation but the journal did not take
-			// it: surface the divergence with the applied result attached
-			// rather than pretending the request failed outright.
-			return nil, &JournalError{Applied: []*kdb.Result{res}, Err: err}
-		}
-	}
 	return res, nil
+}
+
+// execAuto wraps one statement in its own transaction and commits it. A
+// commit whose journal write fails surfaces the store/journal divergence as
+// a JournalError carrying the applied result (the data is durable in the
+// kernel; the recovery log is what lost it).
+func (c *Controller) execAuto(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	tx := c.txns.Begin()
+	res, t, err := c.txns.Exec(ctx, tx, req)
+	if err != nil {
+		c.txns.Abort(tx)
+		return nil, t, err
+	}
+	if err := c.txns.Commit(tx); err != nil {
+		return nil, t, &JournalError{Applied: []*kdb.Result{res}, Err: err}
+	}
+	return res, t, nil
 }
 
 // ExecBatch validates and executes a slice of ABDL requests as one kernel
@@ -90,9 +164,10 @@ func (c *Controller) ExecBatch(reqs []*abdl.Request) ([]*kdb.Result, error) {
 
 // ExecBatchCtx is ExecBatch carrying a request context. The round becomes a
 // single "kc.batch" span; its children are MBDS's per-backend batch spans.
-// Mutations are journalled after the round under one journal lock — a single
-// flush per batch — so a journal failure surfaces as one JournalError
-// carrying every applied result.
+// The batch joins the context's transaction if one is present; otherwise it
+// runs as one auto-committed transaction — a single journal flush per batch,
+// with a journal failure surfacing as one JournalError carrying every
+// applied result.
 func (c *Controller) ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Result, error) {
 	c.mu.Lock()
 	if c.tracing {
@@ -103,7 +178,16 @@ func (c *Controller) ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]
 	c.mu.Unlock()
 	ctx, span := obs.StartSpan(ctx, "kc.batch")
 	span.SetAttr("requests", strconv.Itoa(len(reqs)))
-	results, t, err := c.sys.ExecBatchCtx(ctx, reqs)
+	var (
+		results []*kdb.Result
+		t       time.Duration
+		err     error
+	)
+	if tx, ok := txn.FromContext(ctx); ok {
+		results, t, err = c.txns.ExecBatch(ctx, tx, reqs)
+	} else {
+		results, t, err = c.execBatchAuto(ctx, reqs)
+	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		span.End()
@@ -114,10 +198,20 @@ func (c *Controller) ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]
 	c.mu.Lock()
 	c.simTime += t
 	c.mu.Unlock()
-	if err := c.logMutations(reqs); err != nil {
-		return nil, &JournalError{Applied: results, Err: err}
-	}
 	return results, nil
+}
+
+func (c *Controller) execBatchAuto(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Result, time.Duration, error) {
+	tx := c.txns.Begin()
+	results, t, err := c.txns.ExecBatch(ctx, tx, reqs)
+	if err != nil {
+		c.txns.Abort(tx)
+		return nil, t, err
+	}
+	if err := c.txns.Commit(tx); err != nil {
+		return nil, t, &JournalError{Applied: results, Err: err}
+	}
+	return results, t, nil
 }
 
 // NextKey allocates a fresh logical database key.

@@ -195,7 +195,11 @@ func TestJournalDetach(t *testing.T) {
 
 func TestJournalReplayGarbage(t *testing.T) {
 	c := newController(t)
-	if _, err := c.ReplayJournal(bytes.NewBufferString("junk")); err == nil {
-		t.Error("garbage journal accepted")
+	// A complete but corrupt gob message must be rejected. (A *truncated*
+	// trailing message is different: that is the torn final entry of a
+	// crash mid-write, which replay treats as clean end-of-log.)
+	corrupt := []byte{0x01, 0x00} // one-byte message carrying type id 0
+	if _, err := c.ReplayJournal(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupt journal accepted")
 	}
 }

@@ -1,0 +1,77 @@
+package kdb
+
+import (
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// TestInsertReportsAssignedID: every INSERT reports the database key it
+// stored the record under — the transaction manager's undo path depends on
+// it to erase the record on abort.
+func TestInsertReportsAssignedID(t *testing.T) {
+	s := NewStore(testDir(t))
+	rec := abdm.NewRecord("person", abdm.Keyword{Attr: "name", Val: abdm.String("a")})
+	res, err := s.Exec(abdl.NewInsert(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Affected) != 1 || res.Affected[0] == 0 {
+		t.Fatalf("insert Affected = %v, want the one assigned id", res.Affected)
+	}
+	if got, ok := s.GetByID(res.Affected[0]); !ok || !got.Equal(rec) {
+		t.Fatalf("GetByID(%d) = %v, %v", res.Affected[0], got, ok)
+	}
+
+	forced := abdl.NewInsert(abdm.NewRecord("person",
+		abdm.Keyword{Attr: "name", Val: abdm.String("b")}))
+	forced.ForceID = 99
+	res, err = s.Exec(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Affected) != 1 || res.Affected[0] != 99 {
+		t.Fatalf("forced insert Affected = %v, want [99]", res.Affected)
+	}
+}
+
+// TestDeleteByForceID: a DELETE with a pinned key removes exactly that
+// record, ignoring the qualification; a missing key deletes nothing.
+func TestDeleteByForceID(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 5)
+	before := s.Len()
+	res, err := s.Exec(abdl.NewRetrieve(abdm.And(abdm.Predicate{
+		Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("course")}), abdl.AllAttrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.Records[0].ID
+
+	del := abdl.NewDelete(abdm.And(abdm.Predicate{
+		Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("course")}))
+	del.ForceID = victim
+	dres, err := s.Exec(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Count != 1 || len(dres.Affected) != 1 || dres.Affected[0] != victim {
+		t.Fatalf("targeted delete: count=%d affected=%v, want exactly %d", dres.Count, dres.Affected, victim)
+	}
+	if s.Len() != before-1 {
+		t.Fatalf("store len = %d, want %d (the qualification must be ignored)", s.Len(), before-1)
+	}
+	if _, ok := s.GetByID(victim); ok {
+		t.Fatal("victim still present")
+	}
+
+	// Deleting a key that does not exist is a clean no-op.
+	dres, err = s.Exec(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Count != 0 || len(dres.Affected) != 0 {
+		t.Fatalf("missing-key delete: count=%d affected=%v, want no-op", dres.Count, dres.Affected)
+	}
+}

@@ -276,13 +276,14 @@ func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	if req.ForceID != 0 {
-		s.insertForcedLocked(req.ForceID, req.Record)
+	id := req.ForceID
+	if id != 0 {
+		s.insertForcedLocked(id, req.Record)
 	} else {
-		s.insertLocked(req.Record)
+		id = s.insertLocked(req.Record)
 	}
 	s.mu.Unlock()
-	res := &Result{Op: abdl.Insert, Count: 1}
+	res := &Result{Op: abdl.Insert, Count: 1, Affected: []abdm.RecordID{id}}
 	res.Cost = Cost{FilesTouched: 1, BlocksWrit: 1, DirProbes: len(req.Record.Keywords)}
 	return res, nil
 }
@@ -458,6 +459,19 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := &Result{Op: abdl.Delete}
+	if req.ForceID != 0 {
+		// Targeted delete by database key: remove exactly that record
+		// wherever it lives, ignoring the qualification. The transaction
+		// manager's undo path uses this to erase an inserted record (and
+		// every replica of it) without content-based matching.
+		if file, ok := s.fileOf[req.ForceID]; ok {
+			s.removeLocked(req.ForceID, s.files[file][req.ForceID])
+			res.Affected = append(res.Affected, req.ForceID)
+			res.Count = 1
+			res.Cost.BlocksWrit += s.disk.blocks(1)
+		}
+		return res, nil
+	}
 	victims, paths, _ := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 	for _, sr := range victims {

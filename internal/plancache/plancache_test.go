@@ -2,6 +2,7 @@ package plancache
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -85,4 +86,33 @@ func TestCacheNilSafety(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatal("nil cache has entries")
 	}
+}
+
+// TestConcurrentGetPut hammers one cache from many goroutines with
+// overlapping key sets — run under -race. The capacity bound must hold at
+// every observation point, and a Get that hits must return the value some
+// Put stored for that exact key.
+func TestConcurrentGetPut(t *testing.T) {
+	const workers, rounds, capacity = 8, 500, 32
+	c := New(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := fmt.Sprintf("k%d", i%(2*capacity))
+				if v, ok := c.Get(key); ok && v.(string) != key {
+					t.Errorf("Get(%q) returned foreign plan %v", key, v)
+					return
+				}
+				c.Put(key, key)
+				if n := c.Len(); n > capacity {
+					t.Errorf("cache grew to %d entries, capacity %d", n, capacity)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,21 @@
+package txn
+
+import "context"
+
+// ctxKey is the context key carrying the session's open transaction through
+// the language-interface layers. The KMS implementations already thread the
+// request context down to the kernel controller, so attaching the
+// transaction here gives all five language interfaces transactional
+// execution without per-KMS changes.
+type ctxKey struct{}
+
+// NewContext returns a context carrying the transaction.
+func NewContext(ctx context.Context, tx *Txn) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tx)
+}
+
+// FromContext extracts the transaction carried by the context, if any.
+func FromContext(ctx context.Context) (*Txn, bool) {
+	tx, ok := ctx.Value(ctxKey{}).(*Txn)
+	return tx, ok
+}

@@ -1,0 +1,566 @@
+// Package txn is the transaction subsystem of the multi-lingual database
+// system: it gives every session BEGIN/COMMIT/ABORT semantics over the
+// existing LIL→KMS→KC→MBDS pipeline.
+//
+// Concurrency control is strict two-phase locking at ABDM-file granularity
+// (the multi-granularity IS/IX/S/SIX/X scheme with a root resource standing
+// for the whole store), with a wait-for-graph deadlock detector that aborts
+// the youngest transaction of a cycle and a lock-wait timeout as fallback.
+// Atomicity is undo-based: before every DELETE or UPDATE the manager captures
+// before-images of the qualifying records, and every INSERT records its
+// assigned database key, so ABORT restores the store exactly by deleting by
+// key and re-inserting the images in reverse order. Durability is redo-based:
+// a committing transaction hands its buffered mutation log to a CommitSink
+// (the kc journal) which frames it with begin/commit markers and flushes once
+// per commit batch — group commit.
+package txn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kdb"
+	"mlds/internal/obs"
+	"mlds/internal/wire"
+)
+
+// Executor runs ABDL requests against the kernel. *mbds.System satisfies it;
+// the manager deliberately sits above MBDS and below kc so undo and
+// before-image traffic bypasses the kc trace and journal.
+type Executor interface {
+	ExecTimedCtx(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error)
+	ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Result, time.Duration, error)
+}
+
+// JournalRec is one redo-log record of a transaction: the mutating request
+// in wire form plus the controller's key-allocator position (so replay
+// restores key allocation exactly, as the v1 journal did).
+type JournalRec struct {
+	Req wire.Request
+	Key int64
+}
+
+// CommitRecord is one committing transaction's redo log.
+type CommitRecord struct {
+	ID      uint64
+	Entries []JournalRec
+}
+
+// CommitSink receives commit batches and abort notices. WriteCommits must
+// persist every record — framed so recovery can tell committed work from
+// uncommitted — with a single flush for the whole batch; that one call is
+// the group-commit window.
+type CommitSink interface {
+	WriteCommits(recs []CommitRecord) error
+	WriteAbort(id uint64) error
+}
+
+// Config configures a Manager.
+type Config struct {
+	Exec Executor   // kernel executor (required)
+	Sink CommitSink // commit-record sink; nil = no durability layer attached
+
+	// KeyPos reports the controller's current key-allocator position for
+	// journal records; nil means keys are not tracked.
+	KeyPos func() int64
+
+	// LockTimeout bounds every lock wait; a waiter past it aborts with
+	// ErrLockTimeout. Zero means DefaultLockTimeout.
+	LockTimeout time.Duration
+
+	// Metrics and DB label the manager's metric series. A nil registry
+	// disables metrics.
+	Metrics *obs.Registry
+	DB      string
+}
+
+// DefaultLockTimeout is the lock-wait bound when Config.LockTimeout is zero:
+// long enough that the wait-for-graph detector resolves genuine deadlocks
+// first, short enough that an undetectable stall cannot hang a session.
+const DefaultLockTimeout = 2 * time.Second
+
+// State is a transaction's lifecycle state.
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+var stateNames = [...]string{"active", "committed", "aborted"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
+
+// undoRec reverses one applied record mutation: delete the record stored
+// under id, then, if image is non-nil, re-insert the image under the same
+// id. The pair is idempotent, so undo also repairs partially-applied
+// broadcasts.
+type undoRec struct {
+	id    abdm.RecordID
+	file  string
+	image *abdm.Record // nil: the mutation was an INSERT — deletion suffices
+}
+
+// Txn is one transaction. A Txn is not safe for concurrent statements; the
+// manager is safe for concurrent transactions.
+type Txn struct {
+	id uint64
+	m  *Manager
+
+	mu    sync.Mutex
+	state State
+	undo  []undoRec
+	redo  []JournalRec
+
+	// locks is this transaction's held lock set, keyed by resource name.
+	// Guarded by the manager's lock table mutex, not tx.mu.
+	locks map[string]Mode
+}
+
+// ID returns the transaction's id. Ids increase monotonically, so a larger
+// id means a younger transaction — the deadlock victim ordering.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// AbortedError reports that a statement's transaction was rolled back by the
+// manager — as a deadlock victim, on lock timeout, or because undo was
+// required. The transaction no longer exists; the session must BEGIN anew.
+type AbortedError struct {
+	ID    uint64
+	Cause error
+}
+
+// Error describes the abort.
+func (e *AbortedError) Error() string {
+	return fmt.Sprintf("txn %d aborted: %v", e.ID, e.Cause)
+}
+
+// Unwrap exposes the abort cause (e.g. ErrDeadlock, ErrLockTimeout).
+func (e *AbortedError) Unwrap() error { return e.Cause }
+
+// ErrNotActive reports an operation on a committed or aborted transaction.
+var ErrNotActive = fmt.Errorf("txn: transaction is not active")
+
+// commitReq is one transaction waiting in the group-commit queue.
+type commitReq struct {
+	rec  CommitRecord
+	done chan error
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Begins    uint64
+	Commits   uint64
+	Aborts    uint64
+	Deadlocks uint64
+}
+
+// Manager coordinates transactions over one kernel database.
+type Manager struct {
+	cfg   Config
+	locks *lockTable
+	ids   atomic.Uint64
+
+	// Group commit: the first committer becomes the flush leader and drains
+	// the queue — every transaction enqueued while a flush is in progress
+	// rides the leader's next WriteCommits call.
+	cmu      sync.Mutex
+	queue    []commitReq
+	flushing bool
+
+	begins    atomic.Uint64
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	deadlocks atomic.Uint64
+
+	mCommits   *obs.Counter
+	mAborts    *obs.Counter
+	mDeadlocks *obs.Counter
+	mLockWait  *obs.Histogram
+}
+
+// NewManager builds a transaction manager over the executor.
+func NewManager(cfg Config) *Manager {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = DefaultLockTimeout
+	}
+	m := &Manager{cfg: cfg, locks: newLockTable(cfg.LockTimeout)}
+	reg := cfg.Metrics
+	dbL := obs.L("db", cfg.DB)
+	m.mCommits = reg.Counter("mlds_txn_commits_total",
+		"transactions committed", dbL)
+	m.mAborts = reg.Counter("mlds_txn_aborts_total",
+		"transactions aborted (explicit ROLLBACK, deadlock, timeout, or statement failure)", dbL)
+	m.mDeadlocks = reg.Counter("mlds_txn_deadlocks_total",
+		"deadlock cycles detected by the wait-for-graph detector", dbL)
+	m.mLockWait = reg.Histogram("mlds_txn_lock_wait_seconds",
+		"time spent blocked on the lock table per lock wait", nil, dbL)
+	m.locks.onWait = func(d time.Duration) { m.mLockWait.Observe(d.Seconds()) }
+	m.locks.onDeadlock = func() {
+		m.deadlocks.Add(1)
+		m.mDeadlocks.Inc()
+	}
+	return m
+}
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.begins.Add(1)
+	return &Txn{
+		id:    m.ids.Add(1),
+		m:     m,
+		locks: make(map[string]Mode),
+	}
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begins:    m.begins.Load(),
+		Commits:   m.commits.Load(),
+		Aborts:    m.aborts.Load(),
+		Deadlocks: m.deadlocks.Load(),
+	}
+}
+
+// lockStep is one entry of a request's lock plan.
+type lockStep struct {
+	name string
+	mode Mode
+}
+
+// lockPlan computes the locks a request needs: the root resource in an
+// intention mode plus each named file in S or X — or, when the request's
+// qualification does not confine it to named files, the root itself in
+// S or X.
+func lockPlan(req *abdl.Request) []lockStep {
+	write := false
+	var files []string
+	confined := true
+	switch req.Kind {
+	case abdl.Insert:
+		write = true
+		files = []string{req.Record.File()}
+	case abdl.Delete, abdl.Update:
+		write = true
+		files, confined = req.Query.Files()
+		if req.Kind == abdl.Delete && req.ForceID != 0 {
+			// Targeted delete ignores the qualification and may touch any
+			// file, so it needs the root exclusively.
+			confined = false
+		}
+	case abdl.Retrieve:
+		files, confined = req.Query.Files()
+	case abdl.RetrieveCommon:
+		f1, ok1 := req.Query.Files()
+		f2, ok2 := req.Query2.Files()
+		confined = ok1 && ok2
+		files = append(f1, f2...)
+	}
+	fileMode, rootMode := S, IS
+	if write {
+		fileMode, rootMode = X, IX
+	}
+	if !confined {
+		return []lockStep{{rootResource, fileMode}}
+	}
+	plan := []lockStep{{rootResource, rootMode}}
+	sort.Strings(files)
+	prev := "\x00"
+	for _, f := range files {
+		if f != prev {
+			plan = append(plan, lockStep{f, fileMode})
+			prev = f
+		}
+	}
+	return plan
+}
+
+// acquirePlan takes every lock of the plan in order (root first, then files
+// sorted), returning the first lock failure.
+func (m *Manager) acquirePlan(tx *Txn, plan []lockStep) error {
+	for _, st := range plan {
+		if err := m.locks.acquire(tx, st.name, st.mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isMutation(k abdl.Kind) bool {
+	return k == abdl.Insert || k == abdl.Delete || k == abdl.Update
+}
+
+// beforeImages retrieves full copies of every record a DELETE or UPDATE will
+// touch. The retrieve runs against the executor directly, below kc, so it
+// appears in no trace and no journal.
+func (m *Manager) beforeImages(ctx context.Context, req *abdl.Request) ([]undoRec, error) {
+	if req.Kind != abdl.Delete && req.Kind != abdl.Update {
+		return nil, nil
+	}
+	if req.Kind == abdl.Delete && req.ForceID != 0 {
+		// Key-targeted deletes are the undo primitive itself; they never
+		// originate from sessions, and imaging them content-free is not
+		// possible, so they carry no undo.
+		return nil, nil
+	}
+	probe := abdl.NewRetrieve(req.Query, abdl.AllAttrs)
+	res, _, err := m.cfg.Exec.ExecTimedCtx(ctx, probe)
+	if err != nil {
+		return nil, fmt.Errorf("txn: before-image capture: %w", err)
+	}
+	undo := make([]undoRec, 0, len(res.Records))
+	for _, sr := range res.Records {
+		undo = append(undo, undoRec{id: sr.ID, file: sr.Rec.File(), image: sr.Rec.Clone()})
+	}
+	return undo, nil
+}
+
+// journalRec builds the redo record for an applied mutation.
+func (m *Manager) journalRec(req *abdl.Request) JournalRec {
+	rec := JournalRec{Req: wire.FromRequest(req)}
+	if m.cfg.KeyPos != nil {
+		rec.Key = m.cfg.KeyPos()
+	}
+	return rec
+}
+
+// Exec runs one statement inside the transaction: acquire locks (strict 2PL
+// — held to commit/abort), capture before-images, execute, and buffer undo
+// and redo. A lock failure (deadlock victim, timeout) rolls the whole
+// transaction back and returns *AbortedError; a plain execution failure
+// leaves the transaction active.
+func (m *Manager) Exec(ctx context.Context, tx *Txn, req *abdl.Request) (*kdb.Result, time.Duration, error) {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return nil, 0, ErrNotActive
+	}
+	tx.mu.Unlock()
+	if err := m.acquirePlan(tx, lockPlan(req)); err != nil {
+		m.rollback(tx)
+		return nil, 0, &AbortedError{ID: tx.id, Cause: err}
+	}
+	undo, err := m.beforeImages(ctx, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, d, err := m.cfg.Exec.ExecTimedCtx(ctx, req)
+	if err != nil {
+		// The statement failed but the transaction survives. A broadcast
+		// may have applied on some backends before failing; keeping the
+		// before-images lets a later ABORT repair even that.
+		tx.mu.Lock()
+		tx.undo = append(tx.undo, undo...)
+		tx.mu.Unlock()
+		return nil, d, err
+	}
+	if isMutation(req.Kind) {
+		if req.Kind == abdl.Insert {
+			for _, id := range res.Affected {
+				undo = append(undo, undoRec{id: id, file: req.Record.File()})
+			}
+		}
+		tx.mu.Lock()
+		tx.undo = append(tx.undo, undo...)
+		tx.redo = append(tx.redo, m.journalRec(req))
+		tx.mu.Unlock()
+	}
+	return res, d, nil
+}
+
+// ExecBatch runs a whole request round inside the transaction: the union of
+// every request's locks is acquired up front, before-images are captured for
+// each mutation, and the round executes as one kernel batch.
+func (m *Manager) ExecBatch(ctx context.Context, tx *Txn, reqs []*abdl.Request) ([]*kdb.Result, time.Duration, error) {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return nil, 0, ErrNotActive
+	}
+	tx.mu.Unlock()
+	merged := make(map[string]Mode)
+	for _, req := range reqs {
+		for _, st := range lockPlan(req) {
+			merged[st.name] = lub(merged[st.name], st.mode)
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names) // root ("") sorts first
+	plan := make([]lockStep, 0, len(names))
+	for _, name := range names {
+		plan = append(plan, lockStep{name, merged[name]})
+	}
+	if err := m.acquirePlan(tx, plan); err != nil {
+		m.rollback(tx)
+		return nil, 0, &AbortedError{ID: tx.id, Cause: err}
+	}
+	var undo []undoRec
+	for _, req := range reqs {
+		u, err := m.beforeImages(ctx, req)
+		if err != nil {
+			return nil, 0, err
+		}
+		undo = append(undo, u...)
+	}
+	results, d, err := m.cfg.Exec.ExecBatchCtx(ctx, reqs)
+	if err != nil {
+		tx.mu.Lock()
+		tx.undo = append(tx.undo, undo...)
+		tx.mu.Unlock()
+		return nil, d, err
+	}
+	var redo []JournalRec
+	for i, req := range reqs {
+		if !isMutation(req.Kind) {
+			continue
+		}
+		if req.Kind == abdl.Insert {
+			for _, id := range results[i].Affected {
+				undo = append(undo, undoRec{id: id, file: req.Record.File()})
+			}
+		}
+		redo = append(redo, m.journalRec(req))
+	}
+	tx.mu.Lock()
+	tx.undo = append(tx.undo, undo...)
+	tx.redo = append(tx.redo, redo...)
+	tx.mu.Unlock()
+	return results, d, nil
+}
+
+// Commit commits the transaction. Read-only transactions release their locks
+// and return; writers join the group-commit queue, where the first committer
+// becomes the flush leader and persists every queued commit record with a
+// single sink flush.
+func (m *Manager) Commit(tx *Txn) error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return ErrNotActive
+	}
+	redo := tx.redo
+	tx.state = Committed
+	tx.undo, tx.redo = nil, nil
+	tx.mu.Unlock()
+
+	var err error
+	if len(redo) > 0 && m.cfg.Sink != nil {
+		err = m.groupCommit(CommitRecord{ID: tx.id, Entries: redo})
+	}
+	m.locks.releaseAll(tx)
+	m.commits.Add(1)
+	m.mCommits.Inc()
+	return err
+}
+
+// groupCommit enqueues the record and either waits for the current leader's
+// next flush or becomes the leader and drains the queue.
+func (m *Manager) groupCommit(rec CommitRecord) error {
+	req := commitReq{rec: rec, done: make(chan error, 1)}
+	m.cmu.Lock()
+	m.queue = append(m.queue, req)
+	if m.flushing {
+		m.cmu.Unlock()
+		return <-req.done
+	}
+	m.flushing = true
+	for len(m.queue) > 0 {
+		batch := m.queue
+		m.queue = nil
+		m.cmu.Unlock()
+		recs := make([]CommitRecord, len(batch))
+		for i, b := range batch {
+			recs[i] = b.rec
+		}
+		err := m.cfg.Sink.WriteCommits(recs)
+		for _, b := range batch {
+			b.done <- err
+		}
+		m.cmu.Lock()
+	}
+	m.flushing = false
+	m.cmu.Unlock()
+	return <-req.done
+}
+
+// Abort rolls the transaction back: applied mutations are undone in reverse
+// order, the abort is noted in the journal, and all locks release. Aborting
+// a finished transaction is a no-op.
+func (m *Manager) Abort(tx *Txn) error {
+	return m.rollback(tx)
+}
+
+func (m *Manager) rollback(tx *Txn) error {
+	tx.mu.Lock()
+	if tx.state != Active {
+		tx.mu.Unlock()
+		return nil
+	}
+	undo := tx.undo
+	wrote := len(tx.redo) > 0
+	tx.state = Aborted
+	tx.undo, tx.redo = nil, nil
+	tx.mu.Unlock()
+
+	err := m.applyUndo(undo)
+	if wrote && m.cfg.Sink != nil {
+		if werr := m.cfg.Sink.WriteAbort(tx.id); err == nil {
+			err = werr
+		}
+	}
+	m.locks.releaseAll(tx)
+	m.aborts.Add(1)
+	m.mAborts.Inc()
+	return err
+}
+
+// applyUndo reverses the transaction's applied mutations, newest first. Each
+// step deletes the current record under the key (a broadcast reaches every
+// backend and replica) and, for DELETE/UPDATE images, re-inserts the
+// before-image pinned to the same key.
+func (m *Manager) applyUndo(undo []undoRec) error {
+	ctx := context.Background()
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		u := undo[i]
+		del := abdl.NewDelete(abdm.And(abdm.Predicate{
+			Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(u.file),
+		}))
+		del.ForceID = u.id
+		if _, _, err := m.cfg.Exec.ExecTimedCtx(ctx, del); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("txn: undo delete of record %d: %w", u.id, err)
+		}
+		if u.image != nil {
+			ins := abdl.NewInsert(u.image)
+			ins.ForceID = u.id
+			if _, _, err := m.cfg.Exec.ExecTimedCtx(ctx, ins); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("txn: undo restore of record %d: %w", u.id, err)
+			}
+		}
+	}
+	return firstErr
+}

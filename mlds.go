@@ -41,6 +41,7 @@ import (
 	"mlds/internal/mbds"
 	"mlds/internal/netmodel"
 	"mlds/internal/relkms"
+	"mlds/internal/txn"
 	"mlds/internal/univ"
 	"mlds/internal/univgen"
 )
@@ -168,6 +169,23 @@ var (
 	// ErrWrongModel reports a model the requested interface cannot serve.
 	ErrWrongModel = core.ErrWrongModel
 )
+
+// Transaction errors. Every session is transactional: statements
+// auto-commit unless BEGIN WORK (or Session.Begin) opened an explicit
+// transaction. When the transaction manager aborts a transaction — deadlock
+// victim or lock timeout — the statement fails with a *TxnAbortedError
+// wrapping the cause; the client retries from BEGIN.
+var (
+	// ErrDeadlock is the cause when the transaction was the chosen victim
+	// of a detected deadlock (errors.Is against a failed statement).
+	ErrDeadlock = txn.ErrDeadlock
+	// ErrLockTimeout is the cause when a lock wait exceeded the limit.
+	ErrLockTimeout = txn.ErrLockTimeout
+)
+
+// TxnAbortedError reports a statement whose transaction the manager rolled
+// back; use errors.As to retrieve it and errors.Is for the cause.
+type TxnAbortedError = txn.AbortedError
 
 // SimTime reports the simulated kernel time a database's controller has
 // accumulated — the response-time figure the MBDS experiments sweep.

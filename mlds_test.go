@@ -1,6 +1,7 @@
 package mlds
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -76,5 +77,37 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 func TestValueConstructors(t *testing.T) {
 	if Int(3).AsInt() != 3 || Float(2.5).AsFloat() != 2.5 || String("x").AsString() != "x" || !Null().IsNull() {
 		t.Error("value constructors broken")
+	}
+}
+
+// TestPublicTransactionSurface: the re-exported transaction API — session
+// verbs, the unified Session methods, and the error sentinels — works
+// through the package facade.
+func TestPublicTransactionSurface(t *testing.T) {
+	sys := New(KernelWith(2))
+	defer sys.Close()
+	if _, err := sys.CreateFunctional("u", UniversityDDL); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.OpenDaplex("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Session = sess
+	if out, err := s.Execute("BEGIN WORK"); err != nil || out.Rendered != "begin" {
+		t.Fatalf("BEGIN WORK: %v, rendered %q", err, out.Rendered)
+	}
+	if !s.InTxn() {
+		t.Fatal("InTxn false after BEGIN WORK")
+	}
+	if err := s.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var ae *TxnAbortedError
+	if errors.As(errors.New("x"), &ae) {
+		t.Fatal("errors.As matched a plain error")
+	}
+	if ErrDeadlock == nil || ErrLockTimeout == nil {
+		t.Fatal("transaction sentinels missing")
 	}
 }
