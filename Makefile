@@ -1,14 +1,20 @@
 # Standard verify tiers. `make check` is the extended tier: vet (including
 # the observability package on its own), formatting, static analysis when
 # the tools are installed (staticcheck, govulncheck — both skipped with a
-# note otherwise, so the target needs no network), the transaction/kernel
-# concurrency tier on its own, and the full test suite under the race
-# detector. `make bench` regenerates the paper experiments and writes a
-# machine-readable summary.
+# note otherwise, so the target needs no network), the full suite with
+# shuffled test order, the transaction/kernel concurrency tier and the
+# cross-model differential suite under the race detector, and per-package
+# coverage floors on the transaction, controller, and kernel packages.
+# `make fuzz-smoke` runs each native fuzz target briefly — corpora and
+# checked-in crashers also replay on every plain `go test`. `make bench`
+# regenerates the paper experiments and writes a machine-readable summary.
 
 GO ?= go
 
-.PHONY: build test check fmt bench
+# Coverage floors for the packages the verify tier guards most closely.
+COVER_FLOOR := 70
+
+.PHONY: build test check cover fuzz-smoke fmt bench
 
 build:
 	$(GO) build ./...
@@ -33,11 +39,40 @@ check:
 	else \
 		echo "govulncheck not installed; skipping"; \
 	fi
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
+	$(GO) test -race -run TestCrossModelDifferential ./internal/core
 	$(GO) test -race ./...
+	$(MAKE) cover
+
+# cover enforces the coverage floors: the transaction manager, kernel
+# controller, and kernel database must each stay at or above COVER_FLOOR%.
+cover:
+	@for pkg in internal/txn internal/kc internal/kdb; do \
+		pct=$$($(GO) test -cover ./$$pkg | \
+			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then \
+			echo "$$pkg: no coverage reported"; exit 1; \
+		fi; \
+		ok=$$(awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{print (p>=f)?1:0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "$$pkg: coverage $$pct% is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+		echo "$$pkg: coverage $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# fuzz-smoke gives each native fuzz target a short live fuzzing budget.
+# New crashers it finds land in testdata/fuzz and then run on every plain
+# `go test` as regression inputs.
+FUZZ_TIME ?= 5s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/sql
+	$(GO) test -run '^$$' -fuzz '^FuzzParseDDL$$' -fuzztime $(FUZZ_TIME) ./internal/sql
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/abdl
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_4.json
+	$(GO) run ./cmd/mldsbench -json BENCH_5.json
 
 fmt:
 	gofmt -w .

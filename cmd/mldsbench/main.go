@@ -7,10 +7,11 @@
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e13, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e14, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
 //	mldsbench -txn                run the transaction contention workload
 //	mldsbench -txn -sessions 16 -txns 50 -ops 4 -conflict 0.25
+//	mldsbench -readers 8 -writers 4   reader/writer mix, locked vs MVCC (E14)
 package main
 
 import (
@@ -73,7 +74,23 @@ func main() {
 	txns := flag.Int("txns", 25, "-txn: transactions per session")
 	ops := flag.Int("ops", 3, "-txn: read-modify-write operations per transaction")
 	conflict := flag.Float64("conflict", 0.5, "-txn: probability an operation hits the shared hot record")
+	readers := flag.Int("readers", 0, "reader/writer mix: read-only sessions (runs E14 at this scale)")
+	writers := flag.Int("writers", 0, "reader/writer mix: read-modify-write sessions")
 	flag.Parse()
+
+	if *readers > 0 || *writers > 0 {
+		r, w := *readers, *writers
+		if r <= 0 {
+			r = 4
+		}
+		if w <= 0 {
+			w = 2
+		}
+		emit(experiments.Timed(func() *experiments.Report {
+			return experiments.E14ReaderWriter(r, w)
+		}), *jsonPath)
+		return
+	}
 
 	if *txnMode {
 		emit(experiments.Timed(func() *experiments.Report {
@@ -96,6 +113,7 @@ func main() {
 		"e11": experiments.E11FaultTolerance,
 		"e12": experiments.E12BatchedLoad,
 		"e13": experiments.E13GroupCommit,
+		"e14": experiments.E14SnapshotScaling,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,

@@ -18,16 +18,30 @@ import (
 // Kind identifies an ABDL operation.
 type Kind int
 
-// The five ABDL operations.
+// The five ABDL operations, plus the kernel-internal MVCC administration
+// operations the transaction manager broadcasts to every backend. The MVCC
+// kinds have no ABDL text form: they are not expressible by any language
+// interface and never appear in the kc trace or journal.
 const (
 	Insert Kind = iota
 	Delete
 	Update
 	Retrieve
 	RetrieveCommon
+
+	// MvccCommit stamps every pending version written under TxnID with the
+	// commit epoch MvccEpoch, making the transaction visible to snapshots
+	// taken at or after that epoch.
+	MvccCommit
+	// MvccAbort discards every pending version written under TxnID.
+	MvccAbort
+	// MvccGC prunes versions superseded at or below the watermark epoch
+	// MvccEpoch — versions no live snapshot can still observe.
+	MvccGC
 )
 
-var kindNames = [...]string{"INSERT", "DELETE", "UPDATE", "RETRIEVE", "RETRIEVE-COMMON"}
+var kindNames = [...]string{"INSERT", "DELETE", "UPDATE", "RETRIEVE", "RETRIEVE-COMMON",
+	"MVCC-COMMIT", "MVCC-ABORT", "MVCC-GC"}
 
 // String returns the operation's ABDL spelling.
 func (k Kind) String() string {
@@ -113,6 +127,31 @@ type Request struct {
 	// transaction manager's undo path erases records this way. It is not
 	// expressible in ABDL text.
 	ForceID abdm.RecordID
+
+	// TxnID, when nonzero on a mutation, marks the versions it writes as
+	// pending under that transaction: invisible to snapshots until an
+	// MVCC-COMMIT stamps them with a commit epoch. The transaction manager
+	// sets it; zero (bulk load, journal replay, auto-stamped paths) commits
+	// the version immediately at the store's current epoch. On MVCC-COMMIT
+	// and MVCC-ABORT it names the transaction being stamped or discarded.
+	// Not expressible in ABDL text.
+	TxnID uint64
+
+	// SnapEpoch, when nonzero on a RETRIEVE or RETRIEVE-COMMON, reads from
+	// the version chains as of that commit epoch instead of the live store —
+	// a lock-free snapshot read. Mutations reject it. Not expressible in
+	// ABDL text.
+	SnapEpoch uint64
+
+	// NoVersion suppresses version-chain bookkeeping for a mutation. The
+	// transaction manager's undo path sets it: undo restores the live store
+	// to the chain's newest committed state, so recording it as a fresh
+	// version would only duplicate history. Not expressible in ABDL text.
+	NoVersion bool
+
+	// MvccEpoch carries the commit epoch of an MVCC-COMMIT or the watermark
+	// of an MVCC-GC. Not expressible in ABDL text.
+	MvccEpoch uint64
 }
 
 // NewInsert builds an INSERT request for the record.
@@ -145,6 +184,9 @@ func (r *Request) WithBy(attr string) *Request {
 // Validate performs structural checks: the right qualifications must be
 // present for the operation.
 func (r *Request) Validate() error {
+	if r.SnapEpoch != 0 && r.Kind != Retrieve && r.Kind != RetrieveCommon {
+		return fmt.Errorf("abdl: %v cannot run against a snapshot", r.Kind)
+	}
 	switch r.Kind {
 	case Insert:
 		if r.Record == nil || len(r.Record.Keywords) == 0 {
@@ -177,6 +219,21 @@ func (r *Request) Validate() error {
 		}
 		if len(r.Query2) == 0 {
 			return fmt.Errorf("abdl: RETRIEVE-COMMON requires a second query")
+		}
+	case MvccCommit:
+		if r.TxnID == 0 {
+			return fmt.Errorf("abdl: MVCC-COMMIT requires a transaction id")
+		}
+		if r.MvccEpoch == 0 {
+			return fmt.Errorf("abdl: MVCC-COMMIT requires a commit epoch")
+		}
+	case MvccAbort:
+		if r.TxnID == 0 {
+			return fmt.Errorf("abdl: MVCC-ABORT requires a transaction id")
+		}
+	case MvccGC:
+		if r.MvccEpoch == 0 {
+			return fmt.Errorf("abdl: MVCC-GC requires a watermark epoch")
 		}
 	default:
 		return fmt.Errorf("abdl: unknown request kind %d", r.Kind)
@@ -221,6 +278,12 @@ func (r *Request) String() string {
 			b.WriteString(" BY ")
 			b.WriteString(r.By)
 		}
+	case MvccCommit:
+		fmt.Fprintf(&b, "txn=%d epoch=%d", r.TxnID, r.MvccEpoch)
+	case MvccAbort:
+		fmt.Fprintf(&b, "txn=%d", r.TxnID)
+	case MvccGC:
+		fmt.Fprintf(&b, "watermark=%d", r.MvccEpoch)
 	}
 	return b.String()
 }

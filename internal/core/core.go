@@ -370,19 +370,22 @@ type DMLSession struct {
 }
 
 // OpenDML opens a CODASYL-DML session on the named database.
-func (s *System) OpenDML(dbname string) (*DMLSession, error) {
+func (s *System) OpenDML(dbname string, opts ...SessionOption) (*DMLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
 	}
+	var sess *DMLSession
 	switch db.Model {
 	case NetworkModel:
-		return &DMLSession{DB: db, Tr: kms.NewNetwork(db.Net, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
+		sess = &DMLSession{DB: db, Tr: kms.NewNetwork(db.Net, db.AB, db.Ctrl), txnState: txnState{db: db}}
 	case FunctionalModel:
-		return &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
+		sess = &DMLSession{DB: db, Tr: kms.NewFunctional(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}
 	default:
 		return nil, fmt.Errorf("%w: the CODASYL-DML interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
+	sess.apply(opts)
+	return sess, nil
 }
 
 // DaplexSession is a Daplex user session on a functional database.
@@ -393,7 +396,7 @@ type DaplexSession struct {
 }
 
 // OpenDaplex opens a Daplex session on the named functional database.
-func (s *System) OpenDaplex(dbname string) (*DaplexSession, error) {
+func (s *System) OpenDaplex(dbname string, opts ...SessionOption) (*DaplexSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -401,7 +404,9 @@ func (s *System) OpenDaplex(dbname string) (*DaplexSession, error) {
 	if db.Model != FunctionalModel {
 		return nil, fmt.Errorf("%w: the Daplex interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}, nil
+	sess := &DaplexSession{DB: db, If: dapkms.New(db.Mapping, db.AB, db.Ctrl), txnState: txnState{db: db}}
+	sess.apply(opts)
+	return sess, nil
 }
 
 // SQLSession is a SQL user session on a relational database.
@@ -412,7 +417,7 @@ type SQLSession struct {
 }
 
 // OpenSQL opens a SQL session on the named relational database.
-func (s *System) OpenSQL(dbname string) (*SQLSession, error) {
+func (s *System) OpenSQL(dbname string, opts ...SessionOption) (*SQLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -420,7 +425,9 @@ func (s *System) OpenSQL(dbname string) (*SQLSession, error) {
 	if db.Model != RelationalModel {
 		return nil, fmt.Errorf("%w: the SQL interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl), txnState: txnState{db: db}}, nil
+	sess := &SQLSession{DB: db, If: relkms.New(db.Rel, db.Ctrl), txnState: txnState{db: db}}
+	sess.apply(opts)
+	return sess, nil
 }
 
 // DLISession is a DL/I user session on a hierarchical database.
@@ -431,7 +438,7 @@ type DLISession struct {
 }
 
 // OpenDLI opens a DL/I session on the named hierarchical database.
-func (s *System) OpenDLI(dbname string) (*DLISession, error) {
+func (s *System) OpenDLI(dbname string, opts ...SessionOption) (*DLISession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -439,5 +446,7 @@ func (s *System) OpenDLI(dbname string) (*DLISession, error) {
 	if db.Model != HierarchicalModel {
 		return nil, fmt.Errorf("%w: the DL/I interface cannot serve a %s database", ErrWrongModel, db.Model)
 	}
-	return &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl), txnState: txnState{db: db}}, nil
+	sess := &DLISession{DB: db, If: hiekms.New(db.Hie, db.Ctrl), txnState: txnState{db: db}}
+	sess.apply(opts)
+	return sess, nil
 }

@@ -72,6 +72,11 @@ type Session interface {
 
 	// Begin opens an explicit transaction; it fails if one is already open.
 	Begin() error
+	// BeginSnapshot opens an explicit read-only transaction pinned at the
+	// current commit epoch (the statement form is BEGIN WORK READ ONLY):
+	// its reads are lock-free against the pinned snapshot, and mutations
+	// fail with txn.ErrReadOnly. End it with Commit or Rollback.
+	BeginSnapshot() error
 	// Commit commits the open explicit transaction.
 	Commit() error
 	// Rollback aborts the open explicit transaction, undoing its effects.
@@ -80,23 +85,34 @@ type Session interface {
 	InTxn() bool
 }
 
+// SessionOption configures a session at open time.
+type SessionOption func(*txnState)
+
+// SnapshotSession makes every implicit (auto-commit) statement of the
+// session run inside its own read-only snapshot transaction: reads never
+// take locks and never wait on writers, and mutations fail with
+// txn.ErrReadOnly. Explicit BEGIN/BEGIN WORK READ ONLY still work as usual.
+func SnapshotSession() SessionOption {
+	return func(ts *txnState) { ts.snapMode = true }
+}
+
 // Open opens a session on the named database in the given language. The
 // language is matched case-insensitively and accepts the common aliases
 // ("dml", "codasyl", "codasyl-dml"; "daplex"; "sql"; "dli", "dl/i", "dl1";
 // "abdl"). The typed openers remain for callers that need the concrete
 // session type.
-func (s *System) Open(dbname, language string) (Session, error) {
+func (s *System) Open(dbname, language string, opts ...SessionOption) (Session, error) {
 	switch strings.ToLower(strings.TrimSpace(language)) {
 	case "dml", "codasyl", "codasyl-dml":
-		return s.OpenDML(dbname)
+		return s.OpenDML(dbname, opts...)
 	case "daplex":
-		return s.OpenDaplex(dbname)
+		return s.OpenDaplex(dbname, opts...)
 	case "sql":
-		return s.OpenSQL(dbname)
+		return s.OpenSQL(dbname, opts...)
 	case "dli", "dl/i", "dl1", "dl/1":
-		return s.OpenDLI(dbname)
+		return s.OpenDLI(dbname, opts...)
 	case "abdl":
-		return s.OpenABDL(dbname)
+		return s.OpenABDL(dbname, opts...)
 	default:
 		return nil, fmt.Errorf("core: unknown language %q (want dml, daplex, sql, dli or abdl)", language)
 	}
@@ -106,8 +122,18 @@ func (s *System) Open(dbname, language string) (Session, error) {
 // every session type, so the Session transaction methods are written once.
 type txnState struct {
 	db *Database
-	mu sync.Mutex
-	tx *txn.Txn
+	// snapMode runs every implicit statement in its own read-only snapshot
+	// transaction (SnapshotSession).
+	snapMode bool
+	mu       sync.Mutex
+	tx       *txn.Txn
+}
+
+// apply applies session options; the openers call it on the embedded state.
+func (s *txnState) apply(opts []SessionOption) {
+	for _, o := range opts {
+		o(s)
+	}
 }
 
 // current returns the open explicit transaction, if any.
@@ -135,6 +161,17 @@ func (s *txnState) Begin() error {
 		return fmt.Errorf("core: transaction %d already open (COMMIT or ROLLBACK first)", s.tx.ID())
 	}
 	s.tx = s.db.Ctrl.Txns().Begin()
+	return nil
+}
+
+// BeginSnapshot opens an explicit read-only snapshot transaction.
+func (s *txnState) BeginSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tx != nil {
+		return fmt.Errorf("core: transaction %d already open (COMMIT or ROLLBACK first)", s.tx.ID())
+	}
+	s.tx = s.db.Ctrl.Txns().BeginSnapshot()
 	return nil
 }
 
@@ -187,6 +224,9 @@ func txnVerb(text string) (string, bool) {
 	switch strings.ToUpper(strings.Join(strings.Fields(s), " ")) {
 	case "BEGIN", "BEGIN WORK", "BEGIN TRANSACTION", "START TRANSACTION":
 		return "begin", true
+	case "BEGIN READ ONLY", "BEGIN WORK READ ONLY",
+		"BEGIN TRANSACTION READ ONLY", "START TRANSACTION READ ONLY":
+		return "begin-ro", true
 	case "COMMIT", "COMMIT WORK":
 		return "commit", true
 	case "ROLLBACK", "ROLLBACK WORK", "ABORT":
@@ -201,6 +241,8 @@ func (s *txnState) control(verb string, out *Outcome) error {
 	switch verb {
 	case "begin":
 		err = s.Begin()
+	case "begin-ro":
+		err = s.BeginSnapshot()
 	case "commit":
 		err = s.Commit()
 	case "rollback":
@@ -239,6 +281,17 @@ func (db *Database) execInTxn(ctx context.Context, ts *txnState, out *Outcome, e
 		var ae *txn.AbortedError
 		if errors.As(err, &ae) {
 			ts.clearIf(tx)
+		}
+		return err
+	}
+	if ts.snapMode {
+		// A snapshot session runs each implicit statement in its own
+		// read-only snapshot transaction: lock-free, so never a deadlock
+		// victim — no retry loop. Commit just unregisters the snapshot.
+		tx := db.Ctrl.Txns().BeginSnapshot()
+		err := exec(txn.NewContext(ctx, tx), out)
+		if cerr := db.Ctrl.Txns().Commit(tx); err == nil {
+			err = cerr
 		}
 		return err
 	}
@@ -479,12 +532,14 @@ type ABDLSession struct {
 
 // OpenABDL opens a raw ABDL session. Every database model is served: ABDL
 // addresses the kernel representation beneath all of them.
-func (s *System) OpenABDL(dbname string) (*ABDLSession, error) {
+func (s *System) OpenABDL(dbname string, opts ...SessionOption) (*ABDLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
 	}
-	return &ABDLSession{DB: db, txnState: txnState{db: db}}, nil
+	sess := &ABDLSession{DB: db, txnState: txnState{db: db}}
+	sess.apply(opts)
+	return sess, nil
 }
 
 // Execute parses and runs one ABDL request.

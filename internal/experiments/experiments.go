@@ -63,6 +63,7 @@ func All() []*Report {
 		E11FaultTolerance,
 		E12BatchedLoad,
 		E13GroupCommit,
+		E14SnapshotScaling,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

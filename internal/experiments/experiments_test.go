@@ -95,6 +95,20 @@ func TestE13_GroupCommit(t *testing.T) {
 	}
 }
 
+// TestE14_SnapshotReads runs the reader/writer mix behind mldsbench
+// -readers/-writers: snapshot readers must beat locked readers under the
+// same write load, with zero torn reads in either mode and no lost updates.
+func TestE14_SnapshotReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := E14SnapshotScaling()
+	assertOK(t, r)
+	if !strings.Contains(r.Body, "speedup") {
+		t.Errorf("E14 missing the throughput comparison:\n%s", r.Body)
+	}
+}
+
 // TestTxnContention runs the mldsbench -txn workload at a small scale: with
 // every operation hitting the shared hot record, the no-lost-updates check
 // is exactly the serializability claim of the transaction subsystem.

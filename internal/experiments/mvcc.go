@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/txn"
+)
+
+// E14SnapshotScaling is the fixed-shape E14 run used by `mldsbench` and the
+// test suite; mldsbench -readers/-writers runs E14ReaderWriter directly at
+// the requested scale.
+func E14SnapshotScaling() *Report { return E14ReaderWriter(4, 2) }
+
+// E14ReaderWriter measures read-only throughput under a concurrent
+// read-modify-write load, twice: once with readers as ordinary locking
+// transactions (they queue behind the writers' exclusive locks and join
+// their deadlock cycles) and once as MVCC snapshot transactions (they skip
+// the lock table and read committed versions). The claim under test is the
+// multiversion one: snapshot readers complete more read-only transactions
+// under the same write load, with zero consistency anomalies — every read
+// transaction in either mode must observe all counters equal, the committed
+// prefix of the writers' uniform increments.
+func E14ReaderWriter(readers, writers int) *Report {
+	const id = "E14"
+	title := fmt.Sprintf("Snapshot reads: %d readers x %d writers, locked vs MVCC", readers, writers)
+	const files = 4
+	const writerRounds = 20
+
+	type mixResult struct {
+		reads     int64 // completed read-only transactions
+		anomalies int64 // read transactions that saw a torn (non-prefix) state
+		wall      time.Duration
+	}
+
+	// run drives the mix once. Writers increment every counter file per
+	// transaction, in random lock order, retrying when chosen as deadlock
+	// victims; readers loop until the writers finish.
+	run := func(snapshot bool) (mixResult, error) {
+		c, sys, err := txnKernel(files)
+		if err != nil {
+			return mixResult{}, err
+		}
+		defer sys.Close()
+		readAll := func(ctx context.Context) ([]int64, error) {
+			vals := make([]int64, files)
+			for i := range vals {
+				res, err := c.ExecCtx(ctx, abdl.NewRetrieve(abdm.And(abdm.Predicate{
+					Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(fmt.Sprintf("f%d", i))}), "x"))
+				if err != nil {
+					return nil, err
+				}
+				if len(res.Records) != 1 {
+					return nil, fmt.Errorf("file f%d: %d records", i, len(res.Records))
+				}
+				v, _ := res.Records[0].Rec.Get("x")
+				vals[i] = v.AsInt()
+			}
+			return vals, nil
+		}
+		for i := 0; i < files; i++ {
+			if _, err := c.Exec(insertInto(fmt.Sprintf("f%d", i), 0)); err != nil {
+				return mixResult{}, err
+			}
+		}
+
+		var res mixResult
+		var done atomic.Bool
+		var werr atomic.Value
+		var wgR, wgW sync.WaitGroup
+		start := time.Now()
+		for r := 0; r < readers; r++ {
+			wgR.Add(1)
+			go func(seed int64) {
+				defer wgR.Done()
+				for !done.Load() {
+					var tx *txn.Txn
+					if snapshot {
+						tx = c.Txns().BeginSnapshot()
+					} else {
+						tx = c.Txns().Begin()
+					}
+					vals, err := readAll(txn.NewContext(context.Background(), tx))
+					if err != nil {
+						var ae *txn.AbortedError
+						if errors.As(err, &ae) {
+							continue // deadlock victim: the locking mode's cost
+						}
+						werr.Store(err)
+						return
+					}
+					if err := c.Txns().Commit(tx); err != nil {
+						werr.Store(err)
+						return
+					}
+					for _, v := range vals {
+						if v != vals[0] {
+							atomic.AddInt64(&res.anomalies, 1)
+							break
+						}
+					}
+					atomic.AddInt64(&res.reads, 1)
+				}
+			}(int64(r))
+		}
+		for w := 0; w < writers; w++ {
+			wgW.Add(1)
+			go func(seed int64) {
+				defer wgW.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for round := 0; round < writerRounds; round++ {
+					order := rng.Perm(files)
+					for {
+						err := func() error {
+							tx := c.Txns().Begin()
+							ctx := txn.NewContext(context.Background(), tx)
+							for _, i := range order {
+								res, err := c.ExecCtx(ctx, abdl.NewRetrieve(abdm.And(abdm.Predicate{
+									Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(fmt.Sprintf("f%d", i))}), "x"))
+								if err != nil {
+									return err
+								}
+								v, _ := res.Records[0].Rec.Get("x")
+								up := abdl.NewUpdate(abdm.And(abdm.Predicate{
+									Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(fmt.Sprintf("f%d", i))}),
+									abdl.Modifier{Attr: "x", Val: abdm.Int(v.AsInt() + 1)})
+								if _, err := c.ExecCtx(ctx, up); err != nil {
+									return err
+								}
+							}
+							return c.Txns().Commit(tx)
+						}()
+						if err == nil {
+							break
+						}
+						var ae *txn.AbortedError
+						if !errors.As(err, &ae) {
+							werr.Store(err)
+							return
+						}
+					}
+				}
+			}(int64(100 + w))
+		}
+		wgW.Wait()
+		done.Store(true)
+		wgR.Wait()
+		res.wall = time.Since(start)
+		if err, _ := werr.Load().(error); err != nil {
+			return mixResult{}, err
+		}
+
+		// No lost updates, whichever mode the readers ran in.
+		finals, err := readAll(context.Background())
+		if err != nil {
+			return mixResult{}, err
+		}
+		want := int64(writers * writerRounds)
+		for i, v := range finals {
+			if v != want {
+				return mixResult{}, fmt.Errorf("counter f%d = %d, want %d: updates lost", i, v, want)
+			}
+		}
+		return res, nil
+	}
+
+	locked, err := run(false)
+	if err != nil {
+		return failf(id, title, "locked mix: %v", err)
+	}
+	mvcc, err := run(true)
+	if err != nil {
+		return failf(id, title, "mvcc mix: %v", err)
+	}
+
+	lockedRate := float64(locked.reads) / locked.wall.Seconds()
+	mvccRate := float64(mvcc.reads) / mvcc.wall.Seconds()
+	ok := locked.anomalies == 0 && mvcc.anomalies == 0 &&
+		mvcc.reads > 0 && mvccRate > lockedRate
+	body := fmt.Sprintf(
+		"%-28s %-12s %-12s %s\n%-28s %-12d %-12.0f %d\n%-28s %-12d %-12.0f %d\n\n"+
+			"speedup: %.1fx read-only throughput with snapshot reads\n",
+		"reader mode", "read txns", "reads/sec", "anomalies",
+		"locked (2PL shared locks)", locked.reads, lockedRate, locked.anomalies,
+		"MVCC snapshot", mvcc.reads, mvccRate, mvcc.anomalies,
+		mvccRate/lockedRate)
+	return report(id, title, ok, body)
+}

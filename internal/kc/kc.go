@@ -77,6 +77,7 @@ func New(sys *mbds.System, opts ...Option) *Controller {
 		LockTimeout: o.lockTimeout,
 		Metrics:     o.metrics,
 		DB:          o.db,
+		MVCC:        true,
 	})
 	return c
 }

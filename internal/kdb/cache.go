@@ -108,9 +108,10 @@ func (s *Store) cacheFill(key string, res *Result, deps qualDeps) {
 // records are duplicated.
 func cloneResult(r *Result) *Result {
 	cp := &Result{
-		Op:    r.Op,
-		Count: r.Count,
-		Cost:  r.Cost,
+		Op:       r.Op,
+		Count:    r.Count,
+		Cost:     r.Cost,
+		Versions: r.Versions,
 	}
 	if r.Records != nil {
 		cp.Records = cloneStored(r.Records)

@@ -1,0 +1,288 @@
+package kdb
+
+import (
+	"fmt"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// Multi-version concurrency control.
+//
+// The live maps (Store.files, Store.indexes) remain the authoritative
+// current state, mutated in place under strict 2PL exactly as before. Each
+// record additionally carries a version chain — an append-only history of
+// its values — which is what lock-free snapshot reads (Request.SnapEpoch)
+// resolve against:
+//
+//   - Every mutation appends a version: the post-image for INSERT/UPDATE, a
+//     nil tombstone for DELETE. A mutation executed under a transaction
+//     (Request.TxnID != 0) appends it pending (epoch 0, invisible to every
+//     snapshot); the transaction manager later broadcasts MVCC-COMMIT to
+//     stamp the transaction's pending versions with its commit epoch, or
+//     MVCC-ABORT to discard them. A mutation with TxnID 0 (bulk load,
+//     journal replay) is stamped immediately at the store's current epoch.
+//   - A snapshot read at epoch T sees, per record, the newest version with
+//     0 < epoch ≤ T; a tombstone or an empty prefix means the record did
+//     not exist at T.
+//   - MVCC-GC prunes versions superseded at or below the watermark (the
+//     oldest live snapshot's epoch): within each chain every version older
+//     than the newest committed version ≤ watermark is unreachable by any
+//     current or future snapshot and is dropped.
+//
+// Within one chain, committed epochs are non-decreasing in append order:
+// writers to the same record are serialized by the lock table, and commit
+// epochs are issued by a single group-commit leader.
+
+// version is one entry of a record's version chain.
+type version struct {
+	epoch uint64       // commit epoch; 0 = pending under txn
+	txn   uint64       // writing transaction (0 = auto-stamped)
+	rec   *abdm.Record // the value as of this version; nil = tombstone
+}
+
+// chainRef locates one record's version chain.
+type chainRef struct {
+	file string
+	id   abdm.RecordID
+}
+
+// mvccState is the store's version-chain bookkeeping, guarded by the
+// store's main mutex like the live maps.
+type mvccState struct {
+	epoch    uint64                                 // newest commit epoch this store has seen
+	chains   map[string]map[abdm.RecordID][]version // file → record → history
+	pending  map[uint64][]chainRef                  // txn → chains holding its pending versions
+	versions int                                    // live version count, for the gauge
+}
+
+// noteVersion appends one version for a mutation of (file, id). rec is the
+// post-image (cloned here) or nil for a delete. Caller holds the write lock.
+func (s *Store) noteVersion(req *abdl.Request, file string, id abdm.RecordID, rec *abdm.Record) {
+	if req != nil && req.NoVersion {
+		return
+	}
+	if s.mvcc.chains == nil {
+		s.mvcc.chains = make(map[string]map[abdm.RecordID][]version)
+		s.mvcc.pending = make(map[uint64][]chainRef)
+		if s.mvcc.epoch == 0 {
+			s.mvcc.epoch = 1
+		}
+	}
+	v := version{}
+	if req != nil {
+		v.txn = req.TxnID
+	}
+	if rec != nil {
+		v.rec = rec.Clone()
+	}
+	if v.txn == 0 {
+		v.epoch = s.mvcc.epoch
+	} else {
+		s.mvcc.pending[v.txn] = append(s.mvcc.pending[v.txn], chainRef{file, id})
+	}
+	if s.mvcc.chains[file] == nil {
+		s.mvcc.chains[file] = make(map[abdm.RecordID][]version)
+	}
+	s.mvcc.chains[file][id] = append(s.mvcc.chains[file][id], v)
+	s.mvcc.versions++
+}
+
+// execMvcc dispatches the kernel-internal MVCC administration operations.
+func (s *Store) execMvcc(req *abdl.Request) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &Result{Op: req.Kind}
+	switch req.Kind {
+	case abdl.MvccCommit:
+		res.Count = s.stampLocked(req.TxnID, req.MvccEpoch)
+	case abdl.MvccAbort:
+		res.Count = s.discardLocked(req.TxnID)
+	case abdl.MvccGC:
+		res.Count = s.pruneLocked(req.MvccEpoch)
+	default:
+		return nil, fmt.Errorf("kdb: unsupported MVCC operation %v", req.Kind)
+	}
+	res.Versions = s.mvcc.versions
+	return res, nil
+}
+
+// stampLocked commits txn's pending versions at the given epoch and advances
+// the store's epoch, returning how many versions were stamped. Stamping is
+// idempotent: a retried MVCC-COMMIT finds no pending versions left.
+func (s *Store) stampLocked(txn, epoch uint64) int {
+	if epoch > s.mvcc.epoch {
+		s.mvcc.epoch = epoch
+	}
+	refs := s.mvcc.pending[txn]
+	if refs == nil {
+		return 0
+	}
+	delete(s.mvcc.pending, txn)
+	n := 0
+	for _, ref := range refs {
+		chain := s.mvcc.chains[ref.file][ref.id]
+		for i := range chain {
+			if chain[i].epoch == 0 && chain[i].txn == txn {
+				chain[i].epoch = epoch
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// discardLocked drops txn's pending versions, returning how many were
+// removed. The live store is restored separately by the transaction
+// manager's undo; the chain simply forgets the aborted history.
+func (s *Store) discardLocked(txn uint64) int {
+	refs := s.mvcc.pending[txn]
+	if refs == nil {
+		return 0
+	}
+	delete(s.mvcc.pending, txn)
+	n := 0
+	for _, ref := range refs {
+		chain := s.mvcc.chains[ref.file][ref.id]
+		kept := chain[:0]
+		for _, v := range chain {
+			if v.epoch == 0 && v.txn == txn {
+				n++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		s.setChainLocked(ref.file, ref.id, kept)
+	}
+	s.mvcc.versions -= n
+	return n
+}
+
+// pruneLocked drops every version superseded at or below the watermark: in
+// each chain, all versions older than the newest committed version with
+// epoch ≤ watermark. If that survivor is a tombstone and nothing follows it,
+// the whole chain goes — no snapshot at or after the watermark can resurrect
+// a record deleted before it. Returns the number of versions pruned.
+func (s *Store) pruneLocked(watermark uint64) int {
+	pruned := 0
+	for file, chains := range s.mvcc.chains {
+		for id, chain := range chains {
+			keep := 0 // index of the newest committed version ≤ watermark
+			found := false
+			for i, v := range chain {
+				if v.epoch != 0 && v.epoch <= watermark {
+					keep, found = i, true
+				}
+			}
+			if !found {
+				continue
+			}
+			if keep == len(chain)-1 && chain[keep].rec == nil {
+				pruned += len(chain)
+				s.setChainLocked(file, id, nil)
+				continue
+			}
+			if keep > 0 {
+				pruned += keep
+				s.setChainLocked(file, id, append([]version(nil), chain[keep:]...))
+			}
+		}
+	}
+	s.mvcc.versions -= pruned
+	return pruned
+}
+
+// setChainLocked replaces one record's chain, removing empty map entries.
+func (s *Store) setChainLocked(file string, id abdm.RecordID, chain []version) {
+	if len(chain) == 0 {
+		delete(s.mvcc.chains[file], id)
+		if len(s.mvcc.chains[file]) == 0 {
+			delete(s.mvcc.chains, file)
+		}
+		return
+	}
+	s.mvcc.chains[file][id] = chain
+}
+
+// visibleAt resolves the record value a snapshot at epoch sees: the newest
+// version with 0 < epoch ≤ at. nil means the record is invisible — deleted,
+// not yet created, or only pending at the snapshot.
+func visibleAt(chain []version, at uint64) *abdm.Record {
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].epoch != 0 && chain[i].epoch <= at {
+			return chain[i].rec
+		}
+	}
+	return nil
+}
+
+// snapQualify finds the records visible to a snapshot at the given epoch
+// that match the query. It reads version chains only — never the live maps
+// and never the attribute indexes (which index live state) — so it needs no
+// coordination with in-flight writers beyond the store mutex it already
+// holds. Caller must hold at least a read lock.
+func (s *Store) snapQualify(q abdm.Query, at uint64, c *Cost) ([]StoredRecord, []string, qualDeps) {
+	matched := make(map[abdm.RecordID]*abdm.Record)
+	deps := qualDeps{files: make(map[string]bool)}
+	var paths []string
+	scanFile := func(file string, conj abdm.Conjunction) {
+		chains := s.mvcc.chains[file]
+		c.BlocksRead += s.disk.blocks(len(chains))
+		for id, chain := range chains {
+			rec := visibleAt(chain, at)
+			if rec == nil {
+				continue
+			}
+			c.RecordsExam++
+			if conj == nil || conj.Matches(rec) {
+				matched[id] = rec
+			}
+		}
+	}
+	scan := func(conj abdm.Conjunction) string {
+		if file, ok := conj.File(); ok {
+			deps.files[file] = true
+			scanFile(file, conj)
+			return "snap(" + file + ")"
+		}
+		deps.allFiles = true
+		for file := range s.mvcc.chains {
+			deps.files[file] = true
+			scanFile(file, conj)
+		}
+		return "snap(*)"
+	}
+	for _, conj := range q {
+		paths = append(paths, scan(conj))
+	}
+	if len(q) == 0 {
+		deps.allFiles = true
+		paths = append(paths, "snap(*)")
+		for file := range s.mvcc.chains {
+			deps.files[file] = true
+			scanFile(file, nil)
+		}
+	}
+	c.FilesTouched = len(deps.files)
+	out := make([]StoredRecord, 0, len(matched))
+	for id, r := range matched {
+		out = append(out, StoredRecord{ID: id, Rec: r})
+	}
+	sortStoredByID(out)
+	return out, paths, deps
+}
+
+// snapCacheKey extends the retrieve-cache key with the snapshot epoch, so a
+// snapshot result can never answer a live read (or a read at another epoch)
+// and vice versa.
+func snapCacheKey(req *abdl.Request) string {
+	return fmt.Sprintf("%s @snap=%d", req.String(), req.SnapEpoch)
+}
+
+// VersionStats reports the store's MVCC footprint: live version count and
+// the newest commit epoch it has seen.
+func (s *Store) VersionStats() (versions int, epoch uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.mvcc.versions, s.mvcc.epoch
+}

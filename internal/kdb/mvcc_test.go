@@ -1,0 +1,313 @@
+package kdb
+
+import (
+	"fmt"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+func courseRec(title string, credits int64) *abdm.Record {
+	return abdm.NewRecord("course",
+		abdm.Keyword{Attr: "title", Val: abdm.String(title)},
+		abdm.Keyword{Attr: "credits", Val: abdm.Int(credits)},
+	)
+}
+
+func courseQuery(title string) abdm.Query {
+	return abdm.And(
+		abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("course")},
+		abdm.Predicate{Attr: "title", Op: abdm.OpEq, Val: abdm.String(title)},
+	)
+}
+
+func snapRetrieve(t *testing.T, s *Store, q abdm.Query, at uint64) *Result {
+	t.Helper()
+	req := abdl.NewRetrieve(q, abdl.AllAttrs)
+	req.SnapEpoch = at
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mvccOp(t *testing.T, s *Store, req *abdl.Request) *Result {
+	t.Helper()
+	res, err := s.Exec(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestMVCCPendingInvisible: a version written under a transaction is
+// invisible to every snapshot until MVCC-COMMIT stamps it, then visible to
+// snapshots at or after its epoch and still invisible before it.
+func TestMVCCPendingInvisible(t *testing.T) {
+	s := NewStore(testDir(t))
+	ins := abdl.NewInsert(courseRec("DB", 4))
+	ins.TxnID = 7
+	if _, err := s.Exec(ins); err != nil {
+		t.Fatal(err)
+	}
+	if res := snapRetrieve(t, s, courseQuery("DB"), 99); len(res.Records) != 0 {
+		t.Fatalf("pending version visible to snapshot: %d records", len(res.Records))
+	}
+	res := mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 7, MvccEpoch: 5})
+	if res.Count != 1 {
+		t.Fatalf("stamped %d versions, want 1", res.Count)
+	}
+	if res := snapRetrieve(t, s, courseQuery("DB"), 5); len(res.Records) != 1 {
+		t.Fatalf("stamped version invisible at its epoch: %d records", len(res.Records))
+	}
+	if res := snapRetrieve(t, s, courseQuery("DB"), 4); len(res.Records) != 0 {
+		t.Fatalf("version visible before its epoch: %d records", len(res.Records))
+	}
+	// Stamping is idempotent: a retried MVCC-COMMIT finds nothing pending.
+	if res := mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 7, MvccEpoch: 5}); res.Count != 0 {
+		t.Fatalf("re-stamp stamped %d versions, want 0", res.Count)
+	}
+}
+
+// TestMVCCSnapshotStability: a snapshot pinned before an update and a delete
+// keeps seeing the original value while the live read sees the new state.
+func TestMVCCSnapshotStability(t *testing.T) {
+	s := NewStore(testDir(t))
+	if _, err := s.Insert(courseRec("DB", 4)); err != nil {
+		t.Fatal(err)
+	}
+	_, pin := s.VersionStats() // epoch the snapshot pins
+
+	up := abdl.NewUpdate(courseQuery("DB"), abdl.Modifier{Attr: "credits", Val: abdm.Int(5)})
+	up.TxnID = 1
+	if _, err := s.Exec(up); err != nil {
+		t.Fatal(err)
+	}
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 1, MvccEpoch: pin + 1})
+
+	// Old snapshot: original credits. New snapshot: updated credits.
+	res := snapRetrieve(t, s, courseQuery("DB"), pin)
+	if len(res.Records) != 1 {
+		t.Fatalf("snapshot lost the record: %d", len(res.Records))
+	}
+	if v, _ := res.Records[0].Rec.Get("credits"); v.AsInt() != 4 {
+		t.Fatalf("snapshot sees credits=%d, want 4", v.AsInt())
+	}
+	res = snapRetrieve(t, s, courseQuery("DB"), pin+1)
+	if v, _ := res.Records[0].Rec.Get("credits"); v.AsInt() != 5 {
+		t.Fatalf("later snapshot sees credits=%d, want 5", v.AsInt())
+	}
+
+	del := abdl.NewDelete(courseQuery("DB"))
+	del.TxnID = 2
+	if _, err := s.Exec(del); err != nil {
+		t.Fatal(err)
+	}
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 2, MvccEpoch: pin + 2})
+	if res := snapRetrieve(t, s, courseQuery("DB"), pin+1); len(res.Records) != 1 {
+		t.Fatalf("snapshot before delete lost the record")
+	}
+	if res := snapRetrieve(t, s, courseQuery("DB"), pin+2); len(res.Records) != 0 {
+		t.Fatalf("tombstone not honoured: record visible after delete epoch")
+	}
+}
+
+// TestMVCCAbortDiscards: MVCC-ABORT removes a transaction's pending versions
+// without touching committed history.
+func TestMVCCAbortDiscards(t *testing.T) {
+	s := NewStore(testDir(t))
+	if _, err := s.Insert(courseRec("DB", 4)); err != nil {
+		t.Fatal(err)
+	}
+	_, pin := s.VersionStats()
+	up := abdl.NewUpdate(courseQuery("DB"), abdl.Modifier{Attr: "credits", Val: abdm.Int(9)})
+	up.TxnID = 3
+	if _, err := s.Exec(up); err != nil {
+		t.Fatal(err)
+	}
+	res := mvccOp(t, s, &abdl.Request{Kind: abdl.MvccAbort, TxnID: 3})
+	if res.Count != 1 {
+		t.Fatalf("discarded %d versions, want 1", res.Count)
+	}
+	got := snapRetrieve(t, s, courseQuery("DB"), pin+10)
+	if len(got.Records) != 1 {
+		t.Fatalf("committed record lost after abort: %d", len(got.Records))
+	}
+	if v, _ := got.Records[0].Rec.Get("credits"); v.AsInt() != 4 {
+		t.Fatalf("aborted value leaked: credits=%d", v.AsInt())
+	}
+}
+
+// TestMVCCNoVersion: a mutation with NoVersion set (the undo path) writes no
+// history.
+func TestMVCCNoVersion(t *testing.T) {
+	s := NewStore(testDir(t))
+	before, _ := s.VersionStats()
+	ins := abdl.NewInsert(courseRec("DB", 4))
+	ins.NoVersion = true
+	if _, err := s.Exec(ins); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.VersionStats()
+	if after != before {
+		t.Fatalf("NoVersion mutation grew the version count: %d -> %d", before, after)
+	}
+}
+
+// TestMVCCGCPrune: GC drops superseded versions below the watermark, keeps
+// the survivor each snapshot still needs, and removes trailing-tombstone
+// chains entirely.
+func TestMVCCGCPrune(t *testing.T) {
+	s := NewStore(testDir(t))
+	if _, err := s.Insert(courseRec("DB", 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, base := s.VersionStats()
+	for i := int64(2); i <= 4; i++ {
+		up := abdl.NewUpdate(courseQuery("DB"), abdl.Modifier{Attr: "credits", Val: abdm.Int(i)})
+		up.TxnID = uint64(i)
+		if _, err := s.Exec(up); err != nil {
+			t.Fatal(err)
+		}
+		mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: uint64(i), MvccEpoch: base + uint64(i) - 1})
+	}
+	versions, _ := s.VersionStats()
+	if versions != 4 {
+		t.Fatalf("chain length %d, want 4", versions)
+	}
+	// Watermark at the second update: the first two versions are superseded.
+	res := mvccOp(t, s, &abdl.Request{Kind: abdl.MvccGC, MvccEpoch: base + 2})
+	if res.Count != 2 {
+		t.Fatalf("pruned %d, want 2", res.Count)
+	}
+	if res.Versions != 2 {
+		t.Fatalf("surviving versions %d, want 2", res.Versions)
+	}
+	// The survivor still answers a snapshot at the watermark.
+	got := snapRetrieve(t, s, courseQuery("DB"), base+2)
+	if len(got.Records) != 1 {
+		t.Fatalf("watermark snapshot lost the record")
+	}
+	if v, _ := got.Records[0].Rec.Get("credits"); v.AsInt() != 3 {
+		t.Fatalf("watermark snapshot sees credits=%d, want 3", v.AsInt())
+	}
+
+	// Delete, commit, then GC past the tombstone: the chain disappears.
+	del := abdl.NewDelete(courseQuery("DB"))
+	del.TxnID = 9
+	if _, err := s.Exec(del); err != nil {
+		t.Fatal(err)
+	}
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 9, MvccEpoch: base + 4})
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccGC, MvccEpoch: base + 5})
+	if versions, _ := s.VersionStats(); versions != 0 {
+		t.Fatalf("trailing tombstone chain survived GC: %d versions", versions)
+	}
+}
+
+// TestMVCCSnapshotCacheIsolation: a cached snapshot result must not answer a
+// live read, a read at another epoch must not reuse it, and invalidation on
+// write applies to snapshot entries too.
+func TestMVCCSnapshotCacheIsolation(t *testing.T) {
+	s := NewStore(testDir(t), WithResultCache(32))
+	if _, err := s.Insert(courseRec("DB", 4)); err != nil {
+		t.Fatal(err)
+	}
+	_, pin := s.VersionStats()
+
+	q := courseQuery("DB")
+	if res := snapRetrieve(t, s, q, pin); len(res.Records) != 1 {
+		t.Fatal("snapshot read missed")
+	}
+	// Same epoch again: may come from cache, must be identical.
+	if res := snapRetrieve(t, s, q, pin); len(res.Records) != 1 {
+		t.Fatal("cached snapshot read diverged")
+	}
+
+	// Commit an update at pin+1; a snapshot at pin must still see the old
+	// value (cache invalidated by the write, recomputed from the chain).
+	up := abdl.NewUpdate(q, abdl.Modifier{Attr: "credits", Val: abdm.Int(8)})
+	up.TxnID = 4
+	if _, err := s.Exec(up); err != nil {
+		t.Fatal(err)
+	}
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 4, MvccEpoch: pin + 1})
+
+	res := snapRetrieve(t, s, q, pin)
+	if len(res.Records) != 1 {
+		t.Fatal("old snapshot lost the record after update")
+	}
+	if v, _ := res.Records[0].Rec.Get("credits"); v.AsInt() != 4 {
+		t.Fatalf("old snapshot sees credits=%d, want 4", v.AsInt())
+	}
+	// Live read sees the new value — a snapshot entry must not shadow it.
+	live := retrieveAll(t, s, q)
+	if len(live.Records) != 1 {
+		t.Fatal("live read lost the record")
+	}
+	if v, _ := live.Records[0].Rec.Get("credits"); v.AsInt() != 8 {
+		t.Fatalf("live read sees credits=%d, want 8", v.AsInt())
+	}
+}
+
+// TestMVCCSnapshotRetrieveCommon: RETRIEVE-COMMON against a snapshot joins
+// the versions visible at the pinned epoch, not the live state.
+func TestMVCCSnapshotRetrieveCommon(t *testing.T) {
+	s := NewStore(testDir(t))
+	for _, title := range []string{"DB", "Algo"} {
+		if _, err := s.Insert(abdm.NewRecord("course",
+			abdm.Keyword{Attr: "title", Val: abdm.String(title)},
+			abdm.Keyword{Attr: "dept", Val: abdm.String("CS")})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, pin := s.VersionStats()
+
+	// Delete the join partner at a later epoch; the old snapshot still joins.
+	del := abdl.NewDelete(courseQuery("Algo"))
+	del.TxnID = 5
+	if _, err := s.Exec(del); err != nil {
+		t.Fatal(err)
+	}
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 5, MvccEpoch: pin + 1})
+
+	join := func(at uint64) int {
+		rc := abdl.NewRetrieveCommon(courseQuery("DB"), "dept", courseQuery("Algo"), "title")
+		rc.SnapEpoch = at
+		res, err := s.Exec(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.Records)
+	}
+	if n := join(pin); n != 1 {
+		t.Fatalf("snapshot join found %d records, want 1", n)
+	}
+	if n := join(pin + 1); n != 0 {
+		t.Fatalf("join at later epoch resurrected a deleted partner: %d", n)
+	}
+}
+
+// TestMVCCVersionAccounting: the version gauge tracks inserts, stamps,
+// discards and prunes across many records.
+func TestMVCCVersionAccounting(t *testing.T) {
+	s := NewStore(testDir(t))
+	for i := 0; i < 10; i++ {
+		if _, err := s.Insert(courseRec(fmt.Sprintf("C%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, epoch := s.VersionStats()
+	if versions != 10 {
+		t.Fatalf("versions=%d, want 10", versions)
+	}
+	if epoch == 0 {
+		t.Fatal("epoch not initialised")
+	}
+	res := mvccOp(t, s, &abdl.Request{Kind: abdl.MvccGC, MvccEpoch: epoch + 1})
+	if res.Count != 0 {
+		t.Fatalf("GC pruned %d base versions, want 0", res.Count)
+	}
+}

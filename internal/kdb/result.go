@@ -41,6 +41,10 @@ type Result struct {
 	// logical records rather than physical copies.
 	Affected []abdm.RecordID
 	Cost     Cost
+	// Versions is the backend's live version-chain entry count after an MVCC
+	// administration operation (MVCC-COMMIT/ABORT/GC); the multi-backend
+	// merge sums it so the controller can gauge total version footprint.
+	Versions int
 	// Paths lists the access paths the planner chose, one per conjunction
 	// evaluated: "index-eq(attr)", "index-range(attr)", "scan(file)",
 	// "empty(attr)" for provably-empty conjunctions. Diagnostic only.
@@ -60,6 +64,7 @@ func (r *Result) IDs() []abdm.RecordID {
 // keeping records ordered by ID and re-aggregating groups.
 func (r *Result) Merge(o *Result) {
 	r.Count += o.Count
+	r.Versions += o.Versions
 	r.Cost.Add(o.Cost)
 	for _, p := range o.Paths {
 		seen := false

@@ -32,6 +32,10 @@ type Store struct {
 	gens   map[string]uint64
 	genAll uint64
 	cache  retrieveCache
+
+	// mvcc holds the per-record version chains behind snapshot reads; see
+	// mvcc.go. Guarded by mu like the live maps.
+	mvcc mvccState
 }
 
 // Option configures a Store.
@@ -154,6 +158,8 @@ func (s *Store) exec(req *abdl.Request) (*Result, error) {
 		return s.execRetrieve(req)
 	case abdl.RetrieveCommon:
 		return s.execRetrieveCommon(req)
+	case abdl.MvccCommit, abdl.MvccAbort, abdl.MvccGC:
+		return s.execMvcc(req)
 	}
 	return nil, fmt.Errorf("kdb: unsupported request kind %v", req.Kind)
 }
@@ -175,9 +181,15 @@ func (s *Store) execRetrieveCommon(req *abdl.Request) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	res := &Result{Op: abdl.RetrieveCommon}
-	second, paths2, _ := s.qualify(req.Query2, &res.Cost)
+	qual := s.qualify
+	if req.SnapEpoch != 0 {
+		qual = func(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps) {
+			return s.snapQualify(q, req.SnapEpoch, c)
+		}
+	}
+	second, paths2, _ := qual(req.Query2, &res.Cost)
 	values := CommonValues(second, req.Common)
-	first, paths1, _ := s.qualify(req.Query, &res.Cost)
+	first, paths1, _ := qual(req.Query, &res.Cost)
 	res.Paths = append(paths1, paths2...)
 	kept := FilterByCommon(first, req.Common, values)
 	out := make([]StoredRecord, len(kept))
@@ -223,7 +235,9 @@ func (s *Store) Insert(rec *abdm.Record) (abdm.RecordID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.insertLocked(rec), nil
+	id := s.insertLocked(rec)
+	s.noteVersion(nil, rec.File(), id, rec)
+	return id, nil
 }
 
 func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
@@ -282,6 +296,7 @@ func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
 	} else {
 		id = s.insertLocked(req.Record)
 	}
+	s.noteVersion(req, req.Record.File(), id, req.Record)
 	s.mu.Unlock()
 	res := &Result{Op: abdl.Insert, Count: 1, Affected: []abdm.RecordID{id}}
 	res.Cost = Cost{FilesTouched: 1, BlocksWrit: 1, DirProbes: len(req.Record.Keywords)}
@@ -339,8 +354,13 @@ func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDe
 	for id, r := range matched {
 		out = append(out, StoredRecord{ID: id, Rec: r})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	sortStoredByID(out)
 	return out, paths, deps
+}
+
+// sortStoredByID orders records by database key, the canonical result order.
+func sortStoredByID(recs []StoredRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
 }
 
 // qualifyConj resolves one conjunction, using the most selective indexable
@@ -466,6 +486,7 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 		// every replica of it) without content-based matching.
 		if file, ok := s.fileOf[req.ForceID]; ok {
 			s.removeLocked(req.ForceID, s.files[file][req.ForceID])
+			s.noteVersion(req, file, req.ForceID, nil)
 			res.Affected = append(res.Affected, req.ForceID)
 			res.Count = 1
 			res.Cost.BlocksWrit += s.disk.blocks(1)
@@ -475,7 +496,9 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 	victims, paths, _ := s.qualify(req.Query, &res.Cost)
 	res.Paths = paths
 	for _, sr := range victims {
+		file := s.fileOf[sr.ID]
 		s.removeLocked(sr.ID, sr.Rec)
+		s.noteVersion(req, file, sr.ID, nil)
 		res.Affected = append(res.Affected, sr.ID)
 	}
 	res.Count = len(victims)
@@ -536,6 +559,7 @@ func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
 				ix.add(m.Val, sr.ID)
 			}
 		}
+		s.noteVersion(req, s.fileOf[sr.ID], sr.ID, sr.Rec)
 	}
 	res.Count = len(targets)
 	res.Cost.BlocksWrit += s.disk.blocks(len(targets))
@@ -549,6 +573,9 @@ func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	key := req.String()
+	if req.SnapEpoch != 0 {
+		key = snapCacheKey(req)
+	}
 	if hit, ok := s.cacheLookup(key); ok {
 		s.stats.cacheHits.Add(1)
 		return hit, nil
@@ -557,7 +584,16 @@ func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
 		s.stats.cacheMisses.Add(1)
 	}
 	res := &Result{Op: req.Kind}
-	recs, paths, deps := s.qualify(req.Query, &res.Cost)
+	var (
+		recs  []StoredRecord
+		paths []string
+		deps  qualDeps
+	)
+	if req.SnapEpoch != 0 {
+		recs, paths, deps = s.snapQualify(req.Query, req.SnapEpoch, &res.Cost)
+	} else {
+		recs, paths, deps = s.qualify(req.Query, &res.Cost)
+	}
 	res.Paths = paths
 
 	// Project to the target list.

@@ -86,6 +86,7 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 		planInline
 	)
 	plan := make([]int, len(reqs))
+	insertPrimary := make([]int, len(reqs))
 	slots := make([][]batchSlot, len(s.backends))
 	for i, req := range reqs {
 		switch req.Kind {
@@ -105,7 +106,8 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 				cp.ForceID = abdm.RecordID(s.nextID.Add(1))
 				r = &cp
 			}
-			for _, b := range s.holdersFor(r.Record) {
+			insertPrimary[i] = s.insertIndexFor(r)
+			for _, b := range s.holdersAt(insertPrimary[i]) {
 				slots[b.id] = append(slots[b.id], batchSlot{pos: i, req: r})
 			}
 		default:
@@ -214,6 +216,9 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 			}
 			// One logical record, however many copies were written.
 			results[i].Count = 1
+			if len(results[i].Affected) > 0 {
+				s.notePlacement(results[i].Affected[0], insertPrimary[i])
+			}
 		default:
 			if results[i] == nil {
 				results[i] = &kdb.Result{Op: req.Kind}

@@ -107,6 +107,8 @@ type System struct {
 	nextID   atomic.Uint64
 	rrMu     sync.Mutex
 	rr       map[string]uint64 // per-file round-robin cursors
+	placeMu  sync.Mutex
+	placed   map[abdm.RecordID]int // database key -> primary backend index
 	closed   atomic.Bool
 	closedCh chan struct{}  // closed by Close; aborts blocked bus operations
 	opWG     sync.WaitGroup // in-flight Exec-family operations
@@ -184,7 +186,8 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 	if cfg.Disk.BlockFactor == 0 {
 		cfg.Disk = kdb.DefaultDiskModel()
 	}
-	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64), closedCh: make(chan struct{})}
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64),
+		placed: make(map[abdm.RecordID]int), closedCh: make(chan struct{})}
 	for i := 0; i < cfg.Backends; i++ {
 		opts := []kdb.Option{
 			kdb.WithDisk(cfg.Disk),
@@ -216,7 +219,8 @@ func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*Syste
 		cfg.Disk = kdb.DefaultDiskModel()
 	}
 	cfg.Backends = len(execs)
-	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64), closedCh: make(chan struct{})}
+	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64),
+		placed: make(map[abdm.RecordID]int), closedCh: make(chan struct{})}
 	for i, ex := range execs {
 		s.backends = append(s.backends, newBackend(i, ex, nil, cfg.FaultInjection))
 	}
@@ -396,10 +400,39 @@ func (s *System) placeIndex(rec *abdm.Record) int {
 	}
 }
 
-// holdersFor lists the backends that store an inserted record: the primary
+// insertIndexFor picks the primary backend index for an insert. A request
+// that carries a database key (an undo restore, a replay, a replicated copy)
+// belongs to the backend that already holds that key's record versions, so a
+// recorded placement wins over content routing — otherwise an aborted
+// transaction's restore could migrate the record away from its MVCC version
+// chain and a later snapshot would see the key on two partitions.
+func (s *System) insertIndexFor(req *abdl.Request) int {
+	if req.ForceID != 0 {
+		s.placeMu.Lock()
+		idx, ok := s.placed[req.ForceID]
+		s.placeMu.Unlock()
+		if ok {
+			return idx
+		}
+	}
+	return s.placeIndex(req.Record)
+}
+
+// notePlacement records which backend is primary for a database key. Entries
+// are kept after deletion: an aborted delete restores the record under the
+// same key and must land on the same partition.
+func (s *System) notePlacement(id abdm.RecordID, primary int) {
+	if id == 0 {
+		return
+	}
+	s.placeMu.Lock()
+	s.placed[id] = primary
+	s.placeMu.Unlock()
+}
+
+// holdersAt expands a primary backend index into the holder set: the primary
 // plus Replicas successors (capped at the backend count).
-func (s *System) holdersFor(rec *abdm.Record) []*backend {
-	primary := s.placeIndex(rec)
+func (s *System) holdersAt(primary int) []*backend {
 	n := len(s.backends)
 	k := s.cfg.Replicas + 1
 	if k > n {
@@ -467,7 +500,8 @@ func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result
 	if err := s.dir.ValidateRecord(req.Record); err != nil {
 		return nil, 0, err
 	}
-	holders := s.holdersFor(req.Record)
+	primary := s.insertIndexFor(req)
+	holders := s.holdersAt(primary)
 	if s.cfg.Replicas > 0 && req.ForceID == 0 {
 		cp := *req
 		cp.ForceID = abdm.RecordID(s.nextID.Add(1))
@@ -502,6 +536,11 @@ func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result
 	// than requested (a holder was down) is degraded but successful; the
 	// record is durable on the copies that took it.
 	res.Count = 1
+	if req.ForceID != 0 {
+		s.notePlacement(req.ForceID, primary)
+	} else if len(res.Affected) > 0 {
+		s.notePlacement(res.Affected[0], primary)
+	}
 	return res, 2*s.cfg.MsgLatency + worst, nil
 }
 
@@ -550,9 +589,10 @@ func (s *System) execBroadcast(ctx context.Context, req *abdl.Request) (*kdb.Res
 // down whole.
 func (s *System) execRetrieveCommon(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
 	phase1 := &abdl.Request{
-		Kind:   abdl.Retrieve,
-		Query:  req.Query2,
-		Target: []abdl.TargetItem{{Attr: req.Common}},
+		Kind:      abdl.Retrieve,
+		Query:     req.Query2,
+		Target:    []abdl.TargetItem{{Attr: req.Common}},
+		SnapEpoch: req.SnapEpoch,
 	}
 	r1, t1, err := s.execTimed(ctx, phase1)
 	if err != nil {
@@ -561,9 +601,10 @@ func (s *System) execRetrieveCommon(ctx context.Context, req *abdl.Request) (*kd
 	values := kdb.CommonValues(r1.Records, req.Common)
 
 	phase2 := &abdl.Request{
-		Kind:   abdl.Retrieve,
-		Query:  req.Query,
-		Target: []abdl.TargetItem{{Attr: abdl.AllAttrs}},
+		Kind:      abdl.Retrieve,
+		Query:     req.Query,
+		Target:    []abdl.TargetItem{{Attr: abdl.AllAttrs}},
+		SnapEpoch: req.SnapEpoch,
 	}
 	r2, t2, err := s.execTimed(ctx, phase2)
 	if err != nil {

@@ -194,15 +194,3 @@ func mustParse(t *testing.T, src string) Stmt {
 	}
 	return st
 }
-
-// FuzzParseSQL: the SQL parser must never panic.
-func FuzzParseSQL(f *testing.F) {
-	f.Add("SELECT a, COUNT(b) FROM t WHERE a = 1 OR b <> 'x' GROUP BY a ORDER BY a DESC;")
-	f.Add("INSERT INTO t (a) VALUES (NULL)")
-	f.Add("UPDATE t SET a = 1.5 WHERE b >= 2")
-	f.Add("DELETE FROM t")
-	f.Fuzz(func(t *testing.T, src string) {
-		_, _ = Parse(src)
-		_, _ = ParseDDL("f", src)
-	})
-}

@@ -78,6 +78,13 @@ type Config struct {
 	// disables metrics.
 	Metrics *obs.Registry
 	DB      string
+
+	// MVCC enables multi-version snapshot reads (see mvcc.go): mutations
+	// write pending versions stamped at group commit, BeginSnapshot pins
+	// lock-free read-only transactions, and a watermark GC prunes history.
+	// Off, the manager is pure strict 2PL and sends no MVCC traffic — unit
+	// harnesses with fake executors stay undisturbed.
+	MVCC bool
 }
 
 // DefaultLockTimeout is the lock-wait bound when Config.LockTimeout is zero:
@@ -125,6 +132,16 @@ type Txn struct {
 	state State
 	undo  []undoRec
 	redo  []JournalRec
+
+	// readOnly marks a snapshot transaction (BeginSnapshot): it reads the
+	// version chains at epoch snap and never takes a lock.
+	readOnly bool
+	snap     uint64
+
+	// touched records that at least one mutation reached the kernel — even a
+	// failed one may have left pending versions on some backends, so abort
+	// must broadcast MVCC-ABORT.
+	touched bool
 
 	// locks is this transaction's held lock set, keyed by resource name.
 	// Guarded by the manager's lock table mutex, not tx.mu.
@@ -193,10 +210,24 @@ type Manager struct {
 	aborts    atomic.Uint64
 	deadlocks atomic.Uint64
 
+	// MVCC state (Config.MVCC; see mvcc.go). clock is the last published
+	// commit epoch; snaps registers each live snapshot's pinned epoch so the
+	// GC watermark never overtakes a reader.
+	clock          atomic.Uint64
+	smu            sync.Mutex
+	snaps          map[uint64]uint64
+	lastGC         uint64
+	stampedBatches atomic.Uint64
+	snapReads      atomic.Uint64
+	gcPruned       atomic.Uint64
+
 	mCommits   *obs.Counter
 	mAborts    *obs.Counter
 	mDeadlocks *obs.Counter
 	mLockWait  *obs.Histogram
+	mSnapReads *obs.Counter
+	mGCPruned  *obs.Counter
+	mVersions  *obs.Gauge
 }
 
 // NewManager builds a transaction manager over the executor.
@@ -215,6 +246,17 @@ func NewManager(cfg Config) *Manager {
 		"deadlock cycles detected by the wait-for-graph detector", dbL)
 	m.mLockWait = reg.Histogram("mlds_txn_lock_wait_seconds",
 		"time spent blocked on the lock table per lock wait", nil, dbL)
+	m.mSnapReads = reg.Counter("mlds_mvcc_snapshot_reads_total",
+		"statements served lock-free from MVCC snapshots", dbL)
+	m.mGCPruned = reg.Counter("mlds_mvcc_gc_pruned_total",
+		"record versions pruned by the MVCC watermark GC", dbL)
+	m.mVersions = reg.Gauge("mlds_mvcc_versions",
+		"live record versions across the kernel backends, as of the last GC sweep", dbL)
+	if cfg.MVCC {
+		m.clock.Store(1)
+		m.lastGC = 1
+		m.snaps = make(map[uint64]uint64)
+	}
 	m.locks.onWait = func(d time.Duration) { m.mLockWait.Observe(d.Seconds()) }
 	m.locks.onDeadlock = func() {
 		m.deadlocks.Add(1)
@@ -356,7 +398,13 @@ func (m *Manager) Exec(ctx context.Context, tx *Txn, req *abdl.Request) (*kdb.Re
 		tx.mu.Unlock()
 		return nil, 0, ErrNotActive
 	}
+	if isMutation(req.Kind) && !tx.readOnly {
+		tx.touched = true
+	}
 	tx.mu.Unlock()
+	if tx.readOnly {
+		return m.execSnapshot(ctx, tx, req)
+	}
 	if err := m.acquirePlan(tx, lockPlan(req)); err != nil {
 		m.rollback(tx)
 		return nil, 0, &AbortedError{ID: tx.id, Cause: err}
@@ -365,7 +413,7 @@ func (m *Manager) Exec(ctx context.Context, tx *Txn, req *abdl.Request) (*kdb.Re
 	if err != nil {
 		return nil, 0, err
 	}
-	res, d, err := m.cfg.Exec.ExecTimedCtx(ctx, req)
+	res, d, err := m.cfg.Exec.ExecTimedCtx(ctx, m.stampTxnID(tx, req))
 	if err != nil {
 		// The statement failed but the transaction survives. A broadcast
 		// may have applied on some backends before failing; keeping the
@@ -398,7 +446,18 @@ func (m *Manager) ExecBatch(ctx context.Context, tx *Txn, reqs []*abdl.Request) 
 		tx.mu.Unlock()
 		return nil, 0, ErrNotActive
 	}
+	if !tx.readOnly {
+		for _, req := range reqs {
+			if isMutation(req.Kind) {
+				tx.touched = true
+				break
+			}
+		}
+	}
 	tx.mu.Unlock()
+	if tx.readOnly {
+		return m.execSnapshotBatch(ctx, tx, reqs)
+	}
 	merged := make(map[string]Mode)
 	for _, req := range reqs {
 		for _, st := range lockPlan(req) {
@@ -426,7 +485,14 @@ func (m *Manager) ExecBatch(ctx context.Context, tx *Txn, reqs []*abdl.Request) 
 		}
 		undo = append(undo, u...)
 	}
-	results, d, err := m.cfg.Exec.ExecBatchCtx(ctx, reqs)
+	stamped := reqs
+	if m.cfg.MVCC {
+		stamped = make([]*abdl.Request, len(reqs))
+		for i, req := range reqs {
+			stamped[i] = m.stampTxnID(tx, req)
+		}
+	}
+	results, d, err := m.cfg.Exec.ExecBatchCtx(ctx, stamped)
 	if err != nil {
 		tx.mu.Lock()
 		tx.undo = append(tx.undo, undo...)
@@ -463,12 +529,19 @@ func (m *Manager) Commit(tx *Txn) error {
 		return ErrNotActive
 	}
 	redo := tx.redo
+	wrote := tx.touched
 	tx.state = Committed
 	tx.undo, tx.redo = nil, nil
 	tx.mu.Unlock()
 
+	if tx.readOnly {
+		m.endSnapshot(tx)
+		m.commits.Add(1)
+		m.mCommits.Inc()
+		return nil
+	}
 	var err error
-	if len(redo) > 0 && m.cfg.Sink != nil {
+	if (len(redo) > 0 && m.cfg.Sink != nil) || (wrote && m.cfg.MVCC) {
 		err = m.groupCommit(CommitRecord{ID: tx.id, Entries: redo})
 	}
 	m.locks.releaseAll(tx)
@@ -496,7 +569,15 @@ func (m *Manager) groupCommit(rec CommitRecord) error {
 		for i, b := range batch {
 			recs[i] = b.rec
 		}
-		err := m.cfg.Sink.WriteCommits(recs)
+		var err error
+		if m.cfg.Sink != nil {
+			err = m.cfg.Sink.WriteCommits(recs)
+		}
+		if err == nil && m.cfg.MVCC {
+			// Durable first, visible second: pending versions are stamped
+			// with one epoch for the whole batch only after the sink flush.
+			m.stampEpoch(recs)
+		}
 		for _, b := range batch {
 			b.done <- err
 		}
@@ -522,10 +603,22 @@ func (m *Manager) rollback(tx *Txn) error {
 	}
 	undo := tx.undo
 	wrote := len(tx.redo) > 0
+	touched := tx.touched
 	tx.state = Aborted
 	tx.undo, tx.redo = nil, nil
 	tx.mu.Unlock()
 
+	if tx.readOnly {
+		m.endSnapshot(tx)
+		m.aborts.Add(1)
+		m.mAborts.Inc()
+		return nil
+	}
+	if touched {
+		// Drop the pending versions before undo repairs the live state, so a
+		// later commit epoch can never resurrect them.
+		m.discardVersions(tx)
+	}
 	err := m.applyUndo(undo)
 	if wrote && m.cfg.Sink != nil {
 		if werr := m.cfg.Sink.WriteAbort(tx.id); err == nil {
@@ -551,12 +644,14 @@ func (m *Manager) applyUndo(undo []undoRec) error {
 			Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(u.file),
 		}))
 		del.ForceID = u.id
+		del.NoVersion = true // undo restores history, it doesn't write new history
 		if _, _, err := m.cfg.Exec.ExecTimedCtx(ctx, del); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("txn: undo delete of record %d: %w", u.id, err)
 		}
 		if u.image != nil {
 			ins := abdl.NewInsert(u.image)
 			ins.ForceID = u.id
+			ins.NoVersion = true
 			if _, _, err := m.cfg.Exec.ExecTimedCtx(ctx, ins); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("txn: undo restore of record %d: %w", u.id, err)
 			}

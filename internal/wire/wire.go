@@ -141,6 +141,12 @@ type Request struct {
 	Common  string
 	Query2  Query
 	ForceID uint64 // INSERT: replica-pinned database key (0 = allocate)
+
+	// MVCC plumbing; see the matching abdl.Request fields.
+	TxnID     uint64 // mutations: pending-version owner; MVCC-COMMIT/ABORT: target txn
+	SnapEpoch uint64 // RETRIEVE(-COMMON): snapshot read at this epoch
+	NoVersion bool   // mutations: skip version-chain bookkeeping (undo path)
+	MvccEpoch uint64 // MVCC-COMMIT: commit epoch; MVCC-GC: watermark
 }
 
 // TargetItem is the wire form of abdl.TargetItem.
@@ -152,12 +158,16 @@ type TargetItem struct {
 // FromRequest converts a model request.
 func FromRequest(r *abdl.Request) Request {
 	w := Request{
-		Kind:    int(r.Kind),
-		Query:   FromQuery(r.Query),
-		By:      r.By,
-		Common:  r.Common,
-		Query2:  FromQuery(r.Query2),
-		ForceID: uint64(r.ForceID),
+		Kind:      int(r.Kind),
+		Query:     FromQuery(r.Query),
+		By:        r.By,
+		Common:    r.Common,
+		Query2:    FromQuery(r.Query2),
+		ForceID:   uint64(r.ForceID),
+		TxnID:     r.TxnID,
+		SnapEpoch: r.SnapEpoch,
+		NoVersion: r.NoVersion,
+		MvccEpoch: r.MvccEpoch,
 	}
 	if r.Record != nil {
 		w.Record = FromRecord(r.Record)
@@ -175,10 +185,14 @@ func FromRequest(r *abdl.Request) Request {
 // ToRequest converts back to a model request.
 func (w Request) ToRequest() (*abdl.Request, error) {
 	r := &abdl.Request{
-		Kind:    abdl.Kind(w.Kind),
-		By:      w.By,
-		Common:  w.Common,
-		ForceID: abdm.RecordID(w.ForceID),
+		Kind:      abdl.Kind(w.Kind),
+		By:        w.By,
+		Common:    w.Common,
+		ForceID:   abdm.RecordID(w.ForceID),
+		TxnID:     w.TxnID,
+		SnapEpoch: w.SnapEpoch,
+		NoVersion: w.NoVersion,
+		MvccEpoch: w.MvccEpoch,
 	}
 	var err error
 	if r.Query, err = w.Query.ToQuery(); err != nil {
@@ -232,11 +246,12 @@ type Result struct {
 	Count    int
 	Affected []uint64
 	Cost     kdb.Cost
+	Versions int // MVCC ops: live version count on the backend
 }
 
 // FromResult converts a model result.
 func FromResult(r *kdb.Result) Result {
-	w := Result{Op: int(r.Op), Count: r.Count, Cost: r.Cost}
+	w := Result{Op: int(r.Op), Count: r.Count, Cost: r.Cost, Versions: r.Versions}
 	for _, id := range r.Affected {
 		w.Affected = append(w.Affected, uint64(id))
 	}
@@ -261,7 +276,7 @@ func FromResult(r *kdb.Result) Result {
 
 // ToResult converts back to a model result.
 func (w Result) ToResult() (*kdb.Result, error) {
-	r := &kdb.Result{Op: abdl.Kind(w.Op), Count: w.Count, Cost: w.Cost}
+	r := &kdb.Result{Op: abdl.Kind(w.Op), Count: w.Count, Cost: w.Cost, Versions: w.Versions}
 	for _, id := range w.Affected {
 		r.Affected = append(r.Affected, abdm.RecordID(id))
 	}

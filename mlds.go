@@ -71,6 +71,8 @@ type (
 	Session = core.Session
 	// DatabaseInfo describes one catalog entry in a Databases listing.
 	DatabaseInfo = core.DatabaseInfo
+	// SessionOption configures a session at open time.
+	SessionOption = core.SessionOption
 	// ResultSet is a SQL statement result.
 	ResultSet = relkms.ResultSet
 	// DLIOutcome is a DL/I call result.
@@ -181,6 +183,13 @@ var (
 	ErrDeadlock = txn.ErrDeadlock
 	// ErrLockTimeout is the cause when a lock wait exceeded the limit.
 	ErrLockTimeout = txn.ErrLockTimeout
+	// ErrReadOnly reports a mutation attempted in a read-only snapshot
+	// transaction (BEGIN WORK READ ONLY, or a SnapshotSession).
+	ErrReadOnly = txn.ErrReadOnly
+	// SnapshotSession makes every implicit statement of a session run in
+	// its own read-only snapshot transaction: lock-free reads that never
+	// wait on writers. Pass it to System.Open or a typed opener.
+	SnapshotSession = core.SnapshotSession
 )
 
 // TxnAbortedError reports a statement whose transaction the manager rolled
