@@ -2,9 +2,10 @@
 # the observability package on its own), formatting, static analysis when
 # the tools are installed (staticcheck, govulncheck — both skipped with a
 # note otherwise, so the target needs no network), the full suite with
-# shuffled test order, the transaction/kernel concurrency tier and the
-# cross-model differential suite under the race detector, and per-package
-# coverage floors on the transaction, controller, and kernel packages.
+# shuffled test order, the transaction/kernel concurrency tier, the
+# cross-model differential suite and the membership chaos suite under the
+# race detector, and per-package coverage floors on the transaction,
+# controller, kernel, and elastic-membership packages.
 # `make fuzz-smoke` runs each native fuzz target briefly — corpora and
 # checked-in crashers also replay on every plain `go test`. `make bench`
 # regenerates the paper experiments and writes a machine-readable summary.
@@ -42,13 +43,15 @@ check:
 	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
 	$(GO) test -race -run TestCrossModelDifferential ./internal/core
+	$(GO) test -race -count=2 -run TestMembershipChaos ./internal/kc
 	$(GO) test -race ./...
 	$(MAKE) cover
 
 # cover enforces the coverage floors: the transaction manager, kernel
-# controller, and kernel database must each stay at or above COVER_FLOOR%.
+# controller, kernel database, and elastic multi-backend system must each
+# stay at or above COVER_FLOOR%.
 cover:
-	@for pkg in internal/txn internal/kc internal/kdb; do \
+	@for pkg in internal/txn internal/kc internal/kdb internal/mbds; do \
 		pct=$$($(GO) test -cover ./$$pkg | \
 			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then \
@@ -72,7 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/abdl
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_5.json
+	$(GO) run ./cmd/mldsbench -json BENCH_6.json
 
 fmt:
 	gofmt -w .

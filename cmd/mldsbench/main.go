@@ -7,11 +7,12 @@
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e14, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e15, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
 //	mldsbench -txn                run the transaction contention workload
 //	mldsbench -txn -sessions 16 -txns 50 -ops 4 -conflict 0.25
 //	mldsbench -readers 8 -writers 4   reader/writer mix, locked vs MVCC (E14)
+//	mldsbench -elastic            grow/drain one live fleet under writes (E15)
 package main
 
 import (
@@ -67,7 +68,7 @@ func emit(r *experiments.Report, jsonPath string) {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e13, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e15, a1..a3)")
 	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
 	txnMode := flag.Bool("txn", false, "run the mixed read/write transaction contention workload")
 	sessions := flag.Int("sessions", 8, "-txn: concurrent sessions")
@@ -76,7 +77,13 @@ func main() {
 	conflict := flag.Float64("conflict", 0.5, "-txn: probability an operation hits the shared hot record")
 	readers := flag.Int("readers", 0, "reader/writer mix: read-only sessions (runs E14 at this scale)")
 	writers := flag.Int("writers", 0, "reader/writer mix: read-modify-write sessions")
+	elastic := flag.Bool("elastic", false, "grow and drain one live fleet under a write workload (E15)")
 	flag.Parse()
+
+	if *elastic {
+		emit(experiments.Timed(experiments.E15ElasticScaling), *jsonPath)
+		return
+	}
 
 	if *readers > 0 || *writers > 0 {
 		r, w := *readers, *writers
@@ -114,6 +121,7 @@ func main() {
 		"e12": experiments.E12BatchedLoad,
 		"e13": experiments.E13GroupCommit,
 		"e14": experiments.E14SnapshotScaling,
+		"e15": experiments.E15ElasticScaling,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,

@@ -64,6 +64,7 @@ func All() []*Report {
 		E12BatchedLoad,
 		E13GroupCommit,
 		E14SnapshotScaling,
+		E15ElasticScaling,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

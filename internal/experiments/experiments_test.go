@@ -136,3 +136,19 @@ func TestE10_FiveInterfaces(t *testing.T) {
 		}
 	}
 }
+
+// TestE15_ElasticScaling grows and shrinks one live fleet under a write
+// workload: E6's scaling curve must hold elastically, with zero failed
+// requests and the writer's records intact.
+func TestE15_ElasticScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := E15ElasticScaling()
+	assertOK(t, r)
+	for _, want := range []string{"grown (add+rebalance)", "drained back", "0 failures"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("E15 missing %q:\n%s", want, r.Body)
+		}
+	}
+}

@@ -89,6 +89,14 @@ func (c *Controller) System() *mbds.System { return c.sys }
 // begin explicit transactions and to commit or roll them back.
 func (c *Controller) Txns() *txn.Manager { return c.txns }
 
+// SubscribeCommits streams the manager's committed redo logs with the given
+// channel buffer. Chaos drills and failover oracles use it to know exactly
+// which writes were acknowledged as committed; close the subscription when
+// done.
+func (c *Controller) SubscribeCommits(buf int) *txn.CommitSub {
+	return c.txns.SubscribeCommits(buf)
+}
+
 // keyPos reports the key allocator's position for journal records.
 func (c *Controller) keyPos() int64 {
 	c.mu.Lock()

@@ -1,0 +1,238 @@
+package kdb
+
+import (
+	"fmt"
+	"testing"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// exportAll drains every page of an export at the given since bound.
+func exportAll(t *testing.T, s *Store, since uint64, limit int) ([]MigRecord, uint64) {
+	t.Helper()
+	var out []MigRecord
+	var after abdm.RecordID
+	var epoch uint64
+	for {
+		recs, next, e := s.ExportSince(since, after, limit)
+		if epoch == 0 {
+			epoch = e
+		}
+		out = append(out, recs...)
+		if next == 0 {
+			return out, epoch
+		}
+		after = next
+	}
+}
+
+// TestExportImportRoundTrip: a full export installed on an empty store
+// reproduces the source exactly — live records, tombstones, and the version
+// history snapshots read.
+func TestExportImportRoundTrip(t *testing.T) {
+	src := NewStore(testDir(t))
+	for i := 0; i < 5; i++ {
+		if _, err := src.Insert(courseRec(fmt.Sprintf("C%d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, pin := src.VersionStats()
+	up := abdl.NewUpdate(courseQuery("C2"), abdl.Modifier{Attr: "credits", Val: abdm.Int(99)})
+	up.TxnID = 1
+	mvccOp(t, src, up)
+	mvccOp(t, src, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 1, MvccEpoch: pin + 1})
+	del := abdl.NewDelete(courseQuery("C4"))
+	del.TxnID = 2
+	mvccOp(t, src, del)
+	mvccOp(t, src, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 2, MvccEpoch: pin + 2})
+
+	recs, _ := exportAll(t, src, 0, 2)
+	dst := NewStore(testDir(t))
+	if applied := dst.ImportPartition(recs); applied != len(recs) {
+		t.Fatalf("imported %d of %d records", applied, len(recs))
+	}
+
+	if got, want := dst.Len(), src.Len(); got != want {
+		t.Fatalf("dst has %d live records, src has %d", got, want)
+	}
+	srcSnap, dstSnap := src.Snapshot(), dst.Snapshot()
+	if len(srcSnap) != len(dstSnap) {
+		t.Fatalf("snapshot sizes differ: src %d, dst %d", len(srcSnap), len(dstSnap))
+	}
+	for i := range srcSnap {
+		if srcSnap[i].ID != dstSnap[i].ID || srcSnap[i].Rec.Key() != dstSnap[i].Rec.Key() {
+			t.Fatalf("snapshot record %d differs: %v vs %v", i, srcSnap[i], dstSnap[i])
+		}
+	}
+	// History survived the move: a snapshot pinned before the update still
+	// sees the old credits value, and C4 is still present before its delete.
+	res := snapRetrieve(t, dst, courseQuery("C2"), pin)
+	if len(res.Records) != 1 {
+		t.Fatalf("dst snapshot lost C2: %d records", len(res.Records))
+	}
+	if v, _ := res.Records[0].Rec.Get("credits"); v.AsInt() != 2 {
+		t.Fatalf("dst snapshot sees credits=%d, want 2", v.AsInt())
+	}
+	if res := snapRetrieve(t, dst, courseQuery("C4"), pin+1); len(res.Records) != 1 {
+		t.Fatalf("dst snapshot before delete lost C4")
+	}
+	if res := snapRetrieve(t, dst, courseQuery("C4"), pin+2); len(res.Records) != 0 {
+		t.Fatalf("dst snapshot after delete still sees C4")
+	}
+}
+
+// TestExportSincePaging: pages are disjoint, ordered, and cover everything.
+func TestExportSincePaging(t *testing.T) {
+	s := NewStore(testDir(t))
+	const n = 23
+	for i := 0; i < n; i++ {
+		if _, err := s.Insert(courseRec(fmt.Sprintf("P%02d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _ := exportAll(t, s, 0, 7)
+	if len(recs) != n {
+		t.Fatalf("paged export returned %d records, want %d", len(recs), n)
+	}
+	seen := make(map[abdm.RecordID]bool)
+	var last abdm.RecordID
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("record %d exported twice", r.ID)
+		}
+		if r.ID <= last {
+			t.Fatalf("page order broken: %d after %d", r.ID, last)
+		}
+		seen[r.ID] = true
+		last = r.ID
+	}
+}
+
+// TestExportSinceIncremental: a round bounded by the previous round's epoch
+// exports only the records touched since, and the boundary epoch itself is
+// re-exported (inclusive bound).
+func TestExportSinceIncremental(t *testing.T) {
+	s := NewStore(testDir(t))
+	// Commit each insert at its own epoch; the inclusive since bound then
+	// re-exports only the boundary epoch, not the whole history.
+	for i := 0; i < 4; i++ {
+		ins := abdl.NewInsert(courseRec(fmt.Sprintf("I%d", i), 1))
+		ins.TxnID = uint64(100 + i)
+		mvccOp(t, s, ins)
+		_, at := s.VersionStats()
+		mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: ins.TxnID, MvccEpoch: at + 1})
+	}
+	_, first := exportAll(t, s, 0, 0)
+
+	_, pin := s.VersionStats()
+	up := abdl.NewUpdate(courseQuery("I1"), abdl.Modifier{Attr: "credits", Val: abdm.Int(7)})
+	up.TxnID = 9
+	mvccOp(t, s, up)
+	mvccOp(t, s, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 9, MvccEpoch: pin + 1})
+
+	recs, _ := exportAll(t, s, first, 0)
+	// Only chains with a version at epoch >= first qualify: the updated
+	// record for sure, plus any insert stamped exactly at the boundary.
+	found := false
+	for _, r := range recs {
+		if r.Live != nil {
+			if v, ok := r.Live.Get("title"); ok && v.AsString() == "I1" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("incremental export missed the touched record (got %d records)", len(recs))
+	}
+	if len(recs) == 4 {
+		t.Fatalf("incremental export returned everything; epoch bound not applied")
+	}
+}
+
+// TestImportSkipsNewerDest: an import must not clobber a destination copy
+// that concurrent writes have already carried past the exported state.
+func TestImportSkipsNewerDest(t *testing.T) {
+	src := NewStore(testDir(t))
+	id, err := src.Insert(courseRec("X", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := exportAll(t, src, 0, 0)
+
+	dst := NewStore(testDir(t))
+	dst.ImportPartition(recs)
+	// The destination moves ahead: a committed update at a later epoch.
+	_, pin := dst.VersionStats()
+	up := abdl.NewUpdate(courseQuery("X"), abdl.Modifier{Attr: "credits", Val: abdm.Int(42)})
+	up.TxnID = 5
+	mvccOp(t, dst, up)
+	mvccOp(t, dst, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 5, MvccEpoch: pin + 1})
+
+	// Re-importing the stale export is a no-op for this record.
+	if applied := dst.ImportPartition(recs); applied != 0 {
+		t.Fatalf("stale import applied %d records, want 0", applied)
+	}
+	rec, ok := dst.GetByID(id)
+	if !ok {
+		t.Fatalf("record %d vanished", id)
+	}
+	if v, _ := rec.Get("credits"); v.AsInt() != 42 {
+		t.Fatalf("stale import clobbered the newer copy: credits=%d, want 42", v.AsInt())
+	}
+}
+
+// TestImportPendingRegistered: pending versions travel with the export and a
+// later MVCC-COMMIT on the destination finds and stamps them.
+func TestImportPendingRegistered(t *testing.T) {
+	src := NewStore(testDir(t))
+	ins := abdl.NewInsert(courseRec("PEND", 3))
+	ins.TxnID = 11
+	mvccOp(t, src, ins)
+
+	recs, _ := exportAll(t, src, 0, 0)
+	if len(recs) != 1 {
+		t.Fatalf("exported %d records, want the pending one", len(recs))
+	}
+	dst := NewStore(testDir(t))
+	dst.ImportPartition(recs)
+	// Idempotent: importing twice must not register the pending ref twice.
+	dst.ImportPartition(recs)
+
+	res := mvccOp(t, dst, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 11, MvccEpoch: 8})
+	if res.Count != 1 {
+		t.Fatalf("commit stamped %d imported pending versions, want 1", res.Count)
+	}
+	if res := snapRetrieve(t, dst, courseQuery("PEND"), 8); len(res.Records) != 1 {
+		t.Fatalf("stamped import invisible to snapshot")
+	}
+}
+
+// TestDropRecords removes live state and history alike.
+func TestDropRecords(t *testing.T) {
+	s := NewStore(testDir(t))
+	id, err := s.Insert(courseRec("DROP", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep, err := s.Insert(courseRec("KEEP", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.DropRecords([]abdm.RecordID{id}); n != 1 {
+		t.Fatalf("dropped %d records, want 1", n)
+	}
+	if _, ok := s.GetByID(id); ok {
+		t.Fatalf("dropped record still live")
+	}
+	if _, ok := s.GetByID(keep); !ok {
+		t.Fatalf("drop removed the wrong record")
+	}
+	if v, _ := s.VersionStats(); v != 1 {
+		t.Fatalf("version count %d after drop, want 1", v)
+	}
+	// Dropping again is a no-op.
+	if n := s.DropRecords([]abdm.RecordID{id}); n != 0 {
+		t.Fatalf("re-drop removed %d records, want 0", n)
+	}
+}

@@ -97,9 +97,9 @@ func (s *Store) execMvcc(req *abdl.Request) (*Result, error) {
 	case abdl.MvccCommit:
 		res.Count = s.stampLocked(req.TxnID, req.MvccEpoch)
 	case abdl.MvccAbort:
-		res.Count = s.discardLocked(req.TxnID)
+		res.Count, res.Affected = s.discardLocked(req.TxnID)
 	case abdl.MvccGC:
-		res.Count = s.pruneLocked(req.MvccEpoch)
+		res.Count, res.Affected = s.pruneLocked(req.MvccEpoch)
 	default:
 		return nil, fmt.Errorf("kdb: unsupported MVCC operation %v", req.Kind)
 	}
@@ -133,15 +133,18 @@ func (s *Store) stampLocked(txn, epoch uint64) int {
 }
 
 // discardLocked drops txn's pending versions, returning how many were
-// removed. The live store is restored separately by the transaction
+// removed plus the keys whose chains ended up empty (records whose entire
+// history was the aborted transaction — the controller may forget their
+// placement). The live store is restored separately by the transaction
 // manager's undo; the chain simply forgets the aborted history.
-func (s *Store) discardLocked(txn uint64) int {
+func (s *Store) discardLocked(txn uint64) (int, []abdm.RecordID) {
 	refs := s.mvcc.pending[txn]
 	if refs == nil {
-		return 0
+		return 0, nil
 	}
 	delete(s.mvcc.pending, txn)
 	n := 0
+	var emptied []abdm.RecordID
 	for _, ref := range refs {
 		chain := s.mvcc.chains[ref.file][ref.id]
 		kept := chain[:0]
@@ -152,19 +155,25 @@ func (s *Store) discardLocked(txn uint64) int {
 			}
 			kept = append(kept, v)
 		}
+		if len(kept) == 0 && len(chain) > 0 {
+			emptied = append(emptied, ref.id)
+		}
 		s.setChainLocked(ref.file, ref.id, kept)
 	}
 	s.mvcc.versions -= n
-	return n
+	return n, emptied
 }
 
 // pruneLocked drops every version superseded at or below the watermark: in
 // each chain, all versions older than the newest committed version with
 // epoch ≤ watermark. If that survivor is a tombstone and nothing follows it,
 // the whole chain goes — no snapshot at or after the watermark can resurrect
-// a record deleted before it. Returns the number of versions pruned.
-func (s *Store) pruneLocked(watermark uint64) int {
+// a record deleted before it. Returns the number of versions pruned and the
+// keys whose whole chains were removed (deleted records no snapshot can
+// reach any more — the controller may forget their placement).
+func (s *Store) pruneLocked(watermark uint64) (int, []abdm.RecordID) {
 	pruned := 0
+	var removed []abdm.RecordID
 	for file, chains := range s.mvcc.chains {
 		for id, chain := range chains {
 			keep := 0 // index of the newest committed version ≤ watermark
@@ -179,6 +188,7 @@ func (s *Store) pruneLocked(watermark uint64) int {
 			}
 			if keep == len(chain)-1 && chain[keep].rec == nil {
 				pruned += len(chain)
+				removed = append(removed, id)
 				s.setChainLocked(file, id, nil)
 				continue
 			}
@@ -189,7 +199,7 @@ func (s *Store) pruneLocked(watermark uint64) int {
 		}
 	}
 	s.mvcc.versions -= pruned
-	return pruned
+	return pruned, removed
 }
 
 // setChainLocked replaces one record's chain, removing empty map entries.

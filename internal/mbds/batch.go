@@ -39,10 +39,17 @@ func (s *System) ExecBatchCtx(ctx context.Context, reqs []*abdl.Request) ([]*kdb
 		return nil, 0, err
 	}
 	defer s.opWG.Done()
+	s.fence.RLock()
+	defer s.fence.RUnlock()
 	start := time.Now()
 	ctx, span := obs.StartSpan(ctx, "mbds.batch")
 	span.SetAttr("requests", strconv.Itoa(len(reqs)))
 	results, simt, err := s.execBatch(ctx, reqs)
+	if err == nil {
+		for _, req := range reqs {
+			s.logCatchup(req)
+		}
+	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
 	} else {
@@ -85,9 +92,14 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 		planInsert
 		planInline
 	)
+	view := s.viewSnap()
+	viewPos := make(map[*backend]int, len(view))
+	for i, b := range view {
+		viewPos[b] = i
+	}
 	plan := make([]int, len(reqs))
-	insertPrimary := make([]int, len(reqs))
-	slots := make([][]batchSlot, len(s.backends))
+	insertPrimary := make([]*backend, len(reqs))
+	slots := make([][]batchSlot, len(view))
 	for i, req := range reqs {
 		switch req.Kind {
 		case abdl.RetrieveCommon:
@@ -106,14 +118,14 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 				cp.ForceID = abdm.RecordID(s.nextID.Add(1))
 				r = &cp
 			}
-			insertPrimary[i] = s.insertIndexFor(r)
-			for _, b := range s.holdersAt(insertPrimary[i]) {
-				slots[b.id] = append(slots[b.id], batchSlot{pos: i, req: r})
+			insertPrimary[i] = s.insertPrimaryFor(r, view)
+			for _, b := range s.holdersIn(view, insertPrimary[i]) {
+				slots[viewPos[b]] = append(slots[viewPos[b]], batchSlot{pos: i, req: r})
 			}
 		default:
 			plan[i] = planBroadcast
-			for _, b := range s.backends {
-				slots[b.id] = append(slots[b.id], batchSlot{pos: i, req: req})
+			for p := range view {
+				slots[p] = append(slots[p], batchSlot{pos: i, req: req})
 			}
 		}
 	}
@@ -127,14 +139,14 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 		err     error
 	}
 	var targets []*backend
-	for _, b := range s.backends {
-		if len(slots[b.id]) > 0 {
+	for _, b := range view {
+		if len(slots[viewPos[b]]) > 0 {
 			targets = append(targets, b)
 		}
 	}
 	replies := make(chan batchReply, len(targets))
 	dispatch := func(b *backend) {
-		sl := slots[b.id]
+		sl := slots[viewPos[b]]
 		sub := make([]*abdl.Request, len(sl))
 		for j, slot := range sl {
 			sub[j] = slot.req
@@ -223,7 +235,7 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 			if results[i] == nil {
 				results[i] = &kdb.Result{Op: req.Kind}
 			}
-			if s.cfg.Replicas > 0 {
+			if s.cfg.Replicas > 0 || s.migOn.Load() {
 				before := len(results[i].Records)
 				results[i].DedupByID()
 				if removed := before - len(results[i].Records); removed > 0 {
@@ -231,6 +243,9 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 				}
 			}
 			results[i].RecomputeAggregates(req.Target)
+			if req.Kind == abdl.MvccGC || req.Kind == abdl.MvccAbort {
+				s.evictPlaced(results[i].Affected)
+			}
 		}
 	}
 	return results, extraSim + 2*s.cfg.MsgLatency + worst, nil

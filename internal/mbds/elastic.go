@@ -1,0 +1,679 @@
+package mbds
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kdb"
+)
+
+// Elastic membership and live partition migration.
+//
+// The backend fleet is no longer frozen at Config time. AddBackend joins a
+// fresh backend (new inserts route to it immediately), Rebalance migrates a
+// fair share of existing keys onto it, DrainBackend migrates everything off
+// a backend before retiring it, and RemoveBackend handles unrecoverable loss
+// by promoting replica successors. All of it runs under live traffic.
+//
+// A migration copies data in epoch-bounded rounds against the MVCC version
+// chains (kdb.ExportSince / ImportPartition): round 1 copies everything,
+// each later round copies only what changed while the previous round ran,
+// and the final round runs under the write fence — a brief exclusive pause
+// of the Exec entry points — so the placement flip observes no in-flight
+// writes. Mutations the chains cannot carry (the undo path's NoVersion
+// ForceID operations) and MVCC control ops are captured in a catch-up log
+// while the migration runs and replayed on the destinations before the
+// final round. Reads stay exact throughout: records transiently present on
+// both source and destination answer under one database key, and broadcasts
+// deduplicate by key whenever a migration is in flight.
+
+// Migration tuning.
+const (
+	migPage      = 256 // records per export page
+	migMaxRounds = 6   // unfenced copy rounds before forcing the fenced finish
+	migSettle    = 32  // residue small enough to finish under the fence
+)
+
+// elasticCounters mirrors the migration metrics for MigrationStats.
+type elasticCounters struct {
+	keys       atomic.Uint64
+	bytes      atomic.Uint64
+	catchup    atomic.Uint64
+	promotions atomic.Uint64
+}
+
+// MigrationStats is a point-in-time snapshot of the system's elastic
+// membership counters.
+type MigrationStats struct {
+	Keys           uint64 // records copied by migrations
+	Bytes          uint64 // approximate bytes copied
+	CatchupEntries uint64 // catch-up log entries captured
+	Promotions     uint64 // replica-successor promotions (failovers)
+	Epoch          uint64 // current membership epoch
+}
+
+// MigrationStats returns the elastic membership counters.
+func (s *System) MigrationStats() MigrationStats {
+	return MigrationStats{
+		Keys:           s.elastic.keys.Load(),
+		Bytes:          s.elastic.bytes.Load(),
+		CatchupEntries: s.elastic.catchup.Load(),
+		Promotions:     s.elastic.promotions.Load(),
+		Epoch:          s.MembershipEpoch(),
+	}
+}
+
+// partitionExporter is implemented by executors that can page out their
+// partition for migration (mbdsnet.RemoteBackend over the bus).
+type partitionExporter interface {
+	ExportSince(since uint64, after abdm.RecordID, limit int) ([]kdb.MigRecord, abdm.RecordID, uint64, error)
+}
+
+// partitionImporter is implemented by executors that can install exported
+// records and drop stranded copies.
+type partitionImporter interface {
+	ImportPartition([]kdb.MigRecord) (int, error)
+	DropRecords([]abdm.RecordID) (int, error)
+}
+
+// migTarget unwraps fault injection: migration traffic is the controller's
+// reliable control channel, not subject to injected bus faults.
+func migTarget(e Executor) Executor {
+	if f, ok := e.(*FaultyExecutor); ok {
+		return f.Underlying()
+	}
+	return e
+}
+
+// exportSince pages the backend's partition out, locally or over the bus.
+func (b *backend) exportSince(since uint64, after abdm.RecordID, limit int) ([]kdb.MigRecord, abdm.RecordID, uint64, error) {
+	if b.store != nil {
+		recs, next, epoch := b.store.ExportSince(since, after, limit)
+		return recs, next, epoch, nil
+	}
+	if pe, ok := migTarget(b.exec).(partitionExporter); ok {
+		return pe.ExportSince(since, after, limit)
+	}
+	return nil, 0, 0, fmt.Errorf("mbds: backend %d cannot export its partition", b.id)
+}
+
+// importPartition installs exported records, locally or over the bus.
+func (b *backend) importPartition(recs []kdb.MigRecord) error {
+	if b.store != nil {
+		b.store.ImportPartition(recs)
+		return nil
+	}
+	if pi, ok := migTarget(b.exec).(partitionImporter); ok {
+		_, err := pi.ImportPartition(recs)
+		return err
+	}
+	return fmt.Errorf("mbds: backend %d cannot import a partition", b.id)
+}
+
+// dropRecords removes stranded copies, locally or over the bus.
+func (b *backend) dropRecords(ids []abdm.RecordID) error {
+	if b.store != nil {
+		b.store.DropRecords(ids)
+		return nil
+	}
+	if pi, ok := migTarget(b.exec).(partitionImporter); ok {
+		_, err := pi.DropRecords(ids)
+		return err
+	}
+	return fmt.Errorf("mbds: backend %d cannot drop records", b.id)
+}
+
+// migExec executes one catch-up request directly against the backend's
+// partition, bypassing the bus policy (and injected faults) like the other
+// migration verbs.
+func (b *backend) migExec(req *abdl.Request) (*kdb.Result, error) {
+	if b.store != nil {
+		return b.store.Exec(req)
+	}
+	return migTarget(b.exec).Exec(req)
+}
+
+// placedLookup returns the recorded primary for a key (nil if none).
+func (s *System) placedLookup(id abdm.RecordID) *backend {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	return s.placed[id]
+}
+
+// installView publishes a new backend view and advances the membership
+// epoch.
+func (s *System) installView(v []*backend) {
+	s.vmu.Lock()
+	s.view = v
+	s.epoch++
+	e := s.epoch
+	s.vmu.Unlock()
+	s.metrics.membershipEpoch.Set(int64(e))
+}
+
+// removeFrom returns a copy of the view without the backend at pos.
+func removeFrom(view []*backend, pos int) []*backend {
+	out := make([]*backend, 0, len(view)-1)
+	out = append(out, view[:pos]...)
+	return append(out, view[pos+1:]...)
+}
+
+// AddBackend joins a fresh local backend to the view and returns its
+// position. New inserts route to it immediately; existing keys stay where
+// they are until Rebalance (or a drain) moves them.
+func (s *System) AddBackend() (int, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	store := s.newLocalStore()
+	return s.addBackend(store, store)
+}
+
+// AddBackendExecutor joins a backend served by the given executor (typically
+// an mbdsnet.RemoteBackend) and returns its position. The executor's store
+// must allocate database keys that cannot collide with the fleet's (see
+// kdb.WithStrideIDs).
+func (s *System) AddBackendExecutor(exec Executor) (int, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	return s.addBackend(exec, nil)
+}
+
+func (s *System) addBackend(exec Executor, store *kdb.Store) (int, error) {
+	if err := s.beginOp(); err != nil {
+		return 0, err
+	}
+	defer s.opWG.Done()
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	b := newBackend(s.allocBID(), exec, store, s.cfg.FaultInjection)
+	s.initBackendMetrics(b)
+	view := s.viewSnap()
+	nv := make([]*backend, 0, len(view)+1)
+	nv = append(append(nv, view...), b)
+	s.installView(nv)
+	return len(nv) - 1, nil
+}
+
+func (s *System) allocBID() int {
+	s.vmu.Lock()
+	defer s.vmu.Unlock()
+	id := s.nextBID
+	s.nextBID++
+	return id
+}
+
+// Rebalance migrates data onto the backend at pos — typically one just
+// added: from every other backend it moves the keys whose database key maps
+// to pos under the grown view's modulus, and repairs replica windows that
+// wrapped past the view's old end. Runs as a live migration per source
+// backend; reads and writes continue throughout.
+func (s *System) Rebalance(pos int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.opWG.Done()
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	view := s.viewSnap()
+	if pos < 0 || pos >= len(view) {
+		return fmt.Errorf("mbds: rebalance: no backend at position %d", pos)
+	}
+	if len(view) == 1 {
+		return nil
+	}
+	nb := view[pos]
+	n := uint64(len(view))
+	preView := removeFrom(view, pos) // the view before nb joined
+	for srcPos, src := range view {
+		if src == nb {
+			continue
+		}
+		src := src
+		// A replica window starting at srcPos wrapped around the old view's
+		// end iff it reaches the last old slot, so nb's insertion changed
+		// its membership even for keys that do not move.
+		wrapped := s.cfg.Replicas > 0 && srcPos+s.cfg.Replicas >= len(view)-1
+		moved := func(id abdm.RecordID) bool { return uint64(id)%n == uint64(pos) }
+		plan := &migPlan{
+			src:     src,
+			oldView: preView,
+			dstView: view,
+			pick: func(id abdm.RecordID) bool {
+				if s.placedLookup(id) != src {
+					return false
+				}
+				return moved(id) || wrapped
+			},
+			primary: func(id abdm.RecordID) *backend {
+				if moved(id) {
+					return nb
+				}
+				return src
+			},
+			finish: func() {
+				s.placeMu.Lock()
+				for k, b := range s.placed {
+					if b == src && uint64(k)%n == uint64(pos) {
+						s.placed[k] = nb
+					}
+				}
+				s.metrics.placedKeys.Set(int64(len(s.placed)))
+				s.placeMu.Unlock()
+			},
+		}
+		if err := s.runMigration(plan); err != nil {
+			return fmt.Errorf("mbds: rebalance from backend %d: %w", src.id, err)
+		}
+	}
+	s.installView(view) // data layout changed: advance the epoch
+	return nil
+}
+
+// DrainBackend gracefully removes the backend at pos: every record it
+// materializes — primary keys and replica copies alike — is live-migrated to
+// the holders the shrunken view assigns, the placement map flips atomically
+// under the write fence, and only then is the backend retired. Concurrent
+// reads and writes see no failures.
+func (s *System) DrainBackend(pos int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.opWG.Done()
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	oldView := s.viewSnap()
+	if pos < 0 || pos >= len(oldView) {
+		return fmt.Errorf("mbds: drain: no backend at position %d", pos)
+	}
+	if len(oldView) == 1 {
+		return errors.New("mbds: cannot drain the last backend")
+	}
+	src := oldView[pos]
+	dstView := removeFrom(oldView, pos)
+	n := uint64(len(dstView))
+	spread := func(id abdm.RecordID) *backend { return dstView[uint64(id)%n] }
+	plan := &migPlan{
+		src:     src,
+		oldView: oldView,
+		dstView: dstView,
+		pick:    func(abdm.RecordID) bool { return true },
+		primary: func(id abdm.RecordID) *backend {
+			if b := s.placedLookup(id); b != nil && b != src {
+				return b // a replica copy held for another primary
+			}
+			return spread(id)
+		},
+		finish: func() {
+			s.placeMu.Lock()
+			for k, b := range s.placed {
+				if b == src {
+					s.placed[k] = spread(k)
+				}
+			}
+			s.metrics.placedKeys.Set(int64(len(s.placed)))
+			s.placeMu.Unlock()
+			s.installView(dstView)
+		},
+	}
+	if err := s.runMigration(plan); err != nil {
+		return fmt.Errorf("mbds: drain backend %d: %w", src.id, err)
+	}
+	src.retire()
+	if src.faulty != nil {
+		src.faulty.releaseHangs()
+	}
+	return nil
+}
+
+// RemoveBackend removes the backend at pos without copying anything off it —
+// the path for unrecoverable loss. Keys it was primary for are promoted to
+// its ring successor (which, with Replicas > 0, already holds their copies,
+// so no committed write is lost); the replication factor is re-established
+// in the background from the surviving copies. With Replicas == 0 the dead
+// backend's records are gone — that is what replication is for.
+func (s *System) RemoveBackend(pos int) error {
+	if err := s.beginOp(); err != nil {
+		return err
+	}
+	defer s.opWG.Done()
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	oldView := s.viewSnap()
+	if pos < 0 || pos >= len(oldView) {
+		return fmt.Errorf("mbds: remove: no backend at position %d", pos)
+	}
+	if len(oldView) == 1 {
+		return errors.New("mbds: cannot remove the last backend")
+	}
+	dead := oldView[pos]
+	dstView := removeFrom(oldView, pos)
+	succ := dstView[pos%len(dstView)] // the dead backend's ring successor
+	s.fence.Lock()
+	s.placeMu.Lock()
+	for k, b := range s.placed {
+		if b == dead {
+			s.placed[k] = succ
+		}
+	}
+	s.metrics.placedKeys.Set(int64(len(s.placed)))
+	s.placeMu.Unlock()
+	s.installView(dstView)
+	s.fence.Unlock()
+	s.metrics.promotions.Inc()
+	s.elastic.promotions.Add(1)
+	dead.retire()
+	if dead.faulty != nil {
+		dead.faulty.releaseHangs()
+	}
+	if s.cfg.Replicas > 0 {
+		s.bgWG.Add(1)
+		go func() {
+			defer s.bgWG.Done()
+			s.reReplicate(oldView, dstView, dead, succ)
+		}()
+	}
+	return nil
+}
+
+// reReplicate restores the replication factor after a removal: every
+// surviving backend whose replica window contained the dead backend
+// re-migrates its primary keys to the holders the new view assigns, sourcing
+// the copies it already has. Runs as ordinary live migrations.
+func (s *System) reReplicate(oldView, dstView []*backend, dead, succ *backend) {
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	for _, src := range dstView {
+		src := src
+		// A backend needs repair when its replica window contained the dead
+		// backend — or when it is the successor, which inherited the dead
+		// backend's keys with one copy fewer than the factor requires.
+		inWindow := src == succ
+		for _, h := range s.holdersIn(oldView, src) {
+			if h == dead {
+				inWindow = true
+				break
+			}
+		}
+		if !inWindow {
+			continue
+		}
+		plan := &migPlan{
+			src:     src,
+			oldView: dstView, // copies already sit inside the new window
+			dstView: dstView,
+			pick:    func(id abdm.RecordID) bool { return s.placedLookup(id) == src },
+			primary: func(id abdm.RecordID) *backend { return src },
+			finish:  func() {},
+		}
+		_ = s.runMigration(plan)
+	}
+}
+
+// failoverMonitor watches backend health and removes any backend whose
+// circuit breaker has been open for at least Config.FailoverAfter.
+func (s *System) failoverMonitor() {
+	defer s.monWG.Done()
+	period := s.cfg.FailoverCheck
+	if period <= 0 {
+		period = s.cfg.FailoverAfter / 4
+	}
+	if period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopMon:
+			return
+		case <-t.C:
+			s.checkFailover()
+		}
+	}
+}
+
+func (s *System) checkFailover() {
+	view := s.viewSnap()
+	if len(view) <= 1 {
+		return
+	}
+	for pos, b := range view {
+		h := b.snapshotHealth()
+		if h.Up || h.DownSince.IsZero() {
+			continue
+		}
+		if time.Since(h.DownSince) < s.cfg.FailoverAfter {
+			continue
+		}
+		_ = s.RemoveBackend(pos)
+		return // the view changed; rescan on the next tick
+	}
+}
+
+// migPlan describes one live migration: which keys leave the source, where
+// they land, and how the placement state flips once the copy converges.
+type migPlan struct {
+	src     *backend
+	oldView []*backend                      // where copies currently sit
+	dstView []*backend                      // where they belong after the flip
+	pick    func(id abdm.RecordID) bool     // which exported keys participate
+	primary func(id abdm.RecordID) *backend // post-flip primary for picked keys
+	finish  func()                          // runs under the fence after the final round
+}
+
+// runMigration executes the plan: unfenced epoch-bounded copy rounds until
+// the residue settles, then — under the exclusive write fence — catch-up log
+// replay, one final round, and the placement flip. On failure every copy the
+// migration installed on a backend outside a key's legitimate holder set is
+// dropped, so the system returns to its pre-migration state.
+func (s *System) runMigration(p *migPlan) (err error) {
+	s.migMu.Lock()
+	s.migLog = nil
+	s.migMu.Unlock()
+	s.migOn.Store(true)
+	// Barrier: writes that predate the flag may be mid-flight; wait them out
+	// so everything after this line is either exported or logged.
+	s.fence.Lock()
+	//lint:ignore SA2001 empty critical section is the barrier
+	s.fence.Unlock()
+
+	imported := make(map[*backend]map[abdm.RecordID]bool)
+	strays := make(map[*backend]map[abdm.RecordID]bool)
+	defer func() {
+		if err != nil {
+			s.cleanupImports(p, imported)
+		}
+		s.migOn.Store(false)
+		s.migMu.Lock()
+		s.migLog = nil
+		s.migMu.Unlock()
+	}()
+
+	var since uint64
+	for round := 0; round < migMaxRounds; round++ {
+		n, first, cerr := s.copyRound(p, since, imported, strays)
+		if cerr != nil {
+			return cerr
+		}
+		since = first
+		if n <= migSettle {
+			break
+		}
+	}
+
+	s.fence.Lock()
+	defer s.fence.Unlock()
+	if rerr := s.replayCatchup(p, imported); rerr != nil {
+		return rerr
+	}
+	if _, _, cerr := s.copyRound(p, since, imported, strays); cerr != nil {
+		return cerr
+	}
+	p.finish()
+	s.dropStrays(strays)
+	return nil
+}
+
+// copyRound pages the source's export once through, importing each picked
+// record to its new holder set and noting where stranded copies must be
+// dropped after the flip. It returns how many records it copied and the
+// source epoch observed at the start — the inclusive bound for the next
+// round.
+func (s *System) copyRound(p *migPlan, since uint64, imported, strays map[*backend]map[abdm.RecordID]bool) (int, uint64, error) {
+	note := func(m map[*backend]map[abdm.RecordID]bool, b *backend, id abdm.RecordID) {
+		if m[b] == nil {
+			m[b] = make(map[abdm.RecordID]bool)
+		}
+		m[b][id] = true
+	}
+	var after abdm.RecordID
+	var first uint64
+	copied := 0
+	for {
+		recs, next, epoch, err := p.src.exportSince(since, after, migPage)
+		if err != nil {
+			return copied, first, err
+		}
+		if first == 0 {
+			first = epoch
+		}
+		byDest := make(map[*backend][]kdb.MigRecord)
+		for _, r := range recs {
+			if p.pick != nil && !p.pick(r.ID) {
+				continue
+			}
+			newHolders := s.holdersIn(p.dstView, p.primary(r.ID))
+			inNew := make(map[*backend]bool, len(newHolders))
+			for _, h := range newHolders {
+				inNew[h] = true
+				if h == p.src {
+					continue
+				}
+				byDest[h] = append(byDest[h], r)
+			}
+			oldPrim := s.placedLookup(r.ID)
+			if oldPrim == nil {
+				oldPrim = p.src
+			}
+			for _, h := range s.holdersIn(p.oldView, oldPrim) {
+				if inNew[h] {
+					continue
+				}
+				note(strays, h, r.ID)
+			}
+			copied++
+			s.metrics.migKeys.Inc()
+			s.elastic.keys.Add(1)
+			nb := uint64(r.ApproxBytes())
+			s.metrics.migBytes.Add(nb)
+			s.elastic.bytes.Add(nb)
+		}
+		for b, rs := range byDest {
+			if err := b.importPartition(rs); err != nil {
+				return copied, first, err
+			}
+			for _, r := range rs {
+				note(imported, b, r.ID)
+			}
+		}
+		if next == 0 {
+			return copied, first, nil
+		}
+		after = next
+	}
+}
+
+// replayCatchup re-executes the catch-up log on the migration's
+// destinations: placement-pinned mutations go to their key's new holder set,
+// MVCC commit/abort stamps to every backend that imported chains (an import
+// may have delivered pending versions after the broadcast ran there). All
+// replayed operations are idempotent. Caller holds the write fence.
+func (s *System) replayCatchup(p *migPlan, imported map[*backend]map[abdm.RecordID]bool) error {
+	s.migMu.Lock()
+	log := s.migLog
+	s.migLog = nil
+	s.migMu.Unlock()
+	for _, req := range log {
+		switch req.Kind {
+		case abdl.MvccCommit, abdl.MvccAbort:
+			for b := range imported {
+				if _, err := b.migExec(req); err != nil {
+					return err
+				}
+			}
+		default:
+			// Only keys the plan covers replay here: an unrelated pinned
+			// insert (every insert is pinned under replication) already
+			// executed on its own holders, and pushing it through this plan's
+			// primary() would strand a copy on the wrong backends.
+			if p.pick != nil && !p.pick(req.ForceID) {
+				continue
+			}
+			for _, h := range s.holdersIn(p.dstView, p.primary(req.ForceID)) {
+				if h == p.src {
+					continue
+				}
+				if _, err := h.migExec(req); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cleanupImports undoes a failed migration: every imported copy sitting on a
+// backend outside the key's legitimate (pre-flip) holder set is dropped, so
+// no duplicate survives once broadcast dedup switches back off.
+func (s *System) cleanupImports(p *migPlan, imported map[*backend]map[abdm.RecordID]bool) {
+	for b, ids := range imported {
+		var drop []abdm.RecordID
+		for id := range ids {
+			prim := s.placedLookup(id)
+			if prim == nil {
+				prim = p.src
+			}
+			legit := false
+			for _, h := range s.holdersIn(p.oldView, prim) {
+				if h == b {
+					legit = true
+					break
+				}
+			}
+			if !legit {
+				drop = append(drop, id)
+			}
+		}
+		if len(drop) > 0 {
+			_ = b.dropRecords(drop)
+		}
+	}
+}
+
+// dropStrays removes copies stranded on backends that left their keys'
+// holder sets. The authoritative copies — full version chains included —
+// already live on the new holders, so snapshots lose nothing. Runs after
+// the flip, while broadcast dedup is still forced on.
+func (s *System) dropStrays(strays map[*backend]map[abdm.RecordID]bool) {
+	for b, ids := range strays {
+		if b.store == nil && len(ids) == 0 {
+			continue
+		}
+		drop := make([]abdm.RecordID, 0, len(ids))
+		for id := range ids {
+			drop = append(drop, id)
+		}
+		if len(drop) > 0 {
+			_ = b.dropRecords(drop)
+		}
+	}
+}

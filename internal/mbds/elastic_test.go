@@ -1,0 +1,329 @@
+package mbds
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+)
+
+// retrieveNames fetches every employee name in the system, deduplicated by
+// the merge path exactly as a client would see it.
+func nameCounts(t *testing.T, s *System) map[string]int {
+	t.Helper()
+	res, err := s.Exec(abdl.NewRetrieve(nil, abdl.AllAttrs))
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	out := make(map[string]int)
+	for _, sr := range res.Records {
+		v, _ := sr.Rec.Get("name")
+		out[v.AsString()]++
+	}
+	return out
+}
+
+// checkExact asserts the system holds exactly the n loadEmployees records,
+// each once.
+func checkExact(t *testing.T, s *System, n int) {
+	t.Helper()
+	names := nameCounts(t, s)
+	if len(names) != n {
+		t.Fatalf("retrieve sees %d distinct records, want %d", len(names), n)
+	}
+	for name, c := range names {
+		if c != 1 {
+			t.Fatalf("record %q returned %d times, want 1", name, c)
+		}
+	}
+}
+
+// TestAddBackendJoins: a joined backend advances the epoch and takes a share
+// of new inserts, without disturbing existing data.
+func TestAddBackendJoins(t *testing.T) {
+	s := newSystem(t, 2)
+	loadEmployees(t, s, 40)
+	e0 := s.MembershipEpoch()
+	pos, err := s.AddBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 2 || s.Backends() != 3 {
+		t.Fatalf("joined at position %d with %d backends, want 2 and 3", pos, s.Backends())
+	}
+	if e := s.MembershipEpoch(); e != e0+1 {
+		t.Fatalf("epoch %d after join, want %d", e, e0+1)
+	}
+	for i := 40; i < 70; i++ {
+		rec := abdm.NewRecord("employee",
+			abdm.Keyword{Attr: "name", Val: abdm.String(fmt.Sprintf("emp%04d", i))},
+			abdm.Keyword{Attr: "dept", Val: abdm.String("CS")},
+			abdm.Keyword{Attr: "salary", Val: abdm.Int(1)})
+		if _, err := s.Exec(abdl.NewInsert(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sizes := s.PartitionSizes(); sizes[2] == 0 {
+		t.Fatalf("new backend took no inserts: %v", sizes)
+	}
+	checkExact(t, s, 70)
+}
+
+// TestRebalanceFillsNewBackend: after Rebalance the joined backend holds its
+// modulus share of existing keys and reads stay exact.
+func TestRebalanceFillsNewBackend(t *testing.T) {
+	s := newSystem(t, 2)
+	loadEmployees(t, s, 60)
+	pos, err := s.AddBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebalance(pos); err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.PartitionSizes()
+	if sizes[pos] < 10 {
+		t.Fatalf("rebalance moved too little onto the new backend: %v", sizes)
+	}
+	if total := sizes[0] + sizes[1] + sizes[2]; total != 60 {
+		t.Fatalf("rebalance changed the copy count: %v sums to %d, want 60", sizes, total)
+	}
+	checkExact(t, s, 60)
+	if st := s.MigrationStats(); st.Keys == 0 || st.Bytes == 0 {
+		t.Fatalf("migration counters not advanced: %+v", st)
+	}
+}
+
+// TestDrainBackendPreservesData: draining moves every record — and its MVCC
+// history — off the backend before retiring it.
+func TestDrainBackendPreservesData(t *testing.T) {
+	s := newSystem(t, 3)
+	loadEmployees(t, s, 60)
+	e0 := s.MembershipEpoch()
+	if err := s.DrainBackend(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Backends() != 2 {
+		t.Fatalf("%d backends after drain, want 2", s.Backends())
+	}
+	if e := s.MembershipEpoch(); e <= e0 {
+		t.Fatalf("epoch did not advance across drain: %d -> %d", e0, e)
+	}
+	if got := s.Len(); got != 60 {
+		t.Fatalf("Len = %d after drain, want 60", got)
+	}
+	checkExact(t, s, 60)
+	// Draining the last backend is refused.
+	if err := s.DrainBackend(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainBackend(0); err == nil {
+		t.Fatal("draining the last backend succeeded")
+	}
+}
+
+// TestDrainUnderLiveWrites: a drain under a concurrent insert workload loses
+// no requests and no records — the ISSUE's zero-failed-requests criterion.
+func TestDrainUnderLiveWrites(t *testing.T) {
+	s := newSystem(t, 3)
+	loadEmployees(t, s, 30)
+
+	var wg sync.WaitGroup
+	var failures, inserted atomic.Int64
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := abdm.NewRecord("employee",
+					abdm.Keyword{Attr: "name", Val: abdm.String(fmt.Sprintf("live-%d-%d", w, i))},
+					abdm.Keyword{Attr: "dept", Val: abdm.String("EE")},
+					abdm.Keyword{Attr: "salary", Val: abdm.Int(int64(i))})
+				if _, err := s.Exec(abdl.NewInsert(rec)); err != nil {
+					failures.Add(1)
+					return
+				}
+				inserted.Add(1)
+			}
+		}(w)
+	}
+
+	if err := s.DrainBackend(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DrainBackend(1); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d requests failed during the drains", f)
+	}
+	want := 30 + int(inserted.Load())
+	checkExact(t, s, want)
+	if got := s.Len(); got != want {
+		t.Fatalf("Len = %d after drains, want %d", got, want)
+	}
+}
+
+// TestRemoveBackendPromotes: with one replica, losing a backend outright
+// loses no committed record — its keys are promoted to the ring successor and
+// the replication factor is restored in the background.
+func TestRemoveBackendPromotes(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Replicas = 1
+	s, err := New(testDir(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	loadEmployees(t, s, 60)
+	if got := s.Len(); got != 120 {
+		t.Fatalf("Len = %d with one replica, want 120", got)
+	}
+
+	if err := s.RemoveBackend(1); err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, s, 60)
+	if st := s.MigrationStats(); st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", st.Promotions)
+	}
+	// Background re-replication restores two copies of every record.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Len() != 120 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replication factor not restored: Len = %d, want 120 (sizes %v)",
+				s.Len(), s.PartitionSizes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	checkExact(t, s, 60)
+}
+
+// TestFailoverMonitorPromotes: a backend whose breaker sticks open past
+// FailoverAfter is removed automatically and reads keep answering exactly.
+func TestFailoverMonitorPromotes(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Replicas = 1
+	cfg.FaultInjection = true
+	cfg.BreakerThreshold = 2
+	cfg.MaxRetries = 0
+	cfg.ProbePeriod = time.Hour // no half-open probes: the breaker stays open
+	cfg.FailoverAfter = 50 * time.Millisecond
+	cfg.FailoverCheck = 10 * time.Millisecond
+	s, err := New(testDir(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	loadEmployees(t, s, 40)
+
+	s.Fault(2).Fail(true)
+	// Trip the breaker: broadcasts fail against backend 2 but succeed
+	// overall (one replica tolerates one down backend).
+	for i := 0; i < 3; i++ {
+		if _, err := s.Exec(abdl.NewRetrieve(nil, abdl.AllAttrs)); err != nil {
+			t.Fatalf("degraded read failed: %v", err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Backends() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failover monitor never removed the dead backend (health %v)", s.Health())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := s.MigrationStats(); st.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", st.Promotions)
+	}
+	checkExact(t, s, 40)
+}
+
+// TestPlacedMapBounded: the sticky-placement map grows with replicated
+// inserts and shrinks when aborts and watermark GC remove whole chains.
+func TestPlacedMapBounded(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Replicas = 1
+	s, err := New(testDir(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// An aborted insert: its only history is the aborted transaction, so the
+	// MVCC-ABORT broadcast empties the chain and evicts the placement.
+	ins := abdl.NewInsert(abdm.NewRecord("employee",
+		abdm.Keyword{Attr: "name", Val: abdm.String("ghost")},
+		abdm.Keyword{Attr: "dept", Val: abdm.String("CS")},
+		abdm.Keyword{Attr: "salary", Val: abdm.Int(1)}))
+	ins.TxnID = 77
+	if _, err := s.Exec(ins); err != nil {
+		t.Fatal(err)
+	}
+	if s.PlacedKeys() != 1 {
+		t.Fatalf("PlacedKeys = %d after replicated insert, want 1", s.PlacedKeys())
+	}
+	if _, err := s.Exec(&abdl.Request{Kind: abdl.MvccAbort, TxnID: 77}); err != nil {
+		t.Fatal(err)
+	}
+	if s.PlacedKeys() != 0 {
+		t.Fatalf("PlacedKeys = %d after abort emptied the chain, want 0", s.PlacedKeys())
+	}
+
+	// A committed insert-then-delete: once the watermark passes the delete,
+	// GC removes the tombstone-terminated chain and evicts the placement.
+	loadEmployees(t, s, 10)
+	if s.PlacedKeys() != 10 {
+		t.Fatalf("PlacedKeys = %d after 10 replicated inserts, want 10", s.PlacedKeys())
+	}
+	del := abdl.NewDelete(abdm.And(abdm.Predicate{
+		Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("employee")}))
+	del.TxnID = 78
+	if _, err := s.Exec(del); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(&abdl.Request{Kind: abdl.MvccCommit, TxnID: 78, MvccEpoch: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(&abdl.Request{Kind: abdl.MvccGC, MvccEpoch: 51}); err != nil {
+		t.Fatal(err)
+	}
+	if s.PlacedKeys() != 0 {
+		t.Fatalf("PlacedKeys = %d after GC pruned every chain, want 0", s.PlacedKeys())
+	}
+}
+
+// TestDrainWithReplicas: draining under replication keeps every key at full
+// copy count on the survivors.
+func TestDrainWithReplicas(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Replicas = 1
+	s, err := New(testDir(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	loadEmployees(t, s, 40)
+	if got := s.Len(); got != 80 {
+		t.Fatalf("Len = %d, want 80", got)
+	}
+	if err := s.DrainBackend(1); err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, s, 40)
+	if got := s.Len(); got != 80 {
+		t.Fatalf("Len = %d after drain, want 80 (sizes %v)", got, s.PartitionSizes())
+	}
+}

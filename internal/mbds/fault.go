@@ -177,6 +177,12 @@ func (f *FaultyExecutor) Exec(req *abdl.Request) (*kdb.Result, error) {
 	return f.inner.Exec(req)
 }
 
+// Underlying returns the wrapped executor. Migration traffic — partition
+// export/import and catch-up replay — is the controller's reliable control
+// channel and goes straight to it, so injected bus faults cannot corrupt a
+// migration.
+func (f *FaultyExecutor) Underlying() Executor { return f.inner }
+
 // Len passes the record count through to the wrapped executor, so partition
 // sizes stay observable while faults are active.
 func (f *FaultyExecutor) Len() (int, error) {

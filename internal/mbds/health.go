@@ -120,11 +120,14 @@ func (b *backend) snapshotHealth() BackendHealth {
 	}
 }
 
-// Health reports every backend's current state: up/down, failure and retry
-// counts, and the most recent error.
+// Health reports every backend's current state in view order: up/down,
+// failure and retry counts, and the most recent error. Each entry's ID is
+// the backend's stable id, which can diverge from its view position after
+// membership changes.
 func (s *System) Health() []BackendHealth {
-	out := make([]BackendHealth, len(s.backends))
-	for i, b := range s.backends {
+	view := s.viewSnap()
+	out := make([]BackendHealth, len(view))
+	for i, b := range view {
 		out[i] = b.snapshotHealth()
 	}
 	return out

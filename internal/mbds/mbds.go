@@ -78,6 +78,14 @@ type Config struct {
 	ProbePeriod      time.Duration // how often a down backend is probed (0 = every request)
 	FaultInjection   bool          // wrap each executor in a FaultyExecutor (see System.Fault)
 
+	// Elastic membership. FailoverAfter > 0 starts a monitor that removes a
+	// backend whose circuit breaker has been open for at least that long,
+	// promoting replica successors to primary for its keys (see
+	// System.RemoveBackend). FailoverCheck is the monitor's poll period
+	// (default FailoverAfter / 4).
+	FailoverAfter time.Duration
+	FailoverCheck time.Duration
+
 	// Observability. With a registry the system records per-database and
 	// per-backend request, retry, breaker-trip, dedup and queue-depth
 	// series labelled db=DBName; nil disables metrics at zero cost.
@@ -100,19 +108,51 @@ func DefaultConfig(n int) Config {
 }
 
 // System is one MBDS instance: a controller plus its backends.
+//
+// Membership is dynamic: the active backend list (the view) is versioned by
+// a membership epoch and replaced copy-on-write by AddBackend, DrainBackend
+// and RemoveBackend, so in-flight operations always work against one
+// consistent view. Each backend has a stable id that survives membership
+// changes; positional APIs (Fault, Health, the membership methods) index the
+// current view.
 type System struct {
 	cfg      Config
 	dir      *abdm.Directory
-	backends []*backend
 	nextID   atomic.Uint64
 	rrMu     sync.Mutex
 	rr       map[string]uint64 // per-file round-robin cursors
 	placeMu  sync.Mutex
-	placed   map[abdm.RecordID]int // database key -> primary backend index
+	placed   map[abdm.RecordID]*backend // database key -> primary backend
 	closed   atomic.Bool
 	closedCh chan struct{}  // closed by Close; aborts blocked bus operations
 	opWG     sync.WaitGroup // in-flight Exec-family operations
 	metrics  sysMetrics
+
+	// Membership: the versioned placement view. vmu guards the slice header
+	// and epoch; the slice itself is never mutated in place, so a snapshot
+	// taken under vmu stays consistent for the whole operation.
+	vmu     sync.RWMutex
+	view    []*backend
+	epoch   uint64 // membership epoch, bumped by every view change
+	nextBID int    // next stable backend id
+
+	// Live migration. memMu serializes membership changes; fence is the
+	// write fence every Exec-family entry point shares and a migration's
+	// final catch-up round takes exclusively; migLog accumulates the
+	// placement-pinned mutations and MVCC control ops executed while a
+	// migration is in flight (migOn), for catch-up replay under the fence.
+	memMu  sync.Mutex
+	fence  sync.RWMutex
+	migOn  atomic.Bool
+	migMu  sync.Mutex
+	migLog []*abdl.Request
+
+	// Failover monitor (Config.FailoverAfter > 0).
+	stopMon chan struct{}
+	monWG   sync.WaitGroup
+	bgWG    sync.WaitGroup // background re-replication after a removal
+
+	elastic elasticCounters
 }
 
 // Executor executes ABDL requests against one backend partition. Local
@@ -132,19 +172,24 @@ type BatchExecutor interface {
 // backend is one slave: its executor plus the goroutine that serves its
 // side of the bus. store is nil for remote backends.
 type backend struct {
-	id     int
+	id     int // stable id, survives membership changes
 	exec   Executor
 	store  *kdb.Store
 	faulty *FaultyExecutor // non-nil when Config.FaultInjection is set
 	reqCh  chan job
-	quit   chan struct{} // closed by Close; stops the serve loop
+	quit   chan struct{} // closed on retirement; stops the serve loop
 	done   chan struct{}
+	once   sync.Once // guards quit: Close and a prior drain may both retire
 
 	hmu    sync.Mutex
 	health health
 
 	metrics backendMetrics
 }
+
+// retire stops the backend's serve loop. Safe to call more than once (a
+// drained backend is retired by the drain and again by Close).
+func (b *backend) retire() { b.once.Do(func() { close(b.quit) }) }
 
 type job struct {
 	req   *abdl.Request
@@ -187,22 +232,45 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 		cfg.Disk = kdb.DefaultDiskModel()
 	}
 	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64),
-		placed: make(map[abdm.RecordID]int), closedCh: make(chan struct{})}
+		placed: make(map[abdm.RecordID]*backend), closedCh: make(chan struct{})}
 	for i := 0; i < cfg.Backends; i++ {
-		opts := []kdb.Option{
-			kdb.WithDisk(cfg.Disk),
-			kdb.WithIDAllocator(func() abdm.RecordID {
-				return abdm.RecordID(s.nextID.Add(1))
-			}),
-		}
-		if cfg.NoIndexes {
-			opts = append(opts, kdb.WithoutIndexes())
-		}
-		store := kdb.NewStore(dir.Clone(), opts...)
-		s.backends = append(s.backends, newBackend(i, store, store, cfg.FaultInjection))
+		store := s.newLocalStore()
+		s.view = append(s.view, newBackend(i, store, store, cfg.FaultInjection))
 	}
-	s.initMetrics()
+	s.finishInit()
 	return s, nil
+}
+
+// newLocalStore builds one backend partition store wired to the system's
+// shared key allocator and configuration.
+func (s *System) newLocalStore() *kdb.Store {
+	opts := []kdb.Option{
+		kdb.WithDisk(s.cfg.Disk),
+		kdb.WithIDAllocator(func() abdm.RecordID {
+			return abdm.RecordID(s.nextID.Add(1))
+		}),
+	}
+	if s.cfg.NoIndexes {
+		opts = append(opts, kdb.WithoutIndexes())
+	}
+	return kdb.NewStore(s.dir.Clone(), opts...)
+}
+
+// finishInit completes construction common to both constructors: epoch and
+// id bookkeeping, metrics, and the failover monitor.
+func (s *System) finishInit() {
+	s.nextBID = len(s.view)
+	s.epoch = 1
+	s.initMetrics()
+	for _, b := range s.view {
+		s.initBackendMetrics(b)
+	}
+	s.metrics.membershipEpoch.Set(int64(s.epoch))
+	if s.cfg.FailoverAfter > 0 {
+		s.stopMon = make(chan struct{})
+		s.monWG.Add(1)
+		go s.failoverMonitor()
+	}
 }
 
 // NewWithExecutors builds an MBDS instance whose backends are the given
@@ -220,11 +288,11 @@ func NewWithExecutors(dir *abdm.Directory, cfg Config, execs []Executor) (*Syste
 	}
 	cfg.Backends = len(execs)
 	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64),
-		placed: make(map[abdm.RecordID]int), closedCh: make(chan struct{})}
+		placed: make(map[abdm.RecordID]*backend), closedCh: make(chan struct{})}
 	for i, ex := range execs {
-		s.backends = append(s.backends, newBackend(i, ex, nil, cfg.FaultInjection))
+		s.view = append(s.view, newBackend(i, ex, nil, cfg.FaultInjection))
 	}
-	s.initMetrics()
+	s.finishInit()
 	return s, nil
 }
 
@@ -270,9 +338,26 @@ func (b *backend) execBatch(reqs []*abdl.Request) ([]*kdb.Result, error) {
 	return out, nil
 }
 
+// viewSnap returns the current backend view. The returned slice is
+// immutable — membership changes install a fresh slice — so callers may
+// iterate it without further locking.
+func (s *System) viewSnap() []*backend {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.view
+}
+
+// MembershipEpoch reports the current membership epoch; it advances by one
+// on every view change (add, drain, removal).
+func (s *System) MembershipEpoch() uint64 {
+	s.vmu.RLock()
+	defer s.vmu.RUnlock()
+	return s.epoch
+}
+
 // Fault returns backend i's fault-injection handle, or nil unless the
-// system was built with Config.FaultInjection.
-func (s *System) Fault(i int) *FaultyExecutor { return s.backends[i].faulty }
+// system was built with Config.FaultInjection. i indexes the current view.
+func (s *System) Fault(i int) *FaultyExecutor { return s.viewSnap()[i].faulty }
 
 // Close shuts the backends down. Concurrent Exec-family calls return
 // ErrClosed (or their result, if already in flight); the system must not be
@@ -282,16 +367,22 @@ func (s *System) Close() {
 		return
 	}
 	close(s.closedCh)
+	if s.stopMon != nil {
+		close(s.stopMon)
+		s.monWG.Wait()
+	}
 	s.opWG.Wait()
-	for _, b := range s.backends {
-		close(b.quit)
+	s.bgWG.Wait()
+	view := s.viewSnap()
+	for _, b := range view {
+		b.retire()
 		if b.faulty != nil {
 			// A hang fault must not wedge shutdown.
 			b.faulty.releaseHangs()
 		}
 	}
 	grace := 2 * s.cfg.RequestTimeout
-	for _, b := range s.backends {
+	for _, b := range view {
 		if grace > 0 {
 			// A backend wedged past its deadline (a hang fault inside a
 			// wrapped executor) is abandoned rather than waited for.
@@ -319,8 +410,8 @@ func (s *System) beginOp() error {
 	return nil
 }
 
-// Backends reports the number of backends.
-func (s *System) Backends() int { return len(s.backends) }
+// Backends reports the number of backends in the current view.
+func (s *System) Backends() int { return len(s.viewSnap()) }
 
 // Directory returns the controller's attribute catalog.
 func (s *System) Directory() *abdm.Directory { return s.dir }
@@ -343,16 +434,17 @@ func (b *backend) lenOf() int {
 // Replicas > 0 each logical record is counted once per copy.
 func (s *System) Len() int {
 	n := 0
-	for _, b := range s.backends {
+	for _, b := range s.viewSnap() {
 		n += b.lenOf()
 	}
 	return n
 }
 
-// PartitionSizes reports each backend's record count.
+// PartitionSizes reports each backend's record count, in view order.
 func (s *System) PartitionSizes() []int {
-	out := make([]int, len(s.backends))
-	for i, b := range s.backends {
+	view := s.viewSnap()
+	out := make([]int, len(view))
+	for i, b := range view {
 		out[i] = b.lenOf()
 	}
 	return out
@@ -364,7 +456,7 @@ func (s *System) PartitionSizes() []int {
 // scraped from their own daemons' /metrics.
 func (s *System) StoreStats() kdb.Stats {
 	var out kdb.Stats
-	for _, b := range s.backends {
+	for _, b := range s.viewSnap() {
 		if b.store == nil {
 			continue
 		}
@@ -383,66 +475,139 @@ func (s *System) StoreStats() kdb.Stats {
 // ErrClosed is returned by operations on a closed system.
 var ErrClosed = errors.New("mbds: system is closed")
 
-// placeIndex picks the primary backend index for an inserted record.
-func (s *System) placeIndex(rec *abdm.Record) int {
+// placePos picks the primary position in an n-backend view for an inserted
+// record, by content hash or per-file round robin.
+func (s *System) placePos(rec *abdm.Record, n int) int {
 	switch s.cfg.Placement {
 	case HashKeywords:
 		h := fnv.New64a()
 		_, _ = h.Write([]byte(rec.Key()))
-		return int(h.Sum64() % uint64(len(s.backends)))
+		return int(h.Sum64() % uint64(n))
 	default:
 		s.rrMu.Lock()
 		defer s.rrMu.Unlock()
 		file := rec.File()
-		n := s.rr[file]
-		s.rr[file] = n + 1
-		return int(n % uint64(len(s.backends)))
+		c := s.rr[file]
+		s.rr[file] = c + 1
+		return int(c % uint64(n))
 	}
 }
 
-// insertIndexFor picks the primary backend index for an insert. A request
-// that carries a database key (an undo restore, a replay, a replicated copy)
-// belongs to the backend that already holds that key's record versions, so a
-// recorded placement wins over content routing — otherwise an aborted
-// transaction's restore could migrate the record away from its MVCC version
-// chain and a later snapshot would see the key on two partitions.
-func (s *System) insertIndexFor(req *abdl.Request) int {
+// insertPrimaryFor picks the primary backend for an insert against the given
+// view. A request that carries a database key (an undo restore, a replay, a
+// replicated copy) belongs to the backend that already holds that key's
+// record versions, so a recorded placement wins over content routing —
+// otherwise an aborted transaction's restore could migrate the record away
+// from its MVCC version chain and a later snapshot would see the key on two
+// partitions. A recorded backend that has left the view (it was removed
+// between the key's last write and now) falls back to content routing.
+func (s *System) insertPrimaryFor(req *abdl.Request, view []*backend) *backend {
 	if req.ForceID != 0 {
 		s.placeMu.Lock()
-		idx, ok := s.placed[req.ForceID]
+		b, ok := s.placed[req.ForceID]
 		s.placeMu.Unlock()
 		if ok {
-			return idx
+			for _, v := range view {
+				if v == b {
+					return b
+				}
+			}
 		}
 	}
-	return s.placeIndex(req.Record)
+	return view[s.placePos(req.Record, len(view))]
 }
 
 // notePlacement records which backend is primary for a database key. Entries
-// are kept after deletion: an aborted delete restores the record under the
-// same key and must land on the same partition.
-func (s *System) notePlacement(id abdm.RecordID, primary int) {
+// are kept after deletion — an aborted delete restores the record under the
+// same key and must land on the same partition — and are evicted when
+// watermark GC removes the key's entire version chain (no snapshot can reach
+// the key any more) or when membership changes reassign it.
+func (s *System) notePlacement(id abdm.RecordID, primary *backend) {
 	if id == 0 {
 		return
 	}
 	s.placeMu.Lock()
 	s.placed[id] = primary
+	s.metrics.placedKeys.Set(int64(len(s.placed)))
 	s.placeMu.Unlock()
 }
 
-// holdersAt expands a primary backend index into the holder set: the primary
-// plus Replicas successors (capped at the backend count).
-func (s *System) holdersAt(primary int) []*backend {
-	n := len(s.backends)
+// evictPlaced forgets the placement of keys whose version chains are gone:
+// once watermark GC (or an abort that erased a key's only history) removed a
+// chain everywhere, no undo restore or snapshot read can address the key
+// again, so the sticky-placement map stays bounded by the live key count.
+func (s *System) evictPlaced(ids []abdm.RecordID) {
+	if len(ids) == 0 {
+		return
+	}
+	s.placeMu.Lock()
+	for _, id := range ids {
+		delete(s.placed, id)
+	}
+	s.metrics.placedKeys.Set(int64(len(s.placed)))
+	s.placeMu.Unlock()
+}
+
+// PlacedKeys reports the size of the sticky-placement map.
+func (s *System) PlacedKeys() int {
+	s.placeMu.Lock()
+	defer s.placeMu.Unlock()
+	return len(s.placed)
+}
+
+// holdersIn expands a primary backend into its holder set within the view:
+// the primary plus Replicas successors in view order (capped at the view
+// size). A primary not in the view yields just itself.
+func (s *System) holdersIn(view []*backend, primary *backend) []*backend {
+	pos := -1
+	for i, b := range view {
+		if b == primary {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return []*backend{primary}
+	}
+	n := len(view)
 	k := s.cfg.Replicas + 1
 	if k > n {
 		k = n
 	}
 	out := make([]*backend, 0, k)
 	for i := 0; i < k; i++ {
-		out = append(out, s.backends[(primary+i)%n])
+		out = append(out, view[(pos+i)%n])
 	}
 	return out
+}
+
+// logCatchup appends a successfully executed request to the migration
+// catch-up log when a migration is in flight. Only placement-pinned
+// mutations (ForceID inserts and deletes — the undo path's NoVersion
+// operations that version-chain export cannot see) and the MVCC control ops
+// (commit stamps and aborts that may race an imported pending version) need
+// replay; every other mutation writes a version and is carried by the
+// migration's epoch-bounded export rounds.
+func (s *System) logCatchup(req *abdl.Request) {
+	if !s.migOn.Load() {
+		return
+	}
+	switch req.Kind {
+	case abdl.Insert, abdl.Delete:
+		if req.ForceID == 0 {
+			return
+		}
+	case abdl.MvccCommit, abdl.MvccAbort:
+	default:
+		return
+	}
+	s.migMu.Lock()
+	if s.migOn.Load() {
+		s.migLog = append(s.migLog, req)
+		s.metrics.migCatchup.Inc()
+		s.elastic.catchup.Add(1)
+	}
+	s.migMu.Unlock()
 }
 
 // Exec executes one ABDL request across the backends and returns the merged
@@ -468,8 +633,15 @@ func (s *System) ExecTimedCtx(ctx context.Context, req *abdl.Request) (*kdb.Resu
 		return nil, 0, err
 	}
 	defer s.opWG.Done()
+	// The write fence: shared in normal operation, taken exclusively by a
+	// migration's final catch-up round so the flip sees no in-flight writes.
+	s.fence.RLock()
+	defer s.fence.RUnlock()
 	start := time.Now()
 	res, simt, err := s.execTimed(ctx, req)
+	if err == nil {
+		s.logCatchup(req)
+	}
 	s.metrics.requests.Inc()
 	if err == nil {
 		s.metrics.simSec.Observe(simt.Seconds())
@@ -500,8 +672,9 @@ func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result
 	if err := s.dir.ValidateRecord(req.Record); err != nil {
 		return nil, 0, err
 	}
-	primary := s.insertIndexFor(req)
-	holders := s.holdersAt(primary)
+	view := s.viewSnap()
+	primary := s.insertPrimaryFor(req, view)
+	holders := s.holdersIn(view, primary)
 	if s.cfg.Replicas > 0 && req.ForceID == 0 {
 		cp := *req
 		cp.ForceID = abdm.RecordID(s.nextID.Add(1))
@@ -549,12 +722,13 @@ func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result
 // the surviving copies still cover the whole database, and the merge
 // deduplicates them by database key (degraded mode).
 func (s *System) execBroadcast(ctx context.Context, req *abdl.Request) (*kdb.Result, time.Duration, error) {
-	replies := s.fanout(ctx, s.backends, req)
+	view := s.viewSnap()
+	replies := s.fanout(ctx, view, req)
 	merged := &kdb.Result{Op: req.Kind}
 	var worst time.Duration
 	var firstErr error
 	failed := 0
-	for range s.backends {
+	for range view {
 		r := <-replies
 		if r.err != nil {
 			failed++
@@ -571,7 +745,10 @@ func (s *System) execBroadcast(ctx context.Context, req *abdl.Request) (*kdb.Res
 	if failed > 0 && failed > s.cfg.Replicas {
 		return nil, 0, firstErr
 	}
-	if s.cfg.Replicas > 0 {
+	// Replica copies — and, mid-migration, copies already imported by their
+	// new holder while the source still has them — answer under one key;
+	// keep one.
+	if s.cfg.Replicas > 0 || s.migOn.Load() {
 		before := len(merged.Records)
 		merged.DedupByID()
 		if removed := before - len(merged.Records); removed > 0 {
@@ -579,6 +756,11 @@ func (s *System) execBroadcast(ctx context.Context, req *abdl.Request) (*kdb.Res
 		}
 	}
 	merged.RecomputeAggregates(req.Target)
+	// A GC sweep (or an abort erasing a key's only history) that removed
+	// whole chains frees those keys' sticky placements.
+	if req.Kind == abdl.MvccGC || req.Kind == abdl.MvccAbort {
+		s.evictPlaced(merged.Affected)
+	}
 	return merged, 2*s.cfg.MsgLatency + worst, nil
 }
 
@@ -779,7 +961,7 @@ func (s *System) ExecTransaction(tx abdl.Transaction) ([]*kdb.Result, time.Durat
 // holds it. Remote backends are not consulted; kernel lookups over the bus
 // go through ABDL retrieves on key attributes instead.
 func (s *System) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
-	for _, b := range s.backends {
+	for _, b := range s.viewSnap() {
 		if b.store == nil {
 			continue
 		}
@@ -799,10 +981,12 @@ func (s *System) Snapshot() ([]kdb.StoredRecord, error) {
 		return nil, err
 	}
 	defer s.opWG.Done()
+	s.fence.RLock()
+	defer s.fence.RUnlock()
 	var all []kdb.StoredRecord
 	var firstErr error
 	failed := 0
-	for _, b := range s.backends {
+	for _, b := range s.viewSnap() {
 		if b.store != nil {
 			all = append(all, b.store.Snapshot()...)
 			continue

@@ -15,6 +15,14 @@ type sysMetrics struct {
 	dedup    *obs.Counter   // records removed by replica dedup
 	simSec   *obs.Histogram // simulated response time per request
 	wallSec  *obs.Histogram // wall-clock time per request
+
+	// Elastic membership and live migration.
+	membershipEpoch *obs.Gauge   // current placement-view epoch
+	placedKeys      *obs.Gauge   // sticky-placement map size
+	migKeys         *obs.Counter // records copied by migrations
+	migBytes        *obs.Counter // approximate bytes copied by migrations
+	migCatchup      *obs.Counter // catch-up log entries replayed at flips
+	promotions      *obs.Counter // replica-successor promotions (failovers)
 }
 
 // backendMetrics is one backend's handle set.
@@ -26,9 +34,9 @@ type backendMetrics struct {
 	queue    *obs.Gauge   // requests currently in flight on the bus
 }
 
-// initMetrics resolves the system's and every backend's metric handles from
-// Config.Metrics, labelling each series with the database name and backend
-// id. With a nil registry every handle stays nil (no-op).
+// initMetrics resolves the system's metric handles from Config.Metrics,
+// labelling each series with the database name. With a nil registry every
+// handle stays nil (no-op).
 func (s *System) initMetrics() {
 	reg := s.cfg.Metrics
 	db := obs.L("db", s.cfg.DBName)
@@ -43,20 +51,37 @@ func (s *System) initMetrics() {
 			"simulated kernel response time per request", nil, db),
 		wallSec: reg.Histogram("mlds_kernel_wall_seconds",
 			"wall-clock kernel time per request", nil, db),
+		membershipEpoch: reg.Gauge("mlds_membership_epoch",
+			"current backend placement-view epoch", db),
+		placedKeys: reg.Gauge("mlds_placed_keys",
+			"entries in the sticky-placement map", db),
+		migKeys: reg.Counter("mlds_migration_keys_total",
+			"records copied by live partition migrations", db),
+		migBytes: reg.Counter("mlds_migration_bytes_total",
+			"approximate bytes copied by live partition migrations", db),
+		migCatchup: reg.Counter("mlds_migration_catchup_entries_total",
+			"catch-up log entries captured during live migrations", db),
+		promotions: reg.Counter("mlds_promotions_total",
+			"replica-successor promotions after backend loss", db),
 	}
-	for _, b := range s.backends {
-		be := obs.L("backend", strconv.Itoa(b.id))
-		b.metrics = backendMetrics{
-			requests: reg.Counter("mlds_backend_requests_total",
-				"request attempts sent to each backend", db, be),
-			failures: reg.Counter("mlds_backend_failures_total",
-				"failed request attempts per backend", db, be),
-			retries: reg.Counter("mlds_backend_retries_total",
-				"retry attempts per backend", db, be),
-			trips: reg.Counter("mlds_backend_breaker_trips_total",
-				"circuit-breaker openings per backend", db, be),
-			queue: reg.Gauge("mlds_backend_queue_depth",
-				"requests in flight on each backend's bus channel", db, be),
-		}
+}
+
+// initBackendMetrics resolves one backend's metric handles, labelled with
+// its stable id. Called at construction and again for every added backend.
+func (s *System) initBackendMetrics(b *backend) {
+	reg := s.cfg.Metrics
+	db := obs.L("db", s.cfg.DBName)
+	be := obs.L("backend", strconv.Itoa(b.id))
+	b.metrics = backendMetrics{
+		requests: reg.Counter("mlds_backend_requests_total",
+			"request attempts sent to each backend", db, be),
+		failures: reg.Counter("mlds_backend_failures_total",
+			"failed request attempts per backend", db, be),
+		retries: reg.Counter("mlds_backend_retries_total",
+			"retry attempts per backend", db, be),
+		trips: reg.Counter("mlds_backend_breaker_trips_total",
+			"circuit-breaker openings per backend", db, be),
+		queue: reg.Gauge("mlds_backend_queue_depth",
+			"requests in flight on each backend's bus channel", db, be),
 	}
 }

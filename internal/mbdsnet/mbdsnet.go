@@ -12,8 +12,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mlds/internal/abdl"
+	"mlds/internal/abdm"
 	"mlds/internal/kdb"
 	"mlds/internal/obs"
 	"mlds/internal/wire"
@@ -185,6 +187,33 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 			}
 		case "len":
 			reply.N = s.store.Len()
+		case "export":
+			recs, next, epoch := s.store.ExportSince(env.Since, abdm.RecordID(env.After), env.Limit)
+			reply.Migs = make([]wire.Mig, len(recs))
+			for i := range recs {
+				reply.Migs[i] = wire.FromMig(&recs[i])
+			}
+			reply.Next = uint64(next)
+			reply.Epoch = epoch
+		case "import":
+			recs := make([]kdb.MigRecord, len(env.Migs))
+			var convErr error
+			for i := range env.Migs {
+				if recs[i], convErr = env.Migs[i].ToMig(); convErr != nil {
+					break
+				}
+			}
+			if convErr != nil {
+				noteErr(convErr.Error())
+				break
+			}
+			reply.N = s.store.ImportPartition(recs)
+		case "drop":
+			ids := make([]abdm.RecordID, len(env.IDs))
+			for i, id := range env.IDs {
+				ids[i] = abdm.RecordID(id)
+			}
+			reply.N = s.store.DropRecords(ids)
 		default:
 			reply.Err = fmt.Sprintf("mbdsnet: unknown action %q", env.Action)
 		}
@@ -239,26 +268,75 @@ func (e *AmbiguousError) MaybeApplied() bool { return true }
 // requests after it).
 func (e *AmbiguousError) Transient() bool { return true }
 
+// DialOpts tunes a RemoteBackend's reconnect policy. Zero values take the
+// defaults.
+type DialOpts struct {
+	// MaxReconnects bounds reconnect attempts after a mid-exchange failure
+	// within one round trip (default 4; negative = none).
+	MaxReconnects int
+	// ReconnectBackoff is the first reconnect delay, doubling per attempt
+	// with ±50% deterministic jitter (default 5ms).
+	ReconnectBackoff time.Duration
+	// ReconnectBudget caps the total time spent backing off and redialing in
+	// one round trip — set it to the controller's request deadline so the
+	// client gives up before the caller does (default 250ms).
+	ReconnectBudget time.Duration
+}
+
+func (o DialOpts) withDefaults() DialOpts {
+	if o.MaxReconnects == 0 {
+		o.MaxReconnects = 4
+	}
+	if o.MaxReconnects < 0 {
+		o.MaxReconnects = 0
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 5 * time.Millisecond
+	}
+	if o.ReconnectBudget <= 0 {
+		o.ReconnectBudget = 250 * time.Millisecond
+	}
+	return o
+}
+
 // RemoteBackend is the controller's client for one remote backend. It
 // satisfies mbds.Executor. A single connection is shared; requests are
 // serialised over it (the original bus was also a shared medium).
 type RemoteBackend struct {
 	addr string
+	opts DialOpts
 
 	mu   sync.Mutex
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	seq  uint64
+	rng  uint64 // xorshift64* state for backoff jitter
 }
 
-// Dial connects to a backend server.
+// Dial connects to a backend server with the default reconnect policy.
 func Dial(addr string) (*RemoteBackend, error) {
-	rb := &RemoteBackend{addr: addr}
+	return DialWith(addr, DialOpts{})
+}
+
+// DialWith connects to a backend server with an explicit reconnect policy.
+func DialWith(addr string, opts DialOpts) (*RemoteBackend, error) {
+	rb := &RemoteBackend{addr: addr, opts: opts.withDefaults(), rng: 0x9E3779B97F4A7C15}
 	if err := rb.connect(); err != nil {
 		return nil, err
 	}
 	return rb, nil
+}
+
+// jitter scales d by a deterministic pseudo-random factor in [0.5, 1.5), so
+// a fleet of controllers redialing one restarted backend does not thunder in
+// lockstep. Caller must hold rb.mu.
+func (rb *RemoteBackend) jitter(d time.Duration) time.Duration {
+	rb.rng ^= rb.rng << 13
+	rb.rng ^= rb.rng >> 7
+	rb.rng ^= rb.rng << 17
+	f := 0.5 + float64(rb.rng>>11)/float64(uint64(1)<<53)
+	return time.Duration(float64(d) * f)
 }
 
 func (rb *RemoteBackend) connect() error {
@@ -327,13 +405,36 @@ func (rb *RemoteBackend) roundTrip(env wire.Envelope, idem bool) (wire.Envelope,
 		if !idem {
 			return wire.Envelope{}, &AmbiguousError{Addr: rb.addr, Err: err}
 		}
-		// One reconnect attempt: the backend may have restarted.
-		if cerr := rb.connect(); cerr != nil {
-			return wire.Envelope{}, &DownError{Addr: rb.addr, Err: err}
-		}
-		reply, err = send()
-		if err != nil {
+		// The backend may have restarted: reconnect and resend (safe — the
+		// request is idempotent) under bounded exponential backoff with
+		// jitter, capped by the reconnect budget so the controller's own
+		// request deadline wins.
+		deadline := time.Now().Add(rb.opts.ReconnectBudget)
+		backoff := rb.opts.ReconnectBackoff
+		resent := false
+		for attempt := 0; attempt < rb.opts.MaxReconnects; attempt++ {
+			if attempt > 0 {
+				wait := rb.jitter(backoff)
+				backoff *= 2
+				if time.Now().Add(wait).After(deadline) {
+					break
+				}
+				time.Sleep(wait)
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			if cerr := rb.connect(); cerr != nil {
+				continue
+			}
+			reply, err = send()
+			if err == nil {
+				resent = true
+				break
+			}
 			rb.dropConn()
+		}
+		if !resent {
 			return wire.Envelope{}, &DownError{Addr: rb.addr, Err: err}
 		}
 	}
@@ -403,6 +504,62 @@ func (rb *RemoteBackend) ExecBatch(reqs []*abdl.Request) ([]*kdb.Result, error) 
 // Len reports the remote partition's record count.
 func (rb *RemoteBackend) Len() (int, error) {
 	reply, err := rb.roundTrip(wire.Envelope{Action: "len"}, true)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Err != "" {
+		return 0, errors.New(reply.Err)
+	}
+	return reply.N, nil
+}
+
+// ExportSince pages out the remote partition's records touched at or after
+// the epoch (see kdb.Store.ExportSince). It satisfies the controller's
+// migration source interface; the verb is idempotent, so it rides the full
+// reconnect policy.
+func (rb *RemoteBackend) ExportSince(since uint64, after abdm.RecordID, limit int) ([]kdb.MigRecord, abdm.RecordID, uint64, error) {
+	reply, err := rb.roundTrip(wire.Envelope{Action: "export", Since: since, After: uint64(after), Limit: limit}, true)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if reply.Err != "" {
+		return nil, 0, 0, errors.New(reply.Err)
+	}
+	recs := make([]kdb.MigRecord, len(reply.Migs))
+	for i := range reply.Migs {
+		if recs[i], err = reply.Migs[i].ToMig(); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return recs, abdm.RecordID(reply.Next), reply.Epoch, nil
+}
+
+// ImportPartition installs exported records on the remote partition (see
+// kdb.Store.ImportPartition). Imports replace whole per-key states, so the
+// verb is idempotent and safely resent.
+func (rb *RemoteBackend) ImportPartition(recs []kdb.MigRecord) (int, error) {
+	migs := make([]wire.Mig, len(recs))
+	for i := range recs {
+		migs[i] = wire.FromMig(&recs[i])
+	}
+	reply, err := rb.roundTrip(wire.Envelope{Action: "import", Migs: migs}, true)
+	if err != nil {
+		return 0, err
+	}
+	if reply.Err != "" {
+		return 0, errors.New(reply.Err)
+	}
+	return reply.N, nil
+}
+
+// DropRecords removes the given records — live state and version chains —
+// from the remote partition (see kdb.Store.DropRecords).
+func (rb *RemoteBackend) DropRecords(ids []abdm.RecordID) (int, error) {
+	wids := make([]uint64, len(ids))
+	for i, id := range ids {
+		wids[i] = uint64(id)
+	}
+	reply, err := rb.roundTrip(wire.Envelope{Action: "drop", IDs: wids}, true)
 	if err != nil {
 		return 0, err
 	}

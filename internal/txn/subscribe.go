@@ -1,0 +1,75 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CommitSub is a subscription to the manager's committed-transaction stream.
+// The group-commit leader publishes every CommitRecord of a batch after the
+// sink flush and epoch stamp succeed, so a record on C is durable and
+// visible. Delivery is non-blocking: if the subscriber falls behind its
+// buffer, records are counted in Dropped rather than stalling commits —
+// consumers needing completeness size the buffer for their workload and
+// check Dropped afterwards.
+type CommitSub struct {
+	C       <-chan CommitRecord
+	ch      chan CommitRecord
+	id      uint64
+	m       *Manager
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Dropped reports how many commit records were discarded because the
+// subscriber's buffer was full.
+func (s *CommitSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close cancels the subscription and closes C. Safe to call more than once.
+func (s *CommitSub) Close() {
+	s.once.Do(func() {
+		// Delete and close under one critical section: publishCommits sends
+		// while holding subMu, so no send can race the close.
+		s.m.subMu.Lock()
+		delete(s.m.subs, s.id)
+		close(s.ch)
+		s.m.subMu.Unlock()
+	})
+}
+
+// SubscribeCommits registers a subscriber for committed redo logs with the
+// given channel buffer (minimum 1). Migration drills and failover oracles
+// use it to know exactly which writes the system acknowledged as committed.
+func (m *Manager) SubscribeCommits(buf int) *CommitSub {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan CommitRecord, buf)
+	s := &CommitSub{C: ch, ch: ch, m: m}
+	m.subMu.Lock()
+	m.nextSub++
+	s.id = m.nextSub
+	if m.subs == nil {
+		m.subs = make(map[uint64]*CommitSub)
+	}
+	m.subs[s.id] = s
+	m.subMu.Unlock()
+	return s
+}
+
+// publishCommits fans a flushed-and-stamped batch out to every subscriber.
+// Called by the group-commit leader only after durability and visibility are
+// established; never blocks.
+func (m *Manager) publishCommits(recs []CommitRecord) {
+	m.subMu.Lock()
+	defer m.subMu.Unlock()
+	for _, rec := range recs {
+		for _, s := range m.subs {
+			select {
+			case s.ch <- rec:
+			default:
+				s.dropped.Add(1)
+			}
+		}
+	}
+}

@@ -205,6 +205,12 @@ type Manager struct {
 	queue    []commitReq
 	flushing bool
 
+	// Commit-stream subscribers (SubscribeCommits): fed by the leader after
+	// each batch is durable and stamped.
+	subMu   sync.Mutex
+	subs    map[uint64]*CommitSub
+	nextSub uint64
+
 	begins    atomic.Uint64
 	commits   atomic.Uint64
 	aborts    atomic.Uint64
@@ -577,6 +583,9 @@ func (m *Manager) groupCommit(rec CommitRecord) error {
 			// Durable first, visible second: pending versions are stamped
 			// with one epoch for the whole batch only after the sink flush.
 			m.stampEpoch(recs)
+		}
+		if err == nil {
+			m.publishCommits(recs)
 		}
 		for _, b := range batch {
 			b.done <- err

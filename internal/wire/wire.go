@@ -319,12 +319,75 @@ func (w Result) ToResult() (*kdb.Result, error) {
 	return r, nil
 }
 
+// MigVersion is the wire form of kdb.MigVersion: one exported entry of a
+// record's version chain (HasRec false = tombstone, Epoch 0 = pending).
+type MigVersion struct {
+	Epoch  uint64
+	Txn    uint64
+	Rec    Record
+	HasRec bool
+}
+
+// Mig is the wire form of kdb.MigRecord: one record's live state plus its
+// version chain, as streamed by the migration verbs.
+type Mig struct {
+	File    string
+	ID      uint64
+	Live    Record
+	HasLive bool
+	Chain   []MigVersion
+}
+
+// FromMig converts a model migration record.
+func FromMig(m *kdb.MigRecord) Mig {
+	w := Mig{File: m.File, ID: uint64(m.ID)}
+	if m.Live != nil {
+		w.Live = FromRecord(m.Live)
+		w.HasLive = true
+	}
+	for _, v := range m.Chain {
+		wv := MigVersion{Epoch: v.Epoch, Txn: v.Txn}
+		if v.Rec != nil {
+			wv.Rec = FromRecord(v.Rec)
+			wv.HasRec = true
+		}
+		w.Chain = append(w.Chain, wv)
+	}
+	return w
+}
+
+// ToMig converts back to a model migration record.
+func (w Mig) ToMig() (kdb.MigRecord, error) {
+	m := kdb.MigRecord{File: w.File, ID: abdm.RecordID(w.ID)}
+	var err error
+	if w.HasLive {
+		if m.Live, err = w.Live.ToRecord(); err != nil {
+			return m, err
+		}
+	}
+	for _, wv := range w.Chain {
+		v := kdb.MigVersion{Epoch: wv.Epoch, Txn: wv.Txn}
+		if wv.HasRec {
+			if v.Rec, err = wv.Rec.ToRecord(); err != nil {
+				return m, err
+			}
+		}
+		m.Chain = append(m.Chain, v)
+	}
+	return m, nil
+}
+
 // Envelope is one bus message: either a request (controller→backend) or a
 // reply (backend→controller). Err carries execution failures as text.
 //
 // The "execbatch" action carries N requests in Reqs and answers with one
 // Result per request in Results, so a controller batch costs one message
 // round per backend instead of N.
+//
+// The migration verbs stream partition pages for live migration: "export"
+// sends Since/After/Limit and answers with Migs, Next and Epoch; "import"
+// sends Migs and answers with N (records applied); "drop" sends IDs and
+// answers with N (records removed).
 type Envelope struct {
 	Seq     uint64
 	Req     *Request
@@ -332,6 +395,14 @@ type Envelope struct {
 	Res     *Result
 	Results []Result // "execbatch" reply: one result per request, in order
 	Err     string
-	Action  string // "exec", "execbatch", "len" — simple control verbs
+	Action  string // "exec", "execbatch", "len", "export", "import", "drop"
 	N       int
+
+	Since uint64   // "export": inclusive epoch lower bound
+	After uint64   // "export": resume after this database key
+	Limit int      // "export": page size (0 = unlimited)
+	Migs  []Mig    // "export" reply / "import" request: the page
+	Next  uint64   // "export" reply: key to resume after (0 = done)
+	Epoch uint64   // "export" reply: source commit epoch at page start
+	IDs   []uint64 // "drop": database keys to remove entirely
 }
