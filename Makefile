@@ -3,9 +3,10 @@
 # the tools are installed (staticcheck, govulncheck — both skipped with a
 # note otherwise, so the target needs no network), the full suite with
 # shuffled test order, the transaction/kernel concurrency tier, the
-# cross-model differential suite and the membership chaos suite under the
-# race detector, and per-package coverage floors on the transaction,
-# controller, kernel, and elastic-membership packages.
+# cross-model differential suite, the membership chaos suite, and the
+# network serving tier (server + remote client) under the race detector,
+# and per-package coverage floors on the transaction, controller, kernel,
+# elastic-membership, serving, and client packages.
 # `make fuzz-smoke` runs each native fuzz target briefly — corpora and
 # checked-in crashers also replay on every plain `go test`. `make bench`
 # regenerates the paper experiments and writes a machine-readable summary.
@@ -44,14 +45,15 @@ check:
 	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
 	$(GO) test -race -run TestCrossModelDifferential ./internal/core
 	$(GO) test -race -count=2 -run TestMembershipChaos ./internal/kc
+	$(GO) test -race ./internal/server ./client
 	$(GO) test -race ./...
 	$(MAKE) cover
 
 # cover enforces the coverage floors: the transaction manager, kernel
-# controller, kernel database, and elastic multi-backend system must each
-# stay at or above COVER_FLOOR%.
+# controller, kernel database, elastic multi-backend system, wire codec,
+# serving tier, and remote client must each stay at or above COVER_FLOOR%.
 cover:
-	@for pkg in internal/txn internal/kc internal/kdb internal/mbds; do \
+	@for pkg in internal/txn internal/kc internal/kdb internal/mbds internal/wire internal/server client; do \
 		pct=$$($(GO) test -cover ./$$pkg | \
 			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then \
@@ -73,9 +75,11 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/sql
 	$(GO) test -run '^$$' -fuzz '^FuzzParseDDL$$' -fuzztime $(FUZZ_TIME) ./internal/sql
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZ_TIME) ./internal/abdl
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEnvelope$$' -fuzztime $(FUZZ_TIME) ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMsg$$' -fuzztime $(FUZZ_TIME) ./internal/wire
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_6.json
+	$(GO) run ./cmd/mldsbench -json BENCH_7.json
 
 fmt:
 	gofmt -w .

@@ -7,12 +7,14 @@
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e15, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e16, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
 //	mldsbench -txn                run the transaction contention workload
 //	mldsbench -txn -sessions 16 -txns 50 -ops 4 -conflict 0.25
 //	mldsbench -readers 8 -writers 4   reader/writer mix, locked vs MVCC (E14)
 //	mldsbench -elastic            grow/drain one live fleet under writes (E15)
+//	mldsbench -net                serve >=1000 remote sessions over TCP (E16)
+//	mldsbench -net -sessions 2000
 package main
 
 import (
@@ -67,8 +69,21 @@ func emit(r *experiments.Report, jsonPath string) {
 	}
 }
 
+// sessionsSet reports whether -sessions was given explicitly on the command
+// line, so -net can default to E16's thousand-session scale while still
+// honouring an explicit override.
+func sessionsSet(int) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sessions" {
+			set = true
+		}
+	})
+	return set
+}
+
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e15, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e16, a1..a3)")
 	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
 	txnMode := flag.Bool("txn", false, "run the mixed read/write transaction contention workload")
 	sessions := flag.Int("sessions", 8, "-txn: concurrent sessions")
@@ -78,7 +93,19 @@ func main() {
 	readers := flag.Int("readers", 0, "reader/writer mix: read-only sessions (runs E14 at this scale)")
 	writers := flag.Int("writers", 0, "reader/writer mix: read-modify-write sessions")
 	elastic := flag.Bool("elastic", false, "grow and drain one live fleet under a write workload (E15)")
+	netMode := flag.Bool("net", false, "serve concurrent remote sessions over TCP through cmd/mldsserver's tier (E16)")
 	flag.Parse()
+
+	if *netMode {
+		n := 0 // E16 default: 1000 concurrent sessions
+		if sessionsSet(*sessions) {
+			n = *sessions
+		}
+		emit(experiments.Timed(func() *experiments.Report {
+			return experiments.E16NetServing(n)
+		}), *jsonPath)
+		return
+	}
 
 	if *elastic {
 		emit(experiments.Timed(experiments.E15ElasticScaling), *jsonPath)
@@ -107,6 +134,7 @@ func main() {
 	}
 
 	runners := map[string]func() *experiments.Report{
+		"e16": func() *experiments.Report { return experiments.E16NetServing(0) },
 		"e1":  experiments.E1SchemaParse,
 		"e2":  experiments.E2Transform,
 		"e3":  experiments.E3ABMapping,

@@ -1,0 +1,157 @@
+// mldsserver is the MLDS front-end server: the host machine of the paper's
+// configuration, serving every language interface of one MLDS instance to
+// remote clients over the framing-v2 wire protocol (internal/server). One
+// TCP port multiplexes any number of client sessions; an optional second
+// port serves /metrics and /healthz.
+//
+// The server starts with a demo catalog so a fresh binary is immediately
+// usable from the REPL or the client package: the populated functional
+// University database, a relational shop, and a hierarchical school —
+// reachable via Daplex, CODASYL-DML, SQL, DL/I and ABDL.
+//
+// Usage:
+//
+//	mldsserver                                    # serve on :9400
+//	mldsserver -listen :9400 -ops :9480 -backends 4
+//	mldsserver -max-sessions 8192 -rate 0 -queue 64
+//
+// SIGINT drains before closing: new opens and implicit statements are
+// refused with the typed draining code (clients see DrainingFlag and
+// redial), sessions inside an explicit transaction may finish, and a second
+// SIGINT — or the drain grace period — completes the shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"mlds/internal/core"
+	"mlds/internal/mbds"
+	"mlds/internal/server"
+	"mlds/internal/univ"
+	"mlds/internal/univgen"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9400", "TCP listen address for the wire protocol")
+	opsAddr := flag.String("ops", "", "HTTP address serving /metrics and /healthz (empty: disabled)")
+	backends := flag.Int("backends", 2, "kernel backends per database")
+	maxSessions := flag.Int("max-sessions", 0, "global live-session cap (0: default 4096)")
+	perDB := flag.Int("max-sessions-per-db", 0, "per-database live-session cap (0: none)")
+	queue := flag.Int("queue", 0, "per-session request queue depth (0: default 32)")
+	rate := flag.Float64("rate", 0, "per-session statement rate limit per second (0: none)")
+	grace := flag.Duration("grace", 10*time.Second, "drain grace period before the final close")
+	flag.Parse()
+
+	sys := core.NewSystem(core.Config{Kernel: mbds.DefaultConfig(*backends)})
+	defer sys.Close()
+	if err := seed(sys); err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.Listen(*listen, sys, server.Config{
+		MaxSessions:      *maxSessions,
+		MaxSessionsPerDB: *perDB,
+		SessionQueue:     *queue,
+		RateLimit:        *rate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mldsserver: serving on %s (%d backends per database)\n", srv.Addr(), *backends)
+	for _, db := range sys.Databases() {
+		fmt.Printf("mldsserver:   %-12s %-12s %d records\n", db.Name, db.Model, db.Records)
+	}
+
+	if *opsAddr != "" {
+		ln, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		ops := &http.Server{Handler: srv.Handler()}
+		go func() { _ = ops.Serve(ln) }()
+		defer ops.Close()
+		fmt.Printf("mldsserver: metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nmldsserver: draining (open transactions may finish; interrupt again to force)")
+	srv.Drain()
+	select {
+	case <-sig:
+	case <-time.After(*grace):
+	}
+	fmt.Println("mldsserver: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// seed builds the demo catalog: the populated University functional
+// database plus small relational and hierarchical databases, so all five
+// language interfaces have something to serve.
+func seed(sys *core.System) error {
+	db, err := sys.CreateFunctional("university", univ.SchemaDDL)
+	if err != nil {
+		return err
+	}
+	inst, err := univgen.Populate(db.Mapping, db.AB, univgen.SmallConfig())
+	if err != nil {
+		return err
+	}
+	if _, err := db.LoadInstance(inst); err != nil {
+		return err
+	}
+	dap, err := sys.Open("university", "daplex")
+	if err != nil {
+		return err
+	}
+	if _, err := dap.Execute("CREATE department (dname := 'History', building := 'Hall H');"); err != nil {
+		return err
+	}
+	if err := dap.Close(); err != nil {
+		return err
+	}
+
+	if _, err := sys.CreateRelational("shop",
+		"CREATE TABLE emp (ename CHAR(20) NOT NULL, pay INTEGER);"); err != nil {
+		return err
+	}
+	sq, err := sys.Open("shop", "sql")
+	if err != nil {
+		return err
+	}
+	if _, err := sq.Execute("INSERT INTO emp (ename, pay) VALUES ('Ann', 900)"); err != nil {
+		return err
+	}
+	if err := sq.Close(); err != nil {
+		return err
+	}
+
+	if _, err := sys.CreateHierarchical("school",
+		"DBD NAME IS school\nSEGMENT NAME IS dept\n    FIELD dname CHAR 20\nSEGMENT NAME IS course PARENT IS dept\n    FIELD ctitle CHAR 30\n"); err != nil {
+		return err
+	}
+	dl, err := sys.Open("school", "dli")
+	if err != nil {
+		return err
+	}
+	for _, call := range []string{"ISRT dept (dname = 'CS')", "ISRT course (ctitle = 'DB')"} {
+		if _, err := dl.Execute(call); err != nil {
+			return err
+		}
+	}
+	return dl.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mldsserver:", err)
+	os.Exit(1)
+}

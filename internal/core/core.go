@@ -370,7 +370,15 @@ type DMLSession struct {
 }
 
 // OpenDML opens a CODASYL-DML session on the named database.
+//
+// Deprecated: use Open(dbname, "dml", opts...); this wrapper remains
+// for callers that need the concrete *DMLSession.
 func (s *System) OpenDML(dbname string, opts ...SessionOption) (*DMLSession, error) {
+	return s.openDML(dbname, opts...)
+}
+
+// OpenDML opens a CODASYL-DML session on the named database.
+func (s *System) openDML(dbname string, opts ...SessionOption) (*DMLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -396,7 +404,15 @@ type DaplexSession struct {
 }
 
 // OpenDaplex opens a Daplex session on the named functional database.
+//
+// Deprecated: use Open(dbname, "daplex", opts...); this wrapper remains
+// for callers that need the concrete *DaplexSession.
 func (s *System) OpenDaplex(dbname string, opts ...SessionOption) (*DaplexSession, error) {
+	return s.openDaplex(dbname, opts...)
+}
+
+// OpenDaplex opens a Daplex session on the named functional database.
+func (s *System) openDaplex(dbname string, opts ...SessionOption) (*DaplexSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -417,7 +433,15 @@ type SQLSession struct {
 }
 
 // OpenSQL opens a SQL session on the named relational database.
+//
+// Deprecated: use Open(dbname, "sql", opts...); this wrapper remains
+// for callers that need the concrete *SQLSession.
 func (s *System) OpenSQL(dbname string, opts ...SessionOption) (*SQLSession, error) {
+	return s.openSQL(dbname, opts...)
+}
+
+// OpenSQL opens a SQL session on the named relational database.
+func (s *System) openSQL(dbname string, opts ...SessionOption) (*SQLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err
@@ -438,7 +462,15 @@ type DLISession struct {
 }
 
 // OpenDLI opens a DL/I session on the named hierarchical database.
+//
+// Deprecated: use Open(dbname, "dli", opts...); this wrapper remains
+// for callers that need the concrete *DLISession.
 func (s *System) OpenDLI(dbname string, opts ...SessionOption) (*DLISession, error) {
+	return s.openDLI(dbname, opts...)
+}
+
+// OpenDLI opens a DL/I session on the named hierarchical database.
+func (s *System) openDLI(dbname string, opts ...SessionOption) (*DLISession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+
+	"mlds/internal/mbdsnet"
+	"mlds/internal/txn"
+	"mlds/internal/wire"
+)
+
+// This file maps core errors onto the frozen wire.Code table so remote
+// clients get machine-readable outcomes without parsing error strings. The
+// table itself lives in internal/wire (codes.go); core owns only the
+// error→code classification, which the serving tier and the Outcome carry.
+
+// ErrUnknownLanguage reports a language name System.Open does not recognise.
+// Open errors wrap it, so callers can errors.Is against it.
+var ErrUnknownLanguage = errors.New("core: unknown language")
+
+// ErrNoTxn reports a COMMIT or ROLLBACK with no explicit transaction open.
+var ErrNoTxn = errors.New("core: no transaction open")
+
+// ParseError marks a statement the language front end rejected. It wraps the
+// parser's error verbatim (same text), adding only the classification.
+type ParseError struct{ Err error }
+
+func (e *ParseError) Error() string { return e.Err.Error() }
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// CodeOf classifies an error from Open, Execute or the transaction methods
+// into its stable wire code. nil maps to CodeOK; anything unrecognised is
+// CodeInternal.
+func CodeOf(err error) wire.Code {
+	if err == nil {
+		return wire.CodeOK
+	}
+	var ae *txn.AbortedError
+	var pe *ParseError
+	var de *mbdsnet.DrainingError
+	switch {
+	case errors.As(err, &pe):
+		return wire.CodeParse
+	case errors.Is(err, ErrNoDatabase):
+		return wire.CodeNoDatabase
+	case errors.Is(err, ErrWrongModel):
+		return wire.CodeWrongModel
+	case errors.Is(err, ErrUnknownLanguage):
+		return wire.CodeUnknownLanguage
+	case errors.Is(err, txn.ErrReadOnly):
+		return wire.CodeReadOnly
+	case errors.Is(err, ErrNoTxn):
+		return wire.CodeNoTxn
+	case errors.As(err, &de):
+		return wire.CodeDraining
+	case errors.As(err, &ae):
+		switch {
+		case errors.Is(ae.Cause, txn.ErrDeadlock):
+			return wire.CodeDeadlock
+		case errors.Is(ae.Cause, txn.ErrLockTimeout):
+			return wire.CodeLockTimeout
+		default:
+			return wire.CodeTxnAborted
+		}
+	default:
+		return wire.CodeInternal
+	}
+}

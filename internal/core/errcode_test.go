@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"mlds/internal/mbdsnet"
+	"mlds/internal/txn"
+	"mlds/internal/wire"
+)
+
+func TestCodeOfClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want wire.Code
+	}{
+		{nil, wire.CodeOK},
+		{ErrNoDatabase, wire.CodeNoDatabase},
+		{ErrWrongModel, wire.CodeWrongModel},
+		{ErrUnknownLanguage, wire.CodeUnknownLanguage},
+		{ErrNoTxn, wire.CodeNoTxn},
+		{txn.ErrReadOnly, wire.CodeReadOnly},
+		{&ParseError{Err: errors.New("sql: bad token")}, wire.CodeParse},
+		{&txn.AbortedError{ID: 1, Cause: txn.ErrDeadlock}, wire.CodeDeadlock},
+		{&txn.AbortedError{ID: 2, Cause: txn.ErrLockTimeout}, wire.CodeLockTimeout},
+		{&txn.AbortedError{ID: 3, Cause: errors.New("explicit")}, wire.CodeTxnAborted},
+		{&mbdsnet.DrainingError{Addr: "x"}, wire.CodeDraining},
+		{errors.New("anything else"), wire.CodeInternal},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.err); got != c.want {
+			t.Errorf("CodeOf(%v) = %s, want %s", c.err, got, c.want)
+		}
+	}
+}
+
+// TestOutcomeCodes drives real statements end to end and checks the code the
+// outcome carries — what a remote client will see on the wire.
+func TestOutcomeCodes(t *testing.T) {
+	s := newSystem(t)
+	newLoadedUniv(t, s)
+
+	// Open-time classification.
+	if _, err := s.Open("nope", "sql"); CodeOf(err) != wire.CodeNoDatabase {
+		t.Errorf("missing db: CodeOf(%v) = %s", err, CodeOf(err))
+	}
+	if _, err := s.Open("university", "sql"); CodeOf(err) != wire.CodeWrongModel {
+		t.Errorf("wrong model: CodeOf(%v) = %s", err, CodeOf(err))
+	}
+	if _, err := s.Open("university", "cobol"); CodeOf(err) != wire.CodeUnknownLanguage ||
+		!errors.Is(err, ErrUnknownLanguage) {
+		t.Errorf("unknown language: CodeOf(%v) = %s", err, CodeOf(err))
+	}
+
+	sess, err := s.Open("university", "daplex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if out, err := sess.Execute("FOR EACH department PRINT dname;"); err != nil || out.Code != wire.CodeOK {
+		t.Errorf("good statement: code %v, err %v", out.Code, err)
+	}
+	if out, err := sess.Execute("THIS IS NOT DAPLEX"); err == nil || out.Code != wire.CodeParse {
+		t.Errorf("parse error: code %v, err %v", out.Code, err)
+	}
+	if out, err := sess.Execute("COMMIT WORK"); err == nil || out.Code != wire.CodeNoTxn {
+		t.Errorf("commit without txn: code %v, err %v", out.Code, err)
+	}
+
+	// Read-only violation inside a snapshot transaction.
+	if err := sess.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Execute(`CREATE department (dname := "X");`)
+	if err == nil || out.Code != wire.CodeReadOnly {
+		t.Errorf("read-only violation: code %v, err %v", out.Code, err)
+	}
+	if err := sess.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonLanguage(t *testing.T) {
+	for in, want := range map[string]string{
+		"DML": LangDML, "codasyl": LangDML, " Daplex ": LangDaplex,
+		"SQL": LangSQL, "dl/i": LangDLI, "DL1": LangDLI, "abdl": LangABDL,
+		"cobol": "",
+	} {
+		if got := CanonLanguage(in); got != want {
+			t.Errorf("CanonLanguage(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

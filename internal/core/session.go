@@ -22,6 +22,7 @@ import (
 	"mlds/internal/relkms"
 	"mlds/internal/sql"
 	"mlds/internal/txn"
+	"mlds/internal/wire"
 )
 
 // Language names, as reported by Session.Language and accepted (among other
@@ -41,6 +42,7 @@ const (
 type Outcome struct {
 	Language string        // which interface executed the statement
 	Text     string        // the statement, as submitted
+	Code     wire.Code     // stable machine-readable error code (CodeOK on success)
 	Rendered string        // KFS display rendering of the result
 	Wall     time.Duration // wall-clock time of the whole request
 	Sim      time.Duration // simulated kernel response time charged
@@ -96,26 +98,45 @@ func SnapshotSession() SessionOption {
 	return func(ts *txnState) { ts.snapMode = true }
 }
 
-// Open opens a session on the named database in the given language. The
-// language is matched case-insensitively and accepts the common aliases
-// ("dml", "codasyl", "codasyl-dml"; "daplex"; "sql"; "dli", "dl/i", "dl1";
-// "abdl"). The typed openers remain for callers that need the concrete
-// session type.
+// Open opens a session on the named database in the given language. This is
+// the one session constructor: local callers, the REPL and the network
+// serving tier all come through here. The language is matched
+// case-insensitively and accepts the common aliases ("dml", "codasyl",
+// "codasyl-dml"; "daplex"; "sql"; "dli", "dl/i", "dl1"; "abdl"). An
+// unrecognised name fails wrapping ErrUnknownLanguage.
 func (s *System) Open(dbname, language string, opts ...SessionOption) (Session, error) {
+	switch CanonLanguage(language) {
+	case LangDML:
+		return s.openDML(dbname, opts...)
+	case LangDaplex:
+		return s.openDaplex(dbname, opts...)
+	case LangSQL:
+		return s.openSQL(dbname, opts...)
+	case LangDLI:
+		return s.openDLI(dbname, opts...)
+	case LangABDL:
+		return s.openABDL(dbname, opts...)
+	default:
+		return nil, fmt.Errorf("%w: %q (want dml, daplex, sql, dli or abdl)", ErrUnknownLanguage, language)
+	}
+}
+
+// CanonLanguage normalises a language name or alias to its canonical
+// Lang* constant, or "" if unrecognised.
+func CanonLanguage(language string) string {
 	switch strings.ToLower(strings.TrimSpace(language)) {
 	case "dml", "codasyl", "codasyl-dml":
-		return s.OpenDML(dbname, opts...)
+		return LangDML
 	case "daplex":
-		return s.OpenDaplex(dbname, opts...)
+		return LangDaplex
 	case "sql":
-		return s.OpenSQL(dbname, opts...)
+		return LangSQL
 	case "dli", "dl/i", "dl1", "dl/1":
-		return s.OpenDLI(dbname, opts...)
+		return LangDLI
 	case "abdl":
-		return s.OpenABDL(dbname, opts...)
-	default:
-		return nil, fmt.Errorf("core: unknown language %q (want dml, daplex, sql, dli or abdl)", language)
+		return LangABDL
 	}
+	return ""
 }
 
 // txnState carries a session's open explicit transaction. It is embedded in
@@ -182,7 +203,7 @@ func (s *txnState) Commit() error {
 	s.tx = nil
 	s.mu.Unlock()
 	if tx == nil {
-		return fmt.Errorf("core: no transaction open")
+		return ErrNoTxn
 	}
 	return s.db.Ctrl.Txns().Commit(tx)
 }
@@ -194,7 +215,7 @@ func (s *txnState) Rollback() error {
 	s.tx = nil
 	s.mu.Unlock()
 	if tx == nil {
-		return fmt.Errorf("core: no transaction open")
+		return ErrNoTxn
 	}
 	return s.db.Ctrl.Txns().Abort(tx)
 }
@@ -343,6 +364,7 @@ func (db *Database) run(ts *txnState, lang, text string, exec func(ctx context.C
 		err = db.execInTxn(ctx, ts, out, exec)
 	}
 	out.Wall = time.Since(start)
+	out.Code = CodeOf(err)
 	out.Sim = db.Ctrl.SimTime() - simBefore
 	root.AddSim(out.Sim)
 	if err != nil {
@@ -385,7 +407,7 @@ func plan[T any](ctx context.Context, db *Database, lang, text string, parse fun
 	}
 	st, err := parse(text)
 	if err != nil {
-		return st, err
+		return st, &ParseError{Err: err}
 	}
 	db.plans.Put(key, st)
 	return st, nil
@@ -530,9 +552,17 @@ type ABDLSession struct {
 	txnState
 }
 
-// OpenABDL opens a raw ABDL session. Every database model is served: ABDL
-// addresses the kernel representation beneath all of them.
+// OpenABDL opens a raw ABDL session.
+//
+// Deprecated: use Open(dbname, "abdl", opts...); this wrapper remains for
+// callers that need the concrete *ABDLSession.
 func (s *System) OpenABDL(dbname string, opts ...SessionOption) (*ABDLSession, error) {
+	return s.openABDL(dbname, opts...)
+}
+
+// openABDL opens a raw ABDL session. Every database model is served: ABDL
+// addresses the kernel representation beneath all of them.
+func (s *System) openABDL(dbname string, opts ...SessionOption) (*ABDLSession, error) {
 	db, err := s.lookup(dbname)
 	if err != nil {
 		return nil, err

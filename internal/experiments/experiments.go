@@ -65,6 +65,7 @@ func All() []*Report {
 		E13GroupCommit,
 		E14SnapshotScaling,
 		E15ElasticScaling,
+		func() *Report { return E16NetServing(0) },
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

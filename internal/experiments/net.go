@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlds/client"
+	"mlds/internal/core"
+	"mlds/internal/mbds"
+	"mlds/internal/server"
+	"mlds/internal/univ"
+)
+
+// E16NetServing measures the network serving tier: one mldsserver front end
+// multiplexing at least a thousand concurrent remote sessions — spread over
+// a handful of TCP connections and all five language interfaces — with zero
+// failed requests. Every session is opened before any statement runs, so
+// the peak session count is truly concurrent, then each session executes a
+// short read-heavy script (every tenth one inside an explicit read-only
+// snapshot transaction) and closes. Latencies are measured at the client,
+// so they include the wire round trip.
+//
+// sessions <= 0 runs the default 1000.
+func E16NetServing(sessions int) *Report {
+	const id, title = "E16", "Network serving tier — multiplexed remote sessions"
+	if sessions <= 0 {
+		sessions = 1000
+	}
+	var b strings.Builder
+	fail := func(format string, args ...any) *Report {
+		fmt.Fprintf(&b, format+"\n", args...)
+		return report(id, title, false, b.String())
+	}
+
+	sys := core.NewSystem(core.Config{Kernel: mbds.DefaultConfig(2)})
+	defer sys.Close()
+	if err := seedServingDBs(sys); err != nil {
+		return fail("seed: %v", err)
+	}
+	srv, err := server.Listen("127.0.0.1:0", sys, server.Config{})
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	defer srv.Close()
+
+	const conns = 8
+	ctx := context.Background()
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		if clients[i], err = client.Dial(ctx, srv.Addr()); err != nil {
+			return fail("dial: %v", err)
+		}
+		defer clients[i].Close()
+	}
+
+	// The five language scripts, all read-only against the seeded data. The
+	// CODASYL MOVE only writes the session's working area.
+	scripts := []struct {
+		db, lang string
+		stmts    []string
+	}{
+		{"university", "daplex", []string{"FOR EACH department PRINT dname;"}},
+		{"university", "dml", []string{
+			"MOVE 'History' TO dname IN department",
+			"FIND ANY department USING dname IN department",
+			"GET dname IN department",
+		}},
+		{"shop", "sql", []string{"SELECT COUNT(*) FROM emp"}},
+		{"school", "dli", []string{"GU dept (dname = 'CS')"}},
+		{"university", "abdl", []string{"RETRIEVE ((FILE = department)) (dname)"}},
+	}
+
+	// Phase 1: open every session, so the server holds `sessions` live
+	// multiplexed sessions at once.
+	type task struct {
+		sess  *client.Session
+		stmts []string
+		txn   bool
+	}
+	tasks := make([]task, sessions)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []string
+	)
+	note := func(format string, args ...any) {
+		mu.Lock()
+		if len(failures) < 8 {
+			failures = append(failures, fmt.Sprintf(format, args...))
+		} else if len(failures) == 8 {
+			failures = append(failures, "...")
+		}
+		mu.Unlock()
+	}
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sc := scripts[i%len(scripts)]
+			sess, err := clients[i%conns].Open(ctx, sc.db, sc.lang)
+			if err != nil {
+				note("open %s/%s: %v", sc.db, sc.lang, err)
+				return
+			}
+			tasks[i] = task{sess: sess, stmts: sc.stmts, txn: i%10 == 0}
+		}(i)
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		return fail("session opens failed: %s", strings.Join(failures, "; "))
+	}
+	peak := srv.Sessions()
+
+	// Phase 2: every session runs its script concurrently.
+	latencies := make([][]time.Duration, sessions)
+	start := time.Now()
+	for i := range tasks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk := tasks[i]
+			run := func(stmt string) bool {
+				t0 := time.Now()
+				if _, err := tk.sess.ExecuteCtx(ctx, stmt); err != nil {
+					note("%s: %v", stmt, err)
+					return false
+				}
+				latencies[i] = append(latencies[i], time.Since(t0))
+				return true
+			}
+			if tk.txn {
+				if err := tk.sess.BeginSnapshot(); err != nil {
+					note("begin: %v", err)
+					return
+				}
+			}
+			for _, stmt := range tk.stmts {
+				if !run(stmt) {
+					return
+				}
+			}
+			if tk.txn {
+				if err := tk.sess.Commit(); err != nil {
+					note("commit: %v", err)
+					return
+				}
+			}
+			if err := tk.sess.Close(); err != nil {
+				note("close: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	cores := runtime.NumCPU()
+	ok := len(failures) == 0 && peak >= sessions && srv.Sessions() == 0
+	fmt.Fprintf(&b, "concurrent sessions    %d (peak live %d) over %d connections\n", sessions, peak, conns)
+	fmt.Fprintf(&b, "languages              daplex, codasyl-dml, sql, dli, abdl\n")
+	fmt.Fprintf(&b, "statements executed    %d, failed %d\n", len(all), len(failures))
+	fmt.Fprintf(&b, "latency p50 / p99      %.2f ms / %.2f ms (client-measured)\n",
+		float64(pct(0.50).Microseconds())/1000, float64(pct(0.99).Microseconds())/1000)
+	fmt.Fprintf(&b, "wall for all scripts   %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "sessions per core      %.0f (%d cores)\n", float64(sessions)/float64(cores), cores)
+	if len(failures) > 0 {
+		fmt.Fprintf(&b, "failures: %s\n", strings.Join(failures, "; "))
+	}
+	if srv.Sessions() != 0 {
+		fmt.Fprintf(&b, "sessions leaked: %d still live\n", srv.Sessions())
+	}
+	return report(id, title, ok, b.String())
+}
+
+// seedServingDBs creates the three databases the serving-tier workloads
+// read: the functional University, a relational shop, a hierarchical school.
+func seedServingDBs(sys *core.System) error {
+	if _, err := sys.CreateFunctional("university", univ.SchemaDDL); err != nil {
+		return err
+	}
+	dap, err := sys.Open("university", "daplex")
+	if err != nil {
+		return err
+	}
+	if _, err := dap.Execute("CREATE department (dname := 'History', building := 'Hall H');"); err != nil {
+		return err
+	}
+	if err := dap.Close(); err != nil {
+		return err
+	}
+	if _, err := sys.CreateRelational("shop",
+		"CREATE TABLE emp (ename CHAR(20) NOT NULL, pay INTEGER);"); err != nil {
+		return err
+	}
+	sq, err := sys.Open("shop", "sql")
+	if err != nil {
+		return err
+	}
+	if _, err := sq.Execute("INSERT INTO emp (ename, pay) VALUES ('Ann', 900)"); err != nil {
+		return err
+	}
+	if err := sq.Close(); err != nil {
+		return err
+	}
+	if _, err := sys.CreateHierarchical("school",
+		"DBD NAME IS school\nSEGMENT NAME IS dept\n    FIELD dname CHAR 20\n"); err != nil {
+		return err
+	}
+	dl, err := sys.Open("school", "dli")
+	if err != nil {
+		return err
+	}
+	if _, err := dl.Execute("ISRT dept (dname = 'CS')"); err != nil {
+		return err
+	}
+	return dl.Close()
+}

@@ -1,7 +1,7 @@
 package mbdsnet
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -62,13 +62,14 @@ func (d *droppyServer) accept() {
 func (d *droppyServer) serve(conn net.Conn) {
 	defer d.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	for {
-		var env wire.Envelope
-		if err := dec.Decode(&env); err != nil {
+		envp, err := wire.ReadEnvelope(br, 0)
+		if err != nil {
 			return
 		}
+		env := *envp
 		apply := func() (*kdb.Result, error) {
 			if env.Req == nil {
 				return nil, nil
@@ -97,7 +98,10 @@ func (d *droppyServer) serve(conn net.Conn) {
 		case "len":
 			reply.N = d.store.Len()
 		}
-		if err := enc.Encode(&reply); err != nil {
+		if err := wire.WriteEnvelope(bw, &reply); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
@@ -321,5 +325,56 @@ func TestClusterSurvivesKilledBackend(t *testing.T) {
 	}
 	if got := names(); len(got) != 40 {
 		t.Fatalf("post-recovery retrieve = %d, want 40", len(got))
+	}
+}
+
+func TestDrainTypedRefusal(t *testing.T) {
+	// A draining backend must answer exec traffic with a typed, retryable
+	// refusal on the live connection — not the raw reset Close causes —
+	// and the refusal must promise the request was never executed.
+	store := kdb.NewStore(testDir(t).Clone())
+	srv, err := Listen("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	rb, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+
+	if _, err := rb.Exec(abdl.NewInsert(employee("pre"))); err != nil {
+		t.Fatal(err)
+	}
+	srv.Drain()
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+
+	_, err = rb.Exec(abdl.NewInsert(employee("refused")))
+	var de *DrainingError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DrainingError", err)
+	}
+	if !de.Transient() {
+		t.Error("DrainingError must be transient (safe to retry elsewhere)")
+	}
+	if ma, ok := err.(interface{ MaybeApplied() bool }); ok && ma.MaybeApplied() {
+		t.Error("DrainingError must not claim maybe-applied: drained requests are never executed")
+	}
+	if _, err := rb.ExecBatch([]*abdl.Request{abdl.NewInsert(employee("b"))}); !errors.As(err, &de) {
+		t.Fatalf("batch err = %v, want DrainingError", err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d records, want 1 (refused inserts must not apply)", store.Len())
+	}
+
+	// Maintenance verbs keep working during drain: migration needs them.
+	if n, err := rb.Len(); err != nil || n != 1 {
+		t.Fatalf("Len during drain = %d, %v", n, err)
+	}
+	if _, _, _, err := rb.ExportSince(0, 0, 10); err != nil {
+		t.Fatalf("ExportSince during drain: %v", err)
 	}
 }

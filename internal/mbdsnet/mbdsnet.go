@@ -1,12 +1,18 @@
 // Package mbdsnet puts the MBDS communication bus on a real network: a
-// backend serves its kdb store over TCP with a gob-framed protocol, and the
-// controller reaches it through a RemoteBackend client that satisfies
-// mbds.Executor. This mirrors the original hardware architecture, where the
-// controller (master) and the backends (slaves) were separate machines.
+// backend serves its kdb store over TCP with the framing-v2 length-prefixed
+// binary protocol (internal/wire), and the controller reaches it through a
+// RemoteBackend client that satisfies mbds.Executor. This mirrors the
+// original hardware architecture, where the controller (master) and the
+// backends (slaves) were separate machines.
+//
+// Through PR 6 the bus spoke gob; gob's reflection and per-connection type
+// negotiation dominated the per-message cost for the small request envelopes
+// the bus mostly carries, so the bus now shares framing v2 with the
+// client-facing serving tier — one codec for both hops.
 package mbdsnet
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -26,10 +32,11 @@ type BackendServer struct {
 	store *kdb.Store
 	ln    net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining atomic.Bool
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
 
 	// Wire-level op counters. The atomics always count (tests assert the
 	// one-message-per-backend-per-batch property through them); the obs
@@ -82,6 +89,18 @@ func (s *BackendServer) Addr() string { return s.ln.Addr().String() }
 // Store exposes the served store (used by tests and local tooling).
 func (s *BackendServer) Store() *kdb.Store { return s.store }
 
+// Drain puts the server into drain mode: connections stay up and every
+// subsequent exec/execbatch is answered with a typed CodeDraining refusal —
+// never executed, so the controller can safely resend it elsewhere or later —
+// instead of the raw connection reset a Close would cause mid-request. The
+// maintenance verbs (len, export, import, drop) keep working, since draining
+// a backend is exactly when the migration engine needs them. Close completes
+// the shutdown.
+func (s *BackendServer) Drain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new work.
+func (s *BackendServer) Draining() bool { return s.draining.Load() }
+
 // Close stops accepting and tears down live connections.
 func (s *BackendServer) Close() error {
 	s.mu.Lock()
@@ -127,18 +146,33 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
 	for {
-		var env wire.Envelope
-		if err := dec.Decode(&env); err != nil {
+		envp, err := wire.ReadEnvelope(br, 0)
+		if err != nil {
 			return
 		}
+		env := *envp
 		reply := wire.Envelope{Seq: env.Seq}
 		noteErr := func(msg string) {
 			s.nErrors.Add(1)
 			s.mErrors.Inc()
 			reply.Err = msg
+			if reply.ErrCode == wire.CodeOK {
+				reply.ErrCode = wire.CodeInternal
+			}
+		}
+		if s.draining.Load() && (env.Action == "" || env.Action == "exec" || env.Action == "execbatch") {
+			reply.ErrCode = wire.CodeDraining
+			reply.Err = "mbdsnet: backend draining (request not executed)"
+			if err := wire.WriteEnvelope(bw, &reply); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
 		}
 		switch env.Action {
 		case "", "exec":
@@ -216,8 +250,12 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 			reply.N = s.store.DropRecords(ids)
 		default:
 			reply.Err = fmt.Sprintf("mbdsnet: unknown action %q", env.Action)
+			reply.ErrCode = wire.CodeProto
 		}
-		if err := enc.Encode(&reply); err != nil {
+		if err := wire.WriteEnvelope(bw, &reply); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
@@ -268,6 +306,25 @@ func (e *AmbiguousError) MaybeApplied() bool { return true }
 // requests after it).
 func (e *AmbiguousError) Transient() bool { return true }
 
+// DrainingError reports a backend that is draining: the request was
+// delivered but deliberately NOT executed, so resending it — to a replica, a
+// migrated-to backend, or the same backend after its restart — is always
+// safe, even for non-idempotent requests. The multi-backend layer recognises
+// it through Transient and retries under its backoff policy; since
+// MaybeApplied is absent, the retry policy never downgrades it to an
+// ambiguous outcome.
+type DrainingError struct {
+	Addr string
+}
+
+// Error describes the draining backend.
+func (e *DrainingError) Error() string {
+	return fmt.Sprintf("mbdsnet: backend %s draining (request not executed)", e.Addr)
+}
+
+// Transient marks the failure as retryable.
+func (e *DrainingError) Transient() bool { return true }
+
 // DialOpts tunes a RemoteBackend's reconnect policy. Zero values take the
 // defaults.
 type DialOpts struct {
@@ -308,8 +365,8 @@ type RemoteBackend struct {
 
 	mu   sync.Mutex
 	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	bw   *bufio.Writer
+	br   *bufio.Reader
 	seq  uint64
 	rng  uint64 // xorshift64* state for backoff jitter
 }
@@ -345,8 +402,8 @@ func (rb *RemoteBackend) connect() error {
 		return fmt.Errorf("mbdsnet: dialing backend %s: %w", rb.addr, err)
 	}
 	rb.conn = conn
-	rb.enc = gob.NewEncoder(conn)
-	rb.dec = gob.NewDecoder(conn)
+	rb.bw = bufio.NewWriter(conn)
+	rb.br = bufio.NewReader(conn)
 	return nil
 }
 
@@ -369,8 +426,8 @@ func (rb *RemoteBackend) dropConn() {
 		_ = rb.conn.Close()
 	}
 	rb.conn = nil
-	rb.enc = nil
-	rb.dec = nil
+	rb.bw = nil
+	rb.br = nil
 }
 
 // roundTrip sends one envelope and waits for its reply. A connection that
@@ -390,14 +447,17 @@ func (rb *RemoteBackend) roundTrip(env wire.Envelope, idem bool) (wire.Envelope,
 	rb.seq++
 	env.Seq = rb.seq
 	send := func() (wire.Envelope, error) {
-		if err := rb.enc.Encode(&env); err != nil {
+		if err := wire.WriteEnvelope(rb.bw, &env); err != nil {
 			return wire.Envelope{}, err
 		}
-		var reply wire.Envelope
-		if err := rb.dec.Decode(&reply); err != nil {
+		if err := rb.bw.Flush(); err != nil {
 			return wire.Envelope{}, err
 		}
-		return reply, nil
+		reply, err := wire.ReadEnvelope(rb.br, 0)
+		if err != nil {
+			return wire.Envelope{}, err
+		}
+		return *reply, nil
 	}
 	reply, err := send()
 	if err != nil {
@@ -447,6 +507,19 @@ func (rb *RemoteBackend) roundTrip(env wire.Envelope, idem bool) (wire.Envelope,
 	return reply, nil
 }
 
+// replyError maps a reply's error fields to a typed error: a CodeDraining
+// refusal becomes a *DrainingError (retryable, never executed); anything
+// else surfaces as plain text.
+func (rb *RemoteBackend) replyError(reply wire.Envelope) error {
+	if reply.ErrCode == wire.CodeDraining {
+		return &DrainingError{Addr: rb.addr}
+	}
+	if reply.Err != "" {
+		return errors.New(reply.Err)
+	}
+	return nil
+}
+
 // Exec executes one ABDL request on the remote backend.
 func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
 	// Everything but a fresh-key INSERT is safe to re-execute: retrieves
@@ -458,8 +531,8 @@ func (rb *RemoteBackend) Exec(req *abdl.Request) (*kdb.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if reply.Err != "" {
-		return nil, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return nil, err
 	}
 	if reply.Res == nil {
 		return nil, fmt.Errorf("mbdsnet: backend %s sent an empty reply", rb.addr)
@@ -485,8 +558,8 @@ func (rb *RemoteBackend) ExecBatch(reqs []*abdl.Request) ([]*kdb.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	if reply.Err != "" {
-		return nil, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return nil, err
 	}
 	if len(reply.Results) != len(reqs) {
 		return nil, fmt.Errorf("mbdsnet: backend %s answered %d results for a %d-request batch",
@@ -507,8 +580,8 @@ func (rb *RemoteBackend) Len() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if reply.Err != "" {
-		return 0, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return 0, err
 	}
 	return reply.N, nil
 }
@@ -522,8 +595,8 @@ func (rb *RemoteBackend) ExportSince(since uint64, after abdm.RecordID, limit in
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	if reply.Err != "" {
-		return nil, 0, 0, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return nil, 0, 0, err
 	}
 	recs := make([]kdb.MigRecord, len(reply.Migs))
 	for i := range reply.Migs {
@@ -546,8 +619,8 @@ func (rb *RemoteBackend) ImportPartition(recs []kdb.MigRecord) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if reply.Err != "" {
-		return 0, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return 0, err
 	}
 	return reply.N, nil
 }
@@ -563,8 +636,8 @@ func (rb *RemoteBackend) DropRecords(ids []abdm.RecordID) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if reply.Err != "" {
-		return 0, errors.New(reply.Err)
+	if err := rb.replyError(reply); err != nil {
+		return 0, err
 	}
 	return reply.N, nil
 }

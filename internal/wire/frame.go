@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Framing v2: every message on a wire — the controller→backend bus and the
+// client→server hop alike — is one length-prefixed frame holding a compact
+// binary payload. The payload layout (codec.go, client.go) is deliberately
+// frozen: golden tests assert byte-level stability, so old clients and new
+// servers interoperate within a protocol version.
+//
+//	frame   := length(uint32 LE) payload
+//	payload := version(byte) body
+const (
+	// Version is the framing/protocol version stamped on every payload.
+	Version = 2
+
+	// DefaultMaxFrame bounds an accepted frame (64 MiB): large enough for a
+	// migration page or a wide retrieve, small enough that a corrupt length
+	// prefix cannot exhaust memory.
+	DefaultMaxFrame = 64 << 20
+
+	frameHeaderLen = 4
+)
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	if len(payload) > math.MaxUint32 {
+		return fmt.Errorf("wire: frame of %d bytes exceeds the length prefix", len(payload))
+	}
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, refusing frames above max
+// (0 = DefaultMaxFrame).
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int64(n) > int64(max) {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Append-style encoding primitives. Unsigned ints are uvarints, signed ints
+// zig-zag varints, floats 8-byte little-endian IEEE 754 bits, strings a
+// uvarint length followed by the bytes, bools one byte.
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// dec decodes the primitives with a sticky error, so field-by-field decoding
+// reads linearly and the first malformed field poisons the rest.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated float at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string of %d bytes overruns the payload at offset %d", n, d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated bool at offset %d", d.off)
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	if v > 1 {
+		d.fail("bool byte %d at offset %d", v, d.off-1)
+		return false
+	}
+	return v == 1
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// length decodes a collection length, rejecting counts that could not fit in
+// the remaining payload (every element costs at least one byte) so a corrupt
+// count cannot drive a huge allocation.
+func (d *dec) length() int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("collection of %d elements overruns the payload at offset %d", n, d.off)
+		return 0
+	}
+	return int(n)
+}
+
+// done verifies the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("wire: %d trailing bytes after the message", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// checkVersion consumes and verifies the leading version byte.
+func (d *dec) checkVersion() {
+	if v := d.byte(); d.err == nil && v != Version {
+		d.fail("protocol version %d (this build speaks %d)", v, Version)
+	}
+}

@@ -1,7 +1,10 @@
-// Package wire defines the gob-encodable message types exchanged between an
-// MBDS controller and remote backends over the communication bus, and the
-// conversions between them and the model types (whose fields are
-// deliberately unexported).
+// Package wire defines the message types exchanged over MLDS's two network
+// hops — the controller→backend communication bus (Envelope) and the
+// client→front-end serving hop (Msg) — their compact length-prefixed binary
+// encoding ("framing v2", frame.go/codec.go/client.go), the stable error-code
+// table (codes.go), and the conversions between wire and model types (whose
+// fields are deliberately unexported). The types remain gob-encodable for the
+// v1 journal format; the network paths all speak framing v2.
 package wire
 
 import (
@@ -395,6 +398,7 @@ type Envelope struct {
 	Res     *Result
 	Results []Result // "execbatch" reply: one result per request, in order
 	Err     string
+	ErrCode Code   // machine-readable classification of Err (CodeOK = none)
 	Action  string // "exec", "execbatch", "len", "export", "import", "drop"
 	N       int
 

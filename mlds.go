@@ -17,18 +17,23 @@
 //
 //	db, err := sys.CreateFunctional("university", mlds.UniversityDDL)
 //	// load data, then access the *functional* database via CODASYL-DML:
-//	sess, err := sys.OpenDML("university")
+//	sess, err := sys.Open("university", "dml")
 //	sess.Execute("MOVE 'Advanced Database' TO title IN course")
 //	sess.Execute("FIND ANY course USING title IN course")
 //	out, err := sess.Execute("GET course")
 //
-// The same database answers Daplex through sys.OpenDaplex and raw ABDL
-// through db.ExecABDL — one kernel, many languages.
+// The same database answers Daplex through sys.Open("university", "daplex")
+// and raw ABDL through db.ExecABDL — one kernel, many languages. The same
+// sessions are served remotely by cmd/mldsserver; mlds.Dial connects to one
+// and hands back Session values with the network in between.
 package mlds
 
 import (
+	"context"
 	"io"
 	"time"
+
+	"mlds/client"
 
 	"mlds/internal/abdm"
 	"mlds/internal/core"
@@ -44,6 +49,7 @@ import (
 	"mlds/internal/txn"
 	"mlds/internal/univ"
 	"mlds/internal/univgen"
+	"mlds/internal/wire"
 )
 
 // Core engine types.
@@ -170,7 +176,39 @@ var (
 	ErrNoDatabase = core.ErrNoDatabase
 	// ErrWrongModel reports a model the requested interface cannot serve.
 	ErrWrongModel = core.ErrWrongModel
+	// ErrUnknownLanguage reports a language name Open does not recognise.
+	ErrUnknownLanguage = core.ErrUnknownLanguage
+	// ErrNoTxn reports a COMMIT or ROLLBACK with no transaction open.
+	ErrNoTxn = core.ErrNoTxn
 )
+
+// Code is the stable machine-readable error code carried by every Outcome
+// and by the wire protocol (see internal/wire for the frozen table). CodeOf
+// classifies any error from Open, Execute or the transaction methods.
+type Code = wire.Code
+
+// CodeOf classifies an error into its stable wire code.
+func CodeOf(err error) Code { return core.CodeOf(err) }
+
+// Remote access: the serving tier (cmd/mldsserver) exposes a System over
+// TCP; Dial connects to it and Client.Open returns Session values that
+// behave exactly like local ones.
+type (
+	// Client is one multiplexed client connection to an MLDS server.
+	Client = client.Client
+	// RemoteSession is a session served over the network; it implements
+	// Session.
+	RemoteSession = client.Session
+	// RemoteError is a typed server failure with its wire code.
+	RemoteError = client.Error
+	// DialOption configures Dial (client.WithTimeout, client.WithMaxFrame).
+	DialOption = client.Option
+)
+
+// Dial connects to an MLDS server (cmd/mldsserver).
+func Dial(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	return client.Dial(ctx, addr, opts...)
+}
 
 // Transaction errors. Every session is transactional: statements
 // auto-commit unless BEGIN WORK (or Session.Begin) opened an explicit
