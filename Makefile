@@ -6,7 +6,7 @@
 # cross-model differential suite, the membership chaos suite, and the
 # network serving tier (server + remote client) under the race detector,
 # and per-package coverage floors on the transaction, controller, kernel,
-# elastic-membership, serving, and client packages.
+# elastic-membership, pager, serving, and client packages.
 # `make fuzz-smoke` runs each native fuzz target briefly — corpora and
 # checked-in crashers also replay on every plain `go test`. `make bench`
 # regenerates the paper experiments and writes a machine-readable summary.
@@ -50,10 +50,11 @@ check:
 	$(MAKE) cover
 
 # cover enforces the coverage floors: the transaction manager, kernel
-# controller, kernel database, elastic multi-backend system, wire codec,
-# serving tier, and remote client must each stay at or above COVER_FLOOR%.
+# controller, kernel database, elastic multi-backend system, pager, wire
+# codec, serving tier, and remote client must each stay at or above
+# COVER_FLOOR%.
 cover:
-	@for pkg in internal/txn internal/kc internal/kdb internal/mbds internal/wire internal/server client; do \
+	@for pkg in internal/txn internal/kc internal/kdb internal/mbds internal/pager internal/wire internal/server client; do \
 		pct=$$($(GO) test -cover ./$$pkg | \
 			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then \
@@ -79,7 +80,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMsg$$' -fuzztime $(FUZZ_TIME) ./internal/wire
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_7.json
+	$(GO) run ./cmd/mldsbench -json BENCH_8.json
 
 fmt:
 	gofmt -w .

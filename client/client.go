@@ -47,6 +47,13 @@ type Client struct {
 	timeout  time.Duration
 	maxFrame int
 
+	// base is the connection's lifetime context: every context the client
+	// builds itself (the context-free core.Session methods) derives from it,
+	// so Close cancels in-flight Begin/Commit/Execute waits instead of
+	// leaving them to run out their timeouts.
+	base   context.Context
+	cancel context.CancelFunc
+
 	wmu sync.Mutex // serializes frame writes
 	bw  *bufio.Writer
 
@@ -75,6 +82,10 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 		timeout: 30 * time.Second,
 		pending: make(map[uint64]chan *wire.Msg),
 	}
+	// The dial context bounds the dial only; the connection's own lifetime
+	// context starts fresh from it (cancelled by Close, not by the dialer's
+	// deadline expiring later).
+	c.base, c.cancel = context.WithCancel(context.WithoutCancel(ctx))
 	for _, o := range opts {
 		o(c)
 	}
@@ -147,9 +158,14 @@ func (c *Client) roundTrip(ctx context.Context, m *wire.Msg) (*wire.Msg, error) 
 	}
 	c.wmu.Unlock()
 	if err != nil {
+		// A failed write may have left a partial frame on the wire: the
+		// stream is desynchronized, so the whole connection is dead — fail
+		// every waiter now rather than letting them hang to their timeouts.
 		c.mu.Lock()
 		delete(c.pending, m.Seq)
 		c.mu.Unlock()
+		c.fail(err)
+		_ = c.c.Close()
 		return nil, err
 	}
 
@@ -180,6 +196,13 @@ func (c *Client) withTimeout(ctx context.Context) (context.Context, context.Canc
 		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, c.timeout)
+}
+
+// opCtx builds the context for a context-free core.Session call: the
+// client's lifetime context (so Close cancels the wait) bounded by the
+// default statement timeout.
+func (c *Client) opCtx() (context.Context, context.CancelFunc) {
+	return c.withTimeout(c.base)
 }
 
 // Ping round-trips the connection.
@@ -214,6 +237,7 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	c.cancel()
 	err := c.c.Close()
 	c.fail(errors.New("client: connection closed"))
 	return err

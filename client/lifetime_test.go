@@ -1,0 +1,169 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlds/client"
+	"mlds/internal/wire"
+)
+
+// fakeServer accepts one connection and answers the handshake and session
+// opens, then applies mode to every later request: "silent" reads and
+// discards them without ever replying (a hung server); "deaf" stops reading
+// entirely (a stalled server whose socket buffers fill).
+func fakeServer(t *testing.T, mode string) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			m, err := wire.ReadMsg(conn, 0)
+			if err != nil {
+				return
+			}
+			switch m.Kind {
+			case wire.MsgHello, wire.MsgOpen:
+				reply := &wire.Msg{Kind: m.Kind, Seq: m.Seq, Code: wire.CodeOK, Language: "daplex"}
+				if err := wire.WriteMsg(conn, reply); err != nil {
+					return
+				}
+			default:
+				switch mode {
+				case "silent":
+					// Swallow the request; the client waits forever.
+				case "deaf":
+					// Stop servicing the socket altogether.
+					for {
+						time.Sleep(time.Hour)
+					}
+				}
+			}
+		}
+	}()
+	return ln.Addr()
+}
+
+// TestCloseCancelsInFlightOps: the context-free core.Session methods wait on
+// the client's lifetime context, so Close must cancel an Execute blocked on
+// a hung server immediately — not leave it to run out its 30s timeout.
+func TestCloseCancelsInFlightOps(t *testing.T) {
+	addr := fakeServer(t, "silent")
+	c, err := client.Dial(context.Background(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Open(context.Background(), "university", "daplex")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 3
+	done := make(chan error, inflight)
+	var started sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		started.Add(1)
+		go func(i int) {
+			started.Done()
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = sess.Execute("FOR EACH department PRINT dname;")
+			case 1:
+				err = sess.Begin()
+			default:
+				err = sess.Commit()
+			}
+			done <- err
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(50 * time.Millisecond) // let the ops reach their waits
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < inflight; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("in-flight op succeeded against a hung server")
+			}
+			if !errors.Is(err, context.Canceled) && !strings.Contains(err.Error(), "closed") {
+				t.Fatalf("in-flight op failed with %v, want cancellation/closure", err)
+			}
+		case <-deadline:
+			t.Fatal("Close did not cancel in-flight ops (still blocked after 2s)")
+		}
+	}
+}
+
+// TestWriteFailureFailsAllWaiters: a failed frame write desynchronizes the
+// stream, so the whole connection must die — a waiter blocked mid-write and
+// every queued request behind it return promptly instead of hanging to their
+// timeouts.
+func TestWriteFailureFailsAllWaiters(t *testing.T) {
+	addr := fakeServer(t, "deaf")
+	c, err := client.Dial(context.Background(), addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	sess, err := c.Open(context.Background(), "university", "daplex")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A statement large enough to overrun the socket buffers of a server
+	// that stopped reading: the sender blocks inside the frame write.
+	big := strings.Repeat("x", 8<<20)
+	done := make(chan error, 2)
+	go func() {
+		_, err := sess.ExecuteCtx(context.Background(), big)
+		done <- err
+	}()
+	go func() {
+		_, err := sess.ExecuteCtx(context.Background(), big)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let both reach the write path
+
+	// Severing the connection turns the blocked write into a hard error; the
+	// client must fail the connection and wake every waiter.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("write against a dead connection succeeded")
+			}
+		case <-deadline:
+			t.Fatal("write failure left waiters hanging")
+		}
+	}
+	// The connection is terminally dead: new requests refuse immediately.
+	start := time.Now()
+	if err := c.Ping(context.Background()); err == nil {
+		t.Fatal("ping succeeded on a failed connection")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("post-failure request took %v, want immediate refusal", elapsed)
+	}
+}

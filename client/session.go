@@ -91,9 +91,10 @@ func (s *Session) ExecuteCtx(ctx context.Context, text string) (*core.Outcome, e
 }
 
 // Execute executes one statement under the client's default timeout
-// (core.Session form).
+// (core.Session form). The wait derives from the client's lifetime context,
+// so a concurrent Client.Close cancels it immediately.
 func (s *Session) Execute(text string) (*core.Outcome, error) {
-	ctx, cancel := s.c.withTimeout(context.Background())
+	ctx, cancel := s.c.opCtx()
 	defer cancel()
 	return s.ExecuteCtx(ctx, text)
 }
@@ -128,7 +129,7 @@ func (s *Session) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
-	ctx, cancel := s.c.withTimeout(context.Background())
+	ctx, cancel := s.c.opCtx()
 	defer cancel()
 	reply, err := s.c.roundTrip(ctx, &wire.Msg{Kind: wire.MsgClose, SID: s.sid})
 	if err != nil {

@@ -66,6 +66,7 @@ func All() []*Report {
 		E14SnapshotScaling,
 		E15ElasticScaling,
 		func() *Report { return E16NetServing(0) },
+		E17PagedStorage,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

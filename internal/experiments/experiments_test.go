@@ -116,6 +116,23 @@ func TestTxnContention(t *testing.T) {
 	assertOK(t, TxnContention(4, 6, 2, 1.0))
 }
 
+// TestE17_PagedStorage runs the paged storage engine's bulk-load/scan and
+// recovery-vs-checkpoint-interval sweep: the buffer pool must evict and
+// write back under the 10x load, and tighter checkpoint cadences must leave
+// strictly less journal to replay after a crash.
+func TestE17_PagedStorage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := E17PagedStorage()
+	assertOK(t, r)
+	for _, want := range []string{"evictions", "checkpoint interval", "every 500"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("E17 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kc"
+	"mlds/internal/kdb"
+	"mlds/internal/mbds"
+	"mlds/internal/pager"
+)
+
+// E17 drives the paged on-disk storage engine at a scale no prior
+// experiment touches: a bulk load of e17Records records (an order of
+// magnitude past the kernel-store datasets elsewhere in this suite) through
+// a buffer pool holding a small fraction of the pages, then a
+// recovery-time-vs-checkpoint-interval sweep — crash the engine after the
+// load and measure how much journal each checkpoint cadence leaves to
+// replay.
+const (
+	e17Records   = 5000
+	e17PoolPages = 64
+	e17Batch     = 250
+)
+
+// e17Engine is one paged single-backend instance: a kernel controller over
+// an MBDS whose partition is a page file, journalled to a rotatable journal
+// file.
+type e17Engine struct {
+	ctl   *kc.Controller
+	sys   *mbds.System
+	store *kdb.Store
+	jf    *kc.JournalFile
+}
+
+// openE17 builds the engine over dir/part0.pgf and dir/journal.gob,
+// creating them on first use and recovering from them otherwise. It returns
+// the engine plus the recovery figures (entries replayed, recovery wall
+// time) — both zero on a fresh create.
+func openE17(dir string) (*e17Engine, int, time.Duration, error) {
+	pagePath := filepath.Join(dir, "part0.pgf")
+	journalPath := filepath.Join(dir, "journal.gob")
+	d := abdm.NewDirectory()
+	if err := d.DefineAttr("x", abdm.KindInt); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := d.DefineAttr("payload", abdm.KindString); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := d.DefineFile("f", []string{"x", "payload"}); err != nil {
+		return nil, 0, 0, err
+	}
+
+	_, statErr := os.Stat(pagePath)
+	existing := statErr == nil
+	var meta pager.Meta
+	cfg := mbds.DefaultConfig(1)
+	cfg.StoreOpener = func(pos int, dd *abdm.Directory, opts []kdb.Option) (*kdb.Store, error) {
+		opts = append(opts, kdb.WithPoolPages(e17PoolPages))
+		if existing {
+			st, m, err := kdb.OpenBacked(pagePath, dd, opts...)
+			meta = m
+			return st, err
+		}
+		return kdb.CreateBacked(pagePath, dd, opts...)
+	}
+	sys, err := mbds.New(d, cfg)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	e := &e17Engine{sys: sys, store: sys.Store(0), ctl: kc.New(sys)}
+
+	var replayed int
+	var recoverWall time.Duration
+	if existing {
+		sys.SeedIDs(meta.NextID)
+		start := time.Now()
+		f, err := os.Open(journalPath)
+		if err != nil {
+			e.close()
+			return nil, 0, 0, err
+		}
+		n, total, err := e.ctl.RecoverJournalFrom(f, meta.Entries)
+		f.Close()
+		if err != nil {
+			e.close()
+			return nil, 0, 0, err
+		}
+		e.ctl.SeedRecovery(meta, total)
+		replayed, recoverWall = n, time.Since(start)
+	}
+
+	jf, err := kc.OpenJournalFile(journalPath)
+	if err != nil {
+		e.close()
+		return nil, 0, 0, err
+	}
+	if existing {
+		// An attach truncates the journal down to what the image covers, so a
+		// recovered engine must checkpoint first.
+		if _, err := e.ctl.Checkpoint(e.store); err != nil {
+			e.close()
+			return nil, 0, 0, err
+		}
+	}
+	if err := e.ctl.AttachJournalFile(jf); err != nil {
+		e.close()
+		return nil, 0, 0, err
+	}
+	e.jf = jf
+	return e, replayed, recoverWall, nil
+}
+
+// crash abandons the engine without checkpointing: in-memory state is gone,
+// the page file keeps its last committed generation, the journal keeps its
+// flushed entries.
+func (e *e17Engine) crash() {
+	e.sys.Close()
+	e.store.CloseBacking()
+	if e.jf != nil {
+		e.jf.Close()
+	}
+}
+
+func (e *e17Engine) close() { e.crash() }
+
+// e17Load bulk-loads n records in e17Batch-sized kernel rounds,
+// checkpointing every ckptEvery records (0 = never). Returns load wall time
+// and checkpoint count.
+func (e *e17Engine) load(n, ckptEvery int) (time.Duration, int, error) {
+	payload := strings.Repeat("p", 64)
+	start := time.Now()
+	ckpts := 0
+	sinceCkpt := 0
+	for off := 0; off < n; off += e17Batch {
+		end := min(off+e17Batch, n)
+		reqs := make([]*abdl.Request, 0, end-off)
+		for i := off; i < end; i++ {
+			reqs = append(reqs, abdl.NewInsert(abdm.NewRecord("f",
+				abdm.Keyword{Attr: "x", Val: abdm.Int(int64(i))},
+				abdm.Keyword{Attr: "payload", Val: abdm.String(payload)})))
+		}
+		if _, err := e.ctl.ExecBatch(reqs); err != nil {
+			return 0, 0, fmt.Errorf("load records %d..%d: %w", off, end-1, err)
+		}
+		sinceCkpt += end - off
+		if ckptEvery > 0 && sinceCkpt >= ckptEvery {
+			if _, err := e.ctl.Checkpoint(e.store); err != nil {
+				return 0, 0, fmt.Errorf("checkpoint at %d: %w", end, err)
+			}
+			ckpts++
+			sinceCkpt = 0
+		}
+	}
+	return time.Since(start), ckpts, nil
+}
+
+// count scans the store through the kernel path.
+func (e *e17Engine) count() (int, time.Duration, error) {
+	res, rt, err := e.sys.ExecTimed(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("f")}), "x"))
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(res.Records), rt, nil
+}
+
+// E17PagedStorage regenerates the paged storage engine's two claims:
+//
+//  1. Bulk load and scan at 10x scale hold up behind a buffer pool a
+//     fraction of the dataset's size — the pool must actually evict and
+//     write back, bounding IO-path memory, with the full scan still exact.
+//  2. Recovery time tracks the checkpoint interval: the journal tail a
+//     crash leaves to replay is bounded by the interval, so tighter
+//     checkpoint cadences give strictly less replay than none at all.
+func E17PagedStorage() *Report {
+	const id, title = "E17", "Paged storage — 10x bulk load through a bounded pool; recovery vs checkpoint interval"
+	var b strings.Builder
+	ok := true
+
+	// Claim 1: bulk load + scan through the bounded pool.
+	dir, err := os.MkdirTemp("", "mlds-e17-load-")
+	if err != nil {
+		return failf(id, title, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	eng, _, _, err := openE17(dir)
+	if err != nil {
+		return failf(id, title, "create: %v", err)
+	}
+	loadWall, _, err := eng.load(e17Records, 0)
+	if err != nil {
+		eng.close()
+		return failf(id, title, "bulk load: %v", err)
+	}
+	got, scanSim, err := eng.count()
+	if err != nil {
+		eng.close()
+		return failf(id, title, "scan: %v", err)
+	}
+	stats, pages, backed := eng.store.BackingStats()
+	fmt.Fprintf(&b, "bulk load : %d records in %v (%d heap pages, pool %d frames)\n",
+		e17Records, loadWall.Round(time.Millisecond), pages, e17PoolPages)
+	fmt.Fprintf(&b, "pool      : %d hits, %d misses, %d evictions, %d writebacks\n",
+		stats.Hits, stats.Misses, stats.Evictions, stats.Writebacks)
+	fmt.Fprintf(&b, "scan      : %d records, simulated %v\n", got, scanSim)
+	if got != e17Records || !backed || pages <= e17PoolPages || stats.Evictions == 0 || stats.Writebacks == 0 {
+		ok = false
+	}
+	eng.close()
+
+	// Claim 2: recovery time vs checkpoint interval. Load the same dataset
+	// under three cadences, crash, and recover: the replayed tail must be
+	// bounded by the interval, and every recovery must be exact.
+	fmt.Fprintf(&b, "\n%-22s %-12s %-10s %s\n", "checkpoint interval", "checkpoints", "replayed", "recovery")
+	prevReplayed := -1
+	for _, interval := range []int{0, 2000, 500} {
+		dir, err := os.MkdirTemp("", "mlds-e17-rec-")
+		if err != nil {
+			return failf(id, title, "tempdir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		eng, _, _, err := openE17(dir)
+		if err != nil {
+			return failf(id, title, "create (interval %d): %v", interval, err)
+		}
+		_, ckpts, err := eng.load(e17Records, interval)
+		if err != nil {
+			eng.close()
+			return failf(id, title, "load (interval %d): %v", interval, err)
+		}
+		eng.crash()
+
+		eng2, replayed, recWall, err := openE17(dir)
+		if err != nil {
+			return failf(id, title, "recover (interval %d): %v", interval, err)
+		}
+		got, _, err := eng2.count()
+		eng2.close()
+		if err != nil {
+			return failf(id, title, "post-recovery scan (interval %d): %v", interval, err)
+		}
+		label := "none"
+		bound := e17Records
+		if interval > 0 {
+			label = fmt.Sprintf("every %d", interval)
+			bound = interval
+		}
+		fmt.Fprintf(&b, "%-22s %-12d %-10d %v\n", label, ckpts, replayed, recWall.Round(time.Millisecond))
+		if got != e17Records || replayed > bound {
+			ok = false
+		}
+		if prevReplayed >= 0 && replayed >= prevReplayed {
+			ok = false // tighter cadence must strictly shrink the replayed tail
+		}
+		prevReplayed = replayed
+	}
+
+	r := report(id, title, ok, b.String())
+	r.Sim = scanSim
+	return r
+}

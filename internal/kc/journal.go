@@ -22,15 +22,23 @@ type journalEntry struct {
 	Req    wire.Request
 	Key    int64
 	Txn    uint64 // owning transaction id; 0 = legacy auto-committed entry
-	Marker byte   // markerData, markerBegin, markerCommit, markerAbort
+	Marker byte   // markerData, markerBegin, markerCommit, markerAbort, markerCheckpoint
+
+	// Checkpoint markers (markerCheckpoint) only: the commit epoch a page
+	// image was taken at and the count of committed data entries that image
+	// covers. Gob omits zero fields, so pre-checkpoint journals decode
+	// unchanged.
+	CkptEpoch   uint64
+	CkptEntries uint64
 }
 
 // Journal markers. Data must be zero so v1 entries decode as data.
 const (
-	markerData   byte = 0
-	markerBegin  byte = 1
-	markerCommit byte = 2
-	markerAbort  byte = 3
+	markerData       byte = 0
+	markerBegin      byte = 1
+	markerCommit     byte = 2
+	markerAbort      byte = 3
+	markerCheckpoint byte = 4
 )
 
 // AttachJournal starts logging committed mutations (INSERT, DELETE, UPDATE)
@@ -100,6 +108,10 @@ func (s journalSink) WriteCommits(recs []txn.CommitRecord) error {
 			if err := c.journal.Encode(&entry); err != nil {
 				return fmt.Errorf("kc: journal write: %w", err)
 			}
+			c.jEntries++
+			if e.Key > c.jMaxKey {
+				c.jMaxKey = e.Key
+			}
 		}
 		if err := c.journal.Encode(&journalEntry{Txn: rec.ID, Marker: markerCommit}); err != nil {
 			return fmt.Errorf("kc: journal write: %w", err)
@@ -109,6 +121,21 @@ func (s journalSink) WriteCommits(recs []txn.CommitRecord) error {
 		return fmt.Errorf("kc: journal write: %w", err)
 	}
 	return nil
+}
+
+// NoteEpoch pairs a just-published commit epoch with the journal position its
+// batch was flushed at — the cumulative committed data-entry count and the
+// key-allocator high water. A checkpoint whose image is exact at that epoch
+// covers exactly that prefix of the journal. Called by the group-commit
+// leader under the stamp barrier, after the batch's WriteCommits.
+func (s journalSink) NoteEpoch(epoch uint64) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jPairs == nil {
+		c.jPairs = make(map[uint64]ckptPair)
+	}
+	c.jPairs[epoch] = ckptPair{entries: c.jEntries, maxKey: c.jMaxKey}
 }
 
 // WriteAbort notes a rolled-back transaction in the journal. Aborted
@@ -137,7 +164,8 @@ func (s journalSink) WriteAbort(id uint64) error {
 // treated as clean end-of-log. Use RecoverJournal to honour commit
 // boundaries; ReplayJournal replays the raw redo stream.
 func (c *Controller) ReplayJournal(r io.Reader) (int, error) {
-	return c.replay(r, false)
+	n, _, err := c.replay(r, false, 0)
+	return n, err
 }
 
 // RecoverJournal reads a journal stream and re-executes exactly the
@@ -148,17 +176,37 @@ func (c *Controller) ReplayJournal(r io.Reader) (int, error) {
 // auto-committed and apply immediately. It returns the number of entries
 // applied; a torn final entry is clean end-of-log.
 func (c *Controller) RecoverJournal(r io.Reader) (int, error) {
-	return c.replay(r, true)
+	n, _, err := c.replay(r, true, 0)
+	return n, err
 }
 
-func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
+// RecoverJournalFrom is RecoverJournal starting past a checkpoint: the first
+// skip committed data entries — already reflected in the mounted page image —
+// advance the key allocator but are not re-executed; only the tail past them
+// is applied. It returns the number of entries applied and the journal's
+// total committed-entry position, the figure a subsequent checkpoint resumes
+// accounting from. A journal whose leading checkpoint marker claims more
+// entries than skip covers a gap the image cannot fill and is refused.
+func (c *Controller) RecoverJournalFrom(r io.Reader, skip uint64) (int, uint64, error) {
+	return c.replay(r, true, skip)
+}
+
+func (c *Controller) replay(r io.Reader, committedOnly bool, skip uint64) (int, uint64, error) {
 	dec := gob.NewDecoder(r)
 	n := 0
+	pos := uint64(0) // committed data entries seen, in commit order
 	var pending map[uint64][]journalEntry
 	if committedOnly {
 		pending = make(map[uint64][]journalEntry)
 	}
 	apply := func(entry *journalEntry) error {
+		pos++
+		c.SeedKeys(entry.Key)
+		if pos <= skip {
+			// Covered by the checkpoint image: the effect is already in the
+			// store; only the allocator bookkeeping above matters.
+			return nil
+		}
 		req, err := entry.Req.ToRequest()
 		if err != nil {
 			return fmt.Errorf("kc: journal entry %d: %w", n+1, err)
@@ -166,7 +214,6 @@ func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
 		if _, _, err := c.sys.ExecTimed(req); err != nil {
 			return fmt.Errorf("kc: replaying entry %d: %w", n+1, err)
 		}
-		c.SeedKeys(entry.Key)
 		n++
 		return nil
 	}
@@ -176,9 +223,9 @@ func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				// End of log — including a final entry torn by a crash
 				// mid-write. Everything before it applied cleanly.
-				return n, nil
+				return n, pos, nil
 			}
-			return n, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
+			return n, pos, fmt.Errorf("kc: journal entry %d: %w", n+1, err)
 		}
 		switch entry.Marker {
 		case markerBegin:
@@ -187,7 +234,7 @@ func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
 			if committedOnly {
 				for i := range pending[entry.Txn] {
 					if err := apply(&pending[entry.Txn][i]); err != nil {
-						return n, err
+						return n, pos, err
 					}
 				}
 				delete(pending, entry.Txn)
@@ -196,16 +243,29 @@ func (c *Controller) replay(r io.Reader, committedOnly bool) (int, error) {
 			if committedOnly {
 				delete(pending, entry.Txn)
 			}
+		case markerCheckpoint:
+			// A rotated journal opens with one: entries before CkptEntries
+			// were truncated away, their effects held by a page image. The
+			// image being replayed against must cover at least that prefix.
+			if entry.CkptEntries > skip && entry.CkptEntries > pos {
+				return n, pos, fmt.Errorf(
+					"kc: journal entry %d: checkpoint marker covers %d entries but the image covers only %d — journal and image do not match",
+					n+1, entry.CkptEntries, skip)
+			}
+			if entry.CkptEntries > pos {
+				pos = entry.CkptEntries
+			}
+			c.SeedKeys(entry.Key)
 		case markerData:
 			if committedOnly && entry.Txn != 0 {
 				pending[entry.Txn] = append(pending[entry.Txn], entry)
 				continue
 			}
 			if err := apply(&entry); err != nil {
-				return n, err
+				return n, pos, err
 			}
 		default:
-			return n, fmt.Errorf("kc: journal entry %d: unknown marker %d", n+1, entry.Marker)
+			return n, pos, fmt.Errorf("kc: journal entry %d: unknown marker %d", n+1, entry.Marker)
 		}
 	}
 }

@@ -41,6 +41,21 @@ type Controller struct {
 	simTime time.Duration
 	journal *gob.Encoder
 	jw      *bufio.Writer
+
+	// Fuzzy-checkpoint bookkeeping (see checkpoint.go). jEntries counts
+	// committed data entries ever written to the journal, jMaxKey the key
+	// allocator's high water among them; jPairs maps each published commit
+	// epoch to the journal position its batch flushed at. jf is the journal's
+	// file handle when attached via AttachJournalFile — what rotation swaps.
+	jEntries uint64
+	jMaxKey  int64
+	jPairs   map[uint64]ckptPair
+	lastCkpt uint64
+	jf       *JournalFile
+
+	// Background checkpointer (StartCheckpointer).
+	ckptStop chan struct{}
+	ckptDone chan struct{}
 }
 
 // Option configures a controller.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -208,4 +210,127 @@ func TestRecoveryMatrixConcurrentGroupCommit(t *testing.T) {
 		present = append(present, fmt.Sprintf("w%d", w))
 	}
 	t.Logf("journal=%dB, committed writers recovered: %v", len(full), present)
+}
+
+// TestRecoveryMatrixPagedCheckpoint extends the truncate-at-every-byte
+// matrix to the paged storage engine: a checkpointed page image plus a
+// rotated journal whose head is a checkpoint marker. The journal is cut at
+// every byte — inside the marker, inside the post-checkpoint transaction's
+// frames, everywhere — and recovered against a copy of the image. At every
+// cut the database must be exactly the checkpoint state or exactly the
+// post-checkpoint commit's state, with the image's covered prefix never
+// replayed.
+func TestRecoveryMatrixPagedCheckpoint(t *testing.T) {
+	tmp := t.TempDir()
+	pagePath := filepath.Join(tmp, "part0.pgf")
+	journalPath := filepath.Join(tmp, "journal.gob")
+
+	c, st, _ := backedController(t, pagePath)
+	attachJournalFile(t, c, journalPath)
+	ctx := context.Background()
+
+	// Transaction A, covered by the checkpoint: x=1 and x=2.
+	a := c.Txns().Begin()
+	actx := txn.NewContext(ctx, a)
+	for _, v := range []int64{1, 2} {
+		if _, err := c.ExecCtx(actx, insertX(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Txns().Commit(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash window this matrix probes FIRST: the image is durable but the
+	// journal has not been truncated yet. Recovery must skip the image's
+	// covered prefix of the old journal at every cut of it.
+	preRotation, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.Checkpoint(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Rotated || info.Meta.Entries != 2 {
+		t.Fatalf("checkpoint info = %+v, want rotation covering 2 entries", info)
+	}
+
+	// Transaction C, past the checkpoint: insert x=4, rewrite x=1 to x=5.
+	// Its effects must recover atomically against the image.
+	cw := c.Txns().Begin()
+	cctx := txn.NewContext(ctx, cw)
+	if _, err := c.ExecCtx(cctx, insertX(4)); err != nil {
+		t.Fatal(err)
+	}
+	up := abdl.NewUpdate(abdm.And(
+		abdm.Predicate{Attr: "x", Op: abdm.OpEq, Val: abdm.Int(1)}),
+		abdl.Modifier{Attr: "x", Val: abdm.Int(5)})
+	if _, err := c.ExecCtx(cctx, up); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Txns().Commit(cw); err != nil {
+		t.Fatal(err)
+	}
+
+	rotated, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image, err := os.ReadFile(pagePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recoverCut := func(t *testing.T, journal []byte, cut int) (*Controller, int) {
+		t.Helper()
+		dir := t.TempDir()
+		pp := filepath.Join(dir, "part0.pgf")
+		jp := filepath.Join(dir, "journal.gob")
+		if err := os.WriteFile(pp, image, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(jp, journal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c2, _, replayed := recoverBacked(t, pp, jp)
+		return c2, replayed
+	}
+
+	// Crash between image commit and journal truncation: the OLD journal (no
+	// checkpoint marker for this image, every entry covered by it) cut at
+	// every byte. Nothing may replay, nothing may double-apply.
+	for cut := 0; cut <= len(preRotation); cut++ {
+		c2, replayed := recoverCut(t, preRotation, cut)
+		if replayed != 0 {
+			t.Fatalf("pre-rotation cut at byte %d: replayed %d covered entries", cut, replayed)
+		}
+		for _, v := range []int64{1, 2} {
+			if n := countX(t, c2, v); n != 1 {
+				t.Fatalf("pre-rotation cut at byte %d: x=%d recovered %d times", cut, v, n)
+			}
+		}
+	}
+
+	// The rotated journal — checkpoint marker head plus transaction C — cut
+	// at every byte against the same image.
+	for cut := 0; cut <= len(rotated); cut++ {
+		c2, replayed := recoverCut(t, rotated, cut)
+		if replayed != 0 && replayed != 2 {
+			t.Fatalf("cut at byte %d: replayed %d entries, want 0 or the whole 2-entry commit", cut, replayed)
+		}
+		if n := countX(t, c2, 2); n != 1 {
+			t.Fatalf("cut at byte %d: checkpointed record lost (%d copies)", cut, n)
+		}
+		old, upd, ins := countX(t, c2, 1), countX(t, c2, 5), countX(t, c2, 4)
+		switch {
+		case old == 1 && upd == 0 && ins == 0:
+			// Checkpoint state: the torn tail left no trace.
+		case old == 0 && upd == 1 && ins == 1:
+			// Transaction C recovered whole.
+		default:
+			t.Fatalf("cut at byte %d: blended state x1=%d x5=%d x4=%d", cut, old, upd, ins)
+		}
+	}
 }

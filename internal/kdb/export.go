@@ -226,6 +226,15 @@ func (s *Store) ImportPartition(recs []MigRecord) int {
 		}
 		s.mvcc.versions += len(chain) - len(have)
 		s.setChainLocked(mr.File, mr.ID, chain)
+		// The paged backing holds committed state only: write through the
+		// newest committed version of the imported chain (the live value may
+		// include uncommitted 2PL writes that a pending version carries).
+		for j := len(chain) - 1; j >= 0; j-- {
+			if chain[j].epoch != 0 {
+				s.applyBacking(mr.ID, chain[j].rec, chain[j].epoch)
+				break
+			}
+		}
 	}
 	return applied
 }
@@ -266,6 +275,7 @@ func (s *Store) DropRecords(ids []abdm.RecordID) int {
 		}
 		if hit {
 			n++
+			s.applyBacking(id, nil, 0)
 		}
 	}
 	return n

@@ -77,7 +77,10 @@ func (s *Store) noteVersion(req *abdl.Request, file string, id abdm.RecordID, re
 		v.rec = rec.Clone()
 	}
 	if v.txn == 0 {
+		// Immediately stamped (bulk load, journal replay): the mutation is
+		// committed state, so it writes through to the paged backing now.
 		v.epoch = s.mvcc.epoch
+		s.applyBacking(id, rec, v.epoch)
 	} else {
 		s.mvcc.pending[v.txn] = append(s.mvcc.pending[v.txn], chainRef{file, id})
 	}
@@ -129,6 +132,9 @@ func (s *Store) stampLocked(txn, epoch uint64) int {
 			}
 		}
 	}
+	// The stamped versions are now committed state: write each touched
+	// chain's newest committed value through to the paged backing.
+	s.backingStamp(refs, epoch)
 	return n
 }
 

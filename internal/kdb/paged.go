@@ -1,0 +1,444 @@
+package kdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"mlds/internal/abdm"
+	"mlds/internal/pager"
+)
+
+// Paged backing.
+//
+// A backed store keeps its committed state in a pager heap as well as in the
+// live maps: every committed effect (an MVCC stamp, an immediately-stamped
+// bulk write, a migration import or drop) is written through to the heap's
+// buffer pool. The pool does no fsync on the write path — durability comes
+// from checkpoints, which flush the pool and commit a new page-file
+// generation whose embedded metadata records the exact journal position the
+// image reflects. Crash recovery then mounts the last committed generation
+// and replays only the journal tail past that position.
+//
+// The write-through happens under the store mutex, so the image always
+// corresponds to a prefix of the store's committed history. While a
+// checkpoint flushes, a fence redirects write-throughs into a deferred
+// queue instead of the heap — group commit never waits on checkpoint I/O —
+// and the queue drains when the checkpoint finishes.
+
+// ErrNoBacking reports a checkpoint operation on a store without a paged
+// backing file.
+var ErrNoBacking = errors.New("kdb: store has no paged backing")
+
+// ErrCheckpointActive reports an attempt to begin a checkpoint while one is
+// already fencing the store.
+var ErrCheckpointActive = errors.New("kdb: checkpoint already in progress")
+
+// backApply is one write-through deferred by a checkpoint fence.
+type backApply struct {
+	id    abdm.RecordID
+	rec   *abdm.Record // nil = delete
+	epoch uint64
+}
+
+// backing is the paged on-disk side of a Store. All fields are guarded by
+// the store mutex except the heap, which has its own lock so checkpoint
+// flushes can run without stalling the store.
+type backing struct {
+	file *pager.File
+	pool *pager.Pool
+	heap *pager.Heap
+
+	rids         map[abdm.RecordID]pager.RID
+	appliedEpoch uint64 // newest commit epoch written through
+	maxID        uint64 // record-id high water ever applied
+	fence        bool
+	deferred     []backApply
+	err          error // first write-through failure; sticky
+}
+
+// WithPageSize sets the page size used by CreateBacked. The default is
+// pager.DefaultPageSize.
+func WithPageSize(n int) Option { return func(s *Store) { s.pageSize = n } }
+
+// WithPoolPages caps the buffer pool at n resident pages. The default keeps
+// 1024 pages (4 MiB at the default page size).
+func WithPoolPages(n int) Option { return func(s *Store) { s.poolPages = n } }
+
+const defaultPoolPages = 1024
+
+// CreateBacked builds an empty store whose committed state is written
+// through to a new page file at path.
+func CreateBacked(path string, dir *abdm.Directory, opts ...Option) (*Store, error) {
+	s := NewStore(dir, opts...)
+	f, err := pager.Create(path, s.pageSize)
+	if err != nil {
+		return nil, err
+	}
+	s.attachBacking(f)
+	return s, nil
+}
+
+// OpenBacked mounts the page file's last committed generation and builds a
+// store from it: live maps and indexes from the heap scan, one committed
+// version per record so snapshots and migration see the restored state, and
+// the record-id allocator seeded past every id the image has seen. The
+// returned metadata carries the checkpoint position for bounded-tail
+// journal recovery.
+func OpenBacked(path string, dir *abdm.Directory, opts ...Option) (*Store, pager.Meta, error) {
+	s := NewStore(dir, opts...)
+	f, err := pager.Open(path)
+	if err != nil {
+		return nil, pager.Meta{}, err
+	}
+	meta := f.Meta()
+	pool := pager.NewPool(f, s.poolPages)
+	heap, err := pager.NewHeap(pool)
+	if err != nil {
+		f.Close()
+		return nil, pager.Meta{}, err
+	}
+	epoch := meta.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	s.mvcc.chains = make(map[string]map[abdm.RecordID][]version)
+	s.mvcc.pending = make(map[uint64][]chainRef)
+	s.mvcc.epoch = epoch
+	rids := make(map[abdm.RecordID]pager.RID)
+	maxID := meta.NextID
+	err = heap.Scan(func(rid pager.RID, cell []byte) error {
+		id, rec, err := decodeRecord(cell)
+		if err != nil {
+			return err
+		}
+		s.addLocked(id, rec)
+		file := rec.File()
+		if s.mvcc.chains[file] == nil {
+			s.mvcc.chains[file] = make(map[abdm.RecordID][]version)
+		}
+		s.mvcc.chains[file][id] = []version{{epoch: epoch, rec: rec.Clone()}}
+		s.mvcc.versions++
+		rids[id] = rid
+		if uint64(id) > maxID {
+			maxID = uint64(id)
+		}
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, pager.Meta{}, fmt.Errorf("kdb: corrupt backing record: %w", err)
+	}
+	if s.seedID != nil {
+		s.seedID(abdm.RecordID(maxID))
+	}
+	s.backing = &backing{file: f, pool: pool, heap: heap, rids: rids,
+		appliedEpoch: epoch, maxID: maxID}
+	return s, meta, nil
+}
+
+// attachBacking wires a fresh (empty) page file to the store.
+func (s *Store) attachBacking(f *pager.File) {
+	pool := pager.NewPool(f, s.poolPages)
+	heap, _ := pager.NewHeap(pool) // empty file: the scan cannot fail
+	s.backing = &backing{file: f, pool: pool, heap: heap,
+		rids: make(map[abdm.RecordID]pager.RID)}
+}
+
+// Backed reports whether the store writes through to a page file.
+func (s *Store) Backed() bool { return s.backing != nil }
+
+// CloseBacking closes the page file without committing; state since the
+// last checkpoint survives only in the journal. A store without backing is
+// a no-op.
+func (s *Store) CloseBacking() error {
+	if s.backing == nil {
+		return nil
+	}
+	return s.backing.file.Close()
+}
+
+// BackingStats reports the buffer pool counters and heap page count of a
+// backed store.
+func (s *Store) BackingStats() (pager.PoolStats, int, bool) {
+	if s.backing == nil {
+		return pager.PoolStats{}, 0, false
+	}
+	return s.backing.pool.Stats(), s.backing.file.Pages(), true
+}
+
+// applyBacking writes one committed effect through to the heap, or defers
+// it while a checkpoint fence is up. Caller holds the write lock.
+func (s *Store) applyBacking(id abdm.RecordID, rec *abdm.Record, epoch uint64) {
+	b := s.backing
+	if b == nil || b.err != nil {
+		return
+	}
+	if b.fence {
+		var cp *abdm.Record
+		if rec != nil {
+			cp = rec.Clone()
+		}
+		b.deferred = append(b.deferred, backApply{id: id, rec: cp, epoch: epoch})
+		return
+	}
+	s.applyBackingNow(id, rec, epoch)
+}
+
+func (s *Store) applyBackingNow(id abdm.RecordID, rec *abdm.Record, epoch uint64) {
+	b := s.backing
+	if epoch > b.appliedEpoch {
+		b.appliedEpoch = epoch
+	}
+	if uint64(id) > b.maxID {
+		b.maxID = uint64(id)
+	}
+	rid, exists := b.rids[id]
+	var err error
+	switch {
+	case rec == nil && exists:
+		err = b.heap.Delete(rid)
+		delete(b.rids, id)
+	case rec == nil:
+		// Delete of a record the image never held: nothing to do.
+	case exists:
+		var nr pager.RID
+		nr, err = b.heap.Update(rid, encodeRecord(id, rec))
+		if err == nil {
+			b.rids[id] = nr
+		}
+	default:
+		var nr pager.RID
+		nr, err = b.heap.Put(encodeRecord(id, rec))
+		if err == nil {
+			b.rids[id] = nr
+		}
+	}
+	if err != nil && b.err == nil {
+		b.err = fmt.Errorf("kdb: backing write-through: %w", err)
+	}
+}
+
+// backingStamp writes the newest committed state of each stamped chain
+// through to the heap. Caller holds the write lock; refs are the chains the
+// stamp touched.
+func (s *Store) backingStamp(refs []chainRef, epoch uint64) {
+	if s.backing == nil {
+		return
+	}
+	seen := make(map[chainRef]bool, len(refs))
+	for _, ref := range refs {
+		if seen[ref] {
+			continue
+		}
+		seen[ref] = true
+		chain := s.mvcc.chains[ref.file][ref.id]
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i].epoch != 0 {
+				s.applyBacking(ref.id, chain[i].rec, epoch)
+				break
+			}
+		}
+	}
+}
+
+// CheckpointBegin fences the store for a fuzzy checkpoint and returns the
+// newest commit epoch the backing has applied — the epoch the image will be
+// exact at. Write-throughs queue behind the fence until CheckpointCommit or
+// CheckpointAbort; the live maps, reads and group commit proceed untouched.
+func (s *Store) CheckpointBegin() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backing == nil {
+		return 0, ErrNoBacking
+	}
+	if s.backing.err != nil {
+		return 0, s.backing.err
+	}
+	if s.backing.fence {
+		return 0, ErrCheckpointActive
+	}
+	s.backing.fence = true
+	return s.backing.appliedEpoch, nil
+}
+
+// CheckpointCommit flushes the buffer pool and commits a new page-file
+// generation carrying meta (NextID is filled in from the backing's id high
+// water), then lifts the fence and drains the deferred write-throughs. The
+// flush and commit run without the store lock, so concurrent commits only
+// ever pay the cost of queueing behind the fence.
+func (s *Store) CheckpointCommit(meta pager.Meta) error {
+	b := s.backing
+	if b == nil {
+		return ErrNoBacking
+	}
+	if meta.NextID < b.maxID {
+		meta.NextID = b.maxID
+	}
+	err := b.heap.Flush()
+	if err == nil {
+		err = b.file.Commit(meta)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.fence = false
+	for _, a := range b.deferred {
+		s.applyBackingNow(a.id, a.rec, a.epoch)
+	}
+	b.deferred = nil
+	if err != nil {
+		return err
+	}
+	return b.err
+}
+
+// CheckpointAbort lifts the fence without committing, draining the deferred
+// write-throughs into the working generation.
+func (s *Store) CheckpointAbort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.backing
+	if b == nil {
+		return
+	}
+	b.fence = false
+	for _, a := range b.deferred {
+		s.applyBackingNow(a.id, a.rec, a.epoch)
+	}
+	b.deferred = nil
+}
+
+// ScanBacking streams every record in the page image through the buffer
+// pool in page order, decoding each cell. It reads the working generation —
+// committed state plus any write-throughs since — and takes the store lock
+// only briefly to resolve the heap, so it can overlap normal traffic.
+func (s *Store) ScanBacking(fn func(id abdm.RecordID, rec *abdm.Record) error) error {
+	s.mu.RLock()
+	b := s.backing
+	s.mu.RUnlock()
+	if b == nil {
+		return ErrNoBacking
+	}
+	return b.heap.Scan(func(_ pager.RID, cell []byte) error {
+		id, rec, err := decodeRecord(cell)
+		if err != nil {
+			return err
+		}
+		return fn(id, rec)
+	})
+}
+
+// Record codec: a compact binary form for heap cells.
+//
+//	uvarint id
+//	uvarint keyword count
+//	per keyword: uvarint len(attr), attr, kind byte, payload
+//	  (int: varint; float: 8-byte LE bits; string: uvarint len, bytes)
+//	uvarint len(text), text
+
+func encodeRecord(id abdm.RecordID, rec *abdm.Record) []byte {
+	buf := binary.AppendUvarint(nil, uint64(id))
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Keywords)))
+	for _, kw := range rec.Keywords {
+		buf = binary.AppendUvarint(buf, uint64(len(kw.Attr)))
+		buf = append(buf, kw.Attr...)
+		buf = append(buf, byte(kw.Val.Kind()))
+		switch kw.Val.Kind() {
+		case abdm.KindInt:
+			buf = binary.AppendVarint(buf, kw.Val.AsInt())
+		case abdm.KindFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(kw.Val.AsFloat()))
+		case abdm.KindString:
+			s := kw.Val.AsString()
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Text)))
+	buf = append(buf, rec.Text...)
+	return buf
+}
+
+var errShortRecord = errors.New("kdb: truncated record cell")
+
+func decodeRecord(cell []byte) (abdm.RecordID, *abdm.Record, error) {
+	idU, n := binary.Uvarint(cell)
+	if n <= 0 {
+		return 0, nil, errShortRecord
+	}
+	cell = cell[n:]
+	nkw, n := binary.Uvarint(cell)
+	if n <= 0 {
+		return 0, nil, errShortRecord
+	}
+	cell = cell[n:]
+	rec := &abdm.Record{Keywords: make([]abdm.Keyword, 0, nkw)}
+	readBytes := func(ln uint64) ([]byte, error) {
+		if uint64(len(cell)) < ln {
+			return nil, errShortRecord
+		}
+		out := cell[:ln]
+		cell = cell[ln:]
+		return out, nil
+	}
+	for i := uint64(0); i < nkw; i++ {
+		ln, n := binary.Uvarint(cell)
+		if n <= 0 {
+			return 0, nil, errShortRecord
+		}
+		cell = cell[n:]
+		attr, err := readBytes(ln)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(cell) < 1 {
+			return 0, nil, errShortRecord
+		}
+		kind := abdm.Kind(cell[0])
+		cell = cell[1:]
+		var val abdm.Value
+		switch kind {
+		case abdm.KindNull:
+			val = abdm.Null()
+		case abdm.KindInt:
+			v, n := binary.Varint(cell)
+			if n <= 0 {
+				return 0, nil, errShortRecord
+			}
+			cell = cell[n:]
+			val = abdm.Int(v)
+		case abdm.KindFloat:
+			raw, err := readBytes(8)
+			if err != nil {
+				return 0, nil, err
+			}
+			val = abdm.Float(math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		case abdm.KindString:
+			ln, n := binary.Uvarint(cell)
+			if n <= 0 {
+				return 0, nil, errShortRecord
+			}
+			cell = cell[n:]
+			raw, err := readBytes(ln)
+			if err != nil {
+				return 0, nil, err
+			}
+			val = abdm.String(string(raw))
+		default:
+			return 0, nil, fmt.Errorf("kdb: record cell has unknown value kind %d", kind)
+		}
+		rec.Keywords = append(rec.Keywords, abdm.Keyword{Attr: string(attr), Val: val})
+	}
+	ln, n := binary.Uvarint(cell)
+	if n <= 0 {
+		return 0, nil, errShortRecord
+	}
+	cell = cell[n:]
+	text, err := readBytes(ln)
+	if err != nil {
+		return 0, nil, err
+	}
+	rec.Text = string(text)
+	return abdm.RecordID(idU), rec, nil
+}

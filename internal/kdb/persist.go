@@ -1,15 +1,32 @@
 package kdb
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
 	"mlds/internal/abdm"
 )
 
-// The persistence format is a gob stream of plain DTO structs so that the
-// model types stay free of serialisation concerns.
+// The persistence format is a fixed header — magic plus format version —
+// followed by a gob stream of plain DTO structs, so the model types stay
+// free of serialisation concerns. Headerless streams written before the
+// header existed (format v0) are still readable.
+
+// snapshotMagic identifies a kdb snapshot stream; the byte after it is the
+// format version.
+const (
+	snapshotMagic   = "MLDSKDB\x00"
+	snapshotVersion = 1
+)
+
+// ErrCorruptSnapshot reports a snapshot stream that cannot be decoded: a
+// bad magic or version header, a torn gob stream, or an impossible value
+// inside it.
+var ErrCorruptSnapshot = errors.New("kdb: corrupt snapshot")
 
 type kwDTO struct {
 	Attr string
@@ -57,12 +74,13 @@ func fromKwDTO(d kwDTO) (abdm.Keyword, error) {
 	case abdm.KindString:
 		v = abdm.String(d.S)
 	default:
-		return abdm.Keyword{}, fmt.Errorf("kdb: corrupt snapshot: unknown value kind %d", d.Kind)
+		return abdm.Keyword{}, fmt.Errorf("%w: unknown value kind %d", ErrCorruptSnapshot, d.Kind)
 	}
 	return abdm.Keyword{Attr: d.Attr, Val: v}, nil
 }
 
-// Save writes the store's directory and records to w.
+// Save writes the store's directory and records to w, prefixed by the
+// snapshot magic and format version.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	dto := snapshotDTO{
@@ -91,15 +109,36 @@ func (s *Store) Save(w io.Writer) error {
 	}
 	dto.NextID = uint64(maxID)
 	s.mu.RUnlock()
+	if _, err := w.Write(append([]byte(snapshotMagic), snapshotVersion)); err != nil {
+		return err
+	}
 	return gob.NewEncoder(w).Encode(&dto)
 }
 
 // Load reads a snapshot written by Save and returns a fresh store holding
 // its contents. New database keys continue after the highest loaded key.
+// Headerless v0 snapshots still load; a stream that matches neither form is
+// rejected with ErrCorruptSnapshot.
 func Load(r io.Reader, opts ...Option) (*Store, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(snapshotMagic) + 1)
+	switch {
+	case err == nil && bytes.Equal(head[:len(snapshotMagic)], []byte(snapshotMagic)):
+		if v := head[len(snapshotMagic)]; v != snapshotVersion {
+			return nil, fmt.Errorf("%w: unsupported format version %d", ErrCorruptSnapshot, v)
+		}
+		if _, err := br.Discard(len(snapshotMagic) + 1); err != nil {
+			return nil, err
+		}
+	case err == nil || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		// No header: either a legacy v0 stream (bare gob) or garbage; the
+		// gob decode below settles it.
+	default:
+		return nil, err
+	}
 	var dto snapshotDTO
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
-		return nil, fmt.Errorf("kdb: decoding snapshot: %w", err)
+	if err := gob.NewDecoder(br).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("%w: decoding stream: %v", ErrCorruptSnapshot, err)
 	}
 	dir := abdm.NewDirectory()
 	for a, k := range dto.Attrs {
@@ -115,6 +154,11 @@ func Load(r io.Reader, opts ...Option) (*Store, error) {
 	ctr := abdm.RecordID(dto.NextID)
 	s := NewStore(dir, opts...)
 	s.nextID = func() abdm.RecordID { ctr++; return ctr }
+	s.seedID = func(id abdm.RecordID) {
+		if id > ctr {
+			ctr = id
+		}
+	}
 	for _, rd := range dto.Records {
 		rec := &abdm.Record{Text: rd.Text}
 		for _, kd := range rd.Keywords {
@@ -143,6 +187,9 @@ func (s *Store) InsertWithID(id abdm.RecordID, rec *abdm.Record) error {
 	if _, dup := s.fileOf[id]; dup {
 		return fmt.Errorf("kdb: database key %d already in use", id)
 	}
+	if s.seedID != nil {
+		s.seedID(id)
+	}
 	cp := rec.Clone()
 	file := cp.File()
 	if s.files[file] == nil {
@@ -160,5 +207,6 @@ func (s *Store) InsertWithID(id abdm.RecordID, rec *abdm.Record) error {
 			ix.add(kw.Val, id)
 		}
 	}
+	s.applyBacking(id, cp, 0)
 	return nil
 }

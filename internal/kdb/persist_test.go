@@ -1,0 +1,101 @@
+package kdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"mlds/internal/abdm"
+)
+
+// TestSnapshotHeader: Save writes the magic + version header and Load
+// consumes it.
+func TestSnapshotHeader(t *testing.T) {
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 3)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.Bytes()[:len(snapshotMagic)+1]
+	if !bytes.Equal(head[:len(snapshotMagic)], []byte(snapshotMagic)) {
+		t.Fatalf("snapshot head = %q, want magic %q", head, snapshotMagic)
+	}
+	if head[len(snapshotMagic)] != snapshotVersion {
+		t.Fatalf("snapshot version byte = %d, want %d", head[len(snapshotMagic)], snapshotVersion)
+	}
+	s2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("loaded %d records, want 3", s2.Len())
+	}
+}
+
+// TestSnapshotLegacyV0: a headerless bare-gob stream — the pre-header
+// format — still loads.
+func TestSnapshotLegacyV0(t *testing.T) {
+	dto := snapshotDTO{
+		Attrs: map[string]byte{"name": byte(abdm.KindString)},
+		Files: map[string][]string{"person": {"name"}},
+		Records: []recordDTO{{
+			ID: 4,
+			Keywords: []kwDTO{
+				{Attr: abdm.FileAttr, Kind: byte(abdm.KindString), S: "person"},
+				{Attr: "name", Kind: byte(abdm.KindString), S: "legacy"},
+			},
+		}},
+		NextID: 4,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy v0 snapshot rejected: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("loaded %d records, want 1", s.Len())
+	}
+	// The allocator continues past the loaded keys.
+	id, err := s.Insert(abdm.NewRecord("person",
+		abdm.Keyword{Attr: "name", Val: abdm.String("fresh")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 4 {
+		t.Fatalf("post-load insert got key %d inside the loaded range", id)
+	}
+}
+
+// TestSnapshotCorruption: garbage, an unsupported version, and a torn
+// stream all come back as ErrCorruptSnapshot — never a silent partial load.
+func TestSnapshotCorruption(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{0x01, 0x00})); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("garbage stream: %v, want ErrCorruptSnapshot", err)
+	}
+
+	badVersion := append([]byte(snapshotMagic), snapshotVersion+1)
+	if _, err := Load(bytes.NewReader(badVersion)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("future version: %v, want ErrCorruptSnapshot", err)
+	}
+
+	s := NewStore(testDir(t))
+	loadCourses(t, s, 10)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	torn := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(torn)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("torn stream: %v, want ErrCorruptSnapshot", err)
+	}
+
+	empty := []byte{}
+	if _, err := Load(bytes.NewReader(empty)); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("empty stream: %v, want ErrCorruptSnapshot", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"mlds/internal/abdl"
 	"mlds/internal/abdm"
+	"mlds/internal/pager"
 )
 
 // Store is one backend's partition of the kernel database: records grouped
@@ -36,6 +37,14 @@ type Store struct {
 	// mvcc holds the per-record version chains behind snapshot reads; see
 	// mvcc.go. Guarded by mu like the live maps.
 	mvcc mvccState
+
+	// backing is the paged on-disk side of the store (nil = memory only);
+	// see paged.go. seedID advances the id allocator past a forced id so
+	// replayed inserts never collide with fresh allocations.
+	backing   *backing
+	seedID    func(abdm.RecordID)
+	pageSize  int
+	poolPages int
 }
 
 // Option configures a Store.
@@ -48,7 +57,7 @@ func WithDisk(m DiskModel) Option { return func(s *Store) { s.disk = m } }
 // allocator so keys are unique across backends; a standalone store defaults
 // to a private counter.
 func WithIDAllocator(next func() abdm.RecordID) Option {
-	return func(s *Store) { s.nextID = next }
+	return func(s *Store) { s.nextID = next; s.seedID = nil }
 }
 
 // WithoutIndexes disables attribute indexes, forcing every query to scan its
@@ -80,6 +89,14 @@ func WithStrideIDs(offset, stride uint64) Option {
 			}
 			return abdm.RecordID(id)
 		}
+		s.seedID = func(id abdm.RecordID) {
+			if uint64(id) < offset {
+				return
+			}
+			if k := (uint64(id)-offset)/stride + 1; k > n {
+				n = k
+			}
+		}
 	}
 }
 
@@ -94,8 +111,15 @@ func NewStore(dir *abdm.Directory, opts ...Option) *Store {
 		gens:    make(map[string]uint64),
 	}
 	s.cache.cap = DefaultCacheSize
+	s.pageSize = pager.DefaultPageSize
+	s.poolPages = defaultPoolPages
 	var ctr abdm.RecordID
 	s.nextID = func() abdm.RecordID { ctr++; return ctr }
+	s.seedID = func(id abdm.RecordID) {
+		if id > ctr {
+			ctr = id
+		}
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -252,6 +276,9 @@ func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
 func (s *Store) insertForcedLocked(id abdm.RecordID, rec *abdm.Record) {
 	if file, ok := s.fileOf[id]; ok {
 		s.removeLocked(id, s.files[file][id])
+	}
+	if s.seedID != nil {
+		s.seedID(id)
 	}
 	s.addLocked(id, rec)
 }

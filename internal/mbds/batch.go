@@ -113,7 +113,9 @@ func (s *System) execBatch(ctx context.Context, reqs []*abdl.Request) ([]*kdb.Re
 		case abdl.Insert:
 			plan[i] = planInsert
 			r := req
-			if s.cfg.Replicas > 0 && r.ForceID == 0 {
+			if r.ForceID != 0 {
+				s.seedNextID(uint64(r.ForceID))
+			} else if s.cfg.Replicas > 0 {
 				cp := *r
 				cp.ForceID = abdm.RecordID(s.nextID.Add(1))
 				r = &cp

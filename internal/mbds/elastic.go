@@ -169,7 +169,10 @@ func (s *System) AddBackend() (int, error) {
 	if s.closed.Load() {
 		return 0, ErrClosed
 	}
-	store := s.newLocalStore()
+	store, err := s.newLocalStore(len(s.viewSnap()))
+	if err != nil {
+		return 0, fmt.Errorf("mbds: opening joined backend store: %w", err)
+	}
 	return s.addBackend(store, store)
 }
 

@@ -91,6 +91,13 @@ type Config struct {
 	// series labelled db=DBName; nil disables metrics at zero cost.
 	Metrics *obs.Registry
 	DBName  string
+
+	// StoreOpener, when set, builds each local backend's store in place of
+	// kdb.NewStore — e.g. kdb.CreateBacked/OpenBacked for a paged on-disk
+	// partition. It receives the backend's position and the base options the
+	// system would have used (disk model, shared key allocator, index
+	// policy); implementations should pass them through.
+	StoreOpener func(pos int, dir *abdm.Directory, opts []kdb.Option) (*kdb.Store, error)
 }
 
 // DefaultConfig returns a configuration with n backends, the default disk
@@ -234,7 +241,13 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 	s := &System{cfg: cfg, dir: dir, rr: make(map[string]uint64),
 		placed: make(map[abdm.RecordID]*backend), closedCh: make(chan struct{})}
 	for i := 0; i < cfg.Backends; i++ {
-		store := s.newLocalStore()
+		store, err := s.newLocalStore(i)
+		if err != nil {
+			for _, b := range s.view {
+				b.retire()
+			}
+			return nil, fmt.Errorf("mbds: opening backend %d store: %w", i, err)
+		}
 		s.view = append(s.view, newBackend(i, store, store, cfg.FaultInjection))
 	}
 	s.finishInit()
@@ -242,8 +255,10 @@ func New(dir *abdm.Directory, cfg Config) (*System, error) {
 }
 
 // newLocalStore builds one backend partition store wired to the system's
-// shared key allocator and configuration.
-func (s *System) newLocalStore() *kdb.Store {
+// shared key allocator and configuration. pos is the backend's position at
+// creation, which Config.StoreOpener implementations typically map to a
+// partition file path.
+func (s *System) newLocalStore(pos int) (*kdb.Store, error) {
 	opts := []kdb.Option{
 		kdb.WithDisk(s.cfg.Disk),
 		kdb.WithIDAllocator(func() abdm.RecordID {
@@ -253,7 +268,10 @@ func (s *System) newLocalStore() *kdb.Store {
 	if s.cfg.NoIndexes {
 		opts = append(opts, kdb.WithoutIndexes())
 	}
-	return kdb.NewStore(s.dir.Clone(), opts...)
+	if s.cfg.StoreOpener != nil {
+		return s.cfg.StoreOpener(pos, s.dir.Clone(), opts)
+	}
+	return kdb.NewStore(s.dir.Clone(), opts...), nil
 }
 
 // finishInit completes construction common to both constructors: epoch and
@@ -412,6 +430,32 @@ func (s *System) beginOp() error {
 
 // Backends reports the number of backends in the current view.
 func (s *System) Backends() int { return len(s.viewSnap()) }
+
+// Store returns the local store of the backend at position pos in the
+// current view, or nil for remote backends. Checkpoint hosts use it to
+// reach a paged-backed partition.
+func (s *System) Store(pos int) *kdb.Store {
+	view := s.viewSnap()
+	if pos < 0 || pos >= len(view) {
+		return nil
+	}
+	return view[pos].store
+}
+
+// seedNextID advances the shared key allocator to at least id.
+func (s *System) seedNextID(id uint64) {
+	for {
+		cur := s.nextID.Load()
+		if id <= cur || s.nextID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// SeedIDs advances the shared database-key allocator past max. Recovery
+// calls it after mounting a checkpoint image whose metadata records the
+// key high water, so new inserts never collide with restored records.
+func (s *System) SeedIDs(max uint64) { s.seedNextID(max) }
 
 // Directory returns the controller's attribute catalog.
 func (s *System) Directory() *abdm.Directory { return s.dir }
@@ -675,7 +719,12 @@ func (s *System) execInsert(ctx context.Context, req *abdl.Request) (*kdb.Result
 	view := s.viewSnap()
 	primary := s.insertPrimaryFor(req, view)
 	holders := s.holdersIn(view, primary)
-	if s.cfg.Replicas > 0 && req.ForceID == 0 {
+	if req.ForceID != 0 {
+		// A caller-pinned key (journal replay, undo restore, migration):
+		// advance the shared allocator past it so later inserts can never
+		// collide with the replayed key space.
+		s.seedNextID(uint64(req.ForceID))
+	} else if s.cfg.Replicas > 0 {
 		cp := *req
 		cp.ForceID = abdm.RecordID(s.nextID.Add(1))
 		req = &cp

@@ -1,0 +1,183 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RID addresses one record cell: a logical page and a slot within it.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// ErrNotFound reports a RID whose slot is dead or out of range.
+var ErrNotFound = errors.New("pager: record not found")
+
+// Heap is an unordered record heap over a buffer pool: records go wherever
+// they fit, addressed by RID. Free space per page is tracked in memory and
+// rebuilt by scanning on open.
+type Heap struct {
+	pool *Pool
+
+	mu    sync.Mutex
+	avail map[uint32]int // page -> usable bytes (after compaction)
+}
+
+// NewHeap opens a heap over the pool, scanning existing pages to rebuild
+// the free-space map. On a freshly created file the scan is empty.
+func NewHeap(pool *Pool) (*Heap, error) {
+	h := &Heap{pool: pool, avail: make(map[uint32]int)}
+	n := pool.File().Pages()
+	for id := uint32(0); int(id) < n; id++ {
+		data, err := pool.Pin(id)
+		if err != nil {
+			return nil, err
+		}
+		h.avail[id] = page(data).usable()
+		pool.Unpin(id, false)
+	}
+	return h, nil
+}
+
+// Put stores a record and returns its RID.
+func (h *Heap) Put(rec []byte) (RID, error) {
+	if len(rec) > pageCapacity(h.pool.File().PageSize()) {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	need := len(rec) + slotSize
+	for id, free := range h.avail {
+		if free < need {
+			continue
+		}
+		rid, ok, err := h.tryPut(id, rec)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	id, data, err := h.pool.Alloc()
+	if err != nil {
+		return RID{}, err
+	}
+	slot, _ := page(data).insert(rec)
+	h.avail[id] = page(data).usable()
+	h.pool.Unpin(id, true)
+	return RID{Page: id, Slot: uint16(slot)}, nil
+}
+
+func (h *Heap) tryPut(id uint32, rec []byte) (RID, bool, error) {
+	data, err := h.pool.Pin(id)
+	if err != nil {
+		return RID{}, false, err
+	}
+	slot, ok := page(data).insert(rec)
+	h.avail[id] = page(data).usable()
+	h.pool.Unpin(id, ok)
+	if !ok {
+		return RID{}, false, nil
+	}
+	return RID{Page: id, Slot: uint16(slot)}, true, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	cell := page(data).cell(int(rid.Slot))
+	if cell == nil {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(cell))
+	copy(out, cell)
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	ok := page(data).del(int(rid.Slot))
+	h.avail[rid.Page] = page(data).usable()
+	h.pool.Unpin(rid.Page, ok)
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Update replaces the record at rid, in place when the page still fits it,
+// otherwise moving it and returning the new RID.
+func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
+	if len(rec) > pageCapacity(h.pool.File().PageSize()) {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(rec))
+	}
+	h.mu.Lock()
+	data, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	p := page(data)
+	if p.cell(int(rid.Slot)) == nil {
+		h.pool.Unpin(rid.Page, false)
+		h.mu.Unlock()
+		return RID{}, ErrNotFound
+	}
+	p.del(int(rid.Slot))
+	if slot, ok := p.insert(rec); ok {
+		h.avail[rid.Page] = p.usable()
+		h.pool.Unpin(rid.Page, true)
+		h.mu.Unlock()
+		return RID{Page: rid.Page, Slot: uint16(slot)}, nil
+	}
+	h.avail[rid.Page] = p.usable()
+	h.pool.Unpin(rid.Page, true)
+	h.mu.Unlock()
+	return h.Put(rec)
+}
+
+// Scan calls fn for every live record in page order. fn's cell slice is
+// only valid during the call.
+func (h *Heap) Scan(fn func(rid RID, cell []byte) error) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.pool.File().Pages()
+	for id := uint32(0); int(id) < n; id++ {
+		data, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		var inner error
+		page(data).liveCells(func(slot int, cell []byte) {
+			if inner == nil {
+				inner = fn(RID{Page: id, Slot: uint16(slot)}, cell)
+			}
+		})
+		h.pool.Unpin(id, false)
+		if inner != nil {
+			return inner
+		}
+	}
+	return nil
+}
+
+// Flush writes all buffered changes through the pool; the caller commits
+// the file to make them durable.
+func (h *Heap) Flush() error {
+	return h.pool.FlushAll()
+}

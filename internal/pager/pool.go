@@ -1,0 +1,161 @@
+package pager
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is a pinning buffer pool over a File. Pages are pinned into frames
+// for access and unpinned (optionally dirty) when done; when the pool is at
+// capacity, the least-recently-used unpinned frame is evicted, writing it
+// back through the file's shadow-paging layer first if dirty. If every
+// frame is pinned the pool grows past its capacity rather than deadlock —
+// the overflow shows up in Stats.
+type Pool struct {
+	f   *File
+	cap int
+
+	mu     sync.Mutex
+	frames map[uint32]*frame
+	tick   uint64
+	stats  PoolStats
+}
+
+type frame struct {
+	data  []byte
+	pins  int
+	dirty bool
+	used  uint64
+}
+
+// PoolStats counts buffer-pool traffic since the pool was created.
+type PoolStats struct {
+	Hits       uint64 // pins served from a resident frame
+	Misses     uint64 // pins that read the page from disk
+	Evictions  uint64 // frames dropped to make room
+	Writebacks uint64 // dirty frames written back (evictions + flushes)
+	Overflow   uint64 // pins forced past capacity because all frames were pinned
+}
+
+// NewPool builds a pool of at most capPages resident pages over the file.
+func NewPool(f *File, capPages int) *Pool {
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &Pool{f: f, cap: capPages, frames: make(map[uint32]*frame)}
+}
+
+// File returns the underlying page file.
+func (p *Pool) File() *File { return p.f }
+
+// Pin makes the page resident and returns its frame bytes. The slice stays
+// valid until the matching Unpin. Concurrent pins of the same page share
+// one frame.
+func (p *Pool) Pin(id uint32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+	if fr, ok := p.frames[id]; ok {
+		fr.pins++
+		fr.used = p.tick
+		p.stats.Hits++
+		return fr.data, nil
+	}
+	if err := p.evictLocked(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, p.f.PageSize())
+	if err := p.f.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	fr := &frame{data: buf, pins: 1, used: p.tick}
+	p.frames[id] = fr
+	p.stats.Misses++
+	return fr.data, nil
+}
+
+// Alloc allocates a fresh logical page, pinned and initialized as an empty
+// slotted page.
+func (p *Pool) Alloc() (uint32, []byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tick++
+	if err := p.evictLocked(); err != nil {
+		return 0, nil, err
+	}
+	id := p.f.Alloc()
+	buf := make([]byte, p.f.PageSize())
+	initPage(buf)
+	p.frames[id] = &frame{data: buf, pins: 1, dirty: true, used: p.tick}
+	return id, buf, nil
+}
+
+// evictLocked makes room for one more frame, writing back a dirty victim.
+func (p *Pool) evictLocked() error {
+	if len(p.frames) < p.cap {
+		return nil
+	}
+	victim := uint32(0)
+	var vf *frame
+	for id, fr := range p.frames {
+		if fr.pins > 0 {
+			continue
+		}
+		if vf == nil || fr.used < vf.used {
+			victim, vf = id, fr
+		}
+	}
+	if vf == nil {
+		p.stats.Overflow++
+		return nil
+	}
+	if vf.dirty {
+		if err := p.f.WritePage(victim, vf.data); err != nil {
+			return err
+		}
+		p.stats.Writebacks++
+	}
+	delete(p.frames, victim)
+	p.stats.Evictions++
+	return nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified since it was
+// pinned.
+func (p *Pool) Unpin(id uint32, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr, ok := p.frames[id]
+	if !ok || fr.pins == 0 {
+		panic(fmt.Sprintf("pager: Unpin of unpinned page %d", id))
+	}
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// FlushAll writes every dirty frame back through the file's shadow layer.
+// Frames stay resident; a following File.Commit makes them durable.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, fr := range p.frames {
+		if !fr.dirty {
+			continue
+		}
+		if err := p.f.WritePage(id, fr.data); err != nil {
+			return err
+		}
+		fr.dirty = false
+		p.stats.Writebacks++
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

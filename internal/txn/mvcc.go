@@ -134,20 +134,22 @@ func (m *Manager) endSnapshot(tx *Txn) {
 // published. Exactly one group-commit leader runs at a time, so epochs are
 // monotonic. On a broadcast failure the epoch is not published — the batch
 // stays durable and live, but snapshots keep reading the previous epoch
-// rather than risk observing a half-stamped batch.
-func (m *Manager) stampEpoch(recs []CommitRecord) {
+// rather than risk observing a half-stamped batch. It returns the epoch and
+// whether it was published; the caller holds the stamp barrier.
+func (m *Manager) stampEpoch(recs []CommitRecord) (uint64, bool) {
 	epoch := m.clock.Load() + 1
 	reqs := make([]*abdl.Request, len(recs))
 	for i, rec := range recs {
 		reqs[i] = &abdl.Request{Kind: abdl.MvccCommit, TxnID: rec.ID, MvccEpoch: epoch}
 	}
 	if _, _, err := m.cfg.Exec.ExecBatchCtx(context.Background(), reqs); err != nil {
-		return
+		return epoch, false
 	}
 	m.clock.Store(epoch)
 	if m.stampedBatches.Add(1)%gcEvery == 0 {
 		m.maybeGC()
 	}
+	return epoch, true
 }
 
 // discardVersions drops an aborted transaction's pending versions on every

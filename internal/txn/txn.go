@@ -61,6 +61,15 @@ type CommitSink interface {
 	WriteAbort(id uint64) error
 }
 
+// EpochNoter is optionally implemented by a CommitSink that tracks which
+// journal prefix each commit epoch corresponds to (the kc journal does, for
+// fuzzy checkpoints). After a batch is durable and its versions are stamped,
+// the group-commit leader calls NoteEpoch with the published epoch — under
+// the stamp barrier, so the pairing of epoch to sink position is exact.
+type EpochNoter interface {
+	NoteEpoch(epoch uint64)
+}
+
 // Config configures a Manager.
 type Config struct {
 	Exec Executor   // kernel executor (required)
@@ -218,7 +227,10 @@ type Manager struct {
 
 	// MVCC state (Config.MVCC; see mvcc.go). clock is the last published
 	// commit epoch; snaps registers each live snapshot's pinned epoch so the
-	// GC watermark never overtakes a reader.
+	// GC watermark never overtakes a reader. stampMu is the stamp barrier:
+	// held around every stamp broadcast, so WithStampBarrier callers observe
+	// whole epochs — never a half-stamped batch.
+	stampMu        sync.Mutex
 	clock          atomic.Uint64
 	smu            sync.Mutex
 	snaps          map[uint64]uint64
@@ -384,13 +396,51 @@ func (m *Manager) beforeImages(ctx context.Context, req *abdl.Request) ([]undoRe
 	return undo, nil
 }
 
-// journalRec builds the redo record for an applied mutation.
-func (m *Manager) journalRec(req *abdl.Request) JournalRec {
+// journalRec builds the redo record for an applied mutation. An INSERT that
+// let the kernel assign its database key is journalled with that key pinned
+// (ForceID), so a replay against a checkpoint image re-creates the record
+// under the identical key regardless of allocator state.
+func (m *Manager) journalRec(req *abdl.Request, res *kdb.Result) JournalRec {
 	rec := JournalRec{Req: wire.FromRequest(req)}
+	if req.Kind == abdl.Insert && req.ForceID == 0 && res != nil && len(res.Affected) > 0 {
+		rec.Req.ForceID = uint64(res.Affected[0])
+	}
 	if m.cfg.KeyPos != nil {
 		rec.Key = m.cfg.KeyPos()
 	}
 	return rec
+}
+
+// WithStampBarrier runs fn while the stamp barrier is held: no commit batch
+// is mid-stamp, so every backend's version chains hold whole epochs only. A
+// checkpoint takes its fence inside the barrier — the epoch it reads is then
+// an exact batch boundary. Group commit keeps flushing throughout; only the
+// visibility step queues behind fn.
+func (m *Manager) WithStampBarrier(fn func()) {
+	m.stampMu.Lock()
+	defer m.stampMu.Unlock()
+	fn()
+}
+
+// SeedClock advances the commit clock to at least epoch. Recovery uses it
+// after mounting a checkpoint image so new commit epochs continue past the
+// image's epoch instead of restarting from 1 (which would stamp new versions
+// below already-restored history).
+func (m *Manager) SeedClock(epoch uint64) {
+	if !m.cfg.MVCC {
+		return
+	}
+	for {
+		cur := m.clock.Load()
+		if epoch <= cur || m.clock.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
+	m.smu.Lock()
+	if epoch > m.lastGC {
+		m.lastGC = epoch
+	}
+	m.smu.Unlock()
 }
 
 // Exec runs one statement inside the transaction: acquire locks (strict 2PL
@@ -437,7 +487,7 @@ func (m *Manager) Exec(ctx context.Context, tx *Txn, req *abdl.Request) (*kdb.Re
 		}
 		tx.mu.Lock()
 		tx.undo = append(tx.undo, undo...)
-		tx.redo = append(tx.redo, m.journalRec(req))
+		tx.redo = append(tx.redo, m.journalRec(req, res))
 		tx.mu.Unlock()
 	}
 	return res, d, nil
@@ -515,7 +565,7 @@ func (m *Manager) ExecBatch(ctx context.Context, tx *Txn, reqs []*abdl.Request) 
 				undo = append(undo, undoRec{id: id, file: req.Record.File()})
 			}
 		}
-		redo = append(redo, m.journalRec(req))
+		redo = append(redo, m.journalRec(req, results[i]))
 	}
 	tx.mu.Lock()
 	tx.undo = append(tx.undo, undo...)
@@ -582,7 +632,16 @@ func (m *Manager) groupCommit(rec CommitRecord) error {
 		if err == nil && m.cfg.MVCC {
 			// Durable first, visible second: pending versions are stamped
 			// with one epoch for the whole batch only after the sink flush.
-			m.stampEpoch(recs)
+			// The stamp barrier keeps checkpoint fences off half-stamped
+			// batches; on publication the sink learns which of its positions
+			// the new epoch corresponds to.
+			m.stampMu.Lock()
+			if epoch, ok := m.stampEpoch(recs); ok {
+				if noter, isNoter := m.cfg.Sink.(EpochNoter); isNoter {
+					noter.NoteEpoch(epoch)
+				}
+			}
+			m.stampMu.Unlock()
 		}
 		if err == nil {
 			m.publishCommits(recs)
