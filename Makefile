@@ -3,10 +3,11 @@
 # the tools are installed (staticcheck, govulncheck — both skipped with a
 # note otherwise, so the target needs no network), the full suite with
 # shuffled test order, the transaction/kernel concurrency tier, the
-# cross-model differential suite, the membership chaos suite, and the
-# network serving tier (server + remote client) under the race detector,
-# and per-package coverage floors on the transaction, controller, kernel,
-# elastic-membership, pager, serving, and client packages.
+# cross-model differential suite, the membership and change-capture chaos
+# suites, and the network serving tier (server + remote client) under the
+# race detector, and per-package coverage floors on the transaction,
+# controller, kernel, elastic-membership, pager, change-data-capture,
+# serving, and client packages.
 # `make fuzz-smoke` runs each native fuzz target briefly — corpora and
 # checked-in crashers also replay on every plain `go test`. `make bench`
 # regenerates the paper experiments and writes a machine-readable summary.
@@ -45,16 +46,17 @@ check:
 	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
 	$(GO) test -race -run TestCrossModelDifferential ./internal/core
 	$(GO) test -race -count=2 -run TestMembershipChaos ./internal/kc
+	$(GO) test -race -count=2 -run TestCDCChaos ./internal/cdc
 	$(GO) test -race ./internal/server ./client
 	$(GO) test -race ./...
 	$(MAKE) cover
 
 # cover enforces the coverage floors: the transaction manager, kernel
 # controller, kernel database, elastic multi-backend system, pager, wire
-# codec, serving tier, and remote client must each stay at or above
-# COVER_FLOOR%.
+# codec, change-data-capture subsystem, serving tier, and remote client
+# must each stay at or above COVER_FLOOR%.
 cover:
-	@for pkg in internal/txn internal/kc internal/kdb internal/mbds internal/pager internal/wire internal/server client; do \
+	@for pkg in internal/txn internal/kc internal/kdb internal/mbds internal/pager internal/wire internal/cdc internal/server client; do \
 		pct=$$($(GO) test -cover ./$$pkg | \
 			sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then \
@@ -80,7 +82,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMsg$$' -fuzztime $(FUZZ_TIME) ./internal/wire
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_8.json
+	$(GO) run ./cmd/mldsbench -json BENCH_9.json
 
 fmt:
 	gofmt -w .

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mlds/internal/cdc"
 	"mlds/internal/wire"
 )
 
@@ -61,6 +62,7 @@ type Client struct {
 	seq     uint64
 	nextSID uint32
 	pending map[uint64]chan *wire.Msg
+	watches map[uint64]*cdc.Watcher // live watch pipes, keyed by server watch id
 	closed  bool
 	err     error // terminal connection error, set once
 
@@ -81,6 +83,7 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 		bw:      bufio.NewWriter(nc),
 		timeout: 30 * time.Second,
 		pending: make(map[uint64]chan *wire.Msg),
+		watches: make(map[uint64]*cdc.Watcher),
 	}
 	// The dial context bounds the dial only; the connection's own lifetime
 	// context starts fresh from it (cancelled by Close, not by the dialer's
@@ -98,7 +101,10 @@ func Dial(ctx context.Context, addr string, opts ...Option) (*Client, error) {
 }
 
 // readLoop routes every reply to its waiter until the connection dies, then
-// fails all waiters with the terminal error.
+// fails all waiters with the terminal error. Server pushes (MsgEvent,
+// server-initiated MsgWatchClose) never park the loop: watch pipes buffer
+// without bound, so one slow watch consumer cannot stall the other sessions
+// multiplexed on the connection.
 func (c *Client) readLoop() {
 	for {
 		m, err := wire.ReadMsg(c.br, c.maxFrame)
@@ -108,6 +114,20 @@ func (c *Client) readLoop() {
 		}
 		if m.Flags&wire.DrainingFlag != 0 {
 			c.draining.Store(true)
+		}
+		switch m.Kind {
+		case wire.MsgEvent:
+			c.feedWatch(m)
+			continue
+		case wire.MsgWatchClose:
+			c.endWatch(m)
+			continue
+		}
+		if m.Kind == wire.MsgReply && m.Watch != 0 {
+			// The reply to a WATCH statement: register its pipe before the
+			// waiter sees the reply, so pushed events arriving immediately
+			// after have somewhere to go.
+			c.registerWatch(m.Watch)
 		}
 		c.mu.Lock()
 		ch := c.pending[m.Seq]
@@ -119,7 +139,7 @@ func (c *Client) readLoop() {
 	}
 }
 
-// fail marks the connection dead and wakes every waiter.
+// fail marks the connection dead, wakes every waiter and fails every watch.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -127,9 +147,14 @@ func (c *Client) fail(err error) {
 	}
 	pending := c.pending
 	c.pending = make(map[uint64]chan *wire.Msg)
+	watches := c.watches
+	c.watches = make(map[uint64]*cdc.Watcher)
 	c.mu.Unlock()
 	for _, ch := range pending {
 		close(ch)
+	}
+	for _, w := range watches {
+		w.Fail(err)
 	}
 }
 

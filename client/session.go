@@ -84,6 +84,9 @@ func (s *Session) ExecuteCtx(ctx context.Context, text string) (*core.Outcome, e
 	if out.Language == "" {
 		out.Language = s.lang
 	}
+	if reply.Watch != 0 {
+		out.Watch = s.c.takeWatch(reply.Watch)
+	}
 	if reply.Code != wire.CodeOK {
 		return out, remoteError(reply)
 	}

@@ -1,0 +1,401 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mlds/client"
+	"mlds/internal/cdc"
+	"mlds/internal/core"
+	"mlds/internal/kc"
+	"mlds/internal/mbds"
+	"mlds/internal/server"
+	"mlds/internal/wire"
+)
+
+// watchServer builds a system whose shop database journals to a file — the
+// lossless resync path a network watch rides on — and serves it on loopback.
+// The system is returned too, so tests can drive local sessions (e.g. writes
+// after a drain, which refuses new wire statements).
+func watchServer(t *testing.T, cfg server.Config) (*server.Server, *core.System) {
+	t.Helper()
+	sys := core.NewSystem(core.Config{Kernel: mbds.DefaultConfig(2)})
+	t.Cleanup(sys.Close)
+	if _, err := sys.CreateRelational("shop",
+		"CREATE TABLE emp (ename CHAR(20) NOT NULL, pay INTEGER);"); err != nil {
+		t.Fatal(err)
+	}
+	db, ok := sys.Database("shop")
+	if !ok {
+		t.Fatal("shop vanished")
+	}
+	jf, err := kc.OpenJournalFile(filepath.Join(t.TempDir(), "shop.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Ctrl.AttachJournalFile(jf); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { jf.Close() })
+	srv, err := server.Listen("127.0.0.1:0", sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, sys
+}
+
+// recvChange reads one change from a remote watch with a deadline.
+func recvChange(t *testing.T, w *cdc.Watcher) cdc.Change {
+	t.Helper()
+	select {
+	case c, ok := <-w.C:
+		if !ok {
+			t.Fatalf("watch closed early: %v", w.Err())
+		}
+		return c
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for a pushed change")
+	}
+	panic("unreachable")
+}
+
+// drainRemoteLoad consumes the initial load of a remote watch up to OpReady,
+// returning the loaded enames.
+func drainRemoteLoad(t *testing.T, w *cdc.Watcher) []string {
+	t.Helper()
+	var names []string
+	for {
+		c := recvChange(t, w)
+		switch c.Op {
+		case cdc.OpLoad:
+			v, _ := c.Rec.Get("ename")
+			names = append(names, v.AsString())
+		case cdc.OpReady:
+			return names
+		default:
+			t.Fatalf("unexpected %s during initial load", c.Op)
+		}
+	}
+}
+
+// TestWatchOverWire: the full remote watch lifecycle — snapshot load, pushed
+// inserts, membership transitions from updates, and a clean client-side close.
+func TestWatchOverWire(t *testing.T) {
+	srv, _ := watchServer(t, server.Config{})
+	c := dial(t, srv)
+	ctx := context.Background()
+
+	writer, err := c.Open(ctx, "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Execute("INSERT INTO emp (ename, pay) VALUES ('Ann', 900)"); err != nil {
+		t.Fatal(err)
+	}
+
+	watcher, err := c.Open(ctx, "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := watcher.Watch("SELECT ename, pay FROM emp WHERE pay >= 800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainRemoteLoad(t, w); len(got) != 1 || got[0] != "Ann" {
+		t.Fatalf("initial load = %v, want [Ann]", got)
+	}
+
+	// An insert into the predicate pushes an insert event.
+	if _, err := writer.Execute("INSERT INTO emp (ename, pay) VALUES ('Bob', 850)"); err != nil {
+		t.Fatal(err)
+	}
+	ev := recvChange(t, w)
+	if v, _ := ev.Rec.Get("ename"); ev.Op != cdc.OpInsert || v.AsString() != "Bob" {
+		t.Fatalf("after insert: %s, want insert Bob", ev)
+	}
+	// An update out of the predicate pushes a delete.
+	if _, err := writer.Execute("UPDATE emp SET pay = 100 WHERE ename = 'Ann'"); err != nil {
+		t.Fatal(err)
+	}
+	if ev := recvChange(t, w); ev.Op != cdc.OpDelete {
+		t.Fatalf("after update-out: %s, want delete", ev)
+	}
+	// An invisible write (outside the predicate) pushes nothing; the next
+	// visible one arrives alone.
+	if _, err := writer.Execute("INSERT INTO emp (ename, pay) VALUES ('Eve', 10)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Execute("UPDATE emp SET pay = 975 WHERE ename = 'Eve'"); err != nil {
+		t.Fatal(err)
+	}
+	ev = recvChange(t, w)
+	if v, _ := ev.Rec.Get("ename"); ev.Op != cdc.OpInsert || v.AsString() != "Eve" {
+		t.Fatalf("after update-in: %s, want insert Eve", ev)
+	}
+
+	w.Close()
+	w.Close() // idempotent
+	for range w.C {
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("closed watch reports error: %v", err)
+	}
+}
+
+// TestWatchMidWriteStorm is the subsystem's acceptance gate: a watch opened
+// over the network in the middle of a multi-session write storm delivers a
+// snapshot-consistent initial load and then every acknowledged commit after
+// it — each row exactly once, no gaps, no duplicates.
+func TestWatchMidWriteStorm(t *testing.T) {
+	srv, _ := watchServer(t, server.Config{})
+	ctx := context.Background()
+
+	const writers, perWriter = 4, 75
+	wc := dial(t, srv)
+	var (
+		mu    sync.Mutex
+		acked = make(map[int64]bool) // pay values whose INSERT was acknowledged
+	)
+	started := make(chan struct{}) // closed once the storm is under way
+	var once sync.Once
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		sess, err := wc.Open(ctx, "shop", "sql")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(wr int, sess *client.Session) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				pay := int64(wr*10000 + i + 1)
+				stmt := fmt.Sprintf("INSERT INTO emp (ename, pay) VALUES ('w%d', %d)", wr, pay)
+				if _, err := sess.Execute(stmt); err != nil {
+					t.Errorf("writer %d: %v", wr, err)
+					return
+				}
+				mu.Lock()
+				acked[pay] = true
+				n := len(acked)
+				mu.Unlock()
+				if n >= 20 {
+					once.Do(func() { close(started) })
+				}
+			}
+		}(wr, sess)
+	}
+
+	// Open the watch mid-storm, from its own connection.
+	<-started
+	watchConn := dial(t, srv)
+	sess, err := watchConn.Open(ctx, "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Consume: loads up to Ready, then pushed inserts. Every pay value must
+	// arrive exactly once, at non-decreasing journal positions.
+	seen := make(map[int64]bool)
+	ready := false
+	var lastPos uint64
+	deadline := time.After(60 * time.Second)
+	record := func(c cdc.Change) {
+		v, ok := c.Rec.Get("pay")
+		if !ok {
+			t.Fatalf("change without pay: %s", c)
+		}
+		pay := v.AsInt()
+		if seen[pay] {
+			t.Fatalf("pay %d delivered twice (op %s)", pay, c.Op)
+		}
+		seen[pay] = true
+		if c.Pos < lastPos {
+			t.Fatalf("position went backwards: %d after %d", c.Pos, lastPos)
+		}
+		lastPos = c.Pos
+	}
+	wg.Wait() // storm done: the full acked set is now fixed
+	mu.Lock()
+	want := len(acked)
+	mu.Unlock()
+	if want != writers*perWriter {
+		t.Fatalf("only %d of %d inserts acknowledged", want, writers*perWriter)
+	}
+	for len(seen) < want {
+		select {
+		case c, ok := <-w.C:
+			if !ok {
+				t.Fatalf("watch died after %d/%d rows: %v", len(seen), want, w.Err())
+			}
+			switch c.Op {
+			case cdc.OpLoad:
+				if ready {
+					t.Fatalf("load row after ready: %s", c)
+				}
+				record(c)
+			case cdc.OpReady:
+				ready = true
+			case cdc.OpInsert:
+				if !ready {
+					t.Fatalf("insert before ready: %s", c)
+				}
+				record(c)
+			default:
+				t.Fatalf("unexpected %s mid-storm", c.Op)
+			}
+		case <-deadline:
+			t.Fatalf("delivered %d of %d rows before timeout", len(seen), want)
+		}
+	}
+	mu.Lock()
+	for pay := range acked {
+		if !seen[pay] {
+			t.Errorf("acknowledged pay %d never delivered", pay)
+		}
+	}
+	mu.Unlock()
+	w.Close()
+}
+
+// TestWatchSurvivesDrain: draining refuses new statements over the wire but
+// established watches keep pushing until the connection goes away.
+func TestWatchSurvivesDrain(t *testing.T) {
+	srv, sys := watchServer(t, server.Config{})
+	c := dial(t, srv)
+	ctx := context.Background()
+
+	sess, err := c.Open(ctx, "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Execute("INSERT INTO emp (ename, pay) VALUES ('Ann', 900)"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainRemoteLoad(t, w); len(got) != 1 {
+		t.Fatalf("initial load = %v", got)
+	}
+
+	srv.Drain()
+	// New wire statements are refused...
+	if _, err := sess.Execute("INSERT INTO emp (ename, pay) VALUES ('Nix', 850)"); err == nil {
+		t.Fatal("draining server accepted a statement")
+	}
+	// ...but a local write on the same system still reaches the watch.
+	local, err := sys.Open("shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Execute("INSERT INTO emp (ename, pay) VALUES ('Cy', 850)"); err != nil {
+		t.Fatal(err)
+	}
+	_ = local.Close()
+	ev := recvChange(t, w)
+	if v, _ := ev.Rec.Get("ename"); ev.Op != cdc.OpInsert || v.AsString() != "Cy" {
+		t.Fatalf("after drain: %s, want insert Cy", ev)
+	}
+	w.Close()
+}
+
+// TestWatchPerConnLimit: the per-connection cap refuses the excess WATCH with
+// a retryable, not-executed code, and closing a watch frees its slot.
+func TestWatchPerConnLimit(t *testing.T) {
+	srv, _ := watchServer(t, server.Config{MaxWatchesPerConn: 1})
+	c := dial(t, srv)
+	sess, err := c.Open(context.Background(), "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 100")
+	var re *client.Error
+	if !errors.As(err, &re) || re.Code != wire.CodeWatchLimit {
+		t.Fatalf("over-limit watch: %v, want CodeWatchLimit", err)
+	}
+	if !re.Retryable() || !re.NotExecuted() {
+		t.Fatalf("CodeWatchLimit classified %+v, want retryable and not-executed", re)
+	}
+
+	// Closing the first watch frees the slot; the close round-trips
+	// asynchronously, so retry briefly.
+	w1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w2, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 0")
+		if err == nil {
+			w2.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after close: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWatchFailsOnClientClose: closing the client fails its live watches.
+func TestWatchFailsOnClientClose(t *testing.T) {
+	srv, _ := watchServer(t, server.Config{})
+	c, err := client.Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := c.Open(context.Background(), "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+	for range w.C {
+	}
+	if w.Err() == nil {
+		t.Fatal("watch survived client close without error")
+	}
+}
+
+// TestWatchFailsOnServerClose: a server shutdown tears the connection and the
+// watch fails rather than hanging.
+func TestWatchFailsOnServerClose(t *testing.T) {
+	srv, _ := watchServer(t, server.Config{})
+	c := dial(t, srv)
+	sess, err := c.Open(context.Background(), "shop", "sql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := sess.Watch("SELECT ename, pay FROM emp WHERE pay >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainRemoteLoad(t, w)
+	_ = srv.Close()
+	select {
+	case <-time.After(10 * time.Second):
+		t.Fatal("watch channel still open 10s after server close")
+	case _, ok := <-w.C:
+		for ok {
+			_, ok = <-w.C
+		}
+	}
+	if w.Err() == nil {
+		t.Fatal("watch ended cleanly despite server close")
+	}
+}

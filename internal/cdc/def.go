@@ -1,0 +1,133 @@
+package cdc
+
+import (
+	"fmt"
+	"strings"
+
+	"mlds/internal/abdm"
+	"mlds/internal/sql"
+)
+
+// Def defines what a watch or view observes: one kernel file, a predicate in
+// disjunctive normal form over its attributes, and a projection. The query
+// form is the SQL subset (SELECT cols FROM file [WHERE ...]), but the file
+// it names is a kernel file — which every data model's records live in — so
+// the same definition watches relational tables, Daplex entity sets, CODASYL
+// record types or DL/I segments alike.
+type Def struct {
+	File  string
+	Where abdm.Query // predicate without the (FILE = ...) conjunct; nil = all rows
+	Cols  []string   // projection; nil = every attribute
+}
+
+// CompileSelect compiles a parsed SELECT into a watchable definition.
+// Aggregates, GROUP BY and ORDER BY have no incremental row-delta form and
+// are rejected.
+func CompileSelect(st *sql.Select) (Def, error) {
+	d := Def{File: st.Table}
+	if d.File == "" {
+		return Def{}, fmt.Errorf("cdc: query names no file")
+	}
+	if st.GroupBy != "" {
+		return Def{}, fmt.Errorf("cdc: GROUP BY cannot be watched incrementally")
+	}
+	if st.OrderBy != "" {
+		return Def{}, fmt.Errorf("cdc: ORDER BY has no meaning on a change stream")
+	}
+	for _, it := range st.Items {
+		if it.Agg != sql.AggNone {
+			return Def{}, fmt.Errorf("cdc: aggregate %s cannot be watched incrementally", it)
+		}
+		if it.Column == "*" {
+			d.Cols = nil
+			break
+		}
+		d.Cols = append(d.Cols, it.Column)
+	}
+	for _, conds := range st.Where {
+		var conj abdm.Conjunction
+		for _, c := range conds {
+			conj = append(conj, abdm.Predicate{Attr: c.Column, Op: c.Op, Val: c.Val})
+		}
+		d.Where = append(d.Where, conj)
+	}
+	return d, nil
+}
+
+// ParseQuery compiles a SQL-subset query text ("SELECT ... FROM file
+// [WHERE ...]", with an optional leading WATCH keyword) into a Def.
+func ParseQuery(text string) (Def, error) {
+	text = strings.TrimSpace(text)
+	if rest, ok := cutKeyword(text, "WATCH"); ok {
+		text = rest
+	}
+	st, err := sql.Parse(text)
+	if err != nil {
+		return Def{}, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		if w, isWatch := st.(*sql.Watch); isWatch {
+			return CompileSelect(w.Inner)
+		}
+		return Def{}, fmt.Errorf("cdc: only SELECT queries can be watched, not %T", st)
+	}
+	return CompileSelect(sel)
+}
+
+// cutKeyword strips one leading keyword (case-insensitive, word-bounded).
+func cutKeyword(text, kw string) (string, bool) {
+	if len(text) < len(kw) || !strings.EqualFold(text[:len(kw)], kw) {
+		return text, false
+	}
+	rest := text[len(kw):]
+	if rest != "" && !isSpace(rest[0]) {
+		return text, false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+// matches reports whether a record of the watched file satisfies the
+// definition's predicate.
+func (d Def) matches(r *abdm.Record) bool {
+	if r == nil || r.File() != d.File {
+		return false
+	}
+	if len(d.Where) == 0 {
+		return true
+	}
+	return d.Where.Matches(r)
+}
+
+// project builds the watched row image: the definition's columns (or every
+// attribute), always carrying the FILE keyword so the image is itself a
+// valid kernel record of the watched file.
+func (d Def) project(r *abdm.Record) *abdm.Record {
+	if d.Cols == nil {
+		return r.Clone()
+	}
+	out := abdm.NewRecord(d.File)
+	for _, col := range d.Cols {
+		if v, ok := r.Get(col); ok {
+			out.Set(col, v)
+		} else {
+			out.Set(col, abdm.Null())
+		}
+	}
+	return out
+}
+
+// String renders the definition as its canonical query text.
+func (d Def) String() string {
+	cols := "*"
+	if d.Cols != nil {
+		cols = strings.Join(d.Cols, ", ")
+	}
+	s := fmt.Sprintf("SELECT %s FROM %s", cols, d.File)
+	if len(d.Where) > 0 {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}

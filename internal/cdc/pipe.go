@@ -1,0 +1,90 @@
+package cdc
+
+import "sync"
+
+// NewPipe builds a remote-fed Watcher: C is supplied by Feed instead of a
+// local stream — the network client's read loop pushes decoded server events
+// in. Feeding is buffered without bound so the read loop never blocks behind
+// a slow watch consumer (server-side flow control bounds what is in flight
+// on the wire; the pipe only smooths delivery order). onClose, if non-nil,
+// runs once when the pipe closes from the consumer side — the client uses it
+// to tell the server the watch is gone.
+func NewPipe(onClose func()) *Watcher {
+	w := newWatcher(64)
+	w.onClose = onClose
+	p := &pipe{w: w}
+	p.cond = sync.NewCond(&p.mu)
+	w.feed = p.feed
+	w.failFeed = p.fail
+	w.wake = func() { p.fail(nil) }
+	go p.run()
+	return w
+}
+
+// Feed hands one event to a remote-fed watcher. It never blocks. Events fed
+// after the pipe closes are discarded.
+func (w *Watcher) Feed(c Change) {
+	if w.feed != nil {
+		w.feed(c)
+	}
+}
+
+// Fail terminates a remote-fed watcher with err (nil for a clean server-side
+// close): buffered events still drain, then C closes.
+func (w *Watcher) Fail(err error) {
+	if w.failFeed != nil {
+		w.failFeed(err)
+	}
+}
+
+// pipe is the unbounded queue between Feed and the watcher channel.
+type pipe struct {
+	w      *Watcher
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Change
+	closed bool
+}
+
+func (p *pipe) feed(c Change) {
+	p.mu.Lock()
+	if !p.closed {
+		p.queue = append(p.queue, c)
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipe) fail(err error) {
+	if err != nil {
+		p.w.fail(err)
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// run drains the queue into the watcher channel until the pipe fails or the
+// consumer closes the watch.
+func (p *pipe) run() {
+	defer p.w.finish()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		batch := p.queue
+		p.queue = nil
+		p.mu.Unlock()
+		for _, c := range batch {
+			if !p.w.emit(c) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package cdc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/kc"
+	"mlds/internal/kdb"
+	"mlds/internal/obs"
+)
+
+// View is an incrementally-maintained materialized view: CREATE VIEW name AS
+// <query>. Its contents live in the view's own kdb store, keyed by the base
+// records' database keys, and are maintained from the change stream — an
+// insert, update or delete of a base record costs one or two keyed store
+// operations instead of re-running the query. At every quiescent point the
+// store equals a full recomputation of the defining query.
+type View struct {
+	Name string
+	Def  Def
+
+	ctrl *kc.Controller
+	s    *stream
+	dir  *abdm.Directory
+
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu    sync.Mutex
+	store *kdb.Store
+	err   error
+
+	pos     atomic.Uint64
+	epoch   atomic.Uint64
+	applied atomic.Uint64
+	reloads atomic.Uint64
+
+	ready     chan struct{}
+	readyOnce sync.Once
+
+	gWatches *obs.Gauge
+	gLag     *obs.Gauge
+}
+
+// OpenView starts maintaining a materialized view over the controller.
+func OpenView(ctrl *kc.Controller, name string, def Def, o Options) (*View, error) {
+	if def.File == "" {
+		return nil, errEmptyDef
+	}
+	o = o.withDefaults()
+	if o.Name == "" {
+		o.Name = name
+	}
+	dir, err := viewDirectory(ctrl, def)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		Name:  name,
+		Def:   def,
+		ctrl:  ctrl,
+		dir:   dir,
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+		store: kdb.NewStore(dir),
+	}
+	v.s = newStream(ctrl, def, o.SubBuffer, o.Poll)
+	if o.Metrics != nil {
+		dbL, watchL := obs.L("db", o.DB), obs.L("watch", o.Name)
+		v.gWatches = o.Metrics.Gauge("mlds_watches",
+			"watches and materialized views currently tailing the commit stream", dbL)
+		v.gLag = o.Metrics.Gauge("mlds_watch_lag_epochs",
+			"commit epochs between the database's clock and the watch's last delivered change", dbL, watchL)
+		v.gWatches.Inc()
+	}
+	go v.run()
+	return v, nil
+}
+
+// viewDirectory builds the view store's directory: the projected columns of
+// the source file, with the source's attribute kinds.
+func viewDirectory(ctrl *kc.Controller, def Def) (*abdm.Directory, error) {
+	src := ctrl.System().Directory()
+	cols := def.Cols
+	if cols == nil {
+		tmpl, ok := src.FileTemplate(def.File)
+		if !ok {
+			return nil, fmt.Errorf("cdc: no kernel file named %q", def.File)
+		}
+		cols = tmpl
+	}
+	dir := abdm.NewDirectory()
+	for _, col := range cols {
+		kind, ok := src.AttrKind(col)
+		if !ok {
+			return nil, fmt.Errorf("cdc: file %q has no attribute %q", def.File, col)
+		}
+		if err := dir.DefineAttr(col, kind); err != nil {
+			return nil, err
+		}
+	}
+	if err := dir.DefineFile(def.File, cols); err != nil {
+		return nil, err
+	}
+	return dir, nil
+}
+
+// run is the view's maintenance goroutine: load, then fold the tail into the
+// store, rebuilding from a fresh snapshot when the journal compacts past it.
+func (v *View) run() {
+	defer v.finish()
+	ctx := context.Background()
+	if err := v.s.load(ctx, v.apply); err != nil {
+		v.fail(err)
+		return
+	}
+	v.reloads.Add(1)
+	for {
+		changes, pos, err := v.s.next(v.quit)
+		switch {
+		case err == nil:
+		case err == ErrClosed:
+			return
+		default:
+			v.rebuild()
+			if err := v.s.load(ctx, v.apply); err != nil {
+				v.fail(err)
+				return
+			}
+			v.reloads.Add(1)
+			continue
+		}
+		for _, c := range changes {
+			if !v.apply(c) {
+				return
+			}
+		}
+		v.pos.Store(pos)
+		v.updateLag()
+	}
+}
+
+// apply folds one change into the view store. It is the emit callback of the
+// underlying stream, so initial-load rows arrive here too.
+func (v *View) apply(c Change) bool {
+	select {
+	case <-v.quit:
+		return false
+	default:
+	}
+	v.mu.Lock()
+	st := v.store
+	v.mu.Unlock()
+	var err error
+	switch c.Op {
+	case OpLoad, OpInsert:
+		err = v.insert(st, c)
+	case OpUpdate:
+		if err = v.delete(st, c.ID); err == nil {
+			err = v.insert(st, c)
+		}
+	case OpDelete:
+		err = v.delete(st, c.ID)
+	case OpReady:
+		v.readyOnce.Do(func() { close(v.ready) })
+	case OpResync:
+		// The stream announces resyncs only on watcher paths; views rebuild
+		// explicitly in run. Nothing to do.
+	}
+	if err != nil {
+		v.fail(fmt.Errorf("cdc: view %s: %w", v.Name, err))
+		return false
+	}
+	if c.Pos > v.pos.Load() {
+		v.pos.Store(c.Pos)
+	}
+	if c.Epoch > v.epoch.Load() {
+		v.epoch.Store(c.Epoch)
+	}
+	v.applied.Add(1)
+	return true
+}
+
+func (v *View) insert(st *kdb.Store, c Change) error {
+	req := &abdl.Request{Kind: abdl.Insert, Record: c.Rec, ForceID: abdm.RecordID(c.ID), NoVersion: true}
+	_, err := st.Exec(req)
+	return err
+}
+
+func (v *View) delete(st *kdb.Store, id uint64) error {
+	req := abdl.NewDelete(abdm.And(abdm.Predicate{
+		Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String(v.Def.File),
+	}))
+	req.ForceID = abdm.RecordID(id)
+	req.NoVersion = true
+	_, err := st.Exec(req)
+	return err
+}
+
+// rebuild swaps in an empty store before a full reload.
+func (v *View) rebuild() {
+	v.mu.Lock()
+	v.store = kdb.NewStore(v.dir)
+	v.mu.Unlock()
+}
+
+func (v *View) updateLag() {
+	if v.gLag == nil {
+		return
+	}
+	clock := v.ctrl.Txns().MVCCStats().Epoch
+	last := v.epoch.Load()
+	if last == 0 || clock < last {
+		v.gLag.Set(0)
+		return
+	}
+	v.gLag.Set(int64(clock - last))
+}
+
+func (v *View) fail(err error) {
+	v.mu.Lock()
+	if v.err == nil {
+		v.err = err
+	}
+	v.mu.Unlock()
+}
+
+func (v *View) finish() {
+	v.s.close()
+	if v.gWatches != nil {
+		v.gWatches.Dec()
+	}
+	if v.gLag != nil {
+		v.gLag.Set(0)
+	}
+	v.readyOnce.Do(func() { close(v.ready) })
+	close(v.done)
+}
+
+// Close stops maintenance. The store keeps its last contents.
+func (v *View) Close() {
+	v.once.Do(func() { close(v.quit) })
+	<-v.done
+}
+
+// Err reports why maintenance stopped; nil while live or after a clean Close.
+func (v *View) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}
+
+// Ready blocks until the initial load is applied (or the view closed).
+func (v *View) Ready() <-chan struct{} { return v.ready }
+
+// Pos reports the journal position the view has applied through.
+func (v *View) Pos() uint64 { return v.pos.Load() }
+
+// Stats reports the view's maintenance accounting.
+func (v *View) Stats() WatcherStats {
+	return WatcherStats{
+		TailerStats: v.s.stats(),
+		Events:      v.applied.Load(),
+		Reloads:     uint64(v.reloads.Load()),
+	}
+}
+
+// WaitCaughtUp blocks until the view has applied every journal entry
+// committed before the call (or ctx ends). The quiescent-point equality —
+// view contents == full recomputation — holds once it returns, provided no
+// concurrent writer keeps committing.
+func (v *View) WaitCaughtUp(ctx context.Context) error {
+	target := v.ctrl.JournalPos()
+	for v.pos.Load() < target {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-v.done:
+			if err := v.Err(); err != nil {
+				return err
+			}
+			return ErrClosed
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Rows returns the view's current contents, ordered by base database key.
+func (v *View) Rows() []kdb.StoredRecord {
+	v.mu.Lock()
+	st := v.store
+	v.mu.Unlock()
+	rows := st.Snapshot()
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ID < rows[b].ID })
+	return rows
+}

@@ -1,0 +1,248 @@
+package cdc
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"mlds/internal/kc"
+	"mlds/internal/obs"
+)
+
+// Options tunes a watcher or view.
+type Options struct {
+	// Buffer is the event channel's depth (0 = 64). A consumer that stops
+	// draining blocks the watcher's goroutine, which in turn lets the commit
+	// subscription overflow — the tailer then recovers losslessly from the
+	// journal, so slow consumers cost resyncs, never correctness.
+	Buffer int
+	// SubBuffer is the commit-stream subscription depth (0 = 256).
+	SubBuffer int
+	// Poll is the idle catch-up period (0 = DefaultPoll).
+	Poll time.Duration
+	// Metrics registers the watch gauges (active watches, per-watch lag);
+	// DB and Name label them. A nil registry disables them.
+	Metrics *obs.Registry
+	DB      string
+	Name    string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Buffer <= 0 {
+		o.Buffer = 64
+	}
+	if o.SubBuffer <= 0 {
+		o.SubBuffer = 256
+	}
+	return o
+}
+
+// WatcherStats extends the tailer's accounting with the watcher's own.
+type WatcherStats struct {
+	TailerStats
+	Events  uint64 // changes delivered on C
+	Reloads uint64 // full snapshot reloads (initial load + compaction resyncs)
+}
+
+// Watcher is one live WATCH: C delivers a snapshot-consistent initial load
+// (OpLoad rows, then OpReady at the snapshot epoch) followed by exactly the
+// committed changes past that epoch, in commit order. If the dropped range
+// cannot be re-read — the journal was compacted past the watcher's position,
+// or the controller has no journal file at all — C delivers OpResync
+// followed by a fresh load: the only case initial state repeats.
+// C closes when the watch ends; Err reports why (nil on a clean Close).
+type Watcher struct {
+	C <-chan Change
+
+	ch   chan Change
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	err     error
+	events  uint64
+	reloads uint64
+
+	s        *stream // nil for remote-fed pipes
+	onClose  func()
+	wake     func()       // pipe: wake the drain goroutine on Close
+	feed     func(Change) // pipe: enqueue one remote event
+	failFeed func(error)  // pipe: terminal close from the feeding side
+
+	gWatches *obs.Gauge
+	gLag     *obs.Gauge
+}
+
+// Open starts a watch over the controller for the given definition.
+func Open(ctrl *kc.Controller, def Def, o Options) (*Watcher, error) {
+	if def.File == "" {
+		return nil, errEmptyDef
+	}
+	o = o.withDefaults()
+	w := newWatcher(o.Buffer)
+	w.s = newStream(ctrl, def, o.SubBuffer, o.Poll)
+	w.bindGauges(o)
+	go w.run(ctrl)
+	return w, nil
+}
+
+var errEmptyDef = errorString("cdc: watch definition names no file")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func newWatcher(buf int) *Watcher {
+	ch := make(chan Change, buf)
+	return &Watcher{
+		C:    ch,
+		ch:   ch,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// bindGauges registers the active-watch count and per-watch lag gauges.
+func (w *Watcher) bindGauges(o Options) {
+	if o.Metrics == nil {
+		return
+	}
+	dbL, watchL := obs.L("db", o.DB), obs.L("watch", o.Name)
+	w.gWatches = o.Metrics.Gauge("mlds_watches",
+		"watches and materialized views currently tailing the commit stream", dbL)
+	w.gLag = o.Metrics.Gauge("mlds_watch_lag_epochs",
+		"commit epochs between the database's clock and the watch's last delivered change", dbL, watchL)
+	w.gWatches.Inc()
+}
+
+// run is the watcher's goroutine: load, then tail, reloading on compaction.
+func (w *Watcher) run(ctrl *kc.Controller) {
+	defer w.finish()
+	ctx := context.Background()
+	emit := w.emit
+	if err := w.s.load(ctx, emit); err != nil {
+		w.fail(err)
+		return
+	}
+	w.noteReload()
+	for {
+		changes, _, err := w.s.next(w.quit)
+		switch {
+		case err == nil:
+		case err == ErrClosed:
+			return
+		default:
+			// The journal no longer holds the range past our cursor (or the
+			// read failed outright): announce the discontinuity and rebuild
+			// from a fresh snapshot.
+			if !emit(Change{Op: OpResync}) {
+				return
+			}
+			if err := w.s.load(ctx, emit); err != nil {
+				w.fail(err)
+				return
+			}
+			w.noteReload()
+			continue
+		}
+		for _, c := range changes {
+			if !emit(c) {
+				return
+			}
+		}
+		w.updateLag(ctrl)
+	}
+}
+
+func (w *Watcher) updateLag(ctrl *kc.Controller) {
+	if w.gLag == nil {
+		return
+	}
+	st := w.s.stats()
+	clock := ctrl.Txns().MVCCStats().Epoch
+	if st.Epoch == 0 || clock < st.Epoch {
+		w.gLag.Set(0)
+		return
+	}
+	w.gLag.Set(int64(clock - st.Epoch))
+}
+
+// emit delivers one change, blocking until the consumer drains or the watch
+// closes. It reports false when the watch is closing.
+func (w *Watcher) emit(c Change) bool {
+	select {
+	case w.ch <- c:
+		w.mu.Lock()
+		w.events++
+		w.mu.Unlock()
+		return true
+	case <-w.quit:
+		return false
+	}
+}
+
+func (w *Watcher) noteReload() {
+	w.mu.Lock()
+	w.reloads++
+	w.mu.Unlock()
+}
+
+// fail records the watch's terminal error.
+func (w *Watcher) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// finish tears the watch down from the inside: release the subscription and
+// gauges, then close C so consumers see end-of-stream.
+func (w *Watcher) finish() {
+	if w.s != nil {
+		w.s.close()
+	}
+	if w.gWatches != nil {
+		w.gWatches.Dec()
+	}
+	if w.gLag != nil {
+		w.gLag.Set(0)
+	}
+	if w.onClose != nil {
+		w.onClose()
+	}
+	close(w.ch)
+	close(w.done)
+}
+
+// Close ends the watch and waits for C to close. Safe to call repeatedly and
+// concurrently with consumption.
+func (w *Watcher) Close() {
+	w.once.Do(func() {
+		close(w.quit)
+		if w.wake != nil {
+			w.wake()
+		}
+	})
+	<-w.done
+}
+
+// Err reports why the watch ended; nil while live or after a clean Close.
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Stats reports the watch's delivery accounting. Remote watches (pipes)
+// report only Events and Reloads; the tailer figures live server-side.
+func (w *Watcher) Stats() WatcherStats {
+	w.mu.Lock()
+	st := WatcherStats{Events: w.events, Reloads: w.reloads}
+	w.mu.Unlock()
+	if w.s != nil {
+		st.TailerStats = w.s.stats()
+	}
+	return st
+}

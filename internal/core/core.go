@@ -20,6 +20,7 @@ import (
 
 	"mlds/internal/abdl"
 	"mlds/internal/abdm"
+	"mlds/internal/cdc"
 	"mlds/internal/dapkms"
 	"mlds/internal/daplex"
 	"mlds/internal/funcmodel"
@@ -140,6 +141,13 @@ type Database struct {
 	slow    *obs.SlowLog     // the system's slow-request log
 	plans   *plancache.Cache // the system's shared statement-plan cache
 	tracing bool
+
+	// Live materialized views (CREATE VIEW), keyed by lower-cased name. A nil
+	// entry is a name reserved by an in-flight CREATE VIEW. watchSeq names
+	// anonymous watches for their lag gauges.
+	vmu      sync.Mutex
+	views    map[string]*cdc.View
+	watchSeq uint64
 }
 
 // NewSystem builds an empty MLDS instance.
@@ -171,14 +179,20 @@ func (s *System) Metrics() *obs.Registry { return s.metrics }
 // SlowLog returns the system's slow-request log.
 func (s *System) SlowLog() *obs.SlowLog { return s.slow }
 
-// Close shuts down every database's kernel.
+// Close shuts down every database's views and kernel — views first, so view
+// maintenance never executes against a closed kernel.
 func (s *System) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	dbs := make([]*Database, 0, len(s.dbs))
 	for _, db := range s.dbs {
-		db.Kernel.Close()
+		dbs = append(dbs, db)
 	}
 	s.dbs = make(map[string]*Database)
+	s.mu.Unlock()
+	for _, db := range dbs {
+		db.closeViews()
+		db.Kernel.Close()
+	}
 }
 
 // CreateFunctional defines a new functional database from Daplex DDL text.
@@ -274,6 +288,7 @@ func (s *System) register(db *Database) (*Database, error) {
 	db.slow = s.slow
 	db.plans = s.plans
 	db.tracing = s.cfg.Tracing
+	db.views = make(map[string]*cdc.View)
 	s.dbs[db.Name] = db
 	return db, nil
 }

@@ -20,6 +20,12 @@ var ErrUnknownLanguage = errors.New("core: unknown language")
 // ErrNoTxn reports a COMMIT or ROLLBACK with no explicit transaction open.
 var ErrNoTxn = errors.New("core: no transaction open")
 
+// ErrNoView reports a DROP VIEW naming no live view.
+var ErrNoView = errors.New("core: no such view")
+
+// ErrDupView reports a CREATE VIEW reusing a live view's name.
+var ErrDupView = errors.New("core: view already exists")
+
 // ParseError marks a statement the language front end rejected. It wraps the
 // parser's error verbatim (same text), adding only the classification.
 type ParseError struct{ Err error }
@@ -50,6 +56,8 @@ func CodeOf(err error) wire.Code {
 		return wire.CodeReadOnly
 	case errors.Is(err, ErrNoTxn):
 		return wire.CodeNoTxn
+	case errors.Is(err, ErrNoView), errors.Is(err, ErrDupView):
+		return wire.CodeView
 	case errors.As(err, &de):
 		return wire.CodeDraining
 	case errors.As(err, &ae):

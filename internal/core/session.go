@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"mlds/internal/abdl"
+	"mlds/internal/cdc"
 	"mlds/internal/codasyl"
 	"mlds/internal/dapkms"
 	"mlds/internal/daplex"
@@ -53,6 +54,10 @@ type Outcome struct {
 	SQL    *relkms.ResultSet // SQL
 	DLI    *hiekms.Outcome   // DL/I
 	Kernel *kdb.Result       // raw ABDL
+
+	// Watch is the live subscription a WATCH statement opened: the caller
+	// owns it and must Close it. Nil for every other statement.
+	Watch *cdc.Watcher
 }
 
 // Session is one user's connection to a database through one language
@@ -85,6 +90,14 @@ type Session interface {
 	Rollback() error
 	// InTxn reports whether an explicit transaction is open.
 	InTxn() bool
+
+	// Watch opens a change subscription on the session's database: the
+	// returned watcher's channel delivers a snapshot-consistent initial load
+	// followed by exactly the changes committed after that snapshot, in
+	// commit order. The query is a single-file SQL SELECT, optionally
+	// prefixed with WATCH — the same text the WATCH statement accepts in
+	// every language. The caller owns the watcher and must Close it.
+	Watch(query string) (*cdc.Watcher, error)
 }
 
 // SessionOption configures a session at open time.
@@ -360,6 +373,8 @@ func (db *Database) run(ts *txnState, lang, text string, exec func(ctx context.C
 	var err error
 	if verb, ok := txnVerb(text); ok && ts != nil {
 		err = ts.control(verb, out)
+	} else if wv, arg, ok := watchVerb(text); ok {
+		err = db.watchControl(wv, arg, out)
 	} else {
 		err = db.execInTxn(ctx, ts, out, exec)
 	}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mlds/internal/abdl"
+	"mlds/internal/abdm"
+	"mlds/internal/cdc"
+	"mlds/internal/kc"
+	"mlds/internal/mbds"
+)
+
+// E18 sizes. The latency phase commits e18Commits single-record transactions
+// and measures how long each takes to surface on a live watch; the view phase
+// runs e18Inserts+e18Updates+e18Deletes mutations against an incrementally
+// maintained materialized view and compares the cost of staying fresh against
+// recomputing the view query after every change.
+const (
+	e18Commits   = 400
+	e18Inserts   = 800
+	e18Updates   = 200
+	e18Deletes   = 100
+	e18Threshold = 500 // view predicate: x >= e18Threshold
+)
+
+// e18Controller builds a two-backend journalled controller over f(x, y) —
+// the full lossless change-capture configuration.
+func e18Controller(dir string) (*kc.Controller, func(), error) {
+	d := abdm.NewDirectory()
+	for _, attr := range []string{"x", "y"} {
+		if err := d.DefineAttr(attr, abdm.KindInt); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := d.DefineFile("f", []string{"x", "y"}); err != nil {
+		return nil, nil, err
+	}
+	sys, err := mbds.New(d, mbds.DefaultConfig(2))
+	if err != nil {
+		return nil, nil, err
+	}
+	c := kc.New(sys)
+	jf, err := kc.OpenJournalFile(filepath.Join(dir, "journal.gob"))
+	if err != nil {
+		sys.Close()
+		return nil, nil, err
+	}
+	if err := c.AttachJournalFile(jf); err != nil {
+		sys.Close()
+		jf.Close()
+		return nil, nil, err
+	}
+	return c, func() { sys.Close(); jf.Close() }, nil
+}
+
+func e18Insert(x int64) *abdl.Request {
+	return abdl.NewInsert(abdm.NewRecord("f",
+		abdm.Keyword{Attr: "x", Val: abdm.Int(x)},
+		abdm.Keyword{Attr: "y", Val: abdm.Int(x % 7)}))
+}
+
+func e18WhereX(x int64) abdm.Query {
+	return abdm.And(
+		abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("f")},
+		abdm.Predicate{Attr: "x", Op: abdm.OpEq, Val: abdm.Int(x)})
+}
+
+// e18Recompute runs the view's defining query in full against the base table
+// and returns the matching x values, sorted.
+func e18Recompute(c *kc.Controller) ([]int64, time.Duration, error) {
+	start := time.Now()
+	res, err := c.Exec(abdl.NewRetrieve(abdm.And(
+		abdm.Predicate{Attr: abdm.FileAttr, Op: abdm.OpEq, Val: abdm.String("f")},
+		abdm.Predicate{Attr: "x", Op: abdm.OpGe, Val: abdm.Int(e18Threshold)}),
+		"x", "y"))
+	wall := time.Since(start)
+	if err != nil {
+		return nil, wall, err
+	}
+	xs := make([]int64, 0, len(res.Records))
+	for _, sr := range res.Records {
+		v, _ := sr.Rec.Get("x")
+		xs = append(xs, v.AsInt())
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	return xs, wall, nil
+}
+
+// percentile returns the p-th percentile of sorted durations.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// E18ChangeCapture regenerates the change-data-capture subsystem's two
+// claims:
+//
+//  1. Commit-to-watcher latency: a live WATCH over the commit stream sees
+//     each acknowledged commit promptly — every one of e18Commits inserts is
+//     delivered exactly once, and the p50/p99 from commit acknowledgement to
+//     watch delivery stay in interactive territory.
+//  2. Incremental view maintenance beats recomputation: after a mixed
+//     insert/update/delete workload, the materialized view equals a full
+//     recomputation of its query, and the time it needs to catch up after
+//     the last commit is far below what recomputing the query after every
+//     mutation would have cost.
+func E18ChangeCapture() *Report {
+	const id, title = "E18", "Change capture — commit→watcher latency; incremental view vs full recompute"
+	var b strings.Builder
+	ok := true
+
+	// Claim 1: commit→watcher latency under a steady single-writer stream.
+	dir, err := os.MkdirTemp("", "mlds-e18-lat-")
+	if err != nil {
+		return failf(id, title, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	c, cleanup, err := e18Controller(dir)
+	if err != nil {
+		return failf(id, title, "controller: %v", err)
+	}
+	def, err := cdc.ParseQuery("WATCH SELECT x, y FROM f WHERE x >= 0")
+	if err != nil {
+		cleanup()
+		return failf(id, title, "parse watch query: %v", err)
+	}
+	w, err := cdc.Open(c, def, cdc.Options{})
+	if err != nil {
+		cleanup()
+		return failf(id, title, "open watch: %v", err)
+	}
+	var (
+		mu   sync.Mutex
+		recv = make(map[int64]time.Time, e18Commits)
+	)
+	delivered := make(chan struct{})
+	go func() {
+		defer close(delivered)
+		n := 0
+		for ch := range w.C {
+			if ch.Op != cdc.OpInsert && ch.Op != cdc.OpLoad {
+				continue
+			}
+			v, _ := ch.Rec.Get("x")
+			mu.Lock()
+			recv[v.AsInt()] = time.Now()
+			mu.Unlock()
+			if n++; n == e18Commits {
+				return
+			}
+		}
+	}()
+	acked := make(map[int64]time.Time, e18Commits)
+	for i := int64(1); i <= e18Commits; i++ {
+		if _, err := c.Exec(e18Insert(i)); err != nil {
+			cleanup()
+			return failf(id, title, "insert %d: %v", i, err)
+		}
+		acked[i] = time.Now()
+	}
+	select {
+	case <-delivered:
+	case <-time.After(30 * time.Second):
+		cleanup()
+		return failf(id, title, "watch delivered only %d of %d commits in 30s", len(recv), e18Commits)
+	}
+	w.Close()
+	lats := make([]time.Duration, 0, e18Commits)
+	for x, t0 := range acked {
+		t1, seen := recv[x]
+		if !seen {
+			ok = false
+			fmt.Fprintf(&b, "MISSING: commit x=%d never delivered\n", x)
+			continue
+		}
+		lat := t1.Sub(t0)
+		if lat < 0 {
+			lat = 0 // delivered before the ack returned to the writer
+		}
+		lats = append(lats, lat)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	p50, p99 := percentile(lats, 0.50), percentile(lats, 0.99)
+	st := w.Stats()
+	fmt.Fprintf(&b, "latency   : %d commits watched, p50 %v, p99 %v (delivered %d, dropped %d, resyncs %d)\n",
+		len(lats), p50.Round(time.Microsecond), p99.Round(time.Microsecond),
+		st.Delivered, st.Dropped, st.Resyncs)
+	if len(lats) != e18Commits || p99 > 2*time.Second {
+		ok = false
+	}
+	cleanup()
+
+	// Claim 2: incremental maintenance vs recompute-per-change.
+	dir2, err := os.MkdirTemp("", "mlds-e18-view-")
+	if err != nil {
+		return failf(id, title, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir2)
+	c2, cleanup2, err := e18Controller(dir2)
+	if err != nil {
+		return failf(id, title, "controller: %v", err)
+	}
+	defer cleanup2()
+	vdef, err := cdc.ParseQuery(fmt.Sprintf("SELECT x, y FROM f WHERE x >= %d", e18Threshold))
+	if err != nil {
+		return failf(id, title, "parse view query: %v", err)
+	}
+	view, err := cdc.OpenView(c2, "wellpaid", vdef, cdc.Options{})
+	if err != nil {
+		return failf(id, title, "open view: %v", err)
+	}
+	defer view.Close()
+	<-view.Ready()
+
+	workStart := time.Now()
+	// Inserts: x = 1..e18Inserts, half of them below the predicate.
+	for i := int64(1); i <= e18Inserts; i++ {
+		if _, err := c2.Exec(e18Insert(i)); err != nil {
+			return failf(id, title, "view insert %d: %v", i, err)
+		}
+	}
+	// Updates: lift e18Updates sub-threshold records across it (membership
+	// entry), the expensive transition for any maintenance scheme.
+	for i := int64(1); i <= e18Updates; i++ {
+		req := abdl.NewUpdate(e18WhereX(i), abdl.Modifier{Attr: "x", Val: abdm.Int(i + 2000)})
+		if _, err := c2.Exec(req); err != nil {
+			return failf(id, title, "view update %d: %v", i, err)
+		}
+	}
+	// Deletes: drop e18Deletes records from inside the predicate.
+	for i := int64(e18Threshold); i < e18Threshold+e18Deletes; i++ {
+		if _, err := c2.Exec(abdl.NewDelete(e18WhereX(i))); err != nil {
+			return failf(id, title, "view delete %d: %v", i, err)
+		}
+	}
+	workWall := time.Since(workStart)
+	catchStart := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = view.WaitCaughtUp(ctx)
+	cancel()
+	if err != nil {
+		return failf(id, title, "view catch-up: %v", err)
+	}
+	catchWall := time.Since(catchStart)
+
+	// Exactness at the quiescent point: view contents == full recomputation.
+	want, recomputeWall, err := e18Recompute(c2)
+	if err != nil {
+		return failf(id, title, "recompute: %v", err)
+	}
+	got := make([]int64, 0, len(want))
+	for _, row := range view.Rows() {
+		v, _ := row.Rec.Get("x")
+		got = append(got, v.AsInt())
+	}
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	exact := len(got) == len(want)
+	if exact {
+		for i := range got {
+			if got[i] != want[i] {
+				exact = false
+				break
+			}
+		}
+	}
+	mutations := e18Inserts + e18Updates + e18Deletes
+	fullTotal := time.Duration(mutations) * recomputeWall
+	vst := view.Stats()
+	fmt.Fprintf(&b, "view      : %d mutations in %v; caught up %v after the last commit (%d changes applied)\n",
+		mutations, workWall.Round(time.Millisecond), catchWall.Round(time.Millisecond), vst.Events)
+	fmt.Fprintf(&b, "exactness : view rows %d == recompute rows %d: %v\n", len(got), len(want), exact)
+	fmt.Fprintf(&b, "recompute : one full recompute %v; per-change recompute would cost %d x %v = %v\n",
+		recomputeWall.Round(time.Microsecond), mutations,
+		recomputeWall.Round(time.Microsecond), fullTotal.Round(time.Millisecond))
+	if !exact || catchWall >= fullTotal {
+		ok = false
+	}
+
+	r := report(id, title, ok, b.String())
+	r.Sim = p99
+	return r
+}

@@ -67,6 +67,7 @@ func All() []*Report {
 		E15ElasticScaling,
 		func() *Report { return E16NetServing(0) },
 		E17PagedStorage,
+		E18ChangeCapture,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

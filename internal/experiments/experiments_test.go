@@ -133,6 +133,22 @@ func TestE17_PagedStorage(t *testing.T) {
 	}
 }
 
+// TestE18_ChangeCapture runs the CDC experiment: every commit must surface
+// on the watch with bounded latency, and the materialized view must equal a
+// full recomputation while catching up far faster than per-change recompute.
+func TestE18_ChangeCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := E18ChangeCapture()
+	assertOK(t, r)
+	for _, want := range []string{"p99", "exactness", "recompute"} {
+		if !strings.Contains(r.Body, want) {
+			t.Errorf("E18 missing %q:\n%s", want, r.Body)
+		}
+	}
+}
+
 func TestAllRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep")

@@ -138,6 +138,7 @@ func (c *Controller) SeedRecovery(meta pager.Meta, entries uint64) {
 		entries = meta.Entries
 	}
 	c.jEntries = entries
+	c.jNoted = entries
 	if int64(c.nextKey) > c.jMaxKey {
 		c.jMaxKey = int64(c.nextKey)
 	}

@@ -30,6 +30,11 @@ type journalEntry struct {
 	// unchanged.
 	CkptEpoch   uint64
 	CkptEntries uint64
+
+	// Affected pins the database keys the mutation touched (insert id,
+	// update/delete victims), so change-data-capture readers apply deltas by
+	// key. Gob omits empty slices, so pre-CDC journals decode unchanged.
+	Affected []uint64
 }
 
 // Journal markers. Data must be zero so v1 entries decode as data.
@@ -97,6 +102,19 @@ func (s journalSink) WriteCommits(recs []txn.CommitRecord) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.journal == nil {
+		// No journal writer, but position accounting still runs: committed
+		// data entries are counted so commit records carry exact positions
+		// and live change capture works on journal-less controllers. Only
+		// re-reading history (ReadCommitted) needs the file; a tailer that
+		// drops records there rebuilds from a fresh snapshot instead.
+		for _, rec := range recs {
+			for _, e := range rec.Entries {
+				c.jEntries++
+				if e.Key > c.jMaxKey {
+					c.jMaxKey = e.Key
+				}
+			}
+		}
 		return nil
 	}
 	for _, rec := range recs {
@@ -104,7 +122,7 @@ func (s journalSink) WriteCommits(recs []txn.CommitRecord) error {
 			return fmt.Errorf("kc: journal write: %w", err)
 		}
 		for _, e := range rec.Entries {
-			entry := journalEntry{Req: e.Req, Key: e.Key, Txn: rec.ID, Marker: markerData}
+			entry := journalEntry{Req: e.Req, Key: e.Key, Txn: rec.ID, Marker: markerData, Affected: e.Affected}
 			if err := c.journal.Encode(&entry); err != nil {
 				return fmt.Errorf("kc: journal write: %w", err)
 			}
@@ -136,6 +154,17 @@ func (s journalSink) NoteEpoch(epoch uint64) {
 		c.jPairs = make(map[uint64]ckptPair)
 	}
 	c.jPairs[epoch] = ckptPair{entries: c.jEntries, maxKey: c.jMaxKey}
+	c.jNoted = c.jEntries
+}
+
+// JournalPos implements txn.PosReader: the cumulative count of committed
+// data entries written to the journal. The group-commit leader reads it once
+// per flushed batch to stamp positions onto published CommitRecords.
+func (s journalSink) JournalPos() uint64 {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jEntries
 }
 
 // WriteAbort notes a rolled-back transaction in the journal. Aborted

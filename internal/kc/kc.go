@@ -48,6 +48,7 @@ type Controller struct {
 	// epoch to the journal position its batch flushed at. jf is the journal's
 	// file handle when attached via AttachJournalFile — what rotation swaps.
 	jEntries uint64
+	jNoted   uint64 // jEntries as of the last NoteEpoch (or recovery seed)
 	jMaxKey  int64
 	jPairs   map[uint64]ckptPair
 	lastCkpt uint64

@@ -88,6 +88,10 @@ func (i *Interface) Exec(st sql.Stmt) (*ResultSet, error) {
 		return i.execUpdate(v)
 	case *sql.Delete:
 		return i.execDelete(v)
+	case *sql.Watch, *sql.CreateView:
+		// Change subscriptions and view maintenance live above the mapping
+		// system (the session layer intercepts these verbs before parsing).
+		return nil, fmt.Errorf("relkms: %T is handled by the session layer, not the mapping system", st)
 	default:
 		return nil, fmt.Errorf("relkms: unsupported statement %T", st)
 	}

@@ -24,7 +24,10 @@ type srvConn struct {
 
 	mu       sync.Mutex
 	sessions map[uint32]*session
+	watches  map[uint64]*srvWatch // live watches, keyed by conn-unique id
+	watchSeq uint64
 	sessWG   sync.WaitGroup
+	pushWG   sync.WaitGroup // watch pushers and async watch teardowns
 }
 
 func newSrvConn(s *Server, nc net.Conn) *srvConn {
@@ -34,6 +37,7 @@ func newSrvConn(s *Server, nc net.Conn) *srvConn {
 		br:       bufio.NewReader(nc),
 		bw:       bufio.NewWriter(nc),
 		sessions: make(map[uint32]*session),
+		watches:  make(map[uint64]*srvWatch),
 	}
 }
 
@@ -80,6 +84,8 @@ func (c *srvConn) serve() {
 			c.exec(m)
 		case wire.MsgClose:
 			c.closeSession(m)
+		case wire.MsgWatchClose:
+			c.watchClose(m)
 		default:
 			c.send(refusal(m, wire.CodeProto, fmt.Sprintf("%v %d", errUnknownKind, m.Kind)))
 		}
@@ -205,6 +211,19 @@ func (c *srvConn) teardown() {
 		s.killOnce.Do(func() { close(s.kill) })
 	}
 	c.sessWG.Wait()
+	// Workers closed their sessions' watches; sweep any stragglers (a watch
+	// whose MsgWatchClose teardown is still in flight) and wait the pushers.
+	c.mu.Lock()
+	var left []*srvWatch
+	for _, sw := range c.watches {
+		left = append(left, sw)
+	}
+	c.watches = make(map[uint64]*srvWatch)
+	c.mu.Unlock()
+	for _, sw := range left {
+		sw.w.Close()
+	}
+	c.pushWG.Wait()
 	_ = c.c.Close()
 	c.srv.dropConn(c)
 }
@@ -262,6 +281,7 @@ func (s *session) admit() bool {
 func (s *session) worker() {
 	defer s.conn.sessWG.Done()
 	defer func() {
+		s.conn.closeSessionWatches(s.sid)
 		_ = s.sess.Close()
 		s.conn.srv.releaseSession(s.db)
 	}()
@@ -272,13 +292,32 @@ func (s *session) worker() {
 		case m := <-s.queue:
 			if m.Kind == wire.MsgClose {
 				s.conn.remove(s.sid)
+				s.conn.closeSessionWatches(s.sid)
 				s.conn.send(&wire.Msg{Kind: wire.MsgReply, SID: s.sid, Seq: m.Seq})
 				return
 			}
 			start := time.Now()
 			out, err := s.sess.Execute(m.Stmt)
 			s.conn.srv.mLatency.Observe(time.Since(start).Seconds())
-			s.conn.send(execReply(m, out, err, s.sess.InTxn()))
+			reply := execReply(m, out, err, s.sess.InTxn())
+			if err == nil && out != nil && out.Watch != nil {
+				// A WATCH statement: register the watcher and reply with its
+				// id BEFORE starting the pusher, so the client has the watch
+				// routed when the first MsgEvent arrives.
+				sw, ok := s.conn.addWatch(s.sid, out.Watch)
+				if !ok {
+					out.Watch.Close()
+					s.conn.srv.mRefused.Inc()
+					s.conn.send(refusal(m, wire.CodeWatchLimit, "server: watch limit reached"))
+					continue
+				}
+				reply.Watch = sw.id
+				s.conn.send(reply)
+				s.conn.pushWG.Add(1)
+				go s.conn.push(sw)
+				continue
+			}
+			s.conn.send(reply)
 		}
 	}
 }

@@ -55,6 +55,15 @@ type Config struct {
 	RateBurst int
 	// MaxFrame caps inbound frame size in bytes (0 = wire.DefaultMaxFrame).
 	MaxFrame int
+	// MaxWatchesPerConn caps live watches on one connection; a WATCH beyond
+	// it is refused with CodeWatchLimit (0 = 64).
+	MaxWatchesPerConn int
+	// WatchQueue is the per-watch server-side event buffer. A client that
+	// stops reading fills it, which blocks that watch's tailer and lets its
+	// commit subscription overflow — the tailer then resynchronizes from the
+	// journal, so slow watch consumers cost resyncs, never lost changes or
+	// unbounded memory (0 = 256).
+	WatchQueue int
 	// Metrics receives the server counters; nil uses the system's registry.
 	Metrics *obs.Registry
 }
@@ -71,6 +80,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RateBurst == 0 {
 		c.RateBurst = 16
+	}
+	if c.MaxWatchesPerConn == 0 {
+		c.MaxWatchesPerConn = 64
+	}
+	if c.WatchQueue == 0 {
+		c.WatchQueue = 256
 	}
 	return c
 }

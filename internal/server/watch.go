@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+
+	"mlds/internal/cdc"
+	"mlds/internal/wire"
+)
+
+// Server-push plumbing for WATCH over the network. A WATCH statement
+// executes like any other (the core layer opens the watcher); the session
+// worker then registers the watcher on the connection and replies with a
+// connection-unique watch id. A pusher goroutine per watch drains the
+// watcher's channel into MsgEvent frames, batching whatever is ready so a
+// fast stream amortizes framing. The pusher blocking on the connection is
+// the flow-control path: the watcher's channel fills, its tailer stalls,
+// the commit subscription overflows, and the tailer later resynchronizes
+// from the journal — end-to-end losslessness without unbounded buffering.
+//
+// Watches ride the connection, not the drain state: draining refuses new
+// WATCH statements (they are implicit statements) but established pushers
+// keep delivering until the client or the connection goes away.
+
+// maxEventBatch bounds how many changes one MsgEvent frame carries.
+const maxEventBatch = 64
+
+// srvWatch is one live watch on a connection.
+type srvWatch struct {
+	id  uint64
+	sid uint32
+	w   *cdc.Watcher
+}
+
+// addWatch registers a watcher under a fresh id, enforcing the
+// per-connection cap. The caller starts the pusher after replying, so the
+// client learns the watch id before the first push can arrive.
+func (c *srvConn) addWatch(sid uint32, w *cdc.Watcher) (*srvWatch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.watches) >= c.srv.cfg.MaxWatchesPerConn {
+		return nil, false
+	}
+	c.watchSeq++
+	sw := &srvWatch{id: c.watchSeq, sid: sid, w: w}
+	c.watches[sw.id] = sw
+	return sw, true
+}
+
+// removeWatch forgets a watch id; it reports whether it was still known.
+func (c *srvConn) removeWatch(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.watches[id]; !ok {
+		return false
+	}
+	delete(c.watches, id)
+	return true
+}
+
+// watchClose handles a client's MsgWatchClose: acknowledge, then tear the
+// watch down off the reader loop (Close waits for the pusher's drain, so it
+// must not run on the reader).
+func (c *srvConn) watchClose(m *wire.Msg) {
+	c.mu.Lock()
+	sw := c.watches[m.Watch]
+	delete(c.watches, m.Watch)
+	c.mu.Unlock()
+	if sw == nil {
+		c.send(refusal(m, wire.CodeNoWatch, fmt.Sprintf("server: no watch %d", m.Watch)))
+		return
+	}
+	c.send(&wire.Msg{Kind: wire.MsgReply, SID: m.SID, Seq: m.Seq})
+	sw.closeAsync(c)
+}
+
+// closeSessionWatches tears down every watch a session owns; the session
+// worker runs it on the way out so a closed session never leaks pushers.
+func (c *srvConn) closeSessionWatches(sid uint32) {
+	c.mu.Lock()
+	var owned []*srvWatch
+	for _, sw := range c.watches {
+		if sw.sid == sid {
+			owned = append(owned, sw)
+		}
+	}
+	for _, sw := range owned {
+		delete(c.watches, sw.id)
+	}
+	c.mu.Unlock()
+	for _, sw := range owned {
+		sw.w.Close()
+	}
+}
+
+// push drains the watcher into MsgEvent frames until its channel closes,
+// then announces the end with a server→client MsgWatchClose carrying why.
+func (c *srvConn) push(sw *srvWatch) {
+	defer c.pushWG.Done()
+	for change := range sw.w.C {
+		batch := []wire.Event{cdc.EventFromChange(change)}
+		for len(batch) < maxEventBatch {
+			select {
+			case more, ok := <-sw.w.C:
+				if !ok {
+					c.send(&wire.Msg{Kind: wire.MsgEvent, SID: sw.sid, Watch: sw.id, Events: batch})
+					c.endWatch(sw)
+					return
+				}
+				batch = append(batch, cdc.EventFromChange(more))
+			default:
+				goto flush
+			}
+		}
+	flush:
+		c.send(&wire.Msg{Kind: wire.MsgEvent, SID: sw.sid, Watch: sw.id, Events: batch})
+	}
+	c.endWatch(sw)
+}
+
+// endWatch sends the terminal server→client MsgWatchClose for a watch whose
+// channel closed, with the watcher's error (CodeOK for a clean close).
+func (c *srvConn) endWatch(sw *srvWatch) {
+	c.removeWatch(sw.id)
+	m := &wire.Msg{Kind: wire.MsgWatchClose, SID: sw.sid, Watch: sw.id}
+	if err := sw.w.Err(); err != nil {
+		m.Code = wire.CodeInternal
+		m.Err = err.Error()
+	}
+	c.send(m)
+}
+
+// closeAsync tears one watch down off the reader loop: Close blocks until
+// the watcher's goroutines drain, so it must not run on the reader.
+func (sw *srvWatch) closeAsync(c *srvConn) {
+	c.pushWG.Add(1)
+	go func() {
+		defer c.pushWG.Done()
+		sw.w.Close()
+	}()
+}

@@ -20,6 +20,10 @@ func FuzzParse(f *testing.F) {
 		"DELETE FROM emp WHERE pay < 0",
 		"SELECT MAX(pay) FROM emp WHERE pay <> 3.5e2",
 		"select * from emp where a = 1 and b = 2 or c = 3",
+		"WATCH SELECT * FROM emp",
+		"WATCH SELECT ename, pay FROM emp WHERE pay >= 800",
+		"CREATE VIEW wellpaid AS SELECT ename, pay FROM emp WHERE pay >= 800",
+		"create view v as select * from dept",
 	} {
 		f.Add(seed)
 	}
@@ -83,6 +87,16 @@ func TestParseCrashers(t *testing.T) {
 		"SELECT * FROM emp WHERE a = 'it''s' AND",
 		"SELECT * FROM emp WHERE a = 1e",
 		"SELECT * FROM emp WHERE a = -",
+		"WATCH",
+		"WATCH SELECT",
+		"WATCH WATCH SELECT * FROM emp",
+		"WATCH INSERT INTO emp (a) VALUES (1)",
+		"CREATE VIEW",
+		"CREATE VIEW v",
+		"CREATE VIEW v AS",
+		"CREATE VIEW v AS SELECT",
+		"CREATE VIEW AS SELECT * FROM emp",
+		"CREATE VIEW v AS DELETE FROM emp",
 		strings.Repeat("SELECT * FROM emp WHERE a = 1 AND ", 200) + "b = 2",
 	}
 	for _, src := range crashers {

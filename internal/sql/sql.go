@@ -104,6 +104,25 @@ type Delete struct {
 
 func (*Delete) sqlStmt() {}
 
+// Watch is WATCH SELECT ...: a change subscription on the inner query — a
+// snapshot-consistent initial load followed by the committed row changes.
+// Aggregates, GROUP BY and ORDER BY are accepted by the grammar but rejected
+// at watch-open time (they have no incremental row-delta form).
+type Watch struct {
+	Inner *Select
+}
+
+func (*Watch) sqlStmt() {}
+
+// CreateView is CREATE VIEW v AS SELECT ...: an incrementally-maintained
+// materialized view over the inner query.
+type CreateView struct {
+	Name  string
+	Inner *Select
+}
+
+func (*CreateView) sqlStmt() {}
+
 // --- lexer -----------------------------------------------------------------
 
 type tkind int
@@ -398,6 +417,10 @@ func Parse(src string) (Stmt, error) {
 		st, err = p.parseUpdate()
 	case p.eat("DELETE"):
 		st, err = p.parseDelete()
+	case p.eat("WATCH"):
+		st, err = p.parseWatch()
+	case p.eat("CREATE"):
+		st, err = p.parseCreateView()
 	default:
 		return nil, fmt.Errorf("sql: unknown statement starting with %s", p.tok())
 	}
@@ -639,4 +662,39 @@ func (p *parser) parseDelete() (Stmt, error) {
 		return nil, werr
 	}
 	return del, nil
+}
+
+// parseWatch parses the query after WATCH: a full SELECT.
+func (p *parser) parseWatch() (Stmt, error) {
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &Watch{Inner: inner.(*Select)}, nil
+}
+
+// parseCreateView parses CREATE VIEW v AS SELECT ... (CREATE TABLE is DDL;
+// see ParseDDL).
+func (p *parser) parseCreateView() (Stmt, error) {
+	if err := p.expectWord("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("view name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("AS"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	inner, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &CreateView{Name: name, Inner: inner.(*Select)}, nil
 }

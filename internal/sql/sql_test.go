@@ -155,6 +155,50 @@ func TestParseDelete(t *testing.T) {
 	}
 }
 
+func TestParseWatch(t *testing.T) {
+	w := mustParse(t, "WATCH SELECT ename, pay FROM emp WHERE pay >= 800;").(*Watch)
+	if w.Inner == nil || w.Inner.Table != "emp" || len(w.Inner.Items) != 2 {
+		t.Fatalf("watch = %+v", w)
+	}
+	if len(w.Inner.Where) != 1 || len(w.Inner.Where[0]) != 1 {
+		t.Fatalf("where = %+v", w.Inner.Where)
+	}
+	w = mustParse(t, "watch select * from dept").(*Watch)
+	if w.Inner.Table != "dept" || w.Inner.Items[0].Column != "*" {
+		t.Fatalf("watch = %+v", w.Inner)
+	}
+}
+
+func TestParseCreateView(t *testing.T) {
+	cv := mustParse(t, "CREATE VIEW wellpaid AS SELECT ename, pay FROM emp WHERE pay >= 800").(*CreateView)
+	if cv.Name != "wellpaid" || cv.Inner == nil || cv.Inner.Table != "emp" {
+		t.Fatalf("view = %+v", cv)
+	}
+	cv = mustParse(t, "create view v as select * from dept;").(*CreateView)
+	if cv.Name != "v" || cv.Inner.Table != "dept" {
+		t.Fatalf("view = %+v", cv)
+	}
+}
+
+func TestParseWatchErrors(t *testing.T) {
+	bad := []string{
+		"WATCH",
+		"WATCH SELECT",
+		"WATCH INSERT INTO emp (a) VALUES (1)",
+		"WATCH SELECT * FROM emp extra",
+		"CREATE VIEW",
+		"CREATE VIEW v",
+		"CREATE VIEW v AS",
+		"CREATE VIEW v AS UPDATE emp SET a = 1",
+		"CREATE VIEW v SELECT * FROM emp",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
 func TestParseNullLiteral(t *testing.T) {
 	upd := mustParse(t, "UPDATE emp SET dept = NULL WHERE ename = 'Ann'").(*Update)
 	if !upd.Set[0].Val.IsNull() {

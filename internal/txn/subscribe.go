@@ -69,6 +69,7 @@ func (m *Manager) publishCommits(recs []CommitRecord) {
 			case s.ch <- rec:
 			default:
 				s.dropped.Add(1)
+				m.mSubDropped.Inc()
 			}
 		}
 	}

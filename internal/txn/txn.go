@@ -40,16 +40,27 @@ type Executor interface {
 
 // JournalRec is one redo-log record of a transaction: the mutating request
 // in wire form plus the controller's key-allocator position (so replay
-// restores key allocation exactly, as the v1 journal did).
+// restores key allocation exactly, as the v1 journal did). Affected pins the
+// database keys the mutation touched, so change-data-capture consumers can
+// apply UPDATE and DELETE deltas by key instead of re-evaluating the query
+// (which would observe post-commit state, not the state the statement saw).
 type JournalRec struct {
-	Req wire.Request
-	Key int64
+	Req      wire.Request
+	Key      int64
+	Affected []uint64
 }
 
-// CommitRecord is one committing transaction's redo log.
+// CommitRecord is one committing transaction's redo log. Epoch is the MVCC
+// commit epoch the batch was stamped with (0 when MVCC is off or the batch
+// stamped nothing), and Pos is the sink's journal position — the count of
+// committed data entries through and including this record — when the sink
+// implements PosReader. Together they let a lossless tailer detect exactly
+// which journal range a dropped record covered and re-read it.
 type CommitRecord struct {
 	ID      uint64
 	Entries []JournalRec
+	Epoch   uint64
+	Pos     uint64
 }
 
 // CommitSink receives commit batches and abort notices. WriteCommits must
@@ -59,6 +70,15 @@ type CommitRecord struct {
 type CommitSink interface {
 	WriteCommits(recs []CommitRecord) error
 	WriteAbort(id uint64) error
+}
+
+// PosReader is optionally implemented by a CommitSink that counts committed
+// data entries (the kc journal does). The group-commit leader reads the
+// position once per flushed batch and distributes per-record end positions
+// onto the published CommitRecords; batches are serialized by the leader, so
+// the read is exact.
+type PosReader interface {
+	JournalPos() uint64
 }
 
 // EpochNoter is optionally implemented by a CommitSink that tracks which
@@ -239,13 +259,14 @@ type Manager struct {
 	snapReads      atomic.Uint64
 	gcPruned       atomic.Uint64
 
-	mCommits   *obs.Counter
-	mAborts    *obs.Counter
-	mDeadlocks *obs.Counter
-	mLockWait  *obs.Histogram
-	mSnapReads *obs.Counter
-	mGCPruned  *obs.Counter
-	mVersions  *obs.Gauge
+	mCommits    *obs.Counter
+	mAborts     *obs.Counter
+	mDeadlocks  *obs.Counter
+	mLockWait   *obs.Histogram
+	mSnapReads  *obs.Counter
+	mGCPruned   *obs.Counter
+	mVersions   *obs.Gauge
+	mSubDropped *obs.Counter
 }
 
 // NewManager builds a transaction manager over the executor.
@@ -270,6 +291,8 @@ func NewManager(cfg Config) *Manager {
 		"record versions pruned by the MVCC watermark GC", dbL)
 	m.mVersions = reg.Gauge("mlds_mvcc_versions",
 		"live record versions across the kernel backends, as of the last GC sweep", dbL)
+	m.mSubDropped = reg.Counter("mlds_commit_sub_dropped_total",
+		"commit records dropped from full commit-stream subscriber buffers (tailers resynchronize from the journal)", dbL)
 	if cfg.MVCC {
 		m.clock.Store(1)
 		m.lastGC = 1
@@ -404,6 +427,12 @@ func (m *Manager) journalRec(req *abdl.Request, res *kdb.Result) JournalRec {
 	rec := JournalRec{Req: wire.FromRequest(req)}
 	if req.Kind == abdl.Insert && req.ForceID == 0 && res != nil && len(res.Affected) > 0 {
 		rec.Req.ForceID = uint64(res.Affected[0])
+	}
+	if res != nil && len(res.Affected) > 0 {
+		rec.Affected = make([]uint64, len(res.Affected))
+		for i, id := range res.Affected {
+			rec.Affected[i] = uint64(id)
+		}
 	}
 	if m.cfg.KeyPos != nil {
 		rec.Key = m.cfg.KeyPos()
@@ -628,6 +657,20 @@ func (m *Manager) groupCommit(rec CommitRecord) error {
 		var err error
 		if m.cfg.Sink != nil {
 			err = m.cfg.Sink.WriteCommits(recs)
+			if err == nil {
+				if pr, ok := m.cfg.Sink.(PosReader); ok {
+					// Distribute the batch's end position onto each record:
+					// the sink counts committed data entries, batches are
+					// serialized by the leader, and aborts write no data
+					// entries, so walking the batch backwards from the end
+					// recovers every record's exact journal position.
+					pos := pr.JournalPos()
+					for i := len(recs) - 1; i >= 0; i-- {
+						recs[i].Pos = pos
+						pos -= uint64(len(recs[i].Entries))
+					}
+				}
+			}
 		}
 		if err == nil && m.cfg.MVCC {
 			// Durable first, visible second: pending versions are stamped
@@ -639,6 +682,9 @@ func (m *Manager) groupCommit(rec CommitRecord) error {
 			if epoch, ok := m.stampEpoch(recs); ok {
 				if noter, isNoter := m.cfg.Sink.(EpochNoter); isNoter {
 					noter.NoteEpoch(epoch)
+				}
+				for i := range recs {
+					recs[i].Epoch = epoch
 				}
 			}
 			m.stampMu.Unlock()

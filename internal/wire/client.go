@@ -13,6 +13,7 @@ import "io"
 //	Msg := version kind sid seq code flags
 //	       db language stmt err rendered
 //	       txn wallus simus dbs[]
+//	       watch events[]
 
 // Message kinds.
 const (
@@ -33,6 +34,13 @@ const (
 	// MsgReply answers any request: Code/Err for failures, the outcome
 	// fields for an executed statement.
 	MsgReply byte = 7
+	// MsgEvent is a server push: one batch of change events for the watch
+	// named by Watch. It carries no Seq — pushes are unsolicited.
+	MsgEvent byte = 8
+	// MsgWatchClose closes a watch. Client→server it asks for teardown
+	// (answered by MsgReply); server→client it announces the watch ended,
+	// with Code/Err saying why (CodeOK = clean close).
+	MsgWatchClose byte = 9
 )
 
 // Msg flag bits.
@@ -56,6 +64,19 @@ type DBInfo struct {
 	Records  int
 }
 
+// Event is one pushed change in a MsgEvent batch — the wire form of
+// cdc.Change (internal/cdc converts both ways).
+type Event struct {
+	Op     byte   // cdc.Op
+	ID     uint64 // database key of the affected record
+	Pos    uint64 // journal position (0 on load rows)
+	Epoch  uint64 // commit epoch (0 when unknown)
+	Txn    uint64 // committing transaction id
+	File   string // kernel file
+	HasRec bool
+	Rec    Record // projected post-image, when HasRec
+}
+
 // Msg is one client↔server message. Unused fields encode as their zero
 // values; Kind says which matter.
 type Msg struct {
@@ -76,6 +97,13 @@ type Msg struct {
 	SimUS  uint64 // MsgReply: simulated kernel time, microseconds
 
 	DBs []DBInfo // MsgListDBs reply
+
+	// Watch plumbing, appended to the frozen layout (older fields keep their
+	// positions). On the MsgReply to a WATCH statement, Watch is the
+	// server-assigned watch id; on MsgEvent and MsgWatchClose it names the
+	// watch. Events is the MsgEvent batch, in delivery order.
+	Watch  uint64
+	Events []Event
 }
 
 // EncodeMsg renders one client-hop message as a framing-v2 payload.
@@ -100,6 +128,18 @@ func EncodeMsg(m *Msg) []byte {
 		b = appendString(b, db.Model)
 		b = appendVarint(b, int64(db.Backends))
 		b = appendVarint(b, int64(db.Records))
+	}
+	b = appendUvarint(b, m.Watch)
+	b = appendUvarint(b, uint64(len(m.Events)))
+	for _, e := range m.Events {
+		b = append(b, e.Op)
+		b = appendUvarint(b, e.ID)
+		b = appendUvarint(b, e.Pos)
+		b = appendUvarint(b, e.Epoch)
+		b = appendUvarint(b, e.Txn)
+		b = appendString(b, e.File)
+		b = appendBool(b, e.HasRec)
+		b = appendRecord(b, e.Rec)
 	}
 	return b
 }
@@ -131,6 +171,21 @@ func DecodeMsg(payload []byte) (*Msg, error) {
 				Backends: int(d.varint()),
 				Records:  int(d.varint()),
 			}
+		}
+	}
+	m.Watch = d.uvarint()
+	if n := d.length(); n > 0 {
+		m.Events = make([]Event, n)
+		for i := range m.Events {
+			e := &m.Events[i]
+			e.Op = d.byte()
+			e.ID = d.uvarint()
+			e.Pos = d.uvarint()
+			e.Epoch = d.uvarint()
+			e.Txn = d.uvarint()
+			e.File = d.string()
+			e.HasRec = d.bool()
+			e.Rec = d.record()
 		}
 	}
 	if err := d.done(); err != nil {

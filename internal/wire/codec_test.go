@@ -151,7 +151,7 @@ func TestMsgGoldenFrame(t *testing.T) {
 		DB: "university", Language: "sql", Stmt: "SELECT 1",
 	}
 	const want = "0203054d00020a756e69766572736974790373716c" +
-		"0853454c4543542031000000000000"
+		"0853454c45435420310000000000000000"
 	got := hex.EncodeToString(EncodeMsg(m))
 	if got != want {
 		t.Fatalf("msg golden frame drifted:\n got  %s\n want %s", got, want)
@@ -165,6 +165,35 @@ func TestMsgGoldenFrame(t *testing.T) {
 	}
 }
 
+// TestEventGoldenFrame pins the server-push message encoding: MsgEvent
+// batches and the appended watch fields are protocol surface like the rest
+// of the layout. Regenerate with: t.Log(hex.EncodeToString(EncodeMsg(m))).
+func TestEventGoldenFrame(t *testing.T) {
+	m := &Msg{
+		Kind: MsgEvent, SID: 5, Watch: 3,
+		Events: []Event{
+			{Op: 2, ID: 11, Pos: 7, Epoch: 4, Txn: 9, File: "emp", HasRec: true,
+				Rec: FromRecord(abdm.NewRecord("emp",
+					abdm.Keyword{Attr: "pay", Val: abdm.Int(900)}))},
+			{Op: 4, ID: 12, Pos: 8, Epoch: 4, Txn: 9, File: "emp"},
+		},
+	}
+	const golden = "0208050000000000000000000000000302020b07040903656d70" +
+		"01020446494c457300000000000000000003656d7003706179" +
+		"69880e00000000000000000000040c08040903656d70000000"
+	got := hex.EncodeToString(EncodeMsg(m))
+	if got != golden {
+		t.Fatalf("event golden frame drifted:\n got  %s\n want %s", got, golden)
+	}
+	back, err := DecodeMsg(EncodeMsg(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("event round trip mismatch: %+v", back)
+	}
+}
+
 func TestMsgCodecRoundTrip(t *testing.T) {
 	msgs := []*Msg{
 		{Kind: MsgHello},
@@ -175,6 +204,11 @@ func TestMsgCodecRoundTrip(t *testing.T) {
 			{Name: "u", Model: "functional", Backends: 4, Records: 100},
 			{Name: "shop", Model: "relational"},
 		}},
+		{Kind: MsgReply, SID: 2, Seq: 6, Rendered: "watch established", Watch: 3},
+		{Kind: MsgEvent, SID: 2, Watch: 3, Events: []Event{
+			{Op: 1, ID: 4, Pos: 2, Epoch: 1, Txn: 8, File: "emp"},
+		}},
+		{Kind: MsgWatchClose, SID: 2, Watch: 3, Code: CodeInternal, Err: "view gone"},
 	}
 	for _, m := range msgs {
 		back, err := DecodeMsg(EncodeMsg(m))
@@ -261,6 +295,13 @@ func TestCodeTable(t *testing.T) {
 	// The numbers are frozen protocol; assert a few anchors.
 	anchors := map[Code]uint16{
 		CodeOK: 0, CodeNoDatabase: 3, CodeDeadlock: 6, CodeDraining: 11, CodeProto: 16,
+		CodeNoWatch: 17, CodeWatchLimit: 18, CodeView: 19,
+	}
+	if !CodeWatchLimit.Retryable() || !CodeWatchLimit.NotExecuted() {
+		t.Fatal("watch-limit classification wrong")
+	}
+	if CodeView.Retryable() || CodeNoWatch.Retryable() {
+		t.Fatal("view/no-watch must not be retryable")
 	}
 	for c, n := range anchors {
 		if uint16(c) != n {

@@ -57,6 +57,14 @@ const (
 	CodeNoSession Code = 15
 	// CodeProto: the peer violated the protocol (bad frame, bad handshake).
 	CodeProto Code = 16
+	// CodeNoWatch: the watch id is unknown on this connection.
+	CodeNoWatch Code = 17
+	// CodeWatchLimit: the per-connection watch cap refused the WATCH; it was
+	// NOT opened. Retryable elsewhere or after closing other watches.
+	CodeWatchLimit Code = 18
+	// CodeView: a view-registry failure — CREATE VIEW on a taken name, DROP
+	// VIEW on an unknown one.
+	CodeView Code = 19
 )
 
 var codeNames = [...]string{
@@ -77,6 +85,9 @@ var codeNames = [...]string{
 	CodeSessionLimit:    "session-limit",
 	CodeNoSession:       "no-session",
 	CodeProto:           "protocol",
+	CodeNoWatch:         "no-watch",
+	CodeWatchLimit:      "watch-limit",
+	CodeView:            "view",
 }
 
 // String names the code.
@@ -94,7 +105,8 @@ func (c Code) String() string {
 func (c Code) Retryable() bool {
 	switch c {
 	case CodeDeadlock, CodeLockTimeout, CodeTxnAborted,
-		CodeDraining, CodeRateLimited, CodeBackpressure, CodeSessionLimit:
+		CodeDraining, CodeRateLimited, CodeBackpressure, CodeSessionLimit,
+		CodeWatchLimit:
 		return true
 	}
 	return false
@@ -105,7 +117,8 @@ func (c Code) Retryable() bool {
 // work is safe to resend.
 func (c Code) NotExecuted() bool {
 	switch c {
-	case CodeDraining, CodeRateLimited, CodeBackpressure, CodeSessionLimit:
+	case CodeDraining, CodeRateLimited, CodeBackpressure, CodeSessionLimit,
+		CodeWatchLimit:
 		return true
 	}
 	return false

@@ -36,6 +36,13 @@ func FuzzDecodeMsg(f *testing.F) {
 	f.Add(EncodeMsg(&Msg{Kind: MsgExec, SID: 1, Seq: 2, Stmt: "SELECT 1"}))
 	f.Add(EncodeMsg(&Msg{Kind: MsgReply, Code: CodeDeadlock, Err: "x",
 		DBs: []DBInfo{{Name: "u", Model: "functional", Backends: 2, Records: 9}}}))
+	f.Add(EncodeMsg(&Msg{Kind: MsgReply, SID: 1, Seq: 3, Watch: 2, Rendered: "watch established"}))
+	f.Add(EncodeMsg(&Msg{Kind: MsgEvent, SID: 1, Watch: 2, Events: []Event{
+		{Op: 2, ID: 7, Pos: 3, Epoch: 1, Txn: 5, File: "emp", HasRec: true,
+			Rec: Record{Keywords: []Keyword{{Attr: "pay", Val: Value{Kind: 1, I: 900}}}}},
+		{Op: 4, ID: 8, Pos: 4, File: "emp"},
+	}}))
+	f.Add(EncodeMsg(&Msg{Kind: MsgWatchClose, SID: 1, Watch: 2, Code: CodeInternal, Err: "gone"}))
 	f.Add([]byte{Version, MsgReply})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := DecodeMsg(data)

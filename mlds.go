@@ -36,6 +36,7 @@ import (
 	"mlds/client"
 
 	"mlds/internal/abdm"
+	"mlds/internal/cdc"
 	"mlds/internal/core"
 	"mlds/internal/dapkms"
 	"mlds/internal/hiekms"
@@ -233,6 +234,42 @@ var (
 // TxnAbortedError reports a statement whose transaction the manager rolled
 // back; use errors.As to retrieve it and errors.Is for the cause.
 type TxnAbortedError = txn.AbortedError
+
+// Change capture. Every Session (embedded or remote) answers WATCH <select>
+// and Session.Watch with a *Watcher: a snapshot-consistent load of the
+// current matches, then exactly the committed changes after the snapshot, in
+// commit order, losslessly. CREATE VIEW <name> AS <select> maintains a
+// materialized view incrementally from the same stream.
+type (
+	// Watcher is one live change subscription; consume its C channel.
+	Watcher = cdc.Watcher
+	// Change is one event on a watch.
+	Change = cdc.Change
+	// ChangeOp classifies a Change.
+	ChangeOp = cdc.Op
+	// View is one incrementally-maintained materialized view.
+	View = cdc.View
+)
+
+// Change operations: the initial load (OpLoad... OpReady), then
+// OpInsert/OpUpdate/OpDelete in commit order; OpResync announces the journal
+// was compacted past the watch and a fresh load follows.
+const (
+	OpLoad   = cdc.OpLoad
+	OpReady  = cdc.OpReady
+	OpInsert = cdc.OpInsert
+	OpUpdate = cdc.OpUpdate
+	OpDelete = cdc.OpDelete
+	OpResync = cdc.OpResync
+)
+
+// View registry sentinels, for errors.Is on CREATE VIEW / DROP VIEW.
+var (
+	// ErrDupView reports a CREATE VIEW reusing a live view's name.
+	ErrDupView = core.ErrDupView
+	// ErrNoView reports a DROP VIEW naming no live view.
+	ErrNoView = core.ErrNoView
+)
 
 // SimTime reports the simulated kernel time a database's controller has
 // accumulated — the response-time figure the MBDS experiments sweep.
