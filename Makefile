@@ -3,11 +3,12 @@
 # the tools are installed (staticcheck, govulncheck — both skipped with a
 # note otherwise, so the target needs no network), the full suite with
 # shuffled test order, the transaction/kernel concurrency tier, the
-# cross-model differential suite, the membership and change-capture chaos
-# suites, and the network serving tier (server + remote client) under the
-# race detector, and per-package coverage floors on the transaction,
-# controller, kernel, elastic-membership, pager, change-data-capture,
-# serving, and client packages.
+# cross-model differential suites (in-memory and larger-than-RAM paged), the
+# membership, change-capture and demand-paged-fleet chaos suites, and the
+# network serving tier (server + remote client) under the race detector, and
+# per-package coverage floors on the transaction, controller, kernel,
+# elastic-membership, pager, change-data-capture, serving, and client
+# packages.
 # `make fuzz-smoke` runs each native fuzz target briefly — corpora and
 # checked-in crashers also replay on every plain `go test`. `make bench`
 # regenerates the paper experiments and writes a machine-readable summary.
@@ -45,7 +46,9 @@ check:
 	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./internal/txn ./internal/kc ./internal/core
 	$(GO) test -race -run TestCrossModelDifferential ./internal/core
+	$(GO) test -race -run TestCrossModelDifferentialPaged ./internal/core
 	$(GO) test -race -count=2 -run TestMembershipChaos ./internal/kc
+	$(GO) test -race -count=2 -run TestPagedFleetChaos ./internal/kc
 	$(GO) test -race -count=2 -run TestCDCChaos ./internal/cdc
 	$(GO) test -race ./internal/server ./client
 	$(GO) test -race ./...
@@ -82,7 +85,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMsg$$' -fuzztime $(FUZZ_TIME) ./internal/wire
 
 bench:
-	$(GO) run ./cmd/mldsbench -json BENCH_9.json
+	$(GO) run ./cmd/mldsbench -json BENCH_10.json
 
 fmt:
 	gofmt -w .

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mldsbench                     run every experiment
-//	mldsbench -exp e6             run one experiment (e1..e18, a1..a3)
+//	mldsbench -exp e6             run one experiment (e1..e19, a1..a3)
 //	mldsbench -json BENCH.json    also write a machine-readable summary
 //	mldsbench -txn                run the transaction contention workload
 //	mldsbench -txn -sessions 16 -txns 50 -ops 4 -conflict 0.25
@@ -83,7 +83,7 @@ func sessionsSet(int) bool {
 }
 
 func main() {
-	exp := flag.String("exp", "", "run a single experiment (e1..e18, a1..a3)")
+	exp := flag.String("exp", "", "run a single experiment (e1..e19, a1..a3)")
 	jsonPath := flag.String("json", "", "write a machine-readable summary to this file")
 	txnMode := flag.Bool("txn", false, "run the mixed read/write transaction contention workload")
 	sessions := flag.Int("sessions", 8, "-txn: concurrent sessions")
@@ -152,6 +152,7 @@ func main() {
 		"e15": experiments.E15ElasticScaling,
 		"e17": experiments.E17PagedStorage,
 		"e18": experiments.E18ChangeCapture,
+		"e19": experiments.E19DemandPaging,
 		"a1":  experiments.AblationIndexVsScan,
 		"a2":  experiments.AblationParallelVsSerial,
 		"a3":  experiments.AblationDirectVsPreprocess,

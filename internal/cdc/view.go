@@ -299,7 +299,8 @@ func (v *View) Rows() []kdb.StoredRecord {
 	v.mu.Lock()
 	st := v.store
 	v.mu.Unlock()
-	rows := st.Snapshot()
+	// The view store is memory-resident, so Snapshot cannot fail.
+	rows, _ := st.Snapshot()
 	sort.Slice(rows, func(a, b int) bool { return rows[a].ID < rows[b].ID })
 	return rows
 }

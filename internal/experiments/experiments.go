@@ -68,6 +68,7 @@ func All() []*Report {
 		func() *Report { return E16NetServing(0) },
 		E17PagedStorage,
 		E18ChangeCapture,
+		E19DemandPaging,
 		AblationIndexVsScan,
 		AblationParallelVsSerial,
 		AblationDirectVsPreprocess,

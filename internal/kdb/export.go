@@ -64,7 +64,7 @@ func (m *MigRecord) ApproxBytes() int {
 // the key to resume after (0 when the page is the last), and the store's
 // commit epoch observed at the start of the call — the inclusive lower bound
 // for the next round.
-func (s *Store) ExportSince(since uint64, after abdm.RecordID, limit int) ([]MigRecord, abdm.RecordID, uint64) {
+func (s *Store) ExportSince(since uint64, after abdm.RecordID, limit int) ([]MigRecord, abdm.RecordID, uint64, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	epoch := s.mvcc.epoch
@@ -107,7 +107,16 @@ func (s *Store) ExportSince(since uint64, after abdm.RecordID, limit int) ([]Mig
 		file := fileFor[id]
 		mr := MigRecord{File: file, ID: id}
 		if liveFile, ok := s.fileOf[id]; ok {
-			mr.Live = s.files[liveFile][id].Clone()
+			live := s.files[liveFile][id]
+			if live == nil {
+				var err error
+				if live, err = s.fetchLocked(id); err != nil {
+					return nil, 0, 0, err
+				}
+				mr.Live = live
+			} else {
+				mr.Live = live.Clone()
+			}
 			mr.File = liveFile
 		}
 		for _, v := range s.mvcc.chains[file][id] {
@@ -119,7 +128,7 @@ func (s *Store) ExportSince(since uint64, after abdm.RecordID, limit int) ([]Mig
 		}
 		out = append(out, mr)
 	}
-	return out, next, epoch
+	return out, next, epoch, nil
 }
 
 // chainTouched reports whether any version of the chain is pending or was
@@ -179,7 +188,7 @@ func (r chainRank) newerThan(o chainRank) bool {
 // landed after the export) is left alone — the next, fenced, round carries
 // its final state. Imports are idempotent. It returns how many records were
 // applied.
-func (s *Store) ImportPartition(recs []MigRecord) int {
+func (s *Store) ImportPartition(recs []MigRecord) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.mvcc.chains == nil {
@@ -201,21 +210,35 @@ func (s *Store) ImportPartition(recs []MigRecord) int {
 		applied++
 		// Live state: replace or remove.
 		if mr.Live != nil {
-			s.insertForcedLocked(mr.ID, mr.Live)
-		} else if file, ok := s.fileOf[mr.ID]; ok {
-			s.removeLocked(mr.ID, s.files[file][mr.ID])
+			if err := s.insertForcedLocked(mr.ID, mr.Live); err != nil {
+				return applied, err
+			}
+		} else if _, ok := s.fileOf[mr.ID]; ok {
+			if err := s.removeByIDLocked(mr.ID); err != nil {
+				return applied, err
+			}
 		} else {
 			s.bumpGen(mr.File)
 		}
-		// Chain: replace, registering imported pending versions.
+		// Chain: replace, registering imported pending versions. Pending
+		// residency moves with the chain: the replaced chain's pending
+		// versions are gone, the imported ones take their place.
+		for _, v := range have {
+			if v.epoch == 0 {
+				s.pendingDec(mr.ID)
+			}
+		}
 		chain := make([]version, len(mr.Chain))
 		for j, v := range mr.Chain {
 			chain[j] = version{epoch: v.Epoch, txn: v.Txn}
 			if v.Rec != nil {
 				chain[j].rec = v.Rec.Clone()
 			}
-			if v.Epoch == 0 && v.Txn != 0 {
-				s.addPendingRefLocked(v.Txn, mr.File, mr.ID)
+			if v.Epoch == 0 {
+				s.pendingInc(mr.ID)
+				if v.Txn != 0 {
+					s.addPendingRefLocked(v.Txn, mr.File, mr.ID)
+				}
 			}
 			if v.Epoch > s.mvcc.epoch {
 				s.mvcc.epoch = v.Epoch
@@ -236,7 +259,7 @@ func (s *Store) ImportPartition(recs []MigRecord) int {
 			}
 		}
 	}
-	return applied
+	return applied, nil
 }
 
 // addPendingRefLocked registers a pending-version location, skipping exact
@@ -255,18 +278,25 @@ func (s *Store) addPendingRefLocked(txn uint64, file string, id abdm.RecordID) {
 // clear copies stranded on backends that left a key's holder set; the key's
 // authoritative copies (with full chains) live elsewhere, so snapshots lose
 // nothing.
-func (s *Store) DropRecords(ids []abdm.RecordID) int {
+func (s *Store) DropRecords(ids []abdm.RecordID) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for _, id := range ids {
 		hit := false
-		if file, ok := s.fileOf[id]; ok {
-			s.removeLocked(id, s.files[file][id])
+		if _, ok := s.fileOf[id]; ok {
+			if err := s.removeByIDLocked(id); err != nil {
+				return n, err
+			}
 			hit = true
 		}
 		for file, chains := range s.mvcc.chains {
 			if chain, ok := chains[id]; ok {
+				for _, v := range chain {
+					if v.epoch == 0 {
+						s.pendingDec(id)
+					}
+				}
 				s.mvcc.versions -= len(chain)
 				s.setChainLocked(file, id, nil)
 				s.bumpGen(file)
@@ -278,5 +308,5 @@ func (s *Store) DropRecords(ids []abdm.RecordID) int {
 			s.applyBacking(id, nil, 0)
 		}
 	}
-	return n
+	return n, nil
 }

@@ -15,7 +15,10 @@ func exportAll(t *testing.T, s *Store, since uint64, limit int) ([]MigRecord, ui
 	var after abdm.RecordID
 	var epoch uint64
 	for {
-		recs, next, e := s.ExportSince(since, after, limit)
+		recs, next, e, err := s.ExportSince(since, after, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if epoch == 0 {
 			epoch = e
 		}
@@ -49,14 +52,25 @@ func TestExportImportRoundTrip(t *testing.T) {
 
 	recs, _ := exportAll(t, src, 0, 2)
 	dst := NewStore(testDir(t))
-	if applied := dst.ImportPartition(recs); applied != len(recs) {
+	applied, err := dst.ImportPartition(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(recs) {
 		t.Fatalf("imported %d of %d records", applied, len(recs))
 	}
 
 	if got, want := dst.Len(), src.Len(); got != want {
 		t.Fatalf("dst has %d live records, src has %d", got, want)
 	}
-	srcSnap, dstSnap := src.Snapshot(), dst.Snapshot()
+	srcSnap, err := src.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstSnap, err := dst.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(srcSnap) != len(dstSnap) {
 		t.Fatalf("snapshot sizes differ: src %d, dst %d", len(srcSnap), len(dstSnap))
 	}
@@ -161,7 +175,9 @@ func TestImportSkipsNewerDest(t *testing.T) {
 	recs, _ := exportAll(t, src, 0, 0)
 
 	dst := NewStore(testDir(t))
-	dst.ImportPartition(recs)
+	if _, err := dst.ImportPartition(recs); err != nil {
+		t.Fatal(err)
+	}
 	// The destination moves ahead: a committed update at a later epoch.
 	_, pin := dst.VersionStats()
 	up := abdl.NewUpdate(courseQuery("X"), abdl.Modifier{Attr: "credits", Val: abdm.Int(42)})
@@ -170,8 +186,8 @@ func TestImportSkipsNewerDest(t *testing.T) {
 	mvccOp(t, dst, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 5, MvccEpoch: pin + 1})
 
 	// Re-importing the stale export is a no-op for this record.
-	if applied := dst.ImportPartition(recs); applied != 0 {
-		t.Fatalf("stale import applied %d records, want 0", applied)
+	if applied, err := dst.ImportPartition(recs); err != nil || applied != 0 {
+		t.Fatalf("stale import applied %d records (err %v), want 0", applied, err)
 	}
 	rec, ok := dst.GetByID(id)
 	if !ok {
@@ -195,9 +211,13 @@ func TestImportPendingRegistered(t *testing.T) {
 		t.Fatalf("exported %d records, want the pending one", len(recs))
 	}
 	dst := NewStore(testDir(t))
-	dst.ImportPartition(recs)
+	if _, err := dst.ImportPartition(recs); err != nil {
+		t.Fatal(err)
+	}
 	// Idempotent: importing twice must not register the pending ref twice.
-	dst.ImportPartition(recs)
+	if _, err := dst.ImportPartition(recs); err != nil {
+		t.Fatal(err)
+	}
 
 	res := mvccOp(t, dst, &abdl.Request{Kind: abdl.MvccCommit, TxnID: 11, MvccEpoch: 8})
 	if res.Count != 1 {
@@ -219,8 +239,8 @@ func TestDropRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := s.DropRecords([]abdm.RecordID{id}); n != 1 {
-		t.Fatalf("dropped %d records, want 1", n)
+	if n, err := s.DropRecords([]abdm.RecordID{id}); err != nil || n != 1 {
+		t.Fatalf("dropped %d records (err %v), want 1", n, err)
 	}
 	if _, ok := s.GetByID(id); ok {
 		t.Fatalf("dropped record still live")
@@ -232,7 +252,7 @@ func TestDropRecords(t *testing.T) {
 		t.Fatalf("version count %d after drop, want 1", v)
 	}
 	// Dropping again is a no-op.
-	if n := s.DropRecords([]abdm.RecordID{id}); n != 0 {
-		t.Fatalf("re-drop removed %d records, want 0", n)
+	if n, err := s.DropRecords([]abdm.RecordID{id}); err != nil || n != 0 {
+		t.Fatalf("re-drop removed %d records (err %v), want 0", n, err)
 	}
 }

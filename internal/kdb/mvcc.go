@@ -69,6 +69,7 @@ func (s *Store) noteVersion(req *abdl.Request, file string, id abdm.RecordID, re
 			s.mvcc.epoch = 1
 		}
 	}
+	s.seedChainLocked(id)
 	v := version{}
 	if req != nil {
 		v.txn = req.TxnID
@@ -83,11 +84,44 @@ func (s *Store) noteVersion(req *abdl.Request, file string, id abdm.RecordID, re
 		s.applyBacking(id, rec, v.epoch)
 	} else {
 		s.mvcc.pending[v.txn] = append(s.mvcc.pending[v.txn], chainRef{file, id})
+		s.pendingInc(id)
 	}
 	if s.mvcc.chains[file] == nil {
 		s.mvcc.chains[file] = make(map[abdm.RecordID][]version)
 	}
 	s.mvcc.chains[file][id] = append(s.mvcc.chains[file][id], v)
+	s.mvcc.versions++
+}
+
+// seedChainLocked gives a paged-in record its base version before its first
+// mutation since open: a backed store materialises no chains at open, so the
+// first write decodes the committed heap cell into the chain's base entry —
+// older snapshots keep seeing the pre-write value. A seed that fails to read
+// the heap poisons the backing (sticky error) rather than silently losing
+// history.
+func (s *Store) seedChainLocked(id abdm.RecordID) {
+	b := s.backing
+	if b == nil {
+		return
+	}
+	if _, inHeap := b.rids[id]; !inHeap {
+		return
+	}
+	cfile, ok := b.fileOfC[id]
+	if !ok || len(s.mvcc.chains[cfile][id]) > 0 {
+		return
+	}
+	base, err := s.fetchLocked(id)
+	if err != nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("kdb: seeding version chain: %w", err)
+		}
+		return
+	}
+	if s.mvcc.chains[cfile] == nil {
+		s.mvcc.chains[cfile] = make(map[abdm.RecordID][]version)
+	}
+	s.mvcc.chains[cfile][id] = []version{{epoch: b.baseEpoch, rec: base}}
 	s.mvcc.versions++
 }
 
@@ -129,6 +163,7 @@ func (s *Store) stampLocked(txn, epoch uint64) int {
 			if chain[i].epoch == 0 && chain[i].txn == txn {
 				chain[i].epoch = epoch
 				n++
+				s.pendingDec(ref.id)
 			}
 		}
 	}
@@ -157,6 +192,7 @@ func (s *Store) discardLocked(txn uint64) (int, []abdm.RecordID) {
 		for _, v := range chain {
 			if v.epoch == 0 && v.txn == txn {
 				n++
+				s.pendingDec(ref.id)
 				continue
 			}
 			kept = append(kept, v)
@@ -233,15 +269,18 @@ func visibleAt(chain []version, at uint64) *abdm.Record {
 }
 
 // snapQualify finds the records visible to a snapshot at the given epoch
-// that match the query. It reads version chains only — never the live maps
-// and never the attribute indexes (which index live state) — so it needs no
-// coordination with in-flight writers beyond the store mutex it already
-// holds. Caller must hold at least a read lock.
-func (s *Store) snapQualify(q abdm.Query, at uint64, c *Cost) ([]StoredRecord, []string, qualDeps) {
+// that match the query. In a memory store it reads version chains only —
+// never the live maps and never the attribute indexes (which index live
+// state). A backed store materialises no chain for a record until its first
+// mutation since open, so each file additionally gets a membership pass:
+// chainless records are committed base state, visible to every snapshot at
+// or past the image's epoch, and their bodies are paged in from the heap.
+// Caller must hold at least a read lock.
+func (s *Store) snapQualify(q abdm.Query, at uint64, c *Cost) ([]StoredRecord, []string, qualDeps, error) {
 	matched := make(map[abdm.RecordID]*abdm.Record)
 	deps := qualDeps{files: make(map[string]bool)}
 	var paths []string
-	scanFile := func(file string, conj abdm.Conjunction) {
+	scanFile := func(file string, conj abdm.Conjunction) error {
 		chains := s.mvcc.chains[file]
 		c.BlocksRead += s.disk.blocks(len(chains))
 		for id, chain := range chains {
@@ -254,29 +293,71 @@ func (s *Store) snapQualify(q abdm.Query, at uint64, c *Cost) ([]StoredRecord, [
 				matched[id] = rec
 			}
 		}
+		b := s.backing
+		if b == nil || at < b.baseEpoch {
+			return nil
+		}
+		var misses []abdm.RecordID
+		for id := range s.files[file] {
+			if _, chained := chains[id]; chained {
+				continue
+			}
+			if cfile, ok := b.fileOfC[id]; !ok || cfile != file {
+				continue
+			}
+			misses = append(misses, id)
+		}
+		return s.fetchEach(misses, func(id abdm.RecordID, rec *abdm.Record) error {
+			c.RecordsExam++
+			if conj == nil || conj.Matches(rec) {
+				matched[id] = rec
+			}
+			return nil
+		})
 	}
-	scan := func(conj abdm.Conjunction) string {
+	// A backed store's base records live in files without any chain entry,
+	// so the all-file walks cover the union of both key sets.
+	allFiles := func() map[string]bool {
+		set := make(map[string]bool, len(s.mvcc.chains))
+		for f := range s.mvcc.chains {
+			set[f] = true
+		}
+		if s.backing != nil {
+			for f := range s.files {
+				set[f] = true
+			}
+		}
+		return set
+	}
+	scan := func(conj abdm.Conjunction) (string, error) {
 		if file, ok := conj.File(); ok {
 			deps.files[file] = true
-			scanFile(file, conj)
-			return "snap(" + file + ")"
+			return "snap(" + file + ")", scanFile(file, conj)
 		}
 		deps.allFiles = true
-		for file := range s.mvcc.chains {
+		for file := range allFiles() {
 			deps.files[file] = true
-			scanFile(file, conj)
+			if err := scanFile(file, conj); err != nil {
+				return "", err
+			}
 		}
-		return "snap(*)"
+		return "snap(*)", nil
 	}
 	for _, conj := range q {
-		paths = append(paths, scan(conj))
+		path, err := scan(conj)
+		if err != nil {
+			return nil, nil, deps, err
+		}
+		paths = append(paths, path)
 	}
 	if len(q) == 0 {
 		deps.allFiles = true
 		paths = append(paths, "snap(*)")
-		for file := range s.mvcc.chains {
+		for file := range allFiles() {
 			deps.files[file] = true
-			scanFile(file, nil)
+			if err := scanFile(file, nil); err != nil {
+				return nil, nil, deps, err
+			}
 		}
 	}
 	c.FilesTouched = len(deps.files)
@@ -285,7 +366,7 @@ func (s *Store) snapQualify(q abdm.Query, at uint64, c *Cost) ([]StoredRecord, [
 		out = append(out, StoredRecord{ID: id, Rec: r})
 	}
 	sortStoredByID(out)
-	return out, paths, deps
+	return out, paths, deps, nil
 }
 
 // snapCacheKey extends the retrieve-cache key with the snapshot epoch, so a

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 
 	"mlds/internal/abdm"
 	"mlds/internal/pager"
@@ -12,20 +11,29 @@ import (
 
 // Paged backing.
 //
-// A backed store keeps its committed state in a pager heap as well as in the
-// live maps: every committed effect (an MVCC stamp, an immediately-stamped
-// bulk write, a migration import or drop) is written through to the heap's
-// buffer pool. The pool does no fsync on the write path — durability comes
-// from checkpoints, which flush the pool and commit a new page-file
-// generation whose embedded metadata records the exact journal position the
-// image reflects. Crash recovery then mounts the last committed generation
-// and replays only the journal tail past that position.
+// A backed store keeps its committed state in a pager heap; the live maps
+// hold the record *membership* (file → id) but not, in general, the record
+// bodies: a body is resident only while it differs from the committed heap
+// cell (an uncommitted 2PL write, or a committed write whose write-through
+// has not caught up). Everything else is paged in from the buffer pool on
+// demand, so a database several times the pool size serves reads and scans
+// in bounded memory. Every committed effect (an MVCC stamp, an
+// immediately-stamped bulk write, a migration import or drop) is written
+// through to the heap under the store mutex; once the heap cell matches the
+// live value again the body is dropped from RAM.
 //
-// The write-through happens under the store mutex, so the image always
-// corresponds to a prefix of the store's committed history. While a
-// checkpoint flushes, a fence redirects write-throughs into a deferred
-// queue instead of the heap — group commit never waits on checkpoint I/O —
-// and the queue drains when the checkpoint finishes.
+// The pool does no fsync on the write path — durability comes from
+// checkpoints, which flush the pool, serialise the committed access
+// structures (RID map, free-space map, per-attribute indexes) into blob
+// pages, and commit a new page-file generation whose metadata records both
+// the image's exact journal position and the index chain's root. Crash
+// recovery mounts the last committed generation, loads the index image in
+// O(index pages), and replays only the journal tail past the recorded
+// position.
+//
+// While a checkpoint flushes, a fence redirects write-throughs into a
+// deferred queue instead of the heap — group commit never waits on
+// checkpoint I/O — and the queue drains when the checkpoint finishes.
 
 // ErrNoBacking reports a checkpoint operation on a store without a paged
 // backing file.
@@ -44,18 +52,27 @@ type backApply struct {
 
 // backing is the paged on-disk side of a Store. All fields are guarded by
 // the store mutex except the heap, which has its own lock so checkpoint
-// flushes can run without stalling the store.
+// flushes and demand reads can run without stalling the store.
 type backing struct {
 	file *pager.File
 	pool *pager.Pool
 	heap *pager.Heap
 
-	rids         map[abdm.RecordID]pager.RID
+	rids     map[abdm.RecordID]pager.RID
+	fileOfC  map[abdm.RecordID]string // committed file per record (image contents)
+	cIndexes map[string]*attrIndex    // attr indexes over committed state only
+	pending  map[abdm.RecordID]int    // records with uncommitted versions in RAM
+
 	appliedEpoch uint64 // newest commit epoch written through
+	baseEpoch    uint64 // epoch the mounted image was exact at (≥ 1)
 	maxID        uint64 // record-id high water ever applied
 	fence        bool
 	deferred     []backApply
 	err          error // first write-through failure; sticky
+
+	indexPages []uint32 // blob pages of the committed generation's image
+	ckptPages  []uint32 // blob pages a CheckpointFlush just committed
+	ckptOK     bool     // the last flush committed and ckptPages supersede indexPages
 }
 
 // WithPageSize sets the page size used by CreateBacked. The default is
@@ -81,69 +98,210 @@ func CreateBacked(path string, dir *abdm.Directory, opts ...Option) (*Store, err
 }
 
 // OpenBacked mounts the page file's last committed generation and builds a
-// store from it: live maps and indexes from the heap scan, one committed
-// version per record so snapshots and migration see the restored state, and
-// the record-id allocator seeded past every id the image has seen. The
-// returned metadata carries the checkpoint position for bounded-tail
+// store from it. A generation carrying a persisted index image (Meta.HasIndex)
+// restores the RID map, membership and attribute indexes by reading the
+// image's blob chain — O(index pages) — and materialises no record body:
+// reads page bodies in on demand. A legacy generation without an image is
+// restored by the old full-heap scan (still without materialising bodies).
+// The returned metadata carries the checkpoint position for bounded-tail
 // journal recovery.
 func OpenBacked(path string, dir *abdm.Directory, opts ...Option) (*Store, pager.Meta, error) {
+	return openBacked(path, dir, nil, opts)
+}
+
+// OpenBackedAt is OpenBacked bounded to the newest committed generation
+// whose metadata covers at most maxEntries journal entries — the cut a fleet
+// recovery computes so every backend mounts the same coordinated checkpoint.
+// When a newer generation is passed over, the choice is sealed by committing
+// the chosen generation again, so a later unbounded open cannot resurrect
+// the abandoned one.
+func OpenBackedAt(path string, dir *abdm.Directory, maxEntries uint64, opts ...Option) (*Store, pager.Meta, error) {
+	return openBacked(path, dir, &maxEntries, opts)
+}
+
+func openBacked(path string, dir *abdm.Directory, bound *uint64, opts []Option) (*Store, pager.Meta, error) {
 	s := NewStore(dir, opts...)
-	f, err := pager.Open(path)
+	var (
+		f    *pager.File
+		err  error
+		seal bool
+	)
+	if bound == nil {
+		f, err = pager.Open(path)
+	} else {
+		var metas []pager.Meta
+		metas, err = pager.Metas(path)
+		if err != nil {
+			return nil, pager.Meta{}, err
+		}
+		f, err = pager.OpenAt(path, *bound)
+		if err == nil && len(metas) > 0 && metas[0].Entries > f.Meta().Entries {
+			seal = true
+		}
+	}
 	if err != nil {
 		return nil, pager.Meta{}, err
 	}
 	meta := f.Meta()
+	if seal {
+		// Abandon the newer generation for good: recommitting the chosen one
+		// overwrites the abandoned superblock, so no later open — and no
+		// write into what it thought were its pages — can tear it.
+		if err := f.Commit(meta); err != nil {
+			f.Close()
+			return nil, pager.Meta{}, err
+		}
+		meta = f.Meta()
+	}
 	pool := pager.NewPool(f, s.poolPages)
-	heap, err := pager.NewHeap(pool)
+	baseEpoch := meta.Epoch
+	if baseEpoch == 0 {
+		baseEpoch = 1
+	}
+	s.mvcc.chains = make(map[string]map[abdm.RecordID][]version)
+	s.mvcc.pending = make(map[uint64][]chainRef)
+	s.mvcc.epoch = baseEpoch
+	b := &backing{
+		file: f, pool: pool,
+		rids:         make(map[abdm.RecordID]pager.RID),
+		fileOfC:      make(map[abdm.RecordID]string),
+		cIndexes:     make(map[string]*attrIndex),
+		pending:      make(map[abdm.RecordID]int),
+		appliedEpoch: baseEpoch, baseEpoch: baseEpoch,
+		maxID: meta.NextID,
+	}
+	if meta.HasIndex {
+		err = s.openFromImage(b, meta)
+	} else {
+		err = s.openFromScan(b)
+	}
 	if err != nil {
 		f.Close()
 		return nil, pager.Meta{}, err
 	}
-	epoch := meta.Epoch
-	if epoch == 0 {
-		epoch = 1
+	if s.seedID != nil {
+		s.seedID(abdm.RecordID(b.maxID))
 	}
-	s.mvcc.chains = make(map[string]map[abdm.RecordID][]version)
-	s.mvcc.pending = make(map[uint64][]chainRef)
-	s.mvcc.epoch = epoch
-	rids := make(map[abdm.RecordID]pager.RID)
-	maxID := meta.NextID
+	s.backing = b
+	return s, meta, nil
+}
+
+// openFromImage restores the access structures from the persisted index
+// image — no heap scan, no record bodies.
+func (s *Store) openFromImage(b *backing, meta pager.Meta) error {
+	payload, pages, err := pager.ReadBlob(b.pool, meta.IndexRoot)
+	if err != nil {
+		return fmt.Errorf("kdb: reading index image: %w", err)
+	}
+	img, err := decodeImage(payload)
+	if err != nil {
+		return err
+	}
+	b.indexPages = pages
+	b.rids = img.rids
+	b.fileOfC = img.fileOf
+	if img.maxID > b.maxID {
+		b.maxID = img.maxID
+	}
+	b.heap = pager.NewHeapAt(b.pool, img.avail)
+	for id, file := range img.fileOf {
+		if s.files[file] == nil {
+			s.files[file] = make(map[abdm.RecordID]*abdm.Record)
+		}
+		s.files[file][id] = nil // body paged in on demand
+		s.fileOf[id] = file
+	}
+	switch {
+	case s.noIndex:
+		// Ablation store: no attribute indexes, whatever the image holds.
+	case img.indexed:
+		s.indexes = img.indexes
+		b.cIndexes = cloneIndexes(img.indexes)
+	case len(img.rids) > 0:
+		// The image was written by a WithoutIndexes store but this store
+		// wants indexes: rebuild them by scanning the heap once.
+		err := b.heap.Scan(func(_ pager.RID, cell []byte) error {
+			id, rec, err := decodeRecord(cell)
+			if err != nil {
+				return err
+			}
+			s.indexRecordLocked(b, id, rec)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("kdb: corrupt backing record: %w", err)
+		}
+	}
+	return nil
+}
+
+// openFromScan restores a legacy generation (no persisted image) by the old
+// full-heap scan, building membership, RID map and indexes — but not
+// materialising bodies or version chains.
+func (s *Store) openFromScan(b *backing) error {
+	heap, err := pager.NewHeap(b.pool)
+	if err != nil {
+		return err
+	}
+	b.heap = heap
 	err = heap.Scan(func(rid pager.RID, cell []byte) error {
 		id, rec, err := decodeRecord(cell)
 		if err != nil {
 			return err
 		}
-		s.addLocked(id, rec)
 		file := rec.File()
-		if s.mvcc.chains[file] == nil {
-			s.mvcc.chains[file] = make(map[abdm.RecordID][]version)
+		if s.files[file] == nil {
+			s.files[file] = make(map[abdm.RecordID]*abdm.Record)
 		}
-		s.mvcc.chains[file][id] = []version{{epoch: epoch, rec: rec.Clone()}}
-		s.mvcc.versions++
-		rids[id] = rid
-		if uint64(id) > maxID {
-			maxID = uint64(id)
+		s.files[file][id] = nil
+		s.fileOf[id] = file
+		b.rids[id] = rid
+		b.fileOfC[id] = file
+		if !s.noIndex {
+			s.indexRecordLocked(b, id, rec)
+		}
+		if uint64(id) > b.maxID {
+			b.maxID = uint64(id)
 		}
 		return nil
 	})
 	if err != nil {
-		f.Close()
-		return nil, pager.Meta{}, fmt.Errorf("kdb: corrupt backing record: %w", err)
+		return fmt.Errorf("kdb: corrupt backing record: %w", err)
 	}
-	if s.seedID != nil {
-		s.seedID(abdm.RecordID(maxID))
+	return nil
+}
+
+// indexRecordLocked adds one committed record's keywords to both the live
+// and the committed index (identical at open).
+func (s *Store) indexRecordLocked(b *backing, id abdm.RecordID, rec *abdm.Record) {
+	for _, kw := range rec.Keywords {
+		ix := s.indexes[kw.Attr]
+		if ix == nil {
+			ix = newAttrIndex()
+			s.indexes[kw.Attr] = ix
+		}
+		ix.add(kw.Val, id)
+		cx := b.cIndexes[kw.Attr]
+		if cx == nil {
+			cx = newAttrIndex()
+			b.cIndexes[kw.Attr] = cx
+		}
+		cx.add(kw.Val, id)
 	}
-	s.backing = &backing{file: f, pool: pool, heap: heap, rids: rids,
-		appliedEpoch: epoch, maxID: maxID}
-	return s, meta, nil
 }
 
 // attachBacking wires a fresh (empty) page file to the store.
 func (s *Store) attachBacking(f *pager.File) {
 	pool := pager.NewPool(f, s.poolPages)
 	heap, _ := pager.NewHeap(pool) // empty file: the scan cannot fail
-	s.backing = &backing{file: f, pool: pool, heap: heap,
-		rids: make(map[abdm.RecordID]pager.RID)}
+	s.backing = &backing{
+		file: f, pool: pool, heap: heap,
+		rids:      make(map[abdm.RecordID]pager.RID),
+		fileOfC:   make(map[abdm.RecordID]string),
+		cIndexes:  make(map[string]*attrIndex),
+		pending:   make(map[abdm.RecordID]int),
+		baseEpoch: 1,
+	}
 }
 
 // Backed reports whether the store writes through to a page file.
@@ -166,6 +324,28 @@ func (s *Store) BackingStats() (pager.PoolStats, int, bool) {
 		return pager.PoolStats{}, 0, false
 	}
 	return s.backing.pool.Stats(), s.backing.file.Pages(), true
+}
+
+// BackingMeta reports the page file's current committed generation metadata
+// — what a crash right now would recover to. Fleet recovery reads it to seed
+// the controller after mounting every store at a common cut.
+func (s *Store) BackingMeta() (pager.Meta, bool) {
+	if s.backing == nil {
+		return pager.Meta{}, false
+	}
+	return s.backing.file.Meta(), true
+}
+
+// ResidentRecords reports how many record bodies are materialised in RAM. A
+// backed store keeps a body resident only while it differs from its
+// committed heap cell; a memory store holds everything.
+func (s *Store) ResidentRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.backing != nil {
+		return s.resident
+	}
+	return len(s.fileOf)
 }
 
 // applyBacking writes one committed effect through to the heap, or defers
@@ -196,27 +376,118 @@ func (s *Store) applyBackingNow(id abdm.RecordID, rec *abdm.Record, epoch uint64
 	}
 	rid, exists := b.rids[id]
 	var err error
-	switch {
-	case rec == nil && exists:
-		err = b.heap.Delete(rid)
-		delete(b.rids, id)
-	case rec == nil:
-		// Delete of a record the image never held: nothing to do.
-	case exists:
-		var nr pager.RID
-		nr, err = b.heap.Update(rid, encodeRecord(id, rec))
-		if err == nil {
-			b.rids[id] = nr
-		}
-	default:
-		var nr pager.RID
-		nr, err = b.heap.Put(encodeRecord(id, rec))
-		if err == nil {
-			b.rids[id] = nr
+	// The committed index is maintained by diffing the heap cell being
+	// replaced against the new committed value.
+	if exists && !s.noIndex {
+		var cell []byte
+		if cell, err = b.heap.Get(rid); err == nil {
+			var old *abdm.Record
+			if _, old, err = decodeRecord(cell); err == nil {
+				for _, kw := range old.Keywords {
+					if ix := b.cIndexes[kw.Attr]; ix != nil {
+						ix.remove(kw.Val, id)
+					}
+				}
+			}
 		}
 	}
-	if err != nil && b.err == nil {
+	if err == nil {
+		switch {
+		case rec == nil && exists:
+			err = b.heap.Delete(rid)
+			delete(b.rids, id)
+			delete(b.fileOfC, id)
+		case rec == nil:
+			// Delete of a record the image never held: nothing to do.
+		case exists:
+			var nr pager.RID
+			if nr, err = b.heap.Update(rid, encodeRecord(id, rec)); err == nil {
+				b.rids[id] = nr
+				b.fileOfC[id] = rec.File()
+			}
+		default:
+			var nr pager.RID
+			if nr, err = b.heap.Put(encodeRecord(id, rec)); err == nil {
+				b.rids[id] = nr
+				b.fileOfC[id] = rec.File()
+			}
+		}
+	}
+	if err == nil && rec != nil && !s.noIndex {
+		for _, kw := range rec.Keywords {
+			ix := b.cIndexes[kw.Attr]
+			if ix == nil {
+				ix = newAttrIndex()
+				b.cIndexes[kw.Attr] = ix
+			}
+			ix.add(kw.Val, id)
+		}
+	}
+	if err == nil {
+		s.deresidentLocked(id, rec)
+		return
+	}
+	if b.err == nil {
 		b.err = fmt.Errorf("kdb: backing write-through: %w", err)
+	}
+	s.reresidentLocked(id, rec)
+}
+
+// deresidentLocked drops a record body from RAM after a successful
+// write-through: the heap cell now matches the live value, so reads can
+// page it back in. A record with uncommitted versions stays resident — its
+// live value is ahead of the heap.
+func (s *Store) deresidentLocked(id abdm.RecordID, rec *abdm.Record) {
+	if rec == nil {
+		return
+	}
+	if s.backing.pending[id] > 0 {
+		return
+	}
+	f, live := s.fileOf[id]
+	if !live || f != rec.File() {
+		return
+	}
+	if s.files[f][id] != nil {
+		s.files[f][id] = nil
+		s.resident--
+	}
+}
+
+// reresidentLocked pins a record body back into RAM after a failed
+// write-through, so reads keep serving the committed value the heap never
+// received. The sticky backing error keeps the broken image out of any
+// checkpoint.
+func (s *Store) reresidentLocked(id abdm.RecordID, rec *abdm.Record) {
+	if rec == nil {
+		return
+	}
+	f, live := s.fileOf[id]
+	if !live || f != rec.File() {
+		return
+	}
+	if s.files[f][id] == nil {
+		s.files[f][id] = rec.Clone()
+		s.resident++
+	}
+}
+
+// pendingInc counts one uncommitted version of id held in RAM.
+func (s *Store) pendingInc(id abdm.RecordID) {
+	if s.backing != nil {
+		s.backing.pending[id]++
+	}
+}
+
+// pendingDec releases one uncommitted version of id.
+func (s *Store) pendingDec(id abdm.RecordID) {
+	if s.backing == nil {
+		return
+	}
+	if n := s.backing.pending[id]; n > 1 {
+		s.backing.pending[id] = n - 1
+	} else {
+		delete(s.backing.pending, id)
 	}
 }
 
@@ -245,8 +516,8 @@ func (s *Store) backingStamp(refs []chainRef, epoch uint64) {
 
 // CheckpointBegin fences the store for a fuzzy checkpoint and returns the
 // newest commit epoch the backing has applied — the epoch the image will be
-// exact at. Write-throughs queue behind the fence until CheckpointCommit or
-// CheckpointAbort; the live maps, reads and group commit proceed untouched.
+// exact at. Write-throughs queue behind the fence until the checkpoint is
+// released; the live maps, reads and group commit proceed untouched.
 func (s *Store) CheckpointBegin() (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -263,12 +534,15 @@ func (s *Store) CheckpointBegin() (uint64, error) {
 	return s.backing.appliedEpoch, nil
 }
 
-// CheckpointCommit flushes the buffer pool and commits a new page-file
-// generation carrying meta (NextID is filled in from the backing's id high
-// water), then lifts the fence and drains the deferred write-throughs. The
-// flush and commit run without the store lock, so concurrent commits only
-// ever pay the cost of queueing behind the fence.
-func (s *Store) CheckpointCommit(meta pager.Meta) error {
+// CheckpointFlush flushes the buffer pool, writes the persisted index image
+// into fresh blob pages, and commits a new page-file generation carrying
+// meta plus the image root (NextID is filled in from the backing's id high
+// water). It runs without the store lock — the fence raised by
+// CheckpointBegin keeps the committed structures frozen — so concurrent
+// commits only ever pay the cost of queueing behind the fence. The fence
+// stays up; call CheckpointRelease (or use CheckpointCommit, which is
+// flush + release).
+func (s *Store) CheckpointFlush(meta pager.Meta) error {
 	b := s.backing
 	if b == nil {
 		return ErrNoBacking
@@ -278,35 +552,78 @@ func (s *Store) CheckpointCommit(meta pager.Meta) error {
 	}
 	err := b.heap.Flush()
 	if err == nil {
-		err = b.file.Commit(meta)
+		payload := encodeImage(b.maxID, b.rids, b.fileOfC, b.heap.AvailSnapshot(),
+			!s.noIndex, b.cIndexes)
+		var pages []uint32
+		if pages, err = b.file.WriteBlob(payload); err == nil {
+			meta.HasIndex = true
+			meta.IndexRoot = pages[0]
+			if err = b.file.Commit(meta); err == nil {
+				b.ckptPages, b.ckptOK = pages, true
+				return nil
+			}
+			// The image pages never committed; return them to the free list
+			// so the next generation doesn't carry garbage.
+			for _, id := range pages {
+				b.file.FreeLogical(id)
+			}
+			b.pool.Invalidate(pages)
+		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b.fence = false
-	for _, a := range b.deferred {
-		s.applyBackingNow(a.id, a.rec, a.epoch)
-	}
-	b.deferred = nil
-	if err != nil {
-		return err
-	}
-	return b.err
+	b.ckptPages, b.ckptOK = nil, false
+	return err
 }
 
-// CheckpointAbort lifts the fence without committing, draining the deferred
-// write-throughs into the working generation.
-func (s *Store) CheckpointAbort() {
+// CheckpointRelease lifts the checkpoint fence and drains the deferred
+// write-throughs. If the preceding CheckpointFlush committed, the previous
+// generation's image pages are freed (durably at the next commit) and the
+// new image takes their place; after a failed or skipped flush there is
+// nothing to swap.
+func (s *Store) CheckpointRelease() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	b := s.backing
 	if b == nil {
 		return
 	}
+	if b.ckptOK {
+		for _, id := range b.indexPages {
+			b.file.FreeLogical(id)
+		}
+		b.pool.Invalidate(b.indexPages)
+		b.indexPages = b.ckptPages
+	}
+	b.ckptPages, b.ckptOK = nil, false
 	b.fence = false
 	for _, a := range b.deferred {
 		s.applyBackingNow(a.id, a.rec, a.epoch)
 	}
 	b.deferred = nil
+}
+
+// CheckpointCommit is CheckpointFlush followed by CheckpointRelease: the
+// single-store checkpoint path.
+func (s *Store) CheckpointCommit(meta pager.Meta) error {
+	b := s.backing
+	if b == nil {
+		return ErrNoBacking
+	}
+	err := s.CheckpointFlush(meta)
+	s.CheckpointRelease()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.err
+}
+
+// CheckpointAbort lifts the fence without treating the checkpoint as
+// complete, draining the deferred write-throughs into the working
+// generation. (A flush that already committed its generation stands — the
+// image is valid on its own — so abort after flush equals release.)
+func (s *Store) CheckpointAbort() {
+	s.CheckpointRelease()
 }
 
 // ScanBacking streams every record in the page image through the buffer
@@ -333,8 +650,8 @@ func (s *Store) ScanBacking(fn func(id abdm.RecordID, rec *abdm.Record) error) e
 //
 //	uvarint id
 //	uvarint keyword count
-//	per keyword: uvarint len(attr), attr, kind byte, payload
-//	  (int: varint; float: 8-byte LE bits; string: uvarint len, bytes)
+//	per keyword: uvarint len(attr), attr, then the value (kind byte +
+//	  payload: int varint; float 8-byte LE bits; string uvarint len, bytes)
 //	uvarint len(text), text
 
 func encodeRecord(id abdm.RecordID, rec *abdm.Record) []byte {
@@ -343,17 +660,7 @@ func encodeRecord(id abdm.RecordID, rec *abdm.Record) []byte {
 	for _, kw := range rec.Keywords {
 		buf = binary.AppendUvarint(buf, uint64(len(kw.Attr)))
 		buf = append(buf, kw.Attr...)
-		buf = append(buf, byte(kw.Val.Kind()))
-		switch kw.Val.Kind() {
-		case abdm.KindInt:
-			buf = binary.AppendVarint(buf, kw.Val.AsInt())
-		case abdm.KindFloat:
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(kw.Val.AsFloat()))
-		case abdm.KindString:
-			s := kw.Val.AsString()
-			buf = binary.AppendUvarint(buf, uint64(len(s)))
-			buf = append(buf, s...)
-		}
+		buf = appendValue(buf, kw.Val)
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(rec.Text)))
 	buf = append(buf, rec.Text...)
@@ -374,71 +681,34 @@ func decodeRecord(cell []byte) (abdm.RecordID, *abdm.Record, error) {
 	}
 	cell = cell[n:]
 	rec := &abdm.Record{Keywords: make([]abdm.Keyword, 0, nkw)}
-	readBytes := func(ln uint64) ([]byte, error) {
-		if uint64(len(cell)) < ln {
-			return nil, errShortRecord
-		}
-		out := cell[:ln]
-		cell = cell[ln:]
-		return out, nil
-	}
 	for i := uint64(0); i < nkw; i++ {
 		ln, n := binary.Uvarint(cell)
 		if n <= 0 {
 			return 0, nil, errShortRecord
 		}
 		cell = cell[n:]
-		attr, err := readBytes(ln)
-		if err != nil {
-			return 0, nil, err
-		}
-		if len(cell) < 1 {
+		if uint64(len(cell)) < ln {
 			return 0, nil, errShortRecord
 		}
-		kind := abdm.Kind(cell[0])
-		cell = cell[1:]
-		var val abdm.Value
-		switch kind {
-		case abdm.KindNull:
-			val = abdm.Null()
-		case abdm.KindInt:
-			v, n := binary.Varint(cell)
-			if n <= 0 {
-				return 0, nil, errShortRecord
-			}
-			cell = cell[n:]
-			val = abdm.Int(v)
-		case abdm.KindFloat:
-			raw, err := readBytes(8)
-			if err != nil {
-				return 0, nil, err
-			}
-			val = abdm.Float(math.Float64frombits(binary.LittleEndian.Uint64(raw)))
-		case abdm.KindString:
-			ln, n := binary.Uvarint(cell)
-			if n <= 0 {
-				return 0, nil, errShortRecord
-			}
-			cell = cell[n:]
-			raw, err := readBytes(ln)
-			if err != nil {
-				return 0, nil, err
-			}
-			val = abdm.String(string(raw))
-		default:
-			return 0, nil, fmt.Errorf("kdb: record cell has unknown value kind %d", kind)
+		attr := string(cell[:ln])
+		cell = cell[ln:]
+		var (
+			val abdm.Value
+			err error
+		)
+		if val, cell, err = readValue(cell); err != nil {
+			return 0, nil, err
 		}
-		rec.Keywords = append(rec.Keywords, abdm.Keyword{Attr: string(attr), Val: val})
+		rec.Keywords = append(rec.Keywords, abdm.Keyword{Attr: attr, Val: val})
 	}
 	ln, n := binary.Uvarint(cell)
 	if n <= 0 {
 		return 0, nil, errShortRecord
 	}
 	cell = cell[n:]
-	text, err := readBytes(ln)
-	if err != nil {
-		return 0, nil, err
+	if uint64(len(cell)) < ln {
+		return 0, nil, errShortRecord
 	}
-	rec.Text = string(text)
+	rec.Text = string(cell[:ln])
 	return abdm.RecordID(idU), rec, nil
 }

@@ -98,6 +98,13 @@ func (s *Store) Save(w io.Writer) error {
 	var maxID abdm.RecordID
 	for id, file := range s.fileOf {
 		rec := s.files[file][id]
+		if rec == nil {
+			var err error
+			if rec, err = s.fetchLocked(id); err != nil {
+				s.mu.RUnlock()
+				return err
+			}
+		}
 		rd := recordDTO{ID: uint64(id), Text: rec.Text}
 		for _, kw := range rec.Keywords {
 			rd.Keywords = append(rd.Keywords, toKwDTO(kw))
@@ -194,6 +201,9 @@ func (s *Store) InsertWithID(id abdm.RecordID, rec *abdm.Record) error {
 	file := cp.File()
 	if s.files[file] == nil {
 		s.files[file] = make(map[abdm.RecordID]*abdm.Record)
+	}
+	if s.backing != nil {
+		s.resident++
 	}
 	s.files[file][id] = cp
 	s.fileOf[id] = file

@@ -32,7 +32,10 @@ func TestForcedInsertIsIdempotent(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("store has %d records after replayed insert, want 1", s.Len())
 	}
-	snap := s.Snapshot()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(snap) != 1 || snap[0].ID != 7 {
 		t.Fatalf("snapshot = %+v, want one record under key 7", snap)
 	}
@@ -80,7 +83,11 @@ func TestForcedInsertCoexistsWithAllocator(t *testing.T) {
 		t.Fatalf("Len = %d, want 2", s.Len())
 	}
 	seen := map[abdm.RecordID]bool{}
-	for _, sr := range s.Snapshot() {
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range snap {
 		if seen[sr.ID] {
 			t.Fatalf("duplicate key %d", sr.ID)
 		}
@@ -111,8 +118,12 @@ func TestDeleteUpdateReportAffectedKeys(t *testing.T) {
 	if len(del.Affected) != del.Count || del.Count != 3 {
 		t.Fatalf("delete Affected = %v (Count %d), want 3 keys", del.Affected, del.Count)
 	}
+	snap2, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, id := range del.Affected {
-		for _, sr := range s.Snapshot() {
+		for _, sr := range snap2 {
 			if sr.ID == id {
 				t.Fatalf("deleted key %d still present", id)
 			}

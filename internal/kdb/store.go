@@ -24,6 +24,11 @@ type Store struct {
 	noIndex bool // ablation switch: force full-file scans
 	stats   storeStats
 
+	// resident counts the non-nil bodies in files when the store is backed:
+	// a backed store's files map holds nil for any record whose body lives
+	// only in the page heap, and reads page such bodies in on demand.
+	resident int
+
 	// Retrieve-result cache. gens carries one generation counter per file,
 	// bumped by every mutation that touches the file (and genAll by every
 	// mutation); cached results remember the generations they were built
@@ -207,13 +212,19 @@ func (s *Store) execRetrieveCommon(req *abdl.Request) (*Result, error) {
 	res := &Result{Op: abdl.RetrieveCommon}
 	qual := s.qualify
 	if req.SnapEpoch != 0 {
-		qual = func(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps) {
+		qual = func(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps, error) {
 			return s.snapQualify(q, req.SnapEpoch, c)
 		}
 	}
-	second, paths2, _ := qual(req.Query2, &res.Cost)
+	second, paths2, _, err := qual(req.Query2, &res.Cost)
+	if err != nil {
+		return nil, err
+	}
 	values := CommonValues(second, req.Common)
-	first, paths1, _ := qual(req.Query, &res.Cost)
+	first, paths1, _, err := qual(req.Query, &res.Cost)
+	if err != nil {
+		return nil, err
+	}
 	res.Paths = append(paths1, paths2...)
 	kept := FilterByCommon(first, req.Common, values)
 	out := make([]StoredRecord, len(kept))
@@ -273,14 +284,17 @@ func (s *Store) insertLocked(rec *abdm.Record) abdm.RecordID {
 // insertForcedLocked stores the record under a caller-chosen database key.
 // Re-inserting an existing key replaces that record, which makes replicated
 // INSERTs idempotent when the controller retries them.
-func (s *Store) insertForcedLocked(id abdm.RecordID, rec *abdm.Record) {
-	if file, ok := s.fileOf[id]; ok {
-		s.removeLocked(id, s.files[file][id])
+func (s *Store) insertForcedLocked(id abdm.RecordID, rec *abdm.Record) error {
+	if _, ok := s.fileOf[id]; ok {
+		if err := s.removeByIDLocked(id); err != nil {
+			return err
+		}
 	}
 	if s.seedID != nil {
 		s.seedID(id)
 	}
 	s.addLocked(id, rec)
+	return nil
 }
 
 // bumpGen advances the file's and the store-wide mutation generations,
@@ -297,6 +311,11 @@ func (s *Store) addLocked(id abdm.RecordID, rec *abdm.Record) {
 	s.bumpGen(file)
 	if s.files[file] == nil {
 		s.files[file] = make(map[abdm.RecordID]*abdm.Record)
+	}
+	if s.backing != nil {
+		if cur, ok := s.files[file][id]; !ok || cur == nil {
+			s.resident++
+		}
 	}
 	s.files[file][id] = cp
 	s.fileOf[id] = file
@@ -319,7 +338,10 @@ func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
 	s.mu.Lock()
 	id := req.ForceID
 	if id != 0 {
-		s.insertForcedLocked(id, req.Record)
+		if err := s.insertForcedLocked(id, req.Record); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 	} else {
 		id = s.insertLocked(req.Record)
 	}
@@ -330,7 +352,8 @@ func (s *Store) execInsert(req *abdl.Request) (*Result, error) {
 	return res, nil
 }
 
-// GetByID returns the stored record with the given database key.
+// GetByID returns the stored record with the given database key, paging the
+// body in from the backing heap when it is not resident.
 func (s *Store) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -338,7 +361,105 @@ func (s *Store) GetByID(id abdm.RecordID) (*abdm.Record, bool) {
 	if !ok {
 		return nil, false
 	}
-	return s.files[file][id].Clone(), true
+	rec := s.files[file][id]
+	if rec == nil {
+		fetched, err := s.fetchLocked(id)
+		if err != nil {
+			return nil, false
+		}
+		return fetched, true
+	}
+	return rec.Clone(), true
+}
+
+// fetchLocked pages one non-resident record body in from the backing heap.
+// The returned record is a fresh decode the caller owns. Caller holds at
+// least the read lock.
+func (s *Store) fetchLocked(id abdm.RecordID) (*abdm.Record, error) {
+	b := s.backing
+	if b == nil {
+		return nil, fmt.Errorf("kdb: record %d has no resident body", id)
+	}
+	rid, ok := b.rids[id]
+	if !ok {
+		return nil, fmt.Errorf("kdb: record %d has no backing cell", id)
+	}
+	cell, err := b.heap.Get(rid)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: paging in record %d: %w", id, err)
+	}
+	gotID, rec, err := decodeRecord(cell)
+	if err != nil {
+		return nil, fmt.Errorf("kdb: paging in record %d: %w", id, err)
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("kdb: backing cell for record %d holds record %d", id, gotID)
+	}
+	return rec, nil
+}
+
+// fetchEach pages the given non-resident records in grouped by heap page —
+// one pool pin per distinct page — calling fn with each decoded body. The
+// visit order follows the heap, not ids. Caller holds at least the read
+// lock.
+func (s *Store) fetchEach(ids []abdm.RecordID, fn func(id abdm.RecordID, rec *abdm.Record) error) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	b := s.backing
+	if b == nil {
+		return fmt.Errorf("kdb: %d records have no resident body", len(ids))
+	}
+	type pinned struct {
+		id  abdm.RecordID
+		rid pager.RID
+	}
+	prs := make([]pinned, 0, len(ids))
+	for _, id := range ids {
+		rid, ok := b.rids[id]
+		if !ok {
+			return fmt.Errorf("kdb: record %d has no backing cell", id)
+		}
+		prs = append(prs, pinned{id, rid})
+	}
+	sort.Slice(prs, func(i, j int) bool {
+		if prs[i].rid.Page != prs[j].rid.Page {
+			return prs[i].rid.Page < prs[j].rid.Page
+		}
+		return prs[i].rid.Slot < prs[j].rid.Slot
+	})
+	rids := make([]pager.RID, len(prs))
+	for i := range prs {
+		rids[i] = prs[i].rid
+	}
+	return b.heap.GetMany(rids, func(i int, cell []byte) error {
+		gotID, rec, err := decodeRecord(cell)
+		if err != nil {
+			return fmt.Errorf("kdb: paging in record %d: %w", prs[i].id, err)
+		}
+		if gotID != prs[i].id {
+			return fmt.Errorf("kdb: backing cell for record %d holds record %d", prs[i].id, gotID)
+		}
+		return fn(prs[i].id, rec)
+	})
+}
+
+// removeByIDLocked removes a record by key, paging its body in first when
+// the live index needs the keywords for maintenance.
+func (s *Store) removeByIDLocked(id abdm.RecordID) error {
+	file, ok := s.fileOf[id]
+	if !ok {
+		return nil
+	}
+	rec := s.files[file][id]
+	if rec == nil && !s.noIndex {
+		var err error
+		if rec, err = s.fetchLocked(id); err != nil {
+			return err
+		}
+	}
+	s.removeLocked(id, rec)
+	return nil
 }
 
 // qualDeps describes which files a qualification depended on, for the
@@ -351,9 +472,11 @@ type qualDeps struct {
 }
 
 // qualify finds the records matching the query, charging costs to c and
-// recording the chosen access paths and file dependencies. Caller must hold
-// at least a read lock.
-func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps) {
+// recording the chosen access paths and file dependencies. Non-resident
+// record bodies are paged in from the backing heap, grouped by page; the
+// error return surfaces paging failures. Caller must hold at least a read
+// lock.
+func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDeps, error) {
 	matched := make(map[abdm.RecordID]*abdm.Record)
 	deps := qualDeps{files: make(map[string]bool)}
 	var paths []string
@@ -361,7 +484,11 @@ func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDe
 		if _, hasFile := conj.File(); !hasFile {
 			deps.allFiles = true
 		}
-		paths = append(paths, s.qualifyConj(conj, matched, deps.files, c))
+		path, err := s.qualifyConj(conj, matched, deps.files, c)
+		if err != nil {
+			return nil, nil, deps, err
+		}
+		paths = append(paths, path)
 	}
 	if len(q) == 0 {
 		// Unqualified request addresses every record.
@@ -369,8 +496,19 @@ func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDe
 		paths = append(paths, "scan(*)")
 		for file, recs := range s.files {
 			deps.files[file] = true
+			var misses []abdm.RecordID
 			for id, r := range recs {
+				if r == nil {
+					misses = append(misses, id)
+					continue
+				}
 				matched[id] = r
+			}
+			if err := s.fetchEach(misses, func(id abdm.RecordID, rec *abdm.Record) error {
+				matched[id] = rec
+				return nil
+			}); err != nil {
+				return nil, nil, deps, err
 			}
 			c.RecordsExam += len(recs)
 			c.BlocksRead += s.disk.blocks(len(recs))
@@ -382,7 +520,7 @@ func (s *Store) qualify(q abdm.Query, c *Cost) ([]StoredRecord, []string, qualDe
 		out = append(out, StoredRecord{ID: id, Rec: r})
 	}
 	sortStoredByID(out)
-	return out, paths, deps
+	return out, paths, deps, nil
 }
 
 // sortStoredByID orders records by database key, the canonical result order.
@@ -393,12 +531,12 @@ func sortStoredByID(recs []StoredRecord) {
 // qualifyConj resolves one conjunction, using the most selective indexable
 // predicate as the access path and verifying the rest against candidates.
 // It returns a description of the chosen path.
-func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*abdm.Record, filesSeen map[string]bool, c *Cost) string {
+func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*abdm.Record, filesSeen map[string]bool, c *Cost) (string, error) {
 	file, hasFile := conj.File()
 	if hasFile {
 		filesSeen[file] = true
 		if s.files[file] == nil {
-			return "empty(" + file + ")"
+			return "empty(" + file + ")", nil
 		}
 	} else {
 		for f := range s.files {
@@ -420,7 +558,7 @@ func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*ab
 				// Attribute never stored: an Eq predicate on it can match
 				// nothing, so the conjunction is empty.
 				if p.Attr != abdm.FileAttr {
-					return "empty(" + p.Attr + ")"
+					return "empty(" + p.Attr + ")", nil
 				}
 				continue
 			}
@@ -431,11 +569,19 @@ func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*ab
 		}
 	}
 
-	verify := func(id abdm.RecordID, rec *abdm.Record) {
+	// verify pages the body in when the candidate is not resident.
+	verify := func(id abdm.RecordID, rec *abdm.Record) error {
+		if rec == nil {
+			var err error
+			if rec, err = s.fetchLocked(id); err != nil {
+				return err
+			}
+		}
 		c.RecordsExam++
 		if conj.Matches(rec) {
 			matched[id] = rec
 		}
+		return nil
 	}
 
 	if best != nil {
@@ -447,9 +593,11 @@ func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*ab
 			if hasFile && f != file {
 				continue
 			}
-			verify(id, s.files[f][id])
+			if err := verify(id, s.files[f][id]); err != nil {
+				return "", err
+			}
 		}
-		return "index-eq(" + best.Attr + ")"
+		return "index-eq(" + best.Attr + ")", nil
 	}
 
 	// No equality access path: try a range predicate over an indexed
@@ -465,7 +613,7 @@ func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*ab
 			if ix == nil {
 				// The attribute was never stored: a range predicate on it
 				// cannot match any record.
-				return "empty(" + p.Attr + ")"
+				return "empty(" + p.Attr + ")", nil
 			}
 			ids, probes := ix.lookupRange(p.Op, p.Val)
 			c.DirProbes += probes
@@ -475,28 +623,43 @@ func (s *Store) qualifyConj(conj abdm.Conjunction, matched map[abdm.RecordID]*ab
 				if hasFile && f != file {
 					continue
 				}
-				verify(id, s.files[f][id])
+				if err := verify(id, s.files[f][id]); err != nil {
+					return "", err
+				}
 			}
-			return "index-range(" + p.Attr + ")"
+			return "index-range(" + p.Attr + ")", nil
 		}
 	}
 
-	// Fall back to scanning the conjunction's file (or all files).
-	scan := func(f string) {
+	// Fall back to scanning the conjunction's file (or all files),
+	// batching the non-resident bodies by heap page.
+	scan := func(f string) error {
 		recs := s.files[f]
 		c.BlocksRead += s.disk.blocks(len(recs))
+		var misses []abdm.RecordID
 		for id, rec := range recs {
-			verify(id, rec)
+			if rec == nil {
+				misses = append(misses, id)
+				continue
+			}
+			if err := verify(id, rec); err != nil {
+				return err
+			}
 		}
+		return s.fetchEach(misses, verify)
 	}
 	if hasFile {
-		scan(file)
-		return "scan(" + file + ")"
+		if err := scan(file); err != nil {
+			return "", err
+		}
+		return "scan(" + file + ")", nil
 	}
 	for f := range s.files {
-		scan(f)
+		if err := scan(f); err != nil {
+			return "", err
+		}
 	}
-	return "scan(*)"
+	return "scan(*)", nil
 }
 
 func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
@@ -512,7 +675,9 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 		// manager's undo path uses this to erase an inserted record (and
 		// every replica of it) without content-based matching.
 		if file, ok := s.fileOf[req.ForceID]; ok {
-			s.removeLocked(req.ForceID, s.files[file][req.ForceID])
+			if err := s.removeByIDLocked(req.ForceID); err != nil {
+				return nil, err
+			}
 			s.noteVersion(req, file, req.ForceID, nil)
 			res.Affected = append(res.Affected, req.ForceID)
 			res.Count = 1
@@ -520,7 +685,10 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 		}
 		return res, nil
 	}
-	victims, paths, _ := s.qualify(req.Query, &res.Cost)
+	victims, paths, _, err := s.qualify(req.Query, &res.Cost)
+	if err != nil {
+		return nil, err
+	}
 	res.Paths = paths
 	for _, sr := range victims {
 		file := s.fileOf[sr.ID]
@@ -536,9 +704,12 @@ func (s *Store) execDelete(req *abdl.Request) (*Result, error) {
 func (s *Store) removeLocked(id abdm.RecordID, rec *abdm.Record) {
 	file := s.fileOf[id]
 	s.bumpGen(file)
+	if s.backing != nil && s.files[file][id] != nil {
+		s.resident--
+	}
 	delete(s.files[file], id)
 	delete(s.fileOf, id)
-	if !s.noIndex {
+	if !s.noIndex && rec != nil {
 		for _, kw := range rec.Keywords {
 			if ix := s.indexes[kw.Attr]; ix != nil {
 				ix.remove(kw.Val, id)
@@ -563,10 +734,14 @@ func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res := &Result{Op: abdl.Update}
-	targets, paths, _ := s.qualify(req.Query, &res.Cost)
+	targets, paths, _, err := s.qualify(req.Query, &res.Cost)
+	if err != nil {
+		return nil, err
+	}
 	res.Paths = paths
 	for _, sr := range targets {
-		s.bumpGen(s.fileOf[sr.ID])
+		file := s.fileOf[sr.ID]
+		s.bumpGen(file)
 		res.Affected = append(res.Affected, sr.ID)
 		for _, m := range req.Mods {
 			if !s.noIndex {
@@ -586,7 +761,15 @@ func (s *Store) execUpdate(req *abdl.Request) (*Result, error) {
 				ix.add(m.Val, sr.ID)
 			}
 		}
-		s.noteVersion(req, s.fileOf[sr.ID], sr.ID, sr.Rec)
+		// A paged body modified through the qualification's decoded copy must
+		// become the live body again: the heap cell no longer matches it.
+		if s.backing != nil {
+			if s.files[file][sr.ID] == nil {
+				s.resident++
+			}
+			s.files[file][sr.ID] = sr.Rec
+		}
+		s.noteVersion(req, file, sr.ID, sr.Rec)
 	}
 	res.Count = len(targets)
 	res.Cost.BlocksWrit += s.disk.blocks(len(targets))
@@ -615,11 +798,15 @@ func (s *Store) execRetrieve(req *abdl.Request) (*Result, error) {
 		recs  []StoredRecord
 		paths []string
 		deps  qualDeps
+		err   error
 	)
 	if req.SnapEpoch != 0 {
-		recs, paths, deps = s.snapQualify(req.Query, req.SnapEpoch, &res.Cost)
+		recs, paths, deps, err = s.snapQualify(req.Query, req.SnapEpoch, &res.Cost)
 	} else {
-		recs, paths, deps = s.qualify(req.Query, &res.Cost)
+		recs, paths, deps, err = s.qualify(req.Query, &res.Cost)
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Paths = paths
 
@@ -698,14 +885,26 @@ func (s *Store) Files() []string {
 }
 
 // Snapshot returns every stored record ordered by ID, for persistence and
-// repartitioning.
-func (s *Store) Snapshot() []StoredRecord {
+// repartitioning, paging non-resident bodies in from the backing heap.
+func (s *Store) Snapshot() ([]StoredRecord, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]StoredRecord, 0, len(s.fileOf))
+	var misses []abdm.RecordID
 	for id, file := range s.fileOf {
-		out = append(out, StoredRecord{ID: id, Rec: s.files[file][id].Clone()})
+		rec := s.files[file][id]
+		if rec == nil {
+			misses = append(misses, id)
+			continue
+		}
+		out = append(out, StoredRecord{ID: id, Rec: rec.Clone()})
+	}
+	if err := s.fetchEach(misses, func(id abdm.RecordID, rec *abdm.Record) error {
+		out = append(out, StoredRecord{ID: id, Rec: rec})
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, nil
 }

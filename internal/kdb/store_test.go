@@ -400,7 +400,14 @@ func TestStoreSaveLoadRoundTrip(t *testing.T) {
 	if s2.Len() != 20 {
 		t.Fatalf("loaded %d records, want 20", s2.Len())
 	}
-	a, b := s.Snapshot(), s2.Snapshot()
+	a, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range a {
 		if a[i].ID != b[i].ID || !a[i].Rec.Equal(b[i].Rec) {
 			t.Fatalf("record %d differs after round trip", i)

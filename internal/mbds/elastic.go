@@ -92,8 +92,7 @@ func migTarget(e Executor) Executor {
 // exportSince pages the backend's partition out, locally or over the bus.
 func (b *backend) exportSince(since uint64, after abdm.RecordID, limit int) ([]kdb.MigRecord, abdm.RecordID, uint64, error) {
 	if b.store != nil {
-		recs, next, epoch := b.store.ExportSince(since, after, limit)
-		return recs, next, epoch, nil
+		return b.store.ExportSince(since, after, limit)
 	}
 	if pe, ok := migTarget(b.exec).(partitionExporter); ok {
 		return pe.ExportSince(since, after, limit)
@@ -104,8 +103,8 @@ func (b *backend) exportSince(since uint64, after abdm.RecordID, limit int) ([]k
 // importPartition installs exported records, locally or over the bus.
 func (b *backend) importPartition(recs []kdb.MigRecord) error {
 	if b.store != nil {
-		b.store.ImportPartition(recs)
-		return nil
+		_, err := b.store.ImportPartition(recs)
+		return err
 	}
 	if pi, ok := migTarget(b.exec).(partitionImporter); ok {
 		_, err := pi.ImportPartition(recs)
@@ -117,8 +116,8 @@ func (b *backend) importPartition(recs []kdb.MigRecord) error {
 // dropRecords removes stranded copies, locally or over the bus.
 func (b *backend) dropRecords(ids []abdm.RecordID) error {
 	if b.store != nil {
-		b.store.DropRecords(ids)
-		return nil
+		_, err := b.store.DropRecords(ids)
+		return err
 	}
 	if pi, ok := migTarget(b.exec).(partitionImporter); ok {
 		_, err := pi.DropRecords(ids)

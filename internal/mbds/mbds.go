@@ -1037,7 +1037,15 @@ func (s *System) Snapshot() ([]kdb.StoredRecord, error) {
 	failed := 0
 	for _, b := range s.viewSnap() {
 		if b.store != nil {
-			all = append(all, b.store.Snapshot()...)
+			recs, err := b.store.Snapshot()
+			if err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			all = append(all, recs...)
 			continue
 		}
 		// Remote partition: an unqualified retrieve addresses all of it.

@@ -84,4 +84,19 @@ func (s *System) initBackendMetrics(b *backend) {
 		queue: reg.Gauge("mlds_backend_queue_depth",
 			"requests in flight on each backend's bus channel", db, be),
 	}
+	// Paged-backend memory accounting: how many record bodies the demand-paged
+	// store holds in RAM, and how many pages the buffer pool keeps resident.
+	// Read at exposition time — the store owns both figures. Remote backends
+	// (store == nil) expose theirs from their own process.
+	if st := b.store; st != nil && st.Backed() {
+		reg.GaugeFunc("mlds_backing_resident_records",
+			"record bodies materialised in RAM by each paged backend", func() float64 {
+				return float64(st.ResidentRecords())
+			}, db, be)
+		reg.GaugeFunc("mlds_backing_pool_pages",
+			"buffer-pool pages resident in each paged backend", func() float64 {
+				stats, _, _ := st.BackingStats()
+				return float64(stats.Resident)
+			}, db, be)
+	}
 }

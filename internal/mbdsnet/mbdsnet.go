@@ -222,7 +222,11 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 		case "len":
 			reply.N = s.store.Len()
 		case "export":
-			recs, next, epoch := s.store.ExportSince(env.Since, abdm.RecordID(env.After), env.Limit)
+			recs, next, epoch, err := s.store.ExportSince(env.Since, abdm.RecordID(env.After), env.Limit)
+			if err != nil {
+				noteErr(err.Error())
+				break
+			}
 			reply.Migs = make([]wire.Mig, len(recs))
 			for i := range recs {
 				reply.Migs[i] = wire.FromMig(&recs[i])
@@ -241,13 +245,23 @@ func (s *BackendServer) serveConn(conn net.Conn) {
 				noteErr(convErr.Error())
 				break
 			}
-			reply.N = s.store.ImportPartition(recs)
+			n, err := s.store.ImportPartition(recs)
+			if err != nil {
+				noteErr(err.Error())
+				break
+			}
+			reply.N = n
 		case "drop":
 			ids := make([]abdm.RecordID, len(env.IDs))
 			for i, id := range env.IDs {
 				ids[i] = abdm.RecordID(id)
 			}
-			reply.N = s.store.DropRecords(ids)
+			n, err := s.store.DropRecords(ids)
+			if err != nil {
+				noteErr(err.Error())
+				break
+			}
+			reply.N = n
 		default:
 			reply.Err = fmt.Sprintf("mbdsnet: unknown action %q", env.Action)
 			reply.ErrCode = wire.CodeProto

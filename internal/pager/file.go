@@ -29,12 +29,13 @@ type File struct {
 	gen      uint64
 	meta     Meta
 
-	durable   []uint32        // logical -> physical, last committed generation
-	work      []uint32        // logical -> physical, working generation
-	shadowed  map[uint32]bool // logical pages already remapped this generation
-	tablePhys []uint32        // physical pages of the durable generation's table
-	free      []uint32        // physical pages no generation references
-	physEnd   uint32          // next never-used physical page
+	durable     []uint32        // logical -> physical, last committed generation
+	work        []uint32        // logical -> physical, working generation
+	shadowed    map[uint32]bool // logical pages already remapped this generation
+	tablePhys   []uint32        // physical pages of the durable generation's table
+	free        []uint32        // physical pages no generation references
+	freeLogical []uint32        // logical pages freed and reusable by Alloc
+	physEnd     uint32          // next never-used physical page
 }
 
 // Meta is the checkpoint metadata embedded in every committed generation.
@@ -46,11 +47,18 @@ type Meta struct {
 	Entries uint64 // committed journal data entries the image reflects
 	MaxKey  int64  // kernel-controller currency-key high water
 	NextID  uint64 // record-id high water ever stored
+
+	// HasIndex/IndexRoot locate the root blob page of the persisted index
+	// the store wrote with this generation, so reopening loads indexes from
+	// their pages instead of rebuilding them by scanning the heap. Absent on
+	// version-1 files and on generations committed without an index image.
+	HasIndex  bool
+	IndexRoot uint32
 }
 
 const (
 	magic         = "MLDSPGF1"
-	formatVersion = 1
+	formatVersion = 2 // current write format; version-1 files still mount
 
 	superGen     = 16 // superblock field offsets
 	superCount   = 24
@@ -61,12 +69,21 @@ const (
 	superEntries = 48
 	superMaxKey  = 56
 	superNextID  = 64
-	superCRC     = 72
-	superSize    = 76
+
+	// Version 1 ends at its checksum; version 2 appends the index root (page
+	// id + 1, zero meaning no persisted index) before its own checksum.
+	superCRCv1 = 72
+
+	superIndexRoot = 72
+	superCRC       = 76
+	superSize      = 80
 
 	// invalidPhys marks a logical page allocated but never written; Commit
-	// refuses to persist one.
+	// refuses to persist one. freedPhys marks a logical page returned to the
+	// allocator; unlike invalidPhys it is persisted in the page table, so the
+	// free slot survives remounts.
 	invalidPhys = 0xFFFFFFFF
+	freedPhys   = 0xFFFFFFFE
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -99,12 +116,23 @@ func Create(path string, pageSize int) (*File, error) {
 }
 
 // Open mounts the newest valid generation of an existing page file.
-func Open(path string) (*File, error) {
+func Open(path string) (*File, error) { return openPath(path, nil) }
+
+// OpenAt mounts the newest valid generation whose committed journal
+// position (Meta.Entries) is at most maxEntries. Fleet recovery uses it to
+// bring every store of a multi-backend system to one common checkpoint
+// position before replaying the shared journal tail. It fails when no
+// surviving generation is old enough.
+func OpenAt(path string, maxEntries uint64) (*File, error) {
+	return openPath(path, &maxEntries)
+}
+
+func openPath(path string, maxEntries *uint64) (*File, error) {
 	fd, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	f, err := open(fd, path)
+	f, err := open(fd, path, maxEntries)
 	if err != nil {
 		fd.Close()
 		return nil, err
@@ -112,39 +140,54 @@ func Open(path string) (*File, error) {
 	return f, nil
 }
 
-func open(fd *os.File, path string) (*File, error) {
+// candidateSizes lists the page sizes worth probing for: the one slot 0
+// advertises when it validates, or every standard size when slot 0 is torn.
+func candidateSizes(fd *os.File) []int {
+	if ps, ok := probePageSize(fd, 0); ok {
+		return []int{ps}
+	}
+	sizes := []int{DefaultPageSize}
+	for s := MinPageSize; s <= 64*1024; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// validSupers reads both superblock slots at the given page size and
+// returns the ones that validate, newest generation first.
+func validSupers(fd *os.File, ps int) [][]byte {
+	var supers [][]byte
+	for slot := 0; slot < 2; slot++ {
+		buf := make([]byte, superSize)
+		if _, err := fd.ReadAt(buf, int64(slot*ps)); err != nil {
+			continue
+		}
+		if superValid(buf, ps) {
+			supers = append(supers, buf)
+		}
+	}
+	sort.Slice(supers, func(i, j int) bool {
+		return binary.LittleEndian.Uint64(supers[i][superGen:]) >
+			binary.LittleEndian.Uint64(supers[j][superGen:])
+	})
+	return supers
+}
+
+func open(fd *os.File, path string, maxEntries *uint64) (*File, error) {
 	// The page size lives in the superblock; bootstrap by reading the
 	// largest supported superblock prefix from both slots at the two
 	// candidate offsets. Slot 0 is always at byte 0; slot 1 is one page in,
 	// so its location depends on the page size we are trying to discover.
 	// Read slot 0 first for the page size, falling back to a scan of
 	// standard sizes if slot 0 is the torn one.
-	sizes := []int{DefaultPageSize}
-	if ps, ok := probePageSize(fd, 0); ok {
-		sizes = []int{ps}
-	} else {
-		for s := MinPageSize; s <= 64*1024; s *= 2 {
-			sizes = append(sizes, s)
-		}
-	}
-	for _, ps := range sizes {
-		var supers [][]byte
-		for slot := 0; slot < 2; slot++ {
-			buf := make([]byte, superSize)
-			if _, err := fd.ReadAt(buf, int64(slot*ps)); err != nil {
+	for _, ps := range candidateSizes(fd) {
+		// Newest valid superblock first; fall back to the older generation if
+		// the newer one's extent turns out torn, and skip generations past
+		// the caller's position bound.
+		for _, super := range validSupers(fd, ps) {
+			if maxEntries != nil && superMeta(super).Entries > *maxEntries {
 				continue
 			}
-			if superValid(buf, ps) {
-				supers = append(supers, buf)
-			}
-		}
-		sort.Slice(supers, func(i, j int) bool {
-			return binary.LittleEndian.Uint64(supers[i][superGen:]) >
-				binary.LittleEndian.Uint64(supers[j][superGen:])
-		})
-		// Newest valid superblock first; fall back to the older generation if
-		// the newer one's extent turns out torn.
-		for _, super := range supers {
 			f, err := mount(fd, path, ps, super)
 			if err == nil {
 				return f, nil
@@ -153,6 +196,34 @@ func open(fd *os.File, path string) (*File, error) {
 				return nil, err
 			}
 		}
+	}
+	if maxEntries != nil {
+		return nil, fmt.Errorf("%w: no valid superblock at or before journal position %d in %s",
+			ErrCorrupt, *maxEntries, path)
+	}
+	return nil, fmt.Errorf("%w: no valid superblock in %s", ErrCorrupt, path)
+}
+
+// Metas reports the checkpoint metadata of every valid superblock of the
+// file at path — newest generation first — without mounting it. Fleet
+// recovery reads these to compute the newest journal position every store
+// of a system can mount at.
+func Metas(path string) ([]Meta, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	for _, ps := range candidateSizes(fd) {
+		supers := validSupers(fd, ps)
+		if len(supers) == 0 {
+			continue
+		}
+		metas := make([]Meta, len(supers))
+		for i, super := range supers {
+			metas[i] = superMeta(super)
+		}
+		return metas, nil
 	}
 	return nil, fmt.Errorf("%w: no valid superblock in %s", ErrCorrupt, path)
 }
@@ -178,14 +249,35 @@ func superValid(buf []byte, pageSize int) bool {
 	if string(buf[:8]) != magic {
 		return false
 	}
-	if binary.LittleEndian.Uint16(buf[8:10]) != formatVersion {
+	version := binary.LittleEndian.Uint16(buf[8:10])
+	if version < 1 || version > formatVersion {
 		return false
 	}
 	if int(binary.LittleEndian.Uint32(buf[12:16])) != pageSize {
 		return false
 	}
-	want := binary.LittleEndian.Uint32(buf[superCRC:])
-	return crc32.Checksum(buf[:superCRC], crcTable) == want
+	crcOff := superCRC
+	if version == 1 {
+		crcOff = superCRCv1
+	}
+	want := binary.LittleEndian.Uint32(buf[crcOff:])
+	return crc32.Checksum(buf[:crcOff], crcTable) == want
+}
+
+// superMeta decodes the checkpoint metadata of a validated superblock.
+func superMeta(buf []byte) Meta {
+	m := Meta{
+		Epoch:   binary.LittleEndian.Uint64(buf[superEpoch:]),
+		Entries: binary.LittleEndian.Uint64(buf[superEntries:]),
+		MaxKey:  int64(binary.LittleEndian.Uint64(buf[superMaxKey:])),
+		NextID:  binary.LittleEndian.Uint64(buf[superNextID:]),
+	}
+	if binary.LittleEndian.Uint16(buf[8:10]) >= 2 {
+		if root := binary.LittleEndian.Uint32(buf[superIndexRoot:]); root != 0 {
+			m.HasIndex, m.IndexRoot = true, root-1
+		}
+	}
+	return m
 }
 
 func mount(fd *os.File, path string, pageSize int, super []byte) (*File, error) {
@@ -205,12 +297,7 @@ func mount(fd *os.File, path string, pageSize int, super []byte) (*File, error) 
 	} else if st.Size() < int64(f.physEnd)*int64(pageSize) {
 		return nil, fmt.Errorf("%w: file truncated below generation %d's extent", ErrCorrupt, f.gen)
 	}
-	f.meta = Meta{
-		Epoch:   binary.LittleEndian.Uint64(super[superEpoch:]),
-		Entries: binary.LittleEndian.Uint64(super[superEntries:]),
-		MaxKey:  int64(binary.LittleEndian.Uint64(super[superMaxKey:])),
-		NextID:  binary.LittleEndian.Uint64(super[superNextID:]),
-	}
+	f.meta = superMeta(super)
 
 	// Read the page table: count entries of 4 bytes over tableN physical
 	// pages starting at tableAt (a contiguous run).
@@ -228,6 +315,11 @@ func mount(fd *os.File, path string, pageSize int, super []byte) (*File, error) 
 		}
 	}
 	f.work = append([]uint32(nil), f.durable...)
+	for id, p := range f.work {
+		if p == freedPhys {
+			f.freeLogical = append(f.freeLogical, uint32(id))
+		}
+	}
 	f.rebuildFree()
 	return f, nil
 }
@@ -238,7 +330,7 @@ func (f *File) rebuildFree() {
 	used := make(map[uint32]bool, len(f.work)+len(f.tablePhys)+2)
 	used[0], used[1] = true, true
 	for _, p := range f.work {
-		if p != invalidPhys {
+		if p != invalidPhys && p != freedPhys {
 			used[p] = true
 		}
 	}
@@ -280,15 +372,53 @@ func (f *File) Pages() int {
 	return len(f.work)
 }
 
-// Alloc extends the working generation by one logical page and returns its
-// id. The page must be written before the next Commit.
+// Alloc returns a fresh logical page id, reusing a freed slot when one
+// exists and extending the working generation otherwise. The page must be
+// written before the next Commit.
 func (f *File) Alloc() uint32 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if n := len(f.freeLogical); n > 0 {
+		id := f.freeLogical[n-1]
+		f.freeLogical = f.freeLogical[:n-1]
+		f.work[id] = invalidPhys
+		f.shadowed[id] = true
+		return id
+	}
 	id := uint32(len(f.work))
 	f.work = append(f.work, invalidPhys)
 	f.shadowed[id] = true
 	return id
+}
+
+// FreeLogical returns a logical page to the allocator. The physical page a
+// durable generation maps it to stays reserved until the next Commit stops
+// referencing it, so a crash still mounts the previous generation intact; a
+// shadow page written only this generation is reclaimed immediately.
+func (f *File) FreeLogical(id uint32) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) >= len(f.work) {
+		return fmt.Errorf("pager: FreeLogical of unallocated page %d", id)
+	}
+	p := f.work[id]
+	if p == freedPhys {
+		return nil
+	}
+	if f.shadowed[id] && p != invalidPhys {
+		f.free = append(f.free, p)
+	}
+	f.work[id] = freedPhys
+	f.shadowed[id] = true
+	f.freeLogical = append(f.freeLogical, id)
+	return nil
+}
+
+// IsFree reports whether logical page id is currently on the free list.
+func (f *File) IsFree(id uint32) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(id) < len(f.work) && f.work[id] == freedPhys
 }
 
 // allocPhysLocked claims a physical page no live generation references.
@@ -333,6 +463,9 @@ func (f *File) WritePage(id uint32, data []byte) error {
 	if int(id) >= len(f.work) {
 		return fmt.Errorf("pager: WritePage of unallocated page %d", id)
 	}
+	if f.work[id] == freedPhys {
+		return fmt.Errorf("pager: WritePage of freed page %d", id)
+	}
 	if !f.shadowed[id] {
 		f.work[id] = f.allocPhysLocked()
 		f.shadowed[id] = true
@@ -358,6 +491,9 @@ func (f *File) ReadPage(id uint32, buf []byte) error {
 	phys := f.work[id]
 	if phys == invalidPhys {
 		return fmt.Errorf("pager: ReadPage of never-written page %d", id)
+	}
+	if phys == freedPhys {
+		return fmt.Errorf("pager: ReadPage of freed page %d", id)
 	}
 	if _, err := f.f.ReadAt(buf, int64(phys)*int64(f.pageSize)); err != nil {
 		return err
@@ -420,6 +556,9 @@ func (f *File) Commit(meta Meta) error {
 	binary.LittleEndian.PutUint64(super[superEntries:], meta.Entries)
 	binary.LittleEndian.PutUint64(super[superMaxKey:], uint64(meta.MaxKey))
 	binary.LittleEndian.PutUint64(super[superNextID:], meta.NextID)
+	if meta.HasIndex {
+		binary.LittleEndian.PutUint32(super[superIndexRoot:], meta.IndexRoot+1)
+	}
 	binary.LittleEndian.PutUint32(super[superCRC:], crc32.Checksum(super[:superCRC], crcTable))
 	if _, err := f.f.WriteAt(super, int64(gen%2)*int64(f.pageSize)); err != nil {
 		return err

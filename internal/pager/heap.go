@@ -26,19 +26,48 @@ type Heap struct {
 }
 
 // NewHeap opens a heap over the pool, scanning existing pages to rebuild
-// the free-space map. On a freshly created file the scan is empty.
+// the free-space map. Freed pages and index blob pages are skipped. On a
+// freshly created file the scan is empty.
 func NewHeap(pool *Pool) (*Heap, error) {
 	h := &Heap{pool: pool, avail: make(map[uint32]int)}
 	n := pool.File().Pages()
 	for id := uint32(0); int(id) < n; id++ {
+		if pool.File().IsFree(id) {
+			continue
+		}
 		data, err := pool.Pin(id)
 		if err != nil {
 			return nil, err
 		}
-		h.avail[id] = page(data).usable()
+		if PageKindOf(data) == PageKindHeap {
+			h.avail[id] = page(data).usable()
+		}
 		pool.Unpin(id, false)
 	}
 	return h, nil
+}
+
+// NewHeapAt opens a heap whose free-space map was persisted alongside a
+// checkpoint image, skipping NewHeap's full-file scan: avail maps heap page
+// id to usable bytes exactly as AvailSnapshot reported it.
+func NewHeapAt(pool *Pool, avail map[uint32]int) *Heap {
+	h := &Heap{pool: pool, avail: make(map[uint32]int, len(avail))}
+	for id, n := range avail {
+		h.avail[id] = n
+	}
+	return h
+}
+
+// AvailSnapshot returns a copy of the free-space map — heap page id to
+// usable bytes — for persisting alongside a checkpoint image.
+func (h *Heap) AvailSnapshot() map[uint32]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[uint32]int, len(h.avail))
+	for id, n := range h.avail {
+		out[id] = n
+	}
+	return out
 }
 
 // Put stores a record and returns its RID.
@@ -151,16 +180,23 @@ func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
 	return h.Put(rec)
 }
 
-// Scan calls fn for every live record in page order. fn's cell slice is
-// only valid during the call.
+// Scan calls fn for every live record in page order, skipping freed pages
+// and index blob pages. fn's cell slice is only valid during the call.
 func (h *Heap) Scan(fn func(rid RID, cell []byte) error) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := h.pool.File().Pages()
 	for id := uint32(0); int(id) < n; id++ {
+		if h.pool.File().IsFree(id) {
+			continue
+		}
 		data, err := h.pool.Pin(id)
 		if err != nil {
 			return err
+		}
+		if PageKindOf(data) != PageKindHeap {
+			h.pool.Unpin(id, false)
+			continue
 		}
 		var inner error
 		page(data).liveCells(func(slot int, cell []byte) {
@@ -168,6 +204,39 @@ func (h *Heap) Scan(fn func(rid RID, cell []byte) error) error {
 				inner = fn(RID{Page: id, Slot: uint16(slot)}, cell)
 			}
 		})
+		h.pool.Unpin(id, false)
+		if inner != nil {
+			return inner
+		}
+	}
+	return nil
+}
+
+// GetMany looks up many records with one pin per distinct page: rids must
+// be grouped by page (callers sort by page id to visit the heap in page
+// order). fn receives the index into rids and the cell bytes, valid only
+// during the call; a rid whose slot is dead fails with ErrNotFound.
+func (h *Heap) GetMany(rids []RID, fn func(i int, cell []byte) error) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := 0; i < len(rids); {
+		id := rids[i].Page
+		data, err := h.pool.Pin(id)
+		if err != nil {
+			return err
+		}
+		var inner error
+		for ; i < len(rids) && rids[i].Page == id; i++ {
+			if inner != nil {
+				continue
+			}
+			cell := page(data).cell(int(rids[i].Slot))
+			if cell == nil {
+				inner = fmt.Errorf("%w: page %d slot %d", ErrNotFound, rids[i].Page, rids[i].Slot)
+				continue
+			}
+			inner = fn(i, cell)
+		}
 		h.pool.Unpin(id, false)
 		if inner != nil {
 			return inner

@@ -28,13 +28,16 @@ type frame struct {
 	used  uint64
 }
 
-// PoolStats counts buffer-pool traffic since the pool was created.
+// PoolStats counts buffer-pool traffic since the pool was created, plus a
+// snapshot of current residency.
 type PoolStats struct {
 	Hits       uint64 // pins served from a resident frame
 	Misses     uint64 // pins that read the page from disk
 	Evictions  uint64 // frames dropped to make room
 	Writebacks uint64 // dirty frames written back (evictions + flushes)
 	Overflow   uint64 // pins forced past capacity because all frames were pinned
+	Resident   int    // frames resident right now (snapshot, not a counter)
+	Pinned     int    // frames pinned right now (snapshot, not a counter)
 }
 
 // NewPool builds a pool of at most capPages resident pages over the file.
@@ -157,5 +160,29 @@ func (p *Pool) FlushAll() error {
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	s.Resident = len(p.frames)
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}
+
+// Cap returns the pool's frame capacity.
+func (p *Pool) Cap() int { return p.cap }
+
+// Invalidate drops the frames of the given pages without writing them back
+// — for pages the caller has freed in the file, whose cached contents are
+// garbage. Pinned frames are left alone; freeing a pinned page is a caller
+// bug that surfaces as a read error later.
+func (p *Pool) Invalidate(ids []uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range ids {
+		if fr, ok := p.frames[id]; ok && fr.pins == 0 {
+			delete(p.frames, id)
+		}
+	}
 }
